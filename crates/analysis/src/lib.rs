@@ -1,0 +1,109 @@
+//! Dataflow analyses for the `regbal` register allocator.
+//!
+//! Everything the allocator of `regbal-core` needs to know about a
+//! thread's program is computed here:
+//!
+//! * [`PointMap`] — a dense numbering of *program points* (one per
+//!   instruction, including block terminators) with CFG successor /
+//!   predecessor relations at point granularity;
+//! * [`Liveness`] — per-point live-in/live-out sets of virtual registers;
+//! * [`Pressure`] — the paper's lower bounds `RegPmax` (maximum number of
+//!   co-live values anywhere) and `RegPCSBmax` (maximum number of values
+//!   live **across** any context-switch boundary);
+//! * [`Csbs`] — the context-switch boundary points and the set of values
+//!   live across each;
+//! * [`Nsr`] — the *Non-Switch Regions*: maximal connected pieces of the
+//!   CFG containing no context switch (paper §3.1), plus the
+//!   boundary/internal classification of every virtual register
+//!   (paper §3.2).
+//!
+//! The [`ProgramInfo`] bundle computes all of the above in one call.
+//!
+//! # Example
+//!
+//! ```
+//! use regbal_ir::parse_func;
+//! use regbal_analysis::ProgramInfo;
+//!
+//! let f = parse_func(
+//!     "func f {\nbb0:\n v0 = mov 1\n ctx\n v1 = add v0, 2\n store scratch[v1+0], v0\n halt\n}",
+//! )?;
+//! let info = ProgramInfo::compute(&f);
+//! // v0 is live across the `ctx` boundary, v1 is internal.
+//! assert!(info.boundary.contains(0));
+//! assert!(!info.boundary.contains(1));
+//! # Ok::<(), regbal_ir::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csb;
+mod liveness;
+mod nsr;
+mod points;
+mod pressure;
+
+pub use csb::Csbs;
+pub use liveness::Liveness;
+pub use nsr::{Nsr, RegionId};
+pub use points::{Point, PointMap, Slot};
+pub use pressure::Pressure;
+
+use regbal_ir::{BitSet, Func};
+
+/// All per-program analysis results bundled together.
+///
+/// This is the input to interference-graph construction
+/// (`regbal-igraph`) and to the allocators (`regbal-core`).
+#[derive(Debug, Clone)]
+pub struct ProgramInfo {
+    /// Program-point numbering and CFG relations.
+    pub pmap: PointMap,
+    /// Per-point liveness sets.
+    pub liveness: Liveness,
+    /// Context-switch boundaries and live-across sets.
+    pub csbs: Csbs,
+    /// Non-switch regions and per-point region assignment.
+    pub nsr: Nsr,
+    /// Virtual registers classified as *boundary nodes* (live across at
+    /// least one CSB, or live at program entry). Everything else is an
+    /// *internal node*.
+    pub boundary: BitSet,
+    /// Register-pressure bounds.
+    pub pressure: Pressure,
+}
+
+impl ProgramInfo {
+    /// Runs every analysis on `func`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` fails [`Func::validate`].
+    pub fn compute(func: &Func) -> ProgramInfo {
+        func.validate().expect("analyses require a valid function");
+        assert!(
+            func.iter_insts().all(|(_, _, i)| !i.is_call()),
+            "subroutine calls must be inlined (regbal_ir::inline_module) before analysis"
+        );
+        let pmap = PointMap::new(func);
+        let liveness = Liveness::compute(func, &pmap);
+        let csbs = Csbs::compute(func, &pmap, &liveness);
+        let nsr = Nsr::compute(func, &pmap, &csbs);
+        let boundary = nsr.boundary_vregs(func, &liveness, &csbs, &pmap);
+        let pressure = Pressure::compute(func, &pmap, &liveness, &csbs);
+        ProgramInfo {
+            pmap,
+            liveness,
+            csbs,
+            nsr,
+            boundary,
+            pressure,
+        }
+    }
+
+    /// Number of virtual registers in the analysed function.
+    pub fn num_vregs(&self) -> usize {
+        self.liveness.num_vregs()
+    }
+}

@@ -1,0 +1,193 @@
+//! Backward liveness dataflow over virtual registers.
+
+use crate::points::{Point, PointMap};
+use regbal_ir::{BitSet, Func, VReg};
+
+/// Per-point live-variable sets.
+///
+/// `live_in(p)` holds the virtual registers whose value may still be
+/// read on some path starting at `p` (before `p` executes); `live_out(p)`
+/// the same after `p` executes. Only virtual registers participate —
+/// functions already rewritten to physical registers have empty sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<BitSet>,
+    live_out: Vec<BitSet>,
+    defs: Vec<Vec<VReg>>,
+    num_vregs: usize,
+}
+
+impl Liveness {
+    /// Runs the backward fixpoint over the points of `func`.
+    pub fn compute(func: &Func, pmap: &PointMap) -> Liveness {
+        let nv = func.num_vregs as usize;
+        let np = pmap.num_points();
+        let mut uses: Vec<BitSet> = Vec::with_capacity(np);
+        let mut defs_bs: Vec<BitSet> = Vec::with_capacity(np);
+        let mut defs: Vec<Vec<VReg>> = Vec::with_capacity(np);
+        for p in pmap.points() {
+            let slot = pmap.slot(func, p);
+            let mut u = BitSet::new(nv);
+            for r in slot.uses() {
+                if let Some(v) = r.as_virt() {
+                    u.insert(v.index());
+                }
+            }
+            let mut d = BitSet::new(nv);
+            let dv = slot.defs_vreg();
+            for &v in &dv {
+                d.insert(v.index());
+            }
+            uses.push(u);
+            defs_bs.push(d);
+            defs.push(dv);
+        }
+
+        let mut live_in = vec![BitSet::new(nv); np];
+        let mut live_out = vec![BitSet::new(nv); np];
+        // Iterate to fixpoint; visiting points in reverse order converges
+        // quickly for the mostly-forward CFGs we build.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for pi in (0..np).rev() {
+                let p = Point(pi as u32);
+                let mut out = BitSet::new(nv);
+                for &s in pmap.succs(p) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut inn = out.clone();
+                inn.difference_with(&defs_bs[pi]);
+                inn.union_with(&uses[pi]);
+                if out != live_out[pi] {
+                    live_out[pi] = out;
+                    changed = true;
+                }
+                if inn != live_in[pi] {
+                    live_in[pi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness {
+            live_in,
+            live_out,
+            defs,
+            num_vregs: nv,
+        }
+    }
+
+    /// Virtual registers live immediately before `p`.
+    pub fn live_in(&self, p: Point) -> &BitSet {
+        &self.live_in[p.index()]
+    }
+
+    /// Virtual registers live immediately after `p`.
+    pub fn live_out(&self, p: Point) -> &BitSet {
+        &self.live_out[p.index()]
+    }
+
+    /// The virtual registers defined at `p` (several for burst loads).
+    pub fn defs_at(&self, p: Point) -> &[VReg] {
+        &self.defs[p.index()]
+    }
+
+    /// Number of virtual registers in the universe of the sets.
+    pub fn num_vregs(&self) -> usize {
+        self.num_vregs
+    }
+
+    /// Whether `v`'s value survives `p` (it is live-out and not freshly
+    /// defined at `p`).
+    pub fn survives(&self, p: Point, v: VReg) -> bool {
+        self.live_out[p.index()].contains(v.index()) && !self.defs[p.index()].contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    fn analyze(src: &str) -> (regbal_ir::Func, PointMap, Liveness) {
+        let f = parse_func(src).unwrap();
+        let pm = PointMap::new(&f);
+        let lv = Liveness::compute(&f, &pm);
+        (f, pm, lv)
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        // p0: v0 = mov 1;  p1: v1 = add v0, 2;  p2: store [v1], v0;  p3: halt
+        let (_, _, lv) = analyze(
+            "func f {\nbb0:\n v0 = mov 1\n v1 = add v0, 2\n store scratch[v1+0], v0\n halt\n}",
+        );
+        assert!(lv.live_in(Point(0)).is_empty());
+        assert_eq!(lv.live_out(Point(0)).iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(lv.live_in(Point(2)).iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(lv.live_out(Point(2)).is_empty());
+        assert_eq!(lv.defs_at(Point(1)), &[VReg(1)]);
+        assert!(lv.defs_at(Point(2)).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_backedge() {
+        let (_, pm, lv) = analyze(
+            "func f {\nbb0:\n v0 = mov 8\n jump bb1\nbb1:\n v0 = sub v0, 1\n bne v0, 0, bb1, bb2\nbb2:\n halt\n}",
+        );
+        // v0 live on the backedge: live_out of the branch point.
+        let branch = pm.point(regbal_ir::BlockId(1), 1);
+        assert!(lv.live_out(branch).contains(0));
+        // and live into bb1.
+        let head = pm.point(regbal_ir::BlockId(1), 0);
+        assert!(lv.live_in(head).contains(0));
+    }
+
+    #[test]
+    fn dead_def_not_live_out() {
+        let (_, _, lv) = analyze("func f {\nbb0:\n v0 = mov 1\n nop\n halt\n}");
+        assert!(lv.live_out(Point(0)).is_empty());
+        assert!(!lv.survives(Point(0), VReg(0)));
+    }
+
+    #[test]
+    fn branch_only_liveness() {
+        // value used only on one side of a diamond
+        let (_, pm, lv) = analyze(
+            "func f {\nbb0:\n v0 = mov 1\n v1 = mov 2\n beq v1, 0, bb1, bb2\nbb1:\n store scratch[v0+0], v0\n jump bb3\nbb2:\n jump bb3\nbb3:\n halt\n}",
+        );
+        let bb2 = pm.point(regbal_ir::BlockId(2), 0);
+        assert!(!lv.live_in(bb2).contains(0), "v0 dead on else path");
+        let bb1 = pm.point(regbal_ir::BlockId(1), 0);
+        assert!(lv.live_in(bb1).contains(0));
+    }
+
+    #[test]
+    fn survives_distinguishes_redefinition() {
+        // v0 redefined at p1 while old value dead after.
+        let (_, _, lv) = analyze(
+            "func f {\nbb0:\n v0 = mov 1\n v0 = add v0, 1\n store scratch[v0+0], v0\n halt\n}",
+        );
+        assert!(lv.live_out(Point(1)).contains(0));
+        assert!(!lv.survives(Point(1), VReg(0)), "fresh def, not survival");
+        // At p0 the def is also fresh: live-out, but nothing survives.
+        assert!(lv.live_out(Point(0)).contains(0));
+        assert!(!lv.survives(Point(0), VReg(0)));
+        // At p2 (store) the value is consumed and survives nothing.
+        assert!(lv.survives(Point(2), VReg(0)) == lv.live_out(Point(2)).contains(0));
+    }
+
+    #[test]
+    fn use_before_def_is_live_at_entry() {
+        let (_, pm, lv) = analyze("func f {\nbb0:\n v1 = add v0, 1\n halt\n}");
+        assert!(lv.live_in(pm.entry()).contains(0));
+    }
+
+    #[test]
+    fn physical_regs_ignored() {
+        let (_, _, lv) =
+            analyze("func f {\nbb0:\n r0 = mov 1\n r1 = add r0, 2\n halt\n}");
+        assert_eq!(lv.num_vregs(), 0);
+        assert!(lv.live_in(Point(1)).is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! Non-Switch Regions (NSRs) and boundary/internal node classification.
+//!
+//! A *non-switch region* is a maximal connected sub-graph of the CFG
+//! containing no context-switch instruction (paper §3.1). NSRs are
+//! delimited by CSBs and by program entry/exit. We construct them at
+//! program-point granularity — blocks containing a CSB are split
+//! logically, exactly like BB5/BB7 in the paper's Figure 4, without
+//! mutating the IR.
+
+use crate::csb::Csbs;
+use crate::liveness::Liveness;
+use crate::points::{Point, PointMap};
+use regbal_ir::{BitSet, Func};
+use std::fmt;
+
+/// Identifier of a non-switch region (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// Dense index of the region.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nsr{}", self.0)
+    }
+}
+
+/// The non-switch regions of a function.
+#[derive(Debug, Clone)]
+pub struct Nsr {
+    region_of: Vec<Option<RegionId>>,
+    sizes: Vec<usize>,
+}
+
+impl Nsr {
+    /// Builds the regions: connected components (treating the CFG as
+    /// undirected) of the non-CSB program points.
+    pub fn compute(func: &Func, pmap: &PointMap, csbs: &Csbs) -> Nsr {
+        let np = pmap.num_points();
+        let mut uf = UnionFind::new(np);
+        for p in pmap.points() {
+            if csbs.is_csb(p) {
+                continue;
+            }
+            for &s in pmap.succs(p) {
+                if !csbs.is_csb(s) {
+                    uf.union(p.index(), s.index());
+                }
+            }
+        }
+        let _ = func;
+        // Densely number the component roots of non-CSB points.
+        let mut root_to_region: Vec<Option<RegionId>> = vec![None; np];
+        let mut region_of: Vec<Option<RegionId>> = vec![None; np];
+        let mut sizes: Vec<usize> = Vec::new();
+        for p in pmap.points() {
+            if csbs.is_csb(p) {
+                continue;
+            }
+            let root = uf.find(p.index());
+            let region = *root_to_region[root].get_or_insert_with(|| {
+                sizes.push(0);
+                RegionId((sizes.len() - 1) as u32)
+            });
+            sizes[region.index()] += 1;
+            region_of[p.index()] = Some(region);
+        }
+        Nsr { region_of, sizes }
+    }
+
+    /// The region of a point; `None` for CSB points (they are region
+    /// boundaries).
+    pub fn region_of(&self, p: Point) -> Option<RegionId> {
+        self.region_of[p.index()]
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Region sizes in program points.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Average region size in points (0.0 when there are no regions).
+    pub fn avg_size(&self) -> f64 {
+        if self.sizes.is_empty() {
+            0.0
+        } else {
+            self.sizes.iter().sum::<usize>() as f64 / self.sizes.len() as f64
+        }
+    }
+
+    /// Classifies virtual registers as boundary nodes: live across some
+    /// CSB, or live at program entry (a value a thread expects in a
+    /// register before it first runs can never share).
+    pub fn boundary_vregs(
+        &self,
+        func: &Func,
+        liveness: &Liveness,
+        csbs: &Csbs,
+        pmap: &PointMap,
+    ) -> BitSet {
+        let _ = func;
+        let mut boundary = BitSet::new(liveness.num_vregs());
+        for (_, across) in csbs.iter() {
+            boundary.union_with(across);
+        }
+        boundary.union_with(liveness.live_in(pmap.entry()));
+        boundary
+    }
+
+    /// The set of regions each virtual register is live in (considering
+    /// live-in points and definition points; CSB points contribute
+    /// nothing). Internal nodes are live in at most one region —
+    /// the paper's Claim 2 rests on this.
+    pub fn vreg_regions(&self, liveness: &Liveness, pmap: &PointMap) -> Vec<BitSet> {
+        let nv = liveness.num_vregs();
+        let mut regions = vec![BitSet::new(self.num_regions()); nv];
+        for p in pmap.points() {
+            let Some(region) = self.region_of(p) else {
+                continue;
+            };
+            for v in liveness.live_in(p).iter() {
+                regions[v].insert(region.index());
+            }
+            for d in liveness.defs_at(p) {
+                regions[d.index()].insert(region.index());
+            }
+        }
+        regions
+    }
+}
+
+/// Minimal union-find with path halving and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grand = self.parent[self.parent[x] as usize];
+            self.parent[x] = grand;
+            x = grand as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    fn analyze(src: &str) -> (regbal_ir::Func, PointMap, Liveness, Csbs, Nsr) {
+        let f = parse_func(src).unwrap();
+        let pm = PointMap::new(&f);
+        let lv = Liveness::compute(&f, &pm);
+        let cs = Csbs::compute(&f, &pm, &lv);
+        let nsr = Nsr::compute(&f, &pm, &cs);
+        (f, pm, lv, cs, nsr)
+    }
+
+    #[test]
+    fn straight_line_split_by_ctx() {
+        // p0 nop | p1 ctx | p2 nop | p3 halt  → two regions {p0}, {p2,p3}
+        let (_, pm, _, _, nsr) = analyze("func f {\nbb0:\n nop\n ctx\n nop\n halt\n}");
+        assert_eq!(nsr.num_regions(), 2);
+        assert!(nsr.region_of(Point(1)).is_none());
+        assert_eq!(nsr.region_of(Point(2)), nsr.region_of(Point(3)));
+        assert_ne!(nsr.region_of(Point(0)), nsr.region_of(Point(2)));
+        let _ = pm;
+    }
+
+    #[test]
+    fn split_block_parts_can_rejoin_like_paper_bb7() {
+        // A loop whose body contains a CSB: the part after the CSB flows
+        // back to the part before it through the loop backedge, so both
+        // sides of the split block join the same region (paper Fig. 4,
+        // BB7).
+        let (_, _, _, _, nsr) = analyze(
+            "func f {\nbb0:\n v0 = mov 4\n jump bb1\nbb1:\n v0 = sub v0, 1\n ctx\n bne v0, 0, bb1, bb2\nbb2:\n halt\n}",
+        );
+        // p2 (sub) is reachable from p4 (branch) via the backedge, so the
+        // two halves of the split loop body merge; the exit block hangs
+        // off the branch directly, giving a single region overall.
+        assert_eq!(nsr.region_of(Point(2)), nsr.region_of(Point(4)));
+        assert_eq!(nsr.num_regions(), 1);
+        assert!(nsr.region_of(Point(3)).is_none(), "the ctx is a boundary");
+    }
+
+    #[test]
+    fn frag_like_example_has_three_regions() {
+        // Mirrors the shape of the paper's Figure 4: an IP-checksum loop
+        // with reads (CSBs) in the loop and a ctx before the exit code.
+        let src = "
+func frag {
+bb0:
+    v0 = mov 0        ; sum
+    v1 = mov 256      ; buf
+    v2 = mov 16       ; len
+    jump bb1
+bb1:
+    bne v2, 0, bb2, bb3
+bb2:
+    v3 = load sram[v1+0]   ; read tmp1 (CSB)
+    v0 = add v0, v3
+    v1 = add v1, 4
+    v2 = sub v2, 1
+    ctx
+    jump bb1
+bb3:
+    v4 = load sram[v1+0]   ; read tmp2 (CSB)
+    v0 = add v0, v4
+    store scratch[v1+0], v0
+    halt
+}";
+        let (_, _, lv, cs, nsr) = analyze(src);
+        assert_eq!(cs.len(), 4, "two loads, one ctx, one store");
+        // Regions: entry+loop-head, loop tail between load and ctx
+        // (which rejoins the head through bb1), and the exit tail.
+        assert!(nsr.num_regions() >= 2);
+        let regions = nsr.vreg_regions(&lv, &crate::PointMap::new(&parse_func(src).unwrap()));
+        // tmp1 (v3) and tmp2 (v4) are internal to single regions.
+        assert_eq!(regions[3].count(), 1);
+        assert_eq!(regions[4].count(), 1);
+    }
+
+    #[test]
+    fn boundary_classification() {
+        let (f, pm, lv, cs, nsr) = analyze(
+            "func f {\nbb0:\n v0 = mov 1\n ctx\n v1 = add v0, 1\n store scratch[v1+0], v0\n halt\n}",
+        );
+        let b = nsr.boundary_vregs(&f, &lv, &cs, &pm);
+        assert!(b.contains(0), "v0 live across ctx");
+        assert!(!b.contains(1), "v1 internal");
+    }
+
+    #[test]
+    fn entry_live_values_are_boundary() {
+        let (f, pm, lv, cs, nsr) =
+            analyze("func f {\nbb0:\n v1 = add v0, 1\n store scratch[v1+0], v1\n halt\n}");
+        let b = nsr.boundary_vregs(&f, &lv, &cs, &pm);
+        assert!(b.contains(0), "use-before-def value live at entry");
+        assert!(!b.contains(1));
+    }
+
+    #[test]
+    fn internal_nodes_live_in_single_region() {
+        let (_, pm, lv, cs, nsr) = analyze(
+            "func f {\nbb0:\n v0 = mov 1\n v1 = add v0, 1\n ctx\n v2 = mov 2\n store scratch[v2+0], v2\n halt\n}",
+        );
+        let regions = nsr.vreg_regions(&lv, &pm);
+        for (v, r) in regions.iter().enumerate().take(3) {
+            assert!(r.count() <= 1, "v{v} spans regions");
+        }
+        let _ = cs;
+    }
+
+    #[test]
+    fn avg_size_and_sizes() {
+        let (_, _, _, _, nsr) = analyze("func f {\nbb0:\n nop\n ctx\n nop\n nop\n halt\n}");
+        assert_eq!(nsr.num_regions(), 2);
+        let mut sz = nsr.sizes().to_vec();
+        sz.sort_unstable();
+        assert_eq!(sz, vec![1, 3]);
+        assert!((nsr.avg_size() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_csb_means_one_region() {
+        let (_, _, _, cs, nsr) = analyze("func f {\nbb0:\n v0 = mov 1\n v0 = add v0, 1\n halt\n}");
+        assert!(cs.is_empty());
+        assert_eq!(nsr.num_regions(), 1);
+    }
+}

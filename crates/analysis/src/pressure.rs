@@ -1,0 +1,147 @@
+//! Register-pressure bounds: the paper's `RegPmax` and `RegPCSBmax`.
+
+use crate::csb::Csbs;
+use crate::liveness::Liveness;
+use crate::points::PointMap;
+use regbal_ir::Func;
+
+/// The two lower bounds of paper §5:
+///
+/// * `MinR  = RegPmax` — the maximum number of co-live values at any
+///   program point; no allocation can use fewer total registers.
+/// * `MinPR = RegPCSBmax` — the maximum number of values live across a
+///   single CSB; by Lemma 1 this many *private* registers suffice if
+///   enough move instructions are inserted around each CSB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pressure {
+    /// `RegPmax`: maximum co-live values at any point.
+    pub regp_max: usize,
+    /// `RegPCSBmax`: maximum values live across any single CSB
+    /// (including the program entry, where entry-live values behave
+    /// like live-across values).
+    pub regp_csb_max: usize,
+}
+
+impl Pressure {
+    /// Scans every point of `func`.
+    pub fn compute(func: &Func, pmap: &PointMap, liveness: &Liveness, csbs: &Csbs) -> Pressure {
+        let mut regp_max = 0;
+        for p in pmap.points() {
+            // Pressure just before p, and just after p. A value defined
+            // at p occupies a register together with everything live-out.
+            let before = liveness.live_in(p).count();
+            let mut after = liveness.live_out(p).count();
+            for d in liveness.defs_at(p) {
+                if !liveness.live_out(p).contains(d.index()) {
+                    after += 1; // dead def still needs a register at p
+                }
+            }
+            regp_max = regp_max.max(before).max(after);
+        }
+        let mut regp_csb_max = liveness.live_in(pmap.entry()).count();
+        for (_, across) in csbs.iter() {
+            regp_csb_max = regp_csb_max.max(across.count());
+        }
+        let _ = func;
+        Pressure {
+            regp_max,
+            regp_csb_max,
+        }
+    }
+
+    /// The paper's `MinR` lower bound.
+    pub fn min_r(&self) -> usize {
+        self.regp_max
+    }
+
+    /// The paper's `MinPR` lower bound.
+    pub fn min_pr(&self) -> usize {
+        self.regp_csb_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    fn pressure(src: &str) -> Pressure {
+        let f = parse_func(src).unwrap();
+        let pm = PointMap::new(&f);
+        let lv = Liveness::compute(&f, &pm);
+        let cs = Csbs::compute(&f, &pm, &lv);
+        Pressure::compute(&f, &pm, &lv, &cs)
+    }
+
+    #[test]
+    fn three_co_live_values() {
+        let p = pressure(
+            "func f {\nbb0:\n v0 = mov 1\n v1 = mov 2\n v2 = mov 3\n v3 = add v0, v1\n v4 = add v3, v2\n store scratch[v4+0], v4\n halt\n}",
+        );
+        assert_eq!(p.regp_max, 3); // v0,v1,v2 co-live
+    }
+
+    #[test]
+    fn csb_pressure_smaller_than_total() {
+        // Two values live across the ctx; a third is internal afterwards.
+        let p = pressure(
+            "func f {\nbb0:\n v0 = mov 1\n v1 = mov 2\n ctx\n v2 = add v0, v1\n v2 = add v2, v0\n store scratch[v2+0], v1\n halt\n}",
+        );
+        assert_eq!(p.min_pr(), 2, "v0, v1 across the ctx");
+        assert_eq!(p.min_r(), 3, "v0, v1, v2 co-live internally");
+        assert!(p.min_pr() <= p.min_r());
+    }
+
+    #[test]
+    fn paper_figure3_thread1_bounds() {
+        // The thread-1 example of paper Figure 3: a is live across the
+        // ctx_switch; b/c only in between. RegPCSBmax = 1, RegPmax = 2
+        // after the paper's own observation that only two variables are
+        // ever co-live.
+        let src = "
+func t1 {
+bb0:
+    v0 = mov 1            ; a =
+    ctx
+    beq v0, 0, bb1, bb2
+bb1:                       ; then-branch: b=, =a+b, c=
+    v1 = mov 2
+    v3 = add v0, v1
+    v2 = mov 3
+    jump bb3
+bb2:                       ; else-branch: c=, =a+c, b=
+    v2 = mov 4
+    v3 = add v0, v2
+    v1 = mov 5
+    jump bb3
+bb3:
+    v4 = add v1, v2       ; =b+c
+    v5 = load sram[v4+0]
+    store scratch[v4+0], v5
+    halt
+}";
+        let p = pressure(src);
+        assert_eq!(p.min_pr(), 1, "only `a` is live across the ctx");
+        assert_eq!(p.min_r(), 2, "at most two values co-live at a point");
+    }
+
+    #[test]
+    fn dead_def_counts_at_its_point() {
+        let p = pressure("func f {\nbb0:\n v0 = mov 1\n v1 = mov 2\n store scratch[v0+0], v0\n halt\n}");
+        // v1 is dead but needs a register while v0 is live.
+        assert_eq!(p.regp_max, 2);
+    }
+
+    #[test]
+    fn entry_live_counts_toward_csb_pressure() {
+        let p = pressure("func f {\nbb0:\n v2 = add v0, v1\n store scratch[v2+0], v2\n halt\n}");
+        assert_eq!(p.min_pr(), 2, "v0 and v1 live at entry");
+    }
+
+    #[test]
+    fn empty_pressure() {
+        let p = pressure("func f {\nbb0:\n halt\n}");
+        assert_eq!(p.min_r(), 0);
+        assert_eq!(p.min_pr(), 0);
+    }
+}

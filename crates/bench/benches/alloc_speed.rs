@@ -1,0 +1,55 @@
+//! Allocator compile-time cost — the paper reports "almost negligible
+//! compilation time" for the inter-thread algorithm; these benches
+//! quantify it for our implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regbal_core::{allocate_sra, allocate_threads, estimate_bounds, force_min_bounds};
+use regbal_analysis::ProgramInfo;
+use regbal_workloads::{Kernel, Workload};
+use std::hint::black_box;
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimate_bounds");
+    for k in [Kernel::Md5, Kernel::Frag, Kernel::WrapsRx] {
+        let f = Workload::new(k, 0, 32).func;
+        g.bench_function(k.name(), |b| {
+            b.iter(|| {
+                let info = ProgramInfo::compute(black_box(&f));
+                black_box(estimate_bounds(&info))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocate_sra_4x128");
+    for k in [Kernel::Md5, Kernel::Frag, Kernel::WrapsRx] {
+        let f = Workload::new(k, 0, 32).func;
+        g.bench_function(k.name(), |b| {
+            b.iter(|| black_box(allocate_sra(black_box(&f), 4, 128).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let funcs: Vec<_> = [Kernel::Md5, Kernel::Md5, Kernel::Fir2dim, Kernel::Fir2dim]
+        .iter()
+        .enumerate()
+        .map(|(s, &k)| Workload::new(k, s, 32).func)
+        .collect();
+    c.bench_function("allocate_threads_scenario1_48", |b| {
+        b.iter(|| black_box(allocate_threads(black_box(&funcs), 48).unwrap()))
+    });
+}
+
+fn bench_min_bounds(c: &mut Criterion) {
+    let f = Workload::new(Kernel::Md5, 0, 32).func;
+    c.bench_function("force_min_bounds_md5", |b| {
+        b.iter(|| black_box(force_min_bounds(black_box(&f)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_bounds, bench_sra, bench_scenario, bench_min_bounds);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Dataflow-analysis and interference-graph construction speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regbal_analysis::ProgramInfo;
+use regbal_igraph::{build_big, build_gig, build_iigs};
+use regbal_workloads::{Kernel, Workload};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("program_info");
+    for k in [Kernel::Md5, Kernel::WrapsRx, Kernel::Drr] {
+        let f = Workload::new(k, 0, 32).func;
+        g.bench_function(k.name(), |b| {
+            b.iter(|| black_box(ProgramInfo::compute(black_box(&f))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_graphs(c: &mut Criterion) {
+    let f = Workload::new(Kernel::Md5, 0, 32).func;
+    let info = ProgramInfo::compute(&f);
+    c.bench_function("build_gig_md5", |b| {
+        b.iter(|| black_box(build_gig(black_box(&info))))
+    });
+    let gig = build_gig(&info);
+    c.bench_function("build_big_iigs_md5", |b| {
+        b.iter(|| {
+            black_box(build_big(black_box(&info)));
+            black_box(build_iigs(black_box(&info), &gig))
+        })
+    });
+    c.bench_function("dsatur_md5_gig", |b| {
+        b.iter(|| black_box(gig.dsatur(None)))
+    });
+}
+
+criterion_group!(benches, bench_analysis, bench_graphs);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Simulator throughput: cycles simulated per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regbal_sim::{SimConfig, Simulator, StopWhen};
+use regbal_workloads::{Kernel, Workload};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_100k_cycles");
+    g.sample_size(20);
+    for k in [Kernel::Md5, Kernel::Frag] {
+        let w = Workload::new(k, 0, 1 << 20);
+        g.bench_function(k.name(), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(SimConfig::default());
+                w.prepare(sim.memory_mut(), 1);
+                sim.add_thread(w.func.clone());
+                black_box(sim.run(StopWhen::Cycles(100_000)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

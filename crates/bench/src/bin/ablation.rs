@@ -1,0 +1,79 @@
+//! Ablations beyond the paper: greedy-direction policy in the
+//! inter-thread loop, and the move-cost curve of squeezing one thread.
+
+use regbal_analysis::ProgramInfo;
+use regbal_bench::{ablation_cost_curve, ablation_direction, table, SCENARIOS};
+use regbal_core::estimate_bounds;
+use regbal_workloads::{Kernel, Workload};
+
+fn main() {
+    println!("A1: greedy direction policy (total moves to fit a tight file)");
+    println!("    (file sized to the tightest feasible demand)");
+    let mut rows = Vec::new();
+    for s in &SCENARIOS {
+        // Analytic floor: sum(MinPR) + max(MinR - MinPR); then search
+        // upward for the tightest file the min-cost policy can fit.
+        let bounds: Vec<_> = s
+            .kernels
+            .iter()
+            .enumerate()
+            .map(|(slot, &k)| {
+                estimate_bounds(&ProgramInfo::compute(&Workload::new(k, slot, 64).func)).bounds
+            })
+            .collect();
+        let floor: usize = bounds.iter().map(|b| b.min_pr).sum::<usize>()
+            + bounds
+                .iter()
+                .map(|b| b.min_r - b.min_pr)
+                .max()
+                .unwrap_or(0);
+        let nreg = (floor..floor + 16)
+            .find(|&n| ablation_direction(s, n)[0].1.is_some())
+            .expect("a feasible file exists within floor + 16");
+        let outcomes = ablation_direction(s, nreg);
+        rows.push(
+            std::iter::once(format!("{} @{}", s.name, nreg))
+                .chain(outcomes.into_iter().map(|(_, m)| match m {
+                    Some(m) => m.to_string(),
+                    None => "stuck".to_string(),
+                }))
+                .collect::<Vec<String>>(),
+        );
+    }
+    println!(
+        "{}",
+        table::render(&["scenario", "min-cost", "PR-first", "SR-first"], &rows)
+    );
+
+    println!("A3: sharing advantage vs register-file size (scenario 1)");
+    let sizes = [44, 48, 56, 64, 80, 96, 128];
+    let sweep = regbal_bench::ablation_sweep(&SCENARIOS[0], &sizes);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            let fmt = |x: Option<f64>| match x {
+                Some(v) => table::pct(v),
+                None => "n/a".to_string(),
+            };
+            vec![
+                p.nreg.to_string(),
+                fmt(p.critical_speedup),
+                fmt(p.other_speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["nreg", "critical", "others"], &rows)
+    );
+
+    println!("A2: move-cost curve while squeezing one thread to its bounds");
+    for k in [Kernel::Md5, Kernel::Drr, Kernel::L2l3fwdRx, Kernel::Url] {
+        let curve = ablation_cost_curve(k);
+        let pts: Vec<String> = curve
+            .iter()
+            .map(|p| format!("PR={}/R={}:{}mv", p.pr, p.r, p.moves))
+            .collect();
+        println!("  {:12} {}", k.name(), pts.join("  "));
+    }
+}

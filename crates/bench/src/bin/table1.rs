@@ -1,0 +1,36 @@
+//! Regenerates paper Table 1: static benchmark properties.
+
+use regbal_bench::{table, table1};
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.code_size.to_string(),
+                format!("{:.0}", r.cycles_per_iter),
+                r.ctx_insts.to_string(),
+                format!("{:.0}%", 100.0 * r.ctx_insts as f64 / r.code_size as f64),
+                r.live_ranges.to_string(),
+                r.regp_max.to_string(),
+                r.regp_csb_max.to_string(),
+                r.max_r.to_string(),
+                r.max_pr.to_string(),
+                r.nsrs.to_string(),
+                format!("{:.1}", r.avg_nsr_size),
+            ]
+        })
+        .collect();
+    println!("Table 1: benchmark applications");
+    println!(
+        "{}",
+        table::render(
+            &[
+                "benchmark", "size", "cyc/iter", "#ctx", "ctx%", "#live", "RegPmax",
+                "RegPCSBmax", "MaxR", "MaxPR", "#NSR", "avgNSR"
+            ],
+            &rows
+        )
+    );
+}

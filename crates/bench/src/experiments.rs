@@ -1,0 +1,670 @@
+//! Data producers for every table and figure of the paper's evaluation.
+
+use regbal_analysis::ProgramInfo;
+use regbal_core::chaitin::{self, ChaitinConfig};
+use regbal_core::{
+    allocate_threads, estimate_bounds, force_min_bounds, sra_zero_cost_frontier, MultiAllocation,
+};
+use regbal_ir::{Func, Reg};
+use regbal_sim::{SimConfig, Simulator, StopWhen};
+use regbal_workloads::{Kernel, Workload};
+
+/// Threads per processing unit, as in the paper.
+pub const NTHD: usize = 4;
+
+/// Register-file size used for the ARA scenarios. The paper uses the
+/// IXP1200's 128 registers against microcode whose per-thread pressure
+/// exceeds 32; our IR kernels are leaner, so the experiments scale the
+/// file to 48 (12 per thread for the fixed-partition baseline), which
+/// preserves the pressure-to-partition ratio that drives spilling: the
+/// critical kernels (`md5`, `wraps-rx`, RegPmax well above 12) spill
+/// under the fixed partition while the lean ones do not.
+pub const NREG_SCENARIO: usize = 48;
+
+/// One row of Table 1: static properties of a benchmark.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Instructions after code generation.
+    pub code_size: usize,
+    /// Cycles per main-loop iteration, single thread on the PU.
+    pub cycles_per_iter: f64,
+    /// Context-switch instructions.
+    pub ctx_insts: usize,
+    /// Live ranges (nodes on the GIG).
+    pub live_ranges: usize,
+    /// `RegPmax` (= MinR).
+    pub regp_max: usize,
+    /// `RegPCSBmax` (= MinPR).
+    pub regp_csb_max: usize,
+    /// Estimated `MaxR`.
+    pub max_r: usize,
+    /// Estimated `MaxPR`.
+    pub max_pr: usize,
+    /// Number of non-switch regions.
+    pub nsrs: usize,
+    /// Average NSR size in program points.
+    pub avg_nsr_size: f64,
+}
+
+/// Computes Table 1 over the whole suite.
+pub fn table1() -> Vec<Table1Row> {
+    Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let packets = 32;
+            let w = Workload::new(k, 0, packets);
+            let info = ProgramInfo::compute(&w.func);
+            let est = estimate_bounds(&info);
+            let mut sim = Simulator::new(SimConfig::default());
+            w.prepare(sim.memory_mut(), 7);
+            sim.add_thread(w.func.clone());
+            let report = sim.run(StopWhen::Iterations(packets as u64));
+            let live_ranges = (0..info.num_vregs())
+                .filter(|&v| {
+                    info.pmap
+                        .points()
+                        .any(|p| info.liveness.live_in(p).contains(v))
+                        || info
+                            .pmap
+                            .points()
+                            .any(|p| info.liveness.defs_at(p).contains(&regbal_ir::VReg(v as u32)))
+                })
+                .count();
+            Table1Row {
+                name: k.name(),
+                code_size: w.func.num_insts(),
+                cycles_per_iter: report.threads[0].cycles_per_iteration,
+                ctx_insts: w.func.num_ctx_insts(),
+                live_ranges,
+                regp_max: info.pressure.regp_max,
+                regp_csb_max: info.pressure.regp_csb_max,
+                max_r: est.bounds.max_r,
+                max_pr: est.bounds.max_pr,
+                nsrs: info.nsr.num_regions(),
+                avg_nsr_size: info.nsr.avg_size(),
+            }
+        })
+        .collect()
+}
+
+/// One bar group of Figure 14: single-thread Chaitin register count vs
+/// the (PR, SR) the inter-thread allocator reaches at zero move cost
+/// with four threads.
+#[derive(Debug, Clone)]
+pub struct Fig14Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Registers a standalone Chaitin allocation uses.
+    pub chaitin_regs: usize,
+    /// Private registers per thread (ours).
+    pub pr: usize,
+    /// Shared registers (ours).
+    pub sr: usize,
+    /// Relative saving of `Nthd·PR + SR` against `Nthd·Chaitin`.
+    pub saving: f64,
+}
+
+/// Computes Figure 14 over the whole suite.
+pub fn figure14() -> Vec<Fig14Row> {
+    Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let w = Workload::new(k, 0, 32);
+            let chaitin_regs = chaitin_register_count(&w.func);
+            let sra = sra_zero_cost_frontier(&w.func, NTHD);
+            assert_eq!(sra.moves(), 0, "{}: frontier must be move-free", k.name());
+            let ours = (NTHD * sra.pr() + sra.sr()) as f64;
+            let base = (NTHD * chaitin_regs) as f64;
+            Fig14Row {
+                name: k.name(),
+                chaitin_regs,
+                pr: sra.pr(),
+                sr: sra.sr(),
+                saving: 1.0 - ours / base,
+            }
+        })
+        .collect()
+}
+
+/// Registers used by a standalone Chaitin allocation with an ample
+/// register file (no spills).
+fn chaitin_register_count(func: &Func) -> usize {
+    let cfg = ChaitinConfig {
+        k: 128,
+        phys_base: 0,
+        spill_space: regbal_ir::MemSpace::Sram,
+        spill_base: 0x7_0000,
+    };
+    let result = chaitin::allocate(func, &cfg).expect("ample file cannot spill");
+    assert_eq!(result.spilled, 0);
+    let mut used = std::collections::BTreeSet::new();
+    let mut see = |r: Reg| {
+        if let Reg::Phys(p) = r {
+            used.insert(p.0);
+        }
+    };
+    for (_, _, inst) in result.func.iter_insts() {
+        inst.defs().for_each(&mut see);
+        inst.uses().for_each(&mut see);
+    }
+    for (_, b) in result.func.iter_blocks() {
+        b.term.uses().for_each(&mut see);
+    }
+    used.len()
+}
+
+/// One row of Table 2: the extreme case — moves inserted when only the
+/// minimum register bound is allocated.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `MinPR` reached.
+    pub pr: usize,
+    /// `MinR` reached.
+    pub r: usize,
+    /// Move instructions inserted.
+    pub moves: usize,
+    /// Moves as a fraction of the instruction count.
+    pub move_overhead: f64,
+}
+
+/// Computes Table 2 over the whole suite.
+pub fn table2() -> Vec<Table2Row> {
+    Kernel::ALL
+        .iter()
+        .map(|&k| {
+            let w = Workload::new(k, 0, 32);
+            let t = force_min_bounds(&w.func).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            Table2Row {
+                name: k.name(),
+                pr: t.pr(),
+                r: t.pr() + t.sr(),
+                moves: t.moves(),
+                move_overhead: t.moves() as f64 / w.func.num_insts() as f64,
+            }
+        })
+        .collect()
+}
+
+/// A four-thread scenario of Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Scenario name as in the paper.
+    pub name: &'static str,
+    /// The four thread kernels.
+    pub kernels: [Kernel; 4],
+    /// Which threads the paper calls performance-critical.
+    pub critical: [bool; 4],
+}
+
+/// The three scenarios of paper Table 3.
+pub const SCENARIOS: [Scenario; 3] = [
+    Scenario {
+        name: "S1: md5 x2 + fir2dim x2",
+        kernels: [Kernel::Md5, Kernel::Md5, Kernel::Fir2dim, Kernel::Fir2dim],
+        critical: [true, true, false, false],
+    },
+    Scenario {
+        name: "S2: l2l3fwd rx/tx + md5 x2",
+        kernels: [
+            Kernel::L2l3fwdRx,
+            Kernel::L2l3fwdTx,
+            Kernel::Md5,
+            Kernel::Md5,
+        ],
+        critical: [false, false, true, true],
+    },
+    Scenario {
+        name: "S3: wraps rx/tx + fir2dim + frag",
+        kernels: [
+            Kernel::WrapsRx,
+            Kernel::WrapsTx,
+            Kernel::Fir2dim,
+            Kernel::Frag,
+        ],
+        critical: [true, true, false, false],
+    },
+];
+
+/// Per-thread outcome of one Table 3 scenario.
+#[derive(Debug, Clone)]
+pub struct ThreadOutcome {
+    /// Kernel on this thread.
+    pub kernel: &'static str,
+    /// Whether the paper counts it performance-critical.
+    pub critical: bool,
+    /// Private registers assigned by the balancing allocator.
+    pub pr: usize,
+    /// Shared registers needed by this thread.
+    pub sr: usize,
+    /// Live ranges after allocation (split fragments).
+    pub live_ranges: usize,
+    /// Static CTX instructions, spilling baseline.
+    pub ctx_spill: usize,
+    /// Static CTX instructions, register sharing.
+    pub ctx_sharing: usize,
+    /// Cycles per iteration, spilling baseline.
+    pub cpi_spill: f64,
+    /// Cycles per iteration, register sharing.
+    pub cpi_sharing: f64,
+}
+
+impl ThreadOutcome {
+    /// Relative cycle change of sharing vs spilling: positive =
+    /// speedup.
+    pub fn speedup(&self) -> f64 {
+        1.0 - self.cpi_sharing / self.cpi_spill
+    }
+}
+
+/// One scenario row group of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Scenario description.
+    pub scenario: &'static str,
+    /// The four thread outcomes.
+    pub threads: Vec<ThreadOutcome>,
+}
+
+/// Computes Table 3: each scenario under the fixed-partition spilling
+/// baseline and under the balancing allocator, measured in a
+/// steady-state simulation window.
+pub fn table3() -> Vec<Table3Row> {
+    SCENARIOS.iter().map(|s| run_scenario(s, NREG_SCENARIO)).collect()
+}
+
+/// Runs one scenario at the given register-file size.
+pub fn run_scenario(s: &Scenario, nreg: usize) -> Table3Row {
+    // Long-running workloads: the measurement is a fixed cycle window.
+    let packets = 1 << 20;
+    let workloads: Vec<Workload> = s
+        .kernels
+        .iter()
+        .enumerate()
+        .map(|(slot, &k)| Workload::new(k, slot, packets))
+        .collect();
+    let funcs: Vec<Func> = workloads.iter().map(|w| w.func.clone()).collect();
+
+    // Spilling baseline: fixed nreg/NTHD partition each.
+    let k_part = nreg / NTHD;
+    let spill_funcs: Vec<Func> = funcs
+        .iter()
+        .enumerate()
+        .map(|(t, f)| {
+            let cfg = ChaitinConfig {
+                k: k_part,
+                phys_base: (t * k_part) as u32,
+                spill_space: regbal_ir::MemSpace::Sram,
+                spill_base: 0x7_0000 + (t as i64) * 0x1000,
+            };
+            chaitin::allocate(f, &cfg)
+                .unwrap_or_else(|e| panic!("baseline {}: {e}", s.name))
+                .func
+        })
+        .collect();
+
+    // Balancing allocator.
+    let alloc: MultiAllocation =
+        allocate_threads(&funcs, nreg).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+    let share_funcs = alloc.rewrite_funcs(&funcs);
+
+    let cpi_spill = steady_state_cpi(&spill_funcs, &workloads);
+    let cpi_share = steady_state_cpi(&share_funcs, &workloads);
+
+    let threads = (0..NTHD)
+        .map(|t| ThreadOutcome {
+            kernel: s.kernels[t].name(),
+            critical: s.critical[t],
+            pr: alloc.threads[t].pr(),
+            sr: alloc.threads[t].sr(),
+            live_ranges: alloc.threads[t].alloc.node_ids().count(),
+            ctx_spill: spill_funcs[t].num_ctx_insts(),
+            ctx_sharing: share_funcs[t].num_ctx_insts(),
+            cpi_spill: cpi_spill[t],
+            cpi_sharing: cpi_share[t],
+        })
+        .collect();
+    Table3Row {
+        scenario: s.name,
+        threads,
+    }
+}
+
+/// Measures steady-state cycles/iteration for four co-running threads
+/// inside a fixed window.
+fn steady_state_cpi(funcs: &[Func], workloads: &[Workload]) -> Vec<f64> {
+    const WINDOW: u64 = 400_000;
+    let mut sim = Simulator::new(SimConfig::default());
+    for w in workloads {
+        w.prepare(sim.memory_mut(), 0xA5A5 + w.slot as u64);
+    }
+    for f in funcs {
+        sim.add_thread(f.clone());
+    }
+    let report = sim.run(StopWhen::Cycles(WINDOW));
+    assert!(
+        report.violations.is_empty(),
+        "register-safety violation during measurement"
+    );
+    report
+        .threads
+        .iter()
+        .map(|t| t.cycles_per_iteration)
+        .collect()
+}
+
+/// Greedy-direction policies for the inter-thread reduction ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectionPolicy {
+    /// The paper's policy: pick the cheapest of all candidates.
+    MinCost,
+    /// Always shrink a private register first if possible.
+    PrivateFirst,
+    /// Always shrink the maximal shared count first if possible.
+    SharedFirst,
+}
+
+/// Ablation A1: total moves inserted by each greedy direction policy
+/// when fitting a scenario into a tight register file.
+pub fn ablation_direction(s: &Scenario, nreg: usize) -> Vec<(DirectionPolicy, Option<usize>)> {
+    use regbal_core::ThreadAlloc;
+    let funcs: Vec<Func> = s
+        .kernels
+        .iter()
+        .enumerate()
+        .map(|(slot, &k)| Workload::new(k, slot, 64).func)
+        .collect();
+
+    let run = |policy: DirectionPolicy| -> Option<usize> {
+        struct T {
+            alloc: ThreadAlloc,
+            min_pr: usize,
+            min_r: usize,
+        }
+        let mut threads: Vec<T> = funcs
+            .iter()
+            .map(|f| {
+                let info = ProgramInfo::compute(f);
+                let est = estimate_bounds(&info);
+                let live = std::sync::Arc::new(regbal_core::LiveMap::compute(&info));
+                T {
+                    alloc: ThreadAlloc::new(live, &est.coloring, est.bounds.max_pr, est.bounds.max_r),
+                    min_pr: est.bounds.min_pr,
+                    min_r: est.bounds.min_r,
+                }
+            })
+            .collect();
+        loop {
+            let total: usize = threads.iter().map(|t| t.alloc.pr()).sum::<usize>()
+                + threads.iter().map(|t| t.alloc.sr()).max().unwrap_or(0);
+            if total <= nreg {
+                return Some(threads.iter().map(|t| t.alloc.moves()).sum());
+            }
+            let can_pr = |t: &T| t.alloc.pr() > t.min_pr && t.alloc.r() > t.min_r;
+            let can_sr = |t: &T| t.alloc.sr() > 0 && t.alloc.r() > t.min_r;
+            let max_sr = threads.iter().map(|t| t.alloc.sr()).max().unwrap_or(0);
+            let try_private = |threads: &mut Vec<T>| -> bool {
+                // Cheapest private reduction among eligible threads.
+                let mut best: Option<(usize, isize)> = None;
+                for (i, t) in threads.iter().enumerate() {
+                    if can_pr(t) {
+                        if let Some(c) = t.alloc.peek_reduce_private() {
+                            if best.is_none_or(|(_, bc)| c < bc) {
+                                best = Some((i, c));
+                            }
+                        }
+                    }
+                }
+                match best {
+                    Some((i, _)) => threads[i].alloc.reduce_private().is_some(),
+                    None => false,
+                }
+            };
+            let try_shared = |threads: &mut Vec<T>| -> bool {
+                let holders: Vec<usize> = threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.alloc.sr() == max_sr && max_sr > 0)
+                    .map(|(i, _)| i)
+                    .collect();
+                if holders.is_empty() || !holders.iter().all(|&i| can_sr(&threads[i])) {
+                    return false;
+                }
+                holders
+                    .into_iter()
+                    .all(|i| threads[i].alloc.reduce_shared().is_some())
+            };
+            let ok = match policy {
+                DirectionPolicy::PrivateFirst => try_private(&mut threads) || try_shared(&mut threads),
+                DirectionPolicy::SharedFirst => try_shared(&mut threads) || try_private(&mut threads),
+                DirectionPolicy::MinCost => {
+                    // Mirror the production engine: compare peek costs.
+                    let mut pr_best: Option<(usize, isize)> = None;
+                    for (i, t) in threads.iter().enumerate() {
+                        if can_pr(t) {
+                            if let Some(c) = t.alloc.peek_reduce_private() {
+                                if pr_best.is_none_or(|(_, bc)| c < bc) {
+                                    pr_best = Some((i, c));
+                                }
+                            }
+                        }
+                    }
+                    let holders: Vec<usize> = threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.alloc.sr() == max_sr && max_sr > 0)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let sr_cost: Option<isize> = if !holders.is_empty()
+                        && holders.iter().all(|&i| can_sr(&threads[i]))
+                    {
+                        holders
+                            .iter()
+                            .map(|&i| threads[i].alloc.peek_reduce_shared())
+                            .sum()
+                    } else {
+                        None
+                    };
+                    match (pr_best, sr_cost) {
+                        (Some((i, pc)), Some(sc)) if pc <= sc => {
+                            threads[i].alloc.reduce_private().is_some()
+                        }
+                        (_, Some(_)) => try_shared(&mut threads),
+                        (Some((i, _)), None) => threads[i].alloc.reduce_private().is_some(),
+                        (None, None) => false,
+                    }
+                }
+            };
+            if !ok {
+                return None;
+            }
+        }
+    };
+
+    [
+        DirectionPolicy::MinCost,
+        DirectionPolicy::PrivateFirst,
+        DirectionPolicy::SharedFirst,
+    ]
+    .into_iter()
+    .map(|p| (p, run(p)))
+    .collect()
+}
+
+/// A point on the move-cost curve of ablation A2.
+#[derive(Debug, Clone, Copy)]
+pub struct CostCurvePoint {
+    /// Private registers at this point.
+    pub pr: usize,
+    /// Total registers (`R = PR + SR`) the thread was reduced to.
+    pub r: usize,
+    /// Moves required.
+    pub moves: usize,
+}
+
+/// Ablation A2: how move cost grows as one thread is squeezed from its
+/// upper bound toward `MinR` (the tradeoff the paper's Table 2 probes at
+/// its extreme point).
+pub fn ablation_cost_curve(kernel: Kernel) -> Vec<CostCurvePoint> {
+    let func = Workload::new(kernel, 0, 64).func;
+    let info = ProgramInfo::compute(&func);
+    let est = estimate_bounds(&info);
+    let live = std::sync::Arc::new(regbal_core::LiveMap::compute(&info));
+    let mut alloc = regbal_core::ThreadAlloc::new(
+        live,
+        &est.coloring,
+        est.bounds.max_pr,
+        est.bounds.max_r,
+    );
+    let mut curve = vec![CostCurvePoint {
+        pr: alloc.pr(),
+        r: alloc.r(),
+        moves: alloc.moves(),
+    }];
+    loop {
+        let did = if alloc.pr() > est.bounds.min_pr {
+            alloc.reduce_private().is_some()
+        } else if alloc.sr() > 0 && alloc.r() > est.bounds.min_r {
+            alloc.reduce_shared().is_some()
+        } else {
+            false
+        };
+        if !did {
+            break;
+        }
+        curve.push(CostCurvePoint {
+            pr: alloc.pr(),
+            r: alloc.r(),
+            moves: alloc.moves(),
+        });
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1's headline structural facts hold for the rebuilt suite.
+    #[test]
+    fn table1_shapes() {
+        let rows = table1();
+        assert_eq!(rows.len(), 11, "the paper's 11 benchmarks");
+        for r in &rows {
+            assert!(r.regp_csb_max <= r.regp_max, "{}", r.name);
+            assert!(r.max_pr <= r.max_r, "{}", r.name);
+            assert!(r.regp_max <= r.max_r, "{}", r.name);
+            assert!(r.nsrs >= 2, "{}: CSBs split the CFG", r.name);
+            assert!(r.cycles_per_iter.is_finite(), "{}", r.name);
+        }
+        // CTX density averages around the paper's ~10%.
+        let avg_ctx: f64 = rows
+            .iter()
+            .map(|r| r.ctx_insts as f64 / r.code_size as f64)
+            .sum::<f64>()
+            / rows.len() as f64;
+        assert!((0.05..0.25).contains(&avg_ctx), "avg ctx density {avg_ctx}");
+    }
+
+    /// Figure 14's headline: our multi-threaded demand beats four
+    /// standalone allocations on every benchmark, averaging a saving in
+    /// the paper's ballpark (they report 24%).
+    #[test]
+    fn figure14_shapes() {
+        let rows = figure14();
+        for r in &rows {
+            assert!(r.pr <= r.chaitin_regs, "{}: PR vs standalone", r.name);
+            assert!(r.saving > 0.0, "{}: must save registers", r.name);
+        }
+        let avg: f64 = rows.iter().map(|r| r.saving).sum::<f64>() / rows.len() as f64;
+        assert!((0.10..0.40).contains(&avg), "average saving {avg}");
+    }
+
+    /// Table 2's headline: the minimum bound is reachable everywhere
+    /// and the move overhead stays within the paper's 10% envelope.
+    #[test]
+    fn table2_shapes() {
+        let rows = table2();
+        assert!(rows.iter().any(|r| r.moves > 0), "splitting really happens");
+        for r in &rows {
+            assert!(
+                r.move_overhead <= 0.10,
+                "{}: overhead {:.1}%",
+                r.name,
+                100.0 * r.move_overhead
+            );
+        }
+    }
+
+    /// Table 3's headline, on the cheapest scenario only (full runs are
+    /// exercised by the release-mode binary): the critical threads win,
+    /// the lean threads stay within single digits.
+    #[test]
+    #[ignore = "slow in debug builds; run with --ignored or use the table3 binary"]
+    fn table3_shapes() {
+        for row in table3() {
+            for t in &row.threads {
+                if t.critical {
+                    assert!(t.speedup() > 0.15, "{}: {}", row.scenario, t.kernel);
+                } else {
+                    assert!(t.speedup() > -0.15, "{}: {}", row.scenario, t.kernel);
+                }
+            }
+        }
+    }
+}
+
+/// One point of the register-file sensitivity sweep (ablation A3).
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Register-file size.
+    pub nreg: usize,
+    /// Mean speedup of the scenario's critical threads (sharing vs the
+    /// fixed-partition spilling baseline); `None` when either allocator
+    /// fails at this size.
+    pub critical_speedup: Option<f64>,
+    /// Mean speedup of the non-critical threads.
+    pub other_speedup: Option<f64>,
+}
+
+/// Ablation A3: how the sharing advantage decays as the register file
+/// grows — once the fixed partition stops spilling, the two allocators
+/// converge (the crossover the paper's scaled evaluation sits left of).
+pub fn ablation_sweep(s: &Scenario, sizes: &[usize]) -> Vec<SweepPoint> {
+    sizes
+        .iter()
+        .map(|&nreg| {
+            let row = std::panic::catch_unwind(|| run_scenario(s, nreg));
+            match row {
+                Ok(row) => {
+                    let mean = |critical: bool| {
+                        let xs: Vec<f64> = row
+                            .threads
+                            .iter()
+                            .filter(|t| t.critical == critical)
+                            .map(ThreadOutcome::speedup)
+                            .collect();
+                        if xs.is_empty() {
+                            None
+                        } else {
+                            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+                        }
+                    };
+                    SweepPoint {
+                        nreg,
+                        critical_speedup: mean(true),
+                        other_speedup: mean(false),
+                    }
+                }
+                Err(_) => SweepPoint {
+                    nreg,
+                    critical_speedup: None,
+                    other_speedup: None,
+                },
+            }
+        })
+        .collect()
+}

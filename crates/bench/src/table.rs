@@ -1,0 +1,85 @@
+//! Minimal fixed-width text-table rendering for the experiment
+//! binaries.
+
+/// Renders rows of cells as an aligned text table with a header rule.
+///
+/// # Example
+///
+/// ```
+/// let t = regbal_bench::table::render(
+///     &["name", "n"],
+///     &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+/// );
+/// assert!(t.contains("name"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&line(
+        &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio as a signed percentage (`+12.3%`).
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let s = render(
+            &["k", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        render(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.123), "+12.3%");
+        assert_eq!(pct(-0.04), "-4.0%");
+    }
+}

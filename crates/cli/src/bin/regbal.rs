@@ -1,0 +1,14 @@
+//! The `regbal` command-line binary; all logic lives in `regbal-cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match regbal_cli::run_cli(&args, &mut out) {
+        Ok(()) => print!("{out}"),
+        Err(msg) => {
+            print!("{out}");
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Command-line driver for the `regbal` allocator.
+//!
+//! The binary is `regbal`; every subcommand reads programs in the
+//! textual assembly syntax of `regbal-ir` (one or more `func` blocks per
+//! file; each function becomes one hardware thread, in order):
+//!
+//! ```text
+//! regbal analyze  prog.rba                 # analyses + §5 bounds
+//! regbal alloc    --nreg 64 t0.rba t1.rba  # balance threads, print code
+//! regbal alloc    --nreg 64 --spill ...    # spill when sharing can't fit
+//! regbal run      --cycles 100000 a.rba    # simulate, print statistics
+//! ```
+//!
+//! The driver logic lives in this library so it can be tested without
+//! spawning processes; [`run_cli`] takes the argument vector and an
+//! output sink and returns the process exit code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use regbal_analysis::ProgramInfo;
+use regbal_core::{
+    allocate_threads, allocate_threads_with_spill, estimate_bounds, force_min_bounds,
+};
+use regbal_ir::{parse_module, Func};
+use regbal_sim::{SimConfig, Simulator, StopWhen};
+use std::fmt::Write as _;
+
+/// Runs the CLI with `args` (excluding the program name), writing
+/// human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad usage, unparsable input or an
+/// allocation failure; the caller maps it to a non-zero exit code.
+pub fn run_cli(args: &[String], out: &mut String) -> Result<(), String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("analyze") => analyze(&collect_files(it)?, out),
+        Some("alloc") => alloc(args[1..].to_vec(), out),
+        Some("run") => run(args[1..].to_vec(), out),
+        Some("dot") => dot(args[1..].to_vec(), out),
+        Some("help") | None => {
+            out.push_str(USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+regbal — cross-thread register allocation for network processors
+
+USAGE:
+  regbal analyze <files...>                   per-function analyses and bounds
+  regbal alloc [OPTS] <files...>              allocate threads, print physical code
+      --nreg <N>       register file size (default 128)
+      --spill          fall back to spilling when sharing cannot fit
+      --min            squeeze each thread to its (MinPR, MinR) bound
+      --quiet          summary only, no code
+  regbal run [OPTS] <files...>                simulate the threads
+      --cycles <N>     cycle budget (default 1000000)
+      --iterations <N> stop when all threads did N iterations
+      --trace <N>      print the first N scheduler events
+  regbal dot [--ig] <files...>                Graphviz output (CFG, or the
+                                              interference graph with --ig)
+  regbal help                                 this text
+";
+
+fn collect_files<'a>(it: impl Iterator<Item = &'a String>) -> Result<Vec<String>, String> {
+    let files: Vec<String> = it.cloned().collect();
+    if files.is_empty() {
+        return Err(format!("expected at least one input file\n{USAGE}"));
+    }
+    Ok(files)
+}
+
+/// Loads every function from every file, in order, then resolves
+/// subroutines: functions that are `call`ed by others are treated as
+/// subroutines and inlined; the remaining root functions become the
+/// hardware threads.
+fn load(files: &[String]) -> Result<Vec<Func>, String> {
+    let mut module = Vec::new();
+    for path in files {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let parsed = parse_module(&src).map_err(|e| format!("{path}: {e}"))?;
+        if parsed.is_empty() {
+            return Err(format!("{path}: no functions found"));
+        }
+        module.extend(parsed);
+    }
+    let called: std::collections::HashSet<String> = module
+        .iter()
+        .flat_map(|f| f.iter_insts())
+        .filter_map(|(_, _, i)| match i {
+            regbal_ir::Inst::Call { callee } => Some(callee.clone()),
+            _ => None,
+        })
+        .collect();
+    let roots: Vec<&Func> = module.iter().filter(|f| !called.contains(&f.name)).collect();
+    if roots.is_empty() {
+        return Err("every function is called by another; no thread entry point".into());
+    }
+    roots
+        .iter()
+        .map(|f| regbal_ir::inline_module(&module, &f.name).map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn analyze(files: &[String], out: &mut String) -> Result<(), String> {
+    for func in load(files)? {
+        let info = ProgramInfo::compute(&func);
+        let est = estimate_bounds(&info);
+        let boundary = info.boundary.count();
+        let _ = writeln!(out, "function `{}`:", func.name);
+        let _ = writeln!(
+            out,
+            "  instructions      {} ({} context switches, {:.0}%)",
+            func.num_insts(),
+            func.num_ctx_insts(),
+            100.0 * func.num_ctx_insts() as f64 / func.num_insts() as f64
+        );
+        let _ = writeln!(
+            out,
+            "  live ranges       {} ({} boundary, {} internal)",
+            info.num_vregs(),
+            boundary,
+            info.num_vregs() - boundary
+        );
+        let _ = writeln!(
+            out,
+            "  non-switch regions {} (avg {:.1} points)",
+            info.nsr.num_regions(),
+            info.nsr.avg_size()
+        );
+        let _ = writeln!(
+            out,
+            "  bounds            MinPR={} MinR={} MaxPR={} MaxR={}",
+            est.bounds.min_pr, est.bounds.min_r, est.bounds.max_pr, est.bounds.max_r
+        );
+    }
+    Ok(())
+}
+
+fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
+    let mut nreg = 128usize;
+    let mut spill = false;
+    let mut min = false;
+    let mut quiet = false;
+    let mut files = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nreg" => {
+                nreg = it
+                    .next()
+                    .ok_or("--nreg needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--nreg: {e}"))?;
+            }
+            "--spill" => spill = true,
+            "--min" => min = true,
+            "--quiet" => quiet = true,
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    let funcs = load(&files)?;
+
+    if min {
+        for func in &funcs {
+            let t = force_min_bounds(func).map_err(|e| format!("{}: {e}", func.name))?;
+            let _ = writeln!(
+                out,
+                "`{}`: PR={} R={} with {} move(s)",
+                func.name,
+                t.pr(),
+                t.pr() + t.sr(),
+                t.moves()
+            );
+        }
+        return Ok(());
+    }
+
+    let (physical, summary) = if spill {
+        let hybrid =
+            allocate_threads_with_spill(&funcs, nreg).map_err(|e| e.to_string())?;
+        let mut s = String::new();
+        for (i, t) in hybrid.alloc.threads.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "thread {i} `{}`: PR={} SR={} moves={} spills={}",
+                funcs[i].name,
+                t.pr(),
+                t.sr(),
+                t.moves(),
+                hybrid.spills[i]
+            );
+        }
+        let _ = writeln!(
+            s,
+            "demand {} of {nreg} registers (SGR={})",
+            hybrid.alloc.total_registers(),
+            hybrid.alloc.sgr()
+        );
+        (hybrid.rewrite(), s)
+    } else {
+        let alloc = allocate_threads(&funcs, nreg).map_err(|e| e.to_string())?;
+        let mut s = String::new();
+        for (i, t) in alloc.threads.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "thread {i} `{}`: PR={} SR={} moves={}",
+                funcs[i].name,
+                t.pr(),
+                t.sr(),
+                t.moves()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "demand {} of {nreg} registers (SGR={})",
+            alloc.total_registers(),
+            alloc.sgr()
+        );
+        (alloc.rewrite_funcs(&funcs), s)
+    };
+    out.push_str(&summary);
+    if !quiet {
+        for f in &physical {
+            let _ = writeln!(out, "\n{f}");
+        }
+    }
+    Ok(())
+}
+
+fn run(args: Vec<String>, out: &mut String) -> Result<(), String> {
+    let mut cycles = 1_000_000u64;
+    let mut iterations: Option<u64> = None;
+    let mut trace: Option<usize> = None;
+    let mut files = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => {
+                trace = Some(
+                    it.next()
+                        .ok_or("--trace needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--trace: {e}"))?,
+                );
+            }
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .ok_or("--cycles needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--cycles: {e}"))?;
+            }
+            "--iterations" => {
+                iterations = Some(
+                    it.next()
+                        .ok_or("--iterations needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--iterations: {e}"))?,
+                );
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    let funcs = load(&files)?;
+    let mut sim = Simulator::new(SimConfig::default());
+    if let Some(n) = trace {
+        sim.enable_trace(n);
+    }
+    for f in &funcs {
+        sim.add_thread(f.clone());
+    }
+    let stop = match iterations {
+        Some(n) => StopWhen::Iterations(n),
+        None => StopWhen::Cycles(cycles),
+    };
+    let report = sim.run(stop);
+    let _ = writeln!(out, "cycles: {} (idle {})", report.cycles, report.idle_cycles);
+    for (i, t) in report.threads.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "thread {i} `{}`: {} instructions, {} iterations, {} switches, {:.0}% busy{}{}",
+            funcs[i].name,
+            t.instructions,
+            t.iterations,
+            t.ctx_switches,
+            100.0 * t.busy_cycles as f64 / report.cycles.max(1) as f64,
+            if t.halted { ", halted" } else { "" },
+            if t.cycles_per_iteration.is_finite() {
+                format!(", {:.0} cycles/iteration", t.cycles_per_iteration)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if !report.violations.is_empty() {
+        let _ = writeln!(out, "REGISTER-SAFETY VIOLATIONS: {}", report.violations.len());
+    }
+    for event in sim.trace() {
+        let _ = writeln!(out, "{event:?}");
+    }
+    Ok(())
+}
+
+fn dot(args: Vec<String>, out: &mut String) -> Result<(), String> {
+    let mut interference = false;
+    let mut files = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--ig" => interference = true,
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}`
+{USAGE}")),
+        }
+    }
+    for func in load(&files)? {
+        if interference {
+            let info = ProgramInfo::compute(&func);
+            let gig = regbal_igraph::build_gig(&info);
+            let labels: Vec<String> = (0..info.num_vregs())
+                .map(|v| {
+                    if info.boundary.contains(v) {
+                        format!("v{v}*")
+                    } else {
+                        format!("v{v}")
+                    }
+                })
+                .collect();
+            let est = estimate_bounds(&info);
+            out.push_str(&gig.to_dot(&func.name, &labels, Some(&est.coloring)));
+        } else {
+            out.push_str(&func.to_dot());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("regbal-cli-{}-{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const PROG: &str = "func t {\nbb0:\n v0 = mov 64\n v1 = load sram[v0+0]\n v1 = add v1, 1\n store sram[v0+0], v1\n iter_end\n halt\n}";
+
+    #[test]
+    fn help_prints_usage() {
+        let mut out = String::new();
+        run_cli(&[], &mut out).unwrap();
+        assert!(out.contains("USAGE"));
+        let mut out = String::new();
+        run_cli(&["help".into()], &mut out).unwrap();
+        assert!(out.contains("alloc"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut out = String::new();
+        let err = run_cli(&["frobnicate".into()], &mut out).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn analyze_reports_bounds() {
+        let path = write_temp("analyze.rba", PROG);
+        let mut out = String::new();
+        run_cli(&["analyze".into(), path], &mut out).unwrap();
+        assert!(out.contains("function `t`"), "{out}");
+        assert!(out.contains("MinPR="), "{out}");
+    }
+
+    #[test]
+    fn alloc_prints_physical_code() {
+        let path = write_temp("alloc.rba", PROG);
+        let mut out = String::new();
+        run_cli(
+            &["alloc".into(), "--nreg".into(), "8".into(), path],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("PR="), "{out}");
+        assert!(out.contains("r0"), "{out}");
+        assert!(!out.contains("v0"), "no virtual registers left: {out}");
+    }
+
+    #[test]
+    fn alloc_quiet_suppresses_code() {
+        let path = write_temp("quiet.rba", PROG);
+        let mut out = String::new();
+        run_cli(
+            &["alloc".into(), "--quiet".into(), path],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("demand"), "{out}");
+        assert!(!out.contains("bb0:"), "{out}");
+    }
+
+    #[test]
+    fn alloc_min_reports_moves() {
+        let path = write_temp("min.rba", PROG);
+        let mut out = String::new();
+        run_cli(&["alloc".into(), "--min".into(), path], &mut out).unwrap();
+        assert!(out.contains("move(s)"), "{out}");
+    }
+
+    #[test]
+    fn alloc_infeasible_is_an_error_and_spill_rescues_it() {
+        // Two hungry threads cannot share 4 registers...
+        let hungry = "func h {\nbb0:\n v0 = mov 1\n v1 = mov 2\n v2 = mov 3\n ctx\n v3 = add v0, v1\n v3 = add v3, v2\n store scratch[v3+0], v3\n halt\n}";
+        let p0 = write_temp("h0.rba", hungry);
+        let p1 = write_temp("h1.rba", hungry);
+        let mut out = String::new();
+        let err = run_cli(
+            &["alloc".into(), "--nreg".into(), "4".into(), p0.clone(), p1.clone()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot fit"), "{err}");
+        // ...unless spilling is allowed.
+        let mut out = String::new();
+        run_cli(
+            &[
+                "alloc".into(),
+                "--nreg".into(),
+                "4".into(),
+                "--spill".into(),
+                "--quiet".into(),
+                p0,
+                p1,
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("spills="), "{out}");
+    }
+
+    #[test]
+    fn run_simulates_and_reports() {
+        let path = write_temp("run.rba", PROG);
+        let mut out = String::new();
+        run_cli(
+            &["run".into(), "--cycles".into(), "10000".into(), path],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("cycles:"), "{out}");
+        assert!(out.contains("halted"), "{out}");
+    }
+
+    #[test]
+    fn missing_file_errors_cleanly() {
+        let mut out = String::new();
+        let err = run_cli(
+            &["analyze".into(), "/nonexistent/x.rba".into()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("/nonexistent/x.rba"));
+    }
+
+    #[test]
+    fn bad_option_value_errors() {
+        let err = run_cli(
+            &["alloc".into(), "--nreg".into(), "lots".into()],
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--nreg"));
+    }
+}
+
+#[cfg(test)]
+mod subroutine_tests {
+    use super::*;
+
+    #[test]
+    fn subroutines_are_inlined_and_roots_become_threads() {
+        let src = "
+func rx {
+bb0:
+    v0 = mov 64
+    call checksum
+    store scratch[v0+0], v1
+    halt
+}
+func tx {
+bb0:
+    v0 = mov 128
+    call checksum
+    store scratch[v0+0], v1
+    halt
+}
+func checksum {
+bb0:
+    v1 = load sram[v0+0]
+    v1 = add v1, 7
+    halt
+}";
+        let path = std::env::temp_dir().join(format!("regbal-cli-sub-{}.rba", std::process::id()));
+        std::fs::write(&path, src).unwrap();
+        let mut out = String::new();
+        run_cli(
+            &["analyze".into(), path.to_string_lossy().into_owned()],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("function `rx`"), "{out}");
+        assert!(out.contains("function `tx`"), "{out}");
+        assert!(!out.contains("function `checksum`"), "subroutine inlined: {out}");
+    }
+}
+
+#[cfg(test)]
+mod dot_and_trace_tests {
+    use super::*;
+
+    const PROG2: &str = "func t {\nbb0:\n v0 = mov 64\n v1 = load sram[v0+0]\n ctx\n store sram[v0+0], v1\n iter_end\n halt\n}";
+
+    fn temp(name: &str) -> String {
+        let path = std::env::temp_dir().join(format!("regbal-cli2-{}-{name}", std::process::id()));
+        std::fs::write(&path, PROG2).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn dot_cfg_output() {
+        let path = temp("cfg.rba");
+        let mut out = String::new();
+        run_cli(&["dot".into(), path], &mut out).unwrap();
+        assert!(out.starts_with("digraph"), "{out}");
+        assert!(out.contains("bb0"), "{out}");
+    }
+
+    #[test]
+    fn dot_interference_output() {
+        let path = temp("ig.rba");
+        let mut out = String::new();
+        run_cli(&["dot".into(), "--ig".into(), path], &mut out).unwrap();
+        assert!(out.starts_with("graph"), "{out}");
+        assert!(out.contains("v0*"), "boundary marker: {out}");
+    }
+
+    #[test]
+    fn run_trace_prints_events() {
+        let path = temp("trace.rba");
+        let mut out = String::new();
+        run_cli(
+            &["run".into(), "--trace".into(), "16".into(), path],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("Switch"), "{out}");
+        assert!(out.contains("MemIssue"), "{out}");
+    }
+}

@@ -1,0 +1,337 @@
+//! Register-requirement estimation (paper §5, Fig. 7).
+//!
+//! Lower bounds come straight from pressure analysis
+//! (`MinPR = RegPCSBmax`, `MinR = RegPmax`). Upper bounds are found by
+//! the paper's region-based coloring: color the BIG minimally first
+//! (minimising `MaxPR` is preferred because private registers raise the
+//! inter-thread total directly, while shared registers only matter
+//! through the maximum), color each IIG independently, then merge and
+//! repair the conflict edges — recoloring an endpoint, nudging a
+//! neighbour, or growing `R` as a last resort.
+
+use regbal_analysis::ProgramInfo;
+use regbal_igraph::{build_big, build_gig, build_iigs, Graph};
+
+/// Per-thread register-requirement bounds (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// `MinPR = RegPCSBmax`: reachable private-register minimum
+    /// (Lemma 1).
+    pub min_pr: usize,
+    /// `MinR = RegPmax`: reachable total-register minimum.
+    pub min_r: usize,
+    /// `MaxPR`: private registers needed without any move insertion.
+    pub max_pr: usize,
+    /// `MaxR`: total registers needed without any move insertion.
+    pub max_r: usize,
+}
+
+/// The result of [`estimate_bounds`]: the bounds plus a concrete
+/// conflict-free coloring achieving (`MaxPR`, `MaxR`), used as the
+/// starting context of the allocators.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// The register-requirement bounds.
+    pub bounds: Bounds,
+    /// A proper GIG coloring: boundary nodes `< max_pr`, all nodes
+    /// `< max_r`. `None` for registers that are never live.
+    pub coloring: Vec<Option<u32>>,
+}
+
+/// Runs the Fig. 7 estimation on one thread.
+///
+/// # Example
+///
+/// ```
+/// use regbal_analysis::ProgramInfo;
+/// use regbal_core::estimate_bounds;
+///
+/// let f = regbal_ir::parse_func(
+///     "func f {\nbb0:\n v0 = mov 1\n ctx\n v1 = add v0, 1\n store scratch[v1+0], v0\n halt\n}",
+/// )?;
+/// let est = estimate_bounds(&ProgramInfo::compute(&f));
+/// assert_eq!(est.bounds.min_pr, 1); // only v0 crosses the switch
+/// assert!(est.bounds.min_r >= 2);
+/// # Ok::<(), regbal_ir::ParseError>(())
+/// ```
+pub fn estimate_bounds(info: &ProgramInfo) -> Estimate {
+    let gig = build_gig(info);
+    let big = build_big(info);
+    let iigs = build_iigs(info, &gig);
+    let nv = info.num_vregs();
+
+    // Which registers are live at all (have a node on the GIG).
+    let mut is_live = vec![false; nv];
+    for p in info.pmap.points() {
+        for v in info.liveness.live_in(p).iter() {
+            is_live[v] = true;
+        }
+        for d in info.liveness.defs_at(p) {
+            is_live[d.index()] = true;
+        }
+    }
+
+    // 1. Color the BIG minimally over the boundary nodes.
+    let boundary_set = &info.boundary;
+    let big_coloring = big.dsatur_subset(Some(boundary_set), None);
+    let mut pr = big_coloring.num_colors;
+    let mut colors: Vec<Option<u32>> = big_coloring.colors;
+
+    // 2. Color each IIG independently with colors 0..k.
+    let mut r = pr;
+    for iig in &iigs {
+        let c = iig.graph.dsatur(None);
+        r = r.max(c.num_colors);
+        for (pos, &v) in iig.members.iter().enumerate() {
+            colors[v] = c.colors[pos];
+        }
+    }
+
+    // Live registers not reached above (internal nodes outside every
+    // region, e.g. dead definitions at a CSB) start at color 0 and are
+    // fixed up by the repair loop.
+    for (v, live) in is_live.iter().enumerate() {
+        if *live && colors[v].is_none() {
+            colors[v] = Some(0);
+            r = r.max(1);
+        }
+    }
+    if pr == 0 && info.boundary.is_empty() {
+        // No boundary nodes at all: fine, PR stays 0.
+    }
+
+    // 3. Merge: repair every conflicting GIG edge.
+    loop {
+        let conflict = find_conflict(&gig, &colors);
+        let Some((a, b)) = conflict else { break };
+        // Prefer moving an internal node (cheapest for PR).
+        let (node, limit) = if !boundary_set.contains(b) {
+            (b, r)
+        } else if !boundary_set.contains(a) {
+            (a, r)
+        } else {
+            (b, pr)
+        };
+        if try_recolor(&gig, &mut colors, node, limit) {
+            continue;
+        }
+        // Neighbour nudge: free a color for `node` by moving one
+        // single blocking neighbour.
+        if try_nudge(&gig, &mut colors, boundary_set, node, limit, pr, r) {
+            continue;
+        }
+        // Grow the palette.
+        if boundary_set.contains(node) {
+            colors[node] = Some(pr as u32);
+            pr += 1;
+            r = r.max(pr);
+        } else {
+            colors[node] = Some(r as u32);
+            r += 1;
+        }
+    }
+
+    debug_assert!(gig.check_coloring(&colors).is_ok());
+    let bounds = Bounds {
+        min_pr: info.pressure.min_pr(),
+        min_r: info.pressure.min_r(),
+        max_pr: pr,
+        max_r: r.max(pr),
+    };
+    Estimate { bounds, coloring: colors }
+}
+
+fn find_conflict(gig: &Graph, colors: &[Option<u32>]) -> Option<(usize, usize)> {
+    for a in 0..gig.len() {
+        let Some(ca) = colors[a] else { continue };
+        for b in gig.neighbors(a).iter() {
+            if b > a && colors[b] == Some(ca) {
+                return Some((a, b));
+            }
+        }
+    }
+    None
+}
+
+/// Recolors `node` with any color `< limit` unused by its neighbours.
+fn try_recolor(gig: &Graph, colors: &mut [Option<u32>], node: usize, limit: usize) -> bool {
+    let used: Vec<u32> = gig
+        .neighbors(node)
+        .iter()
+        .filter_map(|n| colors[n])
+        .collect();
+    for c in 0..limit as u32 {
+        if !used.contains(&c) {
+            colors[node] = Some(c);
+            return true;
+        }
+    }
+    false
+}
+
+/// Tries to free one color `< limit` for `node` by recoloring a single
+/// blocking neighbour elsewhere.
+fn try_nudge(
+    gig: &Graph,
+    colors: &mut [Option<u32>],
+    boundary: &regbal_ir::BitSet,
+    node: usize,
+    limit: usize,
+    pr: usize,
+    r: usize,
+) -> bool {
+    for c in 0..limit as u32 {
+        let blockers: Vec<usize> = gig
+            .neighbors(node)
+            .iter()
+            .filter(|&n| colors[n] == Some(c))
+            .collect();
+        if blockers.len() != 1 {
+            continue;
+        }
+        let blocker = blockers[0];
+        let blocker_limit = if boundary.contains(blocker) { pr } else { r };
+        let saved = colors[blocker];
+        colors[blocker] = None;
+        let mut used: Vec<u32> = gig
+            .neighbors(blocker)
+            .iter()
+            .filter_map(|n| colors[n])
+            .collect();
+        used.push(c);
+        let retarget = (0..blocker_limit as u32).find(|cc| !used.contains(cc));
+        match retarget {
+            Some(cc) => {
+                colors[blocker] = Some(cc);
+                colors[node] = Some(c);
+                return true;
+            }
+            None => colors[blocker] = saved,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_analysis::ProgramInfo;
+    use regbal_ir::parse_func;
+
+    fn estimate(src: &str) -> Estimate {
+        estimate_bounds(&ProgramInfo::compute(&parse_func(src).unwrap()))
+    }
+
+    #[test]
+    fn figure5_bounds() {
+        // Paper Fig. 5: sum/buf/len form both a BIG clique and, with
+        // tmp1, a 4-clique on the GIG → MaxPR = 3, MaxR = 4.
+        let src = "
+func frag {
+bb0:
+    v0 = mov 0
+    v1 = mov 256
+    v2 = mov 16
+    jump bb1
+bb1:
+    bne v2, 0, bb2, bb3
+bb2:
+    v3 = load sram[v1+0]
+    v0 = add v0, v3
+    v1 = add v1, 4
+    v2 = sub v2, 1
+    ctx
+    jump bb1
+bb3:
+    v4 = load sram[v1+0]
+    v0 = add v0, v4
+    store scratch[v1+0], v0
+    halt
+}";
+        let est = estimate(src);
+        assert_eq!(est.bounds.max_pr, 3);
+        assert_eq!(est.bounds.max_r, 4);
+        assert!(est.bounds.min_pr <= est.bounds.max_pr);
+        assert!(est.bounds.min_r <= est.bounds.max_r);
+        // Boundary nodes colored below MaxPR.
+        for v in [0usize, 1, 2] {
+            assert!(est.coloring[v].unwrap() < est.bounds.max_pr as u32);
+        }
+    }
+
+    #[test]
+    fn bounds_ordering_invariants() {
+        let srcs = [
+            "func a {\nbb0:\n v0 = mov 1\n ctx\n v1 = add v0, 1\n store scratch[v1+0], v0\n halt\n}",
+            "func b {\nbb0:\n v0 = mov 1\n v1 = mov 2\n v2 = mov 3\n v3 = add v0, v1\n v3 = add v3, v2\n store scratch[v3+0], v3\n halt\n}",
+            "func c {\nbb0:\n halt\n}",
+        ];
+        for src in srcs {
+            let est = estimate(src);
+            let b = est.bounds;
+            assert!(b.min_pr <= b.max_pr, "{src}: {b:?}");
+            assert!(b.min_r <= b.max_r, "{src}: {b:?}");
+            assert!(b.max_pr <= b.max_r, "{src}: {b:?}");
+            assert!(b.min_pr <= b.min_r, "{src}: {b:?}");
+        }
+    }
+
+    #[test]
+    fn empty_function_all_zero() {
+        let est = estimate("func z {\nbb0:\n halt\n}");
+        assert_eq!(
+            est.bounds,
+            Bounds {
+                min_pr: 0,
+                min_r: 0,
+                max_pr: 0,
+                max_r: 0
+            }
+        );
+    }
+
+    #[test]
+    fn pure_internal_function_has_zero_pr() {
+        let est = estimate(
+            "func i {\nbb0:\n v0 = mov 1\n v1 = add v0, 1\n v2 = add v1, v0\n store scratch[v2+0], v2\n halt\n}",
+        );
+        assert_eq!(est.bounds.max_pr, 0, "no value is live across a CSB");
+        assert!(est.bounds.max_r >= 2);
+    }
+
+    #[test]
+    fn coloring_is_proper_on_gig() {
+        let src = "
+func mix {
+bb0:
+    v0 = mov 1
+    v1 = mov 2
+    ctx
+    v2 = add v0, v1
+    v3 = add v2, v0
+    v4 = add v3, v1
+    store scratch[v4+0], v4
+    ctx
+    store scratch[v0+0], v1
+    halt
+}";
+        let info = ProgramInfo::compute(&parse_func(src).unwrap());
+        let est = estimate_bounds(&info);
+        let gig = regbal_igraph::build_gig(&info);
+        gig.check_coloring(&est.coloring).unwrap();
+        for v in 0..info.num_vregs() {
+            if info.boundary.contains(v) {
+                assert!(est.coloring[v].unwrap() < est.bounds.max_pr as u32);
+            }
+            if let Some(c) = est.coloring[v] {
+                assert!(c < est.bounds.max_r as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_def_gets_a_color() {
+        let est = estimate("func d {\nbb0:\n v0 = mov 1\n v1 = mov 2\n store scratch[v1+0], v1\n halt\n}");
+        assert!(est.coloring[0].is_some(), "dead def still occupies a register");
+    }
+}

@@ -1,0 +1,481 @@
+//! Chaitin-style graph-coloring register allocation with spilling — the
+//! baseline the paper's evaluation compares against (the stock compiler
+//! gives each thread a fixed 32-register partition and spills when it
+//! runs out; spills are memory operations that cost a context switch).
+//!
+//! Standard Chaitin-Briggs: build the interference graph, simplify
+//! (remove nodes of degree `< k`), optimistically push potential spills,
+//! color on pop, insert spill code for the failures, repeat.
+//!
+//! Spill code addresses its slot by materialising the address in a
+//! fresh temporary (`tmp = mov slot; store sram[tmp+0], v`), because the
+//! ISA has no absolute addressing; this mirrors real IXP microcode,
+//! where spill addresses also occupy a register.
+
+use crate::error::AllocError;
+use regbal_analysis::ProgramInfo;
+use regbal_igraph::build_gig;
+use regbal_ir::{
+    Func, Inst, MemSpace, Operand, PReg, Reg, UnOp, VReg,
+};
+
+/// Configuration of the baseline allocator.
+#[derive(Debug, Clone)]
+pub struct ChaitinConfig {
+    /// Colors (physical registers) available to this thread.
+    pub k: usize,
+    /// First physical register of the thread's bank.
+    pub phys_base: u32,
+    /// Memory space for spill slots.
+    pub spill_space: MemSpace,
+    /// Base byte address of the spill area.
+    pub spill_base: i64,
+}
+
+impl ChaitinConfig {
+    /// The paper's stock setup: a fixed bank of 32 registers per thread.
+    pub fn fixed_partition(thread: usize) -> ChaitinConfig {
+        ChaitinConfig {
+            k: 32,
+            phys_base: (thread * 32) as u32,
+            spill_space: MemSpace::Sram,
+            spill_base: 0x1_0000 + (thread as i64) * 0x1000,
+        }
+    }
+}
+
+/// Result of the baseline allocation.
+#[derive(Debug, Clone)]
+pub struct ChaitinResult {
+    /// The function rewritten to physical registers, with spill code.
+    pub func: Func,
+    /// Virtual registers that were spilled to memory.
+    pub spilled: usize,
+    /// Spill reload (`load`) instructions inserted.
+    pub spill_loads: usize,
+    /// Spill store instructions inserted.
+    pub spill_stores: usize,
+    /// Build–spill rounds needed to converge.
+    pub rounds: usize,
+}
+
+const MAX_ROUNDS: usize = 24;
+
+/// Allocates `func` with `config.k` registers, spilling as needed.
+///
+/// # Errors
+///
+/// Returns [`AllocError::SpillDiverged`] if spilling fails to converge
+/// within a bounded number of rounds (pathological inputs only).
+///
+/// # Example
+///
+/// ```
+/// use regbal_core::chaitin::{allocate, ChaitinConfig};
+///
+/// let f = regbal_ir::parse_func(
+///     "func f {\nbb0:\n v0 = mov 1\n v1 = add v0, 2\n store scratch[v1+0], v1\n halt\n}",
+/// )?;
+/// let result = allocate(&f, &ChaitinConfig::fixed_partition(0))?;
+/// assert_eq!(result.spilled, 0);
+/// assert_eq!(result.func.num_vregs, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn allocate(func: &Func, config: &ChaitinConfig) -> Result<ChaitinResult, AllocError> {
+    let mut work = func.clone();
+    // A wide burst defines (or reads) all its registers at one instant —
+    // an unspillable clique. With a small bank, real microcode issues
+    // narrower bursts; mirror that before coloring.
+    let burst_cap = (config.k / 3).clamp(2, regbal_ir::MAX_BURST);
+    split_wide_bursts(&mut work, burst_cap);
+    let original_vregs = func.num_vregs;
+    let mut spilled_total = 0usize;
+    let mut spill_loads = 0usize;
+    let mut spill_stores = 0usize;
+    let mut next_slot = 0i64;
+    let mut already_spilled: Vec<bool> = vec![false; original_vregs as usize];
+
+    for round in 1..=MAX_ROUNDS {
+        let info = ProgramInfo::compute(&work);
+        let gig = build_gig(&info);
+        let nv = work.num_vregs as usize;
+
+        // Occurrence counts for the spill metric.
+        let mut occurrences = vec![0usize; nv];
+        let mut count = |r: Reg| {
+            if let Reg::Virt(v) = r {
+                occurrences[v.index()] += 1;
+            }
+        };
+        for (_, _, inst) in work.iter_insts() {
+            inst.defs().for_each(&mut count);
+            inst.uses().for_each(&mut count);
+        }
+        for (_, b) in work.iter_blocks() {
+            b.term.uses().for_each(&mut count);
+        }
+
+        let live: Vec<bool> = (0..nv).map(|v| occurrences[v] > 0).collect();
+        let colors = color_with_spills(&gig, &live, config.k, |v| {
+            // Spill-generated temporaries and already-spilled ranges get
+            // infinite cost: re-spilling them cannot relieve pressure.
+            if (v as u32) >= original_vregs || already_spilled[v] {
+                f64::INFINITY
+            } else {
+                occurrences[v] as f64 / (gig.degree(v).max(1) as f64)
+            }
+        });
+
+        let to_spill: Vec<VReg> = colors
+            .iter()
+            .enumerate()
+            .filter(|&(v, c)| live[v] && c.is_none())
+            .map(|(v, _)| VReg(v as u32))
+            .collect();
+
+        if to_spill.is_empty() {
+            let rewritten = apply_colors(&work, &colors, config.phys_base);
+            return Ok(ChaitinResult {
+                func: rewritten,
+                spilled: spilled_total,
+                spill_loads,
+                spill_stores,
+                rounds: round,
+            });
+        }
+        if to_spill.iter().any(|v| v.0 >= original_vregs) {
+            return Err(AllocError::SpillDiverged { rounds: round });
+        }
+        spilled_total += to_spill.len();
+        for v in to_spill {
+            already_spilled[v.index()] = true;
+            let slot = config.spill_base + next_slot;
+            next_slot += 4;
+            let (l, s) = insert_spill_code(&mut work, v, slot, config.spill_space);
+            spill_loads += l;
+            spill_stores += s;
+        }
+    }
+    Err(AllocError::SpillDiverged { rounds: MAX_ROUNDS })
+}
+
+/// Chaitin-Briggs simplify/select. Returns a color `< k` per live node
+/// or `None` for actual spills.
+fn color_with_spills(
+    gig: &regbal_igraph::Graph,
+    live: &[bool],
+    k: usize,
+    spill_cost: impl Fn(usize) -> f64,
+) -> Vec<Option<u32>> {
+    let n = gig.len();
+    let mut in_graph: Vec<bool> = live.to_vec();
+    let degree = |v: usize, in_graph: &[bool]| {
+        gig.neighbors(v).iter().filter(|&n| in_graph[n]).count()
+    };
+    let mut stack = Vec::with_capacity(n);
+    loop {
+        // Simplify: remove a trivially colorable node.
+        if let Some(v) = (0..n).find(|&v| in_graph[v] && degree(v, &in_graph) < k) {
+            in_graph[v] = false;
+            stack.push(v);
+            continue;
+        }
+        // Optimistic potential spill: cheapest remaining node.
+        let Some(v) = (0..n)
+            .filter(|&v| in_graph[v])
+            .min_by(|&a, &b| {
+                spill_cost(a)
+                    .partial_cmp(&spill_cost(b))
+                    .expect("spill costs are comparable")
+            })
+        else {
+            break;
+        };
+        in_graph[v] = false;
+        stack.push(v);
+    }
+
+    let mut colors: Vec<Option<u32>> = vec![None; n];
+    while let Some(v) = stack.pop() {
+        let used: Vec<u32> = gig.neighbors(v).iter().filter_map(|n| colors[n]).collect();
+        colors[v] = (0..k as u32).find(|c| !used.contains(c));
+    }
+    colors
+}
+
+/// Splits burst memory operations wider than `max_len` words into
+/// consecutive narrower bursts (each still a single context-switching
+/// memory operation).
+fn split_wide_bursts(func: &mut Func, max_len: usize) {
+    for block in &mut func.blocks {
+        let mut insts = Vec::with_capacity(block.insts.len());
+        for inst in std::mem::take(&mut block.insts) {
+            match inst {
+                Inst::LoadBurst {
+                    dsts,
+                    base,
+                    offset,
+                    space,
+                } if dsts.len() > max_len => {
+                    for (i, chunk) in dsts.chunks(max_len).enumerate() {
+                        insts.push(Inst::LoadBurst {
+                            dsts: chunk.to_vec(),
+                            base,
+                            offset: offset + (i * max_len * 4) as i64,
+                            space,
+                        });
+                    }
+                }
+                Inst::StoreBurst {
+                    srcs,
+                    base,
+                    offset,
+                    space,
+                } if srcs.len() > max_len => {
+                    for (i, chunk) in srcs.chunks(max_len).enumerate() {
+                        insts.push(Inst::StoreBurst {
+                            srcs: chunk.to_vec(),
+                            base,
+                            offset: offset + (i * max_len * 4) as i64,
+                            space,
+                        });
+                    }
+                }
+                other => insts.push(other),
+            }
+        }
+        block.insts = insts;
+    }
+}
+
+/// Rewrites all virtual registers to `phys_base + color`.
+fn apply_colors(func: &Func, colors: &[Option<u32>], phys_base: u32) -> Func {
+    let map = |r: Reg| -> Reg {
+        match r {
+            Reg::Virt(v) => {
+                let c = colors[v.index()].expect("colored before rewrite");
+                Reg::Phys(PReg(phys_base + c))
+            }
+            phys => phys,
+        }
+    };
+    let mut out = func.clone();
+    for block in &mut out.blocks {
+        for inst in &mut block.insts {
+            inst.map_uses(map);
+            inst.map_defs(map);
+        }
+        block.term.map_uses(map);
+    }
+    out.num_vregs = 0;
+    out.validate().expect("rewritten function must be valid");
+    out
+}
+
+/// Rewrites `func` so that `v` lives in memory slot `slot`: a store
+/// after every definition, a reload into a fresh temporary before every
+/// use. Returns `(loads, stores)` inserted.
+pub fn insert_spill_code(func: &mut Func, v: VReg, slot: i64, space: MemSpace) -> (usize, usize) {
+    let mut loads = 0usize;
+    let mut stores = 0usize;
+    let mut next_vreg = func.num_vregs;
+    let mut fresh = || {
+        let r = VReg(next_vreg);
+        next_vreg += 1;
+        r
+    };
+
+    for block in &mut func.blocks {
+        let mut insts = Vec::with_capacity(block.insts.len());
+        for mut inst in std::mem::take(&mut block.insts) {
+            let uses_v = inst.uses().any(|r| r == Reg::Virt(v));
+            if uses_v {
+                let addr = fresh();
+                let tmp = fresh();
+                insts.push(Inst::Un {
+                    op: UnOp::Mov,
+                    dst: Reg::Virt(addr),
+                    src: Operand::Imm(slot),
+                });
+                insts.push(Inst::Load {
+                    dst: Reg::Virt(tmp),
+                    base: Reg::Virt(addr),
+                    offset: 0,
+                    space,
+                });
+                loads += 1;
+                inst.map_uses(|r| if r == Reg::Virt(v) { Reg::Virt(tmp) } else { r });
+            }
+            let defs_v = inst.defs().any(|r| r == Reg::Virt(v));
+            insts.push(inst);
+            if defs_v {
+                let addr = fresh();
+                insts.push(Inst::Un {
+                    op: UnOp::Mov,
+                    dst: Reg::Virt(addr),
+                    src: Operand::Imm(slot),
+                });
+                insts.push(Inst::Store {
+                    src: Reg::Virt(v),
+                    base: Reg::Virt(addr),
+                    offset: 0,
+                    space,
+                });
+                stores += 1;
+            }
+        }
+        // Terminator uses reload at the end of the block.
+        if block.term.uses().any(|r| r == Reg::Virt(v)) {
+            let addr = fresh();
+            let tmp = fresh();
+            insts.push(Inst::Un {
+                op: UnOp::Mov,
+                dst: Reg::Virt(addr),
+                src: Operand::Imm(slot),
+            });
+            insts.push(Inst::Load {
+                dst: Reg::Virt(tmp),
+                base: Reg::Virt(addr),
+                offset: 0,
+                space,
+            });
+            loads += 1;
+            block
+                .term
+                .map_uses(|r| if r == Reg::Virt(v) { Reg::Virt(tmp) } else { r });
+        }
+        block.insts = insts;
+    }
+    func.num_vregs = next_vreg;
+    (loads, stores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    #[test]
+    fn no_spill_when_registers_suffice() {
+        let f = parse_func(
+            "func f {\nbb0:\n v0 = mov 1\n v1 = mov 2\n v2 = add v0, v1\n store scratch[v2+0], v2\n halt\n}",
+        )
+        .unwrap();
+        let r = allocate(&f, &ChaitinConfig::fixed_partition(0)).unwrap();
+        assert_eq!(r.spilled, 0);
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.func.num_vregs, 0);
+        assert_eq!(r.func.num_insts(), f.num_insts());
+    }
+
+    #[test]
+    fn spills_when_pressure_exceeds_k() {
+        // Five co-live values, two registers.
+        let src = "
+func hot {
+bb0:
+    v0 = mov 1
+    v1 = mov 2
+    v2 = mov 3
+    v3 = mov 4
+    v4 = mov 5
+    v5 = add v0, v1
+    v5 = add v5, v2
+    v5 = add v5, v3
+    v5 = add v5, v4
+    store scratch[v5+0], v5
+    halt
+}";
+        let f = parse_func(src).unwrap();
+        let cfg = ChaitinConfig {
+            k: 2,
+            phys_base: 0,
+            spill_space: MemSpace::Sram,
+            spill_base: 0x8000,
+        };
+        let r = allocate(&f, &cfg).unwrap();
+        assert!(r.spilled >= 3, "spilled {}", r.spilled);
+        assert!(r.spill_loads > 0 && r.spill_stores > 0);
+        assert!(r.func.num_ctx_insts() > f.num_ctx_insts());
+        r.func.validate().unwrap();
+    }
+
+    #[test]
+    fn colors_respect_k() {
+        let src = "
+func mid {
+bb0:
+    v0 = mov 1
+    v1 = mov 2
+    v2 = mov 3
+    v3 = add v0, v1
+    v3 = add v3, v2
+    store scratch[v3+0], v3
+    halt
+}";
+        let f = parse_func(src).unwrap();
+        let cfg = ChaitinConfig {
+            k: 3,
+            phys_base: 10,
+            spill_space: MemSpace::Sram,
+            spill_base: 0,
+        };
+        let r = allocate(&f, &cfg).unwrap();
+        // Every physical register must come from the bank 10..13, unless
+        // spilling introduced temporaries (still inside the bank).
+        for (_, _, inst) in r.func.iter_insts() {
+            let check = |reg: Reg| {
+                if let Reg::Phys(p) = reg {
+                    assert!((10..13).contains(&p.0), "register {p} outside bank");
+                }
+            };
+            inst.defs().for_each(check);
+            inst.uses().for_each(check);
+        }
+    }
+
+    #[test]
+    fn loop_pressure_spills_converge() {
+        // A loop with more co-live accumulators than registers.
+        let src = "
+func loopy {
+bb0:
+    v0 = mov 0
+    v1 = mov 1
+    v2 = mov 2
+    v3 = mov 3
+    v4 = mov 100
+    jump bb1
+bb1:
+    v0 = add v0, v1
+    v1 = add v1, v2
+    v2 = add v2, v3
+    v3 = add v3, 1
+    v4 = sub v4, 1
+    bne v4, 0, bb1, bb2
+bb2:
+    store scratch[v0+0], v1
+    halt
+}";
+        let f = parse_func(src).unwrap();
+        let cfg = ChaitinConfig {
+            k: 3,
+            phys_base: 0,
+            spill_space: MemSpace::Sram,
+            spill_base: 0,
+        };
+        let r = allocate(&f, &cfg).unwrap();
+        assert!(r.spilled > 0);
+        r.func.validate().unwrap();
+    }
+
+    #[test]
+    fn fixed_partition_banks() {
+        let c0 = ChaitinConfig::fixed_partition(0);
+        let c2 = ChaitinConfig::fixed_partition(2);
+        assert_eq!(c0.phys_base, 0);
+        assert_eq!(c2.phys_base, 64);
+        assert_eq!(c0.k, 32);
+        assert_ne!(c0.spill_base, c2.spill_base);
+    }
+}

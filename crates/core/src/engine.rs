@@ -1,0 +1,432 @@
+//! The inter-thread register allocator (paper §6, Fig. 8) and the
+//! single-thread reduction drivers used by the evaluation.
+//!
+//! Starting from each thread's upper-bound estimate, the greedy loop
+//! repeatedly reduces the total demand `Σ PRᵢ + max SRᵢ` by one
+//! register, always taking the direction of smallest move-insertion
+//! cost:
+//!
+//! * reduce `PRᵢ` of one thread (direct gain of one register), or
+//! * reduce `SRᵢ` of **every** thread at the current maximum (gain of
+//!   one on the shared-register term).
+//!
+//! Each candidate's cost is evaluated by running the intra-thread
+//! allocator on a scratch copy — the encapsulation the paper's framework
+//! (Fig. 6) prescribes.
+
+use crate::alloc::ThreadAlloc;
+use crate::bounds::{estimate_bounds, Bounds};
+use crate::error::AllocError;
+use crate::livemap::LiveMap;
+use crate::rewrite::{rewrite_thread, Layout};
+use regbal_analysis::ProgramInfo;
+use regbal_ir::Func;
+use std::sync::Arc;
+
+/// Final allocation of one thread.
+#[derive(Debug, Clone)]
+pub struct ThreadResult {
+    /// The analysis bundle of the thread's program.
+    pub info: ProgramInfo,
+    /// The paper's §5 bounds for the thread.
+    pub bounds: Bounds,
+    /// The final intra-thread allocation state.
+    pub alloc: ThreadAlloc,
+}
+
+impl ThreadResult {
+    /// Private registers assigned (`PRᵢ`).
+    pub fn pr(&self) -> usize {
+        self.alloc.pr()
+    }
+
+    /// Shared registers needed (`SRᵢ`).
+    pub fn sr(&self) -> usize {
+        self.alloc.sr()
+    }
+
+    /// Move instructions the allocation inserts.
+    pub fn moves(&self) -> usize {
+        self.alloc.moves()
+    }
+}
+
+/// The result of [`allocate_threads`]: one [`ThreadResult`] per thread
+/// plus the machine-wide accounting.
+#[derive(Debug, Clone)]
+pub struct MultiAllocation {
+    /// Per-thread results, in input order.
+    pub threads: Vec<ThreadResult>,
+    /// Size of the register file allocated against.
+    pub nreg: usize,
+}
+
+impl MultiAllocation {
+    /// The number of globally shared registers (`SGR = max SRᵢ`).
+    pub fn sgr(&self) -> usize {
+        self.threads.iter().map(ThreadResult::sr).max().unwrap_or(0)
+    }
+
+    /// Total physical registers consumed: `Σ PRᵢ + SGR`.
+    pub fn total_registers(&self) -> usize {
+        self.threads.iter().map(ThreadResult::pr).sum::<usize>() + self.sgr()
+    }
+
+    /// The physical register layout: disjoint private banks per thread
+    /// followed by the shared bank.
+    pub fn layout(&self) -> Layout {
+        Layout::new(
+            &self
+                .threads
+                .iter()
+                .map(|t| (t.pr(), t.sr()))
+                .collect::<Vec<_>>(),
+            self.nreg,
+        )
+    }
+
+    /// Rewrites every thread's function to physical registers,
+    /// materialising the split-live-range moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `funcs` are not the functions the allocation was
+    /// computed from.
+    pub fn rewrite_funcs(&self, funcs: &[Func]) -> Vec<Func> {
+        assert_eq!(funcs.len(), self.threads.len(), "thread count mismatch");
+        let layout = self.layout();
+        funcs
+            .iter()
+            .zip(&self.threads)
+            .enumerate()
+            .map(|(i, (f, t))| rewrite_thread(f, &t.info, &t.alloc, &layout.color_map(i, &t.alloc)))
+            .collect()
+    }
+}
+
+/// Builds the initial (upper-bound) allocation state for one function.
+pub(crate) fn initial_thread(func: &Func) -> ThreadResult {
+    let info = ProgramInfo::compute(func);
+    let est = estimate_bounds(&info);
+    let live = Arc::new(LiveMap::compute(&info));
+    let alloc = ThreadAlloc::new(live, &est.coloring, est.bounds.max_pr, est.bounds.max_r);
+    ThreadResult {
+        info,
+        bounds: est.bounds,
+        alloc,
+    }
+}
+
+/// Allocates registers for `Nthd = funcs.len()` threads sharing `nreg`
+/// physical registers (asymmetric register allocation, paper Fig. 8).
+///
+/// # Errors
+///
+/// Returns [`AllocError::Infeasible`] when the demand cannot be reduced
+/// to fit: every thread is at its lower bound or stuck.
+pub fn allocate_threads(funcs: &[Func], nreg: usize) -> Result<MultiAllocation, AllocError> {
+    let mut threads: Vec<ThreadResult> = funcs.iter().map(initial_thread).collect();
+
+    let objective = |threads: &[ThreadResult]| -> usize {
+        threads.iter().map(ThreadResult::pr).sum::<usize>()
+            + threads.iter().map(ThreadResult::sr).max().unwrap_or(0)
+    };
+    loop {
+        let total = objective(&threads);
+        if total <= nreg {
+            break;
+        }
+
+        // Every candidate is evaluated on scratch copies; only steps
+        // that strictly reduce the demand are considered (a PR demotion
+        // that merely shifts the register into a new shared maximum
+        // gains nothing).
+        enum Step {
+            Private(usize, crate::alloc::ThreadAlloc),
+            SharedMax(Vec<(usize, crate::alloc::ThreadAlloc)>),
+        }
+        let mut best: Option<(Step, isize)> = None;
+
+        for (i, t) in threads.iter().enumerate() {
+            if t.pr() <= t.bounds.min_pr {
+                continue;
+            }
+            let mut trial = t.alloc.clone();
+            let Some(mut cost) = trial.reduce_private() else {
+                continue;
+            };
+            let new_total = |trial: &crate::alloc::ThreadAlloc| -> usize {
+                threads
+                    .iter()
+                    .enumerate()
+                    .map(|(j, u)| if j == i { trial.pr() } else { u.pr() })
+                    .sum::<usize>()
+                    + threads
+                        .iter()
+                        .enumerate()
+                        .map(|(j, u)| if j == i { trial.sr() } else { u.sr() })
+                        .max()
+                        .unwrap_or(0)
+            };
+            // A demotion can be objective-neutral when the demoted color
+            // pushes this thread's SR to a new maximum; chase it with a
+            // shared elimination on the same thread (a compound step).
+            while new_total(&trial) >= total
+                && trial.sr() > 0
+                && trial.pr() + trial.sr() > t.bounds.min_r
+            {
+                match trial.reduce_shared() {
+                    Some(c) => cost += c,
+                    None => break,
+                }
+            }
+            if new_total(&trial) >= total {
+                continue;
+            }
+            if best.as_ref().is_none_or(|&(_, c)| cost < c) {
+                best = Some((Step::Private(i, trial), cost));
+            }
+        }
+
+        // Candidate: reduce SR of every thread at the maximum.
+        let max_sr = threads.iter().map(ThreadResult::sr).max().unwrap_or(0);
+        if max_sr > 0 {
+            let holders: Vec<usize> = threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.sr() == max_sr)
+                .map(|(i, _)| i)
+                .collect();
+            if holders.iter().all(|&i| can_reduce_shared(&threads[i])) {
+                let mut cost = 0isize;
+                let mut trials = Vec::new();
+                let mut feasible = true;
+                for &i in &holders {
+                    let mut trial = threads[i].alloc.clone();
+                    match trial.reduce_shared() {
+                        Some(c) => {
+                            cost += c;
+                            trials.push((i, trial));
+                        }
+                        None => {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                }
+                if feasible && best.as_ref().is_none_or(|&(_, c)| cost < c) {
+                    best = Some((Step::SharedMax(trials), cost));
+                }
+            }
+        }
+
+        match best {
+            Some((Step::Private(i, trial), _)) => threads[i].alloc = trial,
+            Some((Step::SharedMax(trials), _)) => {
+                for (i, trial) in trials {
+                    threads[i].alloc = trial;
+                }
+            }
+            None => {
+                return Err(AllocError::Infeasible {
+                    needed: total,
+                    available: nreg,
+                });
+            }
+        }
+    }
+
+    let result = MultiAllocation {
+        threads,
+        nreg,
+    };
+    crate::verify::check_threads(
+        &result.threads.iter().map(|t| t.alloc.clone()).collect::<Vec<_>>(),
+        nreg,
+    )
+    .expect("allocator produced an invalid allocation");
+    Ok(result)
+}
+
+fn can_reduce_private(t: &ThreadResult) -> bool {
+    t.pr() > t.bounds.min_pr
+}
+
+fn can_reduce_shared(t: &ThreadResult) -> bool {
+    t.sr() > 0 && t.pr() + t.sr() > t.bounds.min_r
+}
+
+/// Reduces a single thread's registers as long as reductions are free
+/// (zero inserted moves), preferring private reductions. This is the
+/// stopping rule of the paper's Figure 14 evaluation: "the algorithm
+/// continues until the cost returned is non-zero".
+pub fn zero_cost_frontier(func: &Func) -> ThreadResult {
+    let mut t = initial_thread(func);
+    loop {
+        if can_reduce_private(&t) {
+            let mut trial = t.alloc.clone();
+            if let Some(delta) = trial.reduce_private() {
+                if delta <= 0 {
+                    t.alloc = trial;
+                    continue;
+                }
+            }
+        }
+        if can_reduce_shared(&t) {
+            let mut trial = t.alloc.clone();
+            if let Some(delta) = trial.reduce_shared() {
+                if delta <= 0 {
+                    t.alloc = trial;
+                    continue;
+                }
+            }
+        }
+        return t;
+    }
+}
+
+/// Forces a thread all the way down to its lower bounds
+/// (`PR = MinPR`, `R = MinR`), counting the moves this costs — the
+/// paper's Table 2 "extreme case".
+///
+/// # Errors
+///
+/// Returns [`AllocError::TargetUnreachable`] if a reduction step gets
+/// stuck before the bound (the residual is reported in the error).
+pub fn force_min_bounds(func: &Func) -> Result<ThreadResult, AllocError> {
+    let mut t = initial_thread(func);
+    // Demote private colors down to MinPR first (R is preserved: the
+    // demoted colors become shared), then eliminate shared colors down
+    // to MinR.
+    loop {
+        let pr_excess = t.pr() > t.bounds.min_pr;
+        let r_excess = t.pr() + t.sr() > t.bounds.min_r;
+        if !pr_excess && !r_excess {
+            break;
+        }
+        if pr_excess && t.alloc.reduce_private().is_some() {
+            continue;
+        }
+        if r_excess && t.sr() > 0 && t.alloc.reduce_shared().is_some() {
+            continue;
+        }
+        return Err(AllocError::TargetUnreachable {
+            thread: 0,
+            pr: t.pr(),
+            r: t.pr() + t.sr(),
+        });
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    fn hungry() -> Func {
+        parse_func(
+            "func h {\nbb0:\n v0 = mov 1\n v1 = mov 2\n v2 = mov 3\n ctx\n v3 = add v0, v1\n v3 = add v3, v2\n store scratch[v3+0], v3\n halt\n}",
+        )
+        .unwrap()
+    }
+
+    fn lean() -> Func {
+        parse_func(
+            "func l {\nbb0:\n v0 = mov 7\n ctx\n v1 = add v0, 1\n store scratch[v1+0], v1\n halt\n}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn allocates_within_budget_and_verifies() {
+        let funcs = vec![hungry(), lean()];
+        let alloc = allocate_threads(&funcs, 8).unwrap();
+        assert!(alloc.total_registers() <= 8);
+        assert_eq!(alloc.threads.len(), 2);
+        crate::verify::check_threads(
+            &alloc.threads.iter().map(|t| t.alloc.clone()).collect::<Vec<_>>(),
+            8,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn hungry_thread_gets_more_registers() {
+        let funcs = vec![hungry(), lean()];
+        let alloc = allocate_threads(&funcs, 12).unwrap();
+        let (h, l) = (&alloc.threads[0], &alloc.threads[1]);
+        assert!(h.pr() + h.sr() > l.pr() + l.sr());
+    }
+
+    #[test]
+    fn sgr_is_the_maximum_shared_count() {
+        let funcs = vec![hungry(), lean(), lean()];
+        let alloc = allocate_threads(&funcs, 16).unwrap();
+        let max_sr = alloc.threads.iter().map(ThreadResult::sr).max().unwrap();
+        assert_eq!(alloc.sgr(), max_sr);
+        let sum_pr: usize = alloc.threads.iter().map(ThreadResult::pr).sum();
+        assert_eq!(alloc.total_registers(), sum_pr + max_sr);
+    }
+
+    #[test]
+    fn layout_matches_allocation() {
+        let funcs = vec![hungry(), lean()];
+        let alloc = allocate_threads(&funcs, 10).unwrap();
+        let layout = alloc.layout();
+        assert_eq!(
+            layout.private_range(0).len(),
+            alloc.threads[0].pr(),
+        );
+        assert_eq!(layout.shared_range().len(), alloc.sgr());
+        // Banks are disjoint and within the file.
+        assert!(layout.shared_range().end as usize <= 10);
+    }
+
+    #[test]
+    fn infeasible_reports_residual_demand() {
+        let funcs = vec![hungry(), hungry(), hungry()];
+        match allocate_threads(&funcs, 6) {
+            Err(AllocError::Infeasible { needed, available }) => {
+                assert_eq!(available, 6);
+                assert!(needed > 6);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_cost_frontier_is_move_free_and_minimal_ish() {
+        let t = zero_cost_frontier(&hungry());
+        assert_eq!(t.moves(), 0);
+        assert!(t.pr() >= t.bounds.min_pr);
+        assert!(t.pr() + t.sr() >= t.bounds.min_r);
+    }
+
+    #[test]
+    fn force_min_reaches_the_bounds() {
+        let t = force_min_bounds(&hungry()).unwrap();
+        assert_eq!(t.pr(), t.bounds.min_pr);
+        assert_eq!(t.pr() + t.sr(), t.bounds.min_r);
+        crate::verify::check_thread(&t.alloc).unwrap();
+    }
+
+    #[test]
+    fn single_thread_gets_whole_file() {
+        let funcs = vec![lean()];
+        let alloc = allocate_threads(&funcs, 128).unwrap();
+        assert!(alloc.total_registers() <= 128);
+        assert_eq!(alloc.nreg, 128);
+        let rewritten = alloc.rewrite_funcs(&funcs);
+        assert_eq!(rewritten[0].num_vregs, 0);
+    }
+
+    #[test]
+    fn empty_program_allocates_trivially() {
+        let f = parse_func("func e {\nbb0:\n halt\n}").unwrap();
+        let alloc = allocate_threads(std::slice::from_ref(&f), 4).unwrap();
+        assert_eq!(alloc.total_registers(), 0);
+        let out = alloc.rewrite_funcs(&[f]);
+        assert_eq!(out[0].num_insts(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Allocator error type.
+
+use std::fmt;
+
+/// Failure of a register-allocation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The combined demand `Σ PRᵢ + max SRᵢ` cannot be reduced to fit
+    /// the register file: every remaining reduction step is blocked by
+    /// the per-thread lower bounds or by stuck recoloring.
+    Infeasible {
+        /// Registers still demanded when the allocator got stuck.
+        needed: usize,
+        /// Registers physically available.
+        available: usize,
+    },
+    /// A reduction toward an explicitly requested bound got stuck before
+    /// reaching it.
+    TargetUnreachable {
+        /// Thread index that could not be reduced further.
+        thread: usize,
+        /// Private registers reached.
+        pr: usize,
+        /// Total registers reached.
+        r: usize,
+    },
+    /// The Chaitin baseline could not converge (pathological spill
+    /// cascade).
+    SpillDiverged {
+        /// Number of spill rounds attempted.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Infeasible { needed, available } => write!(
+                f,
+                "register demand of {needed} cannot fit in {available} physical registers"
+            ),
+            AllocError::TargetUnreachable { thread, pr, r } => write!(
+                f,
+                "thread {thread} stuck at PR={pr}, R={r} before reaching the requested bound"
+            ),
+            AllocError::SpillDiverged { rounds } => {
+                write!(f, "spilling failed to converge after {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AllocError::Infeasible {
+            needed: 40,
+            available: 32,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("32"));
+        let e = AllocError::TargetUnreachable {
+            thread: 1,
+            pr: 3,
+            r: 5,
+        };
+        assert!(e.to_string().contains("PR=3"));
+        let e = AllocError::SpillDiverged { rounds: 9 };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,204 @@
+//! Hybrid allocation: balancing first, spilling only as a last resort.
+//!
+//! The paper's allocator reports failure when even maximal sharing and
+//! splitting cannot fit `Σ PRᵢ + max SRᵢ` into the register file. A
+//! production compiler must still emit code, so this module closes the
+//! loop the way the paper's cost model suggests: spill the *cheapest*
+//! live range of the *most demanding* thread (turning one register of
+//! pressure into a handful of memory operations), then retry the
+//! balancing allocator — the opposite priority of the stock compiler,
+//! which spills before it ever considers sharing.
+
+use crate::chaitin::insert_spill_code;
+use crate::engine::{allocate_threads, MultiAllocation};
+use crate::error::AllocError;
+use regbal_analysis::ProgramInfo;
+use regbal_igraph::build_gig;
+use regbal_ir::{Func, MemSpace, Reg, VReg};
+
+/// Result of [`allocate_threads_with_spill`].
+#[derive(Debug, Clone)]
+pub struct HybridAllocation {
+    /// The thread programs actually allocated — the inputs plus any
+    /// spill code (still over virtual registers).
+    pub funcs: Vec<Func>,
+    /// The balancing allocation of those programs.
+    pub alloc: MultiAllocation,
+    /// Number of live ranges spilled per thread.
+    pub spills: Vec<usize>,
+}
+
+impl HybridAllocation {
+    /// Rewrites every thread to physical registers.
+    pub fn rewrite(&self) -> Vec<Func> {
+        self.alloc.rewrite_funcs(&self.funcs)
+    }
+}
+
+/// Maximum spill rounds before giving up.
+const MAX_SPILL_ROUNDS: usize = 64;
+
+/// Memory space used for hybrid spill slots.
+const SPILL_SPACE: MemSpace = MemSpace::Sram;
+
+/// Base address of the hybrid spill area (per-thread areas are spaced
+/// a page apart).
+const SPILL_BASE: i64 = 0x7_8000;
+
+/// Allocates like [`allocate_threads`], but when the demand cannot be
+/// reduced to `nreg` by sharing and splitting alone, spills live ranges
+/// (cheapest first, from the thread with the highest residual demand)
+/// until it fits.
+///
+/// # Errors
+///
+/// Returns [`AllocError::SpillDiverged`] if the demand still does not
+/// fit after a bounded number of spill rounds.
+pub fn allocate_threads_with_spill(
+    funcs: &[Func],
+    nreg: usize,
+) -> Result<HybridAllocation, AllocError> {
+    let mut work: Vec<Func> = funcs.to_vec();
+    let mut spills = vec![0usize; funcs.len()];
+    let mut next_slot = vec![0i64; funcs.len()];
+    let mut already: Vec<Vec<bool>> = funcs
+        .iter()
+        .map(|f| vec![false; f.num_vregs as usize])
+        .collect();
+
+    for _round in 0..MAX_SPILL_ROUNDS {
+        match allocate_threads(&work, nreg) {
+            Ok(alloc) => {
+                return Ok(HybridAllocation {
+                    funcs: work,
+                    alloc,
+                    spills,
+                })
+            }
+            Err(AllocError::Infeasible { .. }) => {
+                let t = most_demanding_thread(&work);
+                let Some(v) = spill_candidate(&work[t], &already[t]) else {
+                    return Err(AllocError::SpillDiverged {
+                        rounds: spills.iter().sum(),
+                    });
+                };
+                let slot = SPILL_BASE + (t as i64) * 0x1000 + next_slot[t];
+                next_slot[t] += 4;
+                already[t][v.index()] = true;
+                insert_spill_code(&mut work[t], v, slot, SPILL_SPACE);
+                spills[t] += 1;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Err(AllocError::SpillDiverged {
+        rounds: spills.iter().sum(),
+    })
+}
+
+/// The thread whose register floor (`MinR`) is highest — the one whose
+/// pressure must come down for the machine-wide demand to shrink.
+fn most_demanding_thread(funcs: &[Func]) -> usize {
+    funcs
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, f)| ProgramInfo::compute(f).pressure.regp_max)
+        .map(|(i, _)| i)
+        .expect("at least one thread")
+}
+
+/// Chaitin's spill metric: fewest occurrences per interference degree,
+/// restricted to ranges that actually relieve pressure (degree > 0)
+/// and have not been spilled before (re-spilling a def→store stub
+/// cannot reduce pressure further).
+fn spill_candidate(func: &Func, already: &[bool]) -> Option<VReg> {
+    let info = ProgramInfo::compute(func);
+    let gig = build_gig(&info);
+    let nv = func.num_vregs as usize;
+    let mut occurrences = vec![0usize; nv];
+    let mut count = |r: Reg| {
+        if let Reg::Virt(v) = r {
+            occurrences[v.index()] += 1;
+        }
+    };
+    for (_, _, inst) in func.iter_insts() {
+        inst.defs().for_each(&mut count);
+        inst.uses().for_each(&mut count);
+    }
+    for (_, b) in func.iter_blocks() {
+        b.term.uses().for_each(&mut count);
+    }
+    (0..nv)
+        .filter(|&v| occurrences[v] > 0 && gig.degree(v) > 0)
+        // Only original ranges: spill temporaries (v >= already.len())
+        // and already-spilled ranges cannot relieve pressure further.
+        .filter(|&v| v < already.len() && !already[v])
+        .min_by(|&a, &b| {
+            let ca = occurrences[a] as f64 / gig.degree(a) as f64;
+            let cb = occurrences[b] as f64 / gig.degree(b) as f64;
+            ca.partial_cmp(&cb).expect("finite costs")
+        })
+        .map(|v| VReg(v as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    /// A function with five co-live values across a switch.
+    fn hot() -> Func {
+        parse_func(
+            "
+func hot {
+bb0:
+    v0 = mov 1
+    v1 = mov 2
+    v2 = mov 3
+    v3 = mov 4
+    v4 = mov 5
+    ctx
+    v5 = add v0, v1
+    v5 = add v5, v2
+    v5 = add v5, v3
+    v5 = add v5, v4
+    store scratch[v5+0], v5
+    halt
+}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn falls_back_to_spilling_when_sharing_cannot_fit() {
+        let funcs = vec![hot(), hot()];
+        // MinPR is 5 per thread: 2×5 > 8, so pure balancing must fail...
+        assert!(allocate_threads(&funcs, 8).is_err());
+        // ...but the hybrid fits by spilling.
+        let hybrid = allocate_threads_with_spill(&funcs, 8).unwrap();
+        assert!(hybrid.spills.iter().sum::<usize>() > 0);
+        assert!(hybrid.alloc.total_registers() <= 8);
+        let physical = hybrid.rewrite();
+        assert_eq!(physical.len(), 2);
+        for f in &physical {
+            f.validate().unwrap();
+            assert!(f.num_ctx_insts() > hot().num_ctx_insts(), "spill traffic");
+        }
+    }
+
+    #[test]
+    fn no_spills_when_sharing_suffices() {
+        let funcs = vec![hot(), hot()];
+        let hybrid = allocate_threads_with_spill(&funcs, 32).unwrap();
+        assert_eq!(hybrid.spills, vec![0, 0]);
+        assert_eq!(hybrid.funcs[0], hot(), "programs untouched");
+    }
+
+    #[test]
+    fn impossible_budget_still_errors() {
+        let funcs = vec![hot()];
+        // One register cannot hold a base address and a value at once.
+        let err = allocate_threads_with_spill(&funcs, 1).unwrap_err();
+        assert!(matches!(err, AllocError::SpillDiverged { .. }), "{err}");
+    }
+}

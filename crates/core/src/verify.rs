@@ -1,0 +1,260 @@
+//! Static verification of allocation safety invariants.
+//!
+//! These checks encode the safety argument of the paper: with them
+//! satisfied, no thread can ever observe another thread's write to a
+//! register it relies on across a context switch.
+
+use crate::alloc::ThreadAlloc;
+use regbal_ir::VReg;
+use std::fmt;
+
+/// A violated allocation invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A register's live half-points are not exactly partitioned by its
+    /// fragments.
+    BadPartition(VReg),
+    /// A fragment separates a fused `In/Out` pair (a move inside an
+    /// instruction, which cannot be materialised).
+    AtomSplit(VReg),
+    /// A fragment's boundary flag disagrees with its points.
+    BadBoundaryFlag(VReg),
+    /// A boundary fragment carries a non-private color.
+    SharedBoundary {
+        /// The offending register.
+        vreg: VReg,
+        /// The non-private color it carries.
+        color: u32,
+    },
+    /// A fragment's color is in neither palette.
+    UnknownColor {
+        /// The offending register.
+        vreg: VReg,
+        /// The unknown color.
+        color: u32,
+    },
+    /// The private and shared palettes overlap.
+    PaletteOverlap(u32),
+    /// Two co-live fragments of different registers share a color.
+    Interference {
+        /// First register.
+        a: VReg,
+        /// Second register.
+        b: VReg,
+        /// The shared color.
+        color: u32,
+    },
+    /// The combined multi-thread demand exceeds the register file.
+    OverCommitted {
+        /// `Σ PRᵢ + max SRᵢ`.
+        needed: usize,
+        /// Physical registers available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadPartition(v) => write!(f, "{v}: fragments do not partition live range"),
+            VerifyError::AtomSplit(v) => write!(f, "{v}: fragment splits an In/Out atom"),
+            VerifyError::BadBoundaryFlag(v) => write!(f, "{v}: stale boundary flag"),
+            VerifyError::SharedBoundary { vreg, color } =>
+
+                write!(f, "{vreg}: boundary fragment holds shared color {color}"),
+            VerifyError::UnknownColor { vreg, color } => {
+                write!(f, "{vreg}: color {color} not in any palette")
+            }
+            VerifyError::PaletteOverlap(c) => write!(f, "color {c} is both private and shared"),
+            VerifyError::Interference { a, b, color } => {
+                write!(f, "co-live {a} and {b} share color {color}")
+            }
+            VerifyError::OverCommitted { needed, available } => {
+                write!(f, "demand {needed} exceeds {available} registers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks every invariant of a single thread's allocation state.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn check_thread(alloc: &ThreadAlloc) -> Result<(), VerifyError> {
+    let live = alloc.live_map();
+    // Palettes disjoint.
+    for c in alloc.private_palette() {
+        if alloc.shared_palette().contains(c) {
+            return Err(VerifyError::PaletteOverlap(*c));
+        }
+    }
+
+    // Per-register partition, atom closure, flags, palette membership.
+    for vi in 0..live.num_vregs() {
+        let v = VReg(vi as u32);
+        let mut covered = regbal_ir::BitSet::new(live.num_halves());
+        let frags: Vec<_> = alloc
+            .node_ids()
+            .filter(|&id| alloc.node_vreg(id) == v)
+            .collect();
+        for &id in &frags {
+            let pts = alloc.node_points(id);
+            if pts.intersects(&covered) {
+                return Err(VerifyError::BadPartition(v));
+            }
+            covered.union_with(pts);
+            if !live.is_atom_closed(v, pts) {
+                return Err(VerifyError::AtomSplit(v));
+            }
+            let is_boundary = pts.intersects(live.boundary_halves(v));
+            if is_boundary != alloc.node_is_boundary(id) {
+                return Err(VerifyError::BadBoundaryFlag(v));
+            }
+            let color = alloc.node_color(id);
+            let private = alloc.private_palette().contains(&color);
+            let shared = alloc.shared_palette().contains(&color);
+            if !private && !shared {
+                return Err(VerifyError::UnknownColor { vreg: v, color });
+            }
+            if is_boundary && !private {
+                return Err(VerifyError::SharedBoundary { vreg: v, color });
+            }
+        }
+        if &covered != live.live(v) {
+            return Err(VerifyError::BadPartition(v));
+        }
+    }
+
+    // Same-color fragments of different registers never overlap.
+    let ids: Vec<_> = alloc.node_ids().collect();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if alloc.node_vreg(a) == alloc.node_vreg(b) {
+                continue;
+            }
+            if alloc.node_color(a) == alloc.node_color(b)
+                && alloc.node_points(a).intersects(alloc.node_points(b))
+            {
+                return Err(VerifyError::Interference {
+                    a: alloc.node_vreg(a),
+                    b: alloc.node_vreg(b),
+                    color: alloc.node_color(a),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the cross-thread feasibility condition of paper §2:
+/// `Σ PRᵢ + max SRᵢ ≤ Nreg`, plus every per-thread invariant.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn check_threads(threads: &[ThreadAlloc], nreg: usize) -> Result<(), VerifyError> {
+    for t in threads {
+        check_thread(t)?;
+    }
+    let needed: usize = threads.iter().map(ThreadAlloc::pr).sum::<usize>()
+        + threads.iter().map(ThreadAlloc::sr).max().unwrap_or(0);
+    if needed > nreg {
+        return Err(VerifyError::OverCommitted {
+            needed,
+            available: nreg,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::livemap::LiveMap;
+    use regbal_analysis::ProgramInfo;
+    use regbal_ir::parse_func;
+    use std::sync::Arc;
+
+    fn alloc_for(src: &str, colors: &[Option<u32>], pr: usize, r: usize) -> ThreadAlloc {
+        let f = parse_func(src).unwrap();
+        let info = ProgramInfo::compute(&f);
+        let live = Arc::new(LiveMap::compute(&info));
+        ThreadAlloc::new(live, colors, pr, r)
+    }
+
+    #[test]
+    fn clean_allocation_passes() {
+        let a = alloc_for(
+            "func f {\nbb0:\n v0 = mov 1\n ctx\n v1 = add v0, 1\n store scratch[v1+0], v0\n halt\n}",
+            &[Some(0), Some(1)],
+            1,
+            2,
+        );
+        assert_eq!(check_thread(&a), Ok(()));
+        assert_eq!(check_threads(&[a.clone(), a], 4), Ok(()));
+    }
+
+    #[test]
+    fn overcommit_detected() {
+        let a = alloc_for(
+            "func f {\nbb0:\n v0 = mov 1\n ctx\n store scratch[v0+0], v0\n halt\n}",
+            &[Some(0)],
+            1,
+            1,
+        );
+        let threads = vec![a.clone(), a.clone(), a];
+        match check_threads(&threads, 2) {
+            Err(VerifyError::OverCommitted { needed, available }) => {
+                assert_eq!(needed, 3);
+                assert_eq!(available, 2);
+            }
+            other => panic!("expected overcommit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        use regbal_ir::VReg;
+        let cases: Vec<(VerifyError, &str)> = vec![
+            (VerifyError::BadPartition(VReg(1)), "partition"),
+            (VerifyError::AtomSplit(VReg(2)), "atom"),
+            (VerifyError::BadBoundaryFlag(VReg(3)), "boundary"),
+            (
+                VerifyError::SharedBoundary {
+                    vreg: VReg(4),
+                    color: 7,
+                },
+                "shared color 7",
+            ),
+            (
+                VerifyError::UnknownColor {
+                    vreg: VReg(5),
+                    color: 9,
+                },
+                "color 9",
+            ),
+            (VerifyError::PaletteOverlap(3), "both"),
+            (
+                VerifyError::Interference {
+                    a: VReg(0),
+                    b: VReg(1),
+                    color: 2,
+                },
+                "share color 2",
+            ),
+            (
+                VerifyError::OverCommitted {
+                    needed: 9,
+                    available: 8,
+                },
+                "exceeds",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

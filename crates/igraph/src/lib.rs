@@ -1,0 +1,43 @@
+//! Interference graphs and coloring for the `regbal` allocator.
+//!
+//! Implements the three graphs of paper §3.2:
+//!
+//! * **GIG** (global interference graph): all live ranges, an edge
+//!   whenever two ranges are co-live at some program point
+//!   ([`build_gig`]);
+//! * **BIG** (boundary interference graph): boundary nodes only, an edge
+//!   only when two nodes are live across the *same* CSB
+//!   ([`build_big`]);
+//! * **IIG** (internal interference graph, one per non-switch region):
+//!   the internal nodes of that region with their interference edges
+//!   ([`build_iigs`]);
+//!
+//! plus the coloring machinery used by the bound estimation and the
+//! allocators: greedy sequential coloring and DSATUR ([`Graph::dsatur`]).
+//!
+//! # Example
+//!
+//! ```
+//! use regbal_ir::parse_func;
+//! use regbal_analysis::ProgramInfo;
+//! use regbal_igraph::build_gig;
+//!
+//! let f = parse_func(
+//!     "func f {\nbb0:\n v0 = mov 1\n v1 = mov 2\n v2 = add v0, v1\n store scratch[v2+0], v2\n halt\n}",
+//! )?;
+//! let info = ProgramInfo::compute(&f);
+//! let gig = build_gig(&info);
+//! assert!(gig.has_edge(0, 1)); // v0 and v1 are co-live
+//! let coloring = gig.dsatur(None);
+//! assert!(gig.check_coloring(&coloring.colors).is_ok());
+//! # Ok::<(), regbal_ir::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod graph;
+
+pub use build::{build_big, build_gig, build_iigs, Iig};
+pub use graph::{Coloring, Graph};

@@ -1,0 +1,189 @@
+//! Basic blocks and terminators.
+
+use crate::inst::{Cond, Inst};
+use crate::reg::{Operand, Reg};
+use std::fmt;
+
+/// Identifier of a basic block within a [`crate::Func`] (a dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The dense index of the block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// The control-transfer instruction ending a basic block.
+///
+/// Terminators are real one-cycle instructions (they count toward code
+/// size) but are never context-switch boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch: go to `taken` if `cond(lhs, rhs)`
+    /// holds, otherwise to `fallthrough`.
+    Branch {
+        /// Comparison predicate.
+        cond: Cond,
+        /// Left comparison source.
+        lhs: Reg,
+        /// Right comparison source.
+        rhs: Operand,
+        /// Successor when the condition holds.
+        taken: BlockId,
+        /// Successor when the condition fails.
+        fallthrough: BlockId,
+    },
+    /// Stop the thread (end of the program).
+    Halt,
+}
+
+impl Terminator {
+    /// The registers read by the terminator (at most two).
+    pub fn uses(&self) -> impl Iterator<Item = Reg> + '_ {
+        let pair: [Option<Reg>; 2] = match *self {
+            Terminator::Branch { lhs, rhs, .. } => [Some(lhs), rhs.reg()],
+            Terminator::Jump(_) | Terminator::Halt => [None, None],
+        };
+        pair.into_iter().flatten()
+    }
+
+    /// The successor blocks, in (taken, fallthrough) order for branches.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let pair: [Option<BlockId>; 2] = match *self {
+            Terminator::Jump(t) => [Some(t), None],
+            Terminator::Branch {
+                taken, fallthrough, ..
+            } => [Some(taken), Some(fallthrough)],
+            Terminator::Halt => [None, None],
+        };
+        pair.into_iter().flatten()
+    }
+
+    /// Rewrites every use register through `f`.
+    pub fn map_uses(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        if let Terminator::Branch { lhs, rhs, .. } = self {
+            *lhs = f(*lhs);
+            if let Operand::Reg(r) = rhs {
+                *r = f(*r);
+            }
+        }
+    }
+
+    /// Redirects every successor edge through `f`.
+    pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(t) => *t = f(*t),
+            Terminator::Branch {
+                taken, fallthrough, ..
+            } => {
+                *taken = f(*taken);
+                *fallthrough = f(*fallthrough);
+            }
+            Terminator::Halt => {}
+        }
+    }
+}
+
+/// A basic block: straight-line instructions followed by a terminator.
+///
+/// Context-switch instructions may appear anywhere in `insts`; the NSR
+/// construction of `regbal-analysis` splits blocks at those points
+/// *logically* (at program-point granularity) without mutating the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Straight-line body instructions.
+    pub insts: Vec<Inst>,
+    /// The control transfer ending the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates a block with the given body and terminator.
+    pub fn new(insts: Vec<Inst>, term: Terminator) -> Self {
+        Block { insts, term }
+    }
+
+    /// Number of instructions including the terminator.
+    pub fn len(&self) -> usize {
+        self.insts.len() + 1
+    }
+
+    /// Always `false`: a block at minimum contains its terminator.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::VReg;
+
+    fn v(i: u32) -> Reg {
+        Reg::Virt(VReg(i))
+    }
+
+    #[test]
+    fn successors() {
+        let t = Terminator::Jump(BlockId(3));
+        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(3)]);
+        let t = Terminator::Branch {
+            cond: Cond::Eq,
+            lhs: v(0),
+            rhs: Operand::Imm(0),
+            taken: BlockId(1),
+            fallthrough: BlockId(2),
+        };
+        assert_eq!(
+            t.successors().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(2)]
+        );
+        assert_eq!(Terminator::Halt.successors().count(), 0);
+    }
+
+    #[test]
+    fn terminator_uses() {
+        let t = Terminator::Branch {
+            cond: Cond::Ne,
+            lhs: v(4),
+            rhs: Operand::Reg(v(5)),
+            taken: BlockId(0),
+            fallthrough: BlockId(1),
+        };
+        assert_eq!(t.uses().collect::<Vec<_>>(), vec![v(4), v(5)]);
+        assert_eq!(Terminator::Halt.uses().count(), 0);
+    }
+
+    #[test]
+    fn map_successors_redirects() {
+        let mut t = Terminator::Branch {
+            cond: Cond::Eq,
+            lhs: v(0),
+            rhs: Operand::Imm(1),
+            taken: BlockId(1),
+            fallthrough: BlockId(2),
+        };
+        t.map_successors(|b| BlockId(b.0 + 10));
+        assert_eq!(
+            t.successors().collect::<Vec<_>>(),
+            vec![BlockId(11), BlockId(12)]
+        );
+    }
+
+    #[test]
+    fn block_len_counts_terminator() {
+        let b = Block::new(vec![Inst::Nop, Inst::Ctx], Terminator::Halt);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,463 @@
+//! Convenient programmatic construction of [`Func`]s.
+
+use crate::block::{Block, BlockId, Terminator};
+use crate::func::{Func, ValidateError};
+use crate::inst::{BinOp, Cond, Inst, MemSpace, UnOp};
+use crate::reg::{Operand, Reg, VReg};
+use std::fmt;
+
+/// Incrementally builds a [`Func`] over virtual registers.
+///
+/// The builder keeps a *current block*; instruction-emitting methods
+/// append to it, and terminator methods ([`jump`](Self::jump),
+/// [`branch`](Self::branch), [`halt`](Self::halt)) close it. Every block
+/// must be closed exactly once before [`build`](Self::build).
+///
+/// # Example
+///
+/// ```
+/// use regbal_ir::{FuncBuilder, Cond, Operand};
+///
+/// let mut b = FuncBuilder::new("count_down");
+/// let entry = b.entry_block();
+/// let body = b.new_block();
+/// let exit = b.new_block();
+///
+/// b.switch_to(entry);
+/// let n = b.imm(10);
+/// b.jump(body);
+///
+/// b.switch_to(body);
+/// b.sub_to(n, n, Operand::Imm(1));
+/// b.branch(Cond::Ne, n, Operand::Imm(0), body, exit);
+///
+/// b.switch_to(exit);
+/// b.halt();
+///
+/// let func = b.build()?;
+/// assert_eq!(func.num_blocks(), 3);
+/// # Ok::<(), regbal_ir::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuncBuilder {
+    name: String,
+    blocks: Vec<(Vec<Inst>, Option<Terminator>)>,
+    current: BlockId,
+    next_vreg: u32,
+}
+
+/// Error returned by [`FuncBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A block was never closed with a terminator.
+    Unterminated(BlockId),
+    /// The assembled function failed [`Func::validate`].
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Unterminated(b) => write!(f, "block {b} has no terminator"),
+            BuildError::Invalid(e) => write!(f, "invalid function: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl FuncBuilder {
+    /// Creates a builder with a fresh entry block, which is also the
+    /// initial current block.
+    pub fn new(name: impl Into<String>) -> Self {
+        FuncBuilder {
+            name: name.into(),
+            blocks: vec![(Vec::new(), None)],
+            current: BlockId(0),
+            next_vreg: 0,
+        }
+    }
+
+    /// The entry block created by [`new`](Self::new).
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Creates a new, empty, unterminated block.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push((Vec::new(), None));
+        id
+    }
+
+    /// Makes `block` the current block for subsequent emissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` does not exist or is already terminated.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(block.index() < self.blocks.len(), "unknown block {block}");
+        assert!(
+            self.blocks[block.index()].1.is_none(),
+            "block {block} is already terminated"
+        );
+        self.current = block;
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn vreg(&mut self) -> VReg {
+        let v = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    /// Appends a raw instruction to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn emit(&mut self, inst: Inst) {
+        let (insts, term) = &mut self.blocks[self.current.index()];
+        assert!(term.is_none(), "current block is already terminated");
+        insts.push(inst);
+    }
+
+    /// `dst = op(lhs, rhs)` into an existing register.
+    pub fn bin_to(&mut self, op: BinOp, dst: VReg, lhs: VReg, rhs: impl Into<Operand>) {
+        self.emit(Inst::Bin {
+            op,
+            dst: Reg::Virt(dst),
+            lhs: Reg::Virt(lhs),
+            rhs: rhs.into(),
+        });
+    }
+
+    /// `fresh = op(lhs, rhs)`; returns the fresh register.
+    pub fn bin(&mut self, op: BinOp, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        let dst = self.vreg();
+        self.bin_to(op, dst, lhs, rhs);
+        dst
+    }
+
+    /// `dst = op(src)` into an existing register.
+    pub fn un_to(&mut self, op: UnOp, dst: VReg, src: impl Into<Operand>) {
+        self.emit(Inst::Un {
+            op,
+            dst: Reg::Virt(dst),
+            src: src.into(),
+        });
+    }
+
+    /// `fresh = op(src)`; returns the fresh register.
+    pub fn un(&mut self, op: UnOp, src: impl Into<Operand>) -> VReg {
+        let dst = self.vreg();
+        self.un_to(op, dst, src);
+        dst
+    }
+
+    /// Loads an immediate into a fresh register.
+    pub fn imm(&mut self, value: i64) -> VReg {
+        self.un(UnOp::Mov, Operand::Imm(value))
+    }
+
+    /// Copies `src` into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> VReg {
+        self.un(UnOp::Mov, src)
+    }
+
+    /// Copies `src` into an existing register.
+    pub fn mov_to(&mut self, dst: VReg, src: impl Into<Operand>) {
+        self.un_to(UnOp::Mov, dst, src);
+    }
+
+    /// `fresh = space[base + offset]`; a context-switching memory read.
+    pub fn load(&mut self, space: MemSpace, base: VReg, offset: i64) -> VReg {
+        let dst = self.vreg();
+        self.load_to(dst, space, base, offset);
+        dst
+    }
+
+    /// `dst = space[base + offset]` into an existing register.
+    pub fn load_to(&mut self, dst: VReg, space: MemSpace, base: VReg, offset: i64) {
+        self.emit(Inst::Load {
+            dst: Reg::Virt(dst),
+            base: Reg::Virt(base),
+            offset,
+            space,
+        });
+    }
+
+    /// `space[base + offset] = src`; a context-switching memory write.
+    pub fn store(&mut self, space: MemSpace, base: VReg, offset: i64, src: VReg) {
+        self.emit(Inst::Store {
+            src: Reg::Virt(src),
+            base: Reg::Virt(base),
+            offset,
+            space,
+        });
+    }
+
+    /// Burst read of `n` consecutive words into fresh registers — one
+    /// context switch for the whole burst (IXP transfer-register read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds [`crate::MAX_BURST`].
+    pub fn load_burst(&mut self, space: MemSpace, base: VReg, offset: i64, n: usize) -> Vec<VReg> {
+        assert!((1..=crate::inst::MAX_BURST).contains(&n), "burst of {n} words");
+        let dsts: Vec<VReg> = (0..n).map(|_| self.vreg()).collect();
+        self.emit(Inst::LoadBurst {
+            dsts: dsts.iter().map(|&v| Reg::Virt(v)).collect(),
+            base: Reg::Virt(base),
+            offset,
+            space,
+        });
+        dsts
+    }
+
+    /// Burst write of consecutive words — one context switch for the
+    /// whole burst (IXP transfer-register write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `srcs` is empty or exceeds [`crate::MAX_BURST`].
+    pub fn store_burst(&mut self, space: MemSpace, base: VReg, offset: i64, srcs: &[VReg]) {
+        assert!(
+            !srcs.is_empty() && srcs.len() <= crate::inst::MAX_BURST,
+            "burst of {} words",
+            srcs.len()
+        );
+        self.emit(Inst::StoreBurst {
+            srcs: srcs.iter().map(|&v| Reg::Virt(v)).collect(),
+            base: Reg::Virt(base),
+            offset,
+            space,
+        });
+    }
+
+    /// Emits a voluntary context switch.
+    pub fn ctx(&mut self) {
+        self.emit(Inst::Ctx);
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+
+    /// Emits the end-of-iteration marker used for cycle statistics.
+    pub fn iter_end(&mut self) {
+        self.emit(Inst::IterEnd);
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn branch(
+        &mut self,
+        cond: Cond,
+        lhs: VReg,
+        rhs: impl Into<Operand>,
+        taken: BlockId,
+        fallthrough: BlockId,
+    ) {
+        self.terminate(Terminator::Branch {
+            cond,
+            lhs: Reg::Virt(lhs),
+            rhs: rhs.into(),
+            taken,
+            fallthrough,
+        });
+    }
+
+    /// Terminates the current block by halting the thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn halt(&mut self) {
+        self.terminate(Terminator::Halt);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let slot = &mut self.blocks[self.current.index()].1;
+        assert!(slot.is_none(), "current block is already terminated");
+        *slot = Some(term);
+    }
+
+    /// Convenience shorthands for the common ALU helpers.
+    ///
+    /// Each returns a fresh destination register.
+    pub fn add(&mut self, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `fresh = lhs - rhs`.
+    pub fn sub(&mut self, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `fresh = lhs * rhs`.
+    pub fn mul(&mut self, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// `fresh = lhs & rhs`.
+    pub fn and(&mut self, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::And, lhs, rhs)
+    }
+
+    /// `fresh = lhs | rhs`.
+    pub fn or(&mut self, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Or, lhs, rhs)
+    }
+
+    /// `fresh = lhs ^ rhs`.
+    pub fn xor(&mut self, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Xor, lhs, rhs)
+    }
+
+    /// `fresh = lhs << rhs`.
+    pub fn shl(&mut self, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Shl, lhs, rhs)
+    }
+
+    /// `fresh = lhs >> rhs` (logical).
+    pub fn shr(&mut self, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Shr, lhs, rhs)
+    }
+
+    /// `dst = lhs + rhs` into an existing register.
+    pub fn add_to(&mut self, dst: VReg, lhs: VReg, rhs: impl Into<Operand>) {
+        self.bin_to(BinOp::Add, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs - rhs` into an existing register.
+    pub fn sub_to(&mut self, dst: VReg, lhs: VReg, rhs: impl Into<Operand>) {
+        self.bin_to(BinOp::Sub, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs ^ rhs` into an existing register.
+    pub fn xor_to(&mut self, dst: VReg, lhs: VReg, rhs: impl Into<Operand>) {
+        self.bin_to(BinOp::Xor, dst, lhs, rhs);
+    }
+
+    /// Number of virtual registers allocated so far.
+    pub fn num_vregs(&self) -> u32 {
+        self.next_vreg
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Unterminated`] if any block was never
+    /// closed, or [`BuildError::Invalid`] if the assembled function
+    /// fails validation.
+    pub fn build(self) -> Result<Func, BuildError> {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, (insts, term)) in self.blocks.into_iter().enumerate() {
+            let term = term.ok_or(BuildError::Unterminated(BlockId(i as u32)))?;
+            blocks.push(Block::new(insts, term));
+        }
+        let func = Func::new(self.name, blocks, BlockId(0), self.next_vreg);
+        func.validate().map_err(BuildError::Invalid)?;
+        Ok(func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.imm(1);
+        let y = b.add(x, Operand::Imm(2));
+        b.store(MemSpace::Scratch, y, 0, x);
+        b.halt();
+        let f = b.build().unwrap();
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_insts(), 4);
+        assert_eq!(f.num_vregs, 2);
+        assert_eq!(f.num_ctx_insts(), 1);
+    }
+
+    #[test]
+    fn loop_with_carried_register() {
+        let mut b = FuncBuilder::new("loop");
+        let body = b.new_block();
+        let exit = b.new_block();
+        let n = b.imm(3);
+        b.jump(body);
+        b.switch_to(body);
+        b.sub_to(n, n, Operand::Imm(1));
+        b.branch(Cond::Ne, n, Operand::Imm(0), body, exit);
+        b.switch_to(exit);
+        b.halt();
+        let f = b.build().unwrap();
+        assert_eq!(f.num_blocks(), 3);
+        let preds = f.predecessors();
+        assert_eq!(preds[body.index()].len(), 2);
+    }
+
+    #[test]
+    fn build_rejects_unterminated() {
+        let mut b = FuncBuilder::new("t");
+        b.nop();
+        let dangling = b.new_block();
+        b.halt();
+        assert_eq!(b.build(), Err(BuildError::Unterminated(dangling)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn emit_after_terminator_panics() {
+        let mut b = FuncBuilder::new("t");
+        b.halt();
+        b.nop();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn switch_to_terminated_panics() {
+        let mut b = FuncBuilder::new("t");
+        let e = b.entry_block();
+        b.halt();
+        b.switch_to(e);
+    }
+
+    #[test]
+    fn helpers_cover_all_ops() {
+        let mut b = FuncBuilder::new("ops");
+        let x = b.imm(5);
+        let a = b.add(x, 1i64);
+        let s = b.sub(a, 1i64);
+        let m = b.mul(s, 2i64);
+        let n = b.and(m, 0xffi64);
+        let o = b.or(n, 1i64);
+        let p = b.xor(o, x);
+        let q = b.shl(p, 3i64);
+        let r = b.shr(q, 1i64);
+        let t = b.mov(r);
+        b.mov_to(x, t);
+        b.ctx();
+        b.iter_end();
+        b.halt();
+        let f = b.build().unwrap();
+        assert_eq!(f.num_vregs, 10);
+        f.validate().unwrap();
+    }
+}

@@ -1,0 +1,75 @@
+//! Graphviz DOT rendering of control-flow graphs.
+
+use crate::func::Func;
+
+impl Func {
+    /// Renders the CFG in Graphviz DOT syntax: one record node per
+    /// basic block (instructions listed inside), edges for control
+    /// flow. Pipe through `dot -Tsvg` to visualise.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let f = regbal_ir::parse_func("func f {\nbb0:\n nop\n halt\n}")?;
+    /// let dot = f.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// # Ok::<(), regbal_ir::ParseError>(())
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{}\" {{\n", self.name));
+        out.push_str("  node [shape=box, fontname=\"monospace\"];\n");
+        for (id, block) in self.iter_blocks() {
+            let mut label = format!("{id}:\\l");
+            for inst in &block.insts {
+                label.push_str(&escape(&inst.to_string()));
+                label.push_str("\\l");
+            }
+            label.push_str(&escape(&block.term.to_string()));
+            label.push_str("\\l");
+            let style = if id == self.entry {
+                ", style=bold"
+            } else {
+                ""
+            };
+            out.push_str(&format!("  {id} [label=\"{label}\"{style}];\n"));
+            for succ in block.term.successors() {
+                out.push_str(&format!("  {id} -> {succ};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_func;
+
+    #[test]
+    fn dot_contains_blocks_and_edges() {
+        let f = parse_func(
+            "func d {\nbb0:\n v0 = mov 1\n beq v0, 0, bb1, bb2\nbb1:\n jump bb2\nbb2:\n halt\n}",
+        )
+        .unwrap();
+        let dot = f.to_dot();
+        assert!(dot.starts_with("digraph \"d\""));
+        assert!(dot.contains("bb0 -> bb1;"));
+        assert!(dot.contains("bb0 -> bb2;"));
+        assert!(dot.contains("bb1 -> bb2;"));
+        assert!(dot.contains("v0 = mov 1"));
+        assert!(dot.contains("style=bold"), "entry highlighted");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        // No instruction prints quotes today, but the escaper must be
+        // robust anyway.
+        assert_eq!(super::escape(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+}

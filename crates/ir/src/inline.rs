@@ -1,0 +1,334 @@
+//! Subroutine inlining: expanding `call` instructions before analysis.
+//!
+//! Micro-engine subroutines share the caller's register namespace
+//! (arguments and results are simply left in agreed registers), so
+//! inlining splices the callee's blocks into the caller **without**
+//! renaming registers: a `call` becomes a jump into a fresh copy of the
+//! callee, and every callee `halt` becomes a jump back to the
+//! continuation. This is how the paper's analyses extend
+//! inter-procedurally ("CFGs and NSRs of different functions are
+//! connected with edges linking function calls and return points",
+//! §3.2).
+
+use crate::block::{Block, BlockId, Terminator};
+use crate::func::Func;
+use crate::inst::Inst;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Failure of [`inline_module`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineError {
+    /// The requested entry function does not exist in the module.
+    NoSuchEntry(String),
+    /// A `call` targets a function that is not in the module.
+    UnknownCallee {
+        /// The function containing the call.
+        caller: String,
+        /// The missing callee.
+        callee: String,
+    },
+    /// The call graph contains a cycle (microcode has no stack, so
+    /// recursion cannot be expressed).
+    Recursion(String),
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::NoSuchEntry(name) => write!(f, "no function `{name}` in module"),
+            InlineError::UnknownCallee { caller, callee } => {
+                write!(f, "`{caller}` calls unknown function `{callee}`")
+            }
+            InlineError::Recursion(name) => {
+                write!(f, "recursive call involving `{name}` cannot be inlined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InlineError {}
+
+/// Expands every `call` reachable from `entry`, producing a single
+/// call-free function. Registers are **not** renamed (subroutines share
+/// the caller's register space); block ids are renumbered.
+///
+/// # Errors
+///
+/// Returns [`InlineError`] for a missing entry, an unknown callee, or
+/// recursion.
+///
+/// # Example
+///
+/// ```
+/// use regbal_ir::{inline_module, parse_module};
+///
+/// let module = parse_module(
+///     "func main {\nbb0:\n v0 = mov 1\n call inc\n halt\n}\nfunc inc {\nbb0:\n v0 = add v0, 1\n halt\n}",
+/// )?;
+/// let flat = inline_module(&module, "main")?;
+/// assert!(flat.iter_insts().all(|(_, _, i)| !i.is_call()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn inline_module(module: &[Func], entry: &str) -> Result<Func, InlineError> {
+    let by_name: HashMap<&str, &Func> = module.iter().map(|f| (f.name.as_str(), f)).collect();
+    let root = by_name
+        .get(entry)
+        .copied()
+        .ok_or_else(|| InlineError::NoSuchEntry(entry.to_string()))?;
+    let mut stack = vec![entry.to_string()];
+    let mut out = inline_func(root, &by_name, &mut stack)?;
+    out.name = entry.to_string();
+    out.num_vregs = out.max_vreg().map_or(0, |m| m + 1);
+    debug_assert!(out.validate().is_ok());
+    Ok(out)
+}
+
+/// Recursively inlines all calls in `func`. `stack` holds the active
+/// call chain for recursion detection.
+fn inline_func(
+    func: &Func,
+    by_name: &HashMap<&str, &Func>,
+    stack: &mut Vec<String>,
+) -> Result<Func, InlineError> {
+    let mut blocks: Vec<Block> = Vec::new();
+
+    // Copy the caller's blocks first so ids are stable; calls split
+    // their containing block and splice a fresh callee copy behind the
+    // current end of the block list.
+    for block in &func.blocks {
+        blocks.push(block.clone());
+    }
+
+    // Process until no block contains a call. Splicing appends blocks,
+    // so iterate by index.
+    let mut bi = 0;
+    while bi < blocks.len() {
+        let call_at = blocks[bi]
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::Call { .. }));
+        let Some(idx) = call_at else {
+            bi += 1;
+            continue;
+        };
+        let Inst::Call { callee } = blocks[bi].insts[idx].clone() else {
+            unreachable!("position matched a call");
+        };
+        let callee_func = by_name.get(callee.as_str()).copied().ok_or_else(|| {
+            InlineError::UnknownCallee {
+                caller: func.name.clone(),
+                callee: callee.clone(),
+            }
+        })?;
+        if stack.contains(&callee) {
+            return Err(InlineError::Recursion(callee));
+        }
+        stack.push(callee.clone());
+        let body = inline_func(callee_func, by_name, stack)?;
+        stack.pop();
+
+        // Split the calling block: [pre | call | post].
+        let post_insts: Vec<Inst> = blocks[bi].insts.split_off(idx + 1);
+        blocks[bi].insts.pop(); // the call itself
+
+        let base = blocks.len() as u32;
+        let cont_id = BlockId(base + body.blocks.len() as u32);
+
+        // Splice the callee copy with shifted ids; returns (`halt`)
+        // become jumps to the continuation.
+        for cb in &body.blocks {
+            let mut nb = cb.clone();
+            nb.term.map_successors(|b| BlockId(b.0 + base));
+            if nb.term == Terminator::Halt {
+                nb.term = Terminator::Jump(cont_id);
+            }
+            blocks.push(nb);
+        }
+        // Continuation block carries the caller's tail.
+        let old_term = std::mem::replace(
+            &mut blocks[bi].term,
+            Terminator::Jump(BlockId(base + body.entry.0)),
+        );
+        blocks.push(Block::new(post_insts, old_term));
+        // Re-scan the same block (its tail moved away, no calls left
+        // before idx) and continue.
+        bi += 1;
+    }
+
+    Ok(Func::new(
+        func.name.clone(),
+        blocks,
+        func.entry,
+        func.num_vregs,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn inline(src: &str, entry: &str) -> Result<Func, InlineError> {
+        inline_module(&parse_module(src).unwrap(), entry)
+    }
+
+    #[test]
+    fn simple_subroutine() {
+        let src = "
+func main {
+bb0:
+    v0 = mov 5
+    call double
+    store scratch[v0+0], v1
+    halt
+}
+func double {
+bb0:
+    v1 = add v0, v0
+    halt
+}";
+        let f = inline(src, "main").unwrap();
+        f.validate().unwrap();
+        assert!(
+            f.iter_insts().all(|(_, _, i)| !i.is_call()),
+            "calls fully expanded"
+        );
+        // Shared namespace: the callee's v1 is the caller's v1.
+        assert_eq!(f.num_vregs, 2);
+        // main's 3 original instructions + callee body + 2 jumps.
+        assert!(f.num_insts() >= 6);
+    }
+
+    #[test]
+    fn nested_subroutines() {
+        let src = "
+func a {
+bb0:
+    v0 = mov 1
+    call b
+    store scratch[v0+0], v2
+    halt
+}
+func b {
+bb0:
+    v1 = add v0, 1
+    call c
+    halt
+}
+func c {
+bb0:
+    v2 = add v1, 1
+    halt
+}";
+        let f = inline(src, "a").unwrap();
+        f.validate().unwrap();
+        assert!(f.iter_insts().all(|(_, _, i)| !i.is_call()));
+        assert_eq!(f.num_vregs, 3);
+    }
+
+    #[test]
+    fn two_call_sites_get_separate_copies() {
+        let src = "
+func main {
+bb0:
+    v0 = mov 1
+    call inc
+    call inc
+    store scratch[v0+0], v0
+    halt
+}
+func inc {
+bb0:
+    v0 = add v0, 1
+    halt
+}";
+        let f = inline(src, "main").unwrap();
+        let adds = f
+            .iter_insts()
+            .filter(|(_, _, i)| matches!(i, Inst::Bin { .. }))
+            .count();
+        assert_eq!(adds, 2, "each call site gets its own copy");
+    }
+
+    #[test]
+    fn callee_with_branches() {
+        let src = "
+func main {
+bb0:
+    v0 = mov 9
+    call clamp
+    store scratch[v0+0], v0
+    halt
+}
+func clamp {
+bb0:
+    bltu v0, 8, done, cap
+cap:
+    v0 = mov 8
+    jump done
+done:
+    halt
+}";
+        let f = inline(src, "main").unwrap();
+        f.validate().unwrap();
+        // Both callee halts became jumps to one continuation.
+        let halts = f
+            .blocks
+            .iter()
+            .filter(|b| b.term == Terminator::Halt)
+            .count();
+        assert_eq!(halts, 1, "only the caller's halt remains");
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let src = "
+func main {
+bb0:
+    call main
+    halt
+}";
+        assert_eq!(
+            inline(src, "main").unwrap_err(),
+            InlineError::Recursion("main".into())
+        );
+        let mutual = "
+func a {
+bb0:
+    call b
+    halt
+}
+func b {
+bb0:
+    call a
+    halt
+}";
+        assert!(matches!(
+            inline(mutual, "a").unwrap_err(),
+            InlineError::Recursion(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_callee_and_entry() {
+        let src = "func main {\nbb0:\n call ghost\n halt\n}";
+        assert_eq!(
+            inline(src, "main").unwrap_err(),
+            InlineError::UnknownCallee {
+                caller: "main".into(),
+                callee: "ghost".into()
+            }
+        );
+        assert_eq!(
+            inline(src, "nope").unwrap_err(),
+            InlineError::NoSuchEntry("nope".into())
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(InlineError::Recursion("f".into()).to_string().contains("recursive"));
+        assert!(InlineError::NoSuchEntry("g".into()).to_string().contains('g'));
+    }
+}

@@ -1,0 +1,60 @@
+//! IXP-style RISC intermediate representation for the `regbal` project.
+//!
+//! This crate models the instruction set of a multithreaded network
+//! processor in the style of the Intel IXP1200 micro-engine, as assumed by
+//! Zhuang & Pande, *Balancing Register Allocation Across Threads for a
+//! Multithreaded Network Processor* (PLDI 2004):
+//!
+//! * a small RISC core (~1-cycle ALU operations),
+//! * explicit, cheap context switches (`ctx`),
+//! * long-latency memory operations (`load`/`store`) that implicitly
+//!   context-switch the issuing thread,
+//! * a register file addressed either through *virtual* registers (before
+//!   allocation) or *physical* registers (after allocation).
+//!
+//! The central types are [`Func`] (a control-flow graph of [`Block`]s),
+//! [`Inst`] (non-terminator instructions), and [`Terminator`]. Programs can
+//! be constructed with [`FuncBuilder`], parsed from the textual assembly
+//! syntax with [`parse_func`], and printed back with [`Func`]'s `Display`
+//! implementation (the two forms round-trip).
+//!
+//! # Example
+//!
+//! ```
+//! use regbal_ir::{FuncBuilder, Operand, MemSpace};
+//!
+//! let mut b = FuncBuilder::new("sum_two_words");
+//! let entry = b.entry_block();
+//! b.switch_to(entry);
+//! let base = b.imm(0x100);
+//! let a = b.load(MemSpace::Sram, base, 0);
+//! let c = b.load(MemSpace::Sram, base, 4);
+//! let s = b.add(a, Operand::from(c));
+//! b.store(MemSpace::Scratch, base, 8, s);
+//! b.halt();
+//! let func = b.build().expect("valid function");
+//! assert_eq!(func.num_blocks(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod block;
+mod builder;
+mod dot;
+mod func;
+mod inline;
+mod inst;
+mod parse;
+mod print;
+mod reg;
+
+pub use bitset::BitSet;
+pub use block::{Block, BlockId, Terminator};
+pub use builder::{BuildError, FuncBuilder};
+pub use func::{Func, ValidateError};
+pub use inline::{inline_module, InlineError};
+pub use inst::{BinOp, Cond, Inst, MemSpace, UnOp, MAX_BURST};
+pub use parse::{parse_func, parse_module, ParseError};
+pub use reg::{Operand, PReg, Reg, VReg};

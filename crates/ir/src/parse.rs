@@ -1,0 +1,684 @@
+//! Parser for the textual assembly syntax printed by the `Display` impls.
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! func NAME {
+//!   [entry LABEL]
+//!   LABEL:
+//!     vD = add vS, OPERAND      ; any BinOp mnemonic
+//!     vD = mov OPERAND          ; any UnOp mnemonic
+//!     vD = load SPACE[vB+OFF]
+//!     store SPACE[vB+OFF], vS
+//!     ctx | nop | iter_end
+//!     jump LABEL
+//!     bCC vS, OPERAND, LABEL, LABEL
+//!     halt
+//! }
+//! ```
+//!
+//! `;` and `#` begin comments. Labels may be any identifier; they are
+//! mapped to dense [`BlockId`]s in order of definition. Registers are
+//! `vN` (virtual) or `rN` (physical). Output of the printer round-trips.
+
+use crate::block::{Block, BlockId, Terminator};
+use crate::func::Func;
+use crate::inst::{BinOp, Cond, Inst, MemSpace, UnOp};
+use crate::reg::{Operand, PReg, Reg, VReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure, with the 1-based source line where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a single function.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed syntax, unknown mnemonics,
+/// undefined labels, unterminated blocks, or trailing input.
+pub fn parse_func(src: &str) -> Result<Func, ParseError> {
+    let mut funcs = parse_module(src)?;
+    match funcs.len() {
+        1 => Ok(funcs.pop().expect("length checked")),
+        n => err(1, format!("expected exactly one function, found {n}")),
+    }
+}
+
+/// Parses a module containing zero or more functions.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first malformed construct.
+pub fn parse_module(src: &str) -> Result<Vec<Func>, ParseError> {
+    let mut parser = Parser::new(src);
+    let mut funcs = Vec::new();
+    while let Some((line_no, line)) = parser.next_line() {
+        let mut toks = Tokens::new(line, line_no);
+        match toks.next() {
+            Some("func") => {
+                let name = toks.ident("function name")?;
+                toks.expect("{")?;
+                toks.finish()?;
+                funcs.push(parser.parse_func_body(name)?);
+            }
+            Some(other) => return err(line_no, format!("expected `func`, found `{other}`")),
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    Ok(funcs)
+}
+
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            lines: src.lines().enumerate(),
+        }
+    }
+
+    /// Next non-blank, non-comment line as (1-based number, trimmed text).
+    fn next_line(&mut self) -> Option<(usize, &'a str)> {
+        for (i, raw) in self.lines.by_ref() {
+            let line = raw
+                .split([';', '#'])
+                .next()
+                .unwrap_or("")
+                .trim();
+            if !line.is_empty() {
+                return Some((i + 1, line));
+            }
+        }
+        None
+    }
+
+    fn parse_func_body(&mut self, name: String) -> Result<Func, ParseError> {
+        let mut labels: HashMap<String, BlockId> = HashMap::new();
+        let mut blocks: Vec<(Vec<Inst>, Option<PendingTerm>, usize)> = Vec::new();
+        let mut entry_label: Option<(String, usize)> = None;
+        let mut current: Option<usize> = None;
+        let mut last_line = 0;
+
+        let intern = |labels: &mut HashMap<String, BlockId>, name: &str| {
+            let next = labels.len() as u32;
+            *labels.entry(name.to_string()).or_insert(BlockId(next))
+        };
+
+        loop {
+            let Some((line_no, line)) = self.next_line() else {
+                return err(last_line + 1, "unexpected end of input, missing `}`");
+            };
+            last_line = line_no;
+            if line == "}" {
+                break;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                let label = label.trim();
+                if !is_ident(label) {
+                    return err(line_no, format!("bad label `{label}`"));
+                }
+                let id = intern(&mut labels, label);
+                while blocks.len() <= id.index() {
+                    blocks.push((Vec::new(), None, line_no));
+                }
+                if current == Some(id.index()) || blocks[id.index()].1.is_some() {
+                    return err(line_no, format!("label `{label}` defined twice"));
+                }
+                blocks[id.index()].2 = line_no;
+                current = Some(id.index());
+                continue;
+            }
+
+            let mut toks = Tokens::new(line, line_no);
+            let first = toks.next().expect("line is non-empty");
+            if first == "entry" {
+                let label = toks.ident("entry label")?;
+                toks.finish()?;
+                entry_label = Some((label, line_no));
+                continue;
+            }
+            let Some(cur) = current else {
+                return err(line_no, "instruction before any block label");
+            };
+            if blocks[cur].1.is_some() {
+                return err(line_no, "instruction after block terminator");
+            }
+            match parse_stmt(first, &mut toks)? {
+                Stmt::Inst(inst) => blocks[cur].0.push(inst),
+                Stmt::Term(term) => blocks[cur].1 = Some(term),
+            }
+        }
+
+        // Resolve labels and terminators. Only label *definitions* are
+        // interned, so presence in the map means the block exists.
+        let resolve = |label: &str, line: usize| -> Result<BlockId, ParseError> {
+            match labels.get(label) {
+                Some(&id) => Ok(id),
+                None => err(line, format!("undefined label `{label}`")),
+            }
+        };
+
+        let mut out_blocks = Vec::with_capacity(blocks.len());
+        for (idx, (insts, term, line)) in blocks.into_iter().enumerate() {
+            let Some(term) = term else {
+                return err(
+                    line,
+                    format!("block #{idx} has no terminator before next label or `}}`"),
+                );
+            };
+            let term = match term {
+                PendingTerm::Jump(label, line) => Terminator::Jump(resolve(&label, line)?),
+                PendingTerm::Branch {
+                    cond,
+                    lhs,
+                    rhs,
+                    taken,
+                    fallthrough,
+                    line,
+                } => Terminator::Branch {
+                    cond,
+                    lhs,
+                    rhs,
+                    taken: resolve(&taken, line)?,
+                    fallthrough: resolve(&fallthrough, line)?,
+                },
+                PendingTerm::Halt => Terminator::Halt,
+            };
+            out_blocks.push(Block::new(insts, term));
+        }
+        if out_blocks.is_empty() {
+            return err(last_line, "function has no blocks");
+        }
+        let entry = match entry_label {
+            Some((label, line)) => resolve(&label, line)?,
+            None => BlockId(0),
+        };
+        let mut func = Func::new(name, out_blocks, entry, 0);
+        func.num_vregs = func.max_vreg().map_or(0, |m| m + 1);
+        func.validate()
+            .map_err(|e| ParseError {
+                line: last_line,
+                message: e.to_string(),
+            })?;
+        Ok(func)
+    }
+}
+
+enum Stmt {
+    Inst(Inst),
+    Term(PendingTerm),
+}
+
+enum PendingTerm {
+    Jump(String, usize),
+    Branch {
+        cond: Cond,
+        lhs: Reg,
+        rhs: Operand,
+        taken: String,
+        fallthrough: String,
+        line: usize,
+    },
+    Halt,
+}
+
+fn parse_stmt(first: &str, toks: &mut Tokens<'_>) -> Result<Stmt, ParseError> {
+    let line = toks.line_no;
+    match first {
+        "call" => {
+            let callee = toks.ident("callee name")?;
+            toks.finish()?;
+            Ok(Stmt::Inst(Inst::Call { callee }))
+        }
+        "ctx" => {
+            toks.finish()?;
+            Ok(Stmt::Inst(Inst::Ctx))
+        }
+        "nop" => {
+            toks.finish()?;
+            Ok(Stmt::Inst(Inst::Nop))
+        }
+        "iter_end" => {
+            toks.finish()?;
+            Ok(Stmt::Inst(Inst::IterEnd))
+        }
+        "halt" => {
+            toks.finish()?;
+            Ok(Stmt::Term(PendingTerm::Halt))
+        }
+        "jump" => {
+            let label = toks.ident("jump target")?;
+            toks.finish()?;
+            Ok(Stmt::Term(PendingTerm::Jump(label, line)))
+        }
+        "store" => {
+            let (space, base, offset) = parse_addr(toks.next_or("address")?, line)?;
+            let src = parse_reg(toks.next_or("source register")?, line)?;
+            toks.finish()?;
+            Ok(Stmt::Inst(Inst::Store {
+                src,
+                base,
+                offset,
+                space,
+            }))
+        }
+        "loadb" | "storeb" => {
+            let (space, base, offset) = parse_addr(toks.next_or("address")?, line)?;
+            let mut regs = Vec::new();
+            while let Some(tok) = toks.next() {
+                regs.push(parse_reg(tok, line)?);
+            }
+            if regs.is_empty() || regs.len() > crate::inst::MAX_BURST {
+                return err(
+                    line,
+                    format!("burst needs 1..={} registers", crate::inst::MAX_BURST),
+                );
+            }
+            Ok(Stmt::Inst(if first == "loadb" {
+                Inst::LoadBurst {
+                    dsts: regs,
+                    base,
+                    offset,
+                    space,
+                }
+            } else {
+                Inst::StoreBurst {
+                    srcs: regs,
+                    base,
+                    offset,
+                    space,
+                }
+            }))
+        }
+        tok if tok.starts_with('b') && Cond::ALL.iter().any(|c| c.mnemonic() == &tok[1..]) => {
+            let cond = Cond::ALL
+                .into_iter()
+                .find(|c| c.mnemonic() == &tok[1..])
+                .expect("checked by guard");
+            let lhs = parse_reg(toks.next_or("branch lhs")?, line)?;
+            let rhs = parse_operand(toks.next_or("branch rhs")?, line)?;
+            let taken = toks.ident("taken label")?;
+            let fallthrough = toks.ident("fallthrough label")?;
+            toks.finish()?;
+            Ok(Stmt::Term(PendingTerm::Branch {
+                cond,
+                lhs,
+                rhs,
+                taken,
+                fallthrough,
+                line,
+            }))
+        }
+        dst_tok => {
+            // `<reg> = <op> ...` forms.
+            let dst = parse_reg(dst_tok, line)?;
+            toks.expect("=")?;
+            let mnem = toks.next_or("mnemonic")?;
+            if mnem == "load" {
+                let (space, base, offset) = parse_addr(toks.next_or("address")?, line)?;
+                toks.finish()?;
+                return Ok(Stmt::Inst(Inst::Load {
+                    dst,
+                    base,
+                    offset,
+                    space,
+                }));
+            }
+            if let Some(op) = BinOp::ALL.into_iter().find(|o| o.mnemonic() == mnem) {
+                let lhs = parse_reg(toks.next_or("lhs register")?, line)?;
+                let rhs = parse_operand(toks.next_or("rhs operand")?, line)?;
+                toks.finish()?;
+                return Ok(Stmt::Inst(Inst::Bin { op, dst, lhs, rhs }));
+            }
+            if let Some(op) = UnOp::ALL.into_iter().find(|o| o.mnemonic() == mnem) {
+                let src = parse_operand(toks.next_or("source operand")?, line)?;
+                toks.finish()?;
+                return Ok(Stmt::Inst(Inst::Un { op, dst, src }));
+            }
+            err(line, format!("unknown mnemonic `{mnem}`"))
+        }
+    }
+}
+
+/// Parses `space[reg+off]` / `space[reg-off]`.
+fn parse_addr(tok: &str, line: usize) -> Result<(MemSpace, Reg, i64), ParseError> {
+    let open = tok
+        .find('[')
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected `space[base+offset]`, found `{tok}`"),
+        })?;
+    let space_name = &tok[..open];
+    let space = MemSpace::ALL
+        .into_iter()
+        .find(|s| s.name() == space_name)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("unknown memory space `{space_name}`"),
+        })?;
+    let inner = tok[open + 1..]
+        .strip_suffix(']')
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("missing `]` in `{tok}`"),
+        })?;
+    let split = inner
+        .char_indices()
+        .skip(1)
+        .find(|&(_, c)| c == '+' || c == '-')
+        .map(|(i, _)| i)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("missing offset in `{tok}`"),
+        })?;
+    let base = parse_reg(&inner[..split], line)?;
+    let offset: i64 = inner[split..].parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad offset in `{tok}`"),
+    })?;
+    Ok((space, base, offset))
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let tok = tok.trim_end_matches(',');
+    let parse_idx = |s: &str| s.parse::<u32>().ok();
+    if let Some(rest) = tok.strip_prefix('v') {
+        if let Some(i) = parse_idx(rest) {
+            return Ok(Reg::Virt(VReg(i)));
+        }
+    }
+    if let Some(rest) = tok.strip_prefix('r') {
+        if let Some(i) = parse_idx(rest) {
+            return Ok(Reg::Phys(PReg(i)));
+        }
+    }
+    err(line, format!("expected register, found `{tok}`"))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    let tok = tok.trim_end_matches(',');
+    if let Ok(i) = tok.parse::<i64>() {
+        return Ok(Operand::Imm(i));
+    }
+    parse_reg(tok, line).map(Operand::Reg).map_err(|_| ParseError {
+        line,
+        message: format!("expected register or immediate, found `{tok}`"),
+    })
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+}
+
+struct Tokens<'a> {
+    inner: std::str::SplitWhitespace<'a>,
+    line_no: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str, line_no: usize) -> Self {
+        Tokens {
+            inner: line.split_whitespace(),
+            line_no,
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        // Commas are separators; tolerate them attached to a token.
+        self.inner.next().map(|t| t.trim_end_matches(','))
+    }
+
+    fn next_or(&mut self, what: &str) -> Result<&'a str, ParseError> {
+        self.next().ok_or_else(|| ParseError {
+            line: self.line_no,
+            message: format!("expected {what}"),
+        })
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            Some(t) => err(self.line_no, format!("expected `{tok}`, found `{t}`")),
+            None => err(self.line_no, format!("expected `{tok}`")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        let tok = self.next_or(what)?.trim_end_matches(',');
+        if is_ident(tok) {
+            Ok(tok.to_string())
+        } else {
+            err(self.line_no, format!("bad {what} `{tok}`"))
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), ParseError> {
+        match self.next() {
+            None => Ok(()),
+            Some(t) => err(self.line_no, format!("unexpected trailing token `{t}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+; checksum-like sample
+func sample {
+bb0:
+    v0 = mov 0
+    v1 = mov 256
+    jump bb1
+bb1:
+    v2 = load sram[v1+0]      ; read a word
+    v0 = add v0, v2
+    v1 = add v1, 4
+    ctx
+    bltu v1, 320, bb1, bb2
+bb2:
+    store scratch[v1-4], v0
+    iter_end
+    halt
+}
+";
+
+    #[test]
+    fn parses_sample() {
+        let f = parse_func(SAMPLE).unwrap();
+        assert_eq!(f.name, "sample");
+        assert_eq!(f.num_blocks(), 3);
+        assert_eq!(f.num_vregs, 3);
+        assert_eq!(f.num_ctx_insts(), 3); // load, ctx, store
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_through_printer() {
+        let f = parse_func(SAMPLE).unwrap();
+        let printed = f.to_string();
+        let f2 = parse_func(&printed).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn named_labels_and_entry() {
+        let src = r"
+func named {
+  entry start
+loop:
+    v0 = sub v0, 1
+    bne v0, 0, loop, done
+start:
+    v0 = mov 5
+    jump loop
+done:
+    halt
+}";
+        let f = parse_func(src).unwrap();
+        assert_eq!(f.entry, BlockId(1)); // definition order: loop, start, done
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn error_on_undefined_label() {
+        let src = "func f {\nbb0:\n jump nowhere\n}";
+        let e = parse_func(src).unwrap_err();
+        assert!(e.message.contains("undefined label"), "{e}");
+    }
+
+    #[test]
+    fn error_on_missing_terminator() {
+        let src = "func f {\nbb0:\n nop\nbb1:\n halt\n}";
+        let e = parse_func(src).unwrap_err();
+        assert!(e.message.contains("no terminator"), "{e}");
+    }
+
+    #[test]
+    fn error_on_unknown_mnemonic() {
+        let src = "func f {\nbb0:\n v0 = frob v1, 2\n halt\n}";
+        let e = parse_func(src).unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"), "{e}");
+    }
+
+    #[test]
+    fn error_on_duplicate_label() {
+        let src = "func f {\nbb0:\n halt\nbb0:\n halt\n}";
+        let e = parse_func(src).unwrap_err();
+        assert!(e.message.contains("defined twice"), "{e}");
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        let src = "func f {\nbb0:\n ctx ctx\n halt\n}";
+        let e = parse_func(src).unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn error_on_missing_close_brace() {
+        let src = "func f {\nbb0:\n halt\n";
+        let e = parse_func(src).unwrap_err();
+        assert!(e.message.contains("missing `}`"), "{e}");
+    }
+
+    #[test]
+    fn parse_module_multiple() {
+        let src = "func a {\nbb0:\n halt\n}\nfunc b {\nbb0:\n nop\n halt\n}";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].name, "a");
+        assert_eq!(m[1].num_insts(), 2);
+    }
+
+    #[test]
+    fn physical_registers_parse() {
+        let src = "func p {\nbb0:\n r0 = mov 1\n r1 = add r0, r0\n halt\n}";
+        let f = parse_func(src).unwrap();
+        assert_eq!(f.num_vregs, 0);
+        assert_eq!(f.num_insts(), 3);
+    }
+
+    #[test]
+    fn negative_offsets_and_comments() {
+        let src = "func n {\nbb0:\n v0 = mov 8 # set base\n v1 = load sdram[v0-8]\n halt\n}";
+        let f = parse_func(src).unwrap();
+        let printed = f.to_string();
+        assert!(printed.contains("sdram[v0-8]"));
+    }
+}
+
+#[cfg(test)]
+mod burst_tests {
+    use super::*;
+    use crate::inst::MAX_BURST;
+
+    #[test]
+    fn parses_load_and_store_bursts() {
+        let src = "func b {\nbb0:\n v0 = mov 0\n loadb sram[v0+0], v1, v2, v3\n storeb sdram[v0+16], v3, v2\n halt\n}";
+        let f = parse_func(src).unwrap();
+        assert_eq!(f.num_ctx_insts(), 2);
+        let b0 = &f.blocks[0];
+        assert!(matches!(&b0.insts[1], Inst::LoadBurst { dsts, .. } if dsts.len() == 3));
+        assert!(matches!(&b0.insts[2], Inst::StoreBurst { srcs, .. } if srcs.len() == 2));
+    }
+
+    #[test]
+    fn burst_roundtrips_through_printer() {
+        let src = "func b {\nbb0:\n v0 = mov 0\n loadb scratch[v0-4], v1, v2\n storeb sram[v0+8], v2, v1\n halt\n}";
+        let f = parse_func(src).unwrap();
+        let printed = f.to_string();
+        assert!(printed.contains("loadb scratch[v0-4], v1, v2"), "{printed}");
+        assert!(printed.contains("storeb sram[v0+8], v2, v1"), "{printed}");
+        assert_eq!(parse_func(&printed).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_burst_rejected() {
+        let src = "func b {\nbb0:\n v0 = mov 0\n loadb sram[v0+0]\n halt\n}";
+        let e = parse_func(src).unwrap_err();
+        assert!(e.message.contains("burst"), "{e}");
+    }
+
+    #[test]
+    fn oversized_burst_rejected() {
+        let regs: Vec<String> = (1..=MAX_BURST + 1).map(|i| format!("v{i}")).collect();
+        let src = format!(
+            "func b {{\nbb0:\n v0 = mov 0\n loadb sram[v0+0], {}\n halt\n}}",
+            regs.join(", ")
+        );
+        let e = parse_func(&src).unwrap_err();
+        assert!(e.message.contains("burst"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_burst_destinations_fail_validation() {
+        use crate::{Block, BlockId, Reg, Terminator, VReg};
+        let f = crate::Func::new(
+            "dup",
+            vec![Block::new(
+                vec![Inst::LoadBurst {
+                    dsts: vec![Reg::Virt(VReg(0)), Reg::Virt(VReg(0))],
+                    base: Reg::Virt(VReg(1)),
+                    offset: 0,
+                    space: MemSpace::Sram,
+                }],
+                Terminator::Halt,
+            )],
+            BlockId(0),
+            2,
+        );
+        assert!(matches!(
+            f.validate(),
+            Err(crate::ValidateError::BadBurst { .. })
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! Textual assembly printing (`Display` impls).
+//!
+//! The format printed here is accepted by [`crate::parse_func`]; the two
+//! round-trip.
+
+use crate::block::{BlockId, Terminator};
+use crate::func::Func;
+use crate::inst::Inst;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Bin { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = {} {lhs}, {rhs}", op.mnemonic())
+            }
+            Inst::Un { op, dst, src } => write!(f, "{dst} = {} {src}", op.mnemonic()),
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                space,
+            } => {
+                write!(f, "{dst} = load {}[{base}{}]", space.name(), OffsetFmt(*offset))
+            }
+            Inst::Store {
+                src,
+                base,
+                offset,
+                space,
+            } => {
+                write!(f, "store {}[{base}{}], {src}", space.name(), OffsetFmt(*offset))
+            }
+            Inst::LoadBurst {
+                dsts,
+                base,
+                offset,
+                space,
+            } => {
+                write!(f, "loadb {}[{base}{}]", space.name(), OffsetFmt(*offset))?;
+                for d in dsts {
+                    write!(f, ", {d}")?;
+                }
+                Ok(())
+            }
+            Inst::StoreBurst {
+                srcs,
+                base,
+                offset,
+                space,
+            } => {
+                write!(f, "storeb {}[{base}{}]", space.name(), OffsetFmt(*offset))?;
+                for s in srcs {
+                    write!(f, ", {s}")?;
+                }
+                Ok(())
+            }
+            Inst::Call { callee } => write!(f, "call {callee}"),
+            Inst::Ctx => write!(f, "ctx"),
+            Inst::IterEnd => write!(f, "iter_end"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+struct OffsetFmt(i64);
+
+impl fmt::Display for OffsetFmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 0 {
+            write!(f, "+{}", self.0)
+        } else {
+            write!(f, "-{}", -self.0)
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(t) => write!(f, "jump {t}"),
+            Terminator::Branch {
+                cond,
+                lhs,
+                rhs,
+                taken,
+                fallthrough,
+            } => write!(
+                f,
+                "b{} {lhs}, {rhs}, {taken}, {fallthrough}",
+                cond.mnemonic()
+            ),
+            Terminator::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for Func {
+    /// Prints the function in the textual assembly syntax.
+    ///
+    /// Blocks are printed in id order with `bbN:` labels; the entry block
+    /// is marked with an `entry` directive when it is not `bb0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {} {{", self.name)?;
+        if self.entry != BlockId(0) {
+            writeln!(f, "  entry {}", self.entry)?;
+        }
+        for (id, block) in self.iter_blocks() {
+            writeln!(f, "{id}:")?;
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Cond, MemSpace, UnOp};
+    use crate::reg::{Operand, PReg, Reg, VReg};
+
+    fn v(i: u32) -> Reg {
+        Reg::Virt(VReg(i))
+    }
+
+    #[test]
+    fn inst_display() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            dst: v(0),
+            lhs: v(1),
+            rhs: Operand::Imm(-3),
+        };
+        assert_eq!(i.to_string(), "v0 = add v1, -3");
+        let i = Inst::Un {
+            op: UnOp::Mov,
+            dst: Reg::Phys(PReg(5)),
+            src: Operand::Reg(v(1)),
+        };
+        assert_eq!(i.to_string(), "r5 = mov v1");
+        let i = Inst::Load {
+            dst: v(2),
+            base: v(3),
+            offset: -4,
+            space: MemSpace::Sdram,
+        };
+        assert_eq!(i.to_string(), "v2 = load sdram[v3-4]");
+        let i = Inst::Store {
+            src: v(2),
+            base: v(3),
+            offset: 8,
+            space: MemSpace::Scratch,
+        };
+        assert_eq!(i.to_string(), "store scratch[v3+8], v2");
+        assert_eq!(Inst::Ctx.to_string(), "ctx");
+        assert_eq!(Inst::IterEnd.to_string(), "iter_end");
+        assert_eq!(Inst::Nop.to_string(), "nop");
+    }
+
+    #[test]
+    fn terminator_display() {
+        assert_eq!(Terminator::Jump(BlockId(2)).to_string(), "jump bb2");
+        assert_eq!(Terminator::Halt.to_string(), "halt");
+        let t = Terminator::Branch {
+            cond: Cond::GeU,
+            lhs: v(1),
+            rhs: Operand::Imm(16),
+            taken: BlockId(0),
+            fallthrough: BlockId(1),
+        };
+        assert_eq!(t.to_string(), "bgeu v1, 16, bb0, bb1");
+    }
+
+    #[test]
+    fn func_display_contains_blocks() {
+        let mut b = crate::FuncBuilder::new("demo");
+        b.nop();
+        b.halt();
+        let f = b.build().unwrap();
+        let s = f.to_string();
+        assert!(s.starts_with("func demo {"));
+        assert!(s.contains("bb0:"));
+        assert!(s.contains("nop"));
+        assert!(s.contains("halt"));
+        assert!(s.ends_with('}'));
+    }
+}

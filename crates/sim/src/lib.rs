@@ -1,0 +1,53 @@
+//! Cycle-level simulator of a multithreaded network-processor
+//! micro-engine, standing in for the Intel IXP1200 Developer Workbench
+//! used by the paper's evaluation.
+//!
+//! The model follows paper §2 exactly:
+//!
+//! * `Nthd` threads share one processing unit and one register file;
+//! * threads are **non-preemptive**: a thread owns the PU until it
+//!   executes a context-switch instruction (`ctx`, `load`, `store`);
+//! * a context switch saves only the PC and costs one cycle;
+//! * ALU instructions complete in one cycle; memory operations take tens
+//!   of cycles, during which the thread is blocked and others run;
+//! * a `load` destination is written when the thread *resumes* (the
+//!   data travels in a per-thread transfer register, paper footnote 3).
+//!
+//! Programs may use virtual registers (each thread then gets its own
+//! unbounded register file — the reference semantics) or physical
+//! registers (all threads share one file of `Nreg` registers — the
+//! allocated semantics). Running the same workload in both modes and
+//! comparing memory output validates an allocation end to end; the
+//! optional [`SimConfig::private_ranges`] watchdog flags any write by
+//! one thread into another thread's private bank.
+//!
+//! # Example
+//!
+//! ```
+//! use regbal_ir::parse_func;
+//! use regbal_sim::{SimConfig, Simulator, StopWhen};
+//!
+//! let f = parse_func(
+//!     "func t {\nbb0:\n v0 = mov 64\n v1 = load sram[v0+0]\n v1 = add v1, 1\n store sram[v0+0], v1\n iter_end\n jump bb0\n}",
+//! )?;
+//! let mut sim = Simulator::new(SimConfig::default());
+//! sim.memory_mut().write_word(regbal_ir::MemSpace::Sram, 64, 41);
+//! sim.add_thread(f);
+//! let report = sim.run(StopWhen::Iterations(1));
+//! assert_eq!(sim.memory().read_word(regbal_ir::MemSpace::Sram, 64), 42);
+//! assert_eq!(report.threads[0].iterations, 1);
+//! # Ok::<(), regbal_ir::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+mod config;
+mod machine;
+mod mem;
+
+pub use chip::Chip;
+pub use config::SimConfig;
+pub use machine::{RunReport, Simulator, StopWhen, ThreadStats, TraceEvent, Violation};
+pub use mem::Memory;

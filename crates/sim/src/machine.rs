@@ -1,0 +1,987 @@
+//! The micro-engine: threads, round-robin scheduling, execution.
+
+use crate::config::SimConfig;
+use crate::mem::Memory;
+use regbal_ir::{BlockId, Func, Inst, Operand, Reg, Terminator};
+
+/// Size of the shared physical register file in the simulator (larger
+/// than the IXP's 128 so that fixed-partition baselines with spill
+/// temporaries always fit).
+const REGFILE_SIZE: usize = 256;
+
+/// When to stop a [`Simulator::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopWhen {
+    /// Every thread has completed at least this many main-loop
+    /// iterations (threads that halt count as done).
+    Iterations(u64),
+    /// The global cycle counter reaches this value.
+    Cycles(u64),
+}
+
+/// One event of the optional execution trace (see
+/// [`Simulator::enable_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The PU switched to `thread`.
+    Switch {
+        /// Cycle of the switch.
+        cycle: u64,
+        /// The thread now running.
+        thread: usize,
+    },
+    /// `thread` issued a memory operation and blocked.
+    MemIssue {
+        /// Cycle of the issue.
+        cycle: u64,
+        /// The issuing thread.
+        thread: usize,
+        /// Target memory space.
+        space: regbal_ir::MemSpace,
+        /// Byte address of the first word.
+        addr: u32,
+        /// `true` for stores.
+        write: bool,
+        /// Cycle the thread becomes ready again.
+        ready_at: u64,
+    },
+    /// `thread` yielded voluntarily (`ctx`).
+    Yield {
+        /// Cycle of the yield.
+        cycle: u64,
+        /// The yielding thread.
+        thread: usize,
+    },
+    /// `thread` completed a main-loop iteration.
+    Iteration {
+        /// Cycle of the `iter_end`.
+        cycle: u64,
+        /// The thread.
+        thread: usize,
+        /// Its iteration count after this one.
+        count: u64,
+    },
+    /// `thread` halted.
+    Halt {
+        /// Cycle of the halt.
+        cycle: u64,
+        /// The thread.
+        thread: usize,
+    },
+}
+
+/// A cross-thread register-safety violation detected by the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The writing thread.
+    pub writer: usize,
+    /// The thread whose private bank was written.
+    pub owner: usize,
+    /// The physical register written.
+    pub reg: u32,
+    /// The cycle of the write.
+    pub cycle: u64,
+}
+
+/// Per-thread statistics of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadStats {
+    /// Completed main-loop iterations (`iter_end` markers executed).
+    pub iterations: u64,
+    /// Instructions executed (terminators included, `iter_end` free).
+    pub instructions: u64,
+    /// Times the thread gave up the PU (memory blocks and `ctx`).
+    pub ctx_switches: u64,
+    /// Cycles the thread actually held the PU (its occupancy is
+    /// `busy_cycles / run cycles`).
+    pub busy_cycles: u64,
+    /// Whether the thread halted.
+    pub halted: bool,
+    /// Wall-clock cycles of the whole run divided by this thread's
+    /// iterations (`f64::INFINITY` with zero iterations) — the paper's
+    /// "cycle counts averaged per iteration of the main loop".
+    pub cycles_per_iteration: f64,
+}
+
+/// Result of a [`Simulator::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total cycles elapsed.
+    pub cycles: u64,
+    /// Per-thread statistics.
+    pub threads: Vec<ThreadStats>,
+    /// Watchdog violations (empty when the allocation is safe or the
+    /// watchdog is disabled).
+    pub violations: Vec<Violation>,
+    /// Cycles during which no thread was ready (all blocked on memory).
+    pub idle_cycles: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Thread {
+    func: Func,
+    block: BlockId,
+    idx: usize,
+    vregs: Vec<u32>,
+    pending_load: Vec<(Reg, u32)>,
+    ready_at: u64,
+    halted: bool,
+    iterations: u64,
+    instructions: u64,
+    ctx_switches: u64,
+    busy: u64,
+}
+
+/// The simulated processing unit.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+    memory: Memory,
+    threads: Vec<Thread>,
+    regfile: Vec<u32>,
+    now: u64,
+    idle: u64,
+    last_running: Option<usize>,
+    rr_next: usize,
+    violations: Vec<Violation>,
+    trace: Option<(Vec<TraceEvent>, usize)>,
+    /// Per-space earliest next issue time under `serialize_memory`.
+    port_free: [u64; 3],
+}
+
+impl Simulator {
+    /// Creates an empty micro-engine.
+    pub fn new(config: SimConfig) -> Simulator {
+        let memory = Memory::new(config.scratch_size, config.sram_size, config.sdram_size);
+        Simulator {
+            config,
+            memory,
+            threads: Vec::new(),
+            regfile: vec![0; REGFILE_SIZE],
+            now: 0,
+            idle: 0,
+            last_running: None,
+            rr_next: 0,
+            violations: Vec::new(),
+            trace: None,
+            port_free: [0; 3],
+        }
+    }
+
+    /// Completion time of a memory access issued now, honouring the
+    /// optional single-port-per-space contention model.
+    fn mem_ready_at(&mut self, space: regbal_ir::MemSpace) -> u64 {
+        let latency = self.config.latency(space);
+        if !self.config.serialize_memory {
+            return self.now + latency;
+        }
+        let port = match space {
+            regbal_ir::MemSpace::Scratch => 0,
+            regbal_ir::MemSpace::Sram => 1,
+            regbal_ir::MemSpace::Sdram => 2,
+        };
+        let start = self.now.max(self.port_free[port]);
+        let done = start + latency;
+        self.port_free[port] = done;
+        done
+    }
+
+    /// Enables event tracing, keeping at most `capacity` events (the
+    /// earliest ones; later events are dropped once full).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some((Vec::new(), capacity));
+    }
+
+    /// The recorded trace (empty unless enabled).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_ref().map_or(&[], |(t, _)| t.as_slice())
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if let Some((buf, cap)) = &mut self.trace {
+            if buf.len() < *cap {
+                buf.push(event);
+            }
+        }
+    }
+
+    /// Adds a thread executing `func` from its entry block. Virtual
+    /// registers live in a per-thread file; physical registers in the
+    /// shared file. Returns the thread index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` fails validation.
+    pub fn add_thread(&mut self, func: Func) -> usize {
+        func.validate().expect("simulated function must be valid");
+        let entry = func.entry;
+        let nv = func.num_vregs as usize;
+        self.threads.push(Thread {
+            func,
+            block: entry,
+            idx: 0,
+            vregs: vec![0; nv],
+            pending_load: Vec::new(),
+            ready_at: 0,
+            halted: false,
+            iterations: 0,
+            instructions: 0,
+            ctx_switches: 0,
+            busy: 0,
+        });
+        self.threads.len() - 1
+    }
+
+    /// The memories, for pre-loading packets and checking results.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable access to the memories.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// Current value of a physical register.
+    pub fn regfile(&self, index: u32) -> u32 {
+        self.regfile[index as usize]
+    }
+
+    /// Runs until `stop` (or the configured global cycle budget).
+    pub fn run(&mut self, stop: StopWhen) -> RunReport {
+        let mut mem = std::mem::replace(&mut self.memory, Memory::new(0, 0, 0));
+        let report = self.run_shared(&mut mem, stop);
+        self.memory = mem;
+        report
+    }
+
+    /// The PU's local clock (cycles executed so far).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether every thread of this PU has halted.
+    pub fn all_halted(&self) -> bool {
+        self.threads.iter().all(|t| t.halted)
+    }
+
+    /// Like [`run`](Self::run) but against an external memory — the
+    /// building block of [`crate::Chip`], where several PUs share the
+    /// off-chip memories. The PU's own memory is ignored.
+    pub fn run_shared(&mut self, mem: &mut Memory, stop: StopWhen) -> RunReport {
+        loop {
+            if self.now >= self.config.max_cycles || self.stopped(stop) {
+                break;
+            }
+            // Continue the owning thread if it can still run.
+            if let Some(i) = self.last_running {
+                if !self.threads[i].halted
+                    && self.threads[i].ready_at <= self.now
+                    && self.is_running(i)
+                {
+                    self.step(i, mem);
+                    continue;
+                }
+            }
+            // Pick the next ready thread, round robin.
+            match self.select_ready() {
+                Some(j) => {
+                    if self.last_running != Some(j) {
+                        self.now += self.config.ctx_switch_cost;
+                    }
+                    self.resume(j);
+                    self.step(j, mem);
+                }
+                None => {
+                    // All blocked: advance to the earliest wake-up.
+                    let Some(next) = self
+                        .threads
+                        .iter()
+                        .filter(|t| !t.halted)
+                        .map(|t| t.ready_at)
+                        .min()
+                    else {
+                        break; // everything halted
+                    };
+                    let next = next.max(self.now + 1);
+                    self.idle += next - self.now;
+                    self.now = next;
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Whether thread `i` currently owns the PU (it was the last runner
+    /// and has not blocked or yielded).
+    fn is_running(&self, i: usize) -> bool {
+        // A thread that blocked recorded a future ready_at at the time;
+        // a voluntary yield cleared last_running instead.
+        self.last_running == Some(i)
+    }
+
+    fn stopped(&self, stop: StopWhen) -> bool {
+        match stop {
+            StopWhen::Cycles(c) => self.now >= c,
+            StopWhen::Iterations(n) => self
+                .threads
+                .iter()
+                .all(|t| t.halted || t.iterations >= n),
+        }
+    }
+
+    fn select_ready(&mut self) -> Option<usize> {
+        let n = self.threads.len();
+        for off in 0..n {
+            let j = (self.rr_next + off) % n;
+            if !self.threads[j].halted && self.threads[j].ready_at <= self.now {
+                self.rr_next = (j + 1) % n;
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Makes thread `j` the runner, delivering any pending load result
+    /// (the transfer-register copy at resume).
+    fn resume(&mut self, j: usize) {
+        self.record(TraceEvent::Switch {
+            cycle: self.now,
+            thread: j,
+        });
+        self.last_running = Some(j);
+        for (dst, value) in std::mem::take(&mut self.threads[j].pending_load) {
+            self.write_reg(j, dst, value);
+        }
+    }
+
+    fn read_reg(&self, i: usize, r: Reg) -> u32 {
+        match r {
+            Reg::Virt(v) => self.threads[i].vregs[v.index()],
+            Reg::Phys(p) => self.regfile[p.index() % REGFILE_SIZE],
+        }
+    }
+
+    fn write_reg(&mut self, i: usize, r: Reg, value: u32) {
+        match r {
+            Reg::Virt(v) => self.threads[i].vregs[v.index()] = value,
+            Reg::Phys(p) => {
+                for (owner, range) in self.config.private_ranges.iter().enumerate() {
+                    if owner != i && range.contains(&p.0) {
+                        self.violations.push(Violation {
+                            writer: i,
+                            owner,
+                            reg: p.0,
+                            cycle: self.now,
+                        });
+                    }
+                }
+                self.regfile[p.index() % REGFILE_SIZE] = value;
+            }
+        }
+    }
+
+    fn operand(&self, i: usize, o: Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => self.read_reg(i, r),
+            Operand::Imm(imm) => imm as u32,
+        }
+    }
+
+    /// Executes one instruction of thread `i`.
+    fn step(&mut self, i: usize, mem: &mut Memory) {
+        let block = self.threads[i].block;
+        let idx = self.threads[i].idx;
+        let body_len = self.threads[i].func.block(block).insts.len();
+
+        if idx == body_len {
+            // Terminator: one cycle, control transfer.
+            self.now += 1;
+            self.threads[i].busy += 1;
+            self.threads[i].instructions += 1;
+            let term = self.threads[i].func.block(block).term.clone();
+            match term {
+                Terminator::Jump(t) => {
+                    self.threads[i].block = t;
+                    self.threads[i].idx = 0;
+                }
+                Terminator::Branch {
+                    cond,
+                    lhs,
+                    rhs,
+                    taken,
+                    fallthrough,
+                } => {
+                    let l = self.read_reg(i, lhs);
+                    let r = self.operand(i, rhs);
+                    self.threads[i].block = if cond.eval(l, r) { taken } else { fallthrough };
+                    self.threads[i].idx = 0;
+                }
+                Terminator::Halt => {
+                    self.threads[i].halted = true;
+                    self.last_running = None;
+                    self.record(TraceEvent::Halt {
+                        cycle: self.now,
+                        thread: i,
+                    });
+                }
+            }
+            return;
+        }
+
+        let inst = self.threads[i].func.block(block).insts[idx].clone();
+        self.threads[i].idx += 1;
+        match inst {
+            Inst::IterEnd => {
+                // Free marker: no cycle, no instruction count.
+                self.threads[i].iterations += 1;
+                self.record(TraceEvent::Iteration {
+                    cycle: self.now,
+                    thread: i,
+                    count: self.threads[i].iterations,
+                });
+                return;
+            }
+            _ => {
+                self.now += 1;
+                self.threads[i].busy += 1;
+                self.threads[i].instructions += 1;
+            }
+        }
+        match inst {
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let l = self.read_reg(i, lhs);
+                let r = self.operand(i, rhs);
+                self.write_reg(i, dst, eval_bin(op, l, r));
+            }
+            Inst::Un { op, dst, src } => {
+                let s = self.operand(i, src);
+                let value = match op {
+                    regbal_ir::UnOp::Mov => s,
+                    regbal_ir::UnOp::Not => !s,
+                    regbal_ir::UnOp::Neg => s.wrapping_neg(),
+                };
+                self.write_reg(i, dst, value);
+            }
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                space,
+            } => {
+                let addr = self
+                    .read_reg(i, base)
+                    .wrapping_add(offset as u32);
+                let value = mem.read_word(space, addr);
+                self.threads[i].pending_load = vec![(dst, value)];
+                self.threads[i].ready_at = self.mem_ready_at(space);
+                self.threads[i].ctx_switches += 1;
+                self.last_running = None;
+                self.record(TraceEvent::MemIssue {
+                    cycle: self.now,
+                    thread: i,
+                    space,
+                    addr,
+                    write: false,
+                    ready_at: self.threads[i].ready_at,
+                });
+            }
+            Inst::LoadBurst {
+                dsts,
+                base,
+                offset,
+                space,
+            } => {
+                let addr = self.read_reg(i, base).wrapping_add(offset as u32);
+                self.threads[i].pending_load = dsts
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &d)| (d, mem.read_word(space, addr + 4 * w as u32)))
+                    .collect();
+                self.threads[i].ready_at = self.mem_ready_at(space);
+                self.threads[i].ctx_switches += 1;
+                self.last_running = None;
+                self.record(TraceEvent::MemIssue {
+                    cycle: self.now,
+                    thread: i,
+                    space,
+                    addr,
+                    write: false,
+                    ready_at: self.threads[i].ready_at,
+                });
+            }
+            Inst::StoreBurst {
+                srcs,
+                base,
+                offset,
+                space,
+            } => {
+                let addr = self.read_reg(i, base).wrapping_add(offset as u32);
+                for (w, &s) in srcs.iter().enumerate() {
+                    let value = self.read_reg(i, s);
+                    mem.write_word(space, addr + 4 * w as u32, value);
+                }
+                self.threads[i].ready_at = self.mem_ready_at(space);
+                self.threads[i].ctx_switches += 1;
+                self.last_running = None;
+                self.record(TraceEvent::MemIssue {
+                    cycle: self.now,
+                    thread: i,
+                    space,
+                    addr,
+                    write: true,
+                    ready_at: self.threads[i].ready_at,
+                });
+            }
+            Inst::Store {
+                src,
+                base,
+                offset,
+                space,
+            } => {
+                let addr = self
+                    .read_reg(i, base)
+                    .wrapping_add(offset as u32);
+                let value = self.read_reg(i, src);
+                mem.write_word(space, addr, value);
+                self.threads[i].ready_at = self.mem_ready_at(space);
+                self.threads[i].ctx_switches += 1;
+                self.last_running = None;
+                self.record(TraceEvent::MemIssue {
+                    cycle: self.now,
+                    thread: i,
+                    space,
+                    addr,
+                    write: true,
+                    ready_at: self.threads[i].ready_at,
+                });
+            }
+            Inst::Ctx => {
+                // Voluntary yield: ready immediately, but the PU moves
+                // on to the next ready thread.
+                self.threads[i].ctx_switches += 1;
+                self.last_running = None;
+                self.record(TraceEvent::Yield {
+                    cycle: self.now,
+                    thread: i,
+                });
+            }
+            Inst::Nop => {}
+            Inst::Call { ref callee } => {
+                panic!("thread {i}: `call {callee}` reached the simulator; inline subroutines first")
+            }
+            Inst::IterEnd => unreachable!("handled above"),
+        }
+    }
+
+    /// A statistics snapshot without advancing the simulation.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            cycles: self.now,
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadStats {
+                    iterations: t.iterations,
+                    instructions: t.instructions,
+                    ctx_switches: t.ctx_switches,
+                    busy_cycles: t.busy,
+                    halted: t.halted,
+                    cycles_per_iteration: if t.iterations > 0 {
+                        self.now as f64 / t.iterations as f64
+                    } else {
+                        f64::INFINITY
+                    },
+                })
+                .collect(),
+            violations: self.violations.clone(),
+            idle_cycles: self.idle,
+        }
+    }
+}
+
+fn eval_bin(op: regbal_ir::BinOp, l: u32, r: u32) -> u32 {
+    use regbal_ir::BinOp::*;
+    match op {
+        Add => l.wrapping_add(r),
+        Sub => l.wrapping_sub(r),
+        Mul => l.wrapping_mul(r),
+        And => l & r,
+        Or => l | r,
+        Xor => l ^ r,
+        Shl => l.wrapping_shl(r),
+        Shr => l.wrapping_shr(r),
+        Asr => (l as i32).wrapping_shr(r) as u32,
+        SetLt => u32::from((l as i32) < (r as i32)),
+        SetLtU => u32::from(l < r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_ir::{parse_func, MemSpace};
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig::default())
+    }
+
+    #[test]
+    fn arithmetic_and_memory() {
+        let f = parse_func(
+            "func t {\nbb0:\n v0 = mov 100\n v1 = mov 7\n v2 = mul v1, 6\n v2 = add v2, 1\n store scratch[v0+0], v2\n halt\n}",
+        )
+        .unwrap();
+        let mut s = sim();
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(10_000));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 100), 43);
+        assert!(r.threads[0].halted);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn load_latency_blocks_single_thread() {
+        let f = parse_func(
+            "func t {\nbb0:\n v0 = mov 0\n v1 = load sram[v0+0]\n v1 = add v1, 1\n store scratch[v0+0], v1\n halt\n}",
+        )
+        .unwrap();
+        let mut s = sim();
+        s.memory_mut().write_word(MemSpace::Sram, 0, 9);
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(10_000));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 10);
+        // mov(1) + load(1) + latency(20 idle) + add(1) + store(1)
+        // + latency(16) + halt(1) ≈ 41+ cycles.
+        assert!(r.cycles >= 40, "cycles {}", r.cycles);
+        assert!(r.idle_cycles >= 20, "idle {}", r.idle_cycles);
+    }
+
+    #[test]
+    fn two_threads_hide_latency() {
+        let src = "func t {\nbb0:\n v0 = mov 0\n jump bb1\nbb1:\n v1 = load sram[v0+0]\n v0 = add v0, 4\n iter_end\n bltu v0, 400, bb1, bb2\nbb2:\n halt\n}";
+        let f = parse_func(src).unwrap();
+        // One thread alone:
+        let mut s1 = sim();
+        s1.add_thread(f.clone());
+        let r1 = s1.run(StopWhen::Cycles(1_000_000));
+        // Two threads share the PU:
+        let mut s2 = sim();
+        s2.add_thread(f.clone());
+        s2.add_thread(f);
+        let r2 = s2.run(StopWhen::Cycles(1_000_000));
+        assert!(r1.threads[0].halted && r2.threads[1].halted);
+        // Two threads do twice the work in much less than twice the time.
+        assert!(
+            (r2.cycles as f64) < 1.5 * r1.cycles as f64,
+            "no latency hiding: {} vs {}",
+            r2.cycles,
+            r1.cycles
+        );
+        assert!(r2.idle_cycles < r1.idle_cycles);
+    }
+
+    #[test]
+    fn ctx_rotates_threads_fairly() {
+        // Each thread increments its own counter in scratch, yielding
+        // between increments; both must make progress.
+        let make = |addr: u32| {
+            parse_func(&format!(
+                "func t {{\nbb0:\n v0 = mov {addr}\n v1 = mov 0\n jump bb1\nbb1:\n v1 = add v1, 1\n ctx\n bltu v1, 50, bb1, bb2\nbb2:\n store scratch[v0+0], v1\n halt\n}}"
+            ))
+            .unwrap()
+        };
+        let mut s = sim();
+        s.add_thread(make(0));
+        s.add_thread(make(4));
+        let r = s.run(StopWhen::Cycles(100_000));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 50);
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 4), 50);
+        assert!(r.threads[0].ctx_switches >= 49);
+    }
+
+    #[test]
+    fn iteration_stop_condition() {
+        let f = parse_func(
+            "func t {\nbb0:\n nop\n iter_end\n jump bb0\n}",
+        )
+        .unwrap();
+        let mut s = sim();
+        s.add_thread(f);
+        let r = s.run(StopWhen::Iterations(10));
+        assert!(r.threads[0].iterations >= 10);
+        assert!(r.threads[0].cycles_per_iteration.is_finite());
+    }
+
+    #[test]
+    fn physical_registers_are_shared_between_threads() {
+        // Thread 0 busy-waits on r0 == 1 which thread 1 sets; with a
+        // shared file the flag is visible.
+        let t0 = parse_func(
+            "func a {\nbb0:\n ctx\n beq r0, 1, bb1, bb0\nbb1:\n r1 = mov 77\n r2 = mov 0\n store scratch[r2+0], r1\n halt\n}",
+        )
+        .unwrap();
+        let t1 = parse_func("func b {\nbb0:\n r0 = mov 1\n halt\n}").unwrap();
+        let mut s = sim();
+        s.add_thread(t0);
+        s.add_thread(t1);
+        let r = s.run(StopWhen::Cycles(10_000));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 77);
+        assert!(r.threads[0].halted);
+    }
+
+    #[test]
+    fn watchdog_flags_cross_thread_private_writes() {
+        // Thread 1 writes r2, which belongs to thread 0's private bank.
+        let t0 = parse_func("func a {\nbb0:\n r2 = mov 5\n ctx\n r3 = mov 0\n store scratch[r3+0], r2\n halt\n}").unwrap();
+        let t1 = parse_func("func b {\nbb0:\n r2 = mov 99\n halt\n}").unwrap();
+        let config = SimConfig {
+            private_ranges: vec![0..8, 8..16],
+            ..SimConfig::default()
+        };
+        let mut s = Simulator::new(config);
+        s.add_thread(t0);
+        s.add_thread(t1);
+        let r = s.run(StopWhen::Cycles(10_000));
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].writer, 1);
+        assert_eq!(r.violations[0].owner, 0);
+        assert_eq!(r.violations[0].reg, 2);
+        // And the clobber is observable: thread 0 stores 99, not 5.
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 99);
+    }
+
+    #[test]
+    fn load_destination_written_at_resume_not_issue() {
+        // Thread 0: loads into r0, then stores r0. Thread 1 overwrites
+        // r0 while thread 0 waits; the transfer-register model must
+        // still deliver the loaded value at resume.
+        let t0 = parse_func(
+            "func a {\nbb0:\n r1 = mov 0\n r0 = load sram[r1+0]\n store scratch[r1+0], r0\n halt\n}",
+        )
+        .unwrap();
+        let t1 = parse_func("func b {\nbb0:\n r0 = mov 1234\n halt\n}").unwrap();
+        let mut s = sim();
+        s.memory_mut().write_word(MemSpace::Sram, 0, 5678);
+        s.add_thread(t0);
+        s.add_thread(t1);
+        s.run(StopWhen::Cycles(10_000));
+        assert_eq!(
+            s.memory().read_word(MemSpace::Scratch, 0),
+            5678,
+            "load result must survive the other thread's write to r0"
+        );
+    }
+
+    #[test]
+    fn halted_threads_leave_the_rotation() {
+        let t0 = parse_func("func a {\nbb0:\n halt\n}").unwrap();
+        let t1 = parse_func(
+            "func b {\nbb0:\n v0 = mov 3\n v1 = mov 0\n store scratch[v1+0], v0\n halt\n}",
+        )
+        .unwrap();
+        let mut s = sim();
+        s.add_thread(t0);
+        s.add_thread(t1);
+        let r = s.run(StopWhen::Cycles(1_000));
+        assert!(r.threads.iter().all(|t| t.halted));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 3);
+    }
+
+    #[test]
+    fn cycle_budget_stops_runaway_loops() {
+        let f = parse_func("func spin {\nbb0:\n nop\n jump bb0\n}").unwrap();
+        let mut s = sim();
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(500));
+        assert!(r.cycles >= 500 && r.cycles < 600);
+        assert!(!r.threads[0].halted);
+    }
+
+    #[test]
+    fn signed_ops_behave() {
+        let f = parse_func(
+            "func t {\nbb0:\n v0 = mov -8\n v1 = asr v0, 1\n v2 = slt v0, 0\n v3 = mov 0\n store scratch[v3+0], v1\n store scratch[v3+4], v2\n halt\n}",
+        )
+        .unwrap();
+        let mut s = sim();
+        s.add_thread(f);
+        s.run(StopWhen::Cycles(10_000));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0) as i32, -4);
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 4), 1);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    #[test]
+    fn trace_records_the_event_sequence() {
+        let f = parse_func(
+            "func t {\nbb0:\n v0 = mov 0\n v1 = load sram[v0+8]\n ctx\n store scratch[v0+4], v1\n iter_end\n halt\n}",
+        )
+        .unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_trace(64);
+        s.add_thread(f);
+        s.run(StopWhen::Cycles(100_000));
+        let trace = s.trace();
+        assert!(matches!(trace[0], TraceEvent::Switch { thread: 0, .. }));
+        assert!(trace.iter().any(|e| matches!(
+            e,
+            TraceEvent::MemIssue { write: false, addr: 8, .. }
+        )));
+        assert!(trace.iter().any(|e| matches!(e, TraceEvent::Yield { .. })));
+        assert!(trace.iter().any(|e| matches!(
+            e,
+            TraceEvent::MemIssue { write: true, addr: 4, .. }
+        )));
+        assert!(trace.iter().any(|e| matches!(
+            e,
+            TraceEvent::Iteration { count: 1, .. }
+        )));
+        assert!(matches!(trace.last(), Some(TraceEvent::Halt { .. })));
+        // Cycles are monotonically non-decreasing.
+        let cycles: Vec<u64> = trace
+            .iter()
+            .map(|e| match *e {
+                TraceEvent::Switch { cycle, .. }
+                | TraceEvent::MemIssue { cycle, .. }
+                | TraceEvent::Yield { cycle, .. }
+                | TraceEvent::Iteration { cycle, .. }
+                | TraceEvent::Halt { cycle, .. } => cycle,
+            })
+            .collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn trace_capacity_is_respected() {
+        let f = parse_func("func spin {\nbb0:\n ctx\n jump bb0\n}").unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_trace(10);
+        s.add_thread(f);
+        s.run(StopWhen::Cycles(1_000));
+        assert_eq!(s.trace().len(), 10);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let f = parse_func("func t {\nbb0:\n nop\n halt\n}").unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.add_thread(f);
+        s.run(StopWhen::Cycles(100));
+        assert!(s.trace().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod contention_tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    fn loader() -> Func {
+        parse_func(
+            "func t {\nbb0:\n v0 = mov 0\n v1 = load sdram[v0+0]\n v2 = add v1, 1\n halt\n}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serialized_memory_queues_concurrent_loads() {
+        let run = |serialize: bool| {
+            let config = SimConfig {
+                serialize_memory: serialize,
+                ..SimConfig::default()
+            };
+            let mut s = Simulator::new(config);
+            for _ in 0..4 {
+                s.add_thread(loader());
+            }
+            s.run(StopWhen::Cycles(1_000_000)).cycles
+        };
+        let overlapped = run(false);
+        let queued = run(true);
+        assert!(
+            queued > overlapped + SimConfig::default().sdram_latency,
+            "serialisation must lengthen the run: {queued} vs {overlapped}"
+        );
+    }
+
+    #[test]
+    fn spaces_have_independent_ports() {
+        // One thread hits SDRAM, the other SRAM: no queueing between
+        // them even when serialised.
+        let sram = parse_func(
+            "func s {\nbb0:\n v0 = mov 0\n v1 = load sram[v0+0]\n halt\n}",
+        )
+        .unwrap();
+        let config = SimConfig {
+            serialize_memory: true,
+            ..SimConfig::default()
+        };
+        let mut both = Simulator::new(config.clone());
+        both.add_thread(loader());
+        both.add_thread(sram.clone());
+        let mixed = both.run(StopWhen::Cycles(1_000_000)).cycles;
+
+        let mut solo = Simulator::new(config);
+        solo.add_thread(loader());
+        let alone = solo.run(StopWhen::Cycles(1_000_000)).cycles;
+        // The SRAM thread hides entirely inside the SDRAM thread's
+        // stall: adding it costs only a few scheduling cycles.
+        assert!(mixed <= alone + 10, "{mixed} vs {alone}");
+    }
+}
+
+#[cfg(test)]
+mod busy_tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    #[test]
+    fn busy_cycles_equal_instructions_for_pure_alu() {
+        let f = parse_func(
+            "func t {\nbb0:\n v0 = mov 1\n v0 = add v0, 1\n v0 = add v0, 1\n halt\n}",
+        )
+        .unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(1_000));
+        assert_eq!(r.threads[0].busy_cycles, r.threads[0].instructions);
+        assert_eq!(r.threads[0].busy_cycles, 4);
+    }
+
+    #[test]
+    fn busy_cycles_exclude_memory_stalls() {
+        let f = parse_func(
+            "func t {\nbb0:\n v0 = mov 0\n v1 = load sdram[v0+0]\n halt\n}",
+        )
+        .unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(10_000));
+        // 3 issue cycles; the 150-cycle stall is idle, not busy.
+        assert_eq!(r.threads[0].busy_cycles, 3);
+        assert!(r.cycles > 150);
+    }
+
+    #[test]
+    fn busy_cycles_partition_among_threads() {
+        let f = parse_func(
+            "func t {\nbb0:\n v0 = mov 4\n jump l\nl:\n v0 = sub v0, 1\n ctx\n bne v0, 0, l, d\nd:\n halt\n}",
+        )
+        .unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.add_thread(f.clone());
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(10_000));
+        let busy: u64 = r.threads.iter().map(|t| t.busy_cycles).sum();
+        // Busy + idle + context-switch cost accounts for the whole run.
+        assert!(busy <= r.cycles);
+        assert!(busy + r.idle_cycles <= r.cycles);
+        assert!(r.threads[0].busy_cycles > 0 && r.threads[1].busy_cycles > 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! CRC-style rolling checksum over the packet payload (CommBench
+//! `crc` flavour): a shift-xor recurrence word by word. Lean and
+//! memory-bound.
+
+use super::{rotl, Shell};
+use regbal_ir::{Cond, Func, MemSpace, Operand};
+
+pub(super) fn build(mut shell: Shell) -> Func {
+    let pkt = shell.pkt;
+    let b = &mut shell.b;
+
+    let head = b.new_block();
+    let body = b.new_block();
+    let done = b.new_block();
+
+    let crc = b.imm(0xffff_ffffu32 as i64);
+    let i = b.imm(0);
+    b.jump(head);
+
+    b.switch_to(head);
+    b.branch(Cond::Lt, i, Operand::Imm(10), body, done);
+
+    b.switch_to(body);
+    let off = b.shl(i, Operand::Imm(2));
+    let addr = b.add(pkt, off);
+    let w = b.load(MemSpace::Sdram, addr, 16);
+    // crc = rotl(crc, 5) ^ w ^ (crc >> 27) — a mixing recurrence with
+    // the same data dependence structure as bytewise CRC.
+    let r = rotl(b, crc, 5);
+    let x = b.xor(r, w);
+    let hi = b.shr(crc, Operand::Imm(27));
+    b.mov_to(crc, x);
+    b.xor_to(crc, crc, hi);
+    b.add_to(i, i, Operand::Imm(1));
+    b.jump(head);
+
+    b.switch_to(done);
+    let fin = b.un(regbal_ir::UnOp::Not, crc);
+    shell.absorb(fin);
+    shell.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Kernel;
+    use regbal_analysis::ProgramInfo;
+
+    #[test]
+    fn crc_is_lean_and_loopy() {
+        let f = Kernel::Crc.build(0, 4);
+        let info = ProgramInfo::compute(&f);
+        assert!(info.pressure.regp_max <= 10, "{}", info.pressure.regp_max);
+        assert!(f.num_blocks() >= 5);
+    }
+}

@@ -1,0 +1,121 @@
+//! Deficit-round-robin scheduler (CommBench `drr`).
+//!
+//! Classifies each packet into one of four queues, charges the queue's
+//! deficit counter against the packet length, and either forwards or
+//! defers the packet. Queue state lives in an SRAM table, giving a
+//! read-modify-write CSB pattern.
+
+use super::Shell;
+use crate::layout::Bases;
+use regbal_ir::{Cond, Func, MemSpace, Operand};
+use regbal_sim::Memory;
+
+/// Table layout: 4 queues × (deficit, quantum) word pairs.
+pub(super) fn prepare_tables(mem: &mut Memory, b: Bases) {
+    for q in 0..4u32 {
+        mem.write_word(MemSpace::Sram, b.table + q * 8, 0); // deficit
+        mem.write_word(MemSpace::Sram, b.table + q * 8 + 4, 500 + q * 250); // quantum
+    }
+}
+
+pub(super) fn build(mut shell: Shell) -> Func {
+    let pkt = shell.pkt;
+    let table = shell.table;
+    let b = &mut shell.b;
+
+    let send = b.new_block();
+    let defer = b.new_block();
+    let join = b.new_block();
+
+    // Classify: queue = (src-address byte) & 3; length from the header.
+    let w3 = b.load(MemSpace::Sdram, pkt, 12);
+    let q = b.and(w3, Operand::Imm(3));
+    let w1 = b.load(MemSpace::Sdram, pkt, 16);
+    let len = b.and(w1, Operand::Imm(0x7ff));
+
+    // Load queue state.
+    let qoff = b.shl(q, Operand::Imm(3));
+    let entry = b.add(table, qoff);
+    let deficit = b.load(MemSpace::Sram, entry, 0);
+    let quantum = b.load(MemSpace::Sram, entry, 4);
+    let budget = b.add(deficit, quantum);
+
+    // if budget >= len: send (deficit = budget - len) else defer
+    // (deficit = budget, capped).
+    b.branch(Cond::GeU, budget, len, send, defer);
+
+    b.switch_to(send);
+    let left = b.sub(budget, len);
+    b.store(MemSpace::Sram, entry, 0, left);
+    // Forwarding a packet is observable output.
+    let tag = b.or(len, Operand::Imm(0x8000_0000u32 as i64));
+    shell.absorb(tag);
+    shell.b.jump(join);
+
+    let b = &mut shell.b;
+    b.switch_to(defer);
+    let capped = b.and(budget, Operand::Imm(0xffff));
+    b.store(MemSpace::Sram, entry, 0, capped);
+    shell.absorb(capped);
+    shell.b.jump(join);
+
+    shell.b.switch_to(join);
+    let b = &mut shell.b;
+    let probe = b.load(MemSpace::Sram, entry, 0);
+
+    // Service-class accounting: each class updates statistics keeping a
+    // different pair of the precomputed counters alive across its
+    // store — the paper's Figure 9 pairwise-boundary-interference
+    // pattern.
+    let ga = b.xor(probe, len);
+    let gb = b.shr(probe, Operand::Imm(3));
+    let gc = b.shl(len, Operand::Imm(2));
+    let class = b.and(len, Operand::Imm(3));
+    let c0 = b.new_block();
+    let c12 = b.new_block();
+    let c1 = b.new_block();
+    let c2 = b.new_block();
+    let done = b.new_block();
+    b.branch(Cond::Eq, class, Operand::Imm(0), c0, c12);
+
+    b.switch_to(c0);
+    b.store(MemSpace::Sram, entry, 32, probe); // ga, gb live across
+    let s0 = b.add(ga, gb);
+    shell.absorb(s0);
+    shell.b.jump(done);
+
+    let b = &mut shell.b;
+    b.switch_to(c12);
+    b.branch(Cond::Eq, class, Operand::Imm(1), c1, c2);
+
+    b.switch_to(c1);
+    b.store(MemSpace::Sram, entry, 36, probe); // ga, gc live across
+    let s1 = b.add(ga, gc);
+    shell.absorb(s1);
+    shell.b.jump(done);
+
+    let b = &mut shell.b;
+    b.switch_to(c2);
+    b.store(MemSpace::Sram, entry, 40, probe); // gb, gc live across
+    let s2 = b.add(gb, gc);
+    shell.absorb(s2);
+    shell.b.jump(done);
+
+    shell.b.switch_to(done);
+    shell.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Kernel;
+    use regbal_analysis::ProgramInfo;
+
+    #[test]
+    fn drr_has_branchy_queue_logic() {
+        let f = Kernel::Drr.build(0, 4);
+        let info = ProgramInfo::compute(&f);
+        assert!(f.num_blocks() >= 5);
+        assert!(info.pressure.regp_max <= 14);
+        assert!(f.num_ctx_insts() >= 6, "table RMW traffic");
+    }
+}

@@ -1,0 +1,82 @@
+//! IP fragmentation with checksum recomputation (CommBench `frag`) —
+//! the paper's Figure 4 running example.
+//!
+//! Sums the header words in a read loop (each read is a CSB, plus a
+//! voluntary `ctx` inserted by the programmer), folds the one's
+//! complement checksum, and emits two fragment headers.
+
+use super::Shell;
+use regbal_ir::{Cond, Func, MemSpace, Operand};
+
+pub(super) fn build(mut shell: Shell) -> Func {
+    let pkt = shell.pkt;
+    let out = shell.out;
+    let b = &mut shell.b;
+
+    let loop_head = b.new_block();
+    let loop_body = b.new_block();
+    let fold = b.new_block();
+
+    // sum = 0; ptr = pkt + 12 (IP header); len = 5 words.
+    let sum = b.imm(0);
+    let ptr = b.add(pkt, Operand::Imm(12));
+    let len = b.imm(5);
+    b.jump(loop_head);
+
+    // while (len) { sum += *ptr++; ctx; }   — the BB2/BB3 loop of Fig. 4.
+    b.switch_to(loop_head);
+    b.branch(Cond::Ne, len, Operand::Imm(0), loop_body, fold);
+
+    b.switch_to(loop_body);
+    let w = b.load(MemSpace::Sdram, ptr, 0);
+    let lo = b.and(w, Operand::Imm(0xffff));
+    let hi = b.shr(w, Operand::Imm(16));
+    b.add_to(sum, sum, lo);
+    b.add_to(sum, sum, hi);
+    b.add_to(ptr, ptr, Operand::Imm(4));
+    b.sub_to(len, len, Operand::Imm(1));
+    b.ctx(); // voluntary fairness switch, as in the paper's example
+    b.jump(loop_head);
+
+    // Fold: sum = (sum & 0xFFFF) + (sum >> 16), twice; csum = ~sum.
+    b.switch_to(fold);
+    for _ in 0..2 {
+        let lo = b.and(sum, Operand::Imm(0xffff));
+        let hi = b.shr(sum, Operand::Imm(16));
+        b.mov_to(sum, lo);
+        b.add_to(sum, sum, hi);
+    }
+    let csum = b.un(regbal_ir::UnOp::Not, sum);
+    let csum = b.and(csum, Operand::Imm(0xffff));
+
+    // Build two fragment headers: original words patched with new
+    // offsets and the recomputed checksum.
+    let w0 = b.load(MemSpace::Sdram, pkt, 12);
+    let frag_off = b.imm(0x2000); // more-fragments flag
+    let h0 = b.or(w0, frag_off);
+    b.store(MemSpace::Scratch, out, 16, h0);
+    b.store(MemSpace::Scratch, out, 20, csum);
+    let h1 = b.xor(h0, csum);
+    b.store(MemSpace::Scratch, out, 24, h1);
+
+    shell.absorb(csum);
+    shell.absorb(h1);
+    shell.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Kernel;
+    use regbal_analysis::ProgramInfo;
+
+    #[test]
+    fn frag_matches_figure4_shape() {
+        let f = Kernel::Frag.build(0, 4);
+        let info = ProgramInfo::compute(&f);
+        // Loads + ctx in the loop, stores at the end: several NSRs.
+        assert!(info.nsr.num_regions() >= 3, "{}", info.nsr.num_regions());
+        assert!(info.pressure.regp_max <= 14);
+        // sum/ptr/len live across the in-loop CSBs: boundary pressure.
+        assert!(info.pressure.regp_csb_max >= 4);
+    }
+}

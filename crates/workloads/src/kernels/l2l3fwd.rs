@@ -1,0 +1,191 @@
+//! Layer-2/3 packet forwarding, receive and send sides (modelled on
+//! the Intel IXP example code the paper uses as `L2l3fwd receive` /
+//! `send`).
+//!
+//! The receive side validates the header, hashes the destination
+//! address into a next-hop table and enqueues a descriptor; the send
+//! side dequeues, patches TTL and checksum and emits the new header.
+//! Both are lean, queue-centric kernels.
+
+use super::Shell;
+use crate::layout::Bases;
+use regbal_ir::{Cond, Func, MemSpace, Operand};
+use regbal_sim::Memory;
+
+const NEXTHOP_OFF: i64 = 0x200; // 64-entry next-hop table
+const RING_OFF: i64 = 0x600; // 16-entry descriptor ring
+
+pub(super) fn prepare_tables(mem: &mut Memory, b: Bases) {
+    for i in 0..64u32 {
+        mem.write_word(
+            MemSpace::Sram,
+            b.table + NEXTHOP_OFF as u32 + i * 4,
+            0x0a00_0000 | (i * 7 + 1),
+        );
+    }
+    // Pre-filled descriptor ring for the send side.
+    for i in 0..16u32 {
+        mem.write_word(
+            MemSpace::Sram,
+            b.table + RING_OFF as u32 + i * 8,
+            b.pkt + (i % 4) * 64,
+        );
+        mem.write_word(
+            MemSpace::Sram,
+            b.table + RING_OFF as u32 + i * 8 + 4,
+            0x0a00_0040 | i,
+        );
+    }
+}
+
+pub(super) fn build_rx(mut shell: Shell) -> Func {
+    let pkt = shell.pkt;
+    let table = shell.table;
+    let csum = shell.csum;
+    let b = &mut shell.b;
+
+    let valid = b.new_block();
+    let drop = b.new_block();
+    let join = b.new_block();
+
+    // Ethertype/version check.
+    let w0 = b.load(MemSpace::Sdram, pkt, 12);
+    let ethertype = b.and(w0, Operand::Imm(0xffff));
+    b.branch(Cond::Eq, ethertype, Operand::Imm(0x0008), valid, drop);
+
+    b.switch_to(valid);
+    // Hash the destination address into the next-hop table.
+    let daddr = b.load(MemSpace::Sdram, pkt, 28);
+    let h1 = b.shr(daddr, Operand::Imm(16));
+    let h = b.xor(daddr, h1);
+    let h = b.and(h, Operand::Imm(63));
+    let hoff = b.shl(h, Operand::Imm(2));
+    let slot = b.add(table, hoff);
+    let nexthop = b.load(MemSpace::Sram, slot, NEXTHOP_OFF);
+    // Protocol dispatch: each handler keeps a *different pair* of the
+    // precomputed header fields alive across its descriptor store — the
+    // pairwise-interference-at-different-CSBs pattern of the paper's
+    // Figure 9, where the boundary graph needs one more color than any
+    // single switch (MaxPR = RegPCSBmax + 1 until a live range is
+    // split).
+    let fa = b.xor(daddr, Operand::Imm(0x5a5a));
+    let fb = b.shr(daddr, Operand::Imm(7));
+    let fc = b.add(nexthop, Operand::Imm(3));
+    let ring_idx = b.and(csum, Operand::Imm(15));
+    let roff = b.shl(ring_idx, Operand::Imm(3));
+    let entry = b.add(table, roff);
+    let proto = b.and(daddr, Operand::Imm(1));
+    let tcp = b.new_block();
+    let not_tcp = b.new_block();
+    let udp = b.new_block();
+    let icmp = b.new_block();
+    b.branch(Cond::Eq, proto, Operand::Imm(0), tcp, not_tcp);
+
+    b.switch_to(tcp);
+    b.store(MemSpace::Sram, entry, RING_OFF, pkt); // fa, fb live across
+    let t0 = b.add(fa, fb);
+    b.store(MemSpace::Sram, entry, RING_OFF + 4, t0);
+    shell.absorb(t0);
+    shell.b.jump(join);
+
+    let b = &mut shell.b;
+    b.switch_to(not_tcp);
+    let kind = b.and(daddr, Operand::Imm(2));
+    b.branch(Cond::Eq, kind, Operand::Imm(0), udp, icmp);
+
+    b.switch_to(udp);
+    b.store(MemSpace::Sram, entry, RING_OFF, pkt); // fa, fc live across
+    let t1 = b.add(fa, fc);
+    b.store(MemSpace::Sram, entry, RING_OFF + 4, t1);
+    shell.absorb(t1);
+    shell.b.jump(join);
+
+    let b = &mut shell.b;
+    b.switch_to(icmp);
+    b.store(MemSpace::Sram, entry, RING_OFF, pkt); // fb, fc live across
+    let t2 = b.add(fb, fc);
+    b.store(MemSpace::Sram, entry, RING_OFF + 4, t2);
+    shell.absorb(t2);
+    shell.b.jump(join);
+
+    let b = &mut shell.b;
+    b.switch_to(drop);
+    let bad = b.imm(0xdead);
+    shell.absorb(bad);
+    shell.b.jump(join);
+
+    shell.b.switch_to(join);
+    shell.finish()
+}
+
+pub(super) fn build_tx(mut shell: Shell) -> Func {
+    let table = shell.table;
+    let out = shell.out;
+    let csum = shell.csum;
+
+    // Two descriptors are transmitted per main-loop iteration (real
+    // send loops batch the ring to amortise the dequeue cost).
+    for batch in 0..2i64 {
+        let b = &mut shell.b;
+        let alive = b.new_block();
+        let expired = b.new_block();
+        let join = b.new_block();
+
+        // Dequeue a descriptor.
+        let mix = b.add(csum, Operand::Imm(batch));
+        let ring_idx = b.and(mix, Operand::Imm(15));
+        let roff = b.shl(ring_idx, Operand::Imm(3));
+        let entry = b.add(table, roff);
+        let paddr = b.load(MemSpace::Sram, entry, RING_OFF);
+        let nexthop = b.load(MemSpace::Sram, entry, RING_OFF + 4);
+
+        // Load the MAC/TTL words, decrement TTL.
+        let w0 = b.load(MemSpace::Sdram, paddr, 12);
+        let w2 = b.load(MemSpace::Sdram, paddr, 20);
+        let ttl = b.shr(w2, Operand::Imm(16));
+        let ttl = b.and(ttl, Operand::Imm(0xff));
+        b.branch(Cond::GeU, ttl, Operand::Imm(2), alive, expired);
+
+        b.switch_to(alive);
+        let dec = b.sub(w2, Operand::Imm(0x1_0000));
+        // Incremental checksum update (RFC 1624 flavour).
+        let adj = b.add(dec, Operand::Imm(1));
+        let mac = b.xor(w0, nexthop);
+        b.store(MemSpace::Scratch, out, 16 + batch * 16, adj);
+        b.store(MemSpace::Scratch, out, 20 + batch * 16, mac);
+        shell.absorb(adj);
+        shell.b.jump(join);
+
+        let b = &mut shell.b;
+        b.switch_to(expired);
+        // TTL expired: emit an ICMP-ish note instead.
+        let note = b.xor(nexthop, Operand::Imm(0x1111));
+        b.store(MemSpace::Scratch, out, 24 + batch * 16, note);
+        shell.absorb(note);
+        shell.b.jump(join);
+
+        shell.b.switch_to(join);
+    }
+    shell.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Kernel;
+    use regbal_analysis::ProgramInfo;
+
+    #[test]
+    fn forwarding_kernels_are_lean() {
+        for k in [Kernel::L2l3fwdRx, Kernel::L2l3fwdTx] {
+            let f = k.build(0, 4);
+            let info = ProgramInfo::compute(&f);
+            assert!(
+                info.pressure.regp_max <= 14,
+                "{}: {}",
+                k.name(),
+                info.pressure.regp_max
+            );
+            assert!(f.num_blocks() >= 4);
+        }
+    }
+}

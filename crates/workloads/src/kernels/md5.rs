@@ -1,0 +1,129 @@
+//! MD5-style message digest (NetBench `md5` flavour).
+//!
+//! Streams the packet through the compression function in three
+//! four-word groups: each group arrives in one burst and is consumed by
+//! eight mixing steps, with a voluntary `ctx` after each four-step pass
+//! so the thread never monopolises the non-preemptive PU (paper
+//! footnote 1). The resident group words are live across those yields,
+//! so md5 is the *private*-register-hungry benchmark: under a fixed
+//! partition it spills, and the balancing allocator must grant it a
+//! larger share — the mechanism behind the paper's scenarios 1 and 2.
+
+use super::{rotl, Shell};
+use regbal_ir::{Func, FuncBuilder, MemSpace, Operand, UnOp, VReg};
+
+/// MD5 per-step shift amounts (first two rounds of the real MD5).
+const SHIFTS: [i64; 8] = [7, 12, 17, 22, 5, 9, 14, 20];
+
+/// Sine-table constants (a subset of the real MD5 T table).
+const T: [i64; 12] = [
+    0xd76a_a478,
+    0xe8c7_b756,
+    0x2420_70db,
+    0xc1bd_ceee,
+    0xf57c_0faf,
+    0x4787_c62a,
+    0xa830_4613,
+    0xfd46_9501,
+    0x6980_98d8,
+    0x8b44_f7af,
+    0xffff_5bb1,
+    0x895c_d7be,
+];
+
+pub(super) fn build(mut shell: Shell) -> Func {
+    let pkt = shell.pkt;
+    let b = &mut shell.b;
+
+    // Initial state (the real MD5 IVs).
+    let a = b.imm(0x6745_2301);
+    let bb = b.imm(0xefcd_ab89u32 as i64);
+    let c = b.imm(0x98ba_dcfeu32 as i64);
+    let d = b.imm(0x1032_5476);
+    let mut state = [a, bb, c, d];
+
+    // Three groups of four message words; each group is used by an
+    // F-pass and a G-pass (eight steps) while resident, with a fairness
+    // yield between the passes and after each group.
+    for g in 0..3usize {
+        let m: Vec<VReg> = b.load_burst(MemSpace::Sdram, pkt, (g * 16) as i64, 4);
+        for pass in 0..2usize {
+            for (j, &mj) in m.iter().enumerate() {
+                let step = g * 8 + pass * 4 + j;
+                md5_step(
+                    b,
+                    &mut state,
+                    mj,
+                    SHIFTS[(pass * 4 + j) % 8],
+                    T[step % 12],
+                    pass == 1,
+                );
+            }
+        }
+    }
+
+    // Fold the state into the digest words and the running checksum.
+    let [a, bb, c, d] = state;
+    let d0 = b.add(a, bb);
+    let d1 = b.add(c, d);
+    b.store_burst(MemSpace::Scratch, shell.out, 8, &[d0, d1]);
+    shell.absorb(d0);
+    shell.absorb(d1);
+    shell.finish()
+}
+
+/// One MD5 step: `a = b + rotl(a + f(b,c,d) + m + t, s)`, then the
+/// state rotates `(a,b,c,d) → (d, a', b, c)`.
+fn md5_step(b: &mut FuncBuilder, state: &mut [VReg; 4], m: VReg, s: i64, t: i64, g_round: bool) {
+    let [a, x, y, z] = *state;
+    let f = if g_round {
+        // G(b,c,d) = (d & b) | (!d & c)
+        let db = b.and(z, x);
+        let nd = b.un(UnOp::Not, z);
+        let ndc = b.and(nd, y);
+        b.or(db, ndc)
+    } else {
+        // F(b,c,d) = (b & c) | (!b & d)
+        let bc = b.and(x, y);
+        let nb = b.un(UnOp::Not, x);
+        let nbd = b.and(nb, z);
+        b.or(bc, nbd)
+    };
+    let sum = b.add(a, f);
+    let sum = b.add(sum, m);
+    let sum = b.add(sum, Operand::Imm(t));
+    let rot = rotl(b, sum, s);
+    let new_a = b.add(x, rot);
+    *state = [z, new_a, x, y];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Kernel, Shell};
+    use regbal_analysis::ProgramInfo;
+
+    #[test]
+    fn md5_profile() {
+        let f = Kernel::Md5.build(0, 4);
+        let info = ProgramInfo::compute(&f);
+        // High total pressure, modest boundary pressure: the group
+        // words and step temporaries are internal.
+        assert!(info.pressure.regp_max >= 13, "{}", info.pressure.regp_max);
+        assert!(
+            info.pressure.regp_max >= info.pressure.regp_csb_max + 3,
+            "{} vs {}",
+            info.pressure.regp_max,
+            info.pressure.regp_csb_max
+        );
+        assert!(f.num_insts() > 150);
+    }
+
+    #[test]
+    fn shell_absorb_mixes() {
+        let mut shell = Shell::new("t", 0, 1);
+        let v = shell.b.imm(5);
+        shell.absorb(v);
+        let f = shell.finish();
+        f.validate().unwrap();
+    }
+}

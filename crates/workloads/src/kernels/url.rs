@@ -1,0 +1,114 @@
+//! URL / signature matching over payload words (NetBench `url`
+//! flavour): compares a sliding window of the payload against patterns
+//! stored in SRAM, counting hits — branch-heavy with modest pressure.
+
+use super::Shell;
+use crate::layout::Bases;
+use regbal_ir::{Cond, Func, MemSpace, Operand};
+use regbal_sim::Memory;
+
+/// Two 32-bit patterns at `table + 0x40`.
+pub(super) fn prepare_tables(mem: &mut Memory, b: Bases) {
+    mem.write_word(MemSpace::Sram, b.table + 0x40, u32::from_le_bytes(*b"http"));
+    mem.write_word(MemSpace::Sram, b.table + 0x44, u32::from_le_bytes(*b"GET "));
+}
+
+pub(super) fn build(mut shell: Shell) -> Func {
+    let pkt = shell.pkt;
+    let table = shell.table;
+    let b = &mut shell.b;
+
+    let head = b.new_block();
+    let body = b.new_block();
+    let hit1 = b.new_block();
+    let chk2 = b.new_block();
+    let hit2 = b.new_block();
+    let next = b.new_block();
+    let done = b.new_block();
+
+    let pat0 = b.load(MemSpace::Sram, table, 0x40);
+    let pat1 = b.load(MemSpace::Sram, table, 0x44);
+    let hits = b.imm(0);
+    let i = b.imm(0);
+    b.jump(head);
+
+    b.switch_to(head);
+    b.branch(Cond::Lt, i, Operand::Imm(8), body, done);
+
+    b.switch_to(body);
+    let off = b.shl(i, Operand::Imm(2));
+    let addr = b.add(pkt, off);
+    let w = b.load(MemSpace::Sdram, addr, 24);
+    b.branch(Cond::Eq, w, pat0, hit1, chk2);
+
+    b.switch_to(hit1);
+    b.add_to(hits, hits, Operand::Imm(1));
+    b.jump(next);
+
+    b.switch_to(chk2);
+    // Case-insensitive-ish second chance: mask the low bits.
+    let folded = b.and(w, Operand::Imm(0xdfdf_dfdfu32 as i64));
+    let pat1f = b.and(pat1, Operand::Imm(0xdfdf_dfdfu32 as i64));
+    b.branch(Cond::Eq, folded, pat1f, hit2, next);
+
+    b.switch_to(hit2);
+    b.add_to(hits, hits, Operand::Imm(2));
+    b.jump(next);
+
+    b.switch_to(next);
+    b.add_to(i, i, Operand::Imm(1));
+    b.jump(head);
+
+    b.switch_to(done);
+    // Per-match-kind statistics: the three outcome handlers each keep a
+    // different pair of summary fields alive across their stats store
+    // (paper Fig. 9 pattern).
+    let sa = b.xor(hits, pat0);
+    let sb = b.add(hits, pat1);
+    let sc = b.shl(hits, Operand::Imm(3));
+    let kind = b.and(hits, Operand::Imm(3));
+    let k0 = b.new_block();
+    let k12 = b.new_block();
+    let k1 = b.new_block();
+    let k2 = b.new_block();
+    let fin = b.new_block();
+    b.branch(Cond::Eq, kind, Operand::Imm(0), k0, k12);
+
+    b.switch_to(k0);
+    b.store(MemSpace::Sram, table, 0x80, hits); // sa, sb live across
+    let r0 = b.add(sa, sb);
+    shell.absorb(r0);
+    shell.b.jump(fin);
+
+    let b = &mut shell.b;
+    b.switch_to(k12);
+    b.branch(Cond::Eq, kind, Operand::Imm(1), k1, k2);
+
+    b.switch_to(k1);
+    b.store(MemSpace::Sram, table, 0x84, hits); // sa, sc live across
+    let r1 = b.add(sa, sc);
+    shell.absorb(r1);
+    shell.b.jump(fin);
+
+    let b = &mut shell.b;
+    b.switch_to(k2);
+    b.store(MemSpace::Sram, table, 0x88, hits); // sb, sc live across
+    let r2 = b.add(sb, sc);
+    shell.absorb(r2);
+    shell.b.jump(fin);
+
+    shell.b.switch_to(fin);
+    shell.absorb(hits);
+    shell.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Kernel;
+
+    #[test]
+    fn url_is_branch_heavy() {
+        let f = Kernel::Url.build(0, 4);
+        assert!(f.num_blocks() >= 8, "{}", f.num_blocks());
+    }
+}

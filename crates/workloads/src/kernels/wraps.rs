@@ -1,0 +1,155 @@
+//! WRAPS packet scheduling (Zhuang & Liu, HiPC 2002 — the paper's
+//! reference [18]), receive and send sides.
+//!
+//! The receive side keeps per-flow credit state for ten flows resident
+//! in registers while it charges the arriving packet and searches for
+//! the most-credited flow — the highest register pressure in the suite,
+//! which is why `wraps` is the thread that "can run much slower (due to
+//! spills) if registers are not allocated properly" (paper §9,
+//! scenario 3).
+
+use super::{rotl, Shell};
+use crate::layout::Bases;
+use regbal_ir::{Cond, Func, MemSpace, Operand, VReg};
+use regbal_sim::Memory;
+
+const FLOWS: usize = 8;
+const CREDIT_OFF: i64 = 0x300;
+
+pub(super) fn prepare_tables(mem: &mut Memory, b: Bases) {
+    for i in 0..FLOWS as u32 {
+        mem.write_word(
+            MemSpace::Sram,
+            b.table + CREDIT_OFF as u32 + i * 4,
+            100 * (i + 1),
+        );
+    }
+}
+
+pub(super) fn build_rx(mut shell: Shell) -> Func {
+    let pkt = shell.pkt;
+    let table = shell.table;
+    let b = &mut shell.b;
+
+    // Packet length and flow id first (so the credit vector below does
+    // not sit across these switches).
+    let w1 = b.load(MemSpace::Sdram, pkt, 16);
+    let len = b.and(w1, Operand::Imm(0x7ff));
+    let w3 = b.load(MemSpace::Sdram, pkt, 28);
+    let flow = b.and(w3, Operand::Imm(7)); // flows 0..8 get traffic
+
+    // Pull the whole credit vector into registers with one burst: ten
+    // words live together — internally — through classification,
+    // charging and the argmax scan.
+    let credits: Vec<VReg> = b.load_burst(MemSpace::Sram, table, CREDIT_OFF, FLOWS);
+
+    // Weighted replenish: credit[i] += weight(i) (weights as constants,
+    // like a compiled-in WRAPS schedule), then charge the packet's flow.
+    for (i, &c) in credits.iter().enumerate() {
+        b.add_to(c, c, Operand::Imm(10 + 3 * i as i64));
+    }
+    // Charge: credit[flow] -= len, done branch-free over all flows:
+    // mask = (i == flow) ? ~0 : 0; credit -= len & mask.
+    for (i, &c) in credits.iter().enumerate() {
+        let eq = b.xor(flow, Operand::Imm(i as i64));
+        // eq == 0 iff this is the flow; build the all-ones mask.
+        let nz = b.bin(regbal_ir::BinOp::SetLtU, eq, Operand::Imm(1)); // 1 if eq==0
+        let mask = b.bin(regbal_ir::BinOp::Sub, nz, Operand::Imm(1)); // 0 if hit, ~0 if miss
+        let inv = b.un(regbal_ir::UnOp::Not, mask); // ~0 if hit
+        let charge = b.and(len, inv);
+        b.sub_to(c, c, charge);
+    }
+
+    // Argmax scan: which flow may send next.
+    let best = b.mov(credits[0]);
+    let best_idx = b.imm(0);
+    for (i, &c) in credits.iter().enumerate().skip(1) {
+        let take = b.new_block();
+        let skip = b.new_block();
+        b.branch(Cond::GeU, c, best, take, skip);
+        b.switch_to(take);
+        b.mov_to(best, c);
+        b.mov_to(best_idx, Operand::Imm(i as i64));
+        b.jump(skip);
+        b.switch_to(skip);
+    }
+
+    // Write back the whole credit vector in one burst.
+    b.store_burst(MemSpace::Sram, table, CREDIT_OFF, &credits);
+    let mix = rotl(b, best, 7);
+    let tag = b.xor(mix, best_idx);
+    shell.absorb(tag);
+    shell.finish()
+}
+
+pub(super) fn build_tx(mut shell: Shell) -> Func {
+    let table = shell.table;
+    let out = shell.out;
+    let b = &mut shell.b;
+
+    // Load six ring slots in one burst, compute a weighted emission
+    // order key for each (kept live together), emit the best two.
+    let slots: Vec<VReg> = b.load_burst(MemSpace::Sram, table, CREDIT_OFF, 6);
+    let keys: Vec<VReg> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let w = b.shl(s, Operand::Imm((i % 3) as i64));
+            b.add(w, Operand::Imm(i as i64))
+        })
+        .collect();
+    // Tournament for the two largest keys.
+    let first = b.mov(keys[0]);
+    let second = b.imm(0);
+    for &k in &keys[1..] {
+        let promote = b.new_block();
+        let try_second = b.new_block();
+        let next = b.new_block();
+        b.branch(Cond::GeU, k, first, promote, try_second);
+        b.switch_to(promote);
+        b.mov_to(second, first);
+        b.mov_to(first, k);
+        b.jump(next);
+        b.switch_to(try_second);
+        let t2 = b.new_block();
+        b.branch(Cond::GeU, k, second, t2, next);
+        b.switch_to(t2);
+        b.mov_to(second, k);
+        b.jump(next);
+        b.switch_to(next);
+    }
+    b.store(MemSpace::Scratch, out, 16, first);
+    b.store(MemSpace::Scratch, out, 20, second);
+    let mixed = b.xor(first, second);
+    shell.absorb(mixed);
+    shell.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Kernel;
+    use regbal_analysis::ProgramInfo;
+
+    #[test]
+    fn wraps_rx_pressure_is_highest_tier() {
+        let f = Kernel::WrapsRx.build(0, 4);
+        let info = ProgramInfo::compute(&f);
+        assert!(info.pressure.regp_max >= 16, "{}", info.pressure.regp_max);
+        // The credit vector arrives in one burst and is written back in
+        // one burst, so it never crosses a switch: internal pressure
+        // dominates boundary pressure.
+        assert!(
+            info.pressure.regp_csb_max + 8 <= info.pressure.regp_max,
+            "{} vs {}",
+            info.pressure.regp_csb_max,
+            info.pressure.regp_max
+        );
+    }
+
+    #[test]
+    fn wraps_tx_moderate_pressure() {
+        let f = Kernel::WrapsTx.build(0, 4);
+        let info = ProgramInfo::compute(&f);
+        assert!(info.pressure.regp_max >= 10);
+    }
+}

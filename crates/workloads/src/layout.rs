@@ -1,0 +1,51 @@
+//! Per-slot memory layout so concurrent threads use disjoint buffers.
+
+/// Bytes of scratch memory reserved for each slot's output region.
+pub(crate) const OUT_REGION_BYTES: usize = 256;
+
+/// Byte stride of one packet in SDRAM (header + payload window).
+pub(crate) const PKT_STRIDE: u32 = 64;
+
+/// Base addresses of one memory slot.
+///
+/// Each simulated thread is bound to a slot: packet buffers in SDRAM,
+/// lookup tables and queues in SRAM, observable results in scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bases {
+    /// First packet byte in SDRAM.
+    pub pkt: u32,
+    /// Table/queue area in SRAM.
+    pub table: u32,
+    /// Output region in scratch memory.
+    pub out: u32,
+}
+
+impl Bases {
+    /// The layout of memory slot `slot` (supports at least 8 slots
+    /// within the default simulator memory sizes).
+    pub fn for_slot(slot: usize) -> Bases {
+        let s = slot as u32;
+        Bases {
+            pkt: 0x40000 * s,
+            table: 0x8000 * s,
+            out: 0x400 * s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_disjoint() {
+        for a in 0..8usize {
+            for b in (a + 1)..8 {
+                let (x, y) = (Bases::for_slot(a), Bases::for_slot(b));
+                assert!(x.pkt.abs_diff(y.pkt) >= 0x40000);
+                assert!(x.table.abs_diff(y.table) >= 0x8000);
+                assert!(x.out.abs_diff(y.out) >= OUT_REGION_BYTES as u32);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Explore the §5 register-requirement bounds across the benchmark
+//! suite, and how the zero-cost reduction frontier compares to a
+//! standalone allocation.
+//!
+//! Run with `cargo run --release --example bounds_explorer`.
+
+use regbal_analysis::ProgramInfo;
+use regbal_core::{estimate_bounds, zero_cost_frontier};
+use regbal_workloads::{Kernel, Workload};
+
+fn main() {
+    println!(
+        "{:12} {:>6} {:>5} {:>6} {:>5} | {:>9} {:>9}",
+        "kernel", "MinPR", "MinR", "MaxPR", "MaxR", "free PR", "free SR"
+    );
+    println!("{}", "-".repeat(66));
+    for k in Kernel::ALL {
+        let w = Workload::new(k, 0, 32);
+        let info = ProgramInfo::compute(&w.func);
+        let b = estimate_bounds(&info).bounds;
+        // How far can the allocator shrink this thread without
+        // inserting a single move instruction?
+        let frontier = zero_cost_frontier(&w.func);
+        println!(
+            "{:12} {:>6} {:>5} {:>6} {:>5} | {:>9} {:>9}",
+            k.name(),
+            b.min_pr,
+            b.min_r,
+            b.max_pr,
+            b.max_r,
+            frontier.pr(),
+            frontier.sr(),
+        );
+    }
+    println!();
+    println!("MinPR = RegPCSBmax (values live across one switch; Lemma 1)");
+    println!("MinR  = RegPmax    (co-live values anywhere)");
+    println!("Max*  = demand without any live-range splitting (Fig. 7)");
+    println!("free  = the zero-move frontier the Figure 14 evaluation reports");
+}

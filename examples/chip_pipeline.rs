@@ -1,0 +1,148 @@
+//! The paper's Figure 2(a) in miniature: a chip with three processing
+//! units in a packet pipeline — receive, process, transmit — passing
+//! packets through SRAM rings, with every PU running **allocated**
+//! (physical-register) code produced by the balancing allocator.
+//!
+//! Run with `cargo run --release --example chip_pipeline`.
+
+use regbal_core::allocate_threads;
+use regbal_ir::{parse_func, Func, MemSpace};
+use regbal_sim::{Chip, SimConfig};
+
+const PKTS: u32 = 12;
+
+/// Ring descriptor: [head, tail] words at `base`, slots at `base+64`.
+fn ring_src(name: &str, body: &str) -> Func {
+    parse_func(&format!("func {name} {{\n{body}\n}}")).expect("valid stage")
+}
+
+fn rx() -> Func {
+    // Synthesise packets (ids 1..=PKTS) into ring A (base 1024).
+    ring_src(
+        "rx",
+        "
+bb0:
+    v0 = mov 1024
+    v1 = mov 12
+    v2 = mov 1
+    jump push
+push:
+    v3 = load sram[v0+0]
+    v4 = load sram[v0+4]
+    v5 = sub v3, v4
+    bgeu v5, 32, push, ok      ; ring full -> spin
+ok:
+    v6 = and v3, 31
+    v7 = add v0, v6
+    store sram[v7+64], v2
+    v3 = add v3, 4
+    store sram[v0+0], v3
+    v2 = add v2, 1
+    v1 = sub v1, 1
+    iter_end
+    bne v1, 0, push, done
+done:
+    halt",
+    )
+}
+
+fn proc_stage() -> Func {
+    // Pop from ring A (1024), square-ish transform, push to ring B (2048).
+    ring_src(
+        "process",
+        "
+bb0:
+    v0 = mov 1024
+    v1 = mov 2048
+    v2 = mov 12
+    jump wait
+wait:
+    v3 = load sram[v0+0]
+    v4 = load sram[v0+4]
+    beq v3, v4, wait, pop
+pop:
+    v5 = and v4, 31
+    v6 = add v0, v5
+    v7 = load sram[v6+64]
+    v4 = add v4, 4
+    store sram[v0+4], v4
+    v8 = mul v7, v7
+    v9 = add v8, 7
+    store sram[v1+64], v9      ; single-slot handoff for simplicity
+    v10 = load sram[v1+0]
+    v10 = add v10, 1
+    store sram[v1+0], v10      ; bump sequence number
+    v2 = sub v2, 1
+    iter_end
+    bne v2, 0, wait, done
+done:
+    halt",
+    )
+}
+
+fn tx() -> Func {
+    // Watch ring B's sequence number; accumulate transformed packets.
+    ring_src(
+        "tx",
+        "
+bb0:
+    v0 = mov 2048
+    v1 = mov 12
+    v2 = mov 0
+    v3 = mov 0                  ; last sequence seen
+    jump wait
+wait:
+    v4 = load sram[v0+0]
+    beq v4, v3, wait, take
+take:
+    v3 = mov v4
+    v5 = load sram[v0+64]
+    v2 = add v2, v5
+    store scratch[v0+0], v2
+    v1 = sub v1, 1
+    iter_end
+    bne v1, 0, wait, done
+done:
+    halt",
+    )
+}
+
+fn main() {
+    let stages = [rx(), proc_stage(), tx()];
+
+    // Allocate each PU's single thread independently (each PU has its
+    // own register file; the paper's optimisation is per-PU).
+    let mut physical = Vec::new();
+    for stage in &stages {
+        let alloc = allocate_threads(std::slice::from_ref(stage), 16).expect("fits");
+        println!(
+            "{:8} PR={} SR={} of 16 registers",
+            stage.name,
+            alloc.threads[0].pr(),
+            alloc.threads[0].sr()
+        );
+        physical.push(alloc.rewrite_funcs(std::slice::from_ref(stage)).remove(0));
+    }
+
+    let run = |funcs: &[Func]| {
+        let mut chip = Chip::new(SimConfig::default(), 3);
+        for (pu, f) in funcs.iter().enumerate() {
+            chip.add_thread(pu, f.clone());
+        }
+        // Ring A head/tail start equal (1024 = empty).
+        chip.memory_mut().write_word(MemSpace::Sram, 1024, 1024);
+        chip.memory_mut().write_word(MemSpace::Sram, 1028, 1024);
+        let reports = chip.run(5_000_000, 16);
+        let done = reports.iter().all(|r| r.threads.iter().all(|t| t.halted));
+        (chip.memory().read_word(MemSpace::Scratch, 2048), done)
+    };
+
+    let (ref_sum, ref_done) = run(&stages);
+    let (phys_sum, phys_done) = run(&physical);
+    assert!(ref_done && phys_done, "pipeline must drain");
+    println!("\npackets through the 3-PU pipeline: {PKTS}");
+    println!("reference checksum: {ref_sum}");
+    println!("allocated checksum: {phys_sum}");
+    assert_eq!(ref_sum, phys_sum);
+    println!("the allocated pipeline is byte-identical to the reference.");
+}

@@ -1,0 +1,117 @@
+//! Threads that actually communicate: a producer fills a ring buffer in
+//! scratch memory, a consumer drains it. The paper assumes threads are
+//! mostly independent but notes its solution "still works under such
+//! circumstances" (§2, item 4) — this example demonstrates exactly
+//! that: the two programs are allocated together, share registers, and
+//! the hand-shake through memory stays correct.
+//!
+//! Run with `cargo run --example producer_consumer`.
+
+use regbal_core::allocate_threads;
+use regbal_ir::{parse_func, MemSpace};
+use regbal_sim::{SimConfig, Simulator, StopWhen};
+
+const RING: u32 = 0x100; // 8-slot ring of words
+const HEAD: u32 = 0x180; // producer write index
+const TAIL: u32 = 0x184; // consumer read index
+const OUT: u32 = 0x200; // consumer's running sum
+
+fn producer() -> regbal_ir::Func {
+    parse_func(
+        "
+func producer {
+bb0:
+    v0 = mov 256           ; ring base
+    v1 = mov 16            ; items to produce
+    v2 = mov 1             ; next value
+    jump wait
+wait:
+    v3 = load scratch[v0+128]   ; head
+    v4 = load scratch[v0+132]   ; tail
+    v5 = sub v3, v4
+    bgeu v5, 8, wait, push      ; ring full -> spin
+push:
+    v6 = and v3, 7
+    v7 = shl v6, 2
+    v8 = add v0, v7
+    store scratch[v8+0], v2     ; ring[head % 8] = value
+    v3 = add v3, 1
+    store scratch[v0+128], v3   ; head++
+    v2 = add v2, v2             ; next value doubles
+    v2 = add v2, 1
+    v1 = sub v1, 1
+    iter_end
+    bne v1, 0, wait, done
+done:
+    halt
+}",
+    )
+    .unwrap()
+}
+
+fn consumer() -> regbal_ir::Func {
+    parse_func(
+        "
+func consumer {
+bb0:
+    v0 = mov 256           ; ring base
+    v1 = mov 16            ; items to consume
+    v2 = mov 0             ; running sum
+    jump wait
+wait:
+    v3 = load scratch[v0+128]   ; head
+    v4 = load scratch[v0+132]   ; tail
+    beq v3, v4, wait, pop       ; ring empty -> spin
+pop:
+    v5 = and v4, 7
+    v6 = shl v5, 2
+    v7 = add v0, v6
+    v8 = load scratch[v7+0]     ; value = ring[tail % 8]
+    v2 = add v2, v8
+    v4 = add v4, 1
+    store scratch[v0+132], v4   ; tail++
+    store scratch[v0+256], v2   ; publish the sum
+    v1 = sub v1, 1
+    iter_end
+    bne v1, 0, wait, done
+done:
+    halt
+}",
+    )
+    .unwrap()
+}
+
+fn main() {
+    let funcs = vec![producer(), consumer()];
+    let alloc = allocate_threads(&funcs, 16).expect("two threads fit in 16 registers");
+    println!("producer: PR={} SR={}", alloc.threads[0].pr(), alloc.threads[0].sr());
+    println!("consumer: PR={} SR={}", alloc.threads[1].pr(), alloc.threads[1].sr());
+    println!("demand {} of 16 registers\n", alloc.total_registers());
+    let physical = alloc.rewrite_funcs(&funcs);
+
+    let run = |fs: &[regbal_ir::Func]| {
+        let mut sim = Simulator::new(SimConfig::default());
+        for f in fs {
+            sim.add_thread(f.clone());
+        }
+        let report = sim.run(StopWhen::Cycles(1_000_000));
+        assert!(report.threads.iter().all(|t| t.halted), "deadlock?");
+        (
+            sim.memory().read_word(MemSpace::Scratch, OUT),
+            sim.memory().read_word(MemSpace::Scratch, HEAD),
+            sim.memory().read_word(MemSpace::Scratch, TAIL),
+        )
+    };
+
+    let (ref_sum, head, tail) = run(&funcs);
+    let (phys_sum, _, _) = run(&physical);
+    println!("produced/consumed: {head}/{tail} items");
+    println!("reference sum: {ref_sum}");
+    println!("allocated sum: {phys_sum}");
+    assert_eq!(head, 16);
+    assert_eq!(tail, 16);
+    assert_eq!(ref_sum, phys_sum, "communication survives shared registers");
+    println!("\nthe hand-shake through memory is untouched by register sharing:");
+    println!("shared registers only ever hold values that are dead at every switch.");
+    let _ = RING;
+}

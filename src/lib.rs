@@ -1,0 +1,32 @@
+//! Facade crate re-exporting the whole `regbal` workspace.
+//!
+//! `regbal` reproduces *Balancing Register Allocation Across Threads for
+//! a Multithreaded Network Processor* (Zhuang & Pande, PLDI 2004): a
+//! compiler that balances a shared register file across the threads of a
+//! network-processor micro-engine, keeping values that are dead at every
+//! context switch in registers *shared* by all threads.
+//!
+//! The sub-crates are re-exported here under short names:
+//!
+//! * [`ir`] — the IXP-style RISC IR (instructions, CFG, parser, printer);
+//! * [`analysis`] — liveness, register pressure, context-switch
+//!   boundaries, non-switch regions;
+//! * [`igraph`] — the GIG/BIG/IIG interference graphs and coloring;
+//! * [`core`] — the allocators: bound estimation, intra-/inter-thread
+//!   allocation, the SRA sweep, the Chaitin spilling baseline, physical
+//!   rewriting and verification;
+//! * [`sim`] — a cycle-level micro-engine simulator;
+//! * [`workloads`] — the 11 benchmark kernels used by the paper's
+//!   evaluation (CommBench/NetBench-style).
+//!
+//! See the repository `README.md` for a walkthrough, and `examples/` for
+//! runnable end-to-end programs.
+
+#![forbid(unsafe_code)]
+
+pub use regbal_analysis as analysis;
+pub use regbal_core as core;
+pub use regbal_igraph as igraph;
+pub use regbal_ir as ir;
+pub use regbal_sim as sim;
+pub use regbal_workloads as workloads;

@@ -1,0 +1,148 @@
+//! Seeded random structured-program generator for property tests.
+//!
+//! Generated programs are acyclic (branches only jump forward), define
+//! every register before use (a preamble initialises the whole pool),
+//! confine memory traffic to a per-slot scratch window, and end by
+//! dumping the pool to memory — so two executions are comparable by
+//! memory snapshot and always terminate.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use regbal_ir::{BinOp, BlockId, Cond, Func, FuncBuilder, MemSpace, Operand, UnOp, VReg};
+
+/// Tunable size knobs for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of non-preamble blocks (≥ 1).
+    pub blocks: usize,
+    /// Register pool size (≥ 2).
+    pub pool: usize,
+    /// Maximum instructions per block.
+    pub block_len: usize,
+    /// Wrap the whole body in a bounded counting loop (exercises
+    /// back-edge liveness and split moves on loop edges).
+    pub outer_loop: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            blocks: 5,
+            pool: 8,
+            block_len: 8,
+            outer_loop: false,
+        }
+    }
+}
+
+/// Builds a random program. The same `seed` and `config` always produce
+/// the same structure; `slot_base` only changes the memory-window base
+/// immediate, so programs for different slots are structurally
+/// identical (as the SRA rewrite requires).
+pub fn random_program(seed: u64, slot_base: u32, config: GenConfig) -> Func {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = FuncBuilder::new("prop");
+
+    let body: Vec<BlockId> = (0..config.blocks).map(|_| b.new_block()).collect();
+    let dump = b.new_block();
+
+    // Preamble: define the pool, the memory base register, and (for
+    // looped programs) the trip counter.
+    let base = b.imm(slot_base as i64);
+    let pool: Vec<VReg> = (0..config.pool)
+        .map(|i| b.imm(rng.random_range(0..1000) + i as i64))
+        .collect();
+    let trips = b.imm(3);
+    b.jump(body[0]);
+
+    for (bi, &block) in body.iter().enumerate() {
+        b.switch_to(block);
+        let n = rng.random_range(1..=config.block_len);
+        for _ in 0..n {
+            let pick = |rng: &mut StdRng| pool[rng.random_range(0..config.pool)];
+            match rng.random_range(0..12u32) {
+                0..=5 => {
+                    let op = BinOp::ALL[rng.random_range(0..BinOp::ALL.len())];
+                    let dst = pick(&mut rng);
+                    let lhs = pick(&mut rng);
+                    let rhs = if rng.random_bool(0.5) {
+                        Operand::from(pick(&mut rng))
+                    } else {
+                        Operand::Imm(rng.random_range(0..64))
+                    };
+                    b.bin_to(op, dst, lhs, rhs);
+                }
+                6 => {
+                    let op = UnOp::ALL[rng.random_range(0..UnOp::ALL.len())];
+                    let dst = pick(&mut rng);
+                    let src = Operand::from(pick(&mut rng));
+                    b.un_to(op, dst, src);
+                }
+                7 => {
+                    let dst = pick(&mut rng);
+                    b.load_to(dst, MemSpace::Scratch, base, rng.random_range(0..64) * 4);
+                }
+                8 => {
+                    let src = pick(&mut rng);
+                    b.store(MemSpace::Scratch, base, rng.random_range(0..64) * 4, src);
+                }
+                9 => {
+                    // A small burst exercises multi-def instructions.
+                    let n = rng.random_range(2..=4.min(config.pool));
+                    let mut dsts: Vec<VReg> = Vec::new();
+                    while dsts.len() < n {
+                        let v = pick(&mut rng);
+                        if !dsts.contains(&v) {
+                            dsts.push(v);
+                        }
+                    }
+                    b.emit(regbal_ir::Inst::LoadBurst {
+                        dsts: dsts.into_iter().map(regbal_ir::Reg::Virt).collect(),
+                        base: regbal_ir::Reg::Virt(base),
+                        offset: rng.random_range(0..32) * 4,
+                        space: MemSpace::Scratch,
+                    });
+                }
+                10 => b.ctx(),
+                _ => b.nop(),
+            }
+        }
+        // Forward-only control flow keeps the program terminating.
+        let next = |rng: &mut StdRng| {
+            if bi + 1 < config.blocks {
+                body[rng.random_range(bi + 1..config.blocks)]
+            } else {
+                dump
+            }
+        };
+        if rng.random_bool(0.5) && bi + 1 < config.blocks {
+            let cond = Cond::ALL[rng.random_range(0..Cond::ALL.len())];
+            let lhs = pool[rng.random_range(0..config.pool)];
+            let taken = next(&mut rng);
+            let fall = next(&mut rng);
+            b.branch(cond, lhs, Operand::Imm(rng.random_range(0..32)), taken, fall);
+        } else {
+            b.jump(next(&mut rng));
+        }
+    }
+
+    // Dump: make every pool value observable. With an outer loop, the
+    // dump doubles as the loop latch: pool values are live around the
+    // back edge, so every register is loop-carried.
+    b.switch_to(dump);
+    for (i, &v) in pool.iter().enumerate() {
+        b.store(MemSpace::Scratch, base, 0x200 + (i as i64) * 4, v);
+    }
+    b.iter_end();
+    if config.outer_loop {
+        let exit = b.new_block();
+        b.sub_to(trips, trips, Operand::Imm(1));
+        b.branch(Cond::Ne, trips, Operand::Imm(0), body[0], exit);
+        b.switch_to(exit);
+        b.store(MemSpace::Scratch, base, 0x1f0, trips);
+        b.halt();
+    } else {
+        b.halt();
+    }
+    b.build().expect("generated program must be valid")
+}

@@ -1,0 +1,52 @@
+//! Shared helpers for the cross-crate integration tests.
+#![allow(dead_code)] // each test binary uses a different subset
+
+pub mod gen;
+
+use regbal_ir::{Func, MemSpace};
+use regbal_sim::{RunReport, SimConfig, Simulator, StopWhen};
+use regbal_workloads::Workload;
+
+/// Builds `n` instances of the same kernel bound to slots `0..n`.
+pub fn slot_variants(kernel: regbal_workloads::Kernel, n: usize, packets: u32) -> Vec<Workload> {
+    (0..n).map(|s| Workload::new(kernel, s, packets)).collect()
+}
+
+/// Runs the given per-thread functions against the given workloads'
+/// memory images **to completion** (every thread halts, so the output
+/// does not depend on where an iteration-count stop lands in the
+/// interleaving) and returns the concatenated output regions plus the
+/// run report.
+pub fn run_threads(
+    funcs: &[Func],
+    workloads: &[Workload],
+    packets: u64,
+    config: SimConfig,
+) -> (Vec<u8>, RunReport) {
+    assert_eq!(funcs.len(), workloads.len());
+    let _ = packets;
+    let mut sim = Simulator::new(config);
+    for w in workloads {
+        w.prepare(sim.memory_mut(), 0xBEEF + w.slot as u64);
+    }
+    for f in funcs {
+        sim.add_thread(f.clone());
+    }
+    let report = sim.run(StopWhen::Iterations(u64::MAX));
+    assert!(
+        report.threads.iter().all(|t| t.halted),
+        "a thread failed to halt within the cycle budget"
+    );
+    let mut out = Vec::new();
+    for w in workloads {
+        let (addr, len) = w.output_region();
+        out.extend(sim.memory().read_bytes(MemSpace::Scratch, addr, len));
+    }
+    (out, report)
+}
+
+/// Reference semantics: every thread runs its virtual-register program.
+pub fn run_reference(workloads: &[Workload], packets: u64) -> (Vec<u8>, RunReport) {
+    let funcs: Vec<Func> = workloads.iter().map(|w| w.func.clone()).collect();
+    run_threads(&funcs, workloads, packets, SimConfig::default())
+}

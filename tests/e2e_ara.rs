@@ -1,0 +1,122 @@
+//! End-to-end asymmetric allocation: the paper's mixed-thread
+//! scenarios, allocated with the Fig. 8 inter-thread algorithm, must be
+//! observationally identical to the reference and register-safe.
+
+mod common;
+
+use common::{run_reference, run_threads};
+use regbal_core::allocate_threads;
+use regbal_sim::SimConfig;
+use regbal_workloads::{Kernel, Workload};
+
+const PACKETS: u32 = 4;
+
+fn ara_roundtrip(kernels: [Kernel; 4], nreg: usize) {
+    let workloads: Vec<Workload> = kernels
+        .iter()
+        .enumerate()
+        .map(|(slot, &k)| Workload::new(k, slot, PACKETS))
+        .collect();
+    let funcs: Vec<_> = workloads.iter().map(|w| w.func.clone()).collect();
+    let alloc = allocate_threads(&funcs, nreg)
+        .unwrap_or_else(|e| panic!("{kernels:?} @ {nreg}: {e}"));
+    assert!(alloc.total_registers() <= nreg);
+
+    let physical = alloc.rewrite_funcs(&funcs);
+    let layout = alloc.layout();
+    let config = SimConfig {
+        private_ranges: (0..4).map(|t| layout.private_range(t)).collect(),
+        ..SimConfig::default()
+    };
+
+    let (ref_out, _) = run_reference(&workloads, PACKETS as u64);
+    let (phys_out, report) = run_threads(&physical, &workloads, PACKETS as u64, config);
+    assert!(
+        report.violations.is_empty(),
+        "{kernels:?}: violations {:?}",
+        &report.violations[..report.violations.len().min(3)]
+    );
+    assert_eq!(ref_out, phys_out, "{kernels:?} diverged");
+}
+
+/// Paper Table 3, scenario 1.
+#[test]
+fn scenario1_md5_fir2dim() {
+    ara_roundtrip(
+        [Kernel::Md5, Kernel::Md5, Kernel::Fir2dim, Kernel::Fir2dim],
+        128,
+    );
+}
+
+/// Paper Table 3, scenario 2.
+#[test]
+fn scenario2_l2l3fwd_md5() {
+    ara_roundtrip(
+        [Kernel::L2l3fwdRx, Kernel::L2l3fwdTx, Kernel::Md5, Kernel::Md5],
+        128,
+    );
+}
+
+/// Paper Table 3, scenario 3.
+#[test]
+fn scenario3_wraps_fir2dim_frag() {
+    ara_roundtrip(
+        [Kernel::WrapsRx, Kernel::WrapsTx, Kernel::Fir2dim, Kernel::Frag],
+        128,
+    );
+}
+
+/// The same scenarios under a scaled-down register file, which forces
+/// real balancing work (splits and sharing).
+#[test]
+fn scenario1_tight() {
+    ara_roundtrip(
+        [Kernel::Md5, Kernel::Md5, Kernel::Fir2dim, Kernel::Fir2dim],
+        72,
+    );
+}
+
+#[test]
+fn scenario3_tight() {
+    ara_roundtrip(
+        [Kernel::WrapsRx, Kernel::WrapsTx, Kernel::Fir2dim, Kernel::Frag],
+        72,
+    );
+}
+
+/// Balancing gives the hungry thread more private registers than the
+/// lean ones — the core claim of the paper.
+#[test]
+fn balancing_favors_the_hungry_thread() {
+    let workloads: Vec<Workload> = [Kernel::Md5, Kernel::Md5, Kernel::Fir2dim, Kernel::Fir2dim]
+        .iter()
+        .enumerate()
+        .map(|(slot, &k)| Workload::new(k, slot, PACKETS))
+        .collect();
+    let funcs: Vec<_> = workloads.iter().map(|w| w.func.clone()).collect();
+    let alloc = allocate_threads(&funcs, 96).unwrap();
+    let md5_total = alloc.threads[0].pr() + alloc.threads[0].sr();
+    let fir_total = alloc.threads[2].pr() + alloc.threads[2].sr();
+    assert!(
+        md5_total > fir_total,
+        "md5 R {md5_total} should exceed fir2dim R {fir_total}"
+    );
+    // md5's demand is mostly *internal* (the message block between
+    // switches), so it is satisfied through shared registers.
+    assert!(alloc.threads[0].sr() > alloc.threads[0].pr());
+}
+
+/// An impossible budget must be rejected, not mis-allocated.
+#[test]
+fn infeasible_budget_errors() {
+    let w = Workload::new(Kernel::Md5, 0, PACKETS);
+    let funcs = vec![w.func.clone(), w.func.clone(), w.func.clone(), w.func];
+    let err = allocate_threads(&funcs, 8).unwrap_err();
+    match err {
+        regbal_core::AllocError::Infeasible { needed, available } => {
+            assert_eq!(available, 8);
+            assert!(needed > 8);
+        }
+        other => panic!("unexpected error {other}"),
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests of the Chaitin spilling baseline (the fixed
+//! 32-register-partition compiler the paper compares against), plus the
+//! head-to-head behaviour the paper's Table 3 rests on: under a tight
+//! partition the baseline spills (extra context switches), while the
+//! balancing allocator stays spill-free.
+
+mod common;
+
+use common::{run_reference, run_threads};
+use regbal_core::chaitin::{allocate, ChaitinConfig};
+use regbal_ir::MemSpace;
+use regbal_sim::SimConfig;
+use regbal_workloads::{Kernel, Workload};
+
+const PACKETS: u32 = 4;
+
+fn chaitin_roundtrip(kernel: Kernel, k: usize) {
+    let workloads: Vec<Workload> = (0..4).map(|s| Workload::new(kernel, s, PACKETS)).collect();
+    let physical: Vec<_> = workloads
+        .iter()
+        .enumerate()
+        .map(|(t, w)| {
+            let mut cfg = ChaitinConfig::fixed_partition(t);
+            cfg.k = k;
+            cfg.phys_base = (t * k) as u32;
+            // Disjoint spill areas per thread.
+            cfg.spill_base = 0x4_0000 + (t as i64) * 0x1000;
+            allocate(&w.func, &cfg)
+                .unwrap_or_else(|e| panic!("{} k={k}: {e}", kernel.name()))
+                .func
+        })
+        .collect();
+
+    let config = SimConfig {
+        private_ranges: (0..4u32).map(|t| t * k as u32..(t + 1) * k as u32).collect(),
+        ..SimConfig::default()
+    };
+    let (ref_out, _) = run_reference(&workloads, PACKETS as u64);
+    let (phys_out, report) = run_threads(&physical, &workloads, PACKETS as u64, config);
+    assert!(report.violations.is_empty(), "{}", kernel.name());
+    assert_eq!(ref_out, phys_out, "{} k={k}", kernel.name());
+}
+
+#[test]
+fn baseline_all_kernels_at_32() {
+    for k in Kernel::ALL {
+        chaitin_roundtrip(k, 32);
+    }
+}
+
+#[test]
+fn baseline_md5_with_spills() {
+    // A 12-register partition forces md5 to spill; results must still
+    // be exact.
+    chaitin_roundtrip(Kernel::Md5, 12);
+}
+
+#[test]
+fn baseline_wraps_with_spills() {
+    chaitin_roundtrip(Kernel::WrapsRx, 12);
+}
+
+/// The paper's core performance mechanism: spilling inflates context
+/// switches (each spill op is a memory access), while the balancing
+/// allocator keeps the CTX count at the spill-free level and pays only
+/// cheap moves.
+#[test]
+fn spills_inflate_ctx_count_sharing_does_not() {
+    let w = Workload::new(Kernel::Md5, 0, PACKETS);
+    let base_ctx = w.func.num_ctx_insts();
+
+    let mut cfg = ChaitinConfig::fixed_partition(0);
+    cfg.k = 12;
+    let spilled = allocate(&w.func, &cfg).unwrap();
+    assert!(spilled.spilled > 0, "16 registers must force md5 to spill");
+    assert!(
+        spilled.func.num_ctx_insts() > base_ctx,
+        "spill code adds context switches"
+    );
+
+    let funcs = vec![w.func.clone(); 4];
+    let shared = regbal_core::allocate_threads(&funcs, 4 * 16).expect("sharing fits 64 registers");
+    let rewritten = shared.rewrite_funcs(&funcs);
+    assert_eq!(
+        rewritten[0].num_ctx_insts(),
+        base_ctx,
+        "the balancing allocator never spills here"
+    );
+    // It may pay some moves instead, which are 1-cycle ALU ops.
+    assert!(rewritten[0].num_insts() >= w.func.num_insts());
+}
+
+/// Spill slots must not leak between threads: two spilled threads with
+/// disjoint spill areas stay correct.
+#[test]
+fn spill_areas_are_disjoint() {
+    let w0 = Workload::new(Kernel::Md5, 0, 2);
+    let w1 = Workload::new(Kernel::Md5, 1, 2);
+    let physical: Vec<_> = [&w0, &w1]
+        .iter()
+        .enumerate()
+        .map(|(t, w)| {
+            let mut cfg = ChaitinConfig::fixed_partition(t);
+            cfg.k = 12;
+            cfg.phys_base = (t * 12) as u32;
+            cfg.spill_base = 0x4_0000 + (t as i64) * 0x1000;
+            allocate(&w.func, &cfg).unwrap().func
+        })
+        .collect();
+    let workloads = vec![w0, w1];
+    let (ref_out, _) = run_reference(&workloads, 2);
+    let (phys_out, report) = run_threads(&physical, &workloads, 2, SimConfig::default());
+    assert!(report.violations.is_empty());
+    assert_eq!(ref_out, phys_out);
+}
+
+/// Sanity: the spill area lives in SRAM well away from any kernel
+/// table (tables sit below 0x8000 * slots).
+#[test]
+fn spill_base_clear_of_tables() {
+    for t in 0..4 {
+        let cfg = ChaitinConfig::fixed_partition(t);
+        assert_eq!(cfg.spill_space, MemSpace::Sram);
+        assert!(cfg.spill_base >= 0x1_0000);
+    }
+}

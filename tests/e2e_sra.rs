@@ -1,0 +1,150 @@
+//! End-to-end symmetric allocation: four threads of the same kernel,
+//! allocated by the paper's algorithm, must compute exactly what the
+//! virtual-register reference computes — with zero watchdog violations.
+
+mod common;
+
+use common::{run_reference, run_threads, slot_variants};
+use regbal_core::allocate_sra;
+use regbal_sim::SimConfig;
+use regbal_workloads::Kernel;
+
+const NTHD: usize = 4;
+const NREG: usize = 128;
+const PACKETS: u32 = 5;
+
+fn sra_roundtrip(kernel: Kernel) {
+    let workloads = slot_variants(kernel, NTHD, PACKETS);
+    let sra = allocate_sra(&workloads[0].func, NTHD, NREG)
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    assert!(
+        sra.total_registers() <= NREG,
+        "{}: {} registers",
+        kernel.name(),
+        sra.total_registers()
+    );
+
+    let multi = sra.to_multi();
+    let funcs: Vec<_> = workloads.iter().map(|w| w.func.clone()).collect();
+    let physical = multi.rewrite_funcs(&funcs);
+    for f in &physical {
+        assert_eq!(f.num_vregs, 0, "{}: leftover virtual registers", kernel.name());
+    }
+
+    let layout = multi.layout();
+    let config = SimConfig {
+        private_ranges: (0..NTHD).map(|t| layout.private_range(t)).collect(),
+        ..SimConfig::default()
+    };
+
+    let (ref_out, ref_report) = run_reference(&workloads, PACKETS as u64);
+    let (phys_out, phys_report) = run_threads(&physical, &workloads, PACKETS as u64, config);
+
+    assert!(
+        phys_report.violations.is_empty(),
+        "{}: register-safety violations {:?}",
+        kernel.name(),
+        &phys_report.violations[..phys_report.violations.len().min(3)]
+    );
+    assert_eq!(
+        ref_out,
+        phys_out,
+        "{}: allocated build diverged from reference",
+        kernel.name()
+    );
+    for t in 0..NTHD {
+        assert_eq!(
+            ref_report.threads[t].iterations, phys_report.threads[t].iterations,
+            "{}: thread {t} iteration mismatch",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn sra_md5() {
+    sra_roundtrip(Kernel::Md5);
+}
+
+#[test]
+fn sra_fir2dim() {
+    sra_roundtrip(Kernel::Fir2dim);
+}
+
+#[test]
+fn sra_frag() {
+    sra_roundtrip(Kernel::Frag);
+}
+
+#[test]
+fn sra_crc() {
+    sra_roundtrip(Kernel::Crc);
+}
+
+#[test]
+fn sra_drr() {
+    sra_roundtrip(Kernel::Drr);
+}
+
+#[test]
+fn sra_reed() {
+    sra_roundtrip(Kernel::Reed);
+}
+
+#[test]
+fn sra_url() {
+    sra_roundtrip(Kernel::Url);
+}
+
+#[test]
+fn sra_l2l3fwd_rx() {
+    sra_roundtrip(Kernel::L2l3fwdRx);
+}
+
+#[test]
+fn sra_l2l3fwd_tx() {
+    sra_roundtrip(Kernel::L2l3fwdTx);
+}
+
+#[test]
+fn sra_wraps_rx() {
+    sra_roundtrip(Kernel::WrapsRx);
+}
+
+#[test]
+fn sra_wraps_tx() {
+    sra_roundtrip(Kernel::WrapsTx);
+}
+
+/// A tight register file forces sharing and splitting; the result must
+/// still be exact.
+#[test]
+fn sra_md5_tight_file() {
+    let workloads = slot_variants(Kernel::Md5, NTHD, 3);
+    let bounds = regbal_core::estimate_bounds(&regbal_analysis::ProgramInfo::compute(
+        &workloads[0].func,
+    ))
+    .bounds;
+    // Choose a file size between the trivial demand and the floor.
+    let floor = NTHD * bounds.min_pr + bounds.min_r.saturating_sub(bounds.min_pr);
+    let trivial = NTHD * bounds.max_pr + (bounds.max_r - bounds.max_pr);
+    let nreg = floor + (trivial - floor) / 3;
+    let sra = match allocate_sra(&workloads[0].func, NTHD, nreg) {
+        Ok(s) => s,
+        Err(e) => panic!("tight allocation failed at nreg={nreg}: {e}"),
+    };
+    assert!(sra.total_registers() <= nreg);
+
+    let multi = sra.to_multi();
+    let funcs: Vec<_> = workloads.iter().map(|w| w.func.clone()).collect();
+    let physical = multi.rewrite_funcs(&funcs);
+    let layout = multi.layout();
+    let config = SimConfig {
+        private_ranges: (0..NTHD).map(|t| layout.private_range(t)).collect(),
+        ..SimConfig::default()
+    };
+    let (ref_out, _) = run_reference(&workloads, 3);
+    let (phys_out, report) = run_threads(&physical, &workloads, 3, config);
+    assert!(report.violations.is_empty());
+    assert_eq!(ref_out, phys_out);
+}

@@ -1,0 +1,105 @@
+//! Inter-procedural end to end: a module with shared subroutines is
+//! inlined (paper §3.2's inter-procedural construction), allocated for
+//! four threads and simulated — output must match the virtual-register
+//! reference.
+
+use regbal_core::allocate_sra;
+use regbal_ir::{inline_module, parse_module, MemSpace};
+use regbal_sim::{SimConfig, Simulator, StopWhen};
+
+/// A little protocol handler split into subroutines: the checksum
+/// helper is called from two places and communicates through shared
+/// registers (v1 in, v2 out), exactly like microcode subroutines.
+fn module_src(base: u32) -> String {
+    format!(
+        "
+func main {{
+bb0:
+    v0 = mov {base}
+    v3 = mov 4            ; packets
+    jump loop
+loop:
+    v1 = load sram[v0+0]
+    call fold
+    store scratch[v0+0], v2
+    v1 = load sram[v0+4]
+    call fold
+    store scratch[v0+4], v2
+    v0 = add v0, 8
+    v3 = sub v3, 1
+    iter_end
+    bne v3, 0, loop, done
+done:
+    halt
+}}
+func fold {{
+bb0:
+    v2 = shr v1, 16
+    v2 = xor v2, v1
+    v2 = and v2, 65535
+    halt
+}}
+"
+    )
+}
+
+fn run(funcs: &[regbal_ir::Func], bases: &[u32]) -> Vec<u8> {
+    let mut sim = Simulator::new(SimConfig::default());
+    for (i, &b) in bases.iter().enumerate() {
+        for w in 0..16u32 {
+            sim.memory_mut()
+                .write_word(MemSpace::Sram, b + w * 4, 0x1234_5678 ^ (b + w) ^ i as u32);
+        }
+    }
+    for f in funcs {
+        sim.add_thread(f.clone());
+    }
+    let report = sim.run(StopWhen::Iterations(u64::MAX));
+    assert!(report.threads.iter().all(|t| t.halted));
+    let mut out = Vec::new();
+    for &b in bases {
+        out.extend(sim.memory().read_bytes(MemSpace::Scratch, b, 64));
+    }
+    out
+}
+
+#[test]
+fn inlined_module_allocates_and_matches_reference() {
+    let bases = [0x100u32, 0x500, 0x900, 0xD00];
+    let threads: Vec<regbal_ir::Func> = bases
+        .iter()
+        .map(|&b| {
+            let module = parse_module(&module_src(b)).unwrap();
+            inline_module(&module, "main").unwrap()
+        })
+        .collect();
+
+    // All four structurally identical: symmetric allocation applies.
+    let sra = allocate_sra(&threads[0], 4, 24).expect("fits in 24 registers");
+    let physical = sra.to_multi().rewrite_funcs(&threads);
+
+    let reference = run(&threads, &bases);
+    let allocated = run(&physical, &bases);
+    assert_eq!(reference, allocated);
+}
+
+#[test]
+fn subroutine_register_communication_survives_allocation() {
+    // The helper's input (v1) and output (v2) cross the call boundary
+    // in registers. After inlining + allocation, the value chain must
+    // still hold: checked by the exact-output test above, plus here by
+    // a spot check of one folded word.
+    let base = 0x100u32;
+    let module = parse_module(&module_src(base)).unwrap();
+    let main = inline_module(&module, "main").unwrap();
+    let sra = allocate_sra(&main, 1, 24).unwrap();
+    let physical = sra.to_multi().rewrite_funcs(std::slice::from_ref(&main));
+
+    let mut sim = Simulator::new(SimConfig::default());
+    let word = 0xDEAD_BEEFu32;
+    sim.memory_mut().write_word(MemSpace::Sram, base, word);
+    sim.add_thread(physical[0].clone());
+    sim.run(StopWhen::Iterations(u64::MAX));
+    let expected = ((word >> 16) ^ word) & 0xffff;
+    assert_eq!(sim.memory().read_word(MemSpace::Scratch, base), expected);
+}

@@ -1,0 +1,126 @@
+//! Failure injection: deliberately corrupt a correct allocation and
+//! confirm that the safety machinery — the static verifier and the
+//! simulator watchdog — catches it.
+
+mod common;
+
+use common::slot_variants;
+use regbal_core::allocate_sra;
+use regbal_ir::{Func, MemSpace, PReg, Reg};
+use regbal_sim::{RunReport, SimConfig, Simulator, StopWhen};
+use regbal_workloads::{Kernel, Workload};
+
+/// Runs with a hard cycle budget: corrupted programs may loop forever
+/// (e.g. a clobbered loop counter), which is itself part of the failure
+/// being demonstrated.
+fn run_bounded(funcs: &[Func], workloads: &[Workload], config: SimConfig) -> (Vec<u8>, RunReport) {
+    let mut sim = Simulator::new(config);
+    for w in workloads {
+        w.prepare(sim.memory_mut(), 0xBEEF + w.slot as u64);
+    }
+    for f in funcs {
+        sim.add_thread(f.clone());
+    }
+    let report = sim.run(StopWhen::Cycles(1_000_000));
+    let mut out = Vec::new();
+    for w in workloads {
+        let (addr, len) = w.output_region();
+        out.extend(sim.memory().read_bytes(MemSpace::Scratch, addr, len));
+    }
+    (out, report)
+}
+
+/// Rewrites one physical register into another everywhere in thread
+/// `t`'s code — the kind of bug a broken allocator would produce.
+fn clobber(func: &mut regbal_ir::Func, from: u32, to: u32) {
+    let swap = |r: Reg| match r {
+        Reg::Phys(p) if p.0 == from => Reg::Phys(PReg(to)),
+        other => other,
+    };
+    for block in &mut func.blocks {
+        for inst in &mut block.insts {
+            inst.map_uses(swap);
+            inst.map_defs(swap);
+        }
+        block.term.map_uses(swap);
+    }
+}
+
+#[test]
+fn watchdog_catches_private_bank_intrusion() {
+    let workloads = slot_variants(Kernel::Frag, 4, 4);
+    let sra = allocate_sra(&workloads[0].func, 4, 64).unwrap();
+    let multi = sra.to_multi();
+    let funcs: Vec<_> = workloads.iter().map(|w| w.func.clone()).collect();
+    let mut physical = multi.rewrite_funcs(&funcs);
+
+    let layout = multi.layout();
+    // Redirect one of thread 1's private registers into thread 0's
+    // private bank.
+    let own = layout.private_range(1).start;
+    let foreign = layout.private_range(0).start;
+    clobber(&mut physical[1], own, foreign);
+
+    let config = SimConfig {
+        private_ranges: (0..4).map(|t| layout.private_range(t)).collect(),
+        ..SimConfig::default()
+    };
+    let (_, report) = run_bounded(&physical, &workloads, config);
+    assert!(
+        report.violations.iter().any(|v| v.writer == 1 && v.owner == 0),
+        "the watchdog must flag thread 1 writing thread 0's bank"
+    );
+}
+
+#[test]
+fn shared_register_held_across_a_switch_corrupts_results() {
+    // Move a *private* live-across value of thread 0 into a shared
+    // register. Another thread will clobber it while thread 0 is
+    // switched out, and the output must diverge from the reference —
+    // demonstrating why the paper forbids exactly this.
+    let workloads = slot_variants(Kernel::Frag, 4, 4);
+    let sra = allocate_sra(&workloads[0].func, 4, 64).unwrap();
+    assert!(sra.pr() > 0 && sra.sr() > 0, "needs both banks");
+    let multi = sra.to_multi();
+    let funcs: Vec<_> = workloads.iter().map(|w| w.func.clone()).collect();
+    let mut physical = multi.rewrite_funcs(&funcs);
+
+    let layout = multi.layout();
+    let private = layout.private_range(0).start; // holds live-across values
+    let shared = layout.shared_range().start;
+    clobber(&mut physical[0], private, shared);
+
+    let (ref_out, _) = run_bounded(&funcs, &workloads, SimConfig::default());
+    let (bad_out, _) = run_bounded(&physical, &workloads, SimConfig::default());
+    assert_ne!(
+        ref_out, bad_out,
+        "a live-across value in a shared register must be observably clobbered"
+    );
+}
+
+#[test]
+fn static_verifier_rejects_broken_palettes() {
+    use regbal_core::verify::{check_thread, VerifyError};
+    use regbal_core::{LiveMap, ThreadAlloc};
+    use regbal_analysis::ProgramInfo;
+
+    let f = regbal_ir::parse_func(
+        "func f {\nbb0:\n v0 = mov 1\n ctx\n v1 = add v0, 1\n store scratch[v1+0], v0\n halt\n}",
+    )
+    .unwrap();
+    let info = ProgramInfo::compute(&f);
+    let live = std::sync::Arc::new(LiveMap::compute(&info));
+
+    // v0 is boundary; a coloring that parks it in the shared palette
+    // (color 1 with max_pr = 1 means color >= pr) must be rejected at
+    // construction time.
+    let bad = std::panic::catch_unwind(|| {
+        ThreadAlloc::new(live.clone(), &[Some(1), Some(0)], 1, 2)
+    });
+    assert!(bad.is_err(), "boundary node with shared color must panic");
+
+    // And a correct one passes the verifier.
+    let good = ThreadAlloc::new(live, &[Some(0), Some(1)], 1, 2);
+    assert_eq!(check_thread(&good), Ok(()));
+    let _ = VerifyError::PaletteOverlap(0); // exercise the type
+}

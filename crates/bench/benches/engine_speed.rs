@@ -1,0 +1,110 @@
+//! Engine and graph-construction speed: the memoized + parallel greedy
+//! engine against the naive reference, and bitset-row interference
+//! construction against pairwise insertion, on the 8-kernel workload
+//! suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regbal_analysis::ProgramInfo;
+use regbal_core::{allocate_threads_with, EngineConfig};
+use regbal_igraph::{build_big, build_big_naive, build_gig, build_gig_naive};
+use regbal_ir::Func;
+use regbal_workloads::{Kernel, Workload};
+use std::hint::black_box;
+
+const SUITE: [Kernel; 8] = [
+    Kernel::Md5,
+    Kernel::Fir2dim,
+    Kernel::Frag,
+    Kernel::Crc,
+    Kernel::Drr,
+    Kernel::Reed,
+    Kernel::Url,
+    Kernel::WrapsRx,
+];
+
+fn suite_funcs() -> Vec<Func> {
+    SUITE
+        .iter()
+        .enumerate()
+        .map(|(s, &k)| Workload::new(k, s, 32).func)
+        .collect()
+}
+
+/// The smallest register file the suite fits in: benching at the floor
+/// maximises greedy iterations, which is where the engines differ.
+fn tightest_nreg(funcs: &[Func]) -> usize {
+    let feasible =
+        |n: usize| allocate_threads_with(funcs, n, EngineConfig::default()).is_ok();
+    let mut hi = 256;
+    assert!(feasible(hi), "suite must fit in 256 registers");
+    let mut lo = 1;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    hi
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let infos: Vec<(Kernel, ProgramInfo)> = SUITE
+        .iter()
+        .map(|&k| (k, ProgramInfo::compute(&Workload::new(k, 0, 32).func)))
+        .collect();
+
+    let mut g = c.benchmark_group("build_gig");
+    for (k, info) in &infos {
+        g.bench_function(format!("bitset/{}", k.name()), |b| {
+            b.iter(|| black_box(build_gig(black_box(info))))
+        });
+        g.bench_function(format!("naive/{}", k.name()), |b| {
+            b.iter(|| black_box(build_gig_naive(black_box(info))))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("build_big");
+    for (k, info) in &infos {
+        g.bench_function(format!("bitset/{}", k.name()), |b| {
+            b.iter(|| black_box(build_big(black_box(info))))
+        });
+        g.bench_function(format!("naive/{}", k.name()), |b| {
+            b.iter(|| black_box(build_big_naive(black_box(info))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let funcs = suite_funcs();
+    let nreg = tightest_nreg(&funcs);
+    eprintln!("engine_8thread: tightest feasible nreg = {nreg}");
+
+    let configs = [
+        ("memo+par", EngineConfig::default()),
+        (
+            "memo",
+            EngineConfig {
+                memoize: true,
+                parallel: false,
+            },
+        ),
+        ("naive", EngineConfig::naive()),
+    ];
+    let mut g = c.benchmark_group(format!("engine_8thread_nreg{nreg}"));
+    g.sample_size(10);
+    for (name, config) in configs {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(allocate_threads_with(black_box(&funcs), nreg, config).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_construction, bench_engine);
+criterion_main!(benches);

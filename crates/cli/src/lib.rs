@@ -20,7 +20,8 @@
 
 use regbal_analysis::ProgramInfo;
 use regbal_core::{
-    allocate_threads, allocate_threads_with_spill, estimate_bounds, force_min_bounds,
+    allocate_threads_stats, allocate_threads_with_spill, estimate_bounds, force_min_bounds,
+    EngineConfig, EngineStats,
 };
 use regbal_ir::{parse_module, Func};
 use regbal_sim::{SimConfig, Simulator, StopWhen};
@@ -57,6 +58,9 @@ USAGE:
       --nreg <N>       register file size (default 128)
       --spill          fall back to spilling when sharing cannot fit
       --min            squeeze each thread to its (MinPR, MinR) bound
+      --naive          disable engine memoization and parallelism
+      --stats          print engine statistics (iterations, candidate
+                       cache hits, per-phase wall time)
       --quiet          summary only, no code
   regbal run [OPTS] <files...>                simulate the threads
       --cycles <N>     cycle budget (default 1000000)
@@ -147,6 +151,8 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
     let mut spill = false;
     let mut min = false;
     let mut quiet = false;
+    let mut naive = false;
+    let mut stats = false;
     let mut files = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -161,6 +167,8 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
             "--spill" => spill = true,
             "--min" => min = true,
             "--quiet" => quiet = true,
+            "--naive" => naive = true,
+            "--stats" => stats = true,
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
@@ -205,7 +213,13 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
         );
         (hybrid.rewrite(), s)
     } else {
-        let alloc = allocate_threads(&funcs, nreg).map_err(|e| e.to_string())?;
+        let config = if naive {
+            EngineConfig::naive()
+        } else {
+            EngineConfig::default()
+        };
+        let (alloc, engine_stats) =
+            allocate_threads_stats(&funcs, nreg, config).map_err(|e| e.to_string())?;
         let mut s = String::new();
         for (i, t) in alloc.threads.iter().enumerate() {
             let _ = writeln!(
@@ -223,6 +237,9 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
             alloc.total_registers(),
             alloc.sgr()
         );
+        if stats {
+            s.push_str(&format_stats(&engine_stats, config));
+        }
         (alloc.rewrite_funcs(&funcs), s)
     };
     out.push_str(&summary);
@@ -232,6 +249,28 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn format_stats(stats: &EngineStats, config: EngineConfig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "engine: {} iteration(s), {} candidate(s) evaluated, {} from cache{}",
+        stats.iterations,
+        stats.evaluated,
+        stats.cached,
+        if config.memoize { "" } else { " (naive engine)" }
+    );
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let _ = writeln!(
+        s,
+        "engine: init {:.1}us, search {:.1}us, verify {:.1}us, total {:.1}us",
+        us(stats.init),
+        us(stats.search),
+        us(stats.verify),
+        us(stats.total)
+    );
+    s
 }
 
 fn run(args: Vec<String>, out: &mut String) -> Result<(), String> {
@@ -405,6 +444,51 @@ mod tests {
         .unwrap();
         assert!(out.contains("demand"), "{out}");
         assert!(!out.contains("bb0:"), "{out}");
+    }
+
+    #[test]
+    fn alloc_stats_prints_engine_counters() {
+        let path = write_temp("stats.rba", PROG);
+        let mut out = String::new();
+        run_cli(
+            &["alloc".into(), "--stats".into(), "--quiet".into(), path],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("candidate(s) evaluated"), "{out}");
+        assert!(out.contains("total"), "{out}");
+        assert!(!out.contains("naive engine"), "{out}");
+    }
+
+    #[test]
+    fn alloc_naive_engine_matches_default() {
+        let path = write_temp("naive.rba", PROG);
+        let mut fast = String::new();
+        run_cli(
+            &["alloc".into(), "--nreg".into(), "8".into(), path.clone()],
+            &mut fast,
+        )
+        .unwrap();
+        let mut naive = String::new();
+        run_cli(
+            &[
+                "alloc".into(),
+                "--nreg".into(),
+                "8".into(),
+                "--naive".into(),
+                path.clone(),
+            ],
+            &mut naive,
+        )
+        .unwrap();
+        assert_eq!(fast, naive, "engines must agree on the allocation");
+        let mut out = String::new();
+        run_cli(
+            &["alloc".into(), "--naive".into(), "--stats".into(), "--quiet".into(), path],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("naive engine"), "{out}");
     }
 
     #[test]

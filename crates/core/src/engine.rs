@@ -13,6 +13,31 @@
 //! Each candidate's cost is evaluated by running the intra-thread
 //! allocator on a scratch copy — the encapsulation the paper's framework
 //! (Fig. 6) prescribes.
+//!
+//! # Engine
+//!
+//! A candidate is a pure function of a small part of the engine state:
+//! the Reduce-SR trial of thread *i* depends only on thread *i*'s own
+//! allocation, and its Reduce-PR trial depends only on its own
+//! allocation plus `max SRⱼ (j ≠ i)` (written `m_others` below) — the
+//! objective `Σ PRᵢ + max SRᵢ` contributed by the *other* threads is an
+//! additive constant that cancels out of every comparison. The engine
+//! exploits this two ways (see [`EngineConfig`]):
+//!
+//! * **memoization** — candidates survive across greedy iterations and
+//!   are recomputed only for the threads whose allocation changed in the
+//!   last committed step, or whose `m_others` shifted;
+//! * **parallel evaluation** — cache misses of one iteration are
+//!   independent and are evaluated concurrently with
+//!   [`std::thread::scope`].
+//!
+//! Candidates are deterministic and the (sequential) selection keeps the
+//! naive evaluation order and strict `<` tie-breaking, so every
+//! configuration produces bit-identical allocations; the naive
+//! configuration ([`EngineConfig::naive`]) is kept for differential
+//! tests and benchmarks. [`allocate_threads_stats`] additionally reports
+//! an [`EngineStats`] with iteration/candidate counters and phase
+//! timings.
 
 use crate::alloc::ThreadAlloc;
 use crate::bounds::{estimate_bounds, Bounds};
@@ -21,7 +46,9 @@ use crate::livemap::LiveMap;
 use crate::rewrite::{rewrite_thread, Layout};
 use regbal_analysis::ProgramInfo;
 use regbal_ir::Func;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Final allocation of one thread.
 #[derive(Debug, Clone)]
@@ -117,114 +144,396 @@ pub(crate) fn initial_thread(func: &Func) -> ThreadResult {
     }
 }
 
+/// Tuning knobs of the greedy engine. Every configuration produces
+/// bit-identical allocations; the knobs only trade work for speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Keep candidates across iterations, recomputing only the threads
+    /// whose allocation (or `m_others`) changed since the last step.
+    pub memoize: bool,
+    /// Evaluate the candidates of one iteration (and the initial bound
+    /// estimates) concurrently with [`std::thread::scope`].
+    pub parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            memoize: true,
+            parallel: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The reference configuration: every candidate recomputed serially
+    /// on every iteration. Kept for differential tests and benchmarks.
+    pub fn naive() -> Self {
+        EngineConfig {
+            memoize: false,
+            parallel: false,
+        }
+    }
+}
+
+/// Counters and phase timings reported by [`allocate_threads_stats`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Greedy iterations (committed steps) of the search loop.
+    pub iterations: usize,
+    /// Candidates evaluated by running the intra-thread allocator on a
+    /// scratch copy.
+    pub evaluated: usize,
+    /// Candidates served from the memo cache instead.
+    pub cached: usize,
+    /// Time spent computing per-thread analyses and initial bounds.
+    pub init: Duration,
+    /// Time spent in the greedy search loop.
+    pub search: Duration,
+    /// Time spent in the final safety verification.
+    pub verify: Duration,
+    /// End-to-end wall time of the allocation.
+    pub total: Duration,
+}
+
+/// One memo slot: `None` = not computed for the current allocation;
+/// `Some(inner)` = computed, where `inner = None` records "no feasible
+/// improving trial" and otherwise carries the trial and its move cost.
+type Candidate = Option<(ThreadAlloc, isize)>;
+
+/// Per-thread candidate memo. A thread's Reduce-SR candidate depends
+/// only on its own allocation; its Reduce-PR candidate additionally
+/// depends on `m_others`, which is stored alongside and checked on
+/// lookup (so a shift of the shared maximum invalidates implicitly).
+struct CandidateCache {
+    private: Vec<Option<(usize, Candidate)>>,
+    shared: Vec<Option<Candidate>>,
+}
+
+impl CandidateCache {
+    fn new(n: usize) -> Self {
+        CandidateCache {
+            private: vec![None; n],
+            shared: vec![None; n],
+        }
+    }
+
+    /// Forgets both candidates of `i` — called when `i`'s allocation
+    /// changes.
+    fn invalidate(&mut self, i: usize) {
+        self.private[i] = None;
+        self.shared[i] = None;
+    }
+
+    fn clear(&mut self) {
+        for i in 0..self.private.len() {
+            self.invalidate(i);
+        }
+    }
+}
+
+/// The Reduce-PR candidate of one thread: demote the cheapest private
+/// color to shared, chasing objective-neutral demotions with shared
+/// eliminations on the same thread (a compound step). Pure in
+/// `(t.alloc, t.bounds, m_others)`.
+///
+/// `m_others` is the maximum `SRⱼ` over the *other* threads; the
+/// objective delta of the trial is
+/// `(trial.pr + max(m_others, trial.sr)) - (t.pr + max(m_others, t.sr))`
+/// because every other term of `Σ PRᵢ + max SRᵢ` is untouched. Returns
+/// `None` unless the trial strictly reduces the objective.
+fn private_candidate(t: &ThreadResult, m_others: usize) -> Candidate {
+    if t.pr() <= t.bounds.min_pr {
+        return None;
+    }
+    let mut trial = t.alloc.clone();
+    let mut cost = trial.reduce_private()?;
+    let before = t.pr() + t.sr().max(m_others);
+    while trial.pr() + trial.sr().max(m_others) >= before
+        && trial.sr() > 0
+        && trial.pr() + trial.sr() > t.bounds.min_r
+    {
+        match trial.reduce_shared() {
+            Some(c) => cost += c,
+            None => break,
+        }
+    }
+    if trial.pr() + trial.sr().max(m_others) >= before {
+        return None;
+    }
+    Some((trial, cost))
+}
+
+/// The Reduce-SR candidate of one thread: eliminate one shared color.
+/// Pure in `(t.alloc, t.bounds)`.
+fn shared_candidate(t: &ThreadResult) -> Candidate {
+    if !can_reduce_shared(t) {
+        return None;
+    }
+    let mut trial = t.alloc.clone();
+    let cost = trial.reduce_shared()?;
+    Some((trial, cost))
+}
+
+/// A cache miss to evaluate this iteration.
+#[derive(Clone, Copy)]
+enum Job {
+    Private { thread: usize, m_others: usize },
+    Shared { thread: usize },
+}
+
+fn worker_count(parallel: bool, njobs: usize) -> usize {
+    if !parallel {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(njobs)
+}
+
+/// Evaluates `jobs` against the current `threads`, concurrently when
+/// configured and worthwhile. Results are positionally aligned with
+/// `jobs`; candidate evaluation is deterministic, so the schedule cannot
+/// affect the outcome.
+fn run_jobs(threads: &[ThreadResult], jobs: &[Job], parallel: bool) -> Vec<Candidate> {
+    let eval = |job: &Job| match *job {
+        Job::Private { thread, m_others } => private_candidate(&threads[thread], m_others),
+        Job::Shared { thread } => shared_candidate(&threads[thread]),
+    };
+    let workers = worker_count(parallel, jobs.len());
+    if workers <= 1 {
+        return jobs.iter().map(eval).collect();
+    }
+    let mut results: Vec<Candidate> = vec![None; jobs.len()];
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let eval = &eval;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= jobs.len() {
+                            break;
+                        }
+                        out.push((k, eval(&jobs[k])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (k, cand) in h.join().expect("candidate worker panicked") {
+                results[k] = cand;
+            }
+        }
+    });
+    results
+}
+
+/// Builds the initial allocation state of every thread, concurrently
+/// when configured (the per-thread analyses are independent).
+fn initial_threads(funcs: &[Func], parallel: bool) -> Vec<ThreadResult> {
+    let workers = worker_count(parallel, funcs.len());
+    if workers <= 1 {
+        return funcs.iter().map(initial_thread).collect();
+    }
+    let mut results: Vec<Option<ThreadResult>> = (0..funcs.len()).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= funcs.len() {
+                            break;
+                        }
+                        out.push((k, initial_thread(&funcs[k])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (k, t) in h.join().expect("bounds worker panicked") {
+                results[k] = Some(t);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|t| t.expect("every thread initialised"))
+        .collect()
+}
+
 /// Allocates registers for `Nthd = funcs.len()` threads sharing `nreg`
-/// physical registers (asymmetric register allocation, paper Fig. 8).
+/// physical registers (asymmetric register allocation, paper Fig. 8),
+/// with the default (memoized, parallel) engine.
 ///
 /// # Errors
 ///
 /// Returns [`AllocError::Infeasible`] when the demand cannot be reduced
 /// to fit: every thread is at its lower bound or stuck.
 pub fn allocate_threads(funcs: &[Func], nreg: usize) -> Result<MultiAllocation, AllocError> {
-    let mut threads: Vec<ThreadResult> = funcs.iter().map(initial_thread).collect();
+    allocate_threads_with(funcs, nreg, EngineConfig::default())
+}
 
-    let objective = |threads: &[ThreadResult]| -> usize {
-        threads.iter().map(ThreadResult::pr).sum::<usize>()
-            + threads.iter().map(ThreadResult::sr).max().unwrap_or(0)
-    };
+/// [`allocate_threads`] with an explicit [`EngineConfig`].
+///
+/// # Errors
+///
+/// As [`allocate_threads`].
+pub fn allocate_threads_with(
+    funcs: &[Func],
+    nreg: usize,
+    config: EngineConfig,
+) -> Result<MultiAllocation, AllocError> {
+    allocate_threads_stats(funcs, nreg, config).map(|(alloc, _)| alloc)
+}
+
+/// [`allocate_threads_with`], additionally reporting [`EngineStats`].
+///
+/// # Errors
+///
+/// As [`allocate_threads`].
+pub fn allocate_threads_stats(
+    funcs: &[Func],
+    nreg: usize,
+    config: EngineConfig,
+) -> Result<(MultiAllocation, EngineStats), AllocError> {
+    let start = Instant::now();
+    let mut stats = EngineStats::default();
+
+    let mut threads = initial_threads(funcs, config.parallel);
+    stats.init = start.elapsed();
+
+    let search_start = Instant::now();
+    let n = threads.len();
+    let mut cache = CandidateCache::new(n);
     loop {
-        let total = objective(&threads);
+        // One aggregate pass yields everything each candidate's
+        // objective test needs: `m_others(i)` is `second_sr` when `i` is
+        // the unique maximum holder and `max_sr` otherwise.
+        let mut sum_pr = 0usize;
+        let mut max_sr = 0usize;
+        let mut at_max = 0usize;
+        let mut second_sr = 0usize;
+        for t in &threads {
+            sum_pr += t.pr();
+            let sr = t.sr();
+            if sr > max_sr {
+                second_sr = max_sr;
+                max_sr = sr;
+                at_max = 1;
+            } else if sr == max_sr {
+                at_max += 1;
+            } else if sr > second_sr {
+                second_sr = sr;
+            }
+        }
+        let total = sum_pr + max_sr;
         if total <= nreg {
             break;
         }
+        stats.iterations += 1;
 
-        // Every candidate is evaluated on scratch copies; only steps
-        // that strictly reduce the demand are considered (a PR demotion
-        // that merely shifts the register into a new shared maximum
-        // gains nothing).
-        enum Step {
-            Private(usize, crate::alloc::ThreadAlloc),
-            SharedMax(Vec<(usize, crate::alloc::ThreadAlloc)>),
-        }
-        let mut best: Option<(Step, isize)> = None;
-
-        for (i, t) in threads.iter().enumerate() {
-            if t.pr() <= t.bounds.min_pr {
-                continue;
-            }
-            let mut trial = t.alloc.clone();
-            let Some(mut cost) = trial.reduce_private() else {
-                continue;
-            };
-            let new_total = |trial: &crate::alloc::ThreadAlloc| -> usize {
-                threads
-                    .iter()
-                    .enumerate()
-                    .map(|(j, u)| if j == i { trial.pr() } else { u.pr() })
-                    .sum::<usize>()
-                    + threads
-                        .iter()
-                        .enumerate()
-                        .map(|(j, u)| if j == i { trial.sr() } else { u.sr() })
-                        .max()
-                        .unwrap_or(0)
-            };
-            // A demotion can be objective-neutral when the demoted color
-            // pushes this thread's SR to a new maximum; chase it with a
-            // shared elimination on the same thread (a compound step).
-            while new_total(&trial) >= total
-                && trial.sr() > 0
-                && trial.pr() + trial.sr() > t.bounds.min_r
-            {
-                match trial.reduce_shared() {
-                    Some(c) => cost += c,
-                    None => break,
-                }
-            }
-            if new_total(&trial) >= total {
-                continue;
-            }
-            if best.as_ref().is_none_or(|&(_, c)| cost < c) {
-                best = Some((Step::Private(i, trial), cost));
-            }
-        }
-
-        // Candidate: reduce SR of every thread at the maximum.
-        let max_sr = threads.iter().map(ThreadResult::sr).max().unwrap_or(0);
-        if max_sr > 0 {
-            let holders: Vec<usize> = threads
+        let holders: Vec<usize> = if max_sr > 0 {
+            threads
                 .iter()
                 .enumerate()
                 .filter(|(_, t)| t.sr() == max_sr)
                 .map(|(i, _)| i)
-                .collect();
-            if holders.iter().all(|&i| can_reduce_shared(&threads[i])) {
-                let mut cost = 0isize;
-                let mut trials = Vec::new();
-                let mut feasible = true;
-                for &i in &holders {
-                    let mut trial = threads[i].alloc.clone();
-                    match trial.reduce_shared() {
-                        Some(c) => {
-                            cost += c;
-                            trials.push((i, trial));
-                        }
-                        None => {
-                            feasible = false;
-                            break;
-                        }
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Collect the cache misses; a private entry computed under a
+        // different `m_others` no longer answers the current question.
+        let mut jobs: Vec<Job> = Vec::new();
+        for (i, t) in threads.iter().enumerate() {
+            let m_others = if t.sr() == max_sr && at_max == 1 {
+                second_sr
+            } else {
+                max_sr
+            };
+            match &cache.private[i] {
+                Some((cached_m, _)) if *cached_m == m_others => stats.cached += 1,
+                _ => jobs.push(Job::Private {
+                    thread: i,
+                    m_others,
+                }),
+            }
+        }
+        for &i in &holders {
+            if cache.shared[i].is_some() {
+                stats.cached += 1;
+            } else {
+                jobs.push(Job::Shared { thread: i });
+            }
+        }
+        stats.evaluated += jobs.len();
+
+        for (job, cand) in jobs.iter().zip(run_jobs(&threads, &jobs, config.parallel)) {
+            match *job {
+                Job::Private { thread, m_others } => {
+                    cache.private[thread] = Some((m_others, cand));
+                }
+                Job::Shared { thread } => cache.shared[thread] = Some(cand),
+            }
+        }
+
+        // Sequential selection in the fixed order (threads by index,
+        // then the shared-maximum step) with strict `<` tie-breaking:
+        // identical choices to the naive engine by construction.
+        enum Step {
+            Private(usize),
+            SharedMax,
+        }
+        let mut best: Option<(Step, isize)> = None;
+        for (i, entry) in cache.private.iter().enumerate() {
+            if let Some((_, Some((_, cost)))) = entry {
+                if best.as_ref().is_none_or(|&(_, c)| *cost < c) {
+                    best = Some((Step::Private(i), *cost));
+                }
+            }
+        }
+        if !holders.is_empty() {
+            // Reducing the shared maximum takes *every* holder down one
+            // shared color; the step exists only if all of them can.
+            let mut cost = 0isize;
+            let mut feasible = true;
+            for &i in &holders {
+                match &cache.shared[i] {
+                    Some(Some((_, c))) => cost += c,
+                    _ => {
+                        feasible = false;
+                        break;
                     }
                 }
-                if feasible && best.as_ref().is_none_or(|&(_, c)| cost < c) {
-                    best = Some((Step::SharedMax(trials), cost));
-                }
+            }
+            if feasible && best.as_ref().is_none_or(|&(_, c)| cost < c) {
+                best = Some((Step::SharedMax, cost));
             }
         }
 
         match best {
-            Some((Step::Private(i, trial), _)) => threads[i].alloc = trial,
-            Some((Step::SharedMax(trials), _)) => {
-                for (i, trial) in trials {
-                    threads[i].alloc = trial;
+            Some((Step::Private(i), _)) => {
+                let (_, cand) = cache.private[i].take().expect("selected entry present");
+                threads[i].alloc = cand.expect("selected candidate feasible").0;
+                cache.invalidate(i);
+            }
+            Some((Step::SharedMax, _)) => {
+                for &i in &holders {
+                    let cand = cache.shared[i].take().expect("selected entry present");
+                    threads[i].alloc = cand.expect("selected candidate feasible").0;
+                    cache.invalidate(i);
                 }
             }
             None => {
@@ -234,18 +543,22 @@ pub fn allocate_threads(funcs: &[Func], nreg: usize) -> Result<MultiAllocation, 
                 });
             }
         }
+        if !config.memoize {
+            cache.clear();
+        }
     }
+    stats.search = search_start.elapsed();
 
-    let result = MultiAllocation {
-        threads,
-        nreg,
-    };
+    let verify_start = Instant::now();
+    let result = MultiAllocation { threads, nreg };
     crate::verify::check_threads(
         &result.threads.iter().map(|t| t.alloc.clone()).collect::<Vec<_>>(),
         nreg,
     )
     .expect("allocator produced an invalid allocation");
-    Ok(result)
+    stats.verify = verify_start.elapsed();
+    stats.total = start.elapsed();
+    Ok((result, stats))
 }
 
 fn can_reduce_private(t: &ThreadResult) -> bool {
@@ -334,6 +647,17 @@ mod tests {
     fn lean() -> Func {
         parse_func(
             "func l {\nbb0:\n v0 = mov 7\n ctx\n v1 = add v0, 1\n store scratch[v1+0], v1\n halt\n}",
+        )
+        .unwrap()
+    }
+
+    /// A loop whose boundary live ranges form an odd cycle (circular
+    /// arcs around the back edge) plus a universal counter: the BIG
+    /// needs 4 colors but every single CSB only carries 3 live values,
+    /// so `MaxPR = 4 > MinPR = 3` and the greedy loop has real work.
+    fn odd_cycle() -> Func {
+        parse_func(
+            "func c5 {\nbb0:\n v9 = mov 10\n v4 = mov 44\n jump bb1\nbb1:\n v0 = mov 5\n ctx\n store scratch[v4+0], v4\n v1 = mov 1\n ctx\n store scratch[v0+0], v0\n v2 = mov 2\n ctx\n store scratch[v1+0], v1\n v3 = mov 3\n ctx\n store scratch[v2+0], v2\n v4 = mov 4\n ctx\n store scratch[v3+0], v3\n v9 = sub v9, 1\n bne v9, 0, bb1, bb2\nbb2:\n halt\n}",
         )
         .unwrap()
     }
@@ -429,4 +753,83 @@ mod tests {
         let out = alloc.rewrite_funcs(&[f]);
         assert_eq!(out[0].num_insts(), 1);
     }
+
+    /// All four engine configurations on the same inputs.
+    fn config_matrix() -> [EngineConfig; 4] {
+        [
+            EngineConfig::naive(),
+            EngineConfig {
+                memoize: true,
+                parallel: false,
+            },
+            EngineConfig {
+                memoize: false,
+                parallel: true,
+            },
+            EngineConfig::default(),
+        ]
+    }
+
+    fn per_thread(alloc: &MultiAllocation) -> Vec<(usize, usize, usize)> {
+        alloc
+            .threads
+            .iter()
+            .map(|t| (t.pr(), t.sr(), t.moves()))
+            .collect()
+    }
+
+    #[test]
+    fn all_configs_produce_identical_allocations() {
+        let funcs = vec![odd_cycle(), hungry(), lean(), odd_cycle()];
+        for nreg in [8, 10, 12, 16, 24] {
+            let reference = allocate_threads_with(&funcs, nreg, EngineConfig::naive());
+            for config in config_matrix() {
+                let got = allocate_threads_with(&funcs, nreg, config);
+                match (&reference, &got) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(per_thread(a), per_thread(b), "{config:?} nreg={nreg}");
+                        assert_eq!(
+                            a.total_registers(),
+                            b.total_registers(),
+                            "{config:?} nreg={nreg}"
+                        );
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{config:?} nreg={nreg}"),
+                    _ => panic!("{config:?} nreg={nreg}: {reference:?} vs {got:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_engine_reports_cache_hits() {
+        let funcs = vec![odd_cycle(), odd_cycle(), odd_cycle(), odd_cycle()];
+        let (_, memo) =
+            allocate_threads_stats(&funcs, 12, EngineConfig { memoize: true, parallel: false })
+                .unwrap();
+        let (_, naive) = allocate_threads_stats(&funcs, 12, EngineConfig::naive()).unwrap();
+        assert_eq!(memo.iterations, naive.iterations);
+        assert_eq!(naive.cached, 0, "naive engine never hits the cache");
+        assert!(memo.iterations > 1, "workload too small to exercise the cache");
+        assert!(memo.cached > 0, "stats: {memo:?}");
+        assert!(
+            memo.evaluated < naive.evaluated,
+            "memoized {} vs naive {}",
+            memo.evaluated,
+            naive.evaluated
+        );
+        // Together they cover exactly the work the naive engine does.
+        assert_eq!(memo.evaluated + memo.cached, naive.evaluated);
+    }
+
+    #[test]
+    fn stats_report_nonzero_phase_times() {
+        let funcs = vec![hungry(), lean()];
+        let (alloc, stats) =
+            allocate_threads_stats(&funcs, 8, EngineConfig::default()).unwrap();
+        assert!(alloc.total_registers() <= 8);
+        assert!(stats.total >= stats.search);
+        assert!(stats.total > std::time::Duration::ZERO);
+    }
 }
+

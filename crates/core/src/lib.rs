@@ -59,7 +59,8 @@ pub mod verify;
 pub use alloc::{NodeId, ThreadAlloc};
 pub use bounds::{estimate_bounds, Bounds};
 pub use engine::{
-    allocate_threads, force_min_bounds, zero_cost_frontier, MultiAllocation, ThreadResult,
+    allocate_threads, allocate_threads_stats, allocate_threads_with, force_min_bounds,
+    zero_cost_frontier, EngineConfig, EngineStats, MultiAllocation, ThreadResult,
 };
 pub use error::AllocError;
 pub use half::HalfPoint;

@@ -11,7 +11,32 @@ use regbal_ir::BitSet;
 /// Two registers are co-live when both are live-in at the same point, or
 /// one is defined at a point where the other is live-out (the standard
 /// Chaitin interference rule).
+///
+/// Live sets are OR-ed into the adjacency rows whole
+/// ([`Graph::add_clique`] / [`Graph::add_edges_from_bitset`]), so each
+/// program point costs O(live · n/64) word operations instead of the
+/// O(live²) single-bit inserts of [`build_gig_naive`].
 pub fn build_gig(info: &ProgramInfo) -> Graph {
+    let nv = info.num_vregs();
+    let mut g = Graph::new(nv);
+    for p in info.pmap.points() {
+        g.add_clique(info.liveness.live_in(p));
+        let defs = info.liveness.defs_at(p);
+        for (i, d) in defs.iter().enumerate() {
+            g.add_edges_from_bitset(d.index(), info.liveness.live_out(p));
+            // Burst destinations are written together: they interfere
+            // with each other even when some are otherwise dead.
+            for d2 in &defs[i + 1..] {
+                g.add_edge(d.index(), d2.index());
+            }
+        }
+    }
+    g
+}
+
+/// Reference pairwise implementation of [`build_gig`], kept for
+/// differential tests and the `engine_speed` benchmark.
+pub fn build_gig_naive(info: &ProgramInfo) -> Graph {
     let nv = info.num_vregs();
     let mut g = Graph::new(nv);
     for p in info.pmap.points() {
@@ -26,8 +51,6 @@ pub fn build_gig(info: &ProgramInfo) -> Graph {
             for b in info.liveness.live_out(p).iter() {
                 g.add_edge(d.index(), b);
             }
-            // Burst destinations are written together: they interfere
-            // with each other even when some are otherwise dead.
             for d2 in &defs[i + 1..] {
                 g.add_edge(d.index(), d2.index());
             }
@@ -41,7 +64,22 @@ pub fn build_gig(info: &ProgramInfo) -> Graph {
 /// nodes that are live across the *same* CSB (paper §3.2, "boundary
 /// interference"). Values live at program entry interfere with each
 /// other the same way (the entry acts as a boundary).
+///
+/// Each live-across set becomes a clique through whole-row OR-ing
+/// ([`Graph::add_clique`]).
 pub fn build_big(info: &ProgramInfo) -> Graph {
+    let nv = info.num_vregs();
+    let mut g = Graph::new(nv);
+    for (_, across) in info.csbs.iter() {
+        g.add_clique(across);
+    }
+    g.add_clique(info.liveness.live_in(info.pmap.entry()));
+    g
+}
+
+/// Reference pairwise implementation of [`build_big`], kept for
+/// differential tests and the `engine_speed` benchmark.
+pub fn build_big_naive(info: &ProgramInfo) -> Graph {
     let nv = info.num_vregs();
     let mut g = Graph::new(nv);
     let clique = |set: &BitSet, g: &mut Graph| {
@@ -92,17 +130,34 @@ pub fn build_iigs(info: &ProgramInfo, gig: &Graph) -> Vec<Iig> {
             members[r].push(v);
         }
     }
+    // Sub-view extraction works on whole GIG rows: each member's
+    // neighbour row is AND-ed with the region's member set in one
+    // word-level pass, then only the surviving bits are translated to
+    // positional indices — O(members · n/64 + edges) per region instead
+    // of O(members²) `has_edge` probes.
+    let nv = info.num_vregs();
+    let mut pos = vec![usize::MAX; nv];
     members
         .into_iter()
         .enumerate()
         .map(|(r, members)| {
             let mut graph = Graph::new(members.len());
+            let mut in_region = BitSet::new(nv);
+            for (i, &m) in members.iter().enumerate() {
+                in_region.insert(m);
+                pos[m] = i;
+            }
             for (i, &a) in members.iter().enumerate() {
-                for (j, &b) in members.iter().enumerate().skip(i + 1) {
-                    if gig.has_edge(a, b) {
-                        graph.add_edge(i, j);
+                let mut row = gig.neighbors(a).clone();
+                row.intersect_with(&in_region);
+                for b in row.iter() {
+                    if pos[b] > i {
+                        graph.add_edge(i, pos[b]);
                     }
                 }
+            }
+            for &m in &members {
+                pos[m] = usize::MAX;
             }
             Iig {
                 region: RegionId(r as u32),

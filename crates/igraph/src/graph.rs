@@ -41,6 +41,51 @@ impl Graph {
         self.adj[b].insert(a);
     }
 
+    /// Adds an edge from `a` to every member of `others` in bulk: `a`'s
+    /// adjacency row is OR-ed with `others` in one word-level pass, then
+    /// the reverse direction is set bit by bit. `a` itself is skipped if
+    /// present (no self-loops). Equivalent to calling
+    /// [`add_edge`](Self::add_edge) for each member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `others`' capacity differs from the node count or a
+    /// member is out of range.
+    pub fn add_edges_from_bitset(&mut self, a: usize, others: &BitSet) {
+        assert_eq!(
+            others.capacity(),
+            self.adj.len(),
+            "bitset capacity must equal the node count"
+        );
+        self.adj[a].union_with(others);
+        self.adj[a].remove(a);
+        for b in others.iter() {
+            if b != a {
+                self.adj[b].insert(a);
+            }
+        }
+    }
+
+    /// Makes `set` a clique: every pair of members becomes an edge. Each
+    /// member's adjacency row is OR-ed with the whole set in one
+    /// word-level pass — O(|set| · n/64) instead of the O(|set|²)
+    /// single-bit inserts of pairwise construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set`'s capacity differs from the node count.
+    pub fn add_clique(&mut self, set: &BitSet) {
+        assert_eq!(
+            set.capacity(),
+            self.adj.len(),
+            "bitset capacity must equal the node count"
+        );
+        for a in set.iter() {
+            self.adj[a].union_with(set);
+            self.adj[a].remove(a);
+        }
+    }
+
     /// Whether `{a, b}` is an edge.
     pub fn has_edge(&self, a: usize, b: usize) -> bool {
         self.adj[a].contains(b)
@@ -309,6 +354,138 @@ mod tests {
         let c = g.dsatur(None);
         assert_eq!(c.num_colors, 0);
         assert!(c.colors.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod bulk_edge_tests {
+    use super::*;
+
+    /// Tiny deterministic generator so these tests need no external
+    /// crates.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+        fn set(&mut self, n: usize, density_pct: u64) -> BitSet {
+            let mut s = BitSet::new(n);
+            for i in 0..n {
+                if self.next() % 100 < density_pct {
+                    s.insert(i);
+                }
+            }
+            s
+        }
+    }
+
+    fn clique_pairwise(g: &mut Graph, set: &BitSet) {
+        let nodes: Vec<usize> = set.iter().collect();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                g.add_edge(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn add_clique_matches_pairwise_on_random_sets() {
+        let mut rng = Lcg(0xfeed);
+        for n in [1usize, 7, 64, 65, 130] {
+            for density in [0, 10, 50, 100] {
+                let set = rng.set(n, density);
+                let mut bulk = Graph::new(n);
+                bulk.add_clique(&set);
+                let mut pairwise = Graph::new(n);
+                clique_pairwise(&mut pairwise, &set);
+                assert_eq!(bulk, pairwise, "n={n} density={density}%");
+            }
+        }
+    }
+
+    #[test]
+    fn add_edges_from_bitset_matches_pairwise_on_random_sets() {
+        let mut rng = Lcg(0xbeef);
+        for n in [2usize, 9, 64, 100] {
+            for density in [0, 25, 100] {
+                let set = rng.set(n, density);
+                let a = (rng.next() as usize) % n;
+                let mut bulk = Graph::new(n);
+                bulk.add_edges_from_bitset(a, &set);
+                let mut pairwise = Graph::new(n);
+                for b in set.iter() {
+                    pairwise.add_edge(a, b);
+                }
+                assert_eq!(bulk, pairwise, "n={n} density={density}% a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_apis_accumulate_over_existing_edges() {
+        let mut rng = Lcg(0x1234);
+        let n = 90;
+        let mut bulk = Graph::new(n);
+        let mut pairwise = Graph::new(n);
+        for round in 0..12 {
+            let set = rng.set(n, 30);
+            if round % 2 == 0 {
+                bulk.add_clique(&set);
+                clique_pairwise(&mut pairwise, &set);
+            } else {
+                let a = (rng.next() as usize) % n;
+                bulk.add_edges_from_bitset(a, &set);
+                for b in set.iter() {
+                    pairwise.add_edge(a, b);
+                }
+            }
+        }
+        assert_eq!(bulk, pairwise);
+        assert!(bulk.num_edges() > 0, "rounds must have produced edges");
+    }
+
+    #[test]
+    fn empty_set_adds_nothing() {
+        let mut g = Graph::new(8);
+        g.add_clique(&BitSet::new(8));
+        g.add_edges_from_bitset(3, &BitSet::new(8));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn full_set_builds_complete_graph() {
+        let n = 70;
+        let full: BitSet = (0..n).collect();
+        let mut g = Graph::new(n);
+        g.add_clique(&full);
+        assert_eq!(g.num_edges(), n * (n - 1) / 2);
+        for a in 0..n {
+            assert!(!g.has_edge(a, a), "no self-loop at {a}");
+            assert_eq!(g.degree(a), n - 1);
+        }
+    }
+
+    #[test]
+    fn member_source_node_gets_no_self_loop() {
+        let mut g = Graph::new(5);
+        let set: BitSet = {
+            let mut s = BitSet::new(5);
+            s.extend([1usize, 2, 4]);
+            s
+        };
+        g.add_edges_from_bitset(2, &set);
+        assert!(!g.has_edge(2, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(g.has_edge(2, 4));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must equal the node count")]
+    fn capacity_mismatch_panics() {
+        let mut g = Graph::new(4);
+        g.add_clique(&BitSet::new(5));
     }
 }
 

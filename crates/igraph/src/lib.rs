@@ -39,5 +39,5 @@
 mod build;
 mod graph;
 
-pub use build::{build_big, build_gig, build_iigs, Iig};
+pub use build::{build_big, build_big_naive, build_gig, build_gig_naive, build_iigs, Iig};
 pub use graph::{Coloring, Graph};

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the `criterion 0.8` API this workspace
+//! uses: [`Criterion`], benchmark groups with `sample_size`,
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Each benchmark is calibrated to a per-sample iteration
+//! count, timed over `sample_size` samples, and reported as the median
+//! ns/iteration on stdout. When the `CRITERION_JSON` environment
+//! variable names a file, one JSON line per benchmark is appended to it
+//! so results can be tracked across runs (see `BENCH_ENGINE.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget one benchmark's measurement phase aims for.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 12;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// The benchmark driver; collects and reports results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Runs one benchmark with the default sample size.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name.into(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    fn run<F>(&mut self, name: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: grow the per-sample iteration count until one
+        // sample costs at least TARGET_SAMPLE_TIME (or one iteration
+        // already exceeds it).
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut sample_ns: Vec<f64> = (0..sample_size.max(1))
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = sample_ns[sample_ns.len() / 2];
+
+        println!(
+            "bench {name:<48} {median_ns:>14.1} ns/iter  ({} samples x {iters} iters)",
+            sample_ns.len()
+        );
+        self.results.push(BenchResult {
+            name,
+            median_ns,
+            samples: sample_ns.len(),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+            eprintln!("criterion shim: cannot open {path}");
+            return;
+        };
+        for r in &self.results {
+            // Hand-rolled JSON: names are bench identifiers (no quoting
+            // hazards beyond backslash/quote, escaped here anyway).
+            let escaped: String = r
+                .name
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    _ => vec![c],
+                })
+                .collect();
+            let _ = writeln!(
+                file,
+                "{{\"bench\": \"{escaped}\", \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                r.median_ns, r.samples, r.iters_per_sample
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        self.criterion.run(full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (results were reported as they ran).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns >= 0.0);
+        assert_eq!(c.results[0].name, "noop");
+    }
+
+    #[test]
+    fn groups_prefix_names_and_honour_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+        assert_eq!(c.results[0].name, "grp/inner");
+        assert_eq!(c.results[0].samples, 3);
+    }
+
+    #[test]
+    fn macros_compile_into_runnable_groups() {
+        fn one(c: &mut Criterion) {
+            c.bench_function("m", |b| b.iter(|| ()));
+        }
+        criterion_group!(benches, one);
+        benches();
+    }
+}

@@ -6,7 +6,10 @@ mod common;
 use common::gen::{random_program, GenConfig};
 use proptest::prelude::*;
 use regbal_core::chaitin::{self, ChaitinConfig};
-use regbal_core::{allocate_sra, estimate_bounds, force_min_bounds};
+use regbal_core::{
+    allocate_sra, allocate_threads_with, estimate_bounds, force_min_bounds, EngineConfig,
+    MultiAllocation,
+};
 use regbal_analysis::ProgramInfo;
 use regbal_ir::{Func, MemSpace};
 use regbal_sim::{SimConfig, Simulator, StopWhen};
@@ -160,6 +163,108 @@ proptest! {
         // The observable outputs of the spilled programs equal the
         // originals' too (spilling is semantics-preserving).
         prop_assert_eq!(run_snapshot(&funcs), run_snapshot(&hybrid.funcs));
+    }
+}
+
+/// The observable outcome of one engine run, for bit-exact comparison.
+fn fingerprint(alloc: &MultiAllocation) -> (Vec<(usize, usize, usize)>, usize) {
+    (
+        alloc
+            .threads
+            .iter()
+            .map(|t| (t.pr(), t.sr(), t.moves()))
+            .collect(),
+        alloc.total_registers(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The memoized and parallel engines are bit-identical to the naive
+    /// engine: same per-thread (PR, SR, moves), same total, and the
+    /// same error on infeasible budgets — across heterogeneous random
+    /// multi-thread programs and a sweep of register budgets chosen to
+    /// force real greedy iterations.
+    #[test]
+    fn memoized_engine_matches_naive(seed in any::<u64>()) {
+        let config = GenConfig { blocks: 4, pool: 6, block_len: 6, outer_loop: false };
+        // Heterogeneous threads: a different derived seed per thread.
+        let funcs: Vec<Func> = (0..4)
+            .map(|t| {
+                let tseed = seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                random_program(tseed, t as u32 * SLOT_STRIDE, config)
+            })
+            .collect();
+        let bounds: Vec<_> = funcs
+            .iter()
+            .map(|f| estimate_bounds(&ProgramInfo::compute(f)).bounds)
+            .collect();
+        // The engine starts at the upper bounds; budgets below that
+        // demand drive the greedy loop, down into infeasible territory.
+        let upper = bounds.iter().map(|b| b.max_pr).sum::<usize>()
+            + bounds.iter().map(|b| b.max_r - b.max_pr).max().unwrap_or(0);
+        let lower = bounds.iter().map(|b| b.min_pr).sum::<usize>();
+        let budgets = [
+            lower.max(1),
+            (lower + upper) / 2,
+            upper.saturating_sub(1),
+            upper,
+        ];
+        let fast_configs = [
+            EngineConfig { memoize: true, parallel: false },
+            EngineConfig::default(),
+        ];
+        for nreg in budgets {
+            let naive = allocate_threads_with(&funcs, nreg, EngineConfig::naive());
+            for cfg in fast_configs {
+                let fast = allocate_threads_with(&funcs, nreg, cfg);
+                match (&naive, &fast) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(
+                            fingerprint(a), fingerprint(b),
+                            "allocations diverge: {:?} nreg={}", cfg, nreg
+                        );
+                    }
+                    (Err(ea), Err(eb)) => {
+                        prop_assert_eq!(ea, eb, "errors diverge: {:?} nreg={}", cfg, nreg);
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "feasibility diverges at {:?} nreg={}: naive={:?} fast={:?}",
+                        cfg, nreg, naive.is_ok(), fast.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Same differential on loop-carried programs (back-edge splits are
+    /// the costliest candidates, exercising cost tie-breaks).
+    #[test]
+    fn memoized_engine_matches_naive_looped(seed in any::<u64>()) {
+        let config = GenConfig { blocks: 3, pool: 5, block_len: 5, outer_loop: true };
+        let funcs: Vec<Func> = (0..3)
+            .map(|t| {
+                let tseed = seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                random_program(tseed, t as u32 * SLOT_STRIDE, config)
+            })
+            .collect();
+        let bounds: Vec<_> = funcs
+            .iter()
+            .map(|f| estimate_bounds(&ProgramInfo::compute(f)).bounds)
+            .collect();
+        let upper = bounds.iter().map(|b| b.max_pr).sum::<usize>()
+            + bounds.iter().map(|b| b.max_r - b.max_pr).max().unwrap_or(0);
+        for nreg in [upper.saturating_sub(3), upper.saturating_sub(1)] {
+            let naive = allocate_threads_with(&funcs, nreg.max(1), EngineConfig::naive());
+            let fast = allocate_threads_with(&funcs, nreg.max(1), EngineConfig::default());
+            match (&naive, &fast) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(fingerprint(a), fingerprint(b)),
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                _ => prop_assert!(false, "feasibility diverges at nreg={}", nreg),
+            }
+        }
     }
 }
 

@@ -6,7 +6,7 @@ mod common;
 use common::gen::{random_program, GenConfig};
 use proptest::prelude::*;
 use regbal_analysis::{Point, ProgramInfo};
-use regbal_igraph::{build_gig, build_iigs};
+use regbal_igraph::{build_big, build_big_naive, build_gig, build_gig_naive, build_iigs};
 use regbal_ir::{Func, Reg, VReg};
 
 /// Reference liveness: for each register independently, mark every
@@ -59,6 +59,16 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Bitset-row interference construction equals the pairwise
+    /// reference, edge for edge, on arbitrary programs.
+    #[test]
+    fn bulk_graph_construction_matches_naive(seed in any::<u64>()) {
+        let f = random_program(seed, 0, GenConfig::default());
+        let info = ProgramInfo::compute(&f);
+        prop_assert_eq!(build_gig(&info), build_gig_naive(&info), "GIG diverges");
+        prop_assert_eq!(build_big(&info), build_big_naive(&info), "BIG diverges");
     }
 
     /// Paper Claim 2: internal nodes of different non-switch regions

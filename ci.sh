@@ -2,6 +2,14 @@
 # Local CI: everything must pass before merging.
 set -eux
 
-cargo build --release
+cargo build --release --workspace
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# The evaluation harness must produce a report that passes its own
+# structural validation (coverage, checksums, the paper's headline).
+# The committed BENCH_EVAL.json is the full sweep (bench bin `eval`);
+# CI re-derives a smoke report next to it in target/ and checks both.
+./target/release/regbal eval --smoke --out target/BENCH_EVAL_SMOKE.json
+./target/release/regbal eval --validate target/BENCH_EVAL_SMOKE.json
+./target/release/regbal eval --validate BENCH_EVAL.json

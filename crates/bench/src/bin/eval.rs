@@ -1,0 +1,65 @@
+//! Runs the full `regbal-eval` throughput study (the paper's §9 sweep,
+//! `Nreg` 32 → 128 under packet traffic) and prints a per-scenario
+//! throughput table; the structured report goes to `BENCH_EVAL.json`.
+//!
+//! `regbal eval --smoke` runs a fast subset of the same pipeline; this
+//! binary is the full-size batch variant for regenerating the numbers
+//! in `EXPERIMENTS.md`.
+
+use regbal_bench::table;
+use regbal_eval::{run_eval, CellStatus, EvalConfig};
+
+fn main() {
+    let config = EvalConfig::full();
+    let report = run_eval(&config);
+
+    let mut header: Vec<String> = vec!["strategy".into()];
+    header.extend(report.nreg_sweep.iter().map(|n| format!("Nreg={n}")));
+    let header: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    for scenario in &report.scenarios {
+        println!(
+            "{} — {}{}",
+            scenario.name,
+            scenario.description,
+            if scenario.register_hungry { " [hungry]" } else { "" }
+        );
+        let rows: Vec<Vec<String>> = report
+            .strategies
+            .iter()
+            .map(|strategy| {
+                let mut row = vec![strategy.clone()];
+                row.extend(report.nreg_sweep.iter().map(|&nreg| {
+                    match scenario.cell(strategy, nreg) {
+                        Some(c) if c.status == CellStatus::Ok => {
+                            let mark = if c.checksum_ok { "" } else { " !" };
+                            if c.spills > 0 {
+                                format!("{:.2} ({}sp){mark}", c.throughput_ipkc, c.spills)
+                            } else if c.moves > 0 {
+                                format!("{:.2} ({}mv){mark}", c.throughput_ipkc, c.moves)
+                            } else {
+                                format!("{:.2}{mark}", c.throughput_ipkc)
+                            }
+                        }
+                        Some(c) if matches!(c.status, CellStatus::Infeasible(_)) => "—".into(),
+                        _ => "timeout".into(),
+                    }
+                }));
+                row
+            })
+            .collect();
+        println!("{}", table::render(&header, &rows));
+    }
+    println!("throughput in iterations per kilocycle, summed over threads");
+    println!("(sp = spilled ranges, mv = split moves, — = infeasible, ! = checksum mismatch)");
+
+    let path = "BENCH_EVAL.json";
+    std::fs::write(path, report.to_json_string() + "\n").expect("write BENCH_EVAL.json");
+    println!(
+        "wrote {path} ({} scenarios x {} strategies x {} sizes, {} packets/thread)",
+        report.scenarios.len(),
+        report.strategies.len(),
+        report.nreg_sweep.len(),
+        report.packets
+    );
+}

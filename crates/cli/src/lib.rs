@@ -9,6 +9,7 @@
 //! regbal alloc    --nreg 64 t0.rba t1.rba  # balance threads, print code
 //! regbal alloc    --nreg 64 --spill ...    # spill when sharing can't fit
 //! regbal run      --cycles 100000 a.rba    # simulate, print statistics
+//! regbal eval     --smoke                  # strategy sweep -> BENCH_EVAL.json
 //! ```
 //!
 //! The driver logic lives in this library so it can be tested without
@@ -23,6 +24,7 @@ use regbal_core::{
     allocate_threads_stats, allocate_threads_with_spill, estimate_bounds, force_min_bounds,
     EngineConfig, EngineStats,
 };
+use regbal_eval::{run_eval, thread_alloc_json, validate_json, CellStatus, EvalConfig, Json};
 use regbal_ir::{parse_module, Func};
 use regbal_sim::{SimConfig, Simulator, StopWhen};
 use std::fmt::Write as _;
@@ -40,6 +42,7 @@ pub fn run_cli(args: &[String], out: &mut String) -> Result<(), String> {
         Some("analyze") => analyze(&collect_files(it)?, out),
         Some("alloc") => alloc(args[1..].to_vec(), out),
         Some("run") => run(args[1..].to_vec(), out),
+        Some("eval") => eval(args[1..].to_vec(), out),
         Some("dot") => dot(args[1..].to_vec(), out),
         Some("help") | None => {
             out.push_str(USAGE);
@@ -62,10 +65,17 @@ USAGE:
       --stats          print engine statistics (iterations, candidate
                        cache hits, per-phase wall time)
       --quiet          summary only, no code
+      --json           machine-readable allocation summary (JSON, no code)
   regbal run [OPTS] <files...>                simulate the threads
       --cycles <N>     cycle budget (default 1000000)
       --iterations <N> stop when all threads did N iterations
-      --trace <N>      print the first N scheduler events
+      --trace <N>      keep and print the first N scheduler events
+  regbal eval [OPTS]                          traffic-driven strategy evaluation
+      --smoke          fast sweep (fewer packets, two file sizes)
+      --packets <N>    packets per thread (default 64; 12 with --smoke)
+      --nreg <LIST>    comma-separated register-file sizes to sweep
+      --out <FILE>     where to write the report (default BENCH_EVAL.json)
+      --validate <F>   validate an existing report instead of running
   regbal dot [--ig] <files...>                Graphviz output (CFG, or the
                                               interference graph with --ig)
   regbal help                                 this text
@@ -153,6 +163,7 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
     let mut quiet = false;
     let mut naive = false;
     let mut stats = false;
+    let mut json = false;
     let mut files = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -169,9 +180,13 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
             "--quiet" => quiet = true,
             "--naive" => naive = true,
             "--stats" => stats = true,
+            "--json" => json = true,
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
+    }
+    if json && min {
+        return Err("--json cannot be combined with --min".into());
     }
     let funcs = load(&files)?;
 
@@ -193,6 +208,27 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
     let (physical, summary) = if spill {
         let hybrid =
             allocate_threads_with_spill(&funcs, nreg).map_err(|e| e.to_string())?;
+        if json {
+            let threads = hybrid
+                .alloc
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    thread_alloc_json(&funcs[i].name, t.pr(), t.sr(), t.moves(), hybrid.spills[i])
+                })
+                .collect();
+            let doc = alloc_json(
+                "balanced-spill",
+                nreg,
+                hybrid.alloc.total_registers(),
+                hybrid.alloc.sgr(),
+                threads,
+                None,
+            );
+            let _ = writeln!(out, "{}", doc.pretty());
+            return Ok(());
+        }
         let mut s = String::new();
         for (i, t) in hybrid.alloc.threads.iter().enumerate() {
             let _ = writeln!(
@@ -220,6 +256,24 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
         };
         let (alloc, engine_stats) =
             allocate_threads_stats(&funcs, nreg, config).map_err(|e| e.to_string())?;
+        if json {
+            let threads = alloc
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| thread_alloc_json(&funcs[i].name, t.pr(), t.sr(), t.moves(), 0))
+                .collect();
+            let doc = alloc_json(
+                "balanced",
+                nreg,
+                alloc.total_registers(),
+                alloc.sgr(),
+                threads,
+                Some((&engine_stats, config)),
+            );
+            let _ = writeln!(out, "{}", doc.pretty());
+            return Ok(());
+        }
         let mut s = String::new();
         for (i, t) in alloc.threads.iter().enumerate() {
             let _ = writeln!(
@@ -248,6 +302,133 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
             let _ = writeln!(out, "\n{f}");
         }
     }
+    Ok(())
+}
+
+/// The `regbal alloc --json` document; thread objects share the
+/// `regbal-eval` per-thread schema (see `EXPERIMENTS.md`).
+fn alloc_json(
+    strategy: &str,
+    nreg: usize,
+    demand: usize,
+    sgr: usize,
+    threads: Vec<Json>,
+    engine: Option<(&EngineStats, EngineConfig)>,
+) -> Json {
+    let mut members = vec![
+        ("schema".into(), Json::str("regbal-alloc/1")),
+        ("strategy".into(), Json::str(strategy)),
+        ("nreg".into(), Json::uint(nreg as u64)),
+        ("demand".into(), Json::uint(demand as u64)),
+        ("sgr".into(), Json::uint(sgr as u64)),
+        ("threads".into(), Json::Arr(threads)),
+    ];
+    if let Some((stats, config)) = engine {
+        let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+        members.push((
+            "engine".into(),
+            Json::Obj(vec![
+                ("iterations".into(), Json::uint(stats.iterations as u64)),
+                ("evaluated".into(), Json::uint(stats.evaluated as u64)),
+                ("cached".into(), Json::uint(stats.cached as u64)),
+                ("memoized".into(), Json::Bool(config.memoize)),
+                ("init_us".into(), Json::float(us(stats.init))),
+                ("search_us".into(), Json::float(us(stats.search))),
+                ("verify_us".into(), Json::float(us(stats.verify))),
+                ("total_us".into(), Json::float(us(stats.total))),
+            ]),
+        ));
+    }
+    Json::Obj(members)
+}
+
+/// The `regbal eval` subcommand: run the strategy-evaluation sweep and
+/// write `BENCH_EVAL.json`, or validate an existing report.
+fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
+    let mut smoke = false;
+    let mut out_path = "BENCH_EVAL.json".to_string();
+    let mut packets: Option<u32> = None;
+    let mut nreg_sweep: Option<Vec<usize>> = None;
+    let mut validate_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().ok_or("--out needs a value")?,
+            "--packets" => {
+                packets = Some(
+                    it.next()
+                        .ok_or("--packets needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--packets: {e}"))?,
+                );
+            }
+            "--nreg" => {
+                let list = it.next().ok_or("--nreg needs a value")?;
+                nreg_sweep = Some(
+                    list.split(',')
+                        .map(|n| n.trim().parse().map_err(|e| format!("--nreg `{n}`: {e}")))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--validate" => validate_path = Some(it.next().ok_or("--validate needs a value")?),
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let doc = regbal_eval::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let summary = validate_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "{path}: OK ({summary})");
+        return Ok(());
+    }
+
+    let mut config = if smoke { EvalConfig::smoke() } else { EvalConfig::full() };
+    if let Some(p) = packets {
+        config.packets = p;
+    }
+    if let Some(sweep) = nreg_sweep {
+        config.nreg_sweep = sweep;
+    }
+    let report = run_eval(&config);
+
+    // A compact throughput table per scenario: rows are strategies,
+    // columns the swept register-file sizes.
+    for scenario in &report.scenarios {
+        let _ = writeln!(
+            out,
+            "{} ({}){}",
+            scenario.name,
+            scenario.description,
+            if scenario.register_hungry { " [hungry]" } else { "" }
+        );
+        for strategy in &report.strategies {
+            let cells: Vec<String> = report
+                .nreg_sweep
+                .iter()
+                .map(|&nreg| match scenario.cell(strategy, nreg) {
+                    Some(c) if c.status == CellStatus::Ok => format!(
+                        "{nreg}: {:.2}{}",
+                        c.throughput_ipkc,
+                        if c.checksum_ok { "" } else { " BAD-CHECKSUM" }
+                    ),
+                    Some(_) | None => format!("{nreg}: -"),
+                })
+                .collect();
+            let _ = writeln!(out, "  {strategy:>15}  {}", cells.join("  "));
+        }
+    }
+    let text = report.to_json_string();
+    std::fs::write(&out_path, text + "\n").map_err(|e| format!("{out_path}: {e}"))?;
+    let _ = writeln!(
+        out,
+        "wrote {out_path} ({} scenarios x {} strategies x {} sizes, {} packets/thread)",
+        report.scenarios.len(),
+        report.strategies.len(),
+        report.nreg_sweep.len(),
+        report.packets
+    );
     Ok(())
 }
 
@@ -344,6 +525,13 @@ fn run(args: Vec<String>, out: &mut String) -> Result<(), String> {
     }
     for event in sim.trace() {
         let _ = writeln!(out, "{event:?}");
+    }
+    if report.trace_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "({} trace event(s) dropped; raise --trace to keep more)",
+            report.trace_dropped
+        );
     }
     Ok(())
 }
@@ -531,6 +719,65 @@ mod tests {
     }
 
     #[test]
+    fn alloc_json_emits_the_shared_schema() {
+        let path = write_temp("json.rba", PROG);
+        let mut out = String::new();
+        run_cli(
+            &["alloc".into(), "--json".into(), "--nreg".into(), "8".into(), path.clone()],
+            &mut out,
+        )
+        .unwrap();
+        let doc = regbal_eval::json::parse(&out).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(regbal_eval::Json::as_str),
+            Some("regbal-alloc/1")
+        );
+        assert_eq!(
+            doc.get("strategy").and_then(regbal_eval::Json::as_str),
+            Some("balanced")
+        );
+        assert_eq!(doc.get("nreg").and_then(|n| n.as_u64()), Some(8));
+        let threads = doc.get("threads").and_then(regbal_eval::Json::as_arr).unwrap();
+        assert_eq!(threads.len(), 1);
+        for key in ["name", "pr", "sr", "moves", "spills"] {
+            assert!(threads[0].get(key).is_some(), "thread object has `{key}`");
+        }
+        assert!(doc.get("engine").is_some(), "engine stats present");
+        assert!(!out.contains("bb0:"), "no code with --json: {out}");
+
+        // The spill variant uses the same thread schema, no engine.
+        let mut out = String::new();
+        run_cli(
+            &[
+                "alloc".into(),
+                "--json".into(),
+                "--spill".into(),
+                "--nreg".into(),
+                "8".into(),
+                path,
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let doc = regbal_eval::json::parse(&out).unwrap();
+        assert_eq!(
+            doc.get("strategy").and_then(regbal_eval::Json::as_str),
+            Some("balanced-spill")
+        );
+        assert!(doc.get("engine").is_none());
+    }
+
+    #[test]
+    fn alloc_json_rejects_min() {
+        let err = run_cli(
+            &["alloc".into(), "--json".into(), "--min".into()],
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--json"), "{err}");
+    }
+
+    #[test]
     fn run_simulates_and_reports() {
         let path = write_temp("run.rba", PROG);
         let mut out = String::new();
@@ -647,5 +894,75 @@ mod dot_and_trace_tests {
         .unwrap();
         assert!(out.contains("Switch"), "{out}");
         assert!(out.contains("MemIssue"), "{out}");
+    }
+
+    #[test]
+    fn run_reports_dropped_trace_events() {
+        let path = temp("drop.rba");
+        let mut out = String::new();
+        run_cli(
+            &["run".into(), "--trace".into(), "1".into(), path],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("dropped"), "{out}");
+    }
+}
+
+#[cfg(test)]
+mod eval_tests {
+    use super::*;
+
+    fn temp_report(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("regbal-cli-eval-{}-{name}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn eval_smoke_writes_a_validating_report() {
+        let path = temp_report("smoke");
+        let mut out = String::new();
+        run_cli(
+            &[
+                "eval".into(),
+                "--smoke".into(),
+                "--packets".into(),
+                "2".into(),
+                "--out".into(),
+                path.clone(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("fixed-partition"), "{out}");
+
+        let mut out = String::new();
+        run_cli(&["eval".into(), "--validate".into(), path], &mut out).unwrap();
+        assert!(out.contains("OK"), "{out}");
+    }
+
+    #[test]
+    fn eval_validate_rejects_garbage() {
+        let path = temp_report("garbage");
+        std::fs::write(&path, "{\"schema\": \"something-else\"}").unwrap();
+        let err = run_cli(
+            &["eval".into(), "--validate".into(), path],
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn eval_rejects_bad_nreg_list() {
+        let err = run_cli(
+            &["eval".into(), "--nreg".into(), "48,many".into()],
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--nreg"), "{err}");
     }
 }

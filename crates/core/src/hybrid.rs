@@ -58,6 +58,24 @@ pub fn allocate_threads_with_spill(
     funcs: &[Func],
     nreg: usize,
 ) -> Result<HybridAllocation, AllocError> {
+    allocate_threads_with_spill_at(funcs, nreg, SPILL_BASE)
+}
+
+/// Like [`allocate_threads_with_spill`], with an explicit base address
+/// for the spill area (per-thread areas are spaced `0x1000` bytes apart
+/// above it). Callers that allocate several thread groups over one
+/// shared memory — e.g. the PUs of a [`regbal-sim` `Chip`] — must give
+/// each group a disjoint base or their spill slots would alias.
+///
+/// # Errors
+///
+/// Returns [`AllocError::SpillDiverged`] if the demand still does not
+/// fit after a bounded number of spill rounds.
+pub fn allocate_threads_with_spill_at(
+    funcs: &[Func],
+    nreg: usize,
+    spill_base: i64,
+) -> Result<HybridAllocation, AllocError> {
     let mut work: Vec<Func> = funcs.to_vec();
     let mut spills = vec![0usize; funcs.len()];
     let mut next_slot = vec![0i64; funcs.len()];
@@ -82,7 +100,7 @@ pub fn allocate_threads_with_spill(
                         rounds: spills.iter().sum(),
                     });
                 };
-                let slot = SPILL_BASE + (t as i64) * 0x1000 + next_slot[t];
+                let slot = spill_base + (t as i64) * 0x1000 + next_slot[t];
                 next_slot[t] += 4;
                 already[t][v.index()] = true;
                 insert_spill_code(&mut work[t], v, slot, SPILL_SPACE);
@@ -192,6 +210,20 @@ bb0:
         let hybrid = allocate_threads_with_spill(&funcs, 32).unwrap();
         assert_eq!(hybrid.spills, vec![0, 0]);
         assert_eq!(hybrid.funcs[0], hot(), "programs untouched");
+    }
+
+    #[test]
+    fn explicit_spill_base_relocates_slots() {
+        let funcs = vec![hot(), hot()];
+        let a = allocate_threads_with_spill_at(&funcs, 8, 0x1_0000).unwrap();
+        let b = allocate_threads_with_spill_at(&funcs, 8, 0x2_0000).unwrap();
+        // Same spill decisions, different slot addresses.
+        assert_eq!(a.spills, b.spills);
+        assert!(a.spills.iter().sum::<usize>() > 0);
+        assert_ne!(a.funcs, b.funcs, "spill addresses must move with the base");
+        // The default entry point keeps its historical area.
+        let d = allocate_threads_with_spill(&funcs, 8).unwrap();
+        assert_eq!(d.spills, a.spills);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use engine::{
 };
 pub use error::AllocError;
 pub use half::HalfPoint;
-pub use hybrid::{allocate_threads_with_spill, HybridAllocation};
+pub use hybrid::{allocate_threads_with_spill, allocate_threads_with_spill_at, HybridAllocation};
 pub use livemap::LiveMap;
 pub use rewrite::{rewrite_thread, Layout};
 pub use sra::{allocate_sra, allocate_sra_exhaustive, sra_zero_cost_frontier, SraAllocation};

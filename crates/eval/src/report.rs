@@ -1,0 +1,583 @@
+//! The evaluation pipeline and its structured report.
+//!
+//! For every scenario × strategy × register-file-size cell the harness
+//! compiles the scenario's threads, drives them on a multi-PU
+//! [`Chip`] under `fill_packets` traffic until every thread has
+//! processed its packets, and records throughput, per-thread behaviour
+//! and a checksum validation: the compiled run's output regions must be
+//! byte-identical to a virtual-register reference run of the same
+//! scenario. The result serialises to `BENCH_EVAL.json` (schema
+//! documented in `EXPERIMENTS.md`) and parses back for CI validation.
+
+use crate::json::Json;
+use crate::scenario::{scenarios, Scenario};
+use crate::strategy::{all_strategies, CompiledPu, Strategy};
+use regbal_ir::{Func, MemSpace};
+use regbal_sim::{Chip, RunReport, SimConfig};
+use regbal_workloads::Workload;
+
+/// Configuration of one evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Packets each thread processes (= main-loop iterations).
+    pub packets: u32,
+    /// Register-file sizes to sweep.
+    pub nreg_sweep: Vec<usize>,
+    /// Chip interleaving slice in cycles (cross-PU memory visibility).
+    pub granularity: u64,
+    /// Per-PU cycle budget; a run that exceeds it is reported as a
+    /// timeout, not a hang.
+    pub cycle_budget: u64,
+    /// Seed for the packet generator (per-slot seeds derive from it).
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// The full study: the paper's sweep from 8 to 32 registers per
+    /// thread (`Nreg` 32 → 128).
+    pub fn full() -> EvalConfig {
+        EvalConfig {
+            packets: 64,
+            nreg_sweep: vec![32, 48, 64, 96, 128],
+            granularity: 64,
+            cycle_budget: 40_000_000,
+            seed: 0xE7A1,
+        }
+    }
+
+    /// A fast configuration for CI: the tight end (48: the fixed
+    /// partition spills, balancing fits) and the paper's 128.
+    pub fn smoke() -> EvalConfig {
+        EvalConfig {
+            packets: 12,
+            nreg_sweep: vec![48, 128],
+            ..EvalConfig::full()
+        }
+    }
+}
+
+/// Why a cell has no measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Compiled, ran to completion, output compared.
+    Ok,
+    /// The strategy could not produce code at this file size.
+    Infeasible(String),
+    /// The compiled code did not finish within the cycle budget.
+    Timeout,
+}
+
+/// Per-thread record of one measured cell.
+#[derive(Debug, Clone)]
+pub struct ThreadReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Processing unit the thread ran on.
+    pub pu: usize,
+    /// Private registers.
+    pub pr: usize,
+    /// Shared registers.
+    pub sr: usize,
+    /// Split moves inserted.
+    pub moves: usize,
+    /// Ranges spilled.
+    pub spills: usize,
+    /// Main-loop iterations completed.
+    pub iterations: u64,
+    /// Context switches taken.
+    pub ctx_switches: u64,
+    /// Fraction of the run the thread held its PU.
+    pub occupancy: f64,
+    /// Cycles per iteration (`∞` encodes as `null`).
+    pub cycles_per_iteration: f64,
+}
+
+/// One scenario × strategy × `Nreg` measurement.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Register-file size per PU.
+    pub nreg: usize,
+    /// Outcome.
+    pub status: CellStatus,
+    /// Completed iterations per thousand cycles, summed over threads
+    /// (the run's packet throughput).
+    pub throughput_ipkc: f64,
+    /// Wall-clock cycles of the slowest PU.
+    pub cycles: u64,
+    /// Whether the output regions matched the reference run exactly.
+    pub checksum_ok: bool,
+    /// Register-safety violations observed (must be 0).
+    pub violations: usize,
+    /// Physical registers consumed (max over PUs).
+    pub registers_used: usize,
+    /// Total split moves.
+    pub moves: usize,
+    /// Total spilled ranges.
+    pub spills: usize,
+    /// Per-thread details (empty unless `status` is [`CellStatus::Ok`]).
+    pub threads: Vec<ThreadReport>,
+}
+
+/// All cells of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario identifier.
+    pub name: String,
+    /// Human description.
+    pub description: String,
+    /// Whether the paper's headline applies (hungry critical threads).
+    pub register_hungry: bool,
+    /// Number of PUs.
+    pub num_pus: usize,
+    /// Kernel names in thread order.
+    pub kernels: Vec<String>,
+    /// The measurement cells, strategy-major then `Nreg`-ascending.
+    pub cells: Vec<CellReport>,
+}
+
+impl ScenarioReport {
+    /// The cell of `strategy` at `nreg`, if present.
+    pub fn cell(&self, strategy: &str, nreg: usize) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.strategy == strategy && c.nreg == nreg)
+    }
+}
+
+/// The whole study.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Packets per thread.
+    pub packets: u32,
+    /// The swept register-file sizes.
+    pub nreg_sweep: Vec<usize>,
+    /// Strategy names, in report order.
+    pub strategies: Vec<String>,
+    /// Per-scenario results.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+/// Runs the full evaluation pipeline over the built-in scenario suite.
+pub fn run_eval(config: &EvalConfig) -> EvalReport {
+    run_eval_on(config, &scenarios())
+}
+
+/// Runs the pipeline over an explicit scenario list (the built-in suite
+/// is [`scenarios`]).
+pub fn run_eval_on(config: &EvalConfig, suite: &[Scenario]) -> EvalReport {
+    let strategies = all_strategies();
+    let scenario_reports = suite
+        .iter()
+        .map(|s| run_scenario(s, &strategies, config))
+        .collect();
+    EvalReport {
+        packets: config.packets,
+        nreg_sweep: config.nreg_sweep.clone(),
+        strategies: strategies.iter().map(|s| s.name().to_string()).collect(),
+        scenarios: scenario_reports,
+    }
+}
+
+fn run_scenario(
+    scenario: &Scenario,
+    strategies: &[Box<dyn Strategy>],
+    config: &EvalConfig,
+) -> ScenarioReport {
+    let workloads = scenario.workloads(config.packets);
+    let reference_funcs: Vec<Vec<Func>> = workloads
+        .iter()
+        .map(|pu| pu.iter().map(|w| w.func.clone()).collect())
+        .collect();
+    let reference = run_chip(&reference_funcs, &workloads, config)
+        .expect("virtual-register reference run must complete");
+
+    let mut cells = Vec::new();
+    for strategy in strategies {
+        for &nreg in &config.nreg_sweep {
+            cells.push(run_cell(
+                scenario, strategy.as_ref(), nreg, &workloads, &reference.output, config,
+            ));
+        }
+    }
+    ScenarioReport {
+        name: scenario.name.to_string(),
+        description: scenario.description.to_string(),
+        register_hungry: scenario.register_hungry,
+        num_pus: scenario.pus.len(),
+        kernels: workloads
+            .iter()
+            .flatten()
+            .map(|w| w.kernel.name().to_string())
+            .collect(),
+        cells,
+    }
+}
+
+fn run_cell(
+    scenario: &Scenario,
+    strategy: &dyn Strategy,
+    nreg: usize,
+    workloads: &[Vec<Workload>],
+    reference_output: &[u8],
+    config: &EvalConfig,
+) -> CellReport {
+    let mut cell = CellReport {
+        strategy: strategy.name().to_string(),
+        nreg,
+        status: CellStatus::Ok,
+        throughput_ipkc: 0.0,
+        cycles: 0,
+        checksum_ok: false,
+        violations: 0,
+        registers_used: 0,
+        moves: 0,
+        spills: 0,
+        threads: Vec::new(),
+    };
+
+    // Compile every PU; any failure marks the whole cell infeasible.
+    let mut compiled: Vec<CompiledPu> = Vec::with_capacity(workloads.len());
+    for (pu, pu_workloads) in workloads.iter().enumerate() {
+        let funcs: Vec<Func> = pu_workloads.iter().map(|w| w.func.clone()).collect();
+        match strategy.compile(&funcs, nreg, pu) {
+            Ok(c) => compiled.push(c),
+            Err(reason) => {
+                cell.status = CellStatus::Infeasible(format!("PU{pu}: {reason}"));
+                return cell;
+            }
+        }
+    }
+    cell.registers_used = compiled.iter().map(|c| c.registers_used).max().unwrap_or(0);
+    cell.moves = compiled.iter().map(CompiledPu::moves).sum();
+    cell.spills = compiled.iter().map(CompiledPu::spills).sum();
+
+    let funcs: Vec<Vec<Func>> = compiled.iter().map(|c| c.funcs.clone()).collect();
+    let Some(run) = run_chip(&funcs, workloads, config) else {
+        cell.status = CellStatus::Timeout;
+        return cell;
+    };
+    cell.cycles = run.cycles;
+    cell.throughput_ipkc = run.throughput_ipkc();
+    cell.checksum_ok = run.output == reference_output;
+    cell.violations = run.violations;
+    cell.threads = scenario
+        .pus
+        .iter()
+        .enumerate()
+        .flat_map(|(pu, kernels)| {
+            let report = &run.reports[pu];
+            let code = &compiled[pu];
+            kernels
+                .iter()
+                .enumerate()
+                .map(move |(t, &kernel)| ThreadReport {
+                    kernel: kernel.name().to_string(),
+                    pu,
+                    pr: code.threads[t].pr,
+                    sr: code.threads[t].sr,
+                    moves: code.threads[t].moves,
+                    spills: code.threads[t].spills,
+                    iterations: report.threads[t].iterations,
+                    ctx_switches: report.threads[t].ctx_switches,
+                    occupancy: report.threads[t].busy_cycles as f64
+                        / report.cycles.max(1) as f64,
+                    cycles_per_iteration: report.threads[t].cycles_per_iteration,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    cell
+}
+
+/// A completed chip run: concatenated output regions (thread order) and
+/// the digested statistics.
+struct ChipRun {
+    output: Vec<u8>,
+    reports: Vec<RunReport>,
+    cycles: u64,
+    violations: usize,
+    iterations: u64,
+}
+
+impl ChipRun {
+    fn throughput_ipkc(&self) -> f64 {
+        self.iterations as f64 * 1000.0 / self.cycles.max(1) as f64
+    }
+}
+
+/// Runs one function set on a chip with the scenario's PU topology;
+/// `None` when a thread fails to halt within the budget.
+fn run_chip(
+    pu_funcs: &[Vec<Func>],
+    workloads: &[Vec<Workload>],
+    config: &EvalConfig,
+) -> Option<ChipRun> {
+    let mut chip = Chip::new(SimConfig::default(), pu_funcs.len());
+    for w in workloads.iter().flatten() {
+        w.prepare(chip.memory_mut(), config.seed + w.slot as u64);
+    }
+    for (pu, funcs) in pu_funcs.iter().enumerate() {
+        for f in funcs {
+            chip.add_thread(pu, f.clone());
+        }
+    }
+    let reports = chip.run(config.cycle_budget, config.granularity);
+    if !(0..chip.num_pus()).all(|pu| chip.pu(pu).all_halted()) {
+        return None;
+    }
+    let mut output = Vec::new();
+    for w in workloads.iter().flatten() {
+        let (addr, len) = w.output_region();
+        output.extend(chip.memory().read_bytes(MemSpace::Scratch, addr, len));
+    }
+    Some(ChipRun {
+        output,
+        cycles: reports.iter().map(|r| r.cycles).max().unwrap_or(0),
+        violations: reports.iter().map(|r| r.violations.len()).sum(),
+        iterations: reports
+            .iter()
+            .flat_map(|r| r.threads.iter().map(|t| t.iterations))
+            .sum(),
+        reports,
+    })
+}
+
+/// The shared per-thread allocation-summary schema: the same keys are
+/// emitted by `regbal alloc --json`, so external tooling reads one
+/// format everywhere.
+pub fn thread_alloc_json(
+    name: &str,
+    pr: usize,
+    sr: usize,
+    moves: usize,
+    spills: usize,
+) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::str(name)),
+        ("pr".into(), Json::uint(pr as u64)),
+        ("sr".into(), Json::uint(sr as u64)),
+        ("moves".into(), Json::uint(moves as u64)),
+        ("spills".into(), Json::uint(spills as u64)),
+    ])
+}
+
+impl EvalReport {
+    /// Serialises the report (the `BENCH_EVAL.json` document).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("regbal-eval/1")),
+            ("packets".into(), Json::uint(self.packets as u64)),
+            (
+                "nreg_sweep".into(),
+                Json::Arr(self.nreg_sweep.iter().map(|&n| Json::uint(n as u64)).collect()),
+            ),
+            (
+                "strategies".into(),
+                Json::Arr(self.strategies.iter().map(Json::str).collect()),
+            ),
+            (
+                "scenarios".into(),
+                Json::Arr(self.scenarios.iter().map(ScenarioReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The serialised document text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+}
+
+impl ScenarioReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("description".into(), Json::str(&self.description)),
+            ("register_hungry".into(), Json::Bool(self.register_hungry)),
+            ("num_pus".into(), Json::uint(self.num_pus as u64)),
+            (
+                "kernels".into(),
+                Json::Arr(self.kernels.iter().map(Json::str).collect()),
+            ),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(CellReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl CellReport {
+    fn to_json(&self) -> Json {
+        let (status, reason) = match &self.status {
+            CellStatus::Ok => ("ok", None),
+            CellStatus::Infeasible(why) => ("infeasible", Some(why.clone())),
+            CellStatus::Timeout => ("timeout", None),
+        };
+        let mut members = vec![
+            ("strategy".into(), Json::str(&self.strategy)),
+            ("nreg".into(), Json::uint(self.nreg as u64)),
+            ("status".into(), Json::str(status)),
+        ];
+        if let Some(reason) = reason {
+            members.push(("reason".into(), Json::str(reason)));
+        }
+        if self.status == CellStatus::Ok {
+            members.extend([
+                (
+                    "throughput_ipkc".into(),
+                    Json::float(self.throughput_ipkc),
+                ),
+                ("cycles".into(), Json::uint(self.cycles)),
+                ("checksum_ok".into(), Json::Bool(self.checksum_ok)),
+                ("violations".into(), Json::uint(self.violations as u64)),
+                (
+                    "registers_used".into(),
+                    Json::uint(self.registers_used as u64),
+                ),
+                ("moves".into(), Json::uint(self.moves as u64)),
+                ("spills".into(), Json::uint(self.spills as u64)),
+                (
+                    "threads".into(),
+                    Json::Arr(self.threads.iter().map(ThreadReport::to_json).collect()),
+                ),
+            ]);
+        }
+        Json::Obj(members)
+    }
+}
+
+impl ThreadReport {
+    fn to_json(&self) -> Json {
+        let Json::Obj(mut members) =
+            thread_alloc_json(&self.kernel, self.pr, self.sr, self.moves, self.spills)
+        else {
+            unreachable!("thread_alloc_json returns an object");
+        };
+        members.insert(1, ("pu".into(), Json::uint(self.pu as u64)));
+        members.extend([
+            ("iterations".into(), Json::uint(self.iterations)),
+            ("ctx_switches".into(), Json::uint(self.ctx_switches)),
+            ("occupancy".into(), Json::float(self.occupancy)),
+            (
+                "cycles_per_iteration".into(),
+                Json::float(self.cycles_per_iteration),
+            ),
+        ]);
+        Json::Obj(members)
+    }
+}
+
+/// Validates a parsed `BENCH_EVAL.json` document: schema shape, full
+/// scenario × strategy × `Nreg` coverage, all checksums green, no
+/// safety violations, every scenario × strategy feasible somewhere in
+/// the sweep, and the paper's qualitative result — on a
+/// register-hungry scenario, `balanced` throughput at the largest file
+/// must be at least `fixed-partition`'s.
+///
+/// # Errors
+///
+/// Returns the first violated property.
+pub fn validate_json(doc: &Json) -> Result<String, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing `schema`")?;
+    if schema != "regbal-eval/1" {
+        return Err(format!("unknown schema `{schema}`"));
+    }
+    let sweep: Vec<u64> = doc
+        .get("nreg_sweep")
+        .and_then(Json::as_arr)
+        .ok_or("missing `nreg_sweep`")?
+        .iter()
+        .map(|v| v.as_u64().ok_or("non-numeric nreg"))
+        .collect::<Result<_, _>>()?;
+    let strategies: Vec<&str> = doc
+        .get("strategies")
+        .and_then(Json::as_arr)
+        .ok_or("missing `strategies`")?
+        .iter()
+        .map(|v| v.as_str().ok_or("non-string strategy"))
+        .collect::<Result<_, _>>()?;
+    let scenario_docs = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing `scenarios`")?;
+    if scenario_docs.len() < 3 {
+        return Err(format!("only {} scenarios; need at least 3", scenario_docs.len()));
+    }
+    if strategies.len() < 3 {
+        return Err(format!("only {} strategies; need 3", strategies.len()));
+    }
+
+    let mut ok_cells = 0usize;
+    let mut hungry_headline = false;
+    for sdoc in scenario_docs {
+        let name = sdoc.get("name").and_then(Json::as_str).ok_or("scenario without name")?;
+        let cells = sdoc
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{name}: missing cells"))?;
+        let find = |strategy: &str, nreg: u64| -> Option<&Json> {
+            cells.iter().find(|c| {
+                c.get("strategy").and_then(Json::as_str) == Some(strategy)
+                    && c.get("nreg").and_then(|n| n.as_u64()) == Some(nreg)
+            })
+        };
+        for &strategy in &strategies {
+            let mut feasible_somewhere = false;
+            for &nreg in &sweep {
+                let cell = find(strategy, nreg)
+                    .ok_or_else(|| format!("{name}: missing cell {strategy}@{nreg}"))?;
+                let status = cell
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{name}: cell {strategy}@{nreg} without status"))?;
+                match status {
+                    "ok" => {
+                        feasible_somewhere = true;
+                        ok_cells += 1;
+                        if cell.get("checksum_ok").and_then(Json::as_bool) != Some(true) {
+                            return Err(format!("{name}: {strategy}@{nreg} failed checksum"));
+                        }
+                        if cell.get("violations").and_then(|v| v.as_u64()) != Some(0) {
+                            return Err(format!("{name}: {strategy}@{nreg} had violations"));
+                        }
+                    }
+                    "infeasible" => {}
+                    other => return Err(format!("{name}: {strategy}@{nreg} status `{other}`")),
+                }
+            }
+            if !feasible_somewhere {
+                return Err(format!("{name}: `{strategy}` never feasible in the sweep"));
+            }
+        }
+        // The paper's qualitative headline at the widest file.
+        if sdoc.get("register_hungry").and_then(Json::as_bool) == Some(true) {
+            let top = *sweep.iter().max().ok_or("empty sweep")?;
+            let tp = |strategy: &str| -> Option<f64> {
+                find(strategy, top)?.get("throughput_ipkc")?.as_f64()
+            };
+            if let (Some(balanced), Some(fixed)) = (tp("balanced"), tp("fixed-partition")) {
+                if balanced >= fixed {
+                    hungry_headline = true;
+                }
+            }
+        }
+    }
+    if !hungry_headline {
+        return Err(
+            "no register-hungry scenario where balanced >= fixed-partition at the largest file"
+                .into(),
+        );
+    }
+    Ok(format!(
+        "{} scenarios x {} strategies x {} sizes: {ok_cells} validated cells, headline holds",
+        scenario_docs.len(),
+        strategies.len(),
+        sweep.len()
+    ))
+}

@@ -1,0 +1,150 @@
+//! Evaluation scenarios: named thread mixes, four threads per PU.
+//!
+//! The paper's throughput study (§9, Figs. 13–15) runs heterogeneous
+//! mixes — register-hungry, performance-critical kernels next to lean
+//! forwarding code — because that imbalance is what a fixed
+//! 32-registers-per-thread partition cannot exploit and the balancing
+//! allocator can. The suite below reproduces the paper's three
+//! scenarios, adds an all-lean control mix (where every strategy should
+//! tie) and a two-PU pipeline mix that exercises the multi-PU `Chip`
+//! over shared memories.
+
+use regbal_workloads::{Kernel, Workload};
+
+/// Threads per processing unit, as on the IXP1200.
+pub const THREADS_PER_PU: usize = 4;
+
+/// A named evaluation scenario: one kernel mix per processing unit.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short stable identifier (used as the JSON key).
+    pub name: &'static str,
+    /// What the mix demonstrates.
+    pub description: &'static str,
+    /// The kernels of each PU ([`THREADS_PER_PU`] per entry).
+    pub pus: Vec<Vec<Kernel>>,
+    /// Whether the mix contains register-hungry critical kernels — the
+    /// scenarios on which the paper's headline result must show.
+    pub register_hungry: bool,
+}
+
+impl Scenario {
+    /// Total thread count across all PUs.
+    pub fn num_threads(&self) -> usize {
+        self.pus.iter().map(Vec::len).sum()
+    }
+
+    /// Builds the per-PU workloads, binding each thread to its own
+    /// memory slot (slots are numbered across PUs, so all buffers are
+    /// disjoint even when PUs share the chip memories).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario needs more than the 8 disjoint memory
+    /// slots the workload layout guarantees.
+    pub fn workloads(&self, packets: u32) -> Vec<Vec<Workload>> {
+        assert!(
+            self.num_threads() <= 8,
+            "{}: at most 8 memory slots available",
+            self.name
+        );
+        let mut slot = 0;
+        self.pus
+            .iter()
+            .map(|kernels| {
+                kernels
+                    .iter()
+                    .map(|&k| {
+                        let w = Workload::new(k, slot, packets);
+                        slot += 1;
+                        w
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The evaluation suite.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "s1-md5-fir2dim",
+            description: "paper S1: two md5 digests (hungry, critical) + two 2-D filters (lean)",
+            pus: vec![vec![
+                Kernel::Md5,
+                Kernel::Md5,
+                Kernel::Fir2dim,
+                Kernel::Fir2dim,
+            ]],
+            register_hungry: true,
+        },
+        Scenario {
+            name: "s2-fwd-md5",
+            description: "paper S2: forwarding rx/tx (lean) + two md5 digests (hungry, critical)",
+            pus: vec![vec![
+                Kernel::L2l3fwdRx,
+                Kernel::L2l3fwdTx,
+                Kernel::Md5,
+                Kernel::Md5,
+            ]],
+            register_hungry: true,
+        },
+        Scenario {
+            name: "s3-wraps-mix",
+            description: "paper S3: wraps rx/tx scheduler (hungry, critical) + fir2dim + frag",
+            pus: vec![vec![
+                Kernel::WrapsRx,
+                Kernel::WrapsTx,
+                Kernel::Fir2dim,
+                Kernel::Frag,
+            ]],
+            register_hungry: true,
+        },
+        Scenario {
+            name: "lean-forwarding",
+            description: "control: four lean kernels; strategies should tie once nothing spills",
+            pus: vec![vec![Kernel::Crc, Kernel::Frag, Kernel::Drr, Kernel::Url]],
+            register_hungry: false,
+        },
+        Scenario {
+            name: "two-pu-pipeline",
+            description: "two micro-engines over shared memories: rx-side mix and tx-side mix",
+            pus: vec![
+                vec![Kernel::L2l3fwdRx, Kernel::Md5, Kernel::Crc, Kernel::Fir2dim],
+                vec![Kernel::L2l3fwdTx, Kernel::WrapsTx, Kernel::Url, Kernel::Frag],
+            ],
+            register_hungry: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_paper_scenarios_and_more() {
+        let suite = scenarios();
+        assert!(suite.len() >= 3, "at least the paper's three scenarios");
+        assert!(suite.iter().filter(|s| s.register_hungry).count() >= 3);
+        assert!(suite.iter().any(|s| !s.register_hungry), "a control mix");
+        assert!(suite.iter().any(|s| s.pus.len() > 1), "a multi-PU mix");
+        let names: std::collections::HashSet<_> = suite.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), suite.len(), "names are unique");
+    }
+
+    #[test]
+    fn every_pu_is_fully_threaded_and_slots_fit() {
+        for s in scenarios() {
+            for pu in &s.pus {
+                assert_eq!(pu.len(), THREADS_PER_PU, "{}", s.name);
+            }
+            assert!(s.num_threads() <= 8, "{}", s.name);
+            let workloads = s.workloads(4);
+            let slots: Vec<usize> = workloads.iter().flatten().map(|w| w.slot).collect();
+            let unique: std::collections::HashSet<_> = slots.iter().collect();
+            assert_eq!(unique.len(), slots.len(), "{}: slots disjoint", s.name);
+        }
+    }
+}

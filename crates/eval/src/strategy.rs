@@ -1,0 +1,262 @@
+//! Pluggable allocation strategies behind one [`Strategy`] trait.
+//!
+//! Each strategy takes the virtual-register thread programs of one PU
+//! and a register-file size, and produces physical-register code plus
+//! per-thread allocation statistics:
+//!
+//! * [`FixedPartition`] — the paper's stock-compiler baseline: the file
+//!   is split into `Nreg / Nthd` equal private banks (32 each on the
+//!   IXP1200's 128) and each thread is allocated independently with the
+//!   Chaitin spiller.
+//! * [`Balanced`] — the paper's contribution (Figs. 8/10 via
+//!   [`regbal_core::allocate_threads`]): private/shared balancing with
+//!   live-range splitting, no spilling; reports infeasibility when even
+//!   maximal sharing cannot fit.
+//! * [`BalancedSpill`] — the hybrid
+//!   ([`regbal_core::allocate_threads_with_spill_at`]): balancing
+//!   first, spilling the cheapest ranges of the most demanding thread
+//!   only when sharing alone cannot fit.
+
+use regbal_core::chaitin::{self, ChaitinConfig};
+use regbal_core::{allocate_threads, allocate_threads_with_spill_at};
+use regbal_ir::{Func, MemSpace};
+
+/// Spill area of the fixed-partition baseline (per compiled thread,
+/// `0x1000` bytes apart; below the hybrid area and above the workload
+/// tables).
+const FIXED_SPILL_BASE: i64 = 0x6_0000;
+
+/// Spill area of the hybrid strategy, per PU (`allocate_threads_with_spill_at`
+/// spaces threads `0x1000` apart within it).
+const HYBRID_SPILL_BASE: i64 = 0x8_0000;
+
+/// Bytes of spill area reserved per PU for the hybrid strategy.
+const HYBRID_SPILL_STRIDE: i64 = 0x8000;
+
+/// Allocation statistics of one compiled thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCode {
+    /// Private registers given to the thread (the bank size for the
+    /// fixed partition, `PRᵢ` for the balancing strategies).
+    pub pr: usize,
+    /// Shared registers the thread uses (0 under the fixed partition).
+    pub sr: usize,
+    /// Live-range-splitting move instructions inserted.
+    pub moves: usize,
+    /// Live ranges spilled to memory.
+    pub spills: usize,
+}
+
+/// The physical-register programs of one PU plus their statistics.
+#[derive(Debug, Clone)]
+pub struct CompiledPu {
+    /// One physical-register function per thread, in input order.
+    pub funcs: Vec<Func>,
+    /// Per-thread allocation statistics.
+    pub threads: Vec<ThreadCode>,
+    /// Physical registers the allocation consumes
+    /// (`Σ PRᵢ + max SRᵢ`, or the whole partition for the baseline).
+    pub registers_used: usize,
+}
+
+impl CompiledPu {
+    /// Total moves across the PU's threads.
+    pub fn moves(&self) -> usize {
+        self.threads.iter().map(|t| t.moves).sum()
+    }
+
+    /// Total spilled ranges across the PU's threads.
+    pub fn spills(&self) -> usize {
+        self.threads.iter().map(|t| t.spills).sum()
+    }
+}
+
+/// An allocation strategy the harness can evaluate.
+pub trait Strategy {
+    /// Stable identifier used in reports (`fixed-partition`,
+    /// `balanced`, `balanced-spill`).
+    fn name(&self) -> &'static str;
+
+    /// Compiles the threads of processing unit `pu` against a register
+    /// file of `nreg` registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the strategy cannot produce
+    /// code at this file size (e.g. balancing alone is infeasible).
+    fn compile(&self, funcs: &[Func], nreg: usize, pu: usize) -> Result<CompiledPu, String>;
+}
+
+/// The paper's baseline: fixed `Nreg / Nthd` private banks, Chaitin
+/// spilling within each (32 registers per thread at `Nreg` = 128).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedPartition;
+
+/// The paper's balancing allocator (no spilling).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Balanced;
+
+/// Balancing with last-resort spilling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BalancedSpill;
+
+impl Strategy for FixedPartition {
+    fn name(&self) -> &'static str {
+        "fixed-partition"
+    }
+
+    fn compile(&self, funcs: &[Func], nreg: usize, pu: usize) -> Result<CompiledPu, String> {
+        let k = nreg / funcs.len();
+        if k == 0 {
+            return Err(format!(
+                "{nreg} registers cannot be partitioned across {} threads",
+                funcs.len()
+            ));
+        }
+        let mut out = Vec::with_capacity(funcs.len());
+        let mut threads = Vec::with_capacity(funcs.len());
+        for (t, f) in funcs.iter().enumerate() {
+            let cfg = ChaitinConfig {
+                k,
+                phys_base: (t * k) as u32,
+                spill_space: MemSpace::Sram,
+                spill_base: FIXED_SPILL_BASE
+                    + ((pu * funcs.len() + t) as i64) * 0x1000,
+            };
+            let result = chaitin::allocate(f, &cfg)
+                .map_err(|e| format!("thread {t} `{}`: {e}", f.name))?;
+            threads.push(ThreadCode {
+                pr: k,
+                sr: 0,
+                moves: 0,
+                spills: result.spilled,
+            });
+            out.push(result.func);
+        }
+        Ok(CompiledPu {
+            funcs: out,
+            threads,
+            registers_used: k * funcs.len(),
+        })
+    }
+}
+
+impl Strategy for Balanced {
+    fn name(&self) -> &'static str {
+        "balanced"
+    }
+
+    fn compile(&self, funcs: &[Func], nreg: usize, _pu: usize) -> Result<CompiledPu, String> {
+        let alloc = allocate_threads(funcs, nreg).map_err(|e| e.to_string())?;
+        let threads = alloc
+            .threads
+            .iter()
+            .map(|t| ThreadCode {
+                pr: t.pr(),
+                sr: t.sr(),
+                moves: t.moves(),
+                spills: 0,
+            })
+            .collect();
+        Ok(CompiledPu {
+            funcs: alloc.rewrite_funcs(funcs),
+            threads,
+            registers_used: alloc.total_registers(),
+        })
+    }
+}
+
+impl Strategy for BalancedSpill {
+    fn name(&self) -> &'static str {
+        "balanced-spill"
+    }
+
+    fn compile(&self, funcs: &[Func], nreg: usize, pu: usize) -> Result<CompiledPu, String> {
+        let base = HYBRID_SPILL_BASE + (pu as i64) * HYBRID_SPILL_STRIDE;
+        let hybrid =
+            allocate_threads_with_spill_at(funcs, nreg, base).map_err(|e| e.to_string())?;
+        let threads = hybrid
+            .alloc
+            .threads
+            .iter()
+            .zip(&hybrid.spills)
+            .map(|(t, &spills)| ThreadCode {
+                pr: t.pr(),
+                sr: t.sr(),
+                moves: t.moves(),
+                spills,
+            })
+            .collect();
+        Ok(CompiledPu {
+            funcs: hybrid.rewrite(),
+            threads,
+            registers_used: hybrid.alloc.total_registers(),
+        })
+    }
+}
+
+/// The three strategies of the study, in report order.
+pub fn all_strategies() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(FixedPartition),
+        Box::new(Balanced),
+        Box::new(BalancedSpill),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_workloads::{Kernel, Workload};
+
+    fn pu_funcs() -> Vec<Func> {
+        [Kernel::Md5, Kernel::Md5, Kernel::Fir2dim, Kernel::Fir2dim]
+            .iter()
+            .enumerate()
+            .map(|(slot, &k)| Workload::new(k, slot, 4).func)
+            .collect()
+    }
+
+    #[test]
+    fn fixed_partition_spills_hungry_kernels_in_a_tight_file() {
+        let funcs = pu_funcs();
+        // 12 registers per thread: md5 (RegPmax 14) must spill.
+        let c = FixedPartition.compile(&funcs, 48, 0).unwrap();
+        assert!(c.spills() > 0, "md5 must spill at 12 regs/thread");
+        assert_eq!(c.moves(), 0);
+        assert_eq!(c.registers_used, 48);
+        // 32 per thread: nothing spills.
+        let wide = FixedPartition.compile(&funcs, 128, 0).unwrap();
+        assert_eq!(wide.spills(), 0);
+    }
+
+    #[test]
+    fn balanced_fits_where_the_partition_spills() {
+        let funcs = pu_funcs();
+        let c = Balanced.compile(&funcs, 48, 0).unwrap();
+        assert_eq!(c.spills(), 0);
+        assert!(c.registers_used <= 48);
+        for f in &c.funcs {
+            f.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn balanced_reports_infeasibility_and_hybrid_rescues_it() {
+        let funcs = pu_funcs();
+        let err = Balanced.compile(&funcs, 32, 0).unwrap_err();
+        assert!(err.contains("cannot fit"), "{err}");
+        let c = BalancedSpill.compile(&funcs, 32, 0).unwrap();
+        assert!(c.spills() > 0);
+        assert!(c.registers_used <= 32);
+    }
+
+    #[test]
+    fn hybrid_spill_areas_differ_per_pu() {
+        let funcs = pu_funcs();
+        let a = BalancedSpill.compile(&funcs, 32, 0).unwrap();
+        let b = BalancedSpill.compile(&funcs, 32, 1).unwrap();
+        assert_eq!(a.spills(), b.spills());
+        assert_ne!(a.funcs, b.funcs, "spill addresses must differ across PUs");
+    }
+}

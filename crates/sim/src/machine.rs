@@ -115,6 +115,20 @@ pub struct RunReport {
     pub violations: Vec<Violation>,
     /// Cycles during which no thread was ready (all blocked on memory).
     pub idle_cycles: u64,
+    /// Trace events dropped because the buffer enabled with
+    /// [`Simulator::enable_trace`] was full (0 when tracing is off or
+    /// the capacity sufficed).
+    pub trace_dropped: u64,
+}
+
+/// The bounded trace buffer: keeps the first `capacity` events and
+/// counts the rest instead of growing without limit on long traffic
+/// runs.
+#[derive(Debug, Clone)]
+struct TraceBuf {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -144,7 +158,7 @@ pub struct Simulator {
     last_running: Option<usize>,
     rr_next: usize,
     violations: Vec<Violation>,
-    trace: Option<(Vec<TraceEvent>, usize)>,
+    trace: Option<TraceBuf>,
     /// Per-space earliest next issue time under `serialize_memory`.
     port_free: [u64; 3],
 }
@@ -187,20 +201,36 @@ impl Simulator {
     }
 
     /// Enables event tracing, keeping at most `capacity` events (the
-    /// earliest ones; later events are dropped once full).
+    /// earliest ones). Later events are not stored — the buffer never
+    /// grows past the configured limit, even on traffic runs of
+    /// millions of cycles — but they are *counted*: see
+    /// [`trace_dropped`](Self::trace_dropped) and
+    /// [`RunReport::trace_dropped`].
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some((Vec::new(), capacity));
+        self.trace = Some(TraceBuf {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        });
     }
 
     /// The recorded trace (empty unless enabled).
     pub fn trace(&self) -> &[TraceEvent] {
-        self.trace.as_ref().map_or(&[], |(t, _)| t.as_slice())
+        self.trace.as_ref().map_or(&[], |t| t.events.as_slice())
+    }
+
+    /// Events dropped because the trace buffer was full (0 when tracing
+    /// is disabled).
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map_or(0, |t| t.dropped)
     }
 
     fn record(&mut self, event: TraceEvent) {
-        if let Some((buf, cap)) = &mut self.trace {
-            if buf.len() < *cap {
-                buf.push(event);
+        if let Some(buf) = &mut self.trace {
+            if buf.events.len() < buf.capacity {
+                buf.events.push(event);
+            } else {
+                buf.dropped += 1;
             }
         }
     }
@@ -596,6 +626,7 @@ impl Simulator {
                 .collect(),
             violations: self.violations.clone(),
             idle_cycles: self.idle,
+            trace_dropped: self.trace_dropped(),
         }
     }
 }
@@ -868,12 +899,38 @@ mod trace_tests {
     }
 
     #[test]
+    fn trace_overflow_is_counted_and_reported() {
+        // Every iteration yields and loops — a long run generates far
+        // more events than the 10-slot buffer holds.
+        let f = parse_func("func spin {\nbb0:\n ctx\n jump bb0\n}").unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_trace(10);
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(1_000));
+        assert_eq!(s.trace().len(), 10, "buffer must stay bounded");
+        assert!(s.trace_dropped() > 0);
+        assert_eq!(r.trace_dropped, s.trace_dropped(), "report carries the count");
+    }
+
+    #[test]
+    fn no_drops_within_capacity() {
+        let f = parse_func("func t {\nbb0:\n nop\n halt\n}").unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_trace(64);
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(100));
+        assert!(!s.trace().is_empty());
+        assert_eq!(r.trace_dropped, 0);
+    }
+
+    #[test]
     fn trace_disabled_by_default() {
         let f = parse_func("func t {\nbb0:\n nop\n halt\n}").unwrap();
         let mut s = Simulator::new(SimConfig::default());
         s.add_thread(f);
-        s.run(StopWhen::Cycles(100));
+        let r = s.run(StopWhen::Cycles(100));
         assert!(s.trace().is_empty());
+        assert_eq!(r.trace_dropped, 0);
     }
 }
 

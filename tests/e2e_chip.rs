@@ -112,3 +112,41 @@ fn chip_interleaving_granularity_does_not_change_results() {
     assert_eq!(run_at(1), run_at(64));
     assert_eq!(run_at(1), run_at(1024));
 }
+
+#[test]
+fn chip_run_with_zero_cycles_returns_immediately() {
+    let mut chip = Chip::new(SimConfig::default(), 2);
+    chip.add_thread(0, stage_rx());
+    chip.add_thread(1, stage_tx());
+    let reports = chip.run(0, 8);
+    assert_eq!(reports.len(), 2);
+    for r in &reports {
+        assert_eq!(r.cycles, 0);
+        assert!(r.threads.iter().all(|t| t.instructions == 0));
+    }
+    assert!(!chip.pu(0).all_halted(), "no cycle budget, no progress");
+}
+
+#[test]
+fn chip_run_on_already_halted_pus_returns_immediately() {
+    let mut chip = Chip::new(SimConfig::default(), 2);
+    chip.memory_mut().write_word(MemSpace::Sram, 512, 512);
+    chip.memory_mut().write_word(MemSpace::Sram, 516, 512);
+    chip.add_thread(0, stage_rx());
+    chip.add_thread(1, stage_tx());
+    let first = chip.run(3_000_000, 8);
+    assert!((0..2).all(|pu| chip.pu(pu).all_halted()));
+    let drained = chip.memory().read_word(MemSpace::Scratch, 512);
+
+    // A second run must not execute anything or disturb memory, even
+    // with a fresh cycle budget far beyond the PUs' local clocks.
+    let second = chip.run(30_000_000, 8);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.cycles, b.cycles, "halted PU clocks must not advance");
+        for (ta, tb) in a.threads.iter().zip(&b.threads) {
+            assert_eq!(ta.instructions, tb.instructions);
+            assert_eq!(ta.iterations, tb.iterations);
+        }
+    }
+    assert_eq!(chip.memory().read_word(MemSpace::Scratch, 512), drained);
+}

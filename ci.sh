@@ -13,3 +13,10 @@ cargo clippy --workspace -- -D warnings
 ./target/release/regbal eval --smoke --out target/BENCH_EVAL_SMOKE.json
 ./target/release/regbal eval --validate target/BENCH_EVAL_SMOKE.json
 ./target/release/regbal eval --validate BENCH_EVAL.json
+
+# The same smoke sweep under the register-clobber sanitizer: every
+# shipped strategy must run with zero sanitizer reports (the command
+# exits non-zero on any violation or warning), and the instrumented
+# document must still validate.
+./target/release/regbal eval --smoke --sanitize --out target/BENCH_EVAL_SANITIZE.json
+./target/release/regbal eval --validate target/BENCH_EVAL_SANITIZE.json

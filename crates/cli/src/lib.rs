@@ -26,7 +26,7 @@ use regbal_core::{
 };
 use regbal_eval::{run_eval, thread_alloc_json, validate_json, CellStatus, EvalConfig, Json};
 use regbal_ir::{parse_module, Func};
-use regbal_sim::{SimConfig, Simulator, StopWhen};
+use regbal_sim::{SanitizerConfig, SimConfig, Simulator, StopWhen};
 use std::fmt::Write as _;
 
 /// Runs the CLI with `args` (excluding the program name), writing
@@ -70,12 +70,17 @@ USAGE:
       --cycles <N>     cycle budget (default 1000000)
       --iterations <N> stop when all threads did N iterations
       --trace <N>      keep and print the first N scheduler events
+      --sanitize       arm the register-clobber sanitizer; any violation
+                       (cross-thread clobber, foreign-bank write) is an
+                       error, uninitialized reads are warnings
   regbal eval [OPTS]                          traffic-driven strategy evaluation
       --smoke          fast sweep (fewer packets, two file sizes)
       --packets <N>    packets per thread (default 64; 12 with --smoke)
       --nreg <LIST>    comma-separated register-file sizes to sweep
       --out <FILE>     where to write the report (default BENCH_EVAL.json)
       --validate <F>   validate an existing report instead of running
+      --sanitize       instrument every measured run with the clobber
+                       sanitizer; any report fails the sweep
   regbal dot [--ig] <files...>                Graphviz output (CFG, or the
                                               interference graph with --ig)
   regbal help                                 this text
@@ -346,6 +351,7 @@ fn alloc_json(
 /// write `BENCH_EVAL.json`, or validate an existing report.
 fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
     let mut smoke = false;
+    let mut sanitize = false;
     let mut out_path = "BENCH_EVAL.json".to_string();
     let mut packets: Option<u32> = None;
     let mut nreg_sweep: Option<Vec<usize>> = None;
@@ -354,6 +360,7 @@ fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--sanitize" => sanitize = true,
             "--out" => out_path = it.next().ok_or("--out needs a value")?,
             "--packets" => {
                 packets = Some(
@@ -391,6 +398,7 @@ fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
     if let Some(sweep) = nreg_sweep {
         config.nreg_sweep = sweep;
     }
+    config.sanitize = sanitize;
     let report = run_eval(&config);
 
     // A compact throughput table per scenario: rows are strategies,
@@ -429,6 +437,24 @@ fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
         report.nreg_sweep.len(),
         report.packets
     );
+    if sanitize {
+        let (violations, warnings) = report
+            .scenarios
+            .iter()
+            .flat_map(|s| &s.cells)
+            .fold((0usize, 0usize), |(v, w), c| {
+                (v + c.sanitizer_violations, w + c.sanitizer_warnings)
+            });
+        let _ = writeln!(
+            out,
+            "sanitizer: {violations} violation(s), {warnings} warning(s) across the sweep"
+        );
+        if violations + warnings > 0 {
+            return Err(format!(
+                "sanitizer reported {violations} violation(s) and {warnings} warning(s)"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -458,10 +484,12 @@ fn run(args: Vec<String>, out: &mut String) -> Result<(), String> {
     let mut cycles = 1_000_000u64;
     let mut iterations: Option<u64> = None;
     let mut trace: Option<usize> = None;
+    let mut sanitize = false;
     let mut files = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--sanitize" => sanitize = true,
             "--trace" => {
                 trace = Some(
                     it.next()
@@ -494,6 +522,11 @@ fn run(args: Vec<String>, out: &mut String) -> Result<(), String> {
     if let Some(n) = trace {
         sim.enable_trace(n);
     }
+    if sanitize {
+        // No bank layout is known for hand-written input: bank checks
+        // are skipped, clobber and uninitialized-read checks run.
+        sim.enable_sanitizer(SanitizerConfig::default());
+    }
     for f in &funcs {
         sim.add_thread(f.clone());
     }
@@ -523,6 +556,25 @@ fn run(args: Vec<String>, out: &mut String) -> Result<(), String> {
     if !report.violations.is_empty() {
         let _ = writeln!(out, "REGISTER-SAFETY VIOLATIONS: {}", report.violations.len());
     }
+    let sanitizer_violations = report.sanitizer_violations().count();
+    if !report.sanitizer.is_empty() {
+        let _ = writeln!(
+            out,
+            "sanitizer: {} violation(s), {} warning(s)",
+            sanitizer_violations,
+            report.sanitizer.len() - sanitizer_violations
+        );
+        for r in &report.sanitizer {
+            let _ = writeln!(out, "  {r}");
+        }
+        if report.sanitizer_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  ({} further report(s) dropped)",
+                report.sanitizer_dropped
+            );
+        }
+    }
     for event in sim.trace() {
         let _ = writeln!(out, "{event:?}");
     }
@@ -532,6 +584,14 @@ fn run(args: Vec<String>, out: &mut String) -> Result<(), String> {
             "({} trace event(s) dropped; raise --trace to keep more)",
             report.trace_dropped
         );
+    }
+    if let Some(err) = &report.error {
+        return Err(err.to_string());
+    }
+    if sanitizer_violations > 0 {
+        return Err(format!(
+            "sanitizer reported {sanitizer_violations} violation(s)"
+        ));
     }
     Ok(())
 }
@@ -791,6 +851,45 @@ mod tests {
     }
 
     #[test]
+    fn run_sanitize_flags_a_cross_thread_clobber() {
+        // Thread `a` parks 41 in r0 across the `ctx`; thread `b`
+        // overwrites r0 while `a` is switched out.
+        let a = write_temp(
+            "san-a.rba",
+            "func a {\nbb0:\n r0 = mov 41\n ctx\n r1 = add r0, 1\n store scratch[r1+0], r1\n halt\n}",
+        );
+        let b = write_temp(
+            "san-b.rba",
+            "func b {\nbb0:\n r0 = mov 7\n store scratch[r0+8], r0\n halt\n}",
+        );
+        let mut out = String::new();
+        let err = run_cli(
+            &["run".into(), "--sanitize".into(), a.clone(), b.clone()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("violation"), "{err}");
+        assert!(out.contains("clobber: r0"), "{out}");
+
+        // Without --sanitize the same program runs silently.
+        let mut out = String::new();
+        run_cli(&["run".into(), a, b], &mut out).unwrap();
+        assert!(!out.contains("sanitizer"), "{out}");
+    }
+
+    #[test]
+    fn run_sanitize_warns_on_uninitialized_reads_without_failing() {
+        let path = write_temp(
+            "san-uninit.rba",
+            "func u {\nbb0:\n r1 = add r5, 1\n store scratch[r1+0], r1\n halt\n}",
+        );
+        let mut out = String::new();
+        run_cli(&["run".into(), "--sanitize".into(), path], &mut out).unwrap();
+        assert!(out.contains("1 warning(s)"), "{out}");
+        assert!(out.contains("never-written"), "{out}");
+    }
+
+    #[test]
     fn missing_file_errors_cleanly() {
         let mut out = String::new();
         let err = run_cli(
@@ -938,6 +1037,37 @@ mod eval_tests {
         .unwrap();
         assert!(out.contains("wrote"), "{out}");
         assert!(out.contains("fixed-partition"), "{out}");
+
+        let mut out = String::new();
+        run_cli(&["eval".into(), "--validate".into(), path], &mut out).unwrap();
+        assert!(out.contains("OK"), "{out}");
+    }
+
+    #[test]
+    fn eval_sanitize_smoke_is_clean_and_round_trips() {
+        let path = temp_report("sanitize");
+        let mut out = String::new();
+        run_cli(
+            &[
+                "eval".into(),
+                "--smoke".into(),
+                "--sanitize".into(),
+                "--packets".into(),
+                "2".into(),
+                "--nreg".into(),
+                "48".into(),
+                "--out".into(),
+                path.clone(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert!(
+            out.contains("sanitizer: 0 violation(s), 0 warning(s)"),
+            "{out}"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"sanitizer_violations\""), "{text}");
 
         let mut out = String::new();
         run_cli(&["eval".into(), "--validate".into(), path], &mut out).unwrap();

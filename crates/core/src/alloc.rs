@@ -230,6 +230,41 @@ impl ThreadAlloc {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection — test-harness API.
+    // ------------------------------------------------------------------
+
+    /// Forcibly recolors fragment `id`, **bypassing every invariant**.
+    ///
+    /// This exists to manufacture broken allocations on purpose: the
+    /// verifier's unit tests and the simulator's sanitizer harness
+    /// inject exactly the bug classes (a boundary fragment in a shared
+    /// register, co-live fragments sharing a color, ...) that
+    /// [`crate::verify`] and the dynamic sanitizer must catch. Never
+    /// call it from allocation code.
+    pub fn force_color(&mut self, id: NodeId, color: u32) {
+        self.nodes[id.index()].color = color;
+    }
+
+    /// Forcibly flips fragment `id`'s boundary flag (see
+    /// [`force_color`](Self::force_color) — fault injection only).
+    pub fn force_boundary(&mut self, id: NodeId, boundary: bool) {
+        self.nodes[id.index()].boundary = boundary;
+    }
+
+    /// Forcibly replaces both palettes (see
+    /// [`force_color`](Self::force_color) — fault injection only).
+    pub fn force_palettes(&mut self, private: Vec<u32>, shared: Vec<u32>) {
+        self.private = private;
+        self.shared = shared;
+    }
+
+    /// Forcibly replaces fragment `id`'s program points (see
+    /// [`force_color`](Self::force_color) — fault injection only).
+    pub fn force_points(&mut self, id: NodeId, points: BitSet) {
+        self.nodes[id.index()].points = points;
+    }
+
+    // ------------------------------------------------------------------
     // Conflict queries
     // ------------------------------------------------------------------
 

@@ -129,6 +129,38 @@ impl MultiAllocation {
             .map(|(i, (f, t))| rewrite_thread(f, &t.info, &t.alloc, &layout.color_map(i, &t.alloc)))
             .collect()
     }
+
+    /// The fragment-ownership map of the allocation: which vreg
+    /// fragments each thread placed in each physical register, as
+    /// `(thread, register, label)` triples with labels like `"v3#0"`
+    /// (fragment 0 of `v3`) or `"v1#0,v4#2"` when several fragments of
+    /// a thread share the register.
+    ///
+    /// The triples are plain data so the simulator (which this crate
+    /// does not depend on) can consume them — they feed the dynamic
+    /// sanitizer's diagnostics, labeling both sides of a clobber with
+    /// the allocator's intent.
+    pub fn fragment_tags(&self) -> Vec<(usize, u32, String)> {
+        let layout = self.layout();
+        let mut map: std::collections::BTreeMap<(usize, u32), Vec<String>> =
+            std::collections::BTreeMap::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            let color_map = layout.color_map(i, &t.alloc);
+            let mut next_fragment: std::collections::HashMap<regbal_ir::VReg, usize> =
+                std::collections::HashMap::new();
+            for id in t.alloc.node_ids() {
+                let v = t.alloc.node_vreg(id);
+                let ordinal = next_fragment.entry(v).or_insert(0);
+                let label = format!("{v}#{ordinal}");
+                *ordinal += 1;
+                let preg = color_map[&t.alloc.node_color(id)];
+                map.entry((i, preg.0)).or_default().push(label);
+            }
+        }
+        map.into_iter()
+            .map(|((t, r), labels)| (t, r, labels.join(",")))
+            .collect()
+    }
 }
 
 /// Builds the initial (upper-bound) allocation state for one function.

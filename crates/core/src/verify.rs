@@ -257,4 +257,151 @@ mod tests {
             assert!(err.to_string().contains(needle), "{err}");
         }
     }
+
+    // ------------------------------------------------------------------
+    // Detection tests: manufacture each corruption with the fault-
+    // injection API and assert the verifier names it precisely.
+    // ------------------------------------------------------------------
+
+    use crate::alloc::NodeId;
+    use regbal_ir::VReg;
+
+    /// The (sole) fragment of `v`.
+    fn node_of(alloc: &ThreadAlloc, v: VReg) -> NodeId {
+        alloc
+            .node_ids()
+            .find(|&id| alloc.node_vreg(id) == v)
+            .expect("vreg has a fragment")
+    }
+
+    /// The clean two-color allocation of the `clean_allocation_passes`
+    /// program: `v0` boundary (private color 0), `v1` internal (shared
+    /// color 1).
+    fn clean() -> ThreadAlloc {
+        alloc_for(
+            "func f {\nbb0:\n v0 = mov 1\n ctx\n v1 = add v0, 1\n store scratch[v1+0], v0\n halt\n}",
+            &[Some(0), Some(1)],
+            1,
+            2,
+        )
+    }
+
+    #[test]
+    fn shared_boundary_detected() {
+        let mut a = clean();
+        let v0 = node_of(&a, VReg(0));
+        assert!(a.node_is_boundary(v0), "v0 lives across the ctx");
+        a.force_color(v0, 1); // 1 is the shared color
+        match check_thread(&a) {
+            Err(VerifyError::SharedBoundary { vreg, color }) => {
+                assert_eq!((vreg, color), (VReg(0), 1));
+            }
+            other => panic!("expected SharedBoundary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_color_detected() {
+        let mut a = clean();
+        a.force_color(node_of(&a, VReg(1)), 9);
+        match check_thread(&a) {
+            Err(VerifyError::UnknownColor { vreg, color }) => {
+                assert_eq!((vreg, color), (VReg(1), 9));
+            }
+            other => panic!("expected UnknownColor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn palette_overlap_detected() {
+        let mut a = clean();
+        a.force_palettes(vec![0], vec![0, 1]);
+        assert_eq!(check_thread(&a), Err(VerifyError::PaletteOverlap(0)));
+    }
+
+    #[test]
+    fn stale_boundary_flag_detected() {
+        let mut a = clean();
+        let v1 = node_of(&a, VReg(1));
+        assert!(!a.node_is_boundary(v1), "v1 is internal");
+        a.force_boundary(v1, true);
+        assert_eq!(check_thread(&a), Err(VerifyError::BadBoundaryFlag(VReg(1))));
+    }
+
+    #[test]
+    fn bad_partition_detected() {
+        // No ctx, so the (false) boundary flag of the emptied fragment
+        // stays consistent and the partition check is what fires.
+        let mut a = alloc_for(
+            "func f {\nbb0:\n v0 = mov 1\n store scratch[v0+0], v0\n halt\n}",
+            &[Some(0)],
+            1,
+            1,
+        );
+        let v0 = node_of(&a, VReg(0));
+        let empty = regbal_ir::BitSet::new(a.node_points(v0).capacity());
+        a.force_points(v0, empty);
+        assert_eq!(check_thread(&a), Err(VerifyError::BadPartition(VReg(0))));
+    }
+
+    #[test]
+    fn atom_split_detected() {
+        // v0 flows *through* `v1 = add v0, 1` (live out, not redefined),
+        // fusing that instruction's In/Out halves into one atom;
+        // dropping exactly one of those halves from the fragment tears
+        // it. Dropping a singleton-atom half instead leaves a partition
+        // hole. Sweep every half and require both diagnoses to appear.
+        let src = "func f {\nbb0:\n v0 = mov 1\n v1 = add v0, 1\n store scratch[v1+0], v0\n halt\n}";
+        let colors = [Some(0), Some(1)];
+        let mut saw_atom_split = false;
+        let mut saw_bad_partition = false;
+        let probe = alloc_for(src, &colors, 2, 2);
+        let v0 = node_of(&probe, VReg(0));
+        let halves: Vec<usize> = probe.node_points(v0).iter().collect();
+        for h in halves {
+            let mut a = alloc_for(src, &colors, 2, 2);
+            let id = node_of(&a, VReg(0));
+            let mut pts = a.node_points(id).clone();
+            pts.remove(h);
+            a.force_points(id, pts);
+            match check_thread(&a) {
+                Err(VerifyError::AtomSplit(v)) => {
+                    assert_eq!(v, VReg(0));
+                    saw_atom_split = true;
+                }
+                Err(VerifyError::BadPartition(v)) => {
+                    assert_eq!(v, VReg(0));
+                    saw_bad_partition = true;
+                }
+                other => panic!("corrupt fragment must be diagnosed, got {other:?}"),
+            }
+        }
+        assert!(saw_atom_split, "some half tears the In/Out atom");
+        assert!(saw_bad_partition, "some half leaves a partition hole");
+    }
+
+    #[test]
+    fn interference_detected() {
+        let mut a = alloc_for(
+            "func f {\nbb0:\n v0 = mov 1\n v1 = mov 2\n v2 = add v0, v1\n store scratch[v2+0], v2\n halt\n}",
+            &[Some(0), Some(1), Some(2)],
+            3,
+            3,
+        );
+        a.force_color(node_of(&a, VReg(1)), 0);
+        match check_thread(&a) {
+            Err(VerifyError::Interference { a, b, color }) => {
+                assert_eq!(color, 0);
+                assert_eq!(
+                    {
+                        let mut pair = [a.0, b.0];
+                        pair.sort_unstable();
+                        pair
+                    },
+                    [0, 1]
+                );
+            }
+            other => panic!("expected Interference, got {other:?}"),
+        }
+    }
 }

@@ -72,6 +72,34 @@ mod tests {
         assert!(summary.contains("validated"), "{summary}");
     }
 
+    /// Every shipped strategy survives an instrumented sweep with zero
+    /// clobber-class sanitizer reports, and the instrumented document
+    /// carries (and validates with) the sanitizer counters.
+    #[test]
+    fn sanitized_sweep_is_clobber_free() {
+        let config = EvalConfig {
+            packets: 2,
+            nreg_sweep: vec![48],
+            sanitize: true,
+            ..EvalConfig::smoke()
+        };
+        let report = run_eval(&config);
+        for s in &report.scenarios {
+            for c in s.cells.iter().filter(|c| c.status == CellStatus::Ok) {
+                assert!(c.sanitized);
+                assert_eq!(
+                    c.sanitizer_violations, 0,
+                    "{}: {}@{} reported clobbers",
+                    s.name, c.strategy, c.nreg
+                );
+            }
+        }
+        let text = report.to_json_string();
+        assert!(text.contains("\"sanitizer_violations\""));
+        let doc = json::parse(&text).expect("instrumented report serialises");
+        validate_json(&doc).expect("instrumented report validates");
+    }
+
     /// At the tight end of the sweep the fixed partition must spill a
     /// hungry kernel while balancing fits move-free — so balanced
     /// throughput strictly wins on at least one hungry scenario.

@@ -13,7 +13,7 @@ use crate::json::Json;
 use crate::scenario::{scenarios, Scenario};
 use crate::strategy::{all_strategies, CompiledPu, Strategy};
 use regbal_ir::{Func, MemSpace};
-use regbal_sim::{Chip, RunReport, SimConfig};
+use regbal_sim::{Chip, RunReport, SanitizerConfig, SimConfig};
 use regbal_workloads::Workload;
 
 /// Configuration of one evaluation run.
@@ -30,6 +30,10 @@ pub struct EvalConfig {
     pub cycle_budget: u64,
     /// Seed for the packet generator (per-slot seeds derive from it).
     pub seed: u64,
+    /// Arm the register-clobber sanitizer on every measured run. Off by
+    /// default: instrumented runs are for correctness sweeps, not for
+    /// the throughput numbers.
+    pub sanitize: bool,
 }
 
 impl EvalConfig {
@@ -42,6 +46,7 @@ impl EvalConfig {
             granularity: 64,
             cycle_budget: 40_000_000,
             seed: 0xE7A1,
+            sanitize: false,
         }
     }
 
@@ -110,6 +115,15 @@ pub struct CellReport {
     pub checksum_ok: bool,
     /// Register-safety violations observed (must be 0).
     pub violations: usize,
+    /// Whether the run was sanitizer-instrumented.
+    pub sanitized: bool,
+    /// Clobber-class sanitizer reports (shared-register clobbers and
+    /// foreign private-bank writes; must be 0). Only meaningful when
+    /// [`CellReport::sanitized`].
+    pub sanitizer_violations: usize,
+    /// Warning-class sanitizer reports (uninitialized-register reads).
+    /// Only meaningful when [`CellReport::sanitized`].
+    pub sanitizer_warnings: usize,
     /// Physical registers consumed (max over PUs).
     pub registers_used: usize,
     /// Total split moves.
@@ -190,7 +204,7 @@ fn run_scenario(
         .iter()
         .map(|pu| pu.iter().map(|w| w.func.clone()).collect())
         .collect();
-    let reference = run_chip(&reference_funcs, &workloads, config)
+    let reference = run_chip(&reference_funcs, &workloads, config, None)
         .expect("virtual-register reference run must complete");
 
     let mut cells = Vec::new();
@@ -231,6 +245,9 @@ fn run_cell(
         cycles: 0,
         checksum_ok: false,
         violations: 0,
+        sanitized: config.sanitize,
+        sanitizer_violations: 0,
+        sanitizer_warnings: 0,
         registers_used: 0,
         moves: 0,
         spills: 0,
@@ -254,7 +271,14 @@ fn run_cell(
     cell.spills = compiled.iter().map(CompiledPu::spills).sum();
 
     let funcs: Vec<Vec<Func>> = compiled.iter().map(|c| c.funcs.clone()).collect();
-    let Some(run) = run_chip(&funcs, workloads, config) else {
+    let sanitizers: Vec<SanitizerConfig> =
+        compiled.iter().map(|c| c.sanitizer.clone()).collect();
+    let Some(run) = run_chip(
+        &funcs,
+        workloads,
+        config,
+        config.sanitize.then_some(sanitizers.as_slice()),
+    ) else {
         cell.status = CellStatus::Timeout;
         return cell;
     };
@@ -262,6 +286,8 @@ fn run_cell(
     cell.throughput_ipkc = run.throughput_ipkc();
     cell.checksum_ok = run.output == reference_output;
     cell.violations = run.violations;
+    cell.sanitizer_violations = run.sanitizer_violations;
+    cell.sanitizer_warnings = run.sanitizer_warnings;
     cell.threads = scenario
         .pus
         .iter()
@@ -298,6 +324,8 @@ struct ChipRun {
     reports: Vec<RunReport>,
     cycles: u64,
     violations: usize,
+    sanitizer_violations: usize,
+    sanitizer_warnings: usize,
     iterations: u64,
 }
 
@@ -313,8 +341,14 @@ fn run_chip(
     pu_funcs: &[Vec<Func>],
     workloads: &[Vec<Workload>],
     config: &EvalConfig,
+    sanitizers: Option<&[SanitizerConfig]>,
 ) -> Option<ChipRun> {
     let mut chip = Chip::new(SimConfig::default(), pu_funcs.len());
+    if let Some(configs) = sanitizers {
+        for (pu, cfg) in configs.iter().enumerate() {
+            chip.enable_sanitizer(pu, cfg.clone());
+        }
+    }
     for w in workloads.iter().flatten() {
         w.prepare(chip.memory_mut(), config.seed + w.slot as u64);
     }
@@ -336,6 +370,14 @@ fn run_chip(
         output,
         cycles: reports.iter().map(|r| r.cycles).max().unwrap_or(0),
         violations: reports.iter().map(|r| r.violations.len()).sum(),
+        sanitizer_violations: reports
+            .iter()
+            .map(|r| r.sanitizer_violations().count())
+            .sum(),
+        sanitizer_warnings: reports
+            .iter()
+            .map(|r| r.sanitizer.iter().filter(|s| !s.is_violation()).count())
+            .sum(),
         iterations: reports
             .iter()
             .flat_map(|r| r.threads.iter().map(|t| t.iterations))
@@ -433,6 +475,20 @@ impl CellReport {
                 ("cycles".into(), Json::uint(self.cycles)),
                 ("checksum_ok".into(), Json::Bool(self.checksum_ok)),
                 ("violations".into(), Json::uint(self.violations as u64)),
+            ]);
+            if self.sanitized {
+                members.extend([
+                    (
+                        "sanitizer_violations".into(),
+                        Json::uint(self.sanitizer_violations as u64),
+                    ),
+                    (
+                        "sanitizer_warnings".into(),
+                        Json::uint(self.sanitizer_warnings as u64),
+                    ),
+                ]);
+            }
+            members.extend([
                 (
                     "registers_used".into(),
                     Json::uint(self.registers_used as u64),
@@ -545,6 +601,14 @@ pub fn validate_json(doc: &Json) -> Result<String, String> {
                         }
                         if cell.get("violations").and_then(|v| v.as_u64()) != Some(0) {
                             return Err(format!("{name}: {strategy}@{nreg} had violations"));
+                        }
+                        // Instrumented documents must be clobber-free.
+                        if let Some(s) = cell.get("sanitizer_violations") {
+                            if s.as_u64() != Some(0) {
+                                return Err(format!(
+                                    "{name}: {strategy}@{nreg} had sanitizer violations"
+                                ));
+                            }
                         }
                     }
                     "infeasible" => {}

@@ -18,8 +18,9 @@
 //!   only when sharing alone cannot fit.
 
 use regbal_core::chaitin::{self, ChaitinConfig};
-use regbal_core::{allocate_threads, allocate_threads_with_spill_at};
+use regbal_core::{allocate_threads, allocate_threads_with_spill_at, MultiAllocation};
 use regbal_ir::{Func, MemSpace};
+use regbal_sim::SanitizerConfig;
 
 /// Spill area of the fixed-partition baseline (per compiled thread,
 /// `0x1000` bytes apart; below the hybrid area and above the workload
@@ -57,6 +58,9 @@ pub struct CompiledPu {
     /// Physical registers the allocation consumes
     /// (`Σ PRᵢ + max SRᵢ`, or the whole partition for the baseline).
     pub registers_used: usize,
+    /// The bank layout and fragment ownership the strategy promises,
+    /// ready to arm the simulator's register-clobber sanitizer.
+    pub sanitizer: SanitizerConfig,
 }
 
 impl CompiledPu {
@@ -69,6 +73,23 @@ impl CompiledPu {
     pub fn spills(&self) -> usize {
         self.threads.iter().map(|t| t.spills).sum()
     }
+}
+
+/// The sanitizer configuration of a balancing allocation: the bank
+/// layout straight from the [`MultiAllocation`] plus its
+/// fragment-ownership tags.
+fn balanced_sanitizer(alloc: &MultiAllocation) -> SanitizerConfig {
+    let layout = alloc.layout();
+    let mut cfg = SanitizerConfig::with_layout(
+        (0..alloc.threads.len())
+            .map(|t| layout.private_range(t))
+            .collect(),
+        Some(layout.shared_range()),
+    );
+    for (t, r, label) in alloc.fragment_tags() {
+        cfg.fragments.insert((t, r), label);
+    }
+    cfg
 }
 
 /// An allocation strategy the harness can evaluate.
@@ -137,6 +158,12 @@ impl Strategy for FixedPartition {
             funcs: out,
             threads,
             registers_used: k * funcs.len(),
+            sanitizer: SanitizerConfig::with_layout(
+                (0..funcs.len())
+                    .map(|t| (t * k) as u32..((t + 1) * k) as u32)
+                    .collect(),
+                None,
+            ),
         })
     }
 }
@@ -159,6 +186,7 @@ impl Strategy for Balanced {
             })
             .collect();
         Ok(CompiledPu {
+            sanitizer: balanced_sanitizer(&alloc),
             funcs: alloc.rewrite_funcs(funcs),
             threads,
             registers_used: alloc.total_registers(),
@@ -188,6 +216,7 @@ impl Strategy for BalancedSpill {
             })
             .collect();
         Ok(CompiledPu {
+            sanitizer: balanced_sanitizer(&hybrid.alloc),
             funcs: hybrid.rewrite(),
             threads,
             registers_used: hybrid.alloc.total_registers(),
@@ -249,6 +278,24 @@ mod tests {
         let c = BalancedSpill.compile(&funcs, 32, 0).unwrap();
         assert!(c.spills() > 0);
         assert!(c.registers_used <= 32);
+    }
+
+    #[test]
+    fn compiled_sanitizer_configs_describe_the_banks() {
+        let funcs = pu_funcs();
+        let fixed = FixedPartition.compile(&funcs, 128, 0).unwrap();
+        assert_eq!(fixed.sanitizer.private_ranges.len(), 4);
+        assert_eq!(fixed.sanitizer.private_ranges[1], 32..64);
+        assert!(fixed.sanitizer.shared_range.is_none());
+        assert!(fixed.sanitizer.fragments.is_empty());
+
+        let balanced = Balanced.compile(&funcs, 48, 0).unwrap();
+        assert_eq!(balanced.sanitizer.private_ranges.len(), 4);
+        assert!(balanced.sanitizer.shared_range.is_some());
+        assert!(
+            !balanced.sanitizer.fragments.is_empty(),
+            "fragment tags must ride along for diagnostics"
+        );
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! cycle granularity.
 
 use crate::config::SimConfig;
-use crate::machine::{RunReport, Simulator, StopWhen};
+use crate::machine::{RunReport, SimError, Simulator, StopWhen};
 use crate::mem::Memory;
+use crate::sanitizer::SanitizerConfig;
 use regbal_ir::Func;
 
 /// A chip of several processing units over shared memories.
@@ -67,6 +68,22 @@ impl Chip {
     /// Mutable access to a processing unit (e.g. to enable tracing).
     pub fn pu_mut(&mut self, pu: usize) -> &mut Simulator {
         &mut self.pus[pu]
+    }
+
+    /// Enables the register-clobber sanitizer on processing unit `pu`
+    /// (each PU has its own register file, so each needs the layout of
+    /// the allocation it runs).
+    pub fn enable_sanitizer(&mut self, pu: usize, config: SanitizerConfig) {
+        self.pus[pu].enable_sanitizer(config);
+    }
+
+    /// The first structured error across the PUs (with the PU index),
+    /// if any run hit one.
+    pub fn error(&self) -> Option<(usize, &SimError)> {
+        self.pus
+            .iter()
+            .enumerate()
+            .find_map(|(i, p)| p.error().map(|e| (i, e)))
     }
 
     /// Runs every PU until each reaches `cycles` on its local clock (or

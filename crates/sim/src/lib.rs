@@ -21,6 +21,15 @@
 //! optional [`SimConfig::private_ranges`] watchdog flags any write by
 //! one thread into another thread's private bank.
 //!
+//! For precise runtime diagnosis of allocation bugs there is the
+//! opt-in **register-clobber sanitizer** ([`sanitizer`], enabled with
+//! [`Simulator::enable_sanitizer`]): it tags every physical-register
+//! write with (thread, pc, cycle) and reports, as structured
+//! [`SanitizerReport`]s, any value a thread carried across a
+//! context-switch boundary that another thread overwrote, any write
+//! into a foreign private bank, and any read of a never-written
+//! register.
+//!
 //! # Example
 //!
 //! ```
@@ -46,8 +55,10 @@ mod chip;
 mod config;
 mod machine;
 mod mem;
+pub mod sanitizer;
 
 pub use chip::Chip;
 pub use config::SimConfig;
-pub use machine::{RunReport, Simulator, StopWhen, ThreadStats, TraceEvent, Violation};
+pub use machine::{RunReport, SimError, Simulator, StopWhen, ThreadStats, TraceEvent, Violation};
 pub use mem::Memory;
+pub use sanitizer::{Pc, SanitizerConfig, SanitizerReport};

@@ -2,6 +2,7 @@
 
 use crate::config::SimConfig;
 use crate::mem::Memory;
+use crate::sanitizer::{Pc, Sanitizer, SanitizerConfig, SanitizerReport};
 use regbal_ir::{BlockId, Func, Inst, Operand, Reg, Terminator};
 
 /// Size of the shared physical register file in the simulator (larger
@@ -70,6 +71,38 @@ pub enum TraceEvent {
     },
 }
 
+/// A structured error the simulator hit mid-run. The offending thread
+/// is halted and the error recorded (first one wins); the other
+/// threads keep running, and the error surfaces in
+/// [`RunReport::error`] instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A `call` instruction reached execution. Calls exist only at the
+    /// module level — `regbal_ir::inline_module` must run first.
+    UnloweredCall {
+        /// The thread that executed the call.
+        thread: usize,
+        /// Name of the called function.
+        callee: String,
+        /// Location of the call in the thread's function.
+        pc: Pc,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnloweredCall { thread, callee, pc } => write!(
+                f,
+                "thread {thread}: `call {callee}` at {pc} reached the simulator; \
+                 inline subroutines first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// A cross-thread register-safety violation detected by the watchdog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Violation {
@@ -119,6 +152,22 @@ pub struct RunReport {
     /// [`Simulator::enable_trace`] was full (0 when tracing is off or
     /// the capacity sufficed).
     pub trace_dropped: u64,
+    /// The first structured error the run hit (the offending thread is
+    /// halted; the rest of the PU keeps running).
+    pub error: Option<SimError>,
+    /// Sanitizer diagnostics (empty unless
+    /// [`Simulator::enable_sanitizer`] was called).
+    pub sanitizer: Vec<SanitizerReport>,
+    /// Sanitizer reports dropped past the configured cap.
+    pub sanitizer_dropped: u64,
+}
+
+impl RunReport {
+    /// Sanitizer reports that are violations (allocation bugs), as
+    /// opposed to warnings.
+    pub fn sanitizer_violations(&self) -> impl Iterator<Item = &SanitizerReport> {
+        self.sanitizer.iter().filter(|r| r.is_violation())
+    }
 }
 
 /// The bounded trace buffer: keeps the first `capacity` events and
@@ -138,6 +187,9 @@ struct Thread {
     idx: usize,
     vregs: Vec<u32>,
     pending_load: Vec<(Reg, u32)>,
+    /// Pc of the load that produced `pending_load` (the delivery at
+    /// resume is attributed to the load instruction).
+    pending_pc: Pc,
     ready_at: u64,
     halted: bool,
     iterations: u64,
@@ -159,6 +211,8 @@ pub struct Simulator {
     rr_next: usize,
     violations: Vec<Violation>,
     trace: Option<TraceBuf>,
+    sanitizer: Option<Sanitizer>,
+    error: Option<SimError>,
     /// Per-space earliest next issue time under `serialize_memory`.
     port_free: [u64; 3],
 }
@@ -178,6 +232,8 @@ impl Simulator {
             rr_next: 0,
             violations: Vec::new(),
             trace: None,
+            sanitizer: None,
+            error: None,
             port_free: [0; 3],
         }
     }
@@ -212,6 +268,31 @@ impl Simulator {
             capacity,
             dropped: 0,
         });
+    }
+
+    /// Enables the dynamic register-clobber sanitizer (see
+    /// [`crate::sanitizer`]): every physical-register access is
+    /// checked against the allocation's bank layout and fragment map.
+    /// Enable before running; diagnostics surface in
+    /// [`RunReport::sanitizer`] and via
+    /// [`sanitizer_reports`](Self::sanitizer_reports).
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
+        self.sanitizer = Some(Sanitizer::new(config, REGFILE_SIZE));
+    }
+
+    /// The sanitizer diagnostics so far (empty unless enabled).
+    pub fn sanitizer_reports(&self) -> &[SanitizerReport] {
+        self.sanitizer.as_ref().map_or(&[], |s| s.reports())
+    }
+
+    /// Sanitizer reports dropped past the configured cap.
+    pub fn sanitizer_dropped(&self) -> u64 {
+        self.sanitizer.as_ref().map_or(0, |s| s.dropped())
+    }
+
+    /// The first structured error the simulation hit, if any.
+    pub fn error(&self) -> Option<&SimError> {
+        self.error.as_ref()
     }
 
     /// The recorded trace (empty unless enabled).
@@ -252,6 +333,7 @@ impl Simulator {
             idx: 0,
             vregs: vec![0; nv],
             pending_load: Vec::new(),
+            pending_pc: Pc::default(),
             ready_at: 0,
             halted: false,
             iterations: 0,
@@ -380,22 +462,30 @@ impl Simulator {
             thread: j,
         });
         self.last_running = Some(j);
+        let pc = self.threads[j].pending_pc;
         for (dst, value) in std::mem::take(&mut self.threads[j].pending_load) {
-            self.write_reg(j, dst, value);
+            self.write_reg(j, dst, value, pc);
         }
     }
 
-    fn read_reg(&self, i: usize, r: Reg) -> u32 {
+    fn read_reg(&mut self, i: usize, r: Reg, pc: Pc) -> u32 {
         match r {
             Reg::Virt(v) => self.threads[i].vregs[v.index()],
-            Reg::Phys(p) => self.regfile[p.index() % REGFILE_SIZE],
+            Reg::Phys(p) => {
+                let slot = p.index() % REGFILE_SIZE;
+                if let Some(san) = &mut self.sanitizer {
+                    san.note_read(i, slot as u32, pc, self.now);
+                }
+                self.regfile[slot]
+            }
         }
     }
 
-    fn write_reg(&mut self, i: usize, r: Reg, value: u32) {
+    fn write_reg(&mut self, i: usize, r: Reg, value: u32, pc: Pc) {
         match r {
             Reg::Virt(v) => self.threads[i].vregs[v.index()] = value,
             Reg::Phys(p) => {
+                let slot = p.index() % REGFILE_SIZE;
                 for (owner, range) in self.config.private_ranges.iter().enumerate() {
                     if owner != i && range.contains(&p.0) {
                         self.violations.push(Violation {
@@ -406,15 +496,26 @@ impl Simulator {
                         });
                     }
                 }
-                self.regfile[p.index() % REGFILE_SIZE] = value;
+                if let Some(san) = &mut self.sanitizer {
+                    san.note_write(i, slot as u32, pc, self.now);
+                }
+                self.regfile[slot] = value;
             }
         }
     }
 
-    fn operand(&self, i: usize, o: Operand) -> u32 {
+    fn operand(&mut self, i: usize, o: Operand, pc: Pc) -> u32 {
         match o {
-            Operand::Reg(r) => self.read_reg(i, r),
+            Operand::Reg(r) => self.read_reg(i, r, pc),
             Operand::Imm(imm) => imm as u32,
+        }
+    }
+
+    /// Records that thread `i` crosses a context-switch boundary at
+    /// `pc` (for the sanitizer's epoch tracking).
+    fn note_csb(&mut self, i: usize, pc: Pc) {
+        if let Some(san) = &mut self.sanitizer {
+            san.note_csb(i, pc);
         }
     }
 
@@ -423,6 +524,10 @@ impl Simulator {
         let block = self.threads[i].block;
         let idx = self.threads[i].idx;
         let body_len = self.threads[i].func.block(block).insts.len();
+        let pc = Pc {
+            block: block.0,
+            inst: idx as u32,
+        };
 
         if idx == body_len {
             // Terminator: one cycle, control transfer.
@@ -442,8 +547,8 @@ impl Simulator {
                     taken,
                     fallthrough,
                 } => {
-                    let l = self.read_reg(i, lhs);
-                    let r = self.operand(i, rhs);
+                    let l = self.read_reg(i, lhs, pc);
+                    let r = self.operand(i, rhs, pc);
                     self.threads[i].block = if cond.eval(l, r) { taken } else { fallthrough };
                     self.threads[i].idx = 0;
                 }
@@ -480,18 +585,18 @@ impl Simulator {
         }
         match inst {
             Inst::Bin { op, dst, lhs, rhs } => {
-                let l = self.read_reg(i, lhs);
-                let r = self.operand(i, rhs);
-                self.write_reg(i, dst, eval_bin(op, l, r));
+                let l = self.read_reg(i, lhs, pc);
+                let r = self.operand(i, rhs, pc);
+                self.write_reg(i, dst, eval_bin(op, l, r), pc);
             }
             Inst::Un { op, dst, src } => {
-                let s = self.operand(i, src);
+                let s = self.operand(i, src, pc);
                 let value = match op {
                     regbal_ir::UnOp::Mov => s,
                     regbal_ir::UnOp::Not => !s,
                     regbal_ir::UnOp::Neg => s.wrapping_neg(),
                 };
-                self.write_reg(i, dst, value);
+                self.write_reg(i, dst, value, pc);
             }
             Inst::Load {
                 dst,
@@ -500,10 +605,12 @@ impl Simulator {
                 space,
             } => {
                 let addr = self
-                    .read_reg(i, base)
+                    .read_reg(i, base, pc)
                     .wrapping_add(offset as u32);
                 let value = mem.read_word(space, addr);
+                self.note_csb(i, pc);
                 self.threads[i].pending_load = vec![(dst, value)];
+                self.threads[i].pending_pc = pc;
                 self.threads[i].ready_at = self.mem_ready_at(space);
                 self.threads[i].ctx_switches += 1;
                 self.last_running = None;
@@ -522,12 +629,14 @@ impl Simulator {
                 offset,
                 space,
             } => {
-                let addr = self.read_reg(i, base).wrapping_add(offset as u32);
+                let addr = self.read_reg(i, base, pc).wrapping_add(offset as u32);
+                self.note_csb(i, pc);
                 self.threads[i].pending_load = dsts
                     .iter()
                     .enumerate()
                     .map(|(w, &d)| (d, mem.read_word(space, addr + 4 * w as u32)))
                     .collect();
+                self.threads[i].pending_pc = pc;
                 self.threads[i].ready_at = self.mem_ready_at(space);
                 self.threads[i].ctx_switches += 1;
                 self.last_running = None;
@@ -546,11 +655,12 @@ impl Simulator {
                 offset,
                 space,
             } => {
-                let addr = self.read_reg(i, base).wrapping_add(offset as u32);
+                let addr = self.read_reg(i, base, pc).wrapping_add(offset as u32);
                 for (w, &s) in srcs.iter().enumerate() {
-                    let value = self.read_reg(i, s);
+                    let value = self.read_reg(i, s, pc);
                     mem.write_word(space, addr + 4 * w as u32, value);
                 }
+                self.note_csb(i, pc);
                 self.threads[i].ready_at = self.mem_ready_at(space);
                 self.threads[i].ctx_switches += 1;
                 self.last_running = None;
@@ -570,10 +680,11 @@ impl Simulator {
                 space,
             } => {
                 let addr = self
-                    .read_reg(i, base)
+                    .read_reg(i, base, pc)
                     .wrapping_add(offset as u32);
-                let value = self.read_reg(i, src);
+                let value = self.read_reg(i, src, pc);
                 mem.write_word(space, addr, value);
+                self.note_csb(i, pc);
                 self.threads[i].ready_at = self.mem_ready_at(space);
                 self.threads[i].ctx_switches += 1;
                 self.last_running = None;
@@ -589,6 +700,7 @@ impl Simulator {
             Inst::Ctx => {
                 // Voluntary yield: ready immediately, but the PU moves
                 // on to the next ready thread.
+                self.note_csb(i, pc);
                 self.threads[i].ctx_switches += 1;
                 self.last_running = None;
                 self.record(TraceEvent::Yield {
@@ -597,8 +709,24 @@ impl Simulator {
                 });
             }
             Inst::Nop => {}
-            Inst::Call { ref callee } => {
-                panic!("thread {i}: `call {callee}` reached the simulator; inline subroutines first")
+            Inst::Call { callee } => {
+                // Calls exist only pre-inlining; executing one is a
+                // toolchain bug. Record it and halt the thread — the
+                // rest of the PU keeps running and the error surfaces
+                // in the report instead of aborting the process.
+                if self.error.is_none() {
+                    self.error = Some(SimError::UnloweredCall {
+                        thread: i,
+                        callee,
+                        pc,
+                    });
+                }
+                self.threads[i].halted = true;
+                self.last_running = None;
+                self.record(TraceEvent::Halt {
+                    cycle: self.now,
+                    thread: i,
+                });
             }
             Inst::IterEnd => unreachable!("handled above"),
         }
@@ -627,6 +755,9 @@ impl Simulator {
             violations: self.violations.clone(),
             idle_cycles: self.idle,
             trace_dropped: self.trace_dropped(),
+            error: self.error.clone(),
+            sanitizer: self.sanitizer_reports().to_vec(),
+            sanitizer_dropped: self.sanitizer_dropped(),
         }
     }
 }
@@ -840,6 +971,213 @@ mod tests {
         s.run(StopWhen::Cycles(10_000));
         assert_eq!(s.memory().read_word(MemSpace::Scratch, 0) as i32, -4);
         assert_eq!(s.memory().read_word(MemSpace::Scratch, 4), 1);
+    }
+}
+
+#[cfg(test)]
+mod sanitizer_tests {
+    use super::*;
+    use regbal_ir::{parse_func, MemSpace};
+
+    #[test]
+    fn clobber_across_ctx_is_diagnosed_with_the_full_triple() {
+        // Thread 0 parks 5 in r4, yields, reads it back; thread 1
+        // overwrites r4 in between — the canonical shared-register
+        // clobber the allocator must never produce.
+        let t0 = parse_func(
+            "func a {\nbb0:\n r4 = mov 5\n ctx\n r5 = mov 0\n store scratch[r5+0], r4\n halt\n}",
+        )
+        .unwrap();
+        let t1 = parse_func("func b {\nbb0:\n r4 = mov 99\n halt\n}").unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        let mut cfg = SanitizerConfig::with_layout(vec![0..4], Some(4..8));
+        cfg.fragments.insert((0, 4), "v0#0".into());
+        cfg.fragments.insert((1, 4), "v7#0".into());
+        s.enable_sanitizer(cfg);
+        s.add_thread(t0);
+        s.add_thread(t1);
+        let r = s.run(StopWhen::Cycles(10_000));
+        let clobbers: Vec<_> = r
+            .sanitizer
+            .iter()
+            .filter(|d| matches!(d, SanitizerReport::SharedClobber { .. }))
+            .collect();
+        assert_eq!(clobbers.len(), 1, "{:?}", r.sanitizer);
+        match clobbers[0] {
+            SanitizerReport::SharedClobber {
+                reg,
+                reader,
+                writer,
+                reader_fragment,
+                writer_fragment,
+                csb_pc,
+                write_cycle,
+                cycle,
+                ..
+            } => {
+                assert_eq!((*reg, *reader, *writer), (4, 0, 1));
+                assert_eq!(reader_fragment, "v0#0");
+                assert_eq!(writer_fragment, "v7#0");
+                // The `ctx` is the second instruction of bb0.
+                assert_eq!(*csb_pc, Pc { block: 0, inst: 1 });
+                assert!(write_cycle < cycle);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(r.sanitizer_violations().count(), 1);
+    }
+
+    #[test]
+    fn uninitialized_read_warns_but_still_reads_zero() {
+        let f = parse_func(
+            "func t {\nbb0:\n r1 = add r5, 7\n r2 = mov 0\n store scratch[r2+0], r1\n halt\n}",
+        )
+        .unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_sanitizer(SanitizerConfig::default());
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(1_000));
+        // The silent-zero semantics are preserved...
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 7);
+        // ...but the reliance on them is now visible, as a warning.
+        assert!(r.sanitizer.iter().any(|d| matches!(
+            d,
+            SanitizerReport::UninitializedRead { reg: 5, thread: 0, .. }
+        )));
+        assert_eq!(r.sanitizer_violations().count(), 0);
+    }
+
+    #[test]
+    fn sanitizer_off_keeps_reports_empty() {
+        let f = parse_func("func t {\nbb0:\n r1 = add r5, 7\n halt\n}").unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(1_000));
+        assert!(r.sanitizer.is_empty());
+        assert_eq!(r.sanitizer_dropped, 0);
+    }
+
+    #[test]
+    fn transfer_register_delivery_is_attributed_to_the_reader() {
+        // Same shape as load_destination_written_at_resume_not_issue:
+        // thread 1 writes r0 while thread 0 waits on a load into r0.
+        // The delivery at resume makes thread 0 the last writer, so the
+        // subsequent read must NOT be flagged as a clobber.
+        let t0 = parse_func(
+            "func a {\nbb0:\n r1 = mov 0\n r0 = load sram[r1+0]\n store scratch[r1+0], r0\n halt\n}",
+        )
+        .unwrap();
+        let t1 = parse_func("func b {\nbb0:\n r0 = mov 1234\n halt\n}").unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_sanitizer(SanitizerConfig::default());
+        s.memory_mut().write_word(MemSpace::Sram, 0, 5678);
+        s.add_thread(t0);
+        s.add_thread(t1);
+        let r = s.run(StopWhen::Cycles(10_000));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 5678);
+        assert_eq!(r.sanitizer_violations().count(), 0, "{:?}", r.sanitizer);
+    }
+
+    #[test]
+    fn private_registers_never_false_positive_across_csbs() {
+        // Each thread keeps a counter in its own private register
+        // across many yields: no reports of any kind.
+        let make = |reg: u32, addr: u32| {
+            parse_func(&format!(
+                "func t {{\nbb0:\n r{reg} = mov 0\n jump bb1\nbb1:\n r{reg} = add r{reg}, 1\n ctx\n bltu r{reg}, 20, bb1, bb2\nbb2:\n r30 = mov {addr}\n store scratch[r30+0], r{reg}\n halt\n}}"
+            ))
+            .unwrap()
+        };
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_sanitizer(SanitizerConfig::with_layout(vec![0..8, 8..16], None));
+        s.add_thread(make(2, 0));
+        s.add_thread(make(10, 4));
+        let r = s.run(StopWhen::Cycles(100_000));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 20);
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 4), 20);
+        assert!(r.sanitizer.is_empty(), "{:?}", r.sanitizer);
+    }
+
+    #[test]
+    fn foreign_private_write_is_a_structured_violation_too() {
+        let t0 = parse_func("func a {\nbb0:\n r2 = mov 5\n ctx\n halt\n}").unwrap();
+        let t1 = parse_func("func b {\nbb0:\n r2 = mov 99\n halt\n}").unwrap();
+        let config = SimConfig {
+            private_ranges: vec![0..8, 8..16],
+            ..SimConfig::default()
+        };
+        let mut s = Simulator::new(config);
+        s.enable_sanitizer(SanitizerConfig::with_layout(vec![0..8, 8..16], None));
+        s.add_thread(t0);
+        s.add_thread(t1);
+        let r = s.run(StopWhen::Cycles(10_000));
+        // Both the legacy watchdog and the sanitizer fire.
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.sanitizer.iter().any(|d| matches!(
+            d,
+            SanitizerReport::ForeignPrivateWrite { reg: 2, writer: 1, owner: 0, .. }
+        )));
+    }
+
+    #[test]
+    fn zero_thread_run_reports_cleanly() {
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_sanitizer(SanitizerConfig::default());
+        let r = s.run(StopWhen::Cycles(100));
+        assert_eq!(r.cycles, 0);
+        assert!(r.threads.is_empty());
+        assert!(r.sanitizer.is_empty());
+        assert!(r.error.is_none());
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+    use regbal_ir::{parse_func, parse_module, MemSpace};
+
+    #[test]
+    fn unlowered_call_is_a_structured_error_not_a_panic() {
+        let m = parse_module(
+            "func main {\nbb0:\n nop\n call helper\n halt\n}\nfunc helper {\nbb0:\n nop\n halt\n}",
+        )
+        .unwrap();
+        let f = m.iter().find(|f| f.name == "main").unwrap().clone();
+        let mut s = Simulator::new(SimConfig::default());
+        s.add_thread(f);
+        let r = s.run(StopWhen::Cycles(1_000));
+        match r.error {
+            Some(SimError::UnloweredCall { thread, ref callee, pc }) => {
+                assert_eq!(thread, 0);
+                assert_eq!(callee, "helper");
+                assert_eq!(pc, Pc { block: 0, inst: 1 });
+            }
+            ref other => panic!("expected UnloweredCall, got {other:?}"),
+        }
+        assert!(r.threads[0].halted, "offending thread halts");
+        let text = r.error.unwrap().to_string();
+        assert!(text.contains("call helper"), "{text}");
+        assert!(text.contains("bb0:1"), "{text}");
+    }
+
+    #[test]
+    fn other_threads_survive_an_unlowered_call() {
+        let m = parse_module(
+            "func broken {\nbb0:\n call helper\n halt\n}\nfunc helper {\nbb0:\n halt\n}",
+        )
+        .unwrap();
+        let broken = m.iter().find(|f| f.name == "broken").unwrap().clone();
+        let good = parse_func(
+            "func good {\nbb0:\n v0 = mov 8\n v1 = mov 0\n store scratch[v1+0], v0\n halt\n}",
+        )
+        .unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.add_thread(broken);
+        s.add_thread(good);
+        let r = s.run(StopWhen::Cycles(10_000));
+        assert!(r.error.is_some());
+        assert!(r.threads.iter().all(|t| t.halted));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 8);
     }
 }
 

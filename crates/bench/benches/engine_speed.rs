@@ -90,6 +90,7 @@ fn bench_engine(c: &mut Criterion) {
             EngineConfig {
                 memoize: true,
                 parallel: false,
+                ..EngineConfig::default()
             },
         ),
         ("naive", EngineConfig::naive()),

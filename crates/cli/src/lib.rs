@@ -8,6 +8,7 @@
 //! regbal analyze  prog.rba                 # analyses + §5 bounds
 //! regbal alloc    --nreg 64 t0.rba t1.rba  # balance threads, print code
 //! regbal alloc    --nreg 64 --spill ...    # spill when sharing can't fit
+//! regbal alloc    --nreg 64 --ladder ...   # degrade down the ladder, never fail
 //! regbal run      --cycles 100000 a.rba    # simulate, print statistics
 //! regbal eval     --smoke                  # strategy sweep -> BENCH_EVAL.json
 //! ```
@@ -21,8 +22,8 @@
 
 use regbal_analysis::ProgramInfo;
 use regbal_core::{
-    allocate_threads_stats, allocate_threads_with_spill, estimate_bounds, force_min_bounds,
-    EngineConfig, EngineStats,
+    allocate_ladder_with, allocate_threads_stats, allocate_threads_with_spill, estimate_bounds,
+    force_min_bounds, EngineConfig, EngineStats, LadderAllocation, LadderConfig,
 };
 use regbal_eval::{run_eval, thread_alloc_json, validate_json, CellStatus, EvalConfig, Json};
 use regbal_ir::{parse_module, Func};
@@ -60,6 +61,9 @@ USAGE:
   regbal alloc [OPTS] <files...>              allocate threads, print physical code
       --nreg <N>       register file size (default 128)
       --spill          fall back to spilling when sharing cannot fit
+      --ladder         never fail: walk the degradation ladder
+                       balanced -> balanced-spill -> fixed-partition ->
+                       spill-all, reporting every forced transition
       --min            squeeze each thread to its (MinPR, MinR) bound
       --naive          disable engine memoization and parallelism
       --stats          print engine statistics (iterations, candidate
@@ -164,6 +168,7 @@ fn analyze(files: &[String], out: &mut String) -> Result<(), String> {
 fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
     let mut nreg = 128usize;
     let mut spill = false;
+    let mut ladder = false;
     let mut min = false;
     let mut quiet = false;
     let mut naive = false;
@@ -181,6 +186,7 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
                     .map_err(|e| format!("--nreg: {e}"))?;
             }
             "--spill" => spill = true,
+            "--ladder" => ladder = true,
             "--min" => min = true,
             "--quiet" => quiet = true,
             "--naive" => naive = true,
@@ -192,6 +198,9 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
     }
     if json && min {
         return Err("--json cannot be combined with --min".into());
+    }
+    if ladder && (spill || min) {
+        return Err("--ladder subsumes --spill and cannot be combined with --min".into());
     }
     let funcs = load(&files)?;
 
@@ -206,6 +215,58 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
                 t.pr() + t.sr(),
                 t.moves()
             );
+        }
+        return Ok(());
+    }
+
+    if ladder {
+        let engine = if naive {
+            EngineConfig::naive()
+        } else {
+            EngineConfig::default()
+        };
+        let config = LadderConfig {
+            engine,
+            ..LadderConfig::default()
+        };
+        let result = allocate_ladder_with(&funcs, nreg, &config).map_err(|e| e.to_string())?;
+        let summaries = result.thread_summaries();
+        if json {
+            let threads = summaries
+                .iter()
+                .enumerate()
+                .map(|(i, t)| thread_alloc_json(&funcs[i].name, t.pr, t.sr, t.moves, t.spills))
+                .collect();
+            let sgr = result.balanced_alloc().map_or(0, |a| a.sgr());
+            let mut doc =
+                alloc_json("ladder", nreg, result.registers_used(), sgr, threads, None);
+            if let Json::Obj(members) = &mut doc {
+                members.push(("ladder".into(), ladder_json(&result)));
+            }
+            let _ = writeln!(out, "{}", doc.pretty());
+            return Ok(());
+        }
+        for (i, t) in summaries.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "thread {i} `{}`: PR={} SR={} moves={} spills={}",
+                funcs[i].name, t.pr, t.sr, t.moves, t.spills
+            );
+        }
+        for d in &result.degradations {
+            let _ = writeln!(out, "degraded: {d}");
+        }
+        let _ = writeln!(
+            out,
+            "demand {} of {nreg} registers (rung `{}`, {} degradation(s))",
+            result.registers_used(),
+            result.step,
+            result.degraded_count()
+        );
+        if !quiet {
+            for f in &result.rewrite().map_err(|e| e.to_string())? {
+                let _ = writeln!(out, "\n{f}");
+            }
         }
         return Ok(());
     }
@@ -345,6 +406,36 @@ fn alloc_json(
         ));
     }
     Json::Obj(members)
+}
+
+/// The `ladder` member of `regbal alloc --ladder --json`: the settled
+/// rung and the recorded trail of forced transitions, with stable
+/// machine-readable reason codes ([`regbal_core::AllocError::code`]).
+fn ladder_json(result: &LadderAllocation) -> Json {
+    Json::Obj(vec![
+        ("step".into(), Json::str(result.step.name())),
+        (
+            "degraded".into(),
+            Json::uint(result.degraded_count() as u64),
+        ),
+        (
+            "degradations".into(),
+            Json::Arr(
+                result
+                    .degradations
+                    .iter()
+                    .map(|d| {
+                        Json::Obj(vec![
+                            ("from".into(), Json::str(d.from.name())),
+                            ("to".into(), Json::str(d.to.name())),
+                            ("code".into(), Json::str(d.reason.code())),
+                            ("reason".into(), Json::str(d.reason.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// The `regbal eval` subcommand: run the strategy-evaluation sweep and
@@ -825,6 +916,76 @@ mod tests {
             Some("balanced-spill")
         );
         assert!(doc.get("engine").is_none());
+    }
+
+    #[test]
+    fn alloc_ladder_succeeds_where_plain_alloc_fails() {
+        let hungry = "func h {\nbb0:\n v0 = mov 1\n v1 = mov 2\n v2 = mov 3\n ctx\n v3 = add v0, v1\n v3 = add v3, v2\n store scratch[v3+0], v3\n halt\n}";
+        let p0 = write_temp("lad0.rba", hungry);
+        let p1 = write_temp("lad1.rba", hungry);
+        let args = |extra: &[&str]| -> Vec<String> {
+            ["alloc", "--nreg", "4", "--ladder"]
+                .iter()
+                .copied()
+                .chain(extra.iter().copied())
+                .map(String::from)
+                .chain([p0.clone(), p1.clone()])
+                .collect()
+        };
+        let mut out = String::new();
+        run_cli(&args(&["--quiet"]), &mut out).unwrap();
+        assert!(out.contains("degraded: balanced -> balanced-spill"), "{out}");
+        assert!(out.contains("rung `"), "{out}");
+        assert!(!out.contains("rung `balanced`"), "a fallback rung settled: {out}");
+
+        let mut out = String::new();
+        run_cli(&args(&["--json"]), &mut out).unwrap();
+        let doc = regbal_eval::json::parse(&out).expect("valid JSON");
+        assert_eq!(
+            doc.get("strategy").and_then(regbal_eval::Json::as_str),
+            Some("ladder")
+        );
+        let ladder = doc.get("ladder").expect("ladder member");
+        assert!(ladder.get("degraded").and_then(|v| v.as_u64()).unwrap() >= 1);
+        let degradations = ladder
+            .get("degradations")
+            .and_then(regbal_eval::Json::as_arr)
+            .unwrap();
+        assert!(!degradations.is_empty());
+        for d in degradations {
+            for key in ["from", "to", "code", "reason"] {
+                assert!(d.get(key).is_some(), "degradation object has `{key}`");
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_ladder_is_quiet_about_a_clean_fit() {
+        let path = write_temp("lad-clean.rba", PROG);
+        let mut out = String::new();
+        run_cli(
+            &["alloc".into(), "--ladder".into(), "--quiet".into(), path],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("rung `balanced`, 0 degradation(s)"), "{out}");
+        assert!(!out.contains("degraded:"), "{out}");
+    }
+
+    #[test]
+    fn alloc_ladder_rejects_conflicting_flags() {
+        let err = run_cli(
+            &["alloc".into(), "--ladder".into(), "--spill".into()],
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--ladder"), "{err}");
+        let err = run_cli(
+            &["alloc".into(), "--ladder".into(), "--min".into()],
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--ladder"), "{err}");
     }
 
     #[test]

@@ -72,12 +72,16 @@ impl ThreadAlloc {
         let nv = live.num_vregs();
         let mut nodes = Vec::new();
         let mut by_vreg = vec![Vec::new(); nv];
-        for vi in 0..nv {
+        for (vi, slots) in by_vreg.iter_mut().enumerate() {
             let v = VReg(vi as u32);
             if !live.is_live(v) {
                 continue;
             }
-            let color = colors[vi].unwrap_or_else(|| panic!("live register {v} has no color"));
+            let color = colors
+                .get(vi)
+                .copied()
+                .flatten()
+                .expect("bound estimation colors every live register");
             let boundary = !live.boundary_halves(v).is_empty();
             assert!(
                 !boundary || (color as usize) < max_pr,
@@ -92,7 +96,7 @@ impl ThreadAlloc {
                 color,
                 alive: true,
             });
-            by_vreg[vi].push(id);
+            slots.push(id);
         }
         let alloc = ThreadAlloc {
             live,

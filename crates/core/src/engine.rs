@@ -41,9 +41,9 @@
 
 use crate::alloc::ThreadAlloc;
 use crate::bounds::{estimate_bounds, Bounds};
-use crate::error::AllocError;
+use crate::error::{AllocError, Degradation};
 use crate::livemap::LiveMap;
-use crate::rewrite::{rewrite_thread, Layout};
+use crate::rewrite::Layout;
 use regbal_analysis::ProgramInfo;
 use regbal_ir::Func;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -86,6 +86,10 @@ pub struct MultiAllocation {
     pub threads: Vec<ThreadResult>,
     /// Size of the register file allocated against.
     pub nreg: usize,
+    /// Fallback-ladder transitions taken to reach this allocation
+    /// (empty when the primary strategy succeeded directly; stamped by
+    /// [`crate::allocate_ladder`]).
+    pub degradations: Vec<Degradation>,
 }
 
 impl MultiAllocation {
@@ -118,15 +122,44 @@ impl MultiAllocation {
     /// # Panics
     ///
     /// Panics if `funcs` are not the functions the allocation was
-    /// computed from.
+    /// computed from (see [`MultiAllocation::try_rewrite_funcs`] for
+    /// the panic-free variant).
     pub fn rewrite_funcs(&self, funcs: &[Func]) -> Vec<Func> {
-        assert_eq!(funcs.len(), self.threads.len(), "thread count mismatch");
+        self.try_rewrite_funcs(funcs)
+            .expect("allocation must belong to the rewritten functions")
+    }
+
+    /// Panic-free [`MultiAllocation::rewrite_funcs`]: returns
+    /// [`AllocError::InvalidAllocation`] when `funcs` are not the
+    /// functions the allocation was computed from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidAllocation`] on any mismatch
+    /// between the allocation and `funcs`.
+    pub fn try_rewrite_funcs(&self, funcs: &[Func]) -> Result<Vec<Func>, AllocError> {
+        if funcs.len() != self.threads.len() {
+            return Err(AllocError::InvalidAllocation {
+                reason: format!(
+                    "allocation covers {} threads, got {} functions",
+                    self.threads.len(),
+                    funcs.len()
+                ),
+            });
+        }
         let layout = self.layout();
         funcs
             .iter()
             .zip(&self.threads)
             .enumerate()
-            .map(|(i, (f, t))| rewrite_thread(f, &t.info, &t.alloc, &layout.color_map(i, &t.alloc)))
+            .map(|(i, (f, t))| {
+                crate::rewrite::try_rewrite_thread(
+                    f,
+                    &t.info,
+                    &t.alloc,
+                    &layout.color_map(i, &t.alloc),
+                )
+            })
             .collect()
     }
 
@@ -176,8 +209,16 @@ pub(crate) fn initial_thread(func: &Func) -> ThreadResult {
     }
 }
 
+/// Default iteration budget of the greedy loop. The objective strictly
+/// decreases every committed step, so real workloads finish in far
+/// fewer iterations; the cap is the deterministic backstop the
+/// degradation ladder relies on.
+pub const DEFAULT_ITERATION_CAP: usize = 100_000;
+
 /// Tuning knobs of the greedy engine. Every configuration produces
-/// bit-identical allocations; the knobs only trade work for speed.
+/// bit-identical allocations; the knobs only trade work for speed —
+/// except `max_iterations`, which bounds the search and turns an
+/// over-budget run into [`AllocError::IterationCapHit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Keep candidates across iterations, recomputing only the threads
@@ -186,6 +227,12 @@ pub struct EngineConfig {
     /// Evaluate the candidates of one iteration (and the initial bound
     /// estimates) concurrently with [`std::thread::scope`].
     pub parallel: bool,
+    /// Maximum committed reduction steps before the engine gives up
+    /// with [`AllocError::IterationCapHit`]. `None` removes the budget
+    /// (the loop still terminates: the objective is strictly
+    /// decreasing). A run that stays under the cap is bit-identical to
+    /// the uncapped run.
+    pub max_iterations: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -193,6 +240,7 @@ impl Default for EngineConfig {
         EngineConfig {
             memoize: true,
             parallel: true,
+            max_iterations: Some(DEFAULT_ITERATION_CAP),
         }
     }
 }
@@ -204,6 +252,16 @@ impl EngineConfig {
         EngineConfig {
             memoize: false,
             parallel: false,
+            max_iterations: Some(DEFAULT_ITERATION_CAP),
+        }
+    }
+
+    /// The default engine without an iteration budget — the reference
+    /// side of the capped-vs-uncapped differential tests.
+    pub fn uncapped() -> Self {
+        EngineConfig {
+            max_iterations: None,
+            ..EngineConfig::default()
         }
     }
 }
@@ -473,6 +531,14 @@ pub fn allocate_threads_stats(
         if total <= nreg {
             break;
         }
+        if let Some(cap) = config.max_iterations {
+            if stats.iterations >= cap {
+                return Err(AllocError::IterationCapHit {
+                    iterations: stats.iterations,
+                    cap,
+                });
+            }
+        }
         stats.iterations += 1;
 
         let holders: Vec<usize> = if max_sr > 0 {
@@ -582,12 +648,18 @@ pub fn allocate_threads_stats(
     stats.search = search_start.elapsed();
 
     let verify_start = Instant::now();
-    let result = MultiAllocation { threads, nreg };
+    let result = MultiAllocation {
+        threads,
+        nreg,
+        degradations: Vec::new(),
+    };
     crate::verify::check_threads(
         &result.threads.iter().map(|t| t.alloc.clone()).collect::<Vec<_>>(),
         nreg,
     )
-    .expect("allocator produced an invalid allocation");
+    .map_err(|e| AllocError::InvalidAllocation {
+        reason: e.to_string(),
+    })?;
     stats.verify = verify_start.elapsed();
     stats.total = start.elapsed();
     Ok((result, stats))
@@ -793,10 +865,12 @@ mod tests {
             EngineConfig {
                 memoize: true,
                 parallel: false,
+                ..EngineConfig::default()
             },
             EngineConfig {
                 memoize: false,
                 parallel: true,
+                ..EngineConfig::default()
             },
             EngineConfig::default(),
         ]
@@ -836,9 +910,12 @@ mod tests {
     #[test]
     fn memoized_engine_reports_cache_hits() {
         let funcs = vec![odd_cycle(), odd_cycle(), odd_cycle(), odd_cycle()];
-        let (_, memo) =
-            allocate_threads_stats(&funcs, 12, EngineConfig { memoize: true, parallel: false })
-                .unwrap();
+        let config = EngineConfig {
+            memoize: true,
+            parallel: false,
+            ..EngineConfig::default()
+        };
+        let (_, memo) = allocate_threads_stats(&funcs, 12, config).unwrap();
         let (_, naive) = allocate_threads_stats(&funcs, 12, EngineConfig::naive()).unwrap();
         assert_eq!(memo.iterations, naive.iterations);
         assert_eq!(naive.cached, 0, "naive engine never hits the cache");
@@ -852,6 +929,39 @@ mod tests {
         );
         // Together they cover exactly the work the naive engine does.
         assert_eq!(memo.evaluated + memo.cached, naive.evaluated);
+    }
+
+    #[test]
+    fn capped_engine_matches_uncapped_when_the_cap_is_not_hit() {
+        let funcs = vec![odd_cycle(), odd_cycle(), odd_cycle(), odd_cycle()];
+        let (reference, stats) =
+            allocate_threads_stats(&funcs, 12, EngineConfig::uncapped()).unwrap();
+        assert!(stats.iterations > 0, "workload too small to exercise the cap");
+        let exact = EngineConfig {
+            max_iterations: Some(stats.iterations),
+            ..EngineConfig::default()
+        };
+        let (capped, capped_stats) = allocate_threads_stats(&funcs, 12, exact).unwrap();
+        assert_eq!(capped_stats.iterations, stats.iterations);
+        assert_eq!(per_thread(&reference), per_thread(&capped));
+    }
+
+    #[test]
+    fn exhausted_cap_reports_iteration_cap_hit() {
+        let funcs = vec![odd_cycle(), odd_cycle(), odd_cycle(), odd_cycle()];
+        let (_, stats) = allocate_threads_stats(&funcs, 12, EngineConfig::uncapped()).unwrap();
+        assert!(stats.iterations > 1);
+        let starved = EngineConfig {
+            max_iterations: Some(stats.iterations - 1),
+            ..EngineConfig::default()
+        };
+        match allocate_threads_with(&funcs, 12, starved) {
+            Err(AllocError::IterationCapHit { iterations, cap }) => {
+                assert_eq!(cap, stats.iterations - 1);
+                assert_eq!(iterations, cap);
+            }
+            other => panic!("expected IterationCapHit, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! which spills before it ever considers sharing.
 
 use crate::chaitin::insert_spill_code;
-use crate::engine::{allocate_threads, MultiAllocation};
+use crate::engine::{allocate_threads_with, EngineConfig, MultiAllocation};
 use crate::error::AllocError;
 use regbal_analysis::ProgramInfo;
 use regbal_igraph::build_gig;
@@ -76,6 +76,25 @@ pub fn allocate_threads_with_spill_at(
     nreg: usize,
     spill_base: i64,
 ) -> Result<HybridAllocation, AllocError> {
+    allocate_threads_with_spill_config(funcs, nreg, spill_base, EngineConfig::default())
+}
+
+/// Like [`allocate_threads_with_spill_at`], with an explicit
+/// [`EngineConfig`] so the balancing retries inherit the caller's
+/// iteration budget (the degradation ladder threads its budget through
+/// here).
+///
+/// # Errors
+///
+/// As [`allocate_threads_with_spill_at`]; additionally propagates any
+/// budget error of the underlying engine (e.g.
+/// [`AllocError::IterationCapHit`]).
+pub fn allocate_threads_with_spill_config(
+    funcs: &[Func],
+    nreg: usize,
+    spill_base: i64,
+    config: EngineConfig,
+) -> Result<HybridAllocation, AllocError> {
     let mut work: Vec<Func> = funcs.to_vec();
     let mut spills = vec![0usize; funcs.len()];
     let mut next_slot = vec![0i64; funcs.len()];
@@ -85,7 +104,7 @@ pub fn allocate_threads_with_spill_at(
         .collect();
 
     for _round in 0..MAX_SPILL_ROUNDS {
-        match allocate_threads(&work, nreg) {
+        match allocate_threads_with(&work, nreg, config) {
             Ok(alloc) => {
                 return Ok(HybridAllocation {
                     funcs: work,
@@ -162,6 +181,7 @@ fn spill_candidate(func: &Func, already: &[bool]) -> Option<VReg> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::allocate_threads;
     use regbal_ir::parse_func;
 
     /// A function with five co-live values across a switch.

@@ -1,0 +1,573 @@
+//! Graceful degradation: the allocation fallback ladder.
+//!
+//! The paper's allocator reports failure when balancing cannot fit
+//! `Σ PRᵢ + max SRᵢ` into the register file; a production compiler must
+//! still emit *something*. This module walks a fixed ladder of
+//! strategies, from the paper's balanced allocator down to spilling
+//! every value, recording each forced transition as a
+//! [`Degradation`] so callers can tell a clean allocation from a
+//! degraded one:
+//!
+//! 1. **balanced** — the inter-thread greedy engine
+//!    ([`crate::allocate_threads`]), no spills;
+//! 2. **balanced-spill** — balancing plus last-resort spilling
+//!    ([`crate::allocate_threads_with_spill`]);
+//! 3. **fixed-partition** — the stock compiler's model: each thread gets
+//!    a private bank of `Nreg / Nthd` registers and a Chaitin allocator
+//!    ([`crate::chaitin`]);
+//! 4. **spill-all** — every original value lives in memory; only
+//!    instruction-local temporaries occupy registers, so Chaitin
+//!    coloring converges immediately.
+//!
+//! Every rung is bounded: the balanced rungs inherit the caller's
+//! [`EngineConfig::max_iterations`] budget, the Chaitin rungs carry
+//! their own round caps. A rung fails with a structured
+//! [`AllocError`] — never a panic — and the ladder either returns the
+//! first rung that works (with the trail of [`Degradation`]s that led
+//! there) or a [`LadderError`] carrying the full trail plus the final
+//! error.
+
+use crate::chaitin::{self, ChaitinConfig};
+use crate::engine::{allocate_threads_with, EngineConfig, MultiAllocation};
+use crate::error::{AllocError, Degradation, LadderStep};
+use crate::hybrid::{allocate_threads_with_spill_config, HybridAllocation};
+use regbal_ir::{Func, MemSpace, Reg, VReg};
+
+/// Default base address of the ladder's spill region (shared with the
+/// plain hybrid allocator's default, so single-chip callers see one
+/// spill area).
+pub const DEFAULT_LADDER_SPILL_BASE: i64 = 0x7_8000;
+
+/// Byte stride between the spill areas of consecutive ladder rungs.
+const RUNG_STRIDE: i64 = 0x1_0000;
+
+/// Byte stride between per-thread spill areas within one rung.
+const THREAD_STRIDE: i64 = 0x1000;
+
+/// Configuration of the fallback ladder.
+#[derive(Debug, Clone)]
+pub struct LadderConfig {
+    /// Engine knobs (including the iteration budget) used by the
+    /// balanced rungs.
+    pub engine: EngineConfig,
+    /// Memory space holding spill slots for the spilling rungs.
+    pub spill_space: MemSpace,
+    /// Base address of the ladder's spill region. Each rung uses a
+    /// disjoint `0x1_0000`-byte area above this base, with per-thread
+    /// sub-areas `0x1000` bytes apart. Callers allocating several
+    /// thread groups over one memory (e.g. per-PU) must give each
+    /// group a disjoint base.
+    pub spill_base: i64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            engine: EngineConfig::default(),
+            spill_space: MemSpace::Sram,
+            spill_base: DEFAULT_LADDER_SPILL_BASE,
+        }
+    }
+}
+
+impl LadderConfig {
+    /// The spill area base of one rung. The balanced rung never
+    /// spills, so the spilling rungs pack from the base: a full ladder
+    /// occupies exactly `3 * RUNG_STRIDE` bytes above `spill_base`.
+    fn rung_base(&self, step: LadderStep) -> i64 {
+        self.spill_base + ((step as i64) - 1).max(0) * RUNG_STRIDE
+    }
+}
+
+/// How the ladder ultimately allocated the threads.
+#[derive(Debug, Clone)]
+pub enum LadderOutcome {
+    /// The balanced engine succeeded with no spills.
+    Balanced {
+        /// The thread programs (unchanged inputs).
+        funcs: Vec<Func>,
+        /// The balancing allocation.
+        alloc: MultiAllocation,
+    },
+    /// Balancing succeeded after spilling some live ranges.
+    BalancedSpill(HybridAllocation),
+    /// Per-thread Chaitin allocation over fixed `Nreg / Nthd` banks
+    /// (the third and fourth rungs both produce this shape; the
+    /// [`LadderAllocation::step`] distinguishes them).
+    Partitioned {
+        /// The thread programs, already rewritten to physical
+        /// registers (spill code included).
+        funcs: Vec<Func>,
+        /// Bank size per thread.
+        k: usize,
+        /// Live ranges spilled per thread.
+        spills: Vec<usize>,
+    },
+}
+
+/// Per-thread accounting of a ladder allocation, in the shape the
+/// paper's tables use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadSummary {
+    /// Private registers (bank size for partitioned outcomes).
+    pub pr: usize,
+    /// Shared registers (zero for partitioned outcomes).
+    pub sr: usize,
+    /// Split-live-range move instructions inserted.
+    pub moves: usize,
+    /// Live ranges spilled to memory.
+    pub spills: usize,
+}
+
+/// A successful walk down the ladder: the first rung that produced a
+/// verified allocation, plus the trail of degradations that led there.
+#[derive(Debug, Clone)]
+pub struct LadderAllocation {
+    /// Size of the register file allocated against.
+    pub nreg: usize,
+    /// The rung that finally succeeded.
+    pub step: LadderStep,
+    /// Forced transitions, in order (empty for a clean balanced run).
+    pub degradations: Vec<Degradation>,
+    /// The allocation itself.
+    pub outcome: LadderOutcome,
+}
+
+impl LadderAllocation {
+    /// Number of forced fallback transitions (`0` means the primary
+    /// balanced strategy succeeded directly).
+    pub fn degraded_count(&self) -> usize {
+        self.degradations.len()
+    }
+
+    /// The balancing allocation, when the ladder stopped on a
+    /// balanced rung (used e.g. to derive sanitizer ownership maps).
+    pub fn balanced_alloc(&self) -> Option<&MultiAllocation> {
+        match &self.outcome {
+            LadderOutcome::Balanced { alloc, .. } => Some(alloc),
+            LadderOutcome::BalancedSpill(h) => Some(&h.alloc),
+            LadderOutcome::Partitioned { .. } => None,
+        }
+    }
+
+    /// Physical registers consumed by the allocation.
+    pub fn registers_used(&self) -> usize {
+        match &self.outcome {
+            LadderOutcome::Balanced { alloc, .. } => alloc.total_registers(),
+            LadderOutcome::BalancedSpill(h) => h.alloc.total_registers(),
+            LadderOutcome::Partitioned { funcs, .. } => {
+                let mut used = std::collections::BTreeSet::new();
+                for f in funcs {
+                    let mut note = |r: Reg| {
+                        if let Reg::Phys(p) = r {
+                            used.insert(p.0);
+                        }
+                    };
+                    for (_, _, inst) in f.iter_insts() {
+                        inst.defs().for_each(&mut note);
+                        inst.uses().for_each(&mut note);
+                    }
+                    for (_, b) in f.iter_blocks() {
+                        b.term.uses().for_each(&mut note);
+                    }
+                }
+                used.len()
+            }
+        }
+    }
+
+    /// Per-thread `(PR, SR, moves, spills)` accounting.
+    pub fn thread_summaries(&self) -> Vec<ThreadSummary> {
+        match &self.outcome {
+            LadderOutcome::Balanced { alloc, .. } => alloc
+                .threads
+                .iter()
+                .map(|t| ThreadSummary {
+                    pr: t.pr(),
+                    sr: t.sr(),
+                    moves: t.moves(),
+                    spills: 0,
+                })
+                .collect(),
+            LadderOutcome::BalancedSpill(h) => h
+                .alloc
+                .threads
+                .iter()
+                .zip(&h.spills)
+                .map(|(t, &s)| ThreadSummary {
+                    pr: t.pr(),
+                    sr: t.sr(),
+                    moves: t.moves(),
+                    spills: s,
+                })
+                .collect(),
+            LadderOutcome::Partitioned { k, spills, .. } => spills
+                .iter()
+                .map(|&s| ThreadSummary {
+                    pr: *k,
+                    sr: 0,
+                    moves: 0,
+                    spills: s,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rewrites every thread to physical registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidAllocation`] if the stored
+    /// allocation does not match its own programs (an internal
+    /// invariant violation — surfaced as an error, not a panic).
+    pub fn rewrite(&self) -> Result<Vec<Func>, AllocError> {
+        match &self.outcome {
+            LadderOutcome::Balanced { funcs, alloc } => alloc.try_rewrite_funcs(funcs),
+            LadderOutcome::BalancedSpill(h) => h.alloc.try_rewrite_funcs(&h.funcs),
+            LadderOutcome::Partitioned { funcs, .. } => Ok(funcs.clone()),
+        }
+    }
+}
+
+/// The ladder ran out of rungs: every strategy failed. Carries the full
+/// degradation trail and the last rung's error.
+#[derive(Debug, Clone)]
+pub struct LadderError {
+    /// The transitions that were attempted, in order.
+    pub degradations: Vec<Degradation>,
+    /// The error of the final rung.
+    pub error: AllocError,
+}
+
+impl std::fmt::Display for LadderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all ladder rungs failed: {}", self.error)?;
+        for d in &self.degradations {
+            write!(f, "; {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LadderError {}
+
+/// Allocates `funcs` over `nreg` registers, degrading gracefully
+/// through the fallback ladder with the default configuration.
+///
+/// # Errors
+///
+/// Returns [`LadderError`] only when every rung fails (e.g. a register
+/// file too small to hold even spill-address temporaries).
+pub fn allocate_ladder(funcs: &[Func], nreg: usize) -> Result<LadderAllocation, LadderError> {
+    allocate_ladder_with(funcs, nreg, &LadderConfig::default())
+}
+
+/// [`allocate_ladder`] with explicit engine/spill configuration.
+///
+/// # Errors
+///
+/// Returns [`LadderError`] when every rung fails.
+pub fn allocate_ladder_with(
+    funcs: &[Func],
+    nreg: usize,
+    config: &LadderConfig,
+) -> Result<LadderAllocation, LadderError> {
+    let mut degradations: Vec<Degradation> = Vec::new();
+    let mut step = LadderStep::Balanced;
+    loop {
+        let result = run_rung(funcs, nreg, config, step);
+        match result {
+            Ok(outcome) => {
+                return Ok(LadderAllocation {
+                    nreg,
+                    step,
+                    degradations,
+                    outcome,
+                })
+            }
+            Err(error) => match step.next() {
+                Some(next) => {
+                    degradations.push(Degradation {
+                        from: step,
+                        to: next,
+                        reason: error,
+                    });
+                    step = next;
+                }
+                None => return Err(LadderError {
+                    degradations,
+                    error,
+                }),
+            },
+        }
+    }
+}
+
+/// Runs one rung of the ladder.
+fn run_rung(
+    funcs: &[Func],
+    nreg: usize,
+    config: &LadderConfig,
+    step: LadderStep,
+) -> Result<LadderOutcome, AllocError> {
+    match step {
+        LadderStep::Balanced => {
+            let alloc = allocate_threads_with(funcs, nreg, config.engine)?;
+            Ok(LadderOutcome::Balanced {
+                funcs: funcs.to_vec(),
+                alloc,
+            })
+        }
+        LadderStep::BalancedSpill => {
+            let hybrid = allocate_threads_with_spill_config(
+                funcs,
+                nreg,
+                config.rung_base(step),
+                config.engine,
+            )?;
+            Ok(LadderOutcome::BalancedSpill(hybrid))
+        }
+        LadderStep::FixedPartition => partitioned_rung(funcs, nreg, config, step, false),
+        LadderStep::SpillAll => partitioned_rung(funcs, nreg, config, step, true),
+    }
+}
+
+/// The two Chaitin rungs: fixed `Nreg / Nthd` banks per thread, with
+/// (`spill_all`) or without pre-spilling every original live range.
+fn partitioned_rung(
+    funcs: &[Func],
+    nreg: usize,
+    config: &LadderConfig,
+    step: LadderStep,
+    spill_all: bool,
+) -> Result<LadderOutcome, AllocError> {
+    let nthd = funcs.len().max(1);
+    let k = nreg / nthd;
+    if k == 0 {
+        return Err(AllocError::Infeasible {
+            needed: nthd,
+            available: nreg,
+        });
+    }
+    let rung = config.rung_base(step);
+    let mut physical = Vec::with_capacity(funcs.len());
+    let mut spills = vec![0usize; funcs.len()];
+    for (t, func) in funcs.iter().enumerate() {
+        let area = rung + (t as i64) * THREAD_STRIDE;
+        let mut work = func.clone();
+        if spill_all {
+            // Evict every original value to its own slot; the lower
+            // half of the thread area holds these, the upper half is
+            // left for any residual Chaitin spills.
+            for v in 0..func.num_vregs {
+                spills[t] += 1;
+                chaitin::insert_spill_code(
+                    &mut work,
+                    VReg(v),
+                    area + (v as i64) * 4,
+                    config.spill_space,
+                );
+            }
+        }
+        let chaitin_cfg = ChaitinConfig {
+            k,
+            phys_base: (t * k) as u32,
+            spill_space: config.spill_space,
+            spill_base: area + THREAD_STRIDE / 2,
+        };
+        let result = chaitin::allocate(&work, &chaitin_cfg)?;
+        spills[t] += result.spilled;
+        verify_partition(&result.func, t, k)?;
+        physical.push(result.func);
+    }
+    Ok(LadderOutcome::Partitioned {
+        funcs: physical,
+        k,
+        spills,
+    })
+}
+
+/// Checks that a rewritten thread stays inside its private bank
+/// `[t·k, (t+1)·k)` and holds no residual virtual registers.
+fn verify_partition(func: &Func, t: usize, k: usize) -> Result<(), AllocError> {
+    let lo = (t * k) as u32;
+    let hi = ((t + 1) * k) as u32;
+    let mut bad: Option<String> = None;
+    let mut check = |r: Reg| match r {
+        Reg::Phys(p) if p.0 < lo || p.0 >= hi => {
+            bad.get_or_insert_with(|| {
+                format!("thread {t} uses {p} outside its bank [{lo}, {hi})")
+            });
+        }
+        Reg::Virt(v) => {
+            bad.get_or_insert_with(|| format!("thread {t} still uses virtual register {v}"));
+        }
+        _ => {}
+    };
+    for (_, _, inst) in func.iter_insts() {
+        inst.defs().for_each(&mut check);
+        inst.uses().for_each(&mut check);
+    }
+    for (_, b) in func.iter_blocks() {
+        b.term.uses().for_each(&mut check);
+    }
+    match bad {
+        Some(reason) => Err(AllocError::InvalidAllocation { reason }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_ir::parse_func;
+
+    fn easy() -> Func {
+        parse_func(
+            "func e {\nbb0:\n v0 = mov 1\n ctx\n v1 = add v0, 1\n store scratch[v1+0], v0\n halt\n}",
+        )
+        .unwrap()
+    }
+
+    /// Five co-live values across a switch — MinPR 5 per thread.
+    fn hot() -> Func {
+        parse_func(
+            "
+func hot {
+bb0:
+    v0 = mov 1
+    v1 = mov 2
+    v2 = mov 3
+    v3 = mov 4
+    v4 = mov 5
+    ctx
+    v5 = add v0, v1
+    v5 = add v5, v2
+    v5 = add v5, v3
+    v5 = add v5, v4
+    store scratch[v5+0], v5
+    halt
+}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_run_stays_on_the_top_rung() {
+        let funcs = vec![easy(), easy()];
+        let a = allocate_ladder(&funcs, 16).unwrap();
+        assert_eq!(a.step, LadderStep::Balanced);
+        assert_eq!(a.degraded_count(), 0);
+        assert!(a.registers_used() <= 16);
+        let physical = a.rewrite().unwrap();
+        for f in &physical {
+            f.validate().unwrap();
+        }
+        let sums = a.thread_summaries();
+        assert_eq!(sums.len(), 2);
+        assert!(sums.iter().all(|s| s.spills == 0));
+    }
+
+    #[test]
+    fn infeasible_budget_degrades_to_spilling() {
+        let funcs = vec![hot(), hot()];
+        // 2 × MinPR = 10 > 8: balancing alone cannot fit.
+        let a = allocate_ladder(&funcs, 8).unwrap();
+        assert_eq!(a.step, LadderStep::BalancedSpill);
+        assert_eq!(a.degraded_count(), 1);
+        assert_eq!(a.degradations[0].from, LadderStep::Balanced);
+        assert_eq!(a.degradations[0].to, LadderStep::BalancedSpill);
+        assert!(matches!(
+            a.degradations[0].reason,
+            AllocError::Infeasible { .. }
+        ));
+        assert!(a.thread_summaries().iter().any(|s| s.spills > 0));
+        for f in a.rewrite().unwrap() {
+            f.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn starved_iteration_budget_falls_through_to_partitioning() {
+        let funcs = vec![hot(), hot()];
+        let config = LadderConfig {
+            engine: EngineConfig {
+                max_iterations: Some(0),
+                ..EngineConfig::default()
+            },
+            ..LadderConfig::default()
+        };
+        // A file just below the zero-work demand forces reduction
+        // steps; cap 0 starves both balanced rungs, while Chaitin
+        // doesn't iterate the greedy engine and still delivers.
+        let zero_work = allocate_ladder(&funcs, 64).unwrap();
+        let nreg = zero_work.registers_used() - 1;
+        let a = allocate_ladder_with(&funcs, nreg, &config).unwrap();
+        assert_eq!(a.step, LadderStep::FixedPartition);
+        assert_eq!(a.degraded_count(), 2);
+        assert!(a
+            .degradations
+            .iter()
+            .all(|d| matches!(d.reason, AllocError::IterationCapHit { .. })));
+        let k = nreg / funcs.len();
+        for (t, f) in a.rewrite().unwrap().iter().enumerate() {
+            f.validate().unwrap();
+            verify_partition(f, t, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn spill_all_rung_evicts_everything_and_verifies() {
+        let funcs = vec![hot(), hot()];
+        let outcome =
+            partitioned_rung(&funcs, 16, &LadderConfig::default(), LadderStep::SpillAll, true)
+                .unwrap();
+        let LadderOutcome::Partitioned { funcs: phys, k, spills } = outcome else {
+            panic!("partitioned outcome expected");
+        };
+        assert_eq!(k, 8);
+        // Every original value was evicted.
+        assert!(spills.iter().all(|&s| s >= hot().num_vregs as usize));
+        for (t, f) in phys.iter().enumerate() {
+            f.validate().unwrap();
+            verify_partition(f, t, k).unwrap();
+        }
+    }
+
+    #[test]
+    fn exhausted_ladder_reports_the_full_trail() {
+        let funcs = vec![hot(), hot()];
+        // One register per thread cannot even hold a spill address plus
+        // a value: every rung fails.
+        let err = allocate_ladder(&funcs, 2).unwrap_err();
+        assert_eq!(err.degradations.len(), 3);
+        let steps: Vec<_> = err.degradations.iter().map(|d| (d.from, d.to)).collect();
+        assert_eq!(
+            steps,
+            vec![
+                (LadderStep::Balanced, LadderStep::BalancedSpill),
+                (LadderStep::BalancedSpill, LadderStep::FixedPartition),
+                (LadderStep::FixedPartition, LadderStep::SpillAll),
+            ]
+        );
+        let text = err.to_string();
+        assert!(text.contains("all ladder rungs failed"), "{text}");
+    }
+
+    #[test]
+    fn spilling_rung_areas_are_disjoint_and_packed() {
+        let c = LadderConfig::default();
+        let bases: Vec<i64> = [
+            LadderStep::BalancedSpill,
+            LadderStep::FixedPartition,
+            LadderStep::SpillAll,
+        ]
+        .iter()
+        .map(|&s| c.rung_base(s))
+        .collect();
+        for w in bases.windows(2) {
+            assert_eq!(w[1] - w[0], RUNG_STRIDE);
+        }
+        assert_eq!(bases[0], c.spill_base, "first spilling rung packs at the base");
+    }
+}

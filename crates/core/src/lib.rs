@@ -51,6 +51,7 @@ mod engine;
 mod error;
 mod hybrid;
 mod half;
+mod ladder;
 mod livemap;
 mod rewrite;
 mod sra;
@@ -61,10 +62,18 @@ pub use bounds::{estimate_bounds, Bounds};
 pub use engine::{
     allocate_threads, allocate_threads_stats, allocate_threads_with, force_min_bounds,
     zero_cost_frontier, EngineConfig, EngineStats, MultiAllocation, ThreadResult,
+    DEFAULT_ITERATION_CAP,
 };
-pub use error::AllocError;
+pub use error::{AllocError, Degradation, LadderStep};
 pub use half::HalfPoint;
-pub use hybrid::{allocate_threads_with_spill, allocate_threads_with_spill_at, HybridAllocation};
+pub use hybrid::{
+    allocate_threads_with_spill, allocate_threads_with_spill_at,
+    allocate_threads_with_spill_config, HybridAllocation,
+};
+pub use ladder::{
+    allocate_ladder, allocate_ladder_with, LadderAllocation, LadderConfig, LadderError,
+    LadderOutcome, ThreadSummary, DEFAULT_LADDER_SPILL_BASE,
+};
 pub use livemap::LiveMap;
-pub use rewrite::{rewrite_thread, Layout};
+pub use rewrite::{rewrite_thread, try_rewrite_thread, Layout};
 pub use sra::{allocate_sra, allocate_sra_exhaustive, sra_zero_cost_frontier, SraAllocation};

@@ -8,6 +8,7 @@
 //! cut flow edge, sequencing simultaneous moves as a parallel copy.
 
 use crate::alloc::{MoveSite, ThreadAlloc};
+use crate::error::AllocError;
 use crate::half::HalfPoint;
 use regbal_analysis::ProgramInfo;
 use regbal_ir::{BinOp, BlockId, Func, Inst, Operand, PReg, Reg, UnOp};
@@ -103,17 +104,44 @@ impl Layout {
 /// # Panics
 ///
 /// Panics if the allocation does not belong to `func` or a color is
-/// missing from `color_map`.
+/// missing from `color_map` (see [`try_rewrite_thread`] for the
+/// panic-free variant).
 pub fn rewrite_thread(
     func: &Func,
     info: &ProgramInfo,
     alloc: &ThreadAlloc,
     color_map: &HashMap<u32, PReg>,
 ) -> Func {
-    let preg_of = |color: u32| -> Reg {
-        Reg::Phys(*color_map.get(&color).unwrap_or_else(|| {
-            panic!("color {color} missing from layout map")
-        }))
+    try_rewrite_thread(func, info, alloc, color_map)
+        .expect("allocation must belong to the rewritten function")
+}
+
+/// Panic-free [`rewrite_thread`]: a register without a covering
+/// fragment or a color missing from `color_map` (both meaning the
+/// allocation does not belong to `func`) is reported as
+/// [`AllocError::InvalidAllocation`] instead of aborting.
+///
+/// # Errors
+///
+/// Returns [`AllocError::InvalidAllocation`] on any mismatch between
+/// the allocation and `func`.
+pub fn try_rewrite_thread(
+    func: &Func,
+    info: &ProgramInfo,
+    alloc: &ThreadAlloc,
+    color_map: &HashMap<u32, PReg>,
+) -> Result<Func, AllocError> {
+    // The register-mapping closures below cannot early-return, so the
+    // first mismatch is parked here and checked after each pass.
+    let mut fail: Option<String> = None;
+    let preg_of = |color: u32, fail: &mut Option<String>| -> Reg {
+        match color_map.get(&color) {
+            Some(&p) => Reg::Phys(p),
+            None => {
+                fail.get_or_insert_with(|| format!("color {color} missing from layout map"));
+                Reg::Phys(PReg(0))
+            }
+        }
     };
     let mut out = func.clone();
 
@@ -124,34 +152,42 @@ pub fn rewrite_thread(
             let p = info.pmap.point(bid, idx);
             let inst = &mut new_block.insts[idx];
             inst.map_uses(|r| match r {
-                Reg::Virt(v) => {
-                    let node = alloc
-                        .node_at(v, HalfPoint::before(p))
-                        .unwrap_or_else(|| panic!("use of {v} at {p} has no fragment"));
-                    preg_of(alloc.node_color(node))
-                }
+                Reg::Virt(v) => match alloc.node_at(v, HalfPoint::before(p)) {
+                    Some(node) => preg_of(alloc.node_color(node), &mut fail),
+                    None => {
+                        fail.get_or_insert_with(|| format!("use of {v} at {p} has no fragment"));
+                        r
+                    }
+                },
                 phys => phys,
             });
             inst.map_defs(|r| match r {
-                Reg::Virt(v) => {
-                    let node = alloc
-                        .node_at(v, HalfPoint::after(p))
-                        .unwrap_or_else(|| panic!("def of {v} at {p} has no fragment"));
-                    preg_of(alloc.node_color(node))
-                }
+                Reg::Virt(v) => match alloc.node_at(v, HalfPoint::after(p)) {
+                    Some(node) => preg_of(alloc.node_color(node), &mut fail),
+                    None => {
+                        fail.get_or_insert_with(|| format!("def of {v} at {p} has no fragment"));
+                        r
+                    }
+                },
                 phys => phys,
             });
         }
         let p = info.pmap.point(bid, block.insts.len());
         new_block.term.map_uses(|r| match r {
-            Reg::Virt(v) => {
-                let node = alloc
-                    .node_at(v, HalfPoint::before(p))
-                    .unwrap_or_else(|| panic!("terminator use of {v} at {p} has no fragment"));
-                preg_of(alloc.node_color(node))
-            }
+            Reg::Virt(v) => match alloc.node_at(v, HalfPoint::before(p)) {
+                Some(node) => preg_of(alloc.node_color(node), &mut fail),
+                None => {
+                    fail.get_or_insert_with(|| {
+                        format!("terminator use of {v} at {p} has no fragment")
+                    });
+                    r
+                }
+            },
             phys => phys,
         });
+    }
+    if let Some(reason) = fail {
+        return Err(AllocError::InvalidAllocation { reason });
     }
 
     // Collect the moves per insertion site.
@@ -169,8 +205,16 @@ pub fn rewrite_thread(
         let q = to.point();
         let (bp, ip) = info.pmap.location(p);
         let (bq, iq) = info.pmap.location(q);
-        let dst = color_map[&new_color].0;
-        let src = color_map[&old_color].0;
+        let lookup = |color: u32| -> Result<u32, AllocError> {
+            color_map
+                .get(&color)
+                .map(|p| p.0)
+                .ok_or_else(|| AllocError::InvalidAllocation {
+                    reason: format!("move color {color} missing from layout map"),
+                })
+        };
+        let dst = lookup(new_color)?;
+        let src = lookup(old_color)?;
         if bp == bq && iq == ip + 1 {
             // Between two consecutive instructions of one block.
             inline.entry((bp, ip)).or_default().push((dst, src));
@@ -210,8 +254,10 @@ pub fn rewrite_thread(
     }
 
     out.num_vregs = 0;
-    out.validate().expect("rewritten function must be valid");
-    out
+    out.validate().map_err(|e| AllocError::InvalidAllocation {
+        reason: format!("rewritten function is invalid: {e}"),
+    })?;
+    Ok(out)
 }
 
 /// Orders a set of simultaneous register copies so that no source is

@@ -56,6 +56,7 @@ impl SraAllocation {
         MultiAllocation {
             threads: vec![self.thread.clone(); self.nthd],
             nreg: self.nreg,
+            degradations: Vec::new(),
         }
     }
 }

@@ -9,7 +9,8 @@
 //! 2. [`strategy`] — the allocation strategies under test behind one
 //!    [`Strategy`] trait: the fixed `Nreg/Nthd` partition with Chaitin
 //!    spilling (the stock-compiler baseline), the balancing allocator,
-//!    and balancing with last-resort spilling;
+//!    balancing with last-resort spilling, and the degradation ladder
+//!    that falls back through those rungs instead of failing;
 //! 3. [`report`] — the pipeline ([`run_eval`]) drives the compiled
 //!    code on a multi-PU [`regbal_sim::Chip`] under packet traffic,
 //!    sweeping the register-file size 32 → 128, and validates each run
@@ -44,7 +45,8 @@ pub use report::{
 };
 pub use scenario::{scenarios, Scenario, THREADS_PER_PU};
 pub use strategy::{
-    all_strategies, Balanced, BalancedSpill, CompiledPu, FixedPartition, Strategy, ThreadCode,
+    all_strategies, Balanced, BalancedSpill, CompiledPu, FixedPartition, Ladder, Strategy,
+    ThreadCode,
 };
 
 #[cfg(test)]
@@ -64,7 +66,7 @@ mod tests {
         };
         let report = run_eval(&config);
         assert!(report.scenarios.len() >= 3);
-        assert_eq!(report.strategies.len(), 3);
+        assert_eq!(report.strategies.len(), 4);
 
         let text = report.to_json_string();
         let doc = json::parse(&text).expect("report serialises to valid JSON");

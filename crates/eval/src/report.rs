@@ -15,6 +15,7 @@ use crate::strategy::{all_strategies, CompiledPu, Strategy};
 use regbal_ir::{Func, MemSpace};
 use regbal_sim::{Chip, RunReport, SanitizerConfig, SimConfig};
 use regbal_workloads::Workload;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Configuration of one evaluation run.
 #[derive(Debug, Clone)]
@@ -70,6 +71,10 @@ pub enum CellStatus {
     Infeasible(String),
     /// The compiled code did not finish within the cycle budget.
     Timeout,
+    /// Compilation or simulation panicked (or the reference run failed);
+    /// the sweep continues and the cell records the failure instead of
+    /// aborting the whole evaluation.
+    Error(String),
 }
 
 /// Per-thread record of one measured cell.
@@ -130,6 +135,9 @@ pub struct CellReport {
     pub moves: usize,
     /// Total spilled ranges.
     pub spills: usize,
+    /// Ladder rungs descended across all PUs (0 for every strategy
+    /// except `ladder`, and for `ladder` runs that stayed balanced).
+    pub degraded_count: usize,
     /// Per-thread details (empty unless `status` is [`CellStatus::Ok`]).
     pub threads: Vec<ThreadReport>,
 }
@@ -204,15 +212,29 @@ fn run_scenario(
         .iter()
         .map(|pu| pu.iter().map(|w| w.func.clone()).collect())
         .collect();
-    let reference = run_chip(&reference_funcs, &workloads, config, None)
-        .expect("virtual-register reference run must complete");
+    // A broken reference poisons every cell of this scenario with an
+    // error record; the remaining scenarios still get measured.
+    let reference = match catch_unwind(AssertUnwindSafe(|| {
+        run_chip(&reference_funcs, &workloads, config, None, &[])
+    })) {
+        Ok(Some(run)) => Ok(run),
+        Ok(None) => Err("reference run did not halt within the cycle budget".to_string()),
+        Err(payload) => Err(format!("reference run panicked: {}", panic_message(&*payload))),
+    };
 
     let mut cells = Vec::new();
     for strategy in strategies {
         for &nreg in &config.nreg_sweep {
-            cells.push(run_cell(
-                scenario, strategy.as_ref(), nreg, &workloads, &reference.output, config,
-            ));
+            cells.push(match &reference {
+                Ok(reference) => run_cell(
+                    scenario, strategy.as_ref(), nreg, &workloads, &reference.output, config,
+                ),
+                Err(why) => {
+                    let mut cell = blank_cell(strategy.as_ref(), nreg, config);
+                    cell.status = CellStatus::Error(why.clone());
+                    cell
+                }
+            });
         }
     }
     ScenarioReport {
@@ -229,15 +251,18 @@ fn run_scenario(
     }
 }
 
-fn run_cell(
-    scenario: &Scenario,
-    strategy: &dyn Strategy,
-    nreg: usize,
-    workloads: &[Vec<Workload>],
-    reference_output: &[u8],
-    config: &EvalConfig,
-) -> CellReport {
-    let mut cell = CellReport {
+/// The string a panic unwound with, for error records.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// A cell skeleton with no measurement yet.
+fn blank_cell(strategy: &dyn Strategy, nreg: usize, config: &EvalConfig) -> CellReport {
+    CellReport {
         strategy: strategy.name().to_string(),
         nreg,
         status: CellStatus::Ok,
@@ -251,17 +276,38 @@ fn run_cell(
         registers_used: 0,
         moves: 0,
         spills: 0,
+        degraded_count: 0,
         threads: Vec::new(),
-    };
+    }
+}
 
-    // Compile every PU; any failure marks the whole cell infeasible.
+fn run_cell(
+    scenario: &Scenario,
+    strategy: &dyn Strategy,
+    nreg: usize,
+    workloads: &[Vec<Workload>],
+    reference_output: &[u8],
+    config: &EvalConfig,
+) -> CellReport {
+    let mut cell = blank_cell(strategy, nreg, config);
+
+    // Compile every PU; a structured failure marks the whole cell
+    // infeasible, a panic marks it errored — either way the sweep
+    // continues with the next cell.
     let mut compiled: Vec<CompiledPu> = Vec::with_capacity(workloads.len());
     for (pu, pu_workloads) in workloads.iter().enumerate() {
         let funcs: Vec<Func> = pu_workloads.iter().map(|w| w.func.clone()).collect();
-        match strategy.compile(&funcs, nreg, pu) {
-            Ok(c) => compiled.push(c),
-            Err(reason) => {
+        match catch_unwind(AssertUnwindSafe(|| strategy.compile(&funcs, nreg, pu))) {
+            Ok(Ok(c)) => compiled.push(c),
+            Ok(Err(reason)) => {
                 cell.status = CellStatus::Infeasible(format!("PU{pu}: {reason}"));
+                return cell;
+            }
+            Err(payload) => {
+                cell.status = CellStatus::Error(format!(
+                    "PU{pu}: compile panicked: {}",
+                    panic_message(&*payload)
+                ));
                 return cell;
             }
         }
@@ -269,18 +315,31 @@ fn run_cell(
     cell.registers_used = compiled.iter().map(|c| c.registers_used).max().unwrap_or(0);
     cell.moves = compiled.iter().map(CompiledPu::moves).sum();
     cell.spills = compiled.iter().map(CompiledPu::spills).sum();
+    cell.degraded_count = compiled.iter().map(|c| c.degraded).sum();
 
     let funcs: Vec<Vec<Func>> = compiled.iter().map(|c| c.funcs.clone()).collect();
     let sanitizers: Vec<SanitizerConfig> =
         compiled.iter().map(|c| c.sanitizer.clone()).collect();
-    let Some(run) = run_chip(
-        &funcs,
-        workloads,
-        config,
-        config.sanitize.then_some(sanitizers.as_slice()),
-    ) else {
-        cell.status = CellStatus::Timeout;
-        return cell;
+    let degraded: Vec<u64> = compiled.iter().map(|c| c.degraded as u64).collect();
+    let run = match catch_unwind(AssertUnwindSafe(|| {
+        run_chip(
+            &funcs,
+            workloads,
+            config,
+            config.sanitize.then_some(sanitizers.as_slice()),
+            &degraded,
+        )
+    })) {
+        Ok(Some(run)) => run,
+        Ok(None) => {
+            cell.status = CellStatus::Timeout;
+            return cell;
+        }
+        Err(payload) => {
+            cell.status =
+                CellStatus::Error(format!("run panicked: {}", panic_message(&*payload)));
+            return cell;
+        }
     };
     cell.cycles = run.cycles;
     cell.throughput_ipkc = run.throughput_ipkc();
@@ -336,18 +395,24 @@ impl ChipRun {
 }
 
 /// Runs one function set on a chip with the scenario's PU topology;
-/// `None` when a thread fails to halt within the budget.
+/// `None` when a thread fails to halt within the budget. `degraded`
+/// holds per-PU ladder-descent counts to stamp into the run reports
+/// (empty for reference runs and non-ladder strategies).
 fn run_chip(
     pu_funcs: &[Vec<Func>],
     workloads: &[Vec<Workload>],
     config: &EvalConfig,
     sanitizers: Option<&[SanitizerConfig]>,
+    degraded: &[u64],
 ) -> Option<ChipRun> {
     let mut chip = Chip::new(SimConfig::default(), pu_funcs.len());
     if let Some(configs) = sanitizers {
         for (pu, cfg) in configs.iter().enumerate() {
             chip.enable_sanitizer(pu, cfg.clone());
         }
+    }
+    for (pu, &count) in degraded.iter().enumerate() {
+        chip.pu_mut(pu).note_degraded(count);
     }
     for w in workloads.iter().flatten() {
         w.prepare(chip.memory_mut(), config.seed + w.slot as u64);
@@ -457,6 +522,7 @@ impl CellReport {
             CellStatus::Ok => ("ok", None),
             CellStatus::Infeasible(why) => ("infeasible", Some(why.clone())),
             CellStatus::Timeout => ("timeout", None),
+            CellStatus::Error(why) => ("error", Some(why.clone())),
         };
         let mut members = vec![
             ("strategy".into(), Json::str(&self.strategy)),
@@ -496,6 +562,10 @@ impl CellReport {
                 ("moves".into(), Json::uint(self.moves as u64)),
                 ("spills".into(), Json::uint(self.spills as u64)),
                 (
+                    "degraded_count".into(),
+                    Json::uint(self.degraded_count as u64),
+                ),
+                (
                     "threads".into(),
                     Json::Arr(self.threads.iter().map(ThreadReport::to_json).collect()),
                 ),
@@ -528,10 +598,13 @@ impl ThreadReport {
 
 /// Validates a parsed `BENCH_EVAL.json` document: schema shape, full
 /// scenario × strategy × `Nreg` coverage, all checksums green, no
-/// safety violations, every scenario × strategy feasible somewhere in
-/// the sweep, and the paper's qualitative result — on a
-/// register-hungry scenario, `balanced` throughput at the largest file
-/// must be at least `fixed-partition`'s.
+/// safety violations, a `degraded_count` on every measured cell,
+/// no `error` cells (a cell that panicked is recorded in the document
+/// but fails validation, with its reason in the message), every
+/// scenario × strategy feasible somewhere in the sweep, and the
+/// paper's qualitative result — on a register-hungry scenario,
+/// `balanced` throughput at the largest file must be at least
+/// `fixed-partition`'s.
 ///
 /// # Errors
 ///
@@ -610,8 +683,20 @@ pub fn validate_json(doc: &Json) -> Result<String, String> {
                                 ));
                             }
                         }
+                        if cell.get("degraded_count").and_then(|v| v.as_u64()).is_none() {
+                            return Err(format!(
+                                "{name}: {strategy}@{nreg} missing degraded_count"
+                            ));
+                        }
                     }
                     "infeasible" => {}
+                    "error" => {
+                        let why = cell
+                            .get("reason")
+                            .and_then(Json::as_str)
+                            .unwrap_or("no reason recorded");
+                        return Err(format!("{name}: {strategy}@{nreg} errored: {why}"));
+                    }
                     other => return Err(format!("{name}: {strategy}@{nreg} status `{other}`")),
                 }
             }
@@ -644,4 +729,75 @@ pub fn validate_json(doc: &Json) -> Result<String, String> {
         strategies.len(),
         sweep.len()
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A strategy that dies the way a buggy allocator would.
+    struct Panicky;
+
+    impl Strategy for Panicky {
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+
+        fn compile(&self, _: &[Func], _: usize, _: usize) -> Result<CompiledPu, String> {
+            panic!("boom at compile time");
+        }
+    }
+
+    #[test]
+    fn a_panicking_strategy_marks_the_cell_errored() {
+        let config = EvalConfig {
+            packets: 2,
+            nreg_sweep: vec![48],
+            ..EvalConfig::smoke()
+        };
+        let suite = scenarios();
+        let scenario = &suite[0];
+        let workloads = scenario.workloads(config.packets);
+        let cell = run_cell(scenario, &Panicky, 48, &workloads, &[], &config);
+        let CellStatus::Error(why) = &cell.status else {
+            panic!("expected an error cell, got {:?}", cell.status);
+        };
+        assert!(why.contains("boom"), "reason carries the panic message: {why}");
+        // The record serialises with the failure, keeping the document
+        // parseable, but validation rejects it with the reason.
+        let text = cell.to_json().pretty();
+        assert!(text.contains("\"status\": \"error\""));
+        assert!(text.contains("boom at compile time"));
+    }
+
+    #[test]
+    fn a_dead_reference_run_errors_the_scenario_but_not_the_sweep() {
+        // A 10-cycle budget kills the virtual-register reference run;
+        // every cell of the scenario must carry an error record instead
+        // of the harness aborting.
+        let config = EvalConfig {
+            packets: 2,
+            nreg_sweep: vec![48],
+            cycle_budget: 10,
+            ..EvalConfig::smoke()
+        };
+        let suite = scenarios();
+        let report = run_eval_on(&config, &suite[..3]);
+        assert_eq!(report.scenarios.len(), 3);
+        for scenario in &report.scenarios {
+            assert!(!scenario.cells.is_empty());
+            for cell in &scenario.cells {
+                assert!(
+                    matches!(&cell.status, CellStatus::Error(why) if why.contains("reference")),
+                    "expected reference-failure error, got {:?}",
+                    cell.status
+                );
+            }
+        }
+        // The poisoned document still serialises and parses; validation
+        // reports the first errored cell.
+        let doc = crate::json::parse(&report.to_json_string()).expect("document parses");
+        let err = validate_json(&doc).expect_err("error cells must fail validation");
+        assert!(err.contains("errored"), "{err}");
+    }
 }

@@ -16,9 +16,16 @@
 //!   ([`regbal_core::allocate_threads_with_spill_at`]): balancing
 //!   first, spilling the cheapest ranges of the most demanding thread
 //!   only when sharing alone cannot fit.
+//! * [`Ladder`] — the graceful-degradation pipeline
+//!   ([`regbal_core::allocate_ladder_with`]): never reports
+//!   infeasibility while any fallback rung can still deliver; each
+//!   forced transition is counted in [`CompiledPu::degraded`].
 
 use regbal_core::chaitin::{self, ChaitinConfig};
-use regbal_core::{allocate_threads, allocate_threads_with_spill_at, MultiAllocation};
+use regbal_core::{
+    allocate_ladder_with, allocate_threads, allocate_threads_with_spill_at, EngineConfig,
+    LadderConfig, LadderOutcome, MultiAllocation,
+};
 use regbal_ir::{Func, MemSpace};
 use regbal_sim::SanitizerConfig;
 
@@ -33,6 +40,14 @@ const HYBRID_SPILL_BASE: i64 = 0x8_0000;
 
 /// Bytes of spill area reserved per PU for the hybrid strategy.
 const HYBRID_SPILL_STRIDE: i64 = 0x8000;
+
+/// Spill region of the ladder strategy, per PU. A full ladder packs
+/// its three spilling rungs into `0x3_0000` bytes, so two PUs fit
+/// below the 1 MiB SRAM ceiling.
+const LADDER_SPILL_BASE: i64 = 0xA_0000;
+
+/// Bytes of spill region reserved per PU for the ladder strategy.
+const LADDER_SPILL_STRIDE: i64 = 0x3_0000;
 
 /// Allocation statistics of one compiled thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +76,10 @@ pub struct CompiledPu {
     /// The bank layout and fragment ownership the strategy promises,
     /// ready to arm the simulator's register-clobber sanitizer.
     pub sanitizer: SanitizerConfig,
+    /// Fallback-ladder transitions taken to produce this code (always
+    /// 0 for the single-rung strategies; the [`Ladder`] strategy
+    /// reports its [`regbal_core::LadderAllocation::degraded_count`]).
+    pub degraded: usize,
 }
 
 impl CompiledPu {
@@ -164,6 +183,7 @@ impl Strategy for FixedPartition {
                     .collect(),
                 None,
             ),
+            degraded: 0,
         })
     }
 }
@@ -190,6 +210,7 @@ impl Strategy for Balanced {
             funcs: alloc.rewrite_funcs(funcs),
             threads,
             registers_used: alloc.total_registers(),
+            degraded: 0,
         })
     }
 }
@@ -220,16 +241,66 @@ impl Strategy for BalancedSpill {
             funcs: hybrid.rewrite(),
             threads,
             registers_used: hybrid.alloc.total_registers(),
+            degraded: 0,
         })
     }
 }
 
-/// The three strategies of the study, in report order.
+/// The graceful-degradation pipeline: balanced, then balanced-spill,
+/// then fixed-partition, then spill-all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ladder;
+
+impl Strategy for Ladder {
+    fn name(&self) -> &'static str {
+        "ladder"
+    }
+
+    fn compile(&self, funcs: &[Func], nreg: usize, pu: usize) -> Result<CompiledPu, String> {
+        let config = LadderConfig {
+            engine: EngineConfig::default(),
+            spill_space: MemSpace::Sram,
+            spill_base: LADDER_SPILL_BASE + (pu as i64) * LADDER_SPILL_STRIDE,
+        };
+        let alloc = allocate_ladder_with(funcs, nreg, &config).map_err(|e| e.to_string())?;
+        let threads = alloc
+            .thread_summaries()
+            .iter()
+            .map(|s| ThreadCode {
+                pr: s.pr,
+                sr: s.sr,
+                moves: s.moves,
+                spills: s.spills,
+            })
+            .collect();
+        let sanitizer = match (&alloc.outcome, alloc.balanced_alloc()) {
+            (_, Some(balanced)) => balanced_sanitizer(balanced),
+            (LadderOutcome::Partitioned { k, .. }, None) => SanitizerConfig::with_layout(
+                (0..funcs.len())
+                    .map(|t| (t * k) as u32..((t + 1) * k) as u32)
+                    .collect(),
+                None,
+            ),
+            // `balanced_alloc` covers every non-partitioned outcome.
+            (_, None) => SanitizerConfig::default(),
+        };
+        Ok(CompiledPu {
+            funcs: alloc.rewrite().map_err(|e| e.to_string())?,
+            registers_used: alloc.registers_used(),
+            threads,
+            sanitizer,
+            degraded: alloc.degraded_count(),
+        })
+    }
+}
+
+/// The strategies of the study, in report order.
 pub fn all_strategies() -> Vec<Box<dyn Strategy>> {
     vec![
         Box::new(FixedPartition),
         Box::new(Balanced),
         Box::new(BalancedSpill),
+        Box::new(Ladder),
     ]
 }
 
@@ -295,6 +366,49 @@ mod tests {
         assert!(
             !balanced.sanitizer.fragments.is_empty(),
             "fragment tags must ride along for diagnostics"
+        );
+    }
+
+    #[test]
+    fn ladder_is_clean_where_balanced_fits() {
+        let funcs = pu_funcs();
+        let ladder = Ladder.compile(&funcs, 48, 0).unwrap();
+        assert_eq!(ladder.degraded, 0, "no fallback needed at 48");
+        let balanced = Balanced.compile(&funcs, 48, 0).unwrap();
+        assert_eq!(ladder.threads, balanced.threads, "top rung IS balanced");
+        assert_eq!(ladder.funcs, balanced.funcs);
+    }
+
+    #[test]
+    fn ladder_degrades_instead_of_failing() {
+        let funcs = pu_funcs();
+        // Balanced alone is infeasible at 32 — the ladder reports a
+        // degradation, never an error.
+        assert!(Balanced.compile(&funcs, 32, 0).is_err());
+        let c = Ladder.compile(&funcs, 32, 0).unwrap();
+        assert!(c.degraded >= 1, "must record the forced transition");
+        assert!(c.spills() > 0);
+        assert!(c.registers_used <= 32);
+        for f in &c.funcs {
+            f.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn ladder_spill_areas_differ_per_pu() {
+        let funcs = pu_funcs();
+        let a = Ladder.compile(&funcs, 32, 0).unwrap();
+        let b = Ladder.compile(&funcs, 32, 1).unwrap();
+        assert_eq!(a.degraded, b.degraded);
+        assert_ne!(a.funcs, b.funcs, "spill addresses must differ across PUs");
+    }
+
+    #[test]
+    fn all_strategies_include_the_ladder() {
+        let names: Vec<&str> = all_strategies().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["fixed-partition", "balanced", "balanced-spill", "ladder"]
         );
     }
 

@@ -107,13 +107,14 @@ fn inline_func(
         let call_at = blocks[bi]
             .insts
             .iter()
-            .position(|i| matches!(i, Inst::Call { .. }));
-        let Some(idx) = call_at else {
+            .enumerate()
+            .find_map(|(i, inst)| match inst {
+                Inst::Call { callee } => Some((i, callee.clone())),
+                _ => None,
+            });
+        let Some((idx, callee)) = call_at else {
             bi += 1;
             continue;
-        };
-        let Inst::Call { callee } = blocks[bi].insts[idx].clone() else {
-            unreachable!("position matched a call");
         };
         let callee_func = by_name.get(callee.as_str()).copied().ok_or_else(|| {
             InlineError::UnknownCallee {

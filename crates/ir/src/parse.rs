@@ -28,26 +28,31 @@ use crate::reg::{Operand, PReg, Reg, VReg};
 use std::collections::HashMap;
 use std::fmt;
 
-/// A parse failure, with the 1-based source line where it occurred.
+/// A parse failure, with the 1-based source line and (byte) column
+/// where it occurred.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// 1-based byte column of the offending token within its raw
+    /// source line (column 1 for whole-line problems).
+    pub col: usize,
     /// Human-readable description of the problem.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
     }
 }
 
 impl std::error::Error for ParseError {}
 
-fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+fn err<T>(line: usize, col: usize, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError {
         line,
+        col,
         message: message.into(),
     })
 }
@@ -60,9 +65,10 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 /// undefined labels, unterminated blocks, or trailing input.
 pub fn parse_func(src: &str) -> Result<Func, ParseError> {
     let mut funcs = parse_module(src)?;
-    match funcs.len() {
-        1 => Ok(funcs.pop().expect("length checked")),
-        n => err(1, format!("expected exactly one function, found {n}")),
+    let n = funcs.len();
+    match funcs.pop() {
+        Some(f) if n == 1 => Ok(f),
+        _ => err(1, 1, format!("expected exactly one function, found {n}")),
     }
 }
 
@@ -74,8 +80,8 @@ pub fn parse_func(src: &str) -> Result<Func, ParseError> {
 pub fn parse_module(src: &str) -> Result<Vec<Func>, ParseError> {
     let mut parser = Parser::new(src);
     let mut funcs = Vec::new();
-    while let Some((line_no, line)) = parser.next_line() {
-        let mut toks = Tokens::new(line, line_no);
+    while let Some(line) = parser.next_line() {
+        let mut toks = Tokens::new(line);
         match toks.next() {
             Some("func") => {
                 let name = toks.ident("function name")?;
@@ -83,11 +89,29 @@ pub fn parse_module(src: &str) -> Result<Vec<Func>, ParseError> {
                 toks.finish()?;
                 funcs.push(parser.parse_func_body(name)?);
             }
-            Some(other) => return err(line_no, format!("expected `func`, found `{other}`")),
-            None => unreachable!("blank lines are skipped"),
+            Some(other) => {
+                return err(
+                    line.no,
+                    toks.last_col,
+                    format!("expected `func`, found `{other}`"),
+                )
+            }
+            // `next_line` only yields non-blank lines; an empty token
+            // stream here means the source mutated under us — skip it.
+            None => continue,
         }
     }
     Ok(funcs)
+}
+
+/// One significant source line: its 1-based number, the 1-based byte
+/// column its first token starts at, and the comment-stripped, trimmed
+/// text.
+#[derive(Clone, Copy)]
+struct Line<'a> {
+    no: usize,
+    col_base: usize,
+    text: &'a str,
 }
 
 struct Parser<'a> {
@@ -101,16 +125,18 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// Next non-blank, non-comment line as (1-based number, trimmed text).
-    fn next_line(&mut self) -> Option<(usize, &'a str)> {
+    /// Next non-blank, non-comment line.
+    fn next_line(&mut self) -> Option<Line<'a>> {
         for (i, raw) in self.lines.by_ref() {
-            let line = raw
-                .split([';', '#'])
-                .next()
-                .unwrap_or("")
-                .trim();
-            if !line.is_empty() {
-                return Some((i + 1, line));
+            let stripped = raw.split([';', '#']).next().unwrap_or("");
+            let text = stripped.trim();
+            if !text.is_empty() {
+                let col_base = 1 + stripped.len() - stripped.trim_start().len();
+                return Some(Line {
+                    no: i + 1,
+                    col_base,
+                    text,
+                });
             }
         }
         None
@@ -119,7 +145,7 @@ impl<'a> Parser<'a> {
     fn parse_func_body(&mut self, name: String) -> Result<Func, ParseError> {
         let mut labels: HashMap<String, BlockId> = HashMap::new();
         let mut blocks: Vec<(Vec<Inst>, Option<PendingTerm>, usize)> = Vec::new();
-        let mut entry_label: Option<(String, usize)> = None;
+        let mut entry_label: Option<(String, usize, usize)> = None;
         let mut current: Option<usize> = None;
         let mut last_line = 0;
 
@@ -129,43 +155,50 @@ impl<'a> Parser<'a> {
         };
 
         loop {
-            let Some((line_no, line)) = self.next_line() else {
-                return err(last_line + 1, "unexpected end of input, missing `}`");
+            let Some(line) = self.next_line() else {
+                return err(last_line + 1, 1, "unexpected end of input, missing `}`");
             };
+            let line_no = line.no;
             last_line = line_no;
-            if line == "}" {
+            if line.text == "}" {
                 break;
             }
-            if let Some(label) = line.strip_suffix(':') {
+            if let Some(label) = line.text.strip_suffix(':') {
                 let label = label.trim();
                 if !is_ident(label) {
-                    return err(line_no, format!("bad label `{label}`"));
+                    return err(line_no, line.col_base, format!("bad label `{label}`"));
                 }
                 let id = intern(&mut labels, label);
                 while blocks.len() <= id.index() {
                     blocks.push((Vec::new(), None, line_no));
                 }
                 if current == Some(id.index()) || blocks[id.index()].1.is_some() {
-                    return err(line_no, format!("label `{label}` defined twice"));
+                    return err(
+                        line_no,
+                        line.col_base,
+                        format!("label `{label}` defined twice"),
+                    );
                 }
                 blocks[id.index()].2 = line_no;
                 current = Some(id.index());
                 continue;
             }
 
-            let mut toks = Tokens::new(line, line_no);
-            let first = toks.next().expect("line is non-empty");
+            let mut toks = Tokens::new(line);
+            // `next_line` yields non-blank lines only, so the stream
+            // always has a first token; bail out defensively otherwise.
+            let Some(first) = toks.next() else { continue };
             if first == "entry" {
                 let label = toks.ident("entry label")?;
                 toks.finish()?;
-                entry_label = Some((label, line_no));
+                entry_label = Some((label, line_no, line.col_base));
                 continue;
             }
             let Some(cur) = current else {
-                return err(line_no, "instruction before any block label");
+                return err(line_no, line.col_base, "instruction before any block label");
             };
             if blocks[cur].1.is_some() {
-                return err(line_no, "instruction after block terminator");
+                return err(line_no, line.col_base, "instruction after block terminator");
             }
             match parse_stmt(first, &mut toks)? {
                 Stmt::Inst(inst) => blocks[cur].0.push(inst),
@@ -175,10 +208,10 @@ impl<'a> Parser<'a> {
 
         // Resolve labels and terminators. Only label *definitions* are
         // interned, so presence in the map means the block exists.
-        let resolve = |label: &str, line: usize| -> Result<BlockId, ParseError> {
+        let resolve = |label: &str, line: usize, col: usize| -> Result<BlockId, ParseError> {
             match labels.get(label) {
                 Some(&id) => Ok(id),
-                None => err(line, format!("undefined label `{label}`")),
+                None => err(line, col, format!("undefined label `{label}`")),
             }
         };
 
@@ -187,11 +220,14 @@ impl<'a> Parser<'a> {
             let Some(term) = term else {
                 return err(
                     line,
+                    1,
                     format!("block #{idx} has no terminator before next label or `}}`"),
                 );
             };
             let term = match term {
-                PendingTerm::Jump(label, line) => Terminator::Jump(resolve(&label, line)?),
+                PendingTerm::Jump(label, line, col) => {
+                    Terminator::Jump(resolve(&label, line, col)?)
+                }
                 PendingTerm::Branch {
                     cond,
                     lhs,
@@ -199,22 +235,23 @@ impl<'a> Parser<'a> {
                     taken,
                     fallthrough,
                     line,
+                    col,
                 } => Terminator::Branch {
                     cond,
                     lhs,
                     rhs,
-                    taken: resolve(&taken, line)?,
-                    fallthrough: resolve(&fallthrough, line)?,
+                    taken: resolve(&taken, line, col)?,
+                    fallthrough: resolve(&fallthrough, line, col)?,
                 },
                 PendingTerm::Halt => Terminator::Halt,
             };
             out_blocks.push(Block::new(insts, term));
         }
         if out_blocks.is_empty() {
-            return err(last_line, "function has no blocks");
+            return err(last_line, 1, "function has no blocks");
         }
         let entry = match entry_label {
-            Some((label, line)) => resolve(&label, line)?,
+            Some((label, line, col)) => resolve(&label, line, col)?,
             None => BlockId(0),
         };
         let mut func = Func::new(name, out_blocks, entry, 0);
@@ -222,6 +259,7 @@ impl<'a> Parser<'a> {
         func.validate()
             .map_err(|e| ParseError {
                 line: last_line,
+                col: 1,
                 message: e.to_string(),
             })?;
         Ok(func)
@@ -234,7 +272,7 @@ enum Stmt {
 }
 
 enum PendingTerm {
-    Jump(String, usize),
+    Jump(String, usize, usize),
     Branch {
         cond: Cond,
         lhs: Reg,
@@ -242,12 +280,14 @@ enum PendingTerm {
         taken: String,
         fallthrough: String,
         line: usize,
+        col: usize,
     },
     Halt,
 }
 
 fn parse_stmt(first: &str, toks: &mut Tokens<'_>) -> Result<Stmt, ParseError> {
     let line = toks.line_no;
+    let first_col = toks.last_col;
     match first {
         "call" => {
             let callee = toks.ident("callee name")?;
@@ -271,13 +311,16 @@ fn parse_stmt(first: &str, toks: &mut Tokens<'_>) -> Result<Stmt, ParseError> {
             Ok(Stmt::Term(PendingTerm::Halt))
         }
         "jump" => {
+            let col = toks.peek_col();
             let label = toks.ident("jump target")?;
             toks.finish()?;
-            Ok(Stmt::Term(PendingTerm::Jump(label, line)))
+            Ok(Stmt::Term(PendingTerm::Jump(label, line, col)))
         }
         "store" => {
-            let (space, base, offset) = parse_addr(toks.next_or("address")?, line)?;
-            let src = parse_reg(toks.next_or("source register")?, line)?;
+            let tok = toks.next_or("address")?;
+            let (space, base, offset) = parse_addr(tok, line, toks.last_col)?;
+            let tok = toks.next_or("source register")?;
+            let src = parse_reg(tok, line, toks.last_col)?;
             toks.finish()?;
             Ok(Stmt::Inst(Inst::Store {
                 src,
@@ -287,14 +330,16 @@ fn parse_stmt(first: &str, toks: &mut Tokens<'_>) -> Result<Stmt, ParseError> {
             }))
         }
         "loadb" | "storeb" => {
-            let (space, base, offset) = parse_addr(toks.next_or("address")?, line)?;
+            let tok = toks.next_or("address")?;
+            let (space, base, offset) = parse_addr(tok, line, toks.last_col)?;
             let mut regs = Vec::new();
             while let Some(tok) = toks.next() {
-                regs.push(parse_reg(tok, line)?);
+                regs.push(parse_reg(tok, line, toks.last_col)?);
             }
             if regs.is_empty() || regs.len() > crate::inst::MAX_BURST {
                 return err(
                     line,
+                    first_col,
                     format!("burst needs 1..={} registers", crate::inst::MAX_BURST),
                 );
             }
@@ -314,32 +359,37 @@ fn parse_stmt(first: &str, toks: &mut Tokens<'_>) -> Result<Stmt, ParseError> {
                 }
             }))
         }
-        tok if tok.starts_with('b') && Cond::ALL.iter().any(|c| c.mnemonic() == &tok[1..]) => {
-            let cond = Cond::ALL
-                .into_iter()
-                .find(|c| c.mnemonic() == &tok[1..])
-                .expect("checked by guard");
-            let lhs = parse_reg(toks.next_or("branch lhs")?, line)?;
-            let rhs = parse_operand(toks.next_or("branch rhs")?, line)?;
-            let taken = toks.ident("taken label")?;
-            let fallthrough = toks.ident("fallthrough label")?;
-            toks.finish()?;
-            Ok(Stmt::Term(PendingTerm::Branch {
-                cond,
-                lhs,
-                rhs,
-                taken,
-                fallthrough,
-                line,
-            }))
-        }
-        dst_tok => {
-            // `<reg> = <op> ...` forms.
-            let dst = parse_reg(dst_tok, line)?;
+        tok => {
+            // `bCC ...` branch or `<reg> = <op> ...` forms.
+            if let Some(cond) = tok
+                .strip_prefix('b')
+                .and_then(|m| Cond::ALL.into_iter().find(|c| c.mnemonic() == m))
+            {
+                let t = toks.next_or("branch lhs")?;
+                let lhs = parse_reg(t, line, toks.last_col)?;
+                let t = toks.next_or("branch rhs")?;
+                let rhs = parse_operand(t, line, toks.last_col)?;
+                let col = toks.peek_col();
+                let taken = toks.ident("taken label")?;
+                let fallthrough = toks.ident("fallthrough label")?;
+                toks.finish()?;
+                return Ok(Stmt::Term(PendingTerm::Branch {
+                    cond,
+                    lhs,
+                    rhs,
+                    taken,
+                    fallthrough,
+                    line,
+                    col,
+                }));
+            }
+            let dst = parse_reg(tok, line, first_col)?;
             toks.expect("=")?;
             let mnem = toks.next_or("mnemonic")?;
+            let mnem_col = toks.last_col;
             if mnem == "load" {
-                let (space, base, offset) = parse_addr(toks.next_or("address")?, line)?;
+                let t = toks.next_or("address")?;
+                let (space, base, offset) = parse_addr(t, line, toks.last_col)?;
                 toks.finish()?;
                 return Ok(Stmt::Inst(Inst::Load {
                     dst,
@@ -349,27 +399,31 @@ fn parse_stmt(first: &str, toks: &mut Tokens<'_>) -> Result<Stmt, ParseError> {
                 }));
             }
             if let Some(op) = BinOp::ALL.into_iter().find(|o| o.mnemonic() == mnem) {
-                let lhs = parse_reg(toks.next_or("lhs register")?, line)?;
-                let rhs = parse_operand(toks.next_or("rhs operand")?, line)?;
+                let t = toks.next_or("lhs register")?;
+                let lhs = parse_reg(t, line, toks.last_col)?;
+                let t = toks.next_or("rhs operand")?;
+                let rhs = parse_operand(t, line, toks.last_col)?;
                 toks.finish()?;
                 return Ok(Stmt::Inst(Inst::Bin { op, dst, lhs, rhs }));
             }
             if let Some(op) = UnOp::ALL.into_iter().find(|o| o.mnemonic() == mnem) {
-                let src = parse_operand(toks.next_or("source operand")?, line)?;
+                let t = toks.next_or("source operand")?;
+                let src = parse_operand(t, line, toks.last_col)?;
                 toks.finish()?;
                 return Ok(Stmt::Inst(Inst::Un { op, dst, src }));
             }
-            err(line, format!("unknown mnemonic `{mnem}`"))
+            err(line, mnem_col, format!("unknown mnemonic `{mnem}`"))
         }
     }
 }
 
 /// Parses `space[reg+off]` / `space[reg-off]`.
-fn parse_addr(tok: &str, line: usize) -> Result<(MemSpace, Reg, i64), ParseError> {
+fn parse_addr(tok: &str, line: usize, col: usize) -> Result<(MemSpace, Reg, i64), ParseError> {
     let open = tok
         .find('[')
         .ok_or_else(|| ParseError {
             line,
+            col,
             message: format!("expected `space[base+offset]`, found `{tok}`"),
         })?;
     let space_name = &tok[..open];
@@ -378,12 +432,14 @@ fn parse_addr(tok: &str, line: usize) -> Result<(MemSpace, Reg, i64), ParseError
         .find(|s| s.name() == space_name)
         .ok_or_else(|| ParseError {
             line,
+            col,
             message: format!("unknown memory space `{space_name}`"),
         })?;
     let inner = tok[open + 1..]
         .strip_suffix(']')
         .ok_or_else(|| ParseError {
             line,
+            col,
             message: format!("missing `]` in `{tok}`"),
         })?;
     let split = inner
@@ -393,17 +449,19 @@ fn parse_addr(tok: &str, line: usize) -> Result<(MemSpace, Reg, i64), ParseError
         .map(|(i, _)| i)
         .ok_or_else(|| ParseError {
             line,
+            col,
             message: format!("missing offset in `{tok}`"),
         })?;
-    let base = parse_reg(&inner[..split], line)?;
+    let base = parse_reg(&inner[..split], line, col)?;
     let offset: i64 = inner[split..].parse().map_err(|_| ParseError {
         line,
+        col,
         message: format!("bad offset in `{tok}`"),
     })?;
     Ok((space, base, offset))
 }
 
-fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+fn parse_reg(tok: &str, line: usize, col: usize) -> Result<Reg, ParseError> {
     let tok = tok.trim_end_matches(',');
     let parse_idx = |s: &str| s.parse::<u32>().ok();
     if let Some(rest) = tok.strip_prefix('v') {
@@ -416,18 +474,21 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
             return Ok(Reg::Phys(PReg(i)));
         }
     }
-    err(line, format!("expected register, found `{tok}`"))
+    err(line, col, format!("expected register, found `{tok}`"))
 }
 
-fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+fn parse_operand(tok: &str, line: usize, col: usize) -> Result<Operand, ParseError> {
     let tok = tok.trim_end_matches(',');
     if let Ok(i) = tok.parse::<i64>() {
         return Ok(Operand::Imm(i));
     }
-    parse_reg(tok, line).map(Operand::Reg).map_err(|_| ParseError {
-        line,
-        message: format!("expected register or immediate, found `{tok}`"),
-    })
+    parse_reg(tok, line, col)
+        .map(Operand::Reg)
+        .map_err(|_| ParseError {
+            line,
+            col,
+            message: format!("expected register or immediate, found `{tok}`"),
+        })
 }
 
 fn is_ident(s: &str) -> bool {
@@ -437,36 +498,69 @@ fn is_ident(s: &str) -> bool {
         && !s.starts_with(|c: char| c.is_ascii_digit())
 }
 
+/// Whitespace tokenizer that remembers where each token sits in the
+/// raw source line, so errors can point at the offending column.
 struct Tokens<'a> {
-    inner: std::str::SplitWhitespace<'a>,
+    text: &'a str,
+    /// Byte offset of the next unread character of `text`.
+    pos: usize,
     line_no: usize,
+    /// 1-based byte column of `text[0]` in the raw source line.
+    col_base: usize,
+    /// Column of the most recently returned token.
+    last_col: usize,
 }
 
 impl<'a> Tokens<'a> {
-    fn new(line: &'a str, line_no: usize) -> Self {
+    fn new(line: Line<'a>) -> Self {
         Tokens {
-            inner: line.split_whitespace(),
-            line_no,
+            text: line.text,
+            pos: 0,
+            line_no: line.no,
+            col_base: line.col_base,
+            last_col: line.col_base,
         }
     }
 
+    /// Column the *next* token would start at (or just past the end of
+    /// the line when exhausted).
+    fn peek_col(&self) -> usize {
+        let rest = &self.text[self.pos..];
+        let skip = rest.len() - rest.trim_start().len();
+        self.col_base + self.pos + skip
+    }
+
     fn next(&mut self) -> Option<&'a str> {
+        let rest = &self.text[self.pos..];
+        let skip = rest.len() - rest.trim_start().len();
+        let start = self.pos + skip;
+        if start >= self.text.len() {
+            self.pos = self.text.len();
+            return None;
+        }
+        let rest = &self.text[start..];
+        let len = rest.find(char::is_whitespace).unwrap_or(rest.len());
+        self.pos = start + len;
+        self.last_col = self.col_base + start;
         // Commas are separators; tolerate them attached to a token.
-        self.inner.next().map(|t| t.trim_end_matches(','))
+        Some(rest[..len].trim_end_matches(','))
     }
 
     fn next_or(&mut self, what: &str) -> Result<&'a str, ParseError> {
+        let col = self.peek_col();
         self.next().ok_or_else(|| ParseError {
             line: self.line_no,
+            col,
             message: format!("expected {what}"),
         })
     }
 
     fn expect(&mut self, tok: &str) -> Result<(), ParseError> {
+        let col = self.peek_col();
         match self.next() {
             Some(t) if t == tok => Ok(()),
-            Some(t) => err(self.line_no, format!("expected `{tok}`, found `{t}`")),
-            None => err(self.line_no, format!("expected `{tok}`")),
+            Some(t) => err(self.line_no, col, format!("expected `{tok}`, found `{t}`")),
+            None => err(self.line_no, col, format!("expected `{tok}`")),
         }
     }
 
@@ -475,14 +569,15 @@ impl<'a> Tokens<'a> {
         if is_ident(tok) {
             Ok(tok.to_string())
         } else {
-            err(self.line_no, format!("bad {what} `{tok}`"))
+            err(self.line_no, self.last_col, format!("bad {what} `{tok}`"))
         }
     }
 
     fn finish(&mut self) -> Result<(), ParseError> {
+        let col = self.peek_col();
         match self.next() {
             None => Ok(()),
-            Some(t) => err(self.line_no, format!("unexpected trailing token `{t}`")),
+            Some(t) => err(self.line_no, col, format!("unexpected trailing token `{t}`")),
         }
     }
 }
@@ -553,6 +648,33 @@ done:
         let src = "func f {\nbb0:\n jump nowhere\n}";
         let e = parse_func(src).unwrap_err();
         assert!(e.message.contains("undefined label"), "{e}");
+        assert_eq!(e.line, 3);
+        assert_eq!(e.col, 7, "`nowhere` starts at column 7: {e}");
+    }
+
+    #[test]
+    fn errors_point_at_the_offending_column() {
+        // `frob` sits at byte column 7 of its line.
+        let src = "func f {\nbb0:\n v0 = frob v1, 2\n halt\n}";
+        let e = parse_func(src).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 7), "{e}");
+        assert!(e.to_string().contains("line 3, col 7"), "{e}");
+
+        // A bad register as a binop lhs: `x9` at column 11.
+        let src = "func f {\nbb0:\n v0 = add x9, 2\n halt\n}";
+        let e = parse_func(src).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 11), "{e}");
+
+        // Missing operand reports the column just past the line end.
+        let src = "func f {\nbb0:\n v0 = add\n halt\n}";
+        let e = parse_func(src).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 10), "{e}");
+        assert!(e.message.contains("expected lhs register"), "{e}");
+
+        // Comments don't shift columns: `frob` still at its raw column.
+        let src = "func f {\nbb0:\n v0 = frob 1 ; comment\n halt\n}";
+        let e = parse_func(src).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 7), "{e}");
     }
 
     #[test]

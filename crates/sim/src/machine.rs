@@ -160,6 +160,11 @@ pub struct RunReport {
     pub sanitizer: Vec<SanitizerReport>,
     /// Sanitizer reports dropped past the configured cap.
     pub sanitizer_dropped: u64,
+    /// Fallback-ladder transitions the allocator took to produce this
+    /// PU's code (stamped by the harness via
+    /// [`Simulator::note_degraded`]; 0 means the primary strategy
+    /// succeeded directly).
+    pub degraded: u64,
 }
 
 impl RunReport {
@@ -215,6 +220,9 @@ pub struct Simulator {
     error: Option<SimError>,
     /// Per-space earliest next issue time under `serialize_memory`.
     port_free: [u64; 3],
+    /// Degradation count stamped by the harness (plain data: the
+    /// simulator does not depend on the allocator).
+    degraded: u64,
 }
 
 impl Simulator {
@@ -235,7 +243,14 @@ impl Simulator {
             sanitizer: None,
             error: None,
             port_free: [0; 3],
+            degraded: 0,
         }
+    }
+
+    /// Records how many fallback-ladder transitions the allocator took
+    /// for this PU's code; surfaced verbatim in [`RunReport::degraded`].
+    pub fn note_degraded(&mut self, count: u64) {
+        self.degraded = count;
     }
 
     /// Completion time of a memory access issued now, honouring the
@@ -758,6 +773,7 @@ impl Simulator {
             error: self.error.clone(),
             sanitizer: self.sanitizer_reports().to_vec(),
             sanitizer_dropped: self.sanitizer_dropped(),
+            degraded: self.degraded,
         }
     }
 }

@@ -53,10 +53,12 @@
 mod kernels;
 mod layout;
 mod packet;
+pub mod stress;
 
 pub use kernels::Kernel;
 pub use layout::Bases;
 pub use packet::fill_packets;
+pub use stress::{stress_bundle, stress_program, StressConfig};
 
 use regbal_ir::Func;
 use regbal_sim::Memory;

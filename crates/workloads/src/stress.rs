@@ -1,0 +1,236 @@
+//! Adversarial stress-program generator for the degradation ladder.
+//!
+//! Where [`crate::Kernel`] reproduces *realistic* register-pressure
+//! profiles, this module manufactures *hostile* ones: seeded random
+//! CFGs whose whole register pool stays live from the preamble to a
+//! final dump (a pairwise interference clique), with a tunable
+//! context-switch density that forces the clique across CSBs — the
+//! worst case for the paper's `MinPR` bound. At small register files
+//! (`Nreg` down to 8) these programs are deliberately infeasible for
+//! the balancing allocator, driving `regbal_core::allocate_ladder`
+//! down its fallback rungs.
+//!
+//! Generated programs are always *valid* and *terminating*: branches
+//! only jump forward, every register is defined before use, memory
+//! traffic stays inside a per-slot scratch window, and the optional
+//! outer loop counts down a fixed trip count. The same seed and
+//! configuration always produce the same program, so failures are
+//! reproducible from the seed alone.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use regbal_ir::{BinOp, BlockId, Cond, Func, FuncBuilder, MemSpace, Operand, UnOp, VReg};
+
+/// Bytes of scratch memory reserved per stress slot: in-window traffic
+/// uses offsets below `0x100`, the pool dump sits at `0x200..`, the
+/// loop-counter witness at `0x1f0`.
+pub const STRESS_SLOT_BYTES: u32 = 0x400;
+
+/// Shape knobs for one adversarial program.
+#[derive(Debug, Clone, Copy)]
+pub struct StressConfig {
+    /// Non-preamble body blocks (≥ 1).
+    pub blocks: usize,
+    /// Register-pool size: the pool forms one interference clique, so
+    /// this is a floor on the thread's register demand.
+    pub pool: usize,
+    /// Maximum instructions per body block.
+    pub block_len: usize,
+    /// Probability of a `ctx` after each body instruction. At high
+    /// densities every pool range crosses a CSB and the whole clique
+    /// lands in the paper's `MinPR` bound.
+    pub csb_density: f64,
+    /// Wrap the body in a bounded counting loop (loop-carried liveness
+    /// on top of the clique).
+    pub outer_loop: bool,
+}
+
+impl StressConfig {
+    /// Small programs saturated with context switches: nearly every
+    /// instruction is followed by a `ctx`, so the pool clique is
+    /// boundary-live. Two of these cannot share an 8-register file.
+    pub fn csb_dense() -> StressConfig {
+        StressConfig {
+            blocks: 3,
+            pool: 6,
+            block_len: 6,
+            csb_density: 0.9,
+            outer_loop: false,
+        }
+    }
+
+    /// A wide interference clique (10–12 simultaneously-live ranges)
+    /// at a moderate switch density — pressure comes from the clique
+    /// width, not the CSBs.
+    pub fn clique() -> StressConfig {
+        StressConfig {
+            blocks: 4,
+            pool: 12,
+            block_len: 8,
+            csb_density: 0.35,
+            outer_loop: false,
+        }
+    }
+
+    /// Looped mid-pressure programs: loop-carried pool liveness plus a
+    /// realistic ~15 % switch density.
+    pub fn mixed() -> StressConfig {
+        StressConfig {
+            blocks: 6,
+            pool: 8,
+            block_len: 8,
+            csb_density: 0.15,
+            outer_loop: true,
+        }
+    }
+}
+
+/// Builds one adversarial program. The same `seed` and `config` always
+/// produce the same structure; `slot` only shifts the scratch window
+/// (windows are [`STRESS_SLOT_BYTES`] apart, so threads on one PU never
+/// touch each other's memory).
+pub fn stress_program(seed: u64, slot: usize, config: StressConfig) -> Func {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slot_base = slot as u32 * STRESS_SLOT_BYTES;
+    let mut b = FuncBuilder::new(format!("stress{slot}"));
+
+    let body: Vec<BlockId> = (0..config.blocks.max(1)).map(|_| b.new_block()).collect();
+    let dump = b.new_block();
+
+    // Preamble: define the pool, the window base and the trip counter.
+    // Every pool value is observable in the dump, so the pool is live
+    // end to end — the interference clique the ladder has to survive.
+    let base = b.imm(slot_base as i64);
+    let pool: Vec<VReg> = (0..config.pool.max(2))
+        .map(|i| b.imm(rng.random_range(0..1000) + i as i64))
+        .collect();
+    let trips = b.imm(3);
+    b.jump(body[0]);
+
+    for (bi, &block) in body.iter().enumerate() {
+        b.switch_to(block);
+        let n = rng.random_range(1..=config.block_len.max(1));
+        for _ in 0..n {
+            let pick = |rng: &mut StdRng| pool[rng.random_range(0..pool.len())];
+            match rng.random_range(0..10u32) {
+                0..=5 => {
+                    // Three-address ops over the pool keep many ranges
+                    // busy at once.
+                    let op = BinOp::ALL[rng.random_range(0..BinOp::ALL.len())];
+                    let dst = pick(&mut rng);
+                    let lhs = pick(&mut rng);
+                    let rhs = if rng.random_bool(0.5) {
+                        Operand::from(pick(&mut rng))
+                    } else {
+                        Operand::Imm(rng.random_range(0..64))
+                    };
+                    b.bin_to(op, dst, lhs, rhs);
+                }
+                6 => {
+                    let op = UnOp::ALL[rng.random_range(0..UnOp::ALL.len())];
+                    let dst = pick(&mut rng);
+                    let src = Operand::from(pick(&mut rng));
+                    b.un_to(op, dst, src);
+                }
+                7 => {
+                    let dst = pick(&mut rng);
+                    b.load_to(dst, MemSpace::Scratch, base, rng.random_range(0..64) * 4);
+                }
+                8 => {
+                    let src = pick(&mut rng);
+                    b.store(MemSpace::Scratch, base, rng.random_range(0..64) * 4, src);
+                }
+                _ => b.nop(),
+            }
+            if rng.random_bool(config.csb_density) {
+                b.ctx();
+            }
+        }
+        // Forward-only control flow keeps the program terminating.
+        let next = |rng: &mut StdRng| {
+            if bi + 1 < body.len() {
+                body[rng.random_range(bi + 1..body.len())]
+            } else {
+                dump
+            }
+        };
+        if rng.random_bool(0.5) && bi + 1 < body.len() {
+            let cond = Cond::ALL[rng.random_range(0..Cond::ALL.len())];
+            let lhs = pool[rng.random_range(0..pool.len())];
+            let taken = next(&mut rng);
+            let fall = next(&mut rng);
+            b.branch(cond, lhs, Operand::Imm(rng.random_range(0..32)), taken, fall);
+        } else {
+            b.jump(next(&mut rng));
+        }
+    }
+
+    // Dump: every pool value becomes observable, so two executions are
+    // comparable by memory snapshot. With an outer loop the dump is the
+    // latch and the whole pool is loop-carried.
+    b.switch_to(dump);
+    for (i, &v) in pool.iter().enumerate() {
+        b.store(MemSpace::Scratch, base, 0x200 + (i as i64) * 4, v);
+    }
+    b.iter_end();
+    if config.outer_loop {
+        let exit = b.new_block();
+        b.sub_to(trips, trips, Operand::Imm(1));
+        b.branch(Cond::Ne, trips, Operand::Imm(0), body[0], exit);
+        b.switch_to(exit);
+        b.store(MemSpace::Scratch, base, 0x1f0, trips);
+        b.halt();
+    } else {
+        b.halt();
+    }
+    b.build().expect("generated stress program must be valid")
+}
+
+/// A bundle of `threads` adversarial programs for one PU, with
+/// per-thread seeds derived from `seed` and disjoint scratch windows.
+pub fn stress_bundle(seed: u64, threads: usize, config: StressConfig) -> Vec<Func> {
+    (0..threads)
+        .map(|t| stress_program(seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9), t, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_sim::{SimConfig, Simulator, StopWhen};
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for config in [
+            StressConfig::csb_dense(),
+            StressConfig::clique(),
+            StressConfig::mixed(),
+        ] {
+            let a = stress_program(7, 0, config);
+            let b = stress_program(7, 0, config);
+            assert_eq!(a, b, "same seed, same program");
+            a.validate().unwrap();
+            assert_ne!(a, stress_program(8, 0, config), "seed changes the program");
+        }
+    }
+
+    #[test]
+    fn csb_dense_programs_are_actually_dense() {
+        let f = stress_program(11, 0, StressConfig::csb_dense());
+        let density = f.num_ctx_insts() as f64 / f.num_insts() as f64;
+        assert!(density > 0.3, "expected CSB-dense, got {density:.2}");
+    }
+
+    #[test]
+    fn bundles_terminate_on_the_simulator() {
+        let funcs = stress_bundle(23, 4, StressConfig::mixed());
+        assert_eq!(funcs.len(), 4);
+        let mut sim = Simulator::new(SimConfig::default());
+        for f in &funcs {
+            f.validate().unwrap();
+            sim.add_thread(f.clone());
+        }
+        let report = sim.run(StopWhen::Cycles(1_000_000));
+        assert!(report.threads.iter().all(|t| t.halted), "all threads halt");
+    }
+}

@@ -66,6 +66,7 @@ proptest! {
         let multi = regbal_core::MultiAllocation {
             threads: vec![t.clone(), t],
             nreg: 256,
+            degradations: Vec::new(),
         };
         let physical = multi.rewrite_funcs(&funcs);
         prop_assert_eq!(run_snapshot(&funcs), run_snapshot(&physical));
@@ -145,6 +146,7 @@ proptest! {
         let multi = regbal_core::MultiAllocation {
             threads: vec![t.clone(), t],
             nreg: 256,
+            degradations: Vec::new(),
         };
         let physical = multi.rewrite_funcs(&funcs);
         prop_assert_eq!(run_snapshot(&funcs), run_snapshot(&physical));
@@ -212,7 +214,7 @@ proptest! {
             upper,
         ];
         let fast_configs = [
-            EngineConfig { memoize: true, parallel: false },
+            EngineConfig { memoize: true, parallel: false, ..EngineConfig::default() },
             EngineConfig::default(),
         ];
         for nreg in budgets {

@@ -38,3 +38,10 @@ cargo test -q --test degradation
 # document must still validate.
 ./target/release/regbal eval --smoke --sanitize --out target/BENCH_EVAL_SANITIZE.json
 ./target/release/regbal eval --validate target/BENCH_EVAL_SANITIZE.json
+
+# Deterministic merge: the sharded, compile-cached sweep must emit the
+# same bytes as the serial one — same config and seed, any worker
+# count. Smoke reports carry no timing member, so `cmp` is exact.
+./target/release/regbal eval --smoke --workers 1 --out target/BENCH_EVAL_W1.json
+./target/release/regbal eval --smoke --workers 4 --out target/BENCH_EVAL_W4.json
+cmp target/BENCH_EVAL_W1.json target/BENCH_EVAL_W4.json

@@ -62,4 +62,10 @@ fn main() {
         report.nreg_sweep.len(),
         report.packets
     );
+    if let Some(t) = &report.timing {
+        println!(
+            "timing: {} worker(s) on {} thread(s), {:.1} ms wall",
+            t.workers, t.threads, t.wall_ms
+        );
+    }
 }

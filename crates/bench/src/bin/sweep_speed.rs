@@ -1,0 +1,80 @@
+//! Times the full evaluation sweep serially against the sharded,
+//! compile-cached engine and writes `BENCH_SWEEP.json`.
+//!
+//! Two runs of the identical full configuration (timing off, so the
+//! documents are byte-comparable):
+//!
+//! * **serial** — one worker, compile cache off: every cell recomputes
+//!   its allocations from scratch, the way the harness worked before
+//!   the sharded sweep;
+//! * **sharded** — four workers, compile cache on: cells are stolen
+//!   from the shared cursor and overlapping searches (balanced cell,
+//!   hybrid round 0, the ladder's balanced rungs) are computed once.
+//!
+//! The binary asserts the two reports are byte-identical — the
+//! deterministic-merge guarantee — and records the wall-clock speedup.
+
+use regbal_eval::{run_eval, EvalConfig};
+use std::time::Instant;
+
+/// Workers of the sharded run (the acceptance configuration).
+const WORKERS: usize = 4;
+
+/// Timed runs per configuration; the fastest is reported, the standard
+/// way to damp scheduler noise out of a wall-clock comparison.
+const RUNS: usize = 2;
+
+fn timed_run(config: &EvalConfig) -> (String, f64) {
+    let mut best: Option<(String, f64)> = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let report = run_eval(config);
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        if best.as_ref().is_none_or(|(_, b)| wall_ms < *b) {
+            best = Some((report.to_json_string(), wall_ms));
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn main() {
+    let base = EvalConfig {
+        timing: false,
+        ..EvalConfig::full()
+    };
+    let serial = EvalConfig {
+        workers: 1,
+        cache: false,
+        ..base.clone()
+    };
+    let sharded = EvalConfig {
+        workers: WORKERS,
+        cache: true,
+        ..base
+    };
+
+    println!("serial full sweep (1 worker, no compile cache)...");
+    let (serial_doc, serial_ms) = timed_run(&serial);
+    println!("  {serial_ms:.0} ms");
+    println!("sharded full sweep ({WORKERS} workers, compile cache)...");
+    let (sharded_doc, sharded_ms) = timed_run(&sharded);
+    println!("  {sharded_ms:.0} ms");
+
+    let identical = serial_doc == sharded_doc;
+    assert!(
+        identical,
+        "sharded sweep diverged from the serial baseline — determinism bug"
+    );
+    let speedup = serial_ms / sharded_ms.max(f64::MIN_POSITIVE);
+    println!("byte-identical reports; speedup {speedup:.2}x");
+
+    let doc = format!(
+        "{{\n  \"schema\": \"regbal-sweep/1\",\n  \"config\": \"full\",\n  \
+         \"serial\": {{\"workers\": 1, \"cache\": false, \"wall_ms\": {serial_ms:.1}}},\n  \
+         \"sharded\": {{\"workers\": {WORKERS}, \"cache\": true, \"wall_ms\": {sharded_ms:.1}}},\n  \
+         \"speedup\": {speedup:.2},\n  \"byte_identical\": {identical}\n}}\n"
+    );
+    let path = "BENCH_SWEEP.json";
+    std::fs::write(path, doc).expect("write BENCH_SWEEP.json");
+    println!("wrote {path}");
+}

@@ -23,9 +23,12 @@
 use regbal_analysis::ProgramInfo;
 use regbal_core::{
     allocate_ladder_with, allocate_threads_stats, allocate_threads_with_spill, estimate_bounds,
-    force_min_bounds, EngineConfig, EngineStats, LadderAllocation, LadderConfig,
+    force_min_bounds, EngineConfig, EngineStats, LadderConfig,
 };
-use regbal_eval::{run_eval, thread_alloc_json, validate_json, CellStatus, EvalConfig, Json};
+use regbal_eval::{
+    ladder_trail_json, run_eval, thread_alloc_json, validate_json, CellStatus, EvalConfig, Json,
+    PuLadderTrail,
+};
 use regbal_ir::{parse_module, Func};
 use regbal_sim::{SanitizerConfig, SimConfig, Simulator, StopWhen};
 use std::fmt::Write as _;
@@ -85,6 +88,11 @@ USAGE:
       --validate <F>   validate an existing report instead of running
       --sanitize       instrument every measured run with the clobber
                        sanitizer; any report fails the sweep
+      --workers <N>    shard the sweep over N worker threads (default:
+                       the machine's cores; 1 = serial). Any count
+                       produces a byte-identical report
+      --timing         record wall-clock timing in the report (on for
+                       the full sweep, off with --smoke)
   regbal dot [--ig] <files...>                Graphviz output (CFG, or the
                                               interference graph with --ig)
   regbal help                                 this text
@@ -241,7 +249,10 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
             let mut doc =
                 alloc_json("ladder", nreg, result.registers_used(), sgr, threads, None);
             if let Json::Obj(members) = &mut doc {
-                members.push(("ladder".into(), ladder_json(&result)));
+                members.push((
+                    "ladder".into(),
+                    ladder_trail_json(&PuLadderTrail::from(&result)),
+                ));
             }
             let _ = writeln!(out, "{}", doc.pretty());
             return Ok(());
@@ -408,43 +419,15 @@ fn alloc_json(
     Json::Obj(members)
 }
 
-/// The `ladder` member of `regbal alloc --ladder --json`: the settled
-/// rung and the recorded trail of forced transitions, with stable
-/// machine-readable reason codes ([`regbal_core::AllocError::code`]).
-fn ladder_json(result: &LadderAllocation) -> Json {
-    Json::Obj(vec![
-        ("step".into(), Json::str(result.step.name())),
-        (
-            "degraded".into(),
-            Json::uint(result.degraded_count() as u64),
-        ),
-        (
-            "degradations".into(),
-            Json::Arr(
-                result
-                    .degradations
-                    .iter()
-                    .map(|d| {
-                        Json::Obj(vec![
-                            ("from".into(), Json::str(d.from.name())),
-                            ("to".into(), Json::str(d.to.name())),
-                            ("code".into(), Json::str(d.reason.code())),
-                            ("reason".into(), Json::str(d.reason.to_string())),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
-}
-
 /// The `regbal eval` subcommand: run the strategy-evaluation sweep and
 /// write `BENCH_EVAL.json`, or validate an existing report.
 fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
     let mut smoke = false;
     let mut sanitize = false;
+    let mut timing = false;
     let mut out_path = "BENCH_EVAL.json".to_string();
     let mut packets: Option<u32> = None;
+    let mut workers: Option<usize> = None;
     let mut nreg_sweep: Option<Vec<usize>> = None;
     let mut validate_path: Option<String> = None;
     let mut it = args.into_iter();
@@ -452,6 +435,15 @@ fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--sanitize" => sanitize = true,
+            "--timing" => timing = true,
+            "--workers" => {
+                workers = Some(
+                    it.next()
+                        .ok_or("--workers needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
+            }
             "--out" => out_path = it.next().ok_or("--out needs a value")?,
             "--packets" => {
                 packets = Some(
@@ -489,7 +481,11 @@ fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
     if let Some(sweep) = nreg_sweep {
         config.nreg_sweep = sweep;
     }
+    if let Some(w) = workers {
+        config.workers = w;
+    }
     config.sanitize = sanitize;
+    config.timing |= timing;
     let report = run_eval(&config);
 
     // A compact throughput table per scenario: rows are strategies,
@@ -528,6 +524,13 @@ fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
         report.nreg_sweep.len(),
         report.packets
     );
+    if let Some(t) = &report.timing {
+        let _ = writeln!(
+            out,
+            "timing: {} worker(s) on {} thread(s), {:.1} ms wall",
+            t.workers, t.threads, t.wall_ms
+        );
+    }
     if sanitize {
         let (violations, warnings) = report
             .scenarios

@@ -209,11 +209,55 @@ pub(crate) fn initial_thread(func: &Func) -> ThreadResult {
     }
 }
 
-/// Default iteration budget of the greedy loop. The objective strictly
-/// decreases every committed step, so real workloads finish in far
-/// fewer iterations; the cap is the deterministic backstop the
-/// degradation ladder relies on.
+/// Ceiling (and former global value) of the iteration budget. The
+/// objective strictly decreases every committed step, so real workloads
+/// finish in far fewer iterations; the cap is the deterministic
+/// backstop the degradation ladder relies on.
 pub const DEFAULT_ITERATION_CAP: usize = 100_000;
+
+/// Floor of the adaptive iteration budget: even a tiny program gets at
+/// least this many committed steps before the engine gives up.
+pub const MIN_ITERATION_CAP: usize = 256;
+
+/// How many committed steps each unit of program size
+/// (live ranges × threads) buys under [`IterationBudget::Adaptive`].
+pub const ADAPTIVE_CAP_FACTOR: usize = 16;
+
+/// The iteration budget of the greedy loop (see
+/// [`EngineConfig::max_iterations`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationBudget {
+    /// Scale the cap with program size: `ranges × threads ×`
+    /// [`ADAPTIVE_CAP_FACTOR`], clamped to
+    /// `[`[`MIN_ITERATION_CAP`]`, `[`DEFAULT_ITERATION_CAP`]`]`, where
+    /// `ranges` is the total live-range (node) count over all threads.
+    /// Tiny programs fail fast; large ones are never starved below the
+    /// old global default's reach (the committed-step count is bounded
+    /// by the initial demand surplus, itself at most `ranges`).
+    Adaptive,
+    /// An explicit cap in committed steps.
+    Fixed(usize),
+    /// No budget (the loop still terminates: the objective is strictly
+    /// decreasing).
+    Unbounded,
+}
+
+impl IterationBudget {
+    /// Resolves the budget against a program of `ranges` total live
+    /// ranges across `threads` threads. `None` means unbounded.
+    pub fn resolve(self, ranges: usize, threads: usize) -> Option<usize> {
+        match self {
+            IterationBudget::Adaptive => Some(
+                ranges
+                    .saturating_mul(threads)
+                    .saturating_mul(ADAPTIVE_CAP_FACTOR)
+                    .clamp(MIN_ITERATION_CAP, DEFAULT_ITERATION_CAP),
+            ),
+            IterationBudget::Fixed(cap) => Some(cap),
+            IterationBudget::Unbounded => None,
+        }
+    }
+}
 
 /// Tuning knobs of the greedy engine. Every configuration produces
 /// bit-identical allocations; the knobs only trade work for speed —
@@ -227,12 +271,12 @@ pub struct EngineConfig {
     /// Evaluate the candidates of one iteration (and the initial bound
     /// estimates) concurrently with [`std::thread::scope`].
     pub parallel: bool,
-    /// Maximum committed reduction steps before the engine gives up
-    /// with [`AllocError::IterationCapHit`]. `None` removes the budget
-    /// (the loop still terminates: the objective is strictly
-    /// decreasing). A run that stays under the cap is bit-identical to
-    /// the uncapped run.
-    pub max_iterations: Option<usize>,
+    /// Budget of committed reduction steps before the engine gives up
+    /// with [`AllocError::IterationCapHit`]. The default
+    /// ([`IterationBudget::Adaptive`]) scales with program size; a
+    /// [`IterationBudget::Fixed`] cap is the explicit override. A run
+    /// that stays under its cap is bit-identical to the unbounded run.
+    pub max_iterations: IterationBudget,
 }
 
 impl Default for EngineConfig {
@@ -240,7 +284,7 @@ impl Default for EngineConfig {
         EngineConfig {
             memoize: true,
             parallel: true,
-            max_iterations: Some(DEFAULT_ITERATION_CAP),
+            max_iterations: IterationBudget::Adaptive,
         }
     }
 }
@@ -252,7 +296,7 @@ impl EngineConfig {
         EngineConfig {
             memoize: false,
             parallel: false,
-            max_iterations: Some(DEFAULT_ITERATION_CAP),
+            max_iterations: IterationBudget::Adaptive,
         }
     }
 
@@ -260,7 +304,7 @@ impl EngineConfig {
     /// side of the capped-vs-uncapped differential tests.
     pub fn uncapped() -> Self {
         EngineConfig {
-            max_iterations: None,
+            max_iterations: IterationBudget::Unbounded,
             ..EngineConfig::default()
         }
     }
@@ -497,6 +541,55 @@ pub fn allocate_threads_stats(
     nreg: usize,
     config: EngineConfig,
 ) -> Result<(MultiAllocation, EngineStats), AllocError> {
+    let (mut results, stats) = sweep_stats(funcs, &[nreg], config);
+    results
+        .pop()
+        .expect("one verdict per target")
+        .map(|alloc| (alloc, stats))
+}
+
+/// Allocates the same threads against *several* register-file sizes in
+/// one greedy descent, returning one verdict per entry of `targets`
+/// (order preserved, duplicates allowed).
+///
+/// The greedy reduction's step selection never consults `nreg` — the
+/// file size only decides where the descent *stops* (and which
+/// hopeless requests fail) — so every target's allocation lies on one
+/// shared trajectory: the state the moment the demand first fits. Each
+/// verdict, success or error, is **bit-identical** to what a separate
+/// [`allocate_threads_with`] call at that size returns; a sweep over
+/// `k` sizes simply pays for one search instead of `k`.
+pub fn allocate_threads_sweep(
+    funcs: &[Func],
+    targets: &[usize],
+    config: EngineConfig,
+) -> Vec<Result<MultiAllocation, AllocError>> {
+    sweep_stats(funcs, targets, config).0
+}
+
+/// One verified snapshot of the descent: the allocation a single-target
+/// run at `nreg` would have returned from this state.
+fn snapshot(threads: &[ThreadResult], nreg: usize) -> Result<MultiAllocation, AllocError> {
+    crate::verify::check_threads(
+        &threads.iter().map(|t| t.alloc.clone()).collect::<Vec<_>>(),
+        nreg,
+    )
+    .map_err(|e| AllocError::InvalidAllocation {
+        reason: e.to_string(),
+    })?;
+    Ok(MultiAllocation {
+        threads: threads.to_vec(),
+        nreg,
+        degradations: Vec::new(),
+    })
+}
+
+/// The shared engine core: one greedy descent serving every target.
+fn sweep_stats(
+    funcs: &[Func],
+    targets: &[usize],
+    config: EngineConfig,
+) -> (Vec<Result<MultiAllocation, AllocError>>, EngineStats) {
     let start = Instant::now();
     let mut stats = EngineStats::default();
 
@@ -505,8 +598,51 @@ pub fn allocate_threads_stats(
 
     let search_start = Instant::now();
     let n = threads.len();
+    let ranges: usize = threads.iter().map(|t| t.alloc.node_ids().count()).sum();
+    let budget = config.max_iterations.resolve(ranges, n);
+    // The demand lower bound: every reachable state keeps
+    // `PRᵢ ≥ MinPRᵢ` and `PRᵢ + SRᵢ ≥ MinRᵢ` per thread, so the
+    // objective `Σ PRᵢ + max SRᵢ` can never drop below
+    // `max_j (Σ_{i≠j} MinPRᵢ + MinRⱼ)`. When that bound exceeds `nreg`
+    // the search is provably hopeless and the loop reports it without
+    // burning the iteration budget on an exhaustive descent.
+    let sum_min_pr: usize = threads.iter().map(|t| t.bounds.min_pr).sum();
+    let demand_floor = threads
+        .iter()
+        .map(|t| sum_min_pr - t.bounds.min_pr + t.bounds.min_r)
+        .max()
+        .unwrap_or(0);
+    // Verdict slots, one per input target. Targets below the demand
+    // floor are hopeless and resolve immediately, exactly as a
+    // single-target run would on its first pass (where the cap check
+    // precedes the floor check, so a zero budget reports
+    // `IterationCapHit` instead).
+    let mut results: Vec<Option<Result<MultiAllocation, AllocError>>> =
+        targets.iter().map(|_| None).collect();
+    for (i, &t) in targets.iter().enumerate() {
+        if demand_floor > t {
+            results[i] = Some(Err(match budget {
+                Some(0) => AllocError::IterationCapHit {
+                    iterations: 0,
+                    cap: 0,
+                },
+                _ => AllocError::Infeasible {
+                    needed: demand_floor,
+                    available: t,
+                },
+            }));
+        }
+    }
+    // The live targets, easiest (largest) first: the descent satisfies
+    // them in exactly this order, peeling each off at the state where
+    // the demand first fits its file.
+    let mut active: Vec<usize> = (0..targets.len())
+        .filter(|&i| results[i].is_none())
+        .collect();
+    active.sort_by(|&a, &b| targets[b].cmp(&targets[a]));
+    let mut lo = 0usize;
     let mut cache = CandidateCache::new(n);
-    loop {
+    while lo < active.len() {
         // One aggregate pass yields everything each candidate's
         // objective test needs: `m_others(i)` is `second_sr` when `i` is
         // the unique maximum holder and `max_sr` otherwise.
@@ -528,15 +664,29 @@ pub fn allocate_threads_stats(
             }
         }
         let total = sum_pr + max_sr;
-        if total <= nreg {
+        // Peel off every target the current state already satisfies.
+        // The step selection below never consults the target, so the
+        // state at which the demand first drops to `t` is the same
+        // state a dedicated run for `t` would stop at — each snapshot
+        // is bit-identical to an independent `allocate_threads` call.
+        while lo < active.len() && total <= targets[active[lo]] {
+            let verify_start = Instant::now();
+            results[active[lo]] = Some(snapshot(&threads, targets[active[lo]]));
+            stats.verify += verify_start.elapsed();
+            lo += 1;
+        }
+        if lo == active.len() {
             break;
         }
-        if let Some(cap) = config.max_iterations {
+        if let Some(cap) = budget {
             if stats.iterations >= cap {
-                return Err(AllocError::IterationCapHit {
-                    iterations: stats.iterations,
-                    cap,
-                });
+                for &i in &active[lo..] {
+                    results[i] = Some(Err(AllocError::IterationCapHit {
+                        iterations: stats.iterations,
+                        cap,
+                    }));
+                }
+                break;
             }
         }
         stats.iterations += 1;
@@ -635,34 +785,30 @@ pub fn allocate_threads_stats(
                 }
             }
             None => {
-                return Err(AllocError::Infeasible {
-                    needed: total,
-                    available: nreg,
-                });
+                // No feasible step anywhere: every still-pending target
+                // is unreachable from here, each with its own shortfall.
+                for &i in &active[lo..] {
+                    results[i] = Some(Err(AllocError::Infeasible {
+                        needed: total,
+                        available: targets[i],
+                    }));
+                }
+                break;
             }
         }
         if !config.memoize {
             cache.clear();
         }
     }
-    stats.search = search_start.elapsed();
-
-    let verify_start = Instant::now();
-    let result = MultiAllocation {
-        threads,
-        nreg,
-        degradations: Vec::new(),
-    };
-    crate::verify::check_threads(
-        &result.threads.iter().map(|t| t.alloc.clone()).collect::<Vec<_>>(),
-        nreg,
-    )
-    .map_err(|e| AllocError::InvalidAllocation {
-        reason: e.to_string(),
-    })?;
-    stats.verify = verify_start.elapsed();
+    stats.search = search_start.elapsed().saturating_sub(stats.verify);
     stats.total = start.elapsed();
-    Ok((result, stats))
+    (
+        results
+            .into_iter()
+            .map(|r| r.expect("every target resolved"))
+            .collect(),
+        stats,
+    )
 }
 
 fn can_reduce_private(t: &ThreadResult) -> bool {
@@ -938,7 +1084,7 @@ mod tests {
             allocate_threads_stats(&funcs, 12, EngineConfig::uncapped()).unwrap();
         assert!(stats.iterations > 0, "workload too small to exercise the cap");
         let exact = EngineConfig {
-            max_iterations: Some(stats.iterations),
+            max_iterations: IterationBudget::Fixed(stats.iterations),
             ..EngineConfig::default()
         };
         let (capped, capped_stats) = allocate_threads_stats(&funcs, 12, exact).unwrap();
@@ -952,7 +1098,7 @@ mod tests {
         let (_, stats) = allocate_threads_stats(&funcs, 12, EngineConfig::uncapped()).unwrap();
         assert!(stats.iterations > 1);
         let starved = EngineConfig {
-            max_iterations: Some(stats.iterations - 1),
+            max_iterations: IterationBudget::Fixed(stats.iterations - 1),
             ..EngineConfig::default()
         };
         match allocate_threads_with(&funcs, 12, starved) {
@@ -965,6 +1111,66 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_budget_scales_with_program_size() {
+        // Tiny programs clamp to the floor, huge ones to the ceiling,
+        // and mid-size ones scale linearly in ranges × threads.
+        assert_eq!(
+            IterationBudget::Adaptive.resolve(0, 0),
+            Some(MIN_ITERATION_CAP)
+        );
+        assert_eq!(
+            IterationBudget::Adaptive.resolve(3, 2),
+            Some(MIN_ITERATION_CAP)
+        );
+        assert_eq!(
+            IterationBudget::Adaptive.resolve(100, 4),
+            Some(100 * 4 * ADAPTIVE_CAP_FACTOR)
+        );
+        assert_eq!(
+            IterationBudget::Adaptive.resolve(usize::MAX, 8),
+            Some(DEFAULT_ITERATION_CAP)
+        );
+        assert_eq!(IterationBudget::Fixed(7).resolve(100, 4), Some(7));
+        assert_eq!(IterationBudget::Unbounded.resolve(100, 4), None);
+    }
+
+    #[test]
+    fn infeasible_bound_matches_the_exhaustive_search_verdict() {
+        // Three hungry threads against 6 registers are hopeless; the
+        // demand floor fires on the first iteration and the reported
+        // residual is exactly `max_j (Σ_{i≠j} MinPRᵢ + MinRⱼ)`.
+        let funcs = vec![hungry(), hungry(), hungry()];
+        let bounds: Vec<_> = funcs
+            .iter()
+            .map(|f| estimate_bounds(&ProgramInfo::compute(f)).bounds)
+            .collect();
+        let sum_min_pr: usize = bounds.iter().map(|b| b.min_pr).sum();
+        let floor = bounds
+            .iter()
+            .map(|b| sum_min_pr - b.min_pr + b.min_r)
+            .max()
+            .unwrap();
+        assert!(floor > 6);
+        match allocate_threads_with(&funcs, 6, EngineConfig::default()) {
+            Err(AllocError::Infeasible { needed, available }) => {
+                assert_eq!(available, 6);
+                assert_eq!(needed, floor);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+        // And a budget of zero still reports the cap, not the bound:
+        // the ladder's starved-budget semantics depend on that order.
+        let starved = EngineConfig {
+            max_iterations: IterationBudget::Fixed(0),
+            ..EngineConfig::default()
+        };
+        match allocate_threads_with(&funcs, 6, starved) {
+            Err(AllocError::IterationCapHit { cap: 0, .. }) => {}
+            other => panic!("expected IterationCapHit, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn stats_report_nonzero_phase_times() {
         let funcs = vec![hungry(), lean()];
         let (alloc, stats) =
@@ -972,6 +1178,50 @@ mod tests {
         assert!(alloc.total_registers() <= 8);
         assert!(stats.total >= stats.search);
         assert!(stats.total > std::time::Duration::ZERO);
+    }
+
+    /// One shared descent must give every swept register-file size the
+    /// verdict a dedicated run would: same allocation bits on success,
+    /// same error payload on failure. The sweep spans the feasible
+    /// range, the infeasible floor, and duplicate and unsorted targets.
+    #[test]
+    fn sweep_matches_independent_runs_bit_for_bit() {
+        let funcs = vec![odd_cycle(), hungry(), lean()];
+        let targets: Vec<usize> = vec![128, 6, 32, 8, 32, 5, 0, 200, 10];
+        let swept = allocate_threads_sweep(&funcs, &targets, EngineConfig::default());
+        assert_eq!(swept.len(), targets.len());
+        for (&t, got) in targets.iter().zip(&swept) {
+            let solo = allocate_threads_with(&funcs, t, EngineConfig::default());
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{solo:?}"),
+                "sweep verdict diverged from the dedicated run at nreg={t}"
+            );
+        }
+    }
+
+    /// Cap-bounded sweeps resolve exactly like cap-bounded single runs,
+    /// including a zero budget (cap before floor) and a cap that lands
+    /// mid-descent so some targets succeed while tighter ones cap out.
+    #[test]
+    fn sweep_honors_iteration_caps_per_target() {
+        let funcs = vec![odd_cycle(), hungry(), lean()];
+        for cap in [0usize, 1, 2, 100] {
+            let config = EngineConfig {
+                max_iterations: IterationBudget::Fixed(cap),
+                ..EngineConfig::default()
+            };
+            let targets: Vec<usize> = (4..=40).collect();
+            let swept = allocate_threads_sweep(&funcs, &targets, config.clone());
+            for (&t, got) in targets.iter().zip(&swept) {
+                let solo = allocate_threads_with(&funcs, t, config.clone());
+                assert_eq!(
+                    format!("{got:?}"),
+                    format!("{solo:?}"),
+                    "cap={cap} nreg={t}"
+                );
+            }
+        }
     }
 }
 

@@ -173,6 +173,35 @@ impl fmt::Display for LadderStep {
     }
 }
 
+/// A same-rung retry: rung `step` exhausted its iteration budget
+/// (`cap`), so the ladder re-ran it once with a doubled — still
+/// bounded — budget (`retry_cap`) before considering a descent.
+/// Recorded whether or not the retry `recovered` the rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RungRetry {
+    /// The rung that was retried.
+    pub step: LadderStep,
+    /// The budget the first attempt exhausted.
+    pub cap: usize,
+    /// The doubled budget of the retry.
+    pub retry_cap: usize,
+    /// Whether the retry succeeded (`true` keeps the ladder on `step`).
+    pub recovered: bool,
+}
+
+impl fmt::Display for RungRetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: retried {} -> {} ({})",
+            self.step,
+            self.cap,
+            self.retry_cap,
+            if self.recovered { "recovered" } else { "failed" }
+        )
+    }
+}
+
 /// A checked transition down the fallback ladder: rung `from` failed
 /// with `reason`, so the pipeline fell back to rung `to`.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -10,7 +10,7 @@
 //! which spills before it ever considers sharing.
 
 use crate::chaitin::insert_spill_code;
-use crate::engine::{allocate_threads_with, EngineConfig, MultiAllocation};
+use crate::engine::{allocate_threads_sweep, EngineConfig, MultiAllocation};
 use crate::error::AllocError;
 use regbal_analysis::ProgramInfo;
 use regbal_igraph::build_gig;
@@ -95,6 +95,62 @@ pub fn allocate_threads_with_spill_config(
     spill_base: i64,
     config: EngineConfig,
 ) -> Result<HybridAllocation, AllocError> {
+    allocate_threads_with_spill_seeded(funcs, nreg, spill_base, config, None)
+}
+
+/// Like [`allocate_threads_with_spill_config`], seeding round 0 with a
+/// balancing verdict the caller already computed for the *unmodified*
+/// `funcs` under the same `nreg` and `config` (e.g. a cached
+/// [`allocate_threads_with`] result from an earlier ladder rung). The
+/// engine is deterministic, so reusing the verdict is behaviour-
+/// preserving — it only skips the most expensive search of the loop.
+///
+/// # Errors
+///
+/// As [`allocate_threads_with_spill_config`].
+pub fn allocate_threads_with_spill_seeded(
+    funcs: &[Func],
+    nreg: usize,
+    spill_base: i64,
+    config: EngineConfig,
+    first: Option<Result<MultiAllocation, AllocError>>,
+) -> Result<HybridAllocation, AllocError> {
+    let seeds = first.map(|verdict| vec![verdict]);
+    allocate_threads_with_spill_sweep(funcs, &[nreg], spill_base, config, seeds.as_deref())
+        .pop()
+        .expect("one verdict per target")
+}
+
+/// Hybrid allocation of one thread group against *several* register-file
+/// sizes at once. Which range spills in round `r` depends only on the
+/// spill-augmented programs — never on `nreg` — so every target shares
+/// one spill trajectory: each peels off at the first round whose
+/// balancing verdict is no longer [`AllocError::Infeasible`], receiving
+/// exactly the result a dedicated [`allocate_threads_with_spill_seeded`]
+/// run would produce, while the expensive balancing search per round is
+/// paid once via [`allocate_threads_sweep`].
+///
+/// `first`, when given, must hold one balancing verdict per target for
+/// the *unmodified* `funcs` under the same `config` (e.g. a cached
+/// sweep); it replaces round 0's search.
+///
+/// The returned vector has one verdict per target, in input order;
+/// failures are reported per target exactly as the single-target entry
+/// points do.
+pub fn allocate_threads_with_spill_sweep(
+    funcs: &[Func],
+    targets: &[usize],
+    spill_base: i64,
+    config: EngineConfig,
+    first: Option<&[Result<MultiAllocation, AllocError>]>,
+) -> Vec<Result<HybridAllocation, AllocError>> {
+    if let Some(seeds) = first {
+        assert_eq!(
+            seeds.len(),
+            targets.len(),
+            "one round-0 seed per swept target"
+        );
+    }
     let mut work: Vec<Func> = funcs.to_vec();
     let mut spills = vec![0usize; funcs.len()];
     let mut next_slot = vec![0i64; funcs.len()];
@@ -102,46 +158,85 @@ pub fn allocate_threads_with_spill_config(
         .iter()
         .map(|f| vec![false; f.num_vregs as usize])
         .collect();
+    // Per-thread `RegPmax`, filled on the first infeasible round and
+    // then refreshed only for the thread that spilled (spilling cannot
+    // change the pressure of the other threads' programs).
+    let mut pressure: Option<Vec<usize>> = None;
 
-    for _round in 0..MAX_SPILL_ROUNDS {
-        match allocate_threads_with(&work, nreg, config) {
-            Ok(alloc) => {
-                return Ok(HybridAllocation {
-                    funcs: work,
-                    alloc,
-                    spills,
-                })
+    let mut results: Vec<Option<Result<HybridAllocation, AllocError>>> =
+        targets.iter().map(|_| None).collect();
+    let mut pending: Vec<usize> = (0..targets.len()).collect();
+
+    for round in 0..MAX_SPILL_ROUNDS {
+        let verdicts: Vec<Result<MultiAllocation, AllocError>> = match (round, first) {
+            (0, Some(seeds)) => pending.iter().map(|&i| seeds[i].clone()).collect(),
+            _ => {
+                let pending_targets: Vec<usize> =
+                    pending.iter().map(|&i| targets[i]).collect();
+                allocate_threads_sweep(&work, &pending_targets, config)
             }
-            Err(AllocError::Infeasible { .. }) => {
-                let t = most_demanding_thread(&work);
-                let Some(v) = spill_candidate(&work[t], &already[t]) else {
-                    return Err(AllocError::SpillDiverged {
-                        rounds: spills.iter().sum(),
-                    });
-                };
-                let slot = spill_base + (t as i64) * 0x1000 + next_slot[t];
-                next_slot[t] += 4;
-                already[t][v.index()] = true;
-                insert_spill_code(&mut work[t], v, slot, SPILL_SPACE);
-                spills[t] += 1;
+        };
+        let mut still = Vec::with_capacity(pending.len());
+        for (&i, verdict) in pending.iter().zip(verdicts) {
+            match verdict {
+                Ok(alloc) => {
+                    results[i] = Some(Ok(HybridAllocation {
+                        funcs: work.clone(),
+                        alloc,
+                        spills: spills.clone(),
+                    }));
+                }
+                Err(AllocError::Infeasible { .. }) => still.push(i),
+                Err(other) => results[i] = Some(Err(other)),
             }
-            Err(other) => return Err(other),
         }
+        pending = still;
+        if pending.is_empty() {
+            break;
+        }
+        let p = pressure.get_or_insert_with(|| work.iter().map(thread_pressure).collect());
+        let t = most_demanding_thread(p);
+        let Some(v) = spill_candidate(&work[t], &already[t]) else {
+            let rounds = spills.iter().sum();
+            for &i in &pending {
+                results[i] = Some(Err(AllocError::SpillDiverged { rounds }));
+            }
+            pending.clear();
+            break;
+        };
+        let slot = spill_base + (t as i64) * 0x1000 + next_slot[t];
+        next_slot[t] += 4;
+        already[t][v.index()] = true;
+        insert_spill_code(&mut work[t], v, slot, SPILL_SPACE);
+        spills[t] += 1;
+        p[t] = thread_pressure(&work[t]);
     }
-    Err(AllocError::SpillDiverged {
-        rounds: spills.iter().sum(),
-    })
+    let rounds: usize = spills.iter().sum();
+    for &i in &pending {
+        results[i] = Some(Err(AllocError::SpillDiverged { rounds }));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every target resolved"))
+        .collect()
 }
 
-/// The thread whose register floor (`MinR`) is highest — the one whose
-/// pressure must come down for the machine-wide demand to shrink.
-fn most_demanding_thread(funcs: &[Func]) -> usize {
-    funcs
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, f)| ProgramInfo::compute(f).pressure.regp_max)
-        .map(|(i, _)| i)
-        .expect("at least one thread")
+/// The pressure measure of one thread's program (`RegPmax`).
+fn thread_pressure(func: &Func) -> usize {
+    ProgramInfo::compute(func).pressure.regp_max
+}
+
+/// The thread whose register floor is highest — the one whose pressure
+/// must come down for the machine-wide demand to shrink. Ties pick the
+/// *last* maximal thread, matching `Iterator::max_by_key`.
+fn most_demanding_thread(pressure: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &p) in pressure.iter().enumerate() {
+        if p >= pressure[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 /// Chaitin's spill metric: fewest occurrences per interference degree,
@@ -181,7 +276,7 @@ fn spill_candidate(func: &Func, already: &[bool]) -> Option<VReg> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::allocate_threads;
+    use crate::engine::{allocate_threads, allocate_threads_with};
     use regbal_ir::parse_func;
 
     /// A function with five co-live values across a switch.
@@ -244,6 +339,85 @@ bb0:
         // The default entry point keeps its historical area.
         let d = allocate_threads_with_spill(&funcs, 8).unwrap();
         assert_eq!(d.spills, a.spills);
+    }
+
+    #[test]
+    fn seeded_round_zero_matches_the_unseeded_loop() {
+        let funcs = vec![hot(), hot()];
+        let verdict = allocate_threads_with(&funcs, 8, EngineConfig::default());
+        assert!(verdict.is_err());
+        let seeded = allocate_threads_with_spill_seeded(
+            &funcs,
+            8,
+            SPILL_BASE,
+            EngineConfig::default(),
+            Some(verdict),
+        )
+        .unwrap();
+        let plain = allocate_threads_with_spill(&funcs, 8).unwrap();
+        assert_eq!(seeded.funcs, plain.funcs);
+        assert_eq!(seeded.spills, plain.spills);
+        // Seeding with a success short-circuits without touching code.
+        let ok = allocate_threads_with(&funcs, 32, EngineConfig::default());
+        let seeded_ok = allocate_threads_with_spill_seeded(
+            &funcs,
+            32,
+            SPILL_BASE,
+            EngineConfig::default(),
+            Some(ok),
+        )
+        .unwrap();
+        assert_eq!(seeded_ok.spills, vec![0, 0]);
+        assert_eq!(seeded_ok.funcs[0], hot());
+    }
+
+    /// The shared spill trajectory must hand every swept size the exact
+    /// verdict of a dedicated run: same spill code, same counts, same
+    /// allocation, same error payloads — across sizes that need no
+    /// spills, some spills, and sizes that diverge entirely.
+    #[test]
+    fn spill_sweep_matches_independent_runs() {
+        let funcs = vec![hot(), hot()];
+        let targets = [32usize, 8, 1, 12, 8, 2];
+        let swept = allocate_threads_with_spill_sweep(
+            &funcs,
+            &targets,
+            SPILL_BASE,
+            EngineConfig::default(),
+            None,
+        );
+        for (&t, got) in targets.iter().zip(&swept) {
+            let solo = allocate_threads_with_spill(&funcs, t);
+            match (got, &solo) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.funcs, b.funcs, "nreg={t}");
+                    assert_eq!(a.spills, b.spills, "nreg={t}");
+                    assert_eq!(
+                        format!("{:?}", a.alloc.threads),
+                        format!("{:?}", b.alloc.threads),
+                        "nreg={t}"
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "nreg={t}"),
+                other => panic!("verdict kind diverged at nreg={t}: {other:?}"),
+            }
+        }
+        // Seeding round 0 from a balanced sweep is behaviour-preserving.
+        let seeds = allocate_threads_sweep(&funcs, &targets, EngineConfig::default());
+        let seeded = allocate_threads_with_spill_sweep(
+            &funcs,
+            &targets,
+            SPILL_BASE,
+            EngineConfig::default(),
+            Some(&seeds),
+        );
+        for ((&t, a), b) in targets.iter().zip(&swept).zip(&seeded) {
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "seeded sweep diverged at nreg={t}"
+            );
+        }
     }
 
     #[test]

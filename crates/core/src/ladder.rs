@@ -21,16 +21,20 @@
 //!
 //! Every rung is bounded: the balanced rungs inherit the caller's
 //! [`EngineConfig::max_iterations`] budget, the Chaitin rungs carry
-//! their own round caps. A rung fails with a structured
-//! [`AllocError`] — never a panic — and the ladder either returns the
-//! first rung that works (with the trail of [`Degradation`]s that led
-//! there) or a [`LadderError`] carrying the full trail plus the final
-//! error.
+//! their own round caps. When a balanced rung fails with
+//! [`AllocError::IterationCapHit`] — a starved budget, not a proof of
+//! infeasibility — the ladder retries that rung once with a doubled
+//! (still bounded) budget before descending, recording the attempt as
+//! a [`RungRetry`]. A rung fails with a structured [`AllocError`] —
+//! never a panic — and the ladder either returns the first rung that
+//! works (with the trail of [`Degradation`]s and [`RungRetry`]s that
+//! led there) or a [`LadderError`] carrying the full trail plus the
+//! final error.
 
 use crate::chaitin::{self, ChaitinConfig};
-use crate::engine::{allocate_threads_with, EngineConfig, MultiAllocation};
-use crate::error::{AllocError, Degradation, LadderStep};
-use crate::hybrid::{allocate_threads_with_spill_config, HybridAllocation};
+use crate::engine::{allocate_threads_with, EngineConfig, IterationBudget, MultiAllocation};
+use crate::error::{AllocError, Degradation, LadderStep, RungRetry};
+use crate::hybrid::{allocate_threads_with_spill_seeded, HybridAllocation};
 use regbal_ir::{Func, MemSpace, Reg, VReg};
 
 /// Default base address of the ladder's spill region (shared with the
@@ -129,6 +133,8 @@ pub struct LadderAllocation {
     pub step: LadderStep,
     /// Forced transitions, in order (empty for a clean balanced run).
     pub degradations: Vec<Degradation>,
+    /// Same-rung budget retries attempted along the way, in order.
+    pub retries: Vec<RungRetry>,
     /// The allocation itself.
     pub outcome: LadderOutcome,
 }
@@ -235,6 +241,8 @@ impl LadderAllocation {
 pub struct LadderError {
     /// The transitions that were attempted, in order.
     pub degradations: Vec<Degradation>,
+    /// Same-rung budget retries attempted along the way, in order.
+    pub retries: Vec<RungRetry>,
     /// The error of the final rung.
     pub error: AllocError,
 }
@@ -272,16 +280,97 @@ pub fn allocate_ladder_with(
     nreg: usize,
     config: &LadderConfig,
 ) -> Result<LadderAllocation, LadderError> {
+    allocate_ladder_seeded(funcs, nreg, config, RungProviders::default())
+}
+
+/// Caller-supplied verdicts for the balanced rungs, so a caller that
+/// already ran (or cached) the same allocation under the same `funcs`,
+/// `nreg`, and engine config can hand it to the ladder instead of
+/// paying for the search again. Each provider is consumed on that
+/// rung's *first* attempt; the budget-doubling retry always re-runs
+/// the engine itself (its budget differs from the cached one).
+#[derive(Default)]
+pub struct RungProviders<'a> {
+    /// Verdict of the balanced rung
+    /// ([`crate::allocate_threads_with`] on the unmodified `funcs`).
+    pub balanced: Option<Box<dyn FnOnce() -> Result<MultiAllocation, AllocError> + 'a>>,
+    /// Verdict of the balanced-spill rung
+    /// ([`crate::allocate_threads_with_spill_config`] at this ladder's
+    /// rung base).
+    pub balanced_spill: Option<Box<dyn FnOnce() -> Result<HybridAllocation, AllocError> + 'a>>,
+}
+
+/// [`allocate_ladder_with`], seeding the balanced rungs from
+/// [`RungProviders`]. The engine is deterministic, so a correctly keyed
+/// provider is behaviour-preserving: the ladder walks the same rungs
+/// and returns the same allocation, it just skips recomputing verdicts
+/// the caller already holds.
+///
+/// # Errors
+///
+/// Returns [`LadderError`] when every rung fails.
+pub fn allocate_ladder_seeded(
+    funcs: &[Func],
+    nreg: usize,
+    config: &LadderConfig,
+    mut providers: RungProviders<'_>,
+) -> Result<LadderAllocation, LadderError> {
     let mut degradations: Vec<Degradation> = Vec::new();
+    let mut retries: Vec<RungRetry> = Vec::new();
     let mut step = LadderStep::Balanced;
     loop {
-        let result = run_rung(funcs, nreg, config, step);
+        let result = match step {
+            LadderStep::Balanced => match providers.balanced.take() {
+                Some(provider) => provider().map(|alloc| LadderOutcome::Balanced {
+                    funcs: funcs.to_vec(),
+                    alloc,
+                }),
+                None => run_rung(funcs, nreg, config, step, config.engine),
+            },
+            LadderStep::BalancedSpill => match providers.balanced_spill.take() {
+                Some(provider) => provider().map(LadderOutcome::BalancedSpill),
+                None => run_rung(funcs, nreg, config, step, config.engine),
+            },
+            _ => run_rung(funcs, nreg, config, step, config.engine),
+        };
+        // Partial-rung retry: a starved budget is not a proof of
+        // infeasibility, so before descending, re-run the rung once
+        // with a doubled (still bounded) budget. A cap of zero is the
+        // ladder's own "skip the balanced rungs" idiom and is honored
+        // as-is.
+        let result = match result {
+            Err(AllocError::IterationCapHit { cap, .. })
+                if cap > 0
+                    && matches!(step, LadderStep::Balanced | LadderStep::BalancedSpill) =>
+            {
+                let retry_cap = cap.saturating_mul(2);
+                let retried = run_rung(
+                    funcs,
+                    nreg,
+                    config,
+                    step,
+                    EngineConfig {
+                        max_iterations: IterationBudget::Fixed(retry_cap),
+                        ..config.engine
+                    },
+                );
+                retries.push(RungRetry {
+                    step,
+                    cap,
+                    retry_cap,
+                    recovered: retried.is_ok(),
+                });
+                retried
+            }
+            other => other,
+        };
         match result {
             Ok(outcome) => {
                 return Ok(LadderAllocation {
                     nreg,
                     step,
                     degradations,
+                    retries,
                     outcome,
                 })
             }
@@ -296,6 +385,7 @@ pub fn allocate_ladder_with(
                 }
                 None => return Err(LadderError {
                     degradations,
+                    retries,
                     error,
                 }),
             },
@@ -303,27 +393,30 @@ pub fn allocate_ladder_with(
     }
 }
 
-/// Runs one rung of the ladder.
+/// Runs one rung of the ladder with an explicit engine config (the
+/// budget-doubling retry passes a different budget than `config`'s).
 fn run_rung(
     funcs: &[Func],
     nreg: usize,
     config: &LadderConfig,
     step: LadderStep,
+    engine: EngineConfig,
 ) -> Result<LadderOutcome, AllocError> {
     match step {
         LadderStep::Balanced => {
-            let alloc = allocate_threads_with(funcs, nreg, config.engine)?;
+            let alloc = allocate_threads_with(funcs, nreg, engine)?;
             Ok(LadderOutcome::Balanced {
                 funcs: funcs.to_vec(),
                 alloc,
             })
         }
         LadderStep::BalancedSpill => {
-            let hybrid = allocate_threads_with_spill_config(
+            let hybrid = allocate_threads_with_spill_seeded(
                 funcs,
                 nreg,
                 config.rung_base(step),
-                config.engine,
+                engine,
+                None,
             )?;
             Ok(LadderOutcome::BalancedSpill(hybrid))
         }
@@ -492,7 +585,7 @@ bb0:
         let funcs = vec![hot(), hot()];
         let config = LadderConfig {
             engine: EngineConfig {
-                max_iterations: Some(0),
+                max_iterations: IterationBudget::Fixed(0),
                 ..EngineConfig::default()
             },
             ..LadderConfig::default()
@@ -509,11 +602,124 @@ bb0:
             .degradations
             .iter()
             .all(|d| matches!(d.reason, AllocError::IterationCapHit { .. })));
+        // A zero budget is the deliberate "skip the balanced rungs"
+        // idiom: doubling zero is still zero, so no retry is recorded.
+        assert!(a.retries.is_empty());
         let k = nreg / funcs.len();
         for (t, f) in a.rewrite().unwrap().iter().enumerate() {
             f.validate().unwrap();
             verify_partition(f, t, k).unwrap();
         }
+    }
+
+    /// A loop whose boundary live ranges form an odd cycle plus a
+    /// universal counter (`MaxPR > MinPR`): the greedy loop has real
+    /// reduction work to do, so iteration budgets actually bind.
+    fn odd_cycle() -> Func {
+        parse_func(
+            "func c5 {\nbb0:\n v9 = mov 10\n v4 = mov 44\n jump bb1\nbb1:\n v0 = mov 5\n ctx\n store scratch[v4+0], v4\n v1 = mov 1\n ctx\n store scratch[v0+0], v0\n v2 = mov 2\n ctx\n store scratch[v1+0], v1\n v3 = mov 3\n ctx\n store scratch[v2+0], v2\n v4 = mov 4\n ctx\n store scratch[v3+0], v3\n v9 = sub v9, 1\n bne v9, 0, bb1, bb2\nbb2:\n halt\n}",
+        )
+        .unwrap()
+    }
+
+    /// A register-file size where balancing `funcs` succeeds but needs
+    /// at least `min_iters` committed reduction steps, plus that
+    /// step count.
+    fn feasible_size_with_work(funcs: &[Func], min_iters: usize) -> (usize, usize) {
+        use crate::engine::allocate_threads_stats;
+        for nreg in (8..=64).rev() {
+            if let Ok((_, stats)) = allocate_threads_stats(funcs, nreg, EngineConfig::uncapped())
+            {
+                if stats.iterations >= min_iters {
+                    return (nreg, stats.iterations);
+                }
+            }
+        }
+        panic!("no feasible size with >= {min_iters} iterations");
+    }
+
+    #[test]
+    fn a_starved_budget_recovers_via_the_doubled_retry() {
+        let funcs = vec![odd_cycle(), odd_cycle(), odd_cycle(), odd_cycle()];
+        let (nreg, iters) = feasible_size_with_work(&funcs, 2);
+        // Half the needed budget starves the first attempt; the
+        // doubled retry covers the full descent, so the ladder settles
+        // on the top rung with no degradations — only a retry record.
+        let cap = (iters + 1) / 2;
+        let config = LadderConfig {
+            engine: EngineConfig {
+                max_iterations: IterationBudget::Fixed(cap),
+                ..EngineConfig::default()
+            },
+            ..LadderConfig::default()
+        };
+        let a = allocate_ladder_with(&funcs, nreg, &config).unwrap();
+        assert_eq!(a.step, LadderStep::Balanced);
+        assert_eq!(a.degraded_count(), 0);
+        assert_eq!(
+            a.retries,
+            vec![RungRetry {
+                step: LadderStep::Balanced,
+                cap,
+                retry_cap: cap * 2,
+                recovered: true,
+            }]
+        );
+    }
+
+    #[test]
+    fn an_unrecoverable_budget_retries_each_balanced_rung_once() {
+        let funcs = vec![odd_cycle(), odd_cycle(), odd_cycle(), odd_cycle()];
+        let (nreg, iters) = feasible_size_with_work(&funcs, 3);
+        assert!(iters > 2);
+        // A budget of one starves both attempts of both balanced rungs
+        // (the doubled retry cap of two is still below the need), so
+        // the ladder descends to partitioning with two failed retries
+        // on record, and the degradation reasons carry the retry cap.
+        let config = LadderConfig {
+            engine: EngineConfig {
+                max_iterations: IterationBudget::Fixed(1),
+                ..EngineConfig::default()
+            },
+            ..LadderConfig::default()
+        };
+        let a = allocate_ladder_with(&funcs, nreg, &config).unwrap();
+        assert_eq!(a.step, LadderStep::FixedPartition);
+        assert_eq!(
+            a.retries
+                .iter()
+                .map(|r| (r.step, r.cap, r.retry_cap, r.recovered))
+                .collect::<Vec<_>>(),
+            vec![
+                (LadderStep::Balanced, 1, 2, false),
+                (LadderStep::BalancedSpill, 1, 2, false),
+            ]
+        );
+        assert!(a
+            .degradations
+            .iter()
+            .take(2)
+            .all(|d| matches!(d.reason, AllocError::IterationCapHit { cap: 2, .. })));
+    }
+
+    #[test]
+    fn seeded_providers_reproduce_the_unseeded_walk() {
+        let funcs = vec![hot(), hot()];
+        // Infeasible for pure balancing at 8 registers: the ladder
+        // lands on balanced-spill either way.
+        let plain = allocate_ladder(&funcs, 8).unwrap();
+        assert_eq!(plain.step, LadderStep::BalancedSpill);
+        let config = LadderConfig::default();
+        let providers = RungProviders {
+            balanced: Some(Box::new(|| {
+                allocate_threads_with(&funcs, 8, config.engine)
+            })),
+            balanced_spill: None,
+        };
+        let seeded = allocate_ladder_seeded(&funcs, 8, &config, providers).unwrap();
+        assert_eq!(seeded.step, plain.step);
+        assert_eq!(seeded.degraded_count(), plain.degraded_count());
+        assert_eq!(seeded.rewrite().unwrap(), plain.rewrite().unwrap());
     }
 
     #[test]

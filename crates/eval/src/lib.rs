@@ -15,7 +15,12 @@
 //!    code on a multi-PU [`regbal_sim::Chip`] under packet traffic,
 //!    sweeping the register-file size 32 → 128, and validates each run
 //!    against a virtual-register reference (byte-identical output
-//!    regions) before recording throughput;
+//!    regions) before recording throughput. The (scenario × strategy
+//!    × size) grid is sharded across a work-stealing worker pool
+//!    ([`EvalConfig::workers`]) with per-(scenario, PU) whole-sweep
+//!    allocation caching ([`cache`]) and chip-run dedup; cells land in
+//!    positional slots, so the merged report is byte-identical at any
+//!    worker count;
 //! 4. [`json`] — a small self-contained JSON model (the build
 //!    environment is offline, so no serde) used to serialise the
 //!    [`EvalReport`] to `BENCH_EVAL.json` and to parse it back for
@@ -33,20 +38,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod strategy;
 
+pub use cache::AllocCache;
 pub use json::Json;
 pub use report::{
-    run_eval, run_eval_on, thread_alloc_json, validate_json, CellReport, CellStatus, EvalConfig,
-    EvalReport, ScenarioReport, ThreadReport,
+    ladder_trail_json, run_eval, run_eval_on, thread_alloc_json, validate_json, CellReport,
+    CellStatus, EvalConfig, EvalReport, EvalTiming, ScenarioReport, ThreadReport,
 };
 pub use scenario::{scenarios, Scenario, THREADS_PER_PU};
 pub use strategy::{
-    all_strategies, Balanced, BalancedSpill, CompiledPu, FixedPartition, Ladder, Strategy,
-    ThreadCode,
+    all_strategies, Balanced, BalancedSpill, CompileCtx, CompiledPu, FixedPartition, Ladder,
+    PuLadderTrail, Strategy, ThreadCode,
 };
 
 #[cfg(test)]

@@ -8,14 +8,31 @@
 //! byte-identical to a virtual-register reference run of the same
 //! scenario. The result serialises to `BENCH_EVAL.json` (schema
 //! documented in `EXPERIMENTS.md`) and parses back for CI validation.
+//!
+//! # Sharding
+//!
+//! The sweep's cells are independent, so [`run_eval`] shards them over
+//! a bounded worker pool ([`EvalConfig::workers`]): workers steal
+//! cell indices from a shared atomic counter, compute each cell in
+//! isolation (panics stay confined to their cell), and deposit the
+//! result in the cell's canonical positional slot. Because the merge
+//! is positional — never arrival-ordered — and the allocation engine
+//! is deterministic, the assembled report is **byte-identical** to a
+//! serial run for the same configuration and seed, at any worker
+//! count, with the compile cache on or off.
 
+use crate::cache::AllocCache;
 use crate::json::Json;
 use crate::scenario::{scenarios, Scenario};
-use crate::strategy::{all_strategies, CompiledPu, Strategy};
+use crate::strategy::{all_strategies, CompileCtx, CompiledPu, PuLadderTrail, Strategy};
 use regbal_ir::{Func, MemSpace};
 use regbal_sim::{Chip, RunReport, SanitizerConfig, SimConfig};
 use regbal_workloads::Workload;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
 
 /// Configuration of one evaluation run.
 #[derive(Debug, Clone)]
@@ -35,11 +52,34 @@ pub struct EvalConfig {
     /// default: instrumented runs are for correctness sweeps, not for
     /// the throughput numbers.
     pub sanitize: bool,
+    /// Worker threads sharding the sweep's cells. `1` (or `0`) runs the
+    /// plain serial loop in the calling thread; any count produces a
+    /// byte-identical report.
+    pub workers: usize,
+    /// Record wall-clock timing: per-cell `elapsed_ms` and a run-level
+    /// `timing` member in the JSON document. Timing members are the
+    /// one non-deterministic part of the report, so configurations
+    /// used for byte-equality checks keep this off.
+    pub timing: bool,
+    /// Share work across cells: allocation verdicts between strategies
+    /// whose searches overlap (balanced / balanced-spill / ladder on
+    /// the same PU — one whole-sweep engine descent answers every
+    /// `Nreg` at once), and chip runs between cells whose compiled
+    /// binaries are identical. Behaviour-preserving: engine and
+    /// simulator are deterministic, so cached reports are
+    /// byte-identical to uncached ones.
+    pub cache: bool,
+}
+
+/// The machine's available parallelism, `1` when it cannot be probed.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 impl EvalConfig {
     /// The full study: the paper's sweep from 8 to 32 registers per
-    /// thread (`Nreg` 32 → 128).
+    /// thread (`Nreg` 32 → 128), sharded over the machine's cores with
+    /// wall-clock timing recorded.
     pub fn full() -> EvalConfig {
         EvalConfig {
             packets: 64,
@@ -48,15 +88,21 @@ impl EvalConfig {
             cycle_budget: 40_000_000,
             seed: 0xE7A1,
             sanitize: false,
+            workers: default_workers(),
+            timing: true,
+            cache: true,
         }
     }
 
     /// A fast configuration for CI: the tight end (48: the fixed
-    /// partition spills, balancing fits) and the paper's 128.
+    /// partition spills, balancing fits) and the paper's 128. Timing is
+    /// off so smoke reports are byte-stable across runs and worker
+    /// counts (CI compares them with `cmp`).
     pub fn smoke() -> EvalConfig {
         EvalConfig {
             packets: 12,
             nreg_sweep: vec![48, 128],
+            timing: false,
             ..EvalConfig::full()
         }
     }
@@ -138,6 +184,13 @@ pub struct CellReport {
     /// Ladder rungs descended across all PUs (0 for every strategy
     /// except `ladder`, and for `ladder` runs that stayed balanced).
     pub degraded_count: usize,
+    /// Per-PU ladder trails `(pu, trail)`, in PU order: the settled
+    /// rung, the forced transitions and the budget retries of each
+    /// processing unit. Empty for the single-rung strategies.
+    pub ladder: Vec<(usize, PuLadderTrail)>,
+    /// Wall-clock milliseconds spent compiling and measuring this cell
+    /// (`None` unless [`EvalConfig::timing`]).
+    pub elapsed_ms: Option<f64>,
     /// Per-thread details (empty unless `status` is [`CellStatus::Ok`]).
     pub threads: Vec<ThreadReport>,
 }
@@ -168,6 +221,21 @@ impl ScenarioReport {
     }
 }
 
+/// Wall-clock statistics of one evaluation run (present only when
+/// [`EvalConfig::timing`]).
+#[derive(Debug, Clone)]
+pub struct EvalTiming {
+    /// Workers the sweep was sharded over (the requested shard width).
+    pub workers: usize,
+    /// OS threads actually spawned: `workers` clamped to the machine's
+    /// available parallelism — extra threads on a CPU-bound sweep only
+    /// add scheduling contention, and the merge is positional, so the
+    /// clamp cannot change a single output byte.
+    pub threads: usize,
+    /// Wall-clock milliseconds of the whole sweep.
+    pub wall_ms: f64,
+}
+
 /// The whole study.
 #[derive(Debug, Clone)]
 pub struct EvalReport {
@@ -179,6 +247,8 @@ pub struct EvalReport {
     pub strategies: Vec<String>,
     /// Per-scenario results.
     pub scenarios: Vec<ScenarioReport>,
+    /// Wall-clock statistics (`None` unless [`EvalConfig::timing`]).
+    pub timing: Option<EvalTiming>,
 }
 
 /// Runs the full evaluation pipeline over the built-in scenario suite.
@@ -189,65 +259,235 @@ pub fn run_eval(config: &EvalConfig) -> EvalReport {
 /// Runs the pipeline over an explicit scenario list (the built-in suite
 /// is [`scenarios`]).
 pub fn run_eval_on(config: &EvalConfig, suite: &[Scenario]) -> EvalReport {
-    let strategies = all_strategies();
-    let scenario_reports = suite
+    run_eval_with(config, suite, &all_strategies())
+}
+
+/// Per-scenario state shared by the sweep's workers. The reference run
+/// is computed lazily, exactly once, by whichever worker first needs
+/// the scenario — serial and sharded sweeps therefore run the same
+/// reference exactly once each.
+struct ScenarioCtx<'a> {
+    scenario: &'a Scenario,
+    workloads: Vec<Vec<Workload>>,
+    reference: OnceLock<Result<Vec<u8>, String>>,
+}
+
+/// The scenario's virtual-register reference output, or why there is
+/// none. A broken reference poisons every cell of this scenario with
+/// an error record; the remaining scenarios still get measured.
+fn reference_output(ctx: &ScenarioCtx<'_>, config: &EvalConfig) -> Result<Vec<u8>, String> {
+    let funcs: Vec<Vec<Func>> = ctx
+        .workloads
         .iter()
-        .map(|s| run_scenario(s, &strategies, config))
+        .map(|pu| pu.iter().map(|w| w.func.clone()).collect())
+        .collect();
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_chip(&funcs, &ctx.workloads, config, None, &[])
+    })) {
+        Ok(Some(run)) => Ok(run.output),
+        Ok(None) => Err("reference run did not halt within the cycle budget".to_string()),
+        Err(payload) => Err(format!("reference run panicked: {}", panic_message(&*payload))),
+    }
+}
+
+/// Everything that determines a chip run's outcome besides the (fixed,
+/// per-scenario) workloads: the physical binaries, the sanitizer
+/// layouts, and the per-PU degradation counts. Two cells with equal
+/// keys — e.g. `balanced` and `balanced-spill` at a size needing no
+/// spills, or one strategy across every size it compiles identically
+/// for — run the exact same deterministic simulation.
+#[derive(PartialEq)]
+struct SimKey {
+    funcs: Vec<Vec<Func>>,
+    /// `None` when sanitizing is off: the layouts then never reach the
+    /// chip, so keying on them would only split otherwise-identical
+    /// runs.
+    sanitizers: Option<Vec<SanitizerConfig>>,
+    degraded: Vec<u64>,
+}
+
+/// `None` records a timeout (the run not halting is just as
+/// deterministic as any other outcome).
+type SimSlot = Arc<OnceLock<Option<Arc<ChipRun>>>>;
+
+/// Deduplicates chip runs across the sweep's cells, partitioned by
+/// scenario (the workloads, an input of the run, are fixed per
+/// scenario). Entries are scanned linearly — a scenario produces only
+/// a handful of distinct binaries — and `Func` equality bails on the
+/// first differing instruction. Behaviour-preserving for the same
+/// reason as [`AllocCache`]: the simulator is deterministic, so a hit
+/// replays exactly what recomputation would produce.
+#[derive(Default)]
+struct SimCache {
+    map: Mutex<HashMap<usize, Vec<(SimKey, SimSlot)>>>,
+}
+
+impl SimCache {
+    fn slot(&self, scenario: usize, key: &SimKey) -> SimSlot {
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        let entries = map.entry(scenario).or_default();
+        if let Some((_, slot)) = entries.iter().find(|(k, _)| k == key) {
+            return slot.clone();
+        }
+        let slot = SimSlot::default();
+        entries.push((
+            SimKey {
+                funcs: key.funcs.clone(),
+                sanitizers: key.sanitizers.clone(),
+                degraded: key.degraded.clone(),
+            },
+            slot.clone(),
+        ));
+        slot
+    }
+}
+
+/// Runs the pipeline over explicit scenarios *and* strategies — the
+/// sharded tentpole. Cells are indexed canonically
+/// (`(scenario · |strategies| + strategy) · |sweep| + size`); workers
+/// claim indices from a shared atomic counter and fill positional
+/// slots, so reassembly is in canonical order no matter which worker
+/// finished which cell when. With [`EvalConfig::timing`] off the
+/// document is byte-identical at any worker count.
+pub fn run_eval_with(
+    config: &EvalConfig,
+    suite: &[Scenario],
+    strategies: &[Box<dyn Strategy>],
+) -> EvalReport {
+    let workers = config.workers.max(1);
+    // Extra threads beyond the machine's parallelism cannot speed up a
+    // CPU-bound sweep — they only add scheduling contention — and the
+    // positional merge makes the output independent of the thread
+    // count, so the clamp is free.
+    run_eval_threads(config, suite, strategies, workers, workers.min(default_workers()))
+}
+
+/// [`run_eval_with`] with an explicit OS-thread count — the tests use
+/// this to drive the scoped-thread merge path even on machines whose
+/// available parallelism would clamp it away.
+fn run_eval_threads(
+    config: &EvalConfig,
+    suite: &[Scenario],
+    strategies: &[Box<dyn Strategy>],
+    workers: usize,
+    threads: usize,
+) -> EvalReport {
+    let started = Instant::now();
+    let cache = AllocCache::new(config.nreg_sweep.clone());
+    let sim_cache = SimCache::default();
+    let ctxs: Vec<ScenarioCtx<'_>> = suite
+        .iter()
+        .map(|s| ScenarioCtx {
+            scenario: s,
+            workloads: s.workloads(config.packets),
+            reference: OnceLock::new(),
+        })
+        .collect();
+    let nstrat = strategies.len();
+    let nsizes = config.nreg_sweep.len();
+    let total = suite.len() * nstrat * nsizes;
+
+    // One cell, by canonical index. Both the serial and the sharded
+    // path run exactly this closure, so they cannot diverge.
+    let compute = |idx: usize| -> CellReport {
+        let ctx = &ctxs[idx / (nstrat * nsizes)];
+        let strategy = strategies[(idx / nsizes) % nstrat].as_ref();
+        let nreg = config.nreg_sweep[idx % nsizes];
+        let cell_start = config.timing.then(Instant::now);
+        let compile_ctx = config.cache.then(|| CompileCtx {
+            cache: &cache,
+            scenario: idx / (nstrat * nsizes),
+        });
+        let mut cell = match ctx.reference.get_or_init(|| reference_output(ctx, config)) {
+            Ok(output) => run_cell(
+                ctx.scenario,
+                strategy,
+                nreg,
+                &ctx.workloads,
+                output,
+                config,
+                compile_ctx.as_ref().map(|c| (c, &sim_cache)),
+            ),
+            Err(why) => {
+                let mut cell = blank_cell(strategy, nreg, config);
+                cell.status = CellStatus::Error(why.clone());
+                cell
+            }
+        };
+        cell.elapsed_ms = cell_start.map(|t| t.elapsed().as_secs_f64() * 1000.0);
+        cell
+    };
+
+    let mut slots: Vec<Option<CellReport>> = (0..total).map(|_| None).collect();
+    if threads == 1 {
+        for (idx, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(compute(idx));
+        }
+    } else {
+        // Work stealing over a shared cursor: cells differ wildly in
+        // cost (a timeout burns the whole cycle budget, an infeasible
+        // cell returns instantly), so static striping would idle
+        // workers; the atomic cursor keeps every worker busy until the
+        // grid is drained.
+        let next = AtomicUsize::new(0);
+        let computed: Vec<(usize, CellReport)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(total))
+                .map(|_| {
+                    let next = &next;
+                    let compute = &compute;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= total {
+                                break;
+                            }
+                            mine.push((idx, compute(idx)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("an eval worker died outside a cell"))
+                .collect()
+        });
+        for (idx, cell) in computed {
+            slots[idx] = Some(cell);
+        }
+    }
+
+    let scenario_reports = ctxs
+        .iter()
+        .enumerate()
+        .map(|(si, ctx)| ScenarioReport {
+            name: ctx.scenario.name.to_string(),
+            description: ctx.scenario.description.to_string(),
+            register_hungry: ctx.scenario.register_hungry,
+            num_pus: ctx.scenario.pus.len(),
+            kernels: ctx
+                .workloads
+                .iter()
+                .flatten()
+                .map(|w| w.kernel.name().to_string())
+                .collect(),
+            cells: slots[si * nstrat * nsizes..(si + 1) * nstrat * nsizes]
+                .iter_mut()
+                .map(|slot| slot.take().expect("every claimed index was computed"))
+                .collect(),
+        })
         .collect();
     EvalReport {
         packets: config.packets,
         nreg_sweep: config.nreg_sweep.clone(),
         strategies: strategies.iter().map(|s| s.name().to_string()).collect(),
         scenarios: scenario_reports,
-    }
-}
-
-fn run_scenario(
-    scenario: &Scenario,
-    strategies: &[Box<dyn Strategy>],
-    config: &EvalConfig,
-) -> ScenarioReport {
-    let workloads = scenario.workloads(config.packets);
-    let reference_funcs: Vec<Vec<Func>> = workloads
-        .iter()
-        .map(|pu| pu.iter().map(|w| w.func.clone()).collect())
-        .collect();
-    // A broken reference poisons every cell of this scenario with an
-    // error record; the remaining scenarios still get measured.
-    let reference = match catch_unwind(AssertUnwindSafe(|| {
-        run_chip(&reference_funcs, &workloads, config, None, &[])
-    })) {
-        Ok(Some(run)) => Ok(run),
-        Ok(None) => Err("reference run did not halt within the cycle budget".to_string()),
-        Err(payload) => Err(format!("reference run panicked: {}", panic_message(&*payload))),
-    };
-
-    let mut cells = Vec::new();
-    for strategy in strategies {
-        for &nreg in &config.nreg_sweep {
-            cells.push(match &reference {
-                Ok(reference) => run_cell(
-                    scenario, strategy.as_ref(), nreg, &workloads, &reference.output, config,
-                ),
-                Err(why) => {
-                    let mut cell = blank_cell(strategy.as_ref(), nreg, config);
-                    cell.status = CellStatus::Error(why.clone());
-                    cell
-                }
-            });
-        }
-    }
-    ScenarioReport {
-        name: scenario.name.to_string(),
-        description: scenario.description.to_string(),
-        register_hungry: scenario.register_hungry,
-        num_pus: scenario.pus.len(),
-        kernels: workloads
-            .iter()
-            .flatten()
-            .map(|w| w.kernel.name().to_string())
-            .collect(),
-        cells,
+        timing: config.timing.then(|| EvalTiming {
+            workers,
+            threads: threads.min(total.max(1)),
+            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        }),
     }
 }
 
@@ -277,6 +517,8 @@ fn blank_cell(strategy: &dyn Strategy, nreg: usize, config: &EvalConfig) -> Cell
         moves: 0,
         spills: 0,
         degraded_count: 0,
+        ladder: Vec::new(),
+        elapsed_ms: None,
         threads: Vec::new(),
     }
 }
@@ -288,6 +530,7 @@ fn run_cell(
     workloads: &[Vec<Workload>],
     reference_output: &[u8],
     config: &EvalConfig,
+    caches: Option<(&CompileCtx<'_>, &SimCache)>,
 ) -> CellReport {
     let mut cell = blank_cell(strategy, nreg, config);
 
@@ -297,7 +540,10 @@ fn run_cell(
     let mut compiled: Vec<CompiledPu> = Vec::with_capacity(workloads.len());
     for (pu, pu_workloads) in workloads.iter().enumerate() {
         let funcs: Vec<Func> = pu_workloads.iter().map(|w| w.func.clone()).collect();
-        match catch_unwind(AssertUnwindSafe(|| strategy.compile(&funcs, nreg, pu))) {
+        match catch_unwind(AssertUnwindSafe(|| match caches {
+            Some((ctx, _)) => strategy.compile_cached(&funcs, nreg, pu, ctx),
+            None => strategy.compile(&funcs, nreg, pu),
+        })) {
             Ok(Ok(c)) => compiled.push(c),
             Ok(Err(reason)) => {
                 cell.status = CellStatus::Infeasible(format!("PU{pu}: {reason}"));
@@ -316,19 +562,32 @@ fn run_cell(
     cell.moves = compiled.iter().map(CompiledPu::moves).sum();
     cell.spills = compiled.iter().map(CompiledPu::spills).sum();
     cell.degraded_count = compiled.iter().map(|c| c.degraded).sum();
+    cell.ladder = compiled
+        .iter()
+        .enumerate()
+        .filter_map(|(pu, c)| c.ladder.clone().map(|trail| (pu, trail)))
+        .collect();
 
-    let funcs: Vec<Vec<Func>> = compiled.iter().map(|c| c.funcs.clone()).collect();
-    let sanitizers: Vec<SanitizerConfig> =
-        compiled.iter().map(|c| c.sanitizer.clone()).collect();
-    let degraded: Vec<u64> = compiled.iter().map(|c| c.degraded as u64).collect();
-    let run = match catch_unwind(AssertUnwindSafe(|| {
+    let key = SimKey {
+        funcs: compiled.iter().map(|c| c.funcs.clone()).collect(),
+        sanitizers: config
+            .sanitize
+            .then(|| compiled.iter().map(|c| c.sanitizer.clone()).collect()),
+        degraded: compiled.iter().map(|c| c.degraded as u64).collect(),
+    };
+    let chip_run = || {
         run_chip(
-            &funcs,
+            &key.funcs,
             workloads,
             config,
-            config.sanitize.then_some(sanitizers.as_slice()),
-            &degraded,
+            key.sanitizers.as_deref(),
+            &key.degraded,
         )
+        .map(Arc::new)
+    };
+    let run = match catch_unwind(AssertUnwindSafe(|| match caches {
+        Some((ctx, sim)) => sim.slot(ctx.scenario, &key).get_or_init(chip_run).clone(),
+        None => chip_run(),
     })) {
         Ok(Some(run)) => run,
         Ok(None) => {
@@ -470,10 +729,59 @@ pub fn thread_alloc_json(
     ])
 }
 
+/// The shared ladder-trail schema: the settled rung, the recorded
+/// trail of forced transitions with stable machine-readable reason
+/// codes ([`regbal_core::AllocError::code`]), and any same-rung budget
+/// retries. The same keys are emitted by `regbal alloc --ladder
+/// --json` and by the per-PU `ladder` entries of `BENCH_EVAL.json`.
+pub fn ladder_trail_json(trail: &PuLadderTrail) -> Json {
+    Json::Obj(vec![
+        ("step".into(), Json::str(trail.step.name())),
+        (
+            "degraded".into(),
+            Json::uint(trail.degradations.len() as u64),
+        ),
+        (
+            "degradations".into(),
+            Json::Arr(
+                trail
+                    .degradations
+                    .iter()
+                    .map(|d| {
+                        Json::Obj(vec![
+                            ("from".into(), Json::str(d.from.name())),
+                            ("to".into(), Json::str(d.to.name())),
+                            ("code".into(), Json::str(d.reason.code())),
+                            ("reason".into(), Json::str(d.reason.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "retries".into(),
+            Json::Arr(
+                trail
+                    .retries
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("step".into(), Json::str(r.step.name())),
+                            ("cap".into(), Json::uint(r.cap as u64)),
+                            ("retry_cap".into(), Json::uint(r.retry_cap as u64)),
+                            ("recovered".into(), Json::Bool(r.recovered)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 impl EvalReport {
     /// Serialises the report (the `BENCH_EVAL.json` document).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut doc = Json::Obj(vec![
             ("schema".into(), Json::str("regbal-eval/1")),
             ("packets".into(), Json::uint(self.packets as u64)),
             (
@@ -488,7 +796,21 @@ impl EvalReport {
                 "scenarios".into(),
                 Json::Arr(self.scenarios.iter().map(ScenarioReport::to_json).collect()),
             ),
-        ])
+        ]);
+        if let Some(timing) = &self.timing {
+            let Json::Obj(members) = &mut doc else {
+                unreachable!("the report document is an object");
+            };
+            members.push((
+                "timing".into(),
+                Json::Obj(vec![
+                    ("workers".into(), Json::uint(timing.workers as u64)),
+                    ("threads".into(), Json::uint(timing.threads as u64)),
+                    ("wall_ms".into(), Json::float(timing.wall_ms)),
+                ]),
+            ));
+        }
+        doc
     }
 
     /// The serialised document text.
@@ -565,11 +887,31 @@ impl CellReport {
                     "degraded_count".into(),
                     Json::uint(self.degraded_count as u64),
                 ),
-                (
-                    "threads".into(),
-                    Json::Arr(self.threads.iter().map(ThreadReport::to_json).collect()),
-                ),
             ]);
+            if !self.ladder.is_empty() {
+                members.push((
+                    "ladder".into(),
+                    Json::Arr(
+                        self.ladder
+                            .iter()
+                            .map(|(pu, trail)| {
+                                let Json::Obj(mut entry) = ladder_trail_json(trail) else {
+                                    unreachable!("ladder_trail_json returns an object");
+                                };
+                                entry.insert(0, ("pu".into(), Json::uint(*pu as u64)));
+                                Json::Obj(entry)
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            members.push((
+                "threads".into(),
+                Json::Arr(self.threads.iter().map(ThreadReport::to_json).collect()),
+            ));
+        }
+        if let Some(ms) = self.elapsed_ms {
+            members.push(("elapsed_ms".into(), Json::float(ms)));
         }
         Json::Obj(members)
     }
@@ -683,10 +1025,44 @@ pub fn validate_json(doc: &Json) -> Result<String, String> {
                                 ));
                             }
                         }
-                        if cell.get("degraded_count").and_then(|v| v.as_u64()).is_none() {
-                            return Err(format!(
-                                "{name}: {strategy}@{nreg} missing degraded_count"
-                            ));
+                        let degraded_count = cell
+                            .get("degraded_count")
+                            .and_then(|v| v.as_u64())
+                            .ok_or_else(|| {
+                                format!("{name}: {strategy}@{nreg} missing degraded_count")
+                            })?;
+                        // Ladder cells carry the per-PU trail, and its
+                        // degradations must add up to the cell total.
+                        if strategy == "ladder" {
+                            let entries = cell
+                                .get("ladder")
+                                .and_then(Json::as_arr)
+                                .ok_or_else(|| {
+                                    format!("{name}: {strategy}@{nreg} missing ladder trail")
+                                })?;
+                            let mut total = 0u64;
+                            for entry in entries {
+                                entry.get("pu").and_then(|v| v.as_u64()).ok_or_else(|| {
+                                    format!("{name}: {strategy}@{nreg} trail entry without pu")
+                                })?;
+                                entry.get("step").and_then(Json::as_str).ok_or_else(|| {
+                                    format!("{name}: {strategy}@{nreg} trail entry without step")
+                                })?;
+                                total += entry
+                                    .get("degraded")
+                                    .and_then(|v| v.as_u64())
+                                    .ok_or_else(|| {
+                                        format!(
+                                            "{name}: {strategy}@{nreg} trail entry without degraded"
+                                        )
+                                    })?;
+                            }
+                            if total != degraded_count {
+                                return Err(format!(
+                                    "{name}: {strategy}@{nreg} trail degradations ({total}) \
+                                     disagree with degraded_count ({degraded_count})"
+                                ));
+                            }
                         }
                     }
                     "infeasible" => {}
@@ -698,6 +1074,17 @@ pub fn validate_json(doc: &Json) -> Result<String, String> {
                         return Err(format!("{name}: {strategy}@{nreg} errored: {why}"));
                     }
                     other => return Err(format!("{name}: {strategy}@{nreg} status `{other}`")),
+                }
+                // Timed documents stamp non-negative wall-clock costs.
+                if let Some(ms) = cell.get("elapsed_ms") {
+                    let ms = ms.as_f64().ok_or_else(|| {
+                        format!("{name}: {strategy}@{nreg} non-numeric elapsed_ms")
+                    })?;
+                    if !ms.is_finite() || ms < 0.0 {
+                        return Err(format!(
+                            "{name}: {strategy}@{nreg} invalid elapsed_ms {ms}"
+                        ));
+                    }
                 }
             }
             if !feasible_somewhere {
@@ -722,6 +1109,29 @@ pub fn validate_json(doc: &Json) -> Result<String, String> {
             "no register-hungry scenario where balanced >= fixed-partition at the largest file"
                 .into(),
         );
+    }
+    if let Some(timing) = doc.get("timing") {
+        let workers = timing
+            .get("workers")
+            .and_then(|v| v.as_u64())
+            .ok_or("timing without workers")?;
+        if workers == 0 {
+            return Err("timing reports zero workers".into());
+        }
+        let threads = timing
+            .get("threads")
+            .and_then(|v| v.as_u64())
+            .ok_or("timing without threads")?;
+        if threads == 0 || threads > workers {
+            return Err(format!("invalid thread count {threads} for {workers} workers"));
+        }
+        let wall = timing
+            .get("wall_ms")
+            .and_then(Json::as_f64)
+            .ok_or("timing without wall_ms")?;
+        if !wall.is_finite() || wall < 0.0 {
+            return Err(format!("invalid wall_ms {wall}"));
+        }
     }
     Ok(format!(
         "{} scenarios x {} strategies x {} sizes: {ok_cells} validated cells, headline holds",
@@ -758,7 +1168,7 @@ mod tests {
         let suite = scenarios();
         let scenario = &suite[0];
         let workloads = scenario.workloads(config.packets);
-        let cell = run_cell(scenario, &Panicky, 48, &workloads, &[], &config);
+        let cell = run_cell(scenario, &Panicky, 48, &workloads, &[], &config, None);
         let CellStatus::Error(why) = &cell.status else {
             panic!("expected an error cell, got {:?}", cell.status);
         };
@@ -799,5 +1209,150 @@ mod tests {
         let doc = crate::json::parse(&report.to_json_string()).expect("document parses");
         let err = validate_json(&doc).expect_err("error cells must fail validation");
         assert!(err.contains("errored"), "{err}");
+    }
+
+    /// The deterministic-merge guarantee of the tentpole: the same
+    /// configuration produces a byte-identical document serially, at
+    /// any worker count, and with the compile cache on or off.
+    #[test]
+    fn sharded_sweeps_are_byte_identical_at_any_worker_count() {
+        let base = EvalConfig {
+            packets: 2,
+            nreg_sweep: vec![48, 128],
+            ..EvalConfig::smoke()
+        };
+        let suite = scenarios();
+        let suite = &suite[..3];
+        let serial_uncached = run_eval_on(
+            &EvalConfig {
+                workers: 1,
+                cache: false,
+                ..base.clone()
+            },
+            suite,
+        )
+        .to_json_string();
+        for workers in [1usize, 4, 8] {
+            // Drive the scoped-thread merge path directly: the public
+            // entry point clamps threads to the machine's parallelism,
+            // which on a small CI box would reduce every case to the
+            // serial path and test nothing.
+            let sharded = run_eval_threads(
+                &EvalConfig {
+                    workers,
+                    cache: true,
+                    ..base.clone()
+                },
+                suite,
+                &all_strategies(),
+                workers,
+                workers,
+            )
+            .to_json_string();
+            assert_eq!(
+                serial_uncached, sharded,
+                "cached sweep at {workers} workers diverged from the serial baseline"
+            );
+        }
+    }
+
+    /// A strategy that panics only in one deterministic cell of the
+    /// grid, to prove worker-level fault isolation.
+    struct PanickyAt {
+        nreg: usize,
+    }
+
+    impl Strategy for PanickyAt {
+        fn name(&self) -> &'static str {
+            "panicky-at"
+        }
+
+        fn compile(&self, _: &[Func], nreg: usize, pu: usize) -> Result<CompiledPu, String> {
+            assert!(
+                nreg != self.nreg || pu != 0,
+                "injected fault at nreg={nreg}"
+            );
+            Err("never feasible elsewhere".into())
+        }
+    }
+
+    /// Panic injection under sharding: the poisoned cell is recorded as
+    /// an error, every sibling cell — including the same strategy at
+    /// other file sizes and other strategies in the same scenarios —
+    /// still gets measured by the surviving workers.
+    #[test]
+    fn a_poisoned_cell_dies_alone_in_a_sharded_sweep() {
+        let config = EvalConfig {
+            packets: 2,
+            nreg_sweep: vec![48, 128],
+            workers: 4,
+            ..EvalConfig::smoke()
+        };
+        let suite = scenarios();
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(crate::strategy::Balanced),
+            Box::new(PanickyAt { nreg: 48 }),
+        ];
+        let report = run_eval_threads(&config, &suite[..3], &strategies, 4, 4);
+        assert_eq!(report.scenarios.len(), 3);
+        for s in &report.scenarios {
+            let poisoned = s.cell("panicky-at", 48).expect("poisoned cell present");
+            assert!(
+                matches!(&poisoned.status, CellStatus::Error(why) if why.contains("injected fault")),
+                "expected the injected panic, got {:?}",
+                poisoned.status
+            );
+            let sibling = s.cell("panicky-at", 128).expect("sibling cell present");
+            assert!(
+                matches!(sibling.status, CellStatus::Infeasible(_)),
+                "sibling cell of the panicking strategy still measured: {:?}",
+                sibling.status
+            );
+            for nreg in [48, 128] {
+                let balanced = s.cell("balanced", nreg).expect("balanced cell present");
+                assert!(
+                    !matches!(balanced.status, CellStatus::Error(_)),
+                    "a poisoned cell must not spill into other strategies: {:?}",
+                    balanced.status
+                );
+            }
+        }
+    }
+
+    /// Timing knobs surface in the document — and only there: a timed
+    /// run carries run-level and per-cell wall-clock members that
+    /// validate, an untimed run omits them entirely.
+    #[test]
+    fn timing_members_appear_exactly_when_requested() {
+        let config = EvalConfig {
+            packets: 2,
+            nreg_sweep: vec![48],
+            timing: true,
+            workers: 2,
+            ..EvalConfig::smoke()
+        };
+        let suite = scenarios();
+        let report = run_eval_on(&config, &suite[..3]);
+        let timing = report.timing.as_ref().expect("timed run records timing");
+        assert_eq!(timing.workers, 2);
+        assert!(timing.threads >= 1 && timing.threads <= 2);
+        assert!(timing.wall_ms >= 0.0);
+        let text = report.to_json_string();
+        assert!(text.contains("\"timing\""));
+        assert!(text.contains("\"elapsed_ms\""));
+        let doc = crate::json::parse(&text).expect("timed document parses");
+        validate_json(&doc).expect("timed document validates");
+
+        let untimed = run_eval_on(
+            &EvalConfig {
+                timing: false,
+                ..config
+            },
+            &suite[..3],
+        );
+        assert!(untimed.timing.is_none());
+        let text = untimed.to_json_string();
+        assert!(!text.contains("\"timing\""));
+        assert!(!text.contains("\"elapsed_ms\""));
     }
 }

@@ -21,33 +21,40 @@
 //!   infeasibility while any fallback rung can still deliver; each
 //!   forced transition is counted in [`CompiledPu::degraded`].
 
+use crate::cache::AllocCache;
 use regbal_core::chaitin::{self, ChaitinConfig};
 use regbal_core::{
-    allocate_ladder_with, allocate_threads, allocate_threads_with_spill_at, EngineConfig,
-    LadderConfig, LadderOutcome, MultiAllocation,
+    allocate_ladder_seeded, allocate_ladder_with, allocate_threads,
+    allocate_threads_with_spill_at, Degradation, EngineConfig, HybridAllocation,
+    LadderAllocation, LadderConfig, LadderOutcome, LadderStep, MultiAllocation, RungProviders,
+    RungRetry,
 };
 use regbal_ir::{Func, MemSpace};
 use regbal_sim::SanitizerConfig;
 
 /// Spill area of the fixed-partition baseline (per compiled thread,
-/// `0x1000` bytes apart; below the hybrid area and above the workload
-/// tables).
+/// `0x1000` bytes apart; below the per-PU balancing areas and above the
+/// workload tables).
 const FIXED_SPILL_BASE: i64 = 0x6_0000;
 
-/// Spill area of the hybrid strategy, per PU (`allocate_threads_with_spill_at`
-/// spaces threads `0x1000` apart within it).
-const HYBRID_SPILL_BASE: i64 = 0x8_0000;
+/// Base of the per-PU spill region shared by the balancing strategies.
+/// The hybrid (`balanced-spill`) spills directly at a PU's base, and
+/// the ladder packs its spilling rungs from that same base — so the
+/// ladder's balanced-spill rung produces byte-identical code to the
+/// `balanced-spill` strategy on the same PU, which is what lets the
+/// sweep's allocation cache share verdicts between the two.
+const PU_SPILL_BASE: i64 = 0x8_0000;
 
-/// Bytes of spill area reserved per PU for the hybrid strategy.
-const HYBRID_SPILL_STRIDE: i64 = 0x8000;
+/// Bytes of spill region reserved per PU. A full ladder packs its
+/// three spilling rungs into `0x3_0000` bytes (`0x1_0000` each), so two
+/// PUs end at `0xE_0000`, below the 1 MiB SRAM ceiling.
+const PU_SPILL_STRIDE: i64 = 0x3_0000;
 
-/// Spill region of the ladder strategy, per PU. A full ladder packs
-/// its three spilling rungs into `0x3_0000` bytes, so two PUs fit
-/// below the 1 MiB SRAM ceiling.
-const LADDER_SPILL_BASE: i64 = 0xA_0000;
-
-/// Bytes of spill region reserved per PU for the ladder strategy.
-const LADDER_SPILL_STRIDE: i64 = 0x3_0000;
+/// The spill region base of one PU (shared by `balanced-spill` and the
+/// ladder; see [`PU_SPILL_BASE`]).
+fn pu_spill_base(pu: usize) -> i64 {
+    PU_SPILL_BASE + (pu as i64) * PU_SPILL_STRIDE
+}
 
 /// Allocation statistics of one compiled thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +68,31 @@ pub struct ThreadCode {
     pub moves: usize,
     /// Live ranges spilled to memory.
     pub spills: usize,
+}
+
+/// The ladder trail of one PU's compilation: which rung settled, the
+/// forced transitions that led there, and any same-rung budget
+/// retries. Only the [`Ladder`] strategy records one; it feeds the
+/// per-PU degradation telemetry of `BENCH_EVAL.json` and the CLI's
+/// `regbal alloc --ladder --json` output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PuLadderTrail {
+    /// The rung that finally delivered code.
+    pub step: LadderStep,
+    /// Forced transitions, in order (empty for a clean balanced run).
+    pub degradations: Vec<Degradation>,
+    /// Same-rung budget retries, in order.
+    pub retries: Vec<RungRetry>,
+}
+
+impl From<&LadderAllocation> for PuLadderTrail {
+    fn from(alloc: &LadderAllocation) -> PuLadderTrail {
+        PuLadderTrail {
+            step: alloc.step,
+            degradations: alloc.degradations.clone(),
+            retries: alloc.retries.clone(),
+        }
+    }
 }
 
 /// The physical-register programs of one PU plus their statistics.
@@ -80,6 +112,9 @@ pub struct CompiledPu {
     /// 0 for the single-rung strategies; the [`Ladder`] strategy
     /// reports its [`regbal_core::LadderAllocation::degraded_count`]).
     pub degraded: usize,
+    /// The full per-PU ladder trail (settled rung, degradation
+    /// reasons, retries) — `None` for the single-rung strategies.
+    pub ladder: Option<PuLadderTrail>,
 }
 
 impl CompiledPu {
@@ -111,8 +146,21 @@ fn balanced_sanitizer(alloc: &MultiAllocation) -> SanitizerConfig {
     cfg
 }
 
-/// An allocation strategy the harness can evaluate.
-pub trait Strategy {
+/// The shared state a sweep hands to [`Strategy::compile_cached`]: the
+/// allocation cache plus the scenario's index in the suite (the cache
+/// key component that distinguishes identical `(pu, nreg)` pairs of
+/// different scenarios).
+pub struct CompileCtx<'a> {
+    /// Allocation verdicts shared across the sweep's cells.
+    pub cache: &'a AllocCache,
+    /// Index of the scenario being compiled within its suite.
+    pub scenario: usize,
+}
+
+/// An allocation strategy the harness can evaluate. `Sync` so the
+/// sharded sweep can drive one strategy object from many workers
+/// (every shipped strategy is a stateless unit struct).
+pub trait Strategy: Sync {
     /// Stable identifier used in reports (`fixed-partition`,
     /// `balanced`, `balanced-spill`).
     fn name(&self) -> &'static str;
@@ -125,6 +173,26 @@ pub trait Strategy {
     /// Returns a human-readable reason when the strategy cannot produce
     /// code at this file size (e.g. balancing alone is infeasible).
     fn compile(&self, funcs: &[Func], nreg: usize, pu: usize) -> Result<CompiledPu, String>;
+
+    /// [`Strategy::compile`] with access to the sweep's shared
+    /// allocation cache. The default ignores the cache; strategies
+    /// whose searches overlap (balanced, balanced-spill, ladder)
+    /// override it. Must return exactly what [`Strategy::compile`]
+    /// would — caching is a speedup, never a behaviour change.
+    ///
+    /// # Errors
+    ///
+    /// As [`Strategy::compile`].
+    fn compile_cached(
+        &self,
+        funcs: &[Func],
+        nreg: usize,
+        pu: usize,
+        ctx: &CompileCtx<'_>,
+    ) -> Result<CompiledPu, String> {
+        let _ = ctx;
+        self.compile(funcs, nreg, pu)
+    }
 }
 
 /// The paper's baseline: fixed `Nreg / Nthd` private banks, Chaitin
@@ -184,7 +252,54 @@ impl Strategy for FixedPartition {
                 None,
             ),
             degraded: 0,
+            ladder: None,
         })
+    }
+}
+
+/// Packages a balanced-engine allocation as a [`CompiledPu`].
+fn balanced_pu(alloc: &MultiAllocation, funcs: &[Func]) -> CompiledPu {
+    let threads = alloc
+        .threads
+        .iter()
+        .map(|t| ThreadCode {
+            pr: t.pr(),
+            sr: t.sr(),
+            moves: t.moves(),
+            spills: 0,
+        })
+        .collect();
+    CompiledPu {
+        sanitizer: balanced_sanitizer(alloc),
+        funcs: alloc.rewrite_funcs(funcs),
+        threads,
+        registers_used: alloc.total_registers(),
+        degraded: 0,
+        ladder: None,
+    }
+}
+
+/// Packages a hybrid allocation as a [`CompiledPu`].
+fn hybrid_pu(hybrid: &HybridAllocation) -> CompiledPu {
+    let threads = hybrid
+        .alloc
+        .threads
+        .iter()
+        .zip(&hybrid.spills)
+        .map(|(t, &spills)| ThreadCode {
+            pr: t.pr(),
+            sr: t.sr(),
+            moves: t.moves(),
+            spills,
+        })
+        .collect();
+    CompiledPu {
+        sanitizer: balanced_sanitizer(&hybrid.alloc),
+        funcs: hybrid.rewrite(),
+        threads,
+        registers_used: hybrid.alloc.total_registers(),
+        degraded: 0,
+        ladder: None,
     }
 }
 
@@ -195,23 +310,21 @@ impl Strategy for Balanced {
 
     fn compile(&self, funcs: &[Func], nreg: usize, _pu: usize) -> Result<CompiledPu, String> {
         let alloc = allocate_threads(funcs, nreg).map_err(|e| e.to_string())?;
-        let threads = alloc
-            .threads
-            .iter()
-            .map(|t| ThreadCode {
-                pr: t.pr(),
-                sr: t.sr(),
-                moves: t.moves(),
-                spills: 0,
-            })
-            .collect();
-        Ok(CompiledPu {
-            sanitizer: balanced_sanitizer(&alloc),
-            funcs: alloc.rewrite_funcs(funcs),
-            threads,
-            registers_used: alloc.total_registers(),
-            degraded: 0,
-        })
+        Ok(balanced_pu(&alloc, funcs))
+    }
+
+    fn compile_cached(
+        &self,
+        funcs: &[Func],
+        nreg: usize,
+        pu: usize,
+        ctx: &CompileCtx<'_>,
+    ) -> Result<CompiledPu, String> {
+        let alloc = ctx
+            .cache
+            .balanced((ctx.scenario, pu, nreg), funcs)
+            .map_err(|e| e.to_string())?;
+        Ok(balanced_pu(&alloc, funcs))
     }
 }
 
@@ -221,28 +334,23 @@ impl Strategy for BalancedSpill {
     }
 
     fn compile(&self, funcs: &[Func], nreg: usize, pu: usize) -> Result<CompiledPu, String> {
-        let base = HYBRID_SPILL_BASE + (pu as i64) * HYBRID_SPILL_STRIDE;
-        let hybrid =
-            allocate_threads_with_spill_at(funcs, nreg, base).map_err(|e| e.to_string())?;
-        let threads = hybrid
-            .alloc
-            .threads
-            .iter()
-            .zip(&hybrid.spills)
-            .map(|(t, &spills)| ThreadCode {
-                pr: t.pr(),
-                sr: t.sr(),
-                moves: t.moves(),
-                spills,
-            })
-            .collect();
-        Ok(CompiledPu {
-            sanitizer: balanced_sanitizer(&hybrid.alloc),
-            funcs: hybrid.rewrite(),
-            threads,
-            registers_used: hybrid.alloc.total_registers(),
-            degraded: 0,
-        })
+        let hybrid = allocate_threads_with_spill_at(funcs, nreg, pu_spill_base(pu))
+            .map_err(|e| e.to_string())?;
+        Ok(hybrid_pu(&hybrid))
+    }
+
+    fn compile_cached(
+        &self,
+        funcs: &[Func],
+        nreg: usize,
+        pu: usize,
+        ctx: &CompileCtx<'_>,
+    ) -> Result<CompiledPu, String> {
+        let hybrid = ctx
+            .cache
+            .hybrid((ctx.scenario, pu, nreg), funcs, pu_spill_base(pu))
+            .map_err(|e| e.to_string())?;
+        Ok(hybrid_pu(&hybrid))
     }
 }
 
@@ -251,46 +359,77 @@ impl Strategy for BalancedSpill {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ladder;
 
+/// The ladder configuration of one PU: default engine, spill region
+/// packed from the PU's shared base (see [`PU_SPILL_BASE`]).
+fn ladder_config(pu: usize) -> LadderConfig {
+    LadderConfig {
+        engine: EngineConfig::default(),
+        spill_space: MemSpace::Sram,
+        spill_base: pu_spill_base(pu),
+    }
+}
+
+/// Packages a settled ladder allocation as a [`CompiledPu`].
+fn ladder_pu(alloc: &LadderAllocation, funcs: &[Func]) -> Result<CompiledPu, String> {
+    let threads = alloc
+        .thread_summaries()
+        .iter()
+        .map(|s| ThreadCode {
+            pr: s.pr,
+            sr: s.sr,
+            moves: s.moves,
+            spills: s.spills,
+        })
+        .collect();
+    let sanitizer = match (&alloc.outcome, alloc.balanced_alloc()) {
+        (_, Some(balanced)) => balanced_sanitizer(balanced),
+        (LadderOutcome::Partitioned { k, .. }, None) => SanitizerConfig::with_layout(
+            (0..funcs.len())
+                .map(|t| (t * k) as u32..((t + 1) * k) as u32)
+                .collect(),
+            None,
+        ),
+        // `balanced_alloc` covers every non-partitioned outcome.
+        (_, None) => SanitizerConfig::default(),
+    };
+    Ok(CompiledPu {
+        funcs: alloc.rewrite().map_err(|e| e.to_string())?,
+        registers_used: alloc.registers_used(),
+        threads,
+        sanitizer,
+        degraded: alloc.degraded_count(),
+        ladder: Some(PuLadderTrail::from(alloc)),
+    })
+}
+
 impl Strategy for Ladder {
     fn name(&self) -> &'static str {
         "ladder"
     }
 
     fn compile(&self, funcs: &[Func], nreg: usize, pu: usize) -> Result<CompiledPu, String> {
-        let config = LadderConfig {
-            engine: EngineConfig::default(),
-            spill_space: MemSpace::Sram,
-            spill_base: LADDER_SPILL_BASE + (pu as i64) * LADDER_SPILL_STRIDE,
+        let alloc = allocate_ladder_with(funcs, nreg, &ladder_config(pu))
+            .map_err(|e| e.to_string())?;
+        ladder_pu(&alloc, funcs)
+    }
+
+    fn compile_cached(
+        &self,
+        funcs: &[Func],
+        nreg: usize,
+        pu: usize,
+        ctx: &CompileCtx<'_>,
+    ) -> Result<CompiledPu, String> {
+        let key = (ctx.scenario, pu, nreg);
+        let providers = RungProviders {
+            balanced: Some(Box::new(move || ctx.cache.balanced(key, funcs))),
+            balanced_spill: Some(Box::new(move || {
+                ctx.cache.hybrid(key, funcs, pu_spill_base(pu))
+            })),
         };
-        let alloc = allocate_ladder_with(funcs, nreg, &config).map_err(|e| e.to_string())?;
-        let threads = alloc
-            .thread_summaries()
-            .iter()
-            .map(|s| ThreadCode {
-                pr: s.pr,
-                sr: s.sr,
-                moves: s.moves,
-                spills: s.spills,
-            })
-            .collect();
-        let sanitizer = match (&alloc.outcome, alloc.balanced_alloc()) {
-            (_, Some(balanced)) => balanced_sanitizer(balanced),
-            (LadderOutcome::Partitioned { k, .. }, None) => SanitizerConfig::with_layout(
-                (0..funcs.len())
-                    .map(|t| (t * k) as u32..((t + 1) * k) as u32)
-                    .collect(),
-                None,
-            ),
-            // `balanced_alloc` covers every non-partitioned outcome.
-            (_, None) => SanitizerConfig::default(),
-        };
-        Ok(CompiledPu {
-            funcs: alloc.rewrite().map_err(|e| e.to_string())?,
-            registers_used: alloc.registers_used(),
-            threads,
-            sanitizer,
-            degraded: alloc.degraded_count(),
-        })
+        let alloc = allocate_ladder_seeded(funcs, nreg, &ladder_config(pu), providers)
+            .map_err(|e| e.to_string())?;
+        ladder_pu(&alloc, funcs)
     }
 }
 

@@ -60,7 +60,7 @@ impl fmt::Display for Pc {
 /// does not depend on) can produce them: `MultiAllocation::layout()`
 /// gives the ranges and `MultiAllocation::fragment_tags()` the
 /// fragment map.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SanitizerConfig {
     /// Private register banks, indexed by thread. Empty when the
     /// layout is unknown (bank checks are skipped, clobber and

@@ -23,7 +23,7 @@ mod common;
 use proptest::prelude::*;
 use regbal_core::{
     allocate_ladder, allocate_ladder_with, allocate_threads_stats, allocate_threads_with,
-    AllocError, EngineConfig, LadderConfig, LadderStep,
+    AllocError, EngineConfig, IterationBudget, LadderConfig, LadderStep,
 };
 use regbal_ir::{Func, MemSpace, Reg, Terminator};
 use regbal_sim::{SanitizerConfig, SimConfig, Simulator, StopWhen};
@@ -104,7 +104,7 @@ fn exercise(funcs: &[Func], nreg: usize, stats: &mut CorpusStats) {
     stats.funcs += funcs.len();
     let config = LadderConfig {
         engine: EngineConfig {
-            max_iterations: Some(500),
+            max_iterations: IterationBudget::Fixed(500),
             ..EngineConfig::default()
         },
         ..LadderConfig::default()
@@ -124,6 +124,16 @@ fn exercise(funcs: &[Func], nreg: usize, stats: &mut CorpusStats) {
         }
     };
     *stats.settled.entry(alloc.step.name()).or_default() += 1;
+    // Budget retries are bookkept consistently: every retry doubles a
+    // non-zero cap, and a recovered retry means the ladder never
+    // degraded *past* that rung.
+    for r in &alloc.retries {
+        assert!(r.cap > 0, "retry of a zero budget: {r:?}");
+        assert_eq!(r.retry_cap, r.cap * 2, "retry must double the budget");
+        if r.recovered {
+            assert!(alloc.step <= r.step, "recovered rung {r:?} yet settled lower");
+        }
+    }
     if alloc.degraded_count() > 0 {
         stats.degraded_allocations += 1;
         stats.degradations += alloc.degraded_count();
@@ -241,7 +251,7 @@ proptest! {
             return Ok(());
         };
         let exact_cap = EngineConfig {
-            max_iterations: Some(stats.iterations),
+            max_iterations: IterationBudget::Fixed(stats.iterations),
             ..EngineConfig::default()
         };
         let capped = allocate_threads_with(&funcs, nreg, exact_cap)
@@ -250,7 +260,7 @@ proptest! {
 
         if stats.iterations > 0 {
             let starved = EngineConfig {
-                max_iterations: Some(stats.iterations - 1),
+                max_iterations: IterationBudget::Fixed(stats.iterations - 1),
                 ..EngineConfig::default()
             };
             let err = allocate_threads_with(&funcs, nreg, starved)

@@ -45,3 +45,11 @@ cargo test -q --test degradation
 ./target/release/regbal eval --smoke --workers 1 --out target/BENCH_EVAL_W1.json
 ./target/release/regbal eval --smoke --workers 4 --out target/BENCH_EVAL_W4.json
 cmp target/BENCH_EVAL_W1.json target/BENCH_EVAL_W4.json
+
+# Device smoke gate: the 4- and 16-PU device scenarios (command
+# processor + ring workers) under the reference slice loop, the serial
+# event core and the threaded event core, with the clobber sanitizer on
+# the Ladder-compiled runs. The command exits non-zero on any report
+# divergence between cores, any digest mismatch, any stalled PU or any
+# sanitizer finding.
+./target/release/regbal device --smoke --sanitize --out target/BENCH_DEVICE_SMOKE.json

@@ -1,24 +1,28 @@
 //! Times the full evaluation sweep serially against the sharded,
 //! compile-cached engine and writes `BENCH_SWEEP.json`.
 //!
-//! Two runs of the identical full configuration (timing off, so the
+//! Runs of the identical full configuration (timing off, so the
 //! documents are byte-comparable):
 //!
 //! * **serial** — one worker, compile cache off: every cell recomputes
 //!   its allocations from scratch, the way the harness worked before
 //!   the sharded sweep;
-//! * **sharded** — four workers, compile cache on: cells are stolen
-//!   from the shared cursor and overlapping searches (balanced cell,
-//!   hybrid round 0, the ladder's balanced rungs) are computed once.
+//! * **sharded series** — compile cache on, at 1, 2, 4 and 8 workers:
+//!   cells are stolen from the shared cursor and overlapping searches
+//!   (balanced cell, hybrid round 0, the ladder's balanced rungs) are
+//!   computed once.
 //!
-//! The binary asserts the two reports are byte-identical — the
-//! deterministic-merge guarantee — and records the wall-clock speedup.
+//! The binary asserts every sharded report is byte-identical to the
+//! serial baseline — the deterministic-merge guarantee — and records
+//! the wall-clock speedup at each worker count. On a single-CPU host
+//! the series is flat beyond the cache win; on multi-core hosts it
+//! shows the shard scaling.
 
 use regbal_eval::{run_eval, EvalConfig};
 use std::time::Instant;
 
-/// Workers of the sharded run (the acceptance configuration).
-const WORKERS: usize = 4;
+/// The worker-count scaling series.
+const WORKER_SERIES: [usize; 4] = [1, 2, 4, 8];
 
 /// Timed runs per configuration; the fastest is reported, the standard
 /// way to damp scheduler noise out of a wall-clock comparison.
@@ -47,32 +51,37 @@ fn main() {
         cache: false,
         ..base.clone()
     };
-    let sharded = EvalConfig {
-        workers: WORKERS,
-        cache: true,
-        ..base
-    };
 
     println!("serial full sweep (1 worker, no compile cache)...");
     let (serial_doc, serial_ms) = timed_run(&serial);
     println!("  {serial_ms:.0} ms");
-    println!("sharded full sweep ({WORKERS} workers, compile cache)...");
-    let (sharded_doc, sharded_ms) = timed_run(&sharded);
-    println!("  {sharded_ms:.0} ms");
 
-    let identical = serial_doc == sharded_doc;
-    assert!(
-        identical,
-        "sharded sweep diverged from the serial baseline — determinism bug"
-    );
-    let speedup = serial_ms / sharded_ms.max(f64::MIN_POSITIVE);
-    println!("byte-identical reports; speedup {speedup:.2}x");
+    let mut series = Vec::new();
+    for workers in WORKER_SERIES {
+        let sharded = EvalConfig {
+            workers,
+            cache: true,
+            ..base.clone()
+        };
+        println!("sharded full sweep ({workers} worker(s), compile cache)...");
+        let (doc, wall_ms) = timed_run(&sharded);
+        assert!(
+            doc == serial_doc,
+            "{workers}-worker sweep diverged from the serial baseline — determinism bug"
+        );
+        let speedup = serial_ms / wall_ms.max(f64::MIN_POSITIVE);
+        println!("  {wall_ms:.0} ms ({speedup:.2}x, byte-identical)");
+        series.push(format!(
+            "    {{\"workers\": {workers}, \"cache\": true, \"wall_ms\": {wall_ms:.1}, \
+             \"speedup\": {speedup:.2}, \"byte_identical\": true}}"
+        ));
+    }
 
     let doc = format!(
-        "{{\n  \"schema\": \"regbal-sweep/1\",\n  \"config\": \"full\",\n  \
+        "{{\n  \"schema\": \"regbal-sweep/2\",\n  \"config\": \"full\",\n  \
          \"serial\": {{\"workers\": 1, \"cache\": false, \"wall_ms\": {serial_ms:.1}}},\n  \
-         \"sharded\": {{\"workers\": {WORKERS}, \"cache\": true, \"wall_ms\": {sharded_ms:.1}}},\n  \
-         \"speedup\": {speedup:.2},\n  \"byte_identical\": {identical}\n}}\n"
+         \"sharded\": [\n{}\n  ]\n}}\n",
+        series.join(",\n")
     );
     let path = "BENCH_SWEEP.json";
     std::fs::write(path, doc).expect("write BENCH_SWEEP.json");

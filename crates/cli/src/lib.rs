@@ -26,8 +26,8 @@ use regbal_core::{
     force_min_bounds, EngineConfig, EngineStats, LadderConfig,
 };
 use regbal_eval::{
-    ladder_trail_json, run_eval, thread_alloc_json, validate_json, CellStatus, EvalConfig, Json,
-    PuLadderTrail,
+    ladder_trail_json, run_device_eval, run_eval, thread_alloc_json, validate_json, CellStatus,
+    DeviceEvalConfig, EvalConfig, Json, PuLadderTrail,
 };
 use regbal_ir::{parse_module, Func};
 use regbal_sim::{SanitizerConfig, SimConfig, Simulator, StopWhen};
@@ -47,6 +47,7 @@ pub fn run_cli(args: &[String], out: &mut String) -> Result<(), String> {
         Some("alloc") => alloc(args[1..].to_vec(), out),
         Some("run") => run(args[1..].to_vec(), out),
         Some("eval") => eval(args[1..].to_vec(), out),
+        Some("device") => device(args[1..].to_vec(), out),
         Some("dot") => dot(args[1..].to_vec(), out),
         Some("help") | None => {
             out.push_str(USAGE);
@@ -93,6 +94,24 @@ USAGE:
                        produces a byte-identical report
       --timing         record wall-clock timing in the report (on for
                        the full sweep, off with --smoke)
+  regbal device [OPTS]                        device-scale scenario family: a
+                                              command processor feeding 4/16/64
+                                              worker PUs, run under the
+                                              reference slice loop, the serial
+                                              event core and the threaded event
+                                              core; fails on any report
+                                              divergence, digest mismatch or
+                                              sanitizer finding
+      --smoke          4- and 16-PU scenarios only (the CI gate)
+      --nreg <N>       register file for the Ladder-compiled build (default 64)
+      --cycles <N>     cycle budget per run (default 20000000)
+      --seed <N>       packet-generator seed (default 53710)
+      --os-threads <N> OS threads for the threaded-core identity gate
+                       (default 4)
+      --sanitize       arm the clobber sanitizer on the compiled runs;
+                       any violation fails the family
+      --out <FILE>     also write the machine-readable report
+                       (regbal-device/1 JSON)
   regbal dot [--ig] <files...>                Graphviz output (CFG, or the
                                               interference graph with --ig)
   regbal help                                 this text
@@ -550,6 +569,130 @@ fn eval(args: Vec<String>, out: &mut String) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The `regbal device` subcommand: run the device scenario family
+/// (command processor + worker PUs) under all three chip cores and
+/// check report identity, digest correctness and sanitizer silence.
+fn device(args: Vec<String>, out: &mut String) -> Result<(), String> {
+    let mut smoke = false;
+    let mut sanitize = false;
+    let mut out_path: Option<String> = None;
+    let mut nreg: Option<usize> = None;
+    let mut cycles: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut os_threads: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--sanitize" => sanitize = true,
+            "--out" => out_path = Some(it.next().ok_or("--out needs a value")?),
+            "--nreg" => {
+                nreg = Some(
+                    it.next()
+                        .ok_or("--nreg needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--nreg: {e}"))?,
+                );
+            }
+            "--cycles" => {
+                cycles = Some(
+                    it.next()
+                        .ok_or("--cycles needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--cycles: {e}"))?,
+                );
+            }
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--os-threads" => {
+                os_threads = Some(
+                    it.next()
+                        .ok_or("--os-threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--os-threads: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+
+    let mut config = if smoke {
+        DeviceEvalConfig::smoke()
+    } else {
+        DeviceEvalConfig::full()
+    };
+    if let Some(n) = nreg {
+        config.nreg = n;
+    }
+    if let Some(c) = cycles {
+        config.cycle_budget = c;
+    }
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    if let Some(t) = os_threads {
+        config.os_threads = t.max(1);
+    }
+    config.sanitize = sanitize;
+    let report = run_device_eval(&config);
+
+    for s in &report.scenarios {
+        let gate = |ok: bool| if ok { "ok" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "{}: {} worker PU(s), {} ring(s), {} packet(s)",
+            s.name, s.pus, s.rings, s.packets
+        );
+        let _ = writeln!(
+            out,
+            "  reference    {:>9} cycles  digest {:08x} ({})",
+            s.reference.cycles,
+            s.reference.digest,
+            gate(s.reference.digest == s.expected_digest && s.reference.halted)
+        );
+        let _ = writeln!(
+            out,
+            "  event        reports identical: {}",
+            gate(s.event_identical)
+        );
+        let _ = writeln!(
+            out,
+            "  event+{}thr   reports identical: {}",
+            config.os_threads,
+            gate(s.threads_identical)
+        );
+        let _ = writeln!(
+            out,
+            "  ladder@{:<3}   {:>9} cycles  digest {:08x} ({}), {} sanitizer finding(s), limits {:?}",
+            config.nreg,
+            s.physical.cycles,
+            s.physical.digest,
+            gate(s.physical.digest == s.expected_digest
+                && s.physical.halted
+                && s.physical.sanitizer_violations == 0),
+            s.physical.sanitizer_violations,
+            s.physical_limits.iter().take(4).collect::<Vec<_>>()
+        );
+    }
+    if let Some(path) = out_path {
+        std::fs::write(&path, report.to_json().pretty() + "\n")
+            .map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    if report.ok() {
+        let _ = writeln!(out, "device family OK ({} scenario(s))", report.scenarios.len());
+        Ok(())
+    } else {
+        Err("device family FAILED: report divergence, digest mismatch, stall or sanitizer finding".into())
+    }
 }
 
 fn format_stats(stats: &EngineStats, config: EngineConfig) -> String {

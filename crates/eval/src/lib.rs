@@ -39,12 +39,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod device;
 pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod strategy;
 
 pub use cache::AllocCache;
+pub use device::{
+    compile_program, device_scenarios, occupancy_limit, reference_program, run_device,
+    run_device_eval, run_device_scenario, DeviceEvalConfig, DeviceEvalReport, DeviceOutcome,
+    DeviceProgram, DeviceScenario, DeviceScenarioReport,
+};
 pub use json::Json;
 pub use report::{
     ladder_trail_json, run_eval, run_eval_on, thread_alloc_json, validate_json, CellReport,

@@ -5,15 +5,31 @@
 //!
 //! Each PU has its own register file, threads and clock; the PUs share
 //! the scratch/SRAM/SDRAM memories and so can pass packets through
-//! queues. The chip advances the PU with the smallest local clock one
-//! slice at a time, so cross-PU memory ordering is event-accurate at
-//! cycle granularity.
+//! queues.
+//!
+//! Two cores advance the chip:
+//!
+//! * [`Chip::run`] — the reference slice interleaving: a timestamp
+//!   min-heap picks the PU with the smallest local clock and advances
+//!   it one `granularity`-cycle slice, so a store on one PU is visible
+//!   to the others within at most one slice.
+//! * [`Chip::run_event`] / [`Chip::run_event_threads`] — the
+//!   event-driven core: each PU runs in a *batch* to its next
+//!   shared-memory instruction (or the cycle horizon) and only those
+//!   memory steps are globally ordered, by `(local clock, PU index)`.
+//!   Everything between two memory steps is PU-local, so batches of
+//!   different PUs commute and may run on OS threads; the heap merge
+//!   keeps reports bit-identical to `run(cycles, 1)` at any thread
+//!   count (see DESIGN.md §7 for the argument).
 
 use crate::config::SimConfig;
-use crate::machine::{RunReport, SimError, Simulator, StopWhen};
+use crate::machine::{PuEvent, RunReport, SimError, Simulator, StopWhen};
 use crate::mem::Memory;
 use crate::sanitizer::SanitizerConfig;
 use regbal_ir::Func;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{mpsc, Mutex};
 
 /// A chip of several processing units over shared memories.
 #[derive(Debug)]
@@ -29,9 +45,20 @@ impl Chip {
     pub fn new(config: SimConfig, num_pus: usize) -> Chip {
         assert!(num_pus >= 1, "a chip has at least one PU");
         let memory = Memory::new(config.scratch_size, config.sram_size, config.sdram_size);
+        // The PUs run against the shared memory only; give them empty
+        // private memories so a device-scale chip (64 PUs over a
+        // 16 MiB SRAM) does not allocate one dead copy per PU.
+        let pu_config = SimConfig {
+            scratch_size: 0,
+            sram_size: 0,
+            sdram_size: 0,
+            ..config
+        };
         Chip {
             memory,
-            pus: (0..num_pus).map(|_| Simulator::new(config.clone())).collect(),
+            pus: (0..num_pus)
+                .map(|_| Simulator::new(pu_config.clone()))
+                .collect(),
         }
     }
 
@@ -90,19 +117,144 @@ impl Chip {
     /// halts). PUs are interleaved in slices of `granularity` cycles:
     /// a store on one PU is visible to the others within at most one
     /// slice. Returns the per-PU reports.
+    ///
+    /// A `(local clock, PU index)` min-heap picks the next PU, so one
+    /// slice costs `O(log P)` instead of an `O(P)` rescan; the pick
+    /// order — smallest clock, lowest index on ties — is unchanged.
     pub fn run(&mut self, cycles: u64, granularity: u64) -> Vec<RunReport> {
         let step = granularity.max(1);
-        // Advance the PU that is furthest behind, one slice at a time.
-        while let Some((idx, _)) = self
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = self
             .pus
             .iter()
             .enumerate()
             .filter(|(_, p)| !p.all_halted() && p.now() < cycles)
-            .min_by_key(|(_, p)| p.now())
-        {
+            .map(|(idx, p)| Reverse((p.now(), idx)))
+            .collect();
+        // Advance the PU that is furthest behind, one slice at a time.
+        // Keys are exact (only a PU's own slice moves its clock), so
+        // the popped entry is never stale.
+        while let Some(Reverse((_, idx))) = heap.pop() {
             let target = (self.pus[idx].now() + step).min(cycles);
             self.pus[idx].run_shared(&mut self.memory, StopWhen::Cycles(target));
+            let p = &self.pus[idx];
+            if !p.all_halted() && p.now() < cycles {
+                heap.push(Reverse((p.now(), idx)));
+            }
         }
+        self.pus.iter().map(Simulator::report).collect()
+    }
+
+    /// Runs every PU to `cycles` with the serial event-driven core.
+    ///
+    /// Each PU executes in batches bounded by its shared-memory
+    /// instructions; the heap orders those memory steps by
+    /// `(local clock, PU index)`, exactly the order the reference
+    /// granularity-1 interleaving issues them in. The reports (and the
+    /// shared-memory contents) are therefore bit-identical to
+    /// `run(cycles, 1)` — while the scheduler pays one heap operation
+    /// per memory *event* instead of one scan per *cycle*.
+    pub fn run_event(&mut self, cycles: u64) -> Vec<RunReport> {
+        let stop = StopWhen::Cycles(cycles);
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (idx, pu) in self.pus.iter_mut().enumerate() {
+            if let PuEvent::Mem { at } = pu.run_to_event(stop) {
+                heap.push(Reverse((at, idx)));
+            }
+        }
+        while let Some(Reverse((_, idx))) = heap.pop() {
+            let next = self.pus[idx].run_through_event(&mut self.memory, stop);
+            if let PuEvent::Mem { at } = next {
+                heap.push(Reverse((at, idx)));
+            }
+        }
+        self.pus.iter().map(Simulator::report).collect()
+    }
+
+    /// [`run_event`](Self::run_event) with the pure (non-memory)
+    /// batches farmed out to `threads` OS threads.
+    ///
+    /// Memory steps still execute serially on the calling thread, in
+    /// heap order; a heap event commits only once every in-flight
+    /// batch provably cannot produce an earlier key (each in-flight PU
+    /// carries a lower bound on its next event). The committed event
+    /// sequence is thus a pure function of the simulation, and reports
+    /// stay bit-identical to `run(cycles, 1)` at any thread count.
+    pub fn run_event_threads(&mut self, cycles: u64, threads: usize) -> Vec<RunReport> {
+        let workers = threads.max(1);
+        if workers == 1 || self.pus.len() == 1 {
+            return self.run_event(cycles);
+        }
+        let stop = StopWhen::Cycles(cycles);
+        let slots: Vec<Mutex<Simulator>> = std::mem::take(&mut self.pus)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let (job_tx, job_rx) = mpsc::channel::<usize>();
+        let job_rx = Mutex::new(job_rx);
+        let (res_tx, res_rx) = mpsc::channel::<(usize, PuEvent)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = &job_rx;
+                let res_tx = res_tx.clone();
+                let slots = &slots;
+                scope.spawn(move || loop {
+                    let job = job_rx.lock().expect("job queue poisoned").recv();
+                    let Ok(idx) = job else { break };
+                    let event = slots[idx].lock().expect("PU poisoned").run_to_event(stop);
+                    if res_tx.send((idx, event)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(res_tx);
+
+            // In-flight bound per PU: its next event key is >= the
+            // bound, so heap entries below every `(bound, pu)` are
+            // safe to commit. The initial batches start at clock 0.
+            let mut inflight: Vec<Option<u64>> = vec![Some(0); slots.len()];
+            let mut live = slots.len();
+            for idx in 0..slots.len() {
+                job_tx.send(idx).expect("worker pool alive");
+            }
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+            loop {
+                if let Some(&Reverse((at, idx))) = heap.peek() {
+                    let safe = inflight
+                        .iter()
+                        .enumerate()
+                        .all(|(pu, bound)| bound.is_none_or(|b| (at, idx) < (b, pu)));
+                    if safe {
+                        heap.pop();
+                        let mut pu = slots[idx].lock().expect("PU poisoned");
+                        pu.run_mem_op(&mut self.memory, stop);
+                        if !pu.all_halted() && pu.now() < cycles {
+                            let bound = pu.next_event_bound();
+                            drop(pu);
+                            inflight[idx] = Some(bound);
+                            live += 1;
+                            job_tx.send(idx).expect("worker pool alive");
+                        }
+                        continue;
+                    }
+                }
+                if live == 0 {
+                    break;
+                }
+                let (idx, event) = res_rx.recv().expect("a worker is live");
+                inflight[idx] = None;
+                live -= 1;
+                if let PuEvent::Mem { at } = event {
+                    heap.push(Reverse((at, idx)));
+                }
+            }
+            drop(job_tx); // workers drain and exit
+        });
+
+        self.pus = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("PU poisoned"))
+            .collect();
         self.pus.iter().map(Simulator::report).collect()
     }
 }
@@ -201,5 +353,88 @@ done:
     #[should_panic(expected = "at least one PU")]
     fn zero_pus_panics() {
         Chip::new(SimConfig::default(), 0);
+    }
+
+    /// The producer/consumer pipeline, parameterized so the equivalence
+    //// tests can build identical chips for every core.
+    fn pipeline_chip() -> Chip {
+        let producer = parse_func(
+            "func producer {\nbb0:\n v0 = mov 512\n v1 = mov 8\n v2 = mov 100\n jump push\npush:\n v3 = load sram[v0+0]\n store sram[v3+64], v2\n v3 = add v3, 4\n store sram[v0+0], v3\n v2 = add v2, 10\n v1 = sub v1, 1\n iter_end\n bne v1, 0, push, done\ndone:\n halt\n}",
+        )
+        .unwrap();
+        let consumer = parse_func(
+            "func consumer {\nbb0:\n v0 = mov 512\n v1 = mov 8\n v2 = mov 0\n jump wait\nwait:\n v3 = load sram[v0+0]\n v4 = load sram[v0+4]\n beq v3, v4, wait, pop\npop:\n v5 = load sram[v4+64]\n v2 = add v2, v5\n v4 = add v4, 4\n store sram[v0+4], v4\n store scratch[v0+0], v2\n v1 = sub v1, 1\n iter_end\n bne v1, 0, wait, done\ndone:\n halt\n}",
+        )
+        .unwrap();
+        let mut chip = Chip::new(SimConfig::default(), 3);
+        chip.memory_mut().write_word(MemSpace::Sram, 512, 512);
+        chip.memory_mut().write_word(MemSpace::Sram, 516, 512);
+        chip.add_thread(0, producer);
+        chip.add_thread(1, consumer);
+        // PU 2 halts immediately: the halted-PU edge case rides along.
+        chip.add_thread(2, parse_func("func idle {\nbb0:\n halt\n}").unwrap());
+        chip
+    }
+
+    #[test]
+    fn event_core_matches_reference_interleaving() {
+        let mut reference = pipeline_chip();
+        let expected = reference.run(2_000_000, 1);
+
+        let mut event = pipeline_chip();
+        let got = event.run_event(2_000_000);
+        assert_eq!(expected, got, "serial event core diverged");
+        assert_eq!(
+            reference.memory().read_bytes(MemSpace::Scratch, 0, 1024),
+            event.memory().read_bytes(MemSpace::Scratch, 0, 1024)
+        );
+
+        for threads in [1usize, 4, 8] {
+            let mut par = pipeline_chip();
+            let got = par.run_event_threads(2_000_000, threads);
+            assert_eq!(expected, got, "{threads}-thread event core diverged");
+            assert_eq!(
+                reference.memory().read_bytes(MemSpace::Sram, 0, 2048),
+                par.memory().read_bytes(MemSpace::Sram, 0, 2048)
+            );
+        }
+        assert_eq!(
+            event.memory().read_word(MemSpace::Scratch, 512),
+            1080,
+            "pipeline sum survives the event core"
+        );
+    }
+
+    #[test]
+    fn heap_slice_loop_matches_old_rescan_semantics() {
+        // Coarser slices must still produce the documented pipeline
+        // result (the committed BENCH_EVAL numbers ran at 64).
+        for granularity in [1u64, 16, 64] {
+            let mut chip = pipeline_chip();
+            chip.run(2_000_000, granularity);
+            assert_eq!(chip.memory().read_word(MemSpace::Scratch, 512), 1080);
+        }
+    }
+
+    #[test]
+    fn event_core_handles_unstarted_and_budgeted_pus() {
+        // One spinning PU (never halts, hits the cycle horizon) plus a
+        // PU with no threads at all.
+        let spin = parse_func("func spin {\nbb0:\n nop\n jump bb0\n}").unwrap();
+        let build = || {
+            let mut chip = Chip::new(SimConfig::default(), 2);
+            chip.add_thread(0, spin.clone());
+            chip
+        };
+        let mut a = build();
+        let ra = a.run(5_000, 1);
+        let mut b = build();
+        let rb = b.run_event(5_000);
+        let mut c = build();
+        let rc = c.run_event_threads(5_000, 4);
+        assert_eq!(ra, rb);
+        assert_eq!(ra, rc);
+        assert!(ra[0].cycles >= 5_000);
+        assert_eq!(ra[1].cycles, 0);
     }
 }

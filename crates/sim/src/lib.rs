@@ -53,12 +53,14 @@
 
 mod chip;
 mod config;
+pub mod device;
 mod machine;
 mod mem;
 pub mod sanitizer;
 
 pub use chip::Chip;
 pub use config::SimConfig;
+pub use device::{ChipCore, Device, DeviceSpec};
 pub use machine::{RunReport, SimError, Simulator, StopWhen, ThreadStats, TraceEvent, Violation};
 pub use mem::Memory;
 pub use sanitizer::{Pc, SanitizerConfig, SanitizerReport};

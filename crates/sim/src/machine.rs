@@ -20,6 +20,22 @@ pub enum StopWhen {
     Cycles(u64),
 }
 
+/// How an event-mode batch of a PU ended (see
+/// [`Simulator::run_to_event`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PuEvent {
+    /// The PU is poised to issue a shared-memory instruction: the next
+    /// scheduling step at local time `at` is a load or store, and none
+    /// of it has executed yet. `at` is the batch's heap key.
+    Mem {
+        /// Local clock at the pre-issue scheduling point.
+        at: u64,
+    },
+    /// The PU reached its stop condition (cycle horizon or every
+    /// thread halted) with no shared-memory event pending.
+    Done,
+}
+
 /// One event of the optional execution trace (see
 /// [`Simulator::enable_trace`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,7 +153,11 @@ pub struct ThreadStats {
 }
 
 /// Result of a [`Simulator::run`].
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so two runs can be compared field-for-field —
+/// the event-driven chip cores are validated by demanding their
+/// reports equal the reference interleaving's exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Total cycles elapsed.
     pub cycles: u64,
@@ -396,9 +416,77 @@ impl Simulator {
     /// building block of [`crate::Chip`], where several PUs share the
     /// off-chip memories. The PU's own memory is ignored.
     pub fn run_shared(&mut self, mem: &mut Memory, stop: StopWhen) -> RunReport {
+        self.run_batch(mem, stop, u64::MAX, false);
+        self.report()
+    }
+
+    /// Runs only *pure* work: executes the PU up to (but not into) its
+    /// next shared-memory instruction, or to `stop` / halt. Pure work
+    /// reads and writes nothing outside this PU, so calls on different
+    /// PUs commute — the parallel chip core farms them to OS threads.
+    ///
+    /// On `Mem { at }` the PU is *poised*: the scheduling step at local
+    /// time `at` would issue a load or store, and none of that step
+    /// (context-switch cost included) has executed yet.
+    pub(crate) fn run_to_event(&mut self, stop: StopWhen) -> PuEvent {
+        // The batch provably executes no memory instruction (fuel 0
+        // stops it poised first), so a placeholder memory suffices.
+        let mut dummy = Memory::new(0, 0, 0);
+        self.run_batch(&mut dummy, stop, 0, false)
+    }
+
+    /// Resolves a poised shared-memory event against `mem`, then keeps
+    /// running pure work to the next event. The serial event-driven
+    /// core's per-event step: returns the PU's next event key.
+    pub(crate) fn run_through_event(&mut self, mem: &mut Memory, stop: StopWhen) -> PuEvent {
+        self.run_batch(mem, stop, 1, false)
+    }
+
+    /// Resolves a poised shared-memory event against `mem` and stops
+    /// immediately after the issuing step — the parallel core's
+    /// serial portion; the pure continuation goes to a worker via
+    /// [`run_to_event`](Self::run_to_event).
+    pub(crate) fn run_mem_op(&mut self, mem: &mut Memory, stop: StopWhen) {
+        self.run_batch(mem, stop, 1, true);
+    }
+
+    /// A lower bound on the key of this PU's next shared-memory event:
+    /// no future [`run_to_event`](Self::run_to_event) returns
+    /// `Mem { at }` with `at` below this. `u64::MAX` when every thread
+    /// has halted.
+    pub(crate) fn next_event_bound(&self) -> u64 {
+        self.threads
+            .iter()
+            .filter(|t| !t.halted)
+            .map(|t| t.ready_at.max(self.now))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// The scheduling loop shared by the slice core and the event core.
+    ///
+    /// `fuel` is the number of shared-memory instructions the batch may
+    /// execute; when the next scheduling step would issue one with no
+    /// fuel left, the loop returns `Mem { at: self.now }` *before*
+    /// committing anything (no rotation, no context-switch cost), so
+    /// re-entering with fuel replays the step exactly. With
+    /// `stop_after_op` the batch ends right after the fueled memory
+    /// instruction issues.
+    ///
+    /// Invariant behind the event-driven chip: every effect on state
+    /// outside this PU happens in a fueled memory step, and the key
+    /// `at` equals the `now` the reference granularity-1 interleaving
+    /// would schedule that step at.
+    fn run_batch(
+        &mut self,
+        mem: &mut Memory,
+        stop: StopWhen,
+        mut fuel: u64,
+        stop_after_op: bool,
+    ) -> PuEvent {
         loop {
             if self.now >= self.config.max_cycles || self.stopped(stop) {
-                break;
+                return PuEvent::Done;
             }
             // Continue the owning thread if it can still run.
             if let Some(i) = self.last_running {
@@ -406,18 +494,39 @@ impl Simulator {
                     && self.threads[i].ready_at <= self.now
                     && self.is_running(i)
                 {
+                    let is_mem = self.poised_at_mem(i);
+                    if is_mem {
+                        if fuel == 0 {
+                            return PuEvent::Mem { at: self.now };
+                        }
+                        fuel -= 1;
+                    }
                     self.step(i, mem);
+                    if is_mem && stop_after_op {
+                        return PuEvent::Done;
+                    }
                     continue;
                 }
             }
             // Pick the next ready thread, round robin.
-            match self.select_ready() {
+            match self.peek_ready() {
                 Some(j) => {
+                    let is_mem = self.poised_at_mem(j);
+                    if is_mem {
+                        if fuel == 0 {
+                            return PuEvent::Mem { at: self.now };
+                        }
+                        fuel -= 1;
+                    }
+                    self.rr_next = (j + 1) % self.threads.len();
                     if self.last_running != Some(j) {
                         self.now += self.config.ctx_switch_cost;
                     }
                     self.resume(j);
                     self.step(j, mem);
+                    if is_mem && stop_after_op {
+                        return PuEvent::Done;
+                    }
                 }
                 None => {
                     // All blocked: advance to the earliest wake-up.
@@ -428,7 +537,7 @@ impl Simulator {
                         .map(|t| t.ready_at)
                         .min()
                     else {
-                        break; // everything halted
+                        return PuEvent::Done; // everything halted
                     };
                     let next = next.max(self.now + 1);
                     self.idle += next - self.now;
@@ -436,7 +545,22 @@ impl Simulator {
                 }
             }
         }
-        self.report()
+    }
+
+    /// Whether thread `i`'s next instruction is a shared-memory access
+    /// (the batch boundary of the event-driven core). Terminators and
+    /// ALU/`ctx` instructions touch only PU-local state.
+    fn poised_at_mem(&self, i: usize) -> bool {
+        let t = &self.threads[i];
+        matches!(
+            t.func.block(t.block).insts.get(t.idx),
+            Some(
+                Inst::Load { .. }
+                    | Inst::LoadBurst { .. }
+                    | Inst::Store { .. }
+                    | Inst::StoreBurst { .. }
+            )
+        )
     }
 
     /// Whether thread `i` currently owns the PU (it was the last runner
@@ -457,16 +581,14 @@ impl Simulator {
         }
     }
 
-    fn select_ready(&mut self) -> Option<usize> {
+    /// The thread the round-robin scan would pick, without committing
+    /// the rotation — callers that schedule it must set `rr_next` to
+    /// `(j + 1) % n` themselves (see [`run_batch`](Self::run_batch)).
+    fn peek_ready(&self) -> Option<usize> {
         let n = self.threads.len();
-        for off in 0..n {
-            let j = (self.rr_next + off) % n;
-            if !self.threads[j].halted && self.threads[j].ready_at <= self.now {
-                self.rr_next = (j + 1) % n;
-                return Some(j);
-            }
-        }
-        None
+        (0..n)
+            .map(|off| (self.rr_next + off) % n)
+            .find(|&j| !self.threads[j].halted && self.threads[j].ready_at <= self.now)
     }
 
     /// Makes thread `j` the runner, delivering any pending load result

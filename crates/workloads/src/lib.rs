@@ -50,11 +50,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod device;
 mod kernels;
 mod layout;
 mod packet;
 pub mod stress;
 
+pub use device::{build_worker, expected_total_digest, packet_digest};
 pub use kernels::Kernel;
 pub use layout::Bases;
 pub use packet::fill_packets;

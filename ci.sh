@@ -53,3 +53,26 @@ cmp target/BENCH_EVAL_W1.json target/BENCH_EVAL_W4.json
 # divergence between cores, any digest mismatch, any stalled PU or any
 # sanitizer finding.
 ./target/release/regbal device --smoke --sanitize --out target/BENCH_DEVICE_SMOKE.json
+
+# Serve gate: the resident server must answer a replayed 100-request
+# seeded trace with (a) a second pass served entirely from the
+# cross-request cache, (b) responses byte-identical to one-shot
+# `regbal alloc --json`, (c) zero sanitizer violations when the served
+# allocations run on the simulator, and (d) the same response bytes at
+# any worker count — over both the replay harness and a real stdio
+# pipe. `--verify` fails on any served/one-shot divergence; `replay`
+# itself fails if any warm pass misses.
+./target/release/regbal serve --gen-trace target/serve_trace.json \
+    --requests 100 --lines target/serve_requests.txt
+./target/release/regbal serve --replay target/serve_trace.json \
+    --passes 2 --workers 1 --verify --sanitize \
+    --responses target/serve_responses_w1.txt
+./target/release/regbal serve --replay target/serve_trace.json \
+    --passes 2 --workers 4 \
+    --responses target/serve_responses_w4.txt
+cmp target/serve_responses_w1.txt target/serve_responses_w4.txt
+cat target/serve_requests.txt target/serve_requests.txt \
+    | ./target/release/regbal serve --stdio --workers 1 > target/serve_stdio_w1.txt
+cat target/serve_requests.txt target/serve_requests.txt \
+    | ./target/release/regbal serve --stdio --workers 4 > target/serve_stdio_w4.txt
+cmp target/serve_stdio_w1.txt target/serve_stdio_w4.txt

@@ -1,0 +1,112 @@
+//! Times the resident allocation server on a replayed trace and writes
+//! `BENCH_SERVE.json`.
+//!
+//! One seeded trace (zipfian kernel mix under drifting register
+//! budgets) is replayed twice against a fresh server at 1, 2, and 4
+//! workers. The cold pass pays every descent; the warm pass must be
+//! answered entirely from the persistent cross-request cache. The
+//! binary asserts:
+//!
+//! * the warm p50 latency is at least 5x below the cold p50 at every
+//!   worker count — the cache, not the pool, is what makes a resident
+//!   server worth keeping around;
+//! * the full response transcript (ids, `cached` flags, and allocation
+//!   documents) is byte-identical across all three worker counts — the
+//!   wave protocol's determinism guarantee, measured rather than
+//!   assumed.
+
+use regbal_eval::Json;
+use regbal_serve::{pass_json, replay, ReplayConfig, ServeConfig, TraceFile};
+use regbal_workloads::TraceConfig;
+
+/// Requests per pass — large enough that both percentiles are stable.
+const REQUESTS: usize = 200;
+
+/// Closed-loop window; eight in-flight requests keeps every worker fed
+/// at the widest pool without hiding per-request latency behind the
+/// queue the way an open loop would.
+const WINDOW: usize = 8;
+
+/// Worker counts benchmarked; 1 is the serial baseline.
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+/// Required cold-p50 / warm-p50 ratio.
+const WARM_FACTOR: u64 = 5;
+
+fn main() {
+    let trace_config = TraceConfig::default();
+    let trace = TraceFile::generate(&TraceConfig {
+        requests: REQUESTS,
+        ..trace_config
+    });
+
+    let mut rows = Vec::new();
+    let mut transcript: Option<Vec<String>> = None;
+    let mut worst_ratio = f64::INFINITY;
+    for workers in WORKERS {
+        let config = ReplayConfig {
+            serve: ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+            passes: 2,
+            window: WINDOW,
+            paced: false,
+        };
+        let reports = replay(&trace, &config).expect("replay");
+        let (cold, warm) = (&reports[0], &reports[1]);
+        assert_eq!(warm.misses, 0, "warm pass must be all cache hits");
+        let ratio = cold.p50_us as f64 / (warm.p50_us.max(1)) as f64;
+        assert!(
+            warm.p50_us * WARM_FACTOR <= cold.p50_us,
+            "{workers} worker(s): warm p50 {} us is not {WARM_FACTOR}x below cold p50 {} us",
+            warm.p50_us,
+            cold.p50_us
+        );
+        if ratio < worst_ratio {
+            worst_ratio = ratio;
+        }
+        println!(
+            "{workers} worker(s): cold p50 {} us p99 {} us {:.0} req/s | \
+             warm p50 {} us p99 {} us {:.0} req/s ({ratio:.1}x)",
+            cold.p50_us, cold.p99_us, cold.rps, warm.p50_us, warm.p99_us, warm.rps
+        );
+
+        let mut lines: Vec<String> = Vec::new();
+        for report in &reports {
+            lines.extend(report.responses.iter().cloned());
+        }
+        match &transcript {
+            None => transcript = Some(lines),
+            Some(reference) => assert_eq!(
+                reference, &lines,
+                "{workers} worker(s): response transcript diverged from the serial run"
+            ),
+        }
+
+        rows.push(Json::Obj(vec![
+            ("workers".into(), Json::uint(workers as u64)),
+            ("cold".into(), pass_json(cold)),
+            ("warm".into(), pass_json(warm)),
+        ]));
+    }
+    println!("transcripts byte-identical at {WORKERS:?} workers");
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str("regbal-serve-bench/1")),
+        ("requests".into(), Json::uint(REQUESTS as u64)),
+        ("seed".into(), Json::uint(trace.seed)),
+        ("arrival".into(), Json::str(trace.arrival.name())),
+        ("packets".into(), Json::uint(u64::from(trace.packets))),
+        ("window".into(), Json::uint(WINDOW as u64)),
+        ("passes".into(), Json::uint(2)),
+        ("sweeps".into(), Json::Arr(rows)),
+        (
+            "warm_speedup_p50".into(),
+            Json::Num((worst_ratio * 10.0).round() / 10.0),
+        ),
+    ]);
+    let path = "BENCH_SERVE.json";
+    std::fs::write(path, doc.pretty()).expect("write BENCH_SERVE.json");
+    println!("wrote {path} (warm p50 {worst_ratio:.1}x below cold at the worst worker count)");
+}

@@ -11,6 +11,8 @@
 //! regbal alloc    --nreg 64 --ladder ...   # degrade down the ladder, never fail
 //! regbal run      --cycles 100000 a.rba    # simulate, print statistics
 //! regbal eval     --smoke                  # strategy sweep -> BENCH_EVAL.json
+//! regbal serve    --stdio                  # resident allocation server
+//! regbal serve    --replay trace.json      # benchmark a server on a trace
 //! ```
 //!
 //! The driver logic lives in this library so it can be tested without
@@ -26,11 +28,12 @@ use regbal_core::{
     force_min_bounds, EngineConfig, EngineStats, LadderConfig,
 };
 use regbal_eval::{
-    ladder_trail_json, run_device_eval, run_eval, thread_alloc_json, validate_json, CellStatus,
-    DeviceEvalConfig, EvalConfig, Json, PuLadderTrail,
+    run_device_eval, run_eval, validate_json, CellStatus, DeviceEvalConfig, EvalConfig, Json,
 };
 use regbal_ir::{parse_module, Func};
+use regbal_serve::{ReplayConfig, ServeConfig, TraceFile, Verdict};
 use regbal_sim::{SanitizerConfig, SimConfig, Simulator, StopWhen};
+use regbal_workloads::{Arrival, TraceConfig};
 use std::fmt::Write as _;
 
 /// Runs the CLI with `args` (excluding the program name), writing
@@ -48,6 +51,7 @@ pub fn run_cli(args: &[String], out: &mut String) -> Result<(), String> {
         Some("run") => run(args[1..].to_vec(), out),
         Some("eval") => eval(args[1..].to_vec(), out),
         Some("device") => device(args[1..].to_vec(), out),
+        Some("serve") => serve(args[1..].to_vec(), out),
         Some("dot") => dot(args[1..].to_vec(), out),
         Some("help") | None => {
             out.push_str(USAGE);
@@ -71,7 +75,9 @@ USAGE:
       --min            squeeze each thread to its (MinPR, MinR) bound
       --naive          disable engine memoization and parallelism
       --stats          print engine statistics (iterations, candidate
-                       cache hits, per-phase wall time)
+                       cache hits, per-phase wall time); with --json,
+                       adds the wall-clock `engine` member to the
+                       otherwise deterministic document
       --quiet          summary only, no code
       --json           machine-readable allocation summary (JSON, no code)
   regbal run [OPTS] <files...>                simulate the threads
@@ -112,6 +118,44 @@ USAGE:
                        any violation fails the family
       --out <FILE>     also write the machine-readable report
                        (regbal-device/1 JSON)
+  regbal serve [MODE] [OPTS]                  resident allocation server
+                                              (line-delimited JSON requests,
+                                              regbal-serve/1; responses are
+                                              byte-identical to
+                                              `regbal alloc --json`)
+    modes (exactly one):
+      --stdio          serve requests on stdin, responses on stdout
+      --listen <ADDR>  serve TCP connections one at a time over one
+                       persistent cache (e.g. 127.0.0.1:7421)
+      --gen-trace <F>  write a seeded regbal-trace/1 workload file
+      --replay <F>     replay a trace file against a fresh resident
+                       server, reporting per-pass latency and cache
+                       behaviour; a cache miss on any warm pass is an
+                       error
+    server options (--stdio, --listen, --replay):
+      --workers <N>    worker threads per request wave (default 1; any
+                       count produces byte-identical responses)
+      --queue-cap <N>  bounded admission queue (default 256)
+      --cache-cap <N>  response-cache entries (default 4096)
+      --trajectory-cap <N>  resident module trajectories (default 256)
+    trace generation (--gen-trace):
+      --requests <N>   requests to generate (default 100)
+      --seed <N>       trace seed (default 990951)
+      --arrival <A>    uniform|bursty (default uniform)
+      --mean-gap-us <N>  mean inter-arrival gap (default 500)
+      --packets <N>    packets per thread in the kernels (default 4)
+      --lines <F>      also write ready-to-pipe request lines
+    replay (--replay):
+      --passes <N>     passes over the trace (default 2; pass 1 cold)
+      --window <N>     requests in flight (default 1)
+      --paced          honour the trace's arrival times
+      --verify         re-run every distinct request through the
+                       one-shot `regbal alloc --json` path and demand
+                       byte-identical documents
+      --sanitize       re-run every distinct allocation on the
+                       simulator with the clobber sanitizer armed
+      --responses <F>  write every pass's response lines
+      --out <F>        write the regbal-serve-bench/1 report
   regbal dot [--ig] <files...>                Graphviz output (CFG, or the
                                               interference graph with --ig)
   regbal help                                 this text
@@ -257,25 +301,13 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
             ..LadderConfig::default()
         };
         let result = allocate_ladder_with(&funcs, nreg, &config).map_err(|e| e.to_string())?;
-        let summaries = result.thread_summaries();
         if json {
-            let threads = summaries
-                .iter()
-                .enumerate()
-                .map(|(i, t)| thread_alloc_json(&funcs[i].name, t.pr, t.sr, t.moves, t.spills))
-                .collect();
-            let sgr = result.balanced_alloc().map_or(0, |a| a.sgr());
-            let mut doc =
-                alloc_json("ladder", nreg, result.registers_used(), sgr, threads, None);
-            if let Json::Obj(members) = &mut doc {
-                members.push((
-                    "ladder".into(),
-                    ladder_trail_json(&PuLadderTrail::from(&result)),
-                ));
-            }
+            let verdict = Verdict::Ladder(Box::new(result));
+            let doc = regbal_serve::verdict_doc(&funcs, nreg, &verdict);
             let _ = writeln!(out, "{}", doc.pretty());
             return Ok(());
         }
+        let summaries = result.thread_summaries();
         for (i, t) in summaries.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -305,23 +337,8 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
         let hybrid =
             allocate_threads_with_spill(&funcs, nreg).map_err(|e| e.to_string())?;
         if json {
-            let threads = hybrid
-                .alloc
-                .threads
-                .iter()
-                .enumerate()
-                .map(|(i, t)| {
-                    thread_alloc_json(&funcs[i].name, t.pr(), t.sr(), t.moves(), hybrid.spills[i])
-                })
-                .collect();
-            let doc = alloc_json(
-                "balanced-spill",
-                nreg,
-                hybrid.alloc.total_registers(),
-                hybrid.alloc.sgr(),
-                threads,
-                None,
-            );
+            let verdict = Verdict::Spill(hybrid);
+            let doc = regbal_serve::verdict_doc(&funcs, nreg, &verdict);
             let _ = writeln!(out, "{}", doc.pretty());
             return Ok(());
         }
@@ -353,20 +370,16 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
         let (alloc, engine_stats) =
             allocate_threads_stats(&funcs, nreg, config).map_err(|e| e.to_string())?;
         if json {
-            let threads = alloc
-                .threads
-                .iter()
-                .enumerate()
-                .map(|(i, t)| thread_alloc_json(&funcs[i].name, t.pr(), t.sr(), t.moves(), 0))
-                .collect();
-            let doc = alloc_json(
-                "balanced",
-                nreg,
-                alloc.total_registers(),
-                alloc.sgr(),
-                threads,
-                Some((&engine_stats, config)),
-            );
+            let verdict = Verdict::Balanced(alloc);
+            let mut doc = regbal_serve::verdict_doc(&funcs, nreg, &verdict);
+            // The engine member carries wall-clock timings, so it would
+            // break the document's determinism (and the serve cache's
+            // byte-identity contract); it is opt-in via --stats.
+            if stats {
+                if let Json::Obj(members) = &mut doc {
+                    members.push(("engine".into(), engine_json(&engine_stats, config)));
+                }
+            }
             let _ = writeln!(out, "{}", doc.pretty());
             return Ok(());
         }
@@ -401,41 +414,22 @@ fn alloc(args: Vec<String>, out: &mut String) -> Result<(), String> {
     Ok(())
 }
 
-/// The `regbal alloc --json` document; thread objects share the
-/// `regbal-eval` per-thread schema (see `EXPERIMENTS.md`).
-fn alloc_json(
-    strategy: &str,
-    nreg: usize,
-    demand: usize,
-    sgr: usize,
-    threads: Vec<Json>,
-    engine: Option<(&EngineStats, EngineConfig)>,
-) -> Json {
-    let mut members = vec![
-        ("schema".into(), Json::str("regbal-alloc/1")),
-        ("strategy".into(), Json::str(strategy)),
-        ("nreg".into(), Json::uint(nreg as u64)),
-        ("demand".into(), Json::uint(demand as u64)),
-        ("sgr".into(), Json::uint(sgr as u64)),
-        ("threads".into(), Json::Arr(threads)),
-    ];
-    if let Some((stats, config)) = engine {
-        let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
-        members.push((
-            "engine".into(),
-            Json::Obj(vec![
-                ("iterations".into(), Json::uint(stats.iterations as u64)),
-                ("evaluated".into(), Json::uint(stats.evaluated as u64)),
-                ("cached".into(), Json::uint(stats.cached as u64)),
-                ("memoized".into(), Json::Bool(config.memoize)),
-                ("init_us".into(), Json::float(us(stats.init))),
-                ("search_us".into(), Json::float(us(stats.search))),
-                ("verify_us".into(), Json::float(us(stats.verify))),
-                ("total_us".into(), Json::float(us(stats.total))),
-            ]),
-        ));
-    }
-    Json::Obj(members)
+/// The optional `engine` member of the `regbal alloc --json` document
+/// (`--stats --json`); the document skeleton itself lives in
+/// [`regbal_serve::alloc_doc`] so the server provably prints the same
+/// bytes.
+fn engine_json(stats: &EngineStats, config: EngineConfig) -> Json {
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    Json::Obj(vec![
+        ("iterations".into(), Json::uint(stats.iterations as u64)),
+        ("evaluated".into(), Json::uint(stats.evaluated as u64)),
+        ("cached".into(), Json::uint(stats.cached as u64)),
+        ("memoized".into(), Json::Bool(config.memoize)),
+        ("init_us".into(), Json::float(us(stats.init))),
+        ("search_us".into(), Json::float(us(stats.search))),
+        ("verify_us".into(), Json::float(us(stats.verify))),
+        ("total_us".into(), Json::float(us(stats.total))),
+    ])
 }
 
 /// The `regbal eval` subcommand: run the strategy-evaluation sweep and
@@ -693,6 +687,269 @@ fn device(args: Vec<String>, out: &mut String) -> Result<(), String> {
     } else {
         Err("device family FAILED: report divergence, digest mismatch, stall or sanitizer finding".into())
     }
+}
+
+/// The `regbal serve` subcommand: the resident allocation server
+/// (stdio or TCP), the seeded trace generator, and the trace-replay
+/// benchmark client.
+fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
+    enum Mode {
+        Stdio,
+        Listen(String),
+        GenTrace(String),
+        Replay(String),
+    }
+    let mut mode: Option<Mode> = None;
+    let mut server = ServeConfig::default();
+    let mut trace_config = TraceConfig::default();
+    let mut lines_path: Option<String> = None;
+    let mut passes = 2usize;
+    let mut window = 1usize;
+    let mut paced = false;
+    let mut verify = false;
+    let mut sanitize = false;
+    let mut responses_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let set_mode = |m: Mode, current: &mut Option<Mode>| -> Result<(), String> {
+        if current.is_some() {
+            return Err("pick exactly one of --stdio, --listen, --gen-trace, --replay".into());
+        }
+        *current = Some(m);
+        Ok(())
+    };
+    fn parse<T: std::str::FromStr>(what: &str, v: String) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse().map_err(|e| format!("{what}: {e}"))
+    }
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match a.as_str() {
+            "--stdio" => set_mode(Mode::Stdio, &mut mode)?,
+            "--listen" => {
+                let addr = value("--listen")?;
+                set_mode(Mode::Listen(addr), &mut mode)?;
+            }
+            "--gen-trace" => {
+                let path = value("--gen-trace")?;
+                set_mode(Mode::GenTrace(path), &mut mode)?;
+            }
+            "--replay" => {
+                let path = value("--replay")?;
+                set_mode(Mode::Replay(path), &mut mode)?;
+            }
+            "--workers" => server.workers = parse("--workers", value("--workers")?)?,
+            "--queue-cap" => server.queue_cap = parse("--queue-cap", value("--queue-cap")?)?,
+            "--cache-cap" => server.cache_cap = parse("--cache-cap", value("--cache-cap")?)?,
+            "--trajectory-cap" => {
+                server.trajectory_cap = parse("--trajectory-cap", value("--trajectory-cap")?)?;
+            }
+            "--requests" => trace_config.requests = parse("--requests", value("--requests")?)?,
+            "--seed" => trace_config.seed = parse("--seed", value("--seed")?)?,
+            "--arrival" => trace_config.arrival = Arrival::parse(&value("--arrival")?)?,
+            "--mean-gap-us" => {
+                trace_config.mean_gap_us = parse("--mean-gap-us", value("--mean-gap-us")?)?;
+            }
+            "--packets" => trace_config.packets = parse("--packets", value("--packets")?)?,
+            "--lines" => lines_path = Some(value("--lines")?),
+            "--passes" => passes = parse("--passes", value("--passes")?)?,
+            "--window" => window = parse("--window", value("--window")?)?,
+            "--paced" => paced = true,
+            "--verify" => verify = true,
+            "--sanitize" => sanitize = true,
+            "--responses" => responses_path = Some(value("--responses")?),
+            "--out" => out_path = Some(value("--out")?),
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+
+    match mode.ok_or("pick one of --stdio, --listen, --gen-trace, --replay")? {
+        Mode::Stdio => {
+            // Responses go straight to the process stdout so the mode
+            // is usable in a pipeline; `out` stays empty.
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut cache = regbal_serve::ServeCache::new(
+                server.cache_cap,
+                server.trajectory_cap,
+                server.sweep.clone(),
+            );
+            regbal_serve::serve_lines(stdin, stdout, &server, &mut cache)
+                .map_err(|e| format!("stdio transport: {e}"))?;
+            Ok(())
+        }
+        Mode::Listen(addr) => {
+            let mut announce = std::io::stderr();
+            regbal_serve::serve_tcp(&addr, &server, &mut announce)
+                .map_err(|e| format!("{addr}: {e}"))
+        }
+        Mode::GenTrace(path) => {
+            let file = TraceFile::generate(&trace_config);
+            std::fs::write(&path, file.to_json().pretty())
+                .map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "wrote {path} ({} requests, seed {}, {} arrival, {} packets/thread)",
+                file.requests.len(),
+                file.seed,
+                file.arrival.name(),
+                file.packets
+            );
+            if let Some(lines_path) = lines_path {
+                let wire = regbal_serve::materialize(&file.requests, file.packets);
+                let mut text = String::new();
+                for (i, req) in wire.iter().enumerate() {
+                    let _ = writeln!(
+                        text,
+                        "{}",
+                        regbal_serve::request_line(i as u64, req, false)
+                    );
+                }
+                std::fs::write(&lines_path, text).map_err(|e| format!("{lines_path}: {e}"))?;
+                let _ = writeln!(out, "wrote {lines_path} (ready-to-pipe request lines)");
+            }
+            Ok(())
+        }
+        Mode::Replay(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let trace = TraceFile::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+            let config = ReplayConfig {
+                serve: server,
+                passes: passes.max(1),
+                window,
+                paced,
+            };
+            let reports = regbal_serve::replay(&trace, &config)?;
+            for (i, r) in reports.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "pass {i} ({}): {} requests in {} us, p50 {} us, p99 {} us, {:.0} req/s, {} hit(s), {} miss(es)",
+                    if i == 0 { "cold" } else { "warm" },
+                    trace.requests.len(),
+                    r.wall_us,
+                    r.p50_us,
+                    r.p99_us,
+                    r.rps,
+                    r.hits,
+                    r.misses
+                );
+            }
+            if let Some(responses_path) = responses_path {
+                let mut text = String::new();
+                for r in &reports {
+                    for line in &r.responses {
+                        text.push_str(line);
+                        text.push('\n');
+                    }
+                }
+                std::fs::write(&responses_path, text)
+                    .map_err(|e| format!("{responses_path}: {e}"))?;
+                let _ = writeln!(out, "wrote {responses_path}");
+            }
+            if let Some(out_path) = out_path {
+                let doc = Json::Obj(vec![
+                    ("schema".into(), Json::str("regbal-serve-bench/1")),
+                    ("trace".into(), Json::str(path.clone())),
+                    ("requests".into(), Json::uint(trace.requests.len() as u64)),
+                    ("workers".into(), Json::uint(config.serve.workers as u64)),
+                    ("window".into(), Json::uint(window as u64)),
+                    (
+                        "passes".into(),
+                        Json::Arr(reports.iter().map(regbal_serve::pass_json).collect()),
+                    ),
+                ]);
+                std::fs::write(&out_path, doc.pretty()).map_err(|e| format!("{out_path}: {e}"))?;
+                let _ = writeln!(out, "wrote {out_path}");
+            }
+            if verify {
+                let checked = verify_against_oneshot(&trace, &reports[0].responses)?;
+                let _ = writeln!(
+                    out,
+                    "verify: {checked} distinct request(s) byte-identical to one-shot `regbal alloc --json`"
+                );
+            }
+            if sanitize {
+                let (checked, skipped) = regbal_serve::sanitize_check(&trace)?;
+                let _ = writeln!(
+                    out,
+                    "sanitize: {checked} allocation(s) replayed on the simulator with 0 violations ({skipped} infeasible skipped)"
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Replays each distinct cold-pass response through the one-shot
+/// `regbal alloc --json` path and demands byte identity: served
+/// documents must match the CLI's stdout, served errors the CLI's
+/// error message.
+fn verify_against_oneshot(trace: &TraceFile, responses: &[String]) -> Result<usize, String> {
+    let wire = regbal_serve::materialize(&trace.requests, trace.packets);
+    if wire.len() != responses.len() {
+        return Err(format!(
+            "verify: {} responses for {} requests",
+            responses.len(),
+            wire.len()
+        ));
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut checked = 0usize;
+    for (req, line) in wire.iter().zip(responses) {
+        if !seen.insert((req.hash, req.nthd, req.nreg, req.strategy)) {
+            continue;
+        }
+        let doc = regbal_eval::json::parse(line)
+            .map_err(|e| format!("verify: response is not JSON: {e}"))?;
+        let served = match (doc.get("alloc"), doc.get("error")) {
+            (Some(alloc), _) => Ok(alloc.pretty()),
+            (None, Some(error)) => Err(error
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()),
+            (None, None) => return Err(format!("verify: malformed response: {line}")),
+        };
+        let file = std::env::temp_dir().join(format!(
+            "regbal-verify-{}-{:016x}.rba",
+            std::process::id(),
+            req.hash
+        ));
+        let file = file.to_string_lossy().into_owned();
+        std::fs::write(&file, &req.text).map_err(|e| format!("{file}: {e}"))?;
+        let mut args: Vec<String> = vec!["alloc".into(), "--json".into()];
+        args.extend(req.strategy.cli_flags().iter().map(|s| s.to_string()));
+        args.push("--nreg".into());
+        args.push(req.nreg.to_string());
+        args.extend((0..req.nthd).map(|_| file.clone()));
+        let mut one_shot = String::new();
+        let direct = match run_cli(&args, &mut one_shot) {
+            Ok(()) => Ok(one_shot),
+            Err(message) => Err(message),
+        };
+        let _ = std::fs::remove_file(&file);
+        let matches = match (&served, &direct) {
+            // The CLI appends one newline to the pretty document.
+            (Ok(s), Ok(d)) => format!("{s}\n") == *d,
+            (Err(s), Err(d)) => s == d,
+            _ => false,
+        };
+        if !matches {
+            return Err(format!(
+                "verify: served response diverged from one-shot for {} nthd {} nreg {} {}:\nserved: {:?}\none-shot: {:?}",
+                req.kernel.name(),
+                req.nthd,
+                req.nreg,
+                req.strategy.name(),
+                served,
+                direct
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
 }
 
 fn format_stats(stats: &EngineStats, config: EngineConfig) -> String {
@@ -1039,8 +1296,29 @@ mod tests {
         for key in ["name", "pr", "sr", "moves", "spills"] {
             assert!(threads[0].get(key).is_some(), "thread object has `{key}`");
         }
-        assert!(doc.get("engine").is_some(), "engine stats present");
+        assert!(
+            doc.get("engine").is_none(),
+            "the default document is deterministic — engine timings are opt-in"
+        );
         assert!(!out.contains("bb0:"), "no code with --json: {out}");
+
+        // --stats opts the wall-clock engine member back in.
+        let mut out = String::new();
+        run_cli(
+            &[
+                "alloc".into(),
+                "--json".into(),
+                "--stats".into(),
+                "--nreg".into(),
+                "8".into(),
+                path.clone(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let doc = regbal_eval::json::parse(&out).unwrap();
+        let engine = doc.get("engine").expect("--stats adds engine");
+        assert!(engine.get("total_us").is_some());
 
         // The spill variant uses the same thread schema, no engine.
         let mut out = String::new();
@@ -1215,6 +1493,119 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("--nreg"));
+    }
+}
+
+#[cfg(test)]
+mod serve_tests {
+    use super::*;
+
+    fn temp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("regbal-cli-serve-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn serve_requires_exactly_one_mode() {
+        let err = run_cli(&["serve".into()], &mut String::new()).unwrap_err();
+        assert!(err.contains("--stdio"), "{err}");
+        let err = run_cli(
+            &["serve".into(), "--stdio".into(), "--replay".into(), "x".into()],
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn gen_trace_writes_a_round_tripping_file_and_request_lines() {
+        let trace_path = temp("trace.json");
+        let lines_path = temp("lines.txt");
+        let mut out = String::new();
+        run_cli(
+            &[
+                "serve".into(),
+                "--gen-trace".into(),
+                trace_path.clone(),
+                "--requests".into(),
+                "10".into(),
+                "--seed".into(),
+                "7".into(),
+                "--arrival".into(),
+                "bursty".into(),
+                "--lines".into(),
+                lines_path.clone(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("10 requests"), "{out}");
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let trace = TraceFile::from_text(&text).unwrap();
+        assert_eq!(trace.requests.len(), 10);
+        assert_eq!(trace.seed, 7);
+        let lines = std::fs::read_to_string(&lines_path).unwrap();
+        assert_eq!(lines.lines().count(), 10);
+        for line in lines.lines() {
+            match regbal_serve::parse_request(line) {
+                regbal_serve::Request::Alloc(Ok(_)) => {}
+                other => panic!("generated line did not parse: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_reports_passes_verifies_and_writes_artifacts() {
+        let trace_path = temp("replay-trace.json");
+        run_cli(
+            &[
+                "serve".into(),
+                "--gen-trace".into(),
+                trace_path.clone(),
+                "--requests".into(),
+                "6".into(),
+            ],
+            &mut String::new(),
+        )
+        .unwrap();
+        let responses_path = temp("responses.txt");
+        let bench_path = temp("bench.json");
+        let mut out = String::new();
+        run_cli(
+            &[
+                "serve".into(),
+                "--replay".into(),
+                trace_path,
+                "--passes".into(),
+                "2".into(),
+                "--workers".into(),
+                "2".into(),
+                "--verify".into(),
+                "--responses".into(),
+                responses_path.clone(),
+                "--out".into(),
+                bench_path.clone(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("pass 0 (cold)"), "{out}");
+        assert!(out.contains("pass 1 (warm)"), "{out}");
+        assert!(out.contains("0 miss(es)"), "warm pass all hits: {out}");
+        assert!(out.contains("byte-identical to one-shot"), "{out}");
+        let responses = std::fs::read_to_string(&responses_path).unwrap();
+        assert_eq!(responses.lines().count(), 12, "6 requests x 2 passes");
+        let bench = regbal_eval::json::parse(&std::fs::read_to_string(&bench_path).unwrap()).unwrap();
+        assert_eq!(
+            bench.get("schema").and_then(Json::as_str),
+            Some("regbal-serve-bench/1")
+        );
+        assert_eq!(
+            bench.get("passes").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
     }
 }
 

@@ -42,8 +42,12 @@ const MAX_SPILL_ROUNDS: usize = 64;
 const SPILL_SPACE: MemSpace = MemSpace::Sram;
 
 /// Base address of the hybrid spill area (per-thread areas are spaced
-/// a page apart).
-const SPILL_BASE: i64 = 0x7_8000;
+/// a page apart). Public so callers that must reproduce
+/// [`allocate_threads_with_spill`] byte-for-byte through the `_at`
+/// entry points — or share one spill-sweep trajectory between the
+/// hybrid and the ladder's balanced-spill rung, which packs from the
+/// equal [`crate::DEFAULT_LADDER_SPILL_BASE`] — can name the default.
+pub const DEFAULT_SPILL_BASE: i64 = 0x7_8000;
 
 /// Allocates like [`allocate_threads`], but when the demand cannot be
 /// reduced to `nreg` by sharing and splitting alone, spills live ranges
@@ -58,7 +62,7 @@ pub fn allocate_threads_with_spill(
     funcs: &[Func],
     nreg: usize,
 ) -> Result<HybridAllocation, AllocError> {
-    allocate_threads_with_spill_at(funcs, nreg, SPILL_BASE)
+    allocate_threads_with_spill_at(funcs, nreg, DEFAULT_SPILL_BASE)
 }
 
 /// Like [`allocate_threads_with_spill`], with an explicit base address
@@ -349,7 +353,7 @@ bb0:
         let seeded = allocate_threads_with_spill_seeded(
             &funcs,
             8,
-            SPILL_BASE,
+            DEFAULT_SPILL_BASE,
             EngineConfig::default(),
             Some(verdict),
         )
@@ -362,7 +366,7 @@ bb0:
         let seeded_ok = allocate_threads_with_spill_seeded(
             &funcs,
             32,
-            SPILL_BASE,
+            DEFAULT_SPILL_BASE,
             EngineConfig::default(),
             Some(ok),
         )
@@ -382,7 +386,7 @@ bb0:
         let swept = allocate_threads_with_spill_sweep(
             &funcs,
             &targets,
-            SPILL_BASE,
+            DEFAULT_SPILL_BASE,
             EngineConfig::default(),
             None,
         );
@@ -407,7 +411,7 @@ bb0:
         let seeded = allocate_threads_with_spill_sweep(
             &funcs,
             &targets,
-            SPILL_BASE,
+            DEFAULT_SPILL_BASE,
             EngineConfig::default(),
             Some(&seeds),
         );

@@ -70,7 +70,7 @@ pub use half::HalfPoint;
 pub use hybrid::{
     allocate_threads_with_spill, allocate_threads_with_spill_at,
     allocate_threads_with_spill_config, allocate_threads_with_spill_seeded,
-    allocate_threads_with_spill_sweep, HybridAllocation,
+    allocate_threads_with_spill_sweep, HybridAllocation, DEFAULT_SPILL_BASE,
 };
 pub use ladder::{
     allocate_ladder, allocate_ladder_seeded, allocate_ladder_with, LadderAllocation,

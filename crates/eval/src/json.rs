@@ -106,6 +106,49 @@ impl Json {
         out
     }
 
+    /// Serialises onto a single line with no trailing newline — the
+    /// framing the line-delimited `regbal-serve/1` protocol needs
+    /// (one document per line, `\n`-terminated by the transport).
+    /// Parses back to the same value as [`Json::pretty`].
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => out.push_str(&fmt_num(*x)),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         let pad = |out: &mut String, d: usize| out.push_str(&"  ".repeat(d));
         match self {
@@ -397,6 +440,20 @@ mod tests {
     fn integers_print_without_fraction() {
         assert_eq!(Json::uint(12_345_678).pretty().trim(), "12345678");
         assert_eq!(Json::float(0.5).pretty().trim(), "0.5");
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str("regbal-serve/1")),
+            ("items".into(), Json::Arr(vec![Json::int(1), Json::Null])),
+            ("nested".into(), Json::Obj(vec![("s".into(), Json::str("a\nb"))])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let line = doc.compact();
+        assert!(!line.contains('\n'), "compact output must be one line: {line}");
+        assert_eq!(parse(&line).unwrap(), doc);
+        assert_eq!(parse(&line).unwrap(), parse(&doc.pretty()).unwrap());
     }
 
     #[test]

@@ -41,11 +41,12 @@
 pub mod cache;
 pub mod device;
 pub mod json;
+pub mod pool;
 pub mod report;
 pub mod scenario;
 pub mod strategy;
 
-pub use cache::AllocCache;
+pub use cache::{AllocCache, Lru, SimCache, SimKey};
 pub use device::{
     compile_program, device_scenarios, occupancy_limit, reference_program, run_device,
     run_device_eval, run_device_scenario, DeviceEvalConfig, DeviceEvalReport, DeviceOutcome,
@@ -58,8 +59,8 @@ pub use report::{
 };
 pub use scenario::{scenarios, Scenario, THREADS_PER_PU};
 pub use strategy::{
-    all_strategies, Balanced, BalancedSpill, CompileCtx, CompiledPu, FixedPartition, Ladder,
-    PuLadderTrail, Strategy, ThreadCode,
+    all_strategies, balanced_sanitizer, ladder_sanitizer, Balanced, BalancedSpill, CompileCtx,
+    CompiledPu, FixedPartition, Ladder, PuLadderTrail, Strategy, ThreadCode,
 };
 
 #[cfg(test)]

@@ -1,0 +1,90 @@
+//! The work-stealing worker pool behind the sharded sweep — and, since
+//! the allocation server landed, behind every batch of server requests.
+//!
+//! The shape is deliberately minimal: `total` independent tasks indexed
+//! `0..total`, a shared atomic cursor the workers steal indices from,
+//! and a positional merge. Tasks differ wildly in cost (a cache hit
+//! returns instantly, a cold ladder descent burns a whole engine
+//! search), so static striping would idle workers; the cursor keeps
+//! every worker busy until the range is drained. Because the merge is
+//! positional — never arrival-ordered — the output vector is identical
+//! at any worker count whenever `compute` itself is deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `compute(0..total)` across `threads` scoped OS workers stealing
+/// indices from a shared cursor, returning the results in index order.
+///
+/// `threads <= 1` (or a single task) runs the plain serial loop in the
+/// calling thread — same closure, so the paths cannot diverge. Workers
+/// are clamped to `total`; a panic inside `compute` propagates to the
+/// caller (the eval sweep catches per-cell panics *inside* its compute
+/// closure, so anything escaping here is a harness bug).
+pub fn shard<T: Send>(
+    total: usize,
+    threads: usize,
+    compute: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    if threads <= 1 || total <= 1 {
+        return (0..total).map(compute).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let computed: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(total))
+            .map(|_| {
+                let next = &next;
+                let compute = &compute;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= total {
+                            break;
+                        }
+                        mine.push((idx, compute(idx)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("a pool worker died outside its task"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    for (idx, value) in computed {
+        slots[idx] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every stolen index was computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_land_in_index_order_at_any_width() {
+        let serial = shard(17, 1, |i| i * i);
+        for threads in [2, 4, 9, 32] {
+            assert_eq!(shard(17, threads, |i| i * i), serial);
+        }
+        assert_eq!(shard(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(shard(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn every_index_is_computed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = shard(100, 7, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+}

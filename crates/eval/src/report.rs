@@ -21,17 +21,16 @@
 //! serial run for the same configuration and seed, at any worker
 //! count, with the compile cache on or off.
 
-use crate::cache::AllocCache;
+use crate::cache::{AllocCache, SimCache, SimKey};
 use crate::json::Json;
+use crate::pool;
 use crate::scenario::{scenarios, Scenario};
 use crate::strategy::{all_strategies, CompileCtx, CompiledPu, PuLadderTrail, Strategy};
 use regbal_ir::{Func, MemSpace};
 use regbal_sim::{Chip, RunReport, SanitizerConfig, SimConfig};
 use regbal_workloads::Workload;
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Configuration of one evaluation run.
@@ -290,58 +289,6 @@ fn reference_output(ctx: &ScenarioCtx<'_>, config: &EvalConfig) -> Result<Vec<u8
     }
 }
 
-/// Everything that determines a chip run's outcome besides the (fixed,
-/// per-scenario) workloads: the physical binaries, the sanitizer
-/// layouts, and the per-PU degradation counts. Two cells with equal
-/// keys — e.g. `balanced` and `balanced-spill` at a size needing no
-/// spills, or one strategy across every size it compiles identically
-/// for — run the exact same deterministic simulation.
-#[derive(PartialEq)]
-struct SimKey {
-    funcs: Vec<Vec<Func>>,
-    /// `None` when sanitizing is off: the layouts then never reach the
-    /// chip, so keying on them would only split otherwise-identical
-    /// runs.
-    sanitizers: Option<Vec<SanitizerConfig>>,
-    degraded: Vec<u64>,
-}
-
-/// `None` records a timeout (the run not halting is just as
-/// deterministic as any other outcome).
-type SimSlot = Arc<OnceLock<Option<Arc<ChipRun>>>>;
-
-/// Deduplicates chip runs across the sweep's cells, partitioned by
-/// scenario (the workloads, an input of the run, are fixed per
-/// scenario). Entries are scanned linearly — a scenario produces only
-/// a handful of distinct binaries — and `Func` equality bails on the
-/// first differing instruction. Behaviour-preserving for the same
-/// reason as [`AllocCache`]: the simulator is deterministic, so a hit
-/// replays exactly what recomputation would produce.
-#[derive(Default)]
-struct SimCache {
-    map: Mutex<HashMap<usize, Vec<(SimKey, SimSlot)>>>,
-}
-
-impl SimCache {
-    fn slot(&self, scenario: usize, key: &SimKey) -> SimSlot {
-        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
-        let entries = map.entry(scenario).or_default();
-        if let Some((_, slot)) = entries.iter().find(|(k, _)| k == key) {
-            return slot.clone();
-        }
-        let slot = SimSlot::default();
-        entries.push((
-            SimKey {
-                funcs: key.funcs.clone(),
-                sanitizers: key.sanitizers.clone(),
-                degraded: key.degraded.clone(),
-            },
-            slot.clone(),
-        ));
-        slot
-    }
-}
-
 /// Runs the pipeline over explicit scenarios *and* strategies — the
 /// sharded tentpole. Cells are indexed canonically
 /// (`(scenario · |strategies| + strategy) · |sweep| + size`); workers
@@ -374,7 +321,7 @@ fn run_eval_threads(
 ) -> EvalReport {
     let started = Instant::now();
     let cache = AllocCache::new(config.nreg_sweep.clone());
-    let sim_cache = SimCache::default();
+    let sim_cache: SimCache<ChipRun> = SimCache::default();
     let ctxs: Vec<ScenarioCtx<'_>> = suite
         .iter()
         .map(|s| ScenarioCtx {
@@ -418,50 +365,16 @@ fn run_eval_threads(
         cell
     };
 
-    let mut slots: Vec<Option<CellReport>> = (0..total).map(|_| None).collect();
-    if threads == 1 {
-        for (idx, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(compute(idx));
-        }
-    } else {
-        // Work stealing over a shared cursor: cells differ wildly in
-        // cost (a timeout burns the whole cycle budget, an infeasible
-        // cell returns instantly), so static striping would idle
-        // workers; the atomic cursor keeps every worker busy until the
-        // grid is drained.
-        let next = AtomicUsize::new(0);
-        let computed: Vec<(usize, CellReport)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads.min(total))
-                .map(|_| {
-                    let next = &next;
-                    let compute = &compute;
-                    scope.spawn(move || {
-                        let mut mine = Vec::new();
-                        loop {
-                            let idx = next.fetch_add(1, Ordering::Relaxed);
-                            if idx >= total {
-                                break;
-                            }
-                            mine.push((idx, compute(idx)));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("an eval worker died outside a cell"))
-                .collect()
-        });
-        for (idx, cell) in computed {
-            slots[idx] = Some(cell);
-        }
-    }
+    // Work stealing over a shared cursor ([`pool::shard`]): cells
+    // differ wildly in cost (a timeout burns the whole cycle budget,
+    // an infeasible cell returns instantly), so static striping would
+    // idle workers, and the positional merge keeps the report
+    // byte-identical at any worker count.
+    let mut cells = pool::shard(total, threads, compute).into_iter();
 
     let scenario_reports = ctxs
         .iter()
-        .enumerate()
-        .map(|(si, ctx)| ScenarioReport {
+        .map(|ctx| ScenarioReport {
             name: ctx.scenario.name.to_string(),
             description: ctx.scenario.description.to_string(),
             register_hungry: ctx.scenario.register_hungry,
@@ -472,10 +385,7 @@ fn run_eval_threads(
                 .flatten()
                 .map(|w| w.kernel.name().to_string())
                 .collect(),
-            cells: slots[si * nstrat * nsizes..(si + 1) * nstrat * nsizes]
-                .iter_mut()
-                .map(|slot| slot.take().expect("every claimed index was computed"))
-                .collect(),
+            cells: cells.by_ref().take(nstrat * nsizes).collect(),
         })
         .collect();
     EvalReport {
@@ -530,7 +440,7 @@ fn run_cell(
     workloads: &[Vec<Workload>],
     reference_output: &[u8],
     config: &EvalConfig,
-    caches: Option<(&CompileCtx<'_>, &SimCache)>,
+    caches: Option<(&CompileCtx<'_>, &SimCache<ChipRun>)>,
 ) -> CellReport {
     let mut cell = blank_cell(strategy, nreg, config);
 

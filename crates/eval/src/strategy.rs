@@ -131,8 +131,9 @@ impl CompiledPu {
 
 /// The sanitizer configuration of a balancing allocation: the bank
 /// layout straight from the [`MultiAllocation`] plus its
-/// fragment-ownership tags.
-fn balanced_sanitizer(alloc: &MultiAllocation) -> SanitizerConfig {
+/// fragment-ownership tags. Public because the allocation server arms
+/// the same layouts when it verifies served code under simulation.
+pub fn balanced_sanitizer(alloc: &MultiAllocation) -> SanitizerConfig {
     let layout = alloc.layout();
     let mut cfg = SanitizerConfig::with_layout(
         (0..alloc.threads.len())
@@ -369,6 +370,24 @@ fn ladder_config(pu: usize) -> LadderConfig {
     }
 }
 
+/// The sanitizer configuration of a settled ladder allocation: the
+/// balanced layout when any balancing rung delivered, the equal-bank
+/// partition when the ladder fell to `fixed-partition`. Public for the
+/// same reason as [`balanced_sanitizer`].
+pub fn ladder_sanitizer(alloc: &LadderAllocation, nthreads: usize) -> SanitizerConfig {
+    match (&alloc.outcome, alloc.balanced_alloc()) {
+        (_, Some(balanced)) => balanced_sanitizer(balanced),
+        (LadderOutcome::Partitioned { k, .. }, None) => SanitizerConfig::with_layout(
+            (0..nthreads)
+                .map(|t| (t * k) as u32..((t + 1) * k) as u32)
+                .collect(),
+            None,
+        ),
+        // `balanced_alloc` covers every non-partitioned outcome.
+        (_, None) => SanitizerConfig::default(),
+    }
+}
+
 /// Packages a settled ladder allocation as a [`CompiledPu`].
 fn ladder_pu(alloc: &LadderAllocation, funcs: &[Func]) -> Result<CompiledPu, String> {
     let threads = alloc
@@ -381,17 +400,7 @@ fn ladder_pu(alloc: &LadderAllocation, funcs: &[Func]) -> Result<CompiledPu, Str
             spills: s.spills,
         })
         .collect();
-    let sanitizer = match (&alloc.outcome, alloc.balanced_alloc()) {
-        (_, Some(balanced)) => balanced_sanitizer(balanced),
-        (LadderOutcome::Partitioned { k, .. }, None) => SanitizerConfig::with_layout(
-            (0..funcs.len())
-                .map(|t| (t * k) as u32..((t + 1) * k) as u32)
-                .collect(),
-            None,
-        ),
-        // `balanced_alloc` covers every non-partitioned outcome.
-        (_, None) => SanitizerConfig::default(),
-    };
+    let sanitizer = ladder_sanitizer(alloc, funcs.len());
     Ok(CompiledPu {
         funcs: alloc.rewrite().map_err(|e| e.to_string())?,
         registers_used: alloc.registers_used(),

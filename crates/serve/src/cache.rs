@@ -1,0 +1,456 @@
+//! The server's persistent cross-request caches.
+//!
+//! Two bounded LRU tiers (both built on [`regbal_eval::Lru`]) survive
+//! across requests, connections and replay passes:
+//!
+//! * **responses** — keyed `(content hash, Nthd, Nreg, strategy)`,
+//!   holding finished outcomes (the `regbal-alloc/1` document, or a
+//!   cached failure). A hit answers without touching the allocator.
+//! * **trajectories** — keyed `(content hash, Nthd)`, holding the
+//!   loaded thread programs plus the engine's *whole-sweep* descent
+//!   vectors ([`regbal_core::allocate_threads_sweep`] and
+//!   [`regbal_core::allocate_threads_with_spill_sweep`] at the
+//!   one-shot default spill base). The greedy descent never consults
+//!   the register-file size while choosing steps, so one cached
+//!   descent answers **every** swept `Nreg` — a request at a new
+//!   budget for a known module replays the trajectory instead of
+//!   re-searching. The ladder's balanced rungs are seeded from the
+//!   same vectors ([`regbal_core::allocate_ladder_seeded`]), which is
+//!   behaviour-preserving because the engine is deterministic and the
+//!   ladder's first spilling rung uses the same default base
+//!   ([`regbal_core::DEFAULT_LADDER_SPILL_BASE`] ==
+//!   [`regbal_core::DEFAULT_SPILL_BASE`]).
+//!
+//! All map mutation happens on the dispatcher thread (deterministic
+//! hit/miss/eviction accounting); worker threads only race on the
+//! trajectories' interior [`OnceLock`]s, so exactly one worker runs
+//! each descent and the others share it.
+
+use crate::oneshot::{self, ServeStrategy};
+use regbal_core::{
+    allocate_ladder_seeded, allocate_threads_sweep, allocate_threads_with_spill_sweep,
+    AllocError, EngineConfig, HybridAllocation, LadderConfig, MultiAllocation, RungProviders,
+    DEFAULT_SPILL_BASE,
+};
+use regbal_eval::{Json, Lru};
+use regbal_ir::Func;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The response-cache key: content hash, replica count, register-file
+/// size, strategy.
+pub type ResponseKey = (u64, usize, usize, ServeStrategy);
+
+/// A finished outcome, cheap to replay from the cache.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The `regbal-alloc/1` document of a successful allocation.
+    Doc(Arc<Json>),
+    /// An allocation failure (negative caching: the engine's verdicts
+    /// are deterministic, so failures replay like successes).
+    Fail {
+        /// Stable [`regbal_core::AllocError::code`].
+        code: String,
+        /// The CLI-identical message.
+        message: String,
+    },
+    /// The module text failed to parse.
+    Parse {
+        /// The `regbal-ir` message.
+        message: String,
+        /// Line/column into the `func` text (0,0 for structural module
+        /// errors that have no position).
+        at: (usize, usize),
+    },
+}
+
+/// One module's loaded programs plus its lazily-computed whole-sweep
+/// descent vectors. Shared by `Arc` with the worker pool.
+#[derive(Debug)]
+pub struct Trajectory {
+    /// The replicated thread programs (roots × `nthd`).
+    pub funcs: Vec<Func>,
+    sweep: Vec<usize>,
+    balanced: OnceLock<Vec<Result<MultiAllocation, AllocError>>>,
+    hybrid: OnceLock<Vec<Result<HybridAllocation, AllocError>>>,
+}
+
+impl Trajectory {
+    fn new(funcs: Vec<Func>, sweep: Vec<usize>) -> Trajectory {
+        Trajectory {
+            funcs,
+            sweep,
+            balanced: OnceLock::new(),
+            hybrid: OnceLock::new(),
+        }
+    }
+
+    fn balanced_verdicts(
+        &self,
+        descents: &AtomicU64,
+    ) -> &[Result<MultiAllocation, AllocError>] {
+        self.balanced.get_or_init(|| {
+            descents.fetch_add(1, Ordering::Relaxed);
+            allocate_threads_sweep(&self.funcs, &self.sweep, EngineConfig::default())
+        })
+    }
+
+    fn hybrid_verdicts(&self, descents: &AtomicU64) -> &[Result<HybridAllocation, AllocError>] {
+        self.hybrid.get_or_init(|| {
+            descents.fetch_add(1, Ordering::Relaxed);
+            let seeds = self.balanced_verdicts(descents);
+            allocate_threads_with_spill_sweep(
+                &self.funcs,
+                &self.sweep,
+                DEFAULT_SPILL_BASE,
+                EngineConfig::default(),
+                Some(seeds),
+            )
+        })
+    }
+
+    /// The balanced verdict at `nreg`, from the shared descent when
+    /// `nreg` is on the sweep and from a dedicated run otherwise —
+    /// bit-identical either way (the core crate's sweep-equivalence
+    /// guarantee).
+    fn balanced_at(
+        &self,
+        nreg: usize,
+        descents: &AtomicU64,
+    ) -> Result<MultiAllocation, AllocError> {
+        match self.sweep.iter().position(|&n| n == nreg) {
+            Some(pos) => self.balanced_verdicts(descents)[pos].clone(),
+            None => regbal_core::allocate_threads(&self.funcs, nreg),
+        }
+    }
+
+    /// The hybrid verdict at `nreg` and the one-shot default spill
+    /// base, trajectory-shared on-sweep.
+    fn hybrid_at(
+        &self,
+        nreg: usize,
+        descents: &AtomicU64,
+    ) -> Result<HybridAllocation, AllocError> {
+        match self.sweep.iter().position(|&n| n == nreg) {
+            Some(pos) => self.hybrid_verdicts(descents)[pos].clone(),
+            None => regbal_core::allocate_threads_with_spill(&self.funcs, nreg),
+        }
+    }
+
+    /// Computes the outcome for one request against this trajectory:
+    /// allocate under `strategy`, build the CLI-identical document.
+    /// Runs on a worker thread; only the [`OnceLock`] descents are
+    /// shared state.
+    pub fn outcome(
+        &self,
+        nreg: usize,
+        strategy: ServeStrategy,
+        descents: &AtomicU64,
+    ) -> Outcome {
+        let fail = |code: &'static str, message: String| Outcome::Fail {
+            code: code.into(),
+            message,
+        };
+        let verdict = match strategy {
+            ServeStrategy::Balanced => match self.balanced_at(nreg, descents) {
+                Ok(alloc) => oneshot::Verdict::Balanced(alloc),
+                Err(e) => return fail(e.code(), e.to_string()),
+            },
+            ServeStrategy::BalancedSpill => match self.hybrid_at(nreg, descents) {
+                Ok(h) => oneshot::Verdict::Spill(h),
+                Err(e) => return fail(e.code(), e.to_string()),
+            },
+            ServeStrategy::Ladder => {
+                let providers = RungProviders {
+                    balanced: Some(Box::new(|| self.balanced_at(nreg, descents))),
+                    balanced_spill: Some(Box::new(|| self.hybrid_at(nreg, descents))),
+                };
+                match allocate_ladder_seeded(
+                    &self.funcs,
+                    nreg,
+                    &LadderConfig::default(),
+                    providers,
+                ) {
+                    Ok(l) => oneshot::Verdict::Ladder(Box::new(l)),
+                    Err(e) => return fail(e.error.code(), e.to_string()),
+                }
+            }
+        };
+        Outcome::Doc(Arc::new(oneshot::verdict_doc(&self.funcs, nreg, &verdict)))
+    }
+}
+
+/// Deterministic cache counters, exposed by the `stats` request.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Top-level request lines admitted (any kind).
+    pub requests: u64,
+    /// Individual alloc units processed (batch elements counted).
+    pub allocs: u64,
+    /// Response-cache hits (including duplicates within one wave,
+    /// which are served from the wave's own computation).
+    pub hits: u64,
+    /// Response-cache misses.
+    pub misses: u64,
+    /// Response-cache evictions.
+    pub evictions: u64,
+    /// Trajectory-cache evictions.
+    pub trajectory_evictions: u64,
+    /// Whole-sweep descents actually run (monotonic; shared with the
+    /// worker pool, but each [`OnceLock`] initialises exactly once, so
+    /// the total is deterministic at any worker count).
+    pub descents: Arc<AtomicU64>,
+    /// Alloc misses that reused an already-resident trajectory
+    /// instead of loading the module afresh.
+    pub descent_reuses: u64,
+    /// Distinct content hashes admitted.
+    pub distinct: HashSet<u64>,
+}
+
+/// The persistent cross-request cache: both LRU tiers plus counters.
+/// Owned by the dispatcher; outlives connections.
+pub struct ServeCache {
+    sweep: Vec<usize>,
+    responses: Lru<ResponseKey, Outcome>,
+    trajectories: Lru<(u64, usize), Arc<Trajectory>>,
+    /// The counters (dispatcher-updated, except `descents`).
+    pub counters: Counters,
+}
+
+impl ServeCache {
+    /// A fresh cache: `cache_cap` response entries, `trajectory_cap`
+    /// trajectories, descents shared across the given `sweep`.
+    pub fn new(cache_cap: usize, trajectory_cap: usize, sweep: Vec<usize>) -> ServeCache {
+        ServeCache {
+            sweep,
+            responses: Lru::new(cache_cap),
+            trajectories: Lru::new(trajectory_cap),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Response-cache lookup, counting a hit on success.
+    pub fn lookup(&mut self, key: &ResponseKey) -> Option<Outcome> {
+        match self.responses.get(key) {
+            Some(outcome) => {
+                self.counters.hits += 1;
+                Some(outcome.clone())
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a computed outcome, counting any eviction.
+    pub fn store(&mut self, key: ResponseKey, outcome: Outcome) {
+        if self.responses.insert(key, outcome).is_some() {
+            self.counters.evictions += 1;
+        }
+    }
+
+    /// The resident trajectory for `(hash, nthd)`, if any (counts a
+    /// descent reuse — the caller only asks after a response miss).
+    pub fn trajectory(&mut self, hash: u64, nthd: usize) -> Option<Arc<Trajectory>> {
+        let t = self.trajectories.get(&(hash, nthd)).cloned();
+        if t.is_some() {
+            self.counters.descent_reuses += 1;
+        }
+        t
+    }
+
+    /// Loads `text` as a module, replicates it `nthd` times and admits
+    /// the trajectory. Load failures come back as a ready [`Outcome`]
+    /// (and are *not* admitted — `Err` is cached at the response tier
+    /// by the caller instead).
+    ///
+    /// # Errors
+    ///
+    /// The ready error outcome for an unloadable module.
+    pub fn admit_trajectory(
+        &mut self,
+        hash: u64,
+        nthd: usize,
+        text: &str,
+    ) -> Result<Arc<Trajectory>, Outcome> {
+        let roots = oneshot::load_module(text).map_err(|e| match e {
+            oneshot::LoadError::Parse(p) => Outcome::Parse {
+                message: p.to_string(),
+                at: (p.line, p.col),
+            },
+            oneshot::LoadError::Module(m) => Outcome::Parse {
+                message: m,
+                at: (0, 0),
+            },
+        })?;
+        let funcs = oneshot::replicate(&roots, nthd);
+        let traj = Arc::new(Trajectory::new(funcs, self.sweep.clone()));
+        if self
+            .trajectories
+            .insert((hash, nthd), traj.clone())
+            .is_some()
+        {
+            self.counters.trajectory_evictions += 1;
+        }
+        Ok(traj)
+    }
+
+    /// Records one admitted top-level request.
+    pub fn count_request(&mut self) {
+        self.counters.requests += 1;
+    }
+
+    /// Records one alloc unit and its content hash.
+    pub fn count_alloc(&mut self, hash: u64) {
+        self.counters.allocs += 1;
+        self.counters.distinct.insert(hash);
+    }
+
+    /// The `stats` member of a stats response.
+    pub fn stats_json(&self) -> Json {
+        let c = &self.counters;
+        Json::Obj(vec![
+            ("requests".into(), Json::uint(c.requests)),
+            ("allocs".into(), Json::uint(c.allocs)),
+            ("hits".into(), Json::uint(c.hits)),
+            ("misses".into(), Json::uint(c.misses)),
+            ("evictions".into(), Json::uint(c.evictions)),
+            ("entries".into(), Json::uint(self.responses.len() as u64)),
+            ("cache_cap".into(), Json::uint(self.responses.cap() as u64)),
+            (
+                "trajectories".into(),
+                Json::uint(self.trajectories.len() as u64),
+            ),
+            (
+                "trajectory_evictions".into(),
+                Json::uint(c.trajectory_evictions),
+            ),
+            (
+                "descents".into(),
+                Json::uint(c.descents.load(Ordering::Relaxed)),
+            ),
+            ("descent_reuses".into(), Json::uint(c.descent_reuses)),
+            (
+                "distinct_functions".into(),
+                Json::uint(c.distinct.len() as u64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::content_hash;
+
+    const PROG: &str = "func t {\nbb0:\n v0 = mov 64\n v1 = load sram[v0+0]\n v1 = add v1, 1\n store sram[v0+0], v1\n iter_end\n halt\n}";
+
+    fn cache() -> ServeCache {
+        ServeCache::new(4096, 64, vec![8, 16, 32])
+    }
+
+    #[test]
+    fn one_descent_serves_every_swept_budget_and_strategy() {
+        let mut cache = cache();
+        let h = content_hash(PROG);
+        let traj = cache.admit_trajectory(h, 2, PROG).unwrap();
+        let descents = cache.counters.descents.clone();
+        for nreg in [8, 16, 32] {
+            for strategy in [
+                ServeStrategy::Balanced,
+                ServeStrategy::BalancedSpill,
+                ServeStrategy::Ladder,
+            ] {
+                let outcome = traj.outcome(nreg, strategy, &descents);
+                match outcome {
+                    Outcome::Doc(doc) => {
+                        assert_eq!(doc.get("nreg").and_then(Json::as_u64), Some(nreg as u64));
+                    }
+                    Outcome::Fail { .. } | Outcome::Parse { .. } => {
+                        panic!("{strategy:?}@{nreg} failed")
+                    }
+                }
+            }
+        }
+        // Nine requests, at most two descents (balanced + hybrid): the
+        // trajectory answered every budget and the ladder's rungs were
+        // seeded, not re-searched.
+        assert!(descents.load(Ordering::Relaxed) <= 2);
+    }
+
+    #[test]
+    fn trajectory_verdicts_match_dedicated_one_shot_runs() {
+        let cache_sweep = vec![8, 32];
+        let mut cache = ServeCache::new(16, 16, cache_sweep);
+        let traj = cache.admit_trajectory(content_hash(PROG), 2, PROG).unwrap();
+        let descents = AtomicU64::new(0);
+        for nreg in [8, 32, 20] {
+            // 20 is off-sweep: a dedicated run, still identical.
+            for strategy in [
+                ServeStrategy::Balanced,
+                ServeStrategy::BalancedSpill,
+                ServeStrategy::Ladder,
+            ] {
+                let served = traj.outcome(nreg, strategy, &descents);
+                let direct = oneshot::allocate(&traj.funcs, nreg, strategy)
+                    .map(|v| oneshot::verdict_doc(&traj.funcs, nreg, &v));
+                match (served, direct) {
+                    (Outcome::Doc(a), Ok(b)) => {
+                        assert_eq!(a.pretty(), b.pretty(), "{strategy:?}@{nreg} diverged");
+                    }
+                    (Outcome::Fail { message, .. }, Err(e)) => {
+                        assert_eq!(message, e.message);
+                    }
+                    (a, b) => panic!("{strategy:?}@{nreg}: served {a:?} vs direct {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn response_tier_counts_hits_misses_and_evictions() {
+        let mut cache = ServeCache::new(1, 16, vec![32]);
+        let key_a: ResponseKey = (1, 1, 32, ServeStrategy::Balanced);
+        let key_b: ResponseKey = (2, 1, 32, ServeStrategy::Balanced);
+        assert!(cache.lookup(&key_a).is_none());
+        cache.store(
+            key_a,
+            Outcome::Fail {
+                code: "infeasible".into(),
+                message: "m".into(),
+            },
+        );
+        assert!(cache.lookup(&key_a).is_some());
+        // Capacity one: a second key evicts the first.
+        cache.store(
+            key_b,
+            Outcome::Fail {
+                code: "infeasible".into(),
+                message: "m".into(),
+            },
+        );
+        assert!(cache.lookup(&key_a).is_none());
+        assert_eq!(cache.counters.hits, 1);
+        assert_eq!(cache.counters.misses, 2);
+        assert_eq!(cache.counters.evictions, 1);
+    }
+
+    #[test]
+    fn unloadable_modules_become_parse_outcomes() {
+        let mut cache = cache();
+        let bad = "func t {\nbb0:\n v0 = frob 1\n}";
+        match cache.admit_trajectory(content_hash(bad), 1, bad) {
+            Err(Outcome::Parse { at, .. }) => assert_eq!(at.0, 3),
+            other => panic!("expected a parse outcome: {other:?}"),
+        }
+        match cache.admit_trajectory(content_hash(""), 1, "") {
+            Err(Outcome::Parse { message, at }) => {
+                assert_eq!(message, "no functions found");
+                assert_eq!(at, (0, 0));
+            }
+            other => panic!("expected a module outcome: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `regbal-serve`: a resident allocation server with a persistent
+//! cross-request cache.
+//!
+//! The one-shot `regbal alloc` pipeline re-parses, re-analyses and
+//! re-searches from scratch on every invocation, which dominates
+//! end-to-end latency when a fleet of build jobs recompiles the same
+//! kernels under drifting register budgets. This crate keeps the
+//! allocator resident: clients speak a line-delimited JSON protocol
+//! (`regbal-serve/1`) over stdio or TCP, requests are admitted through
+//! a bounded queue and sharded across the eval crate's work-stealing
+//! pool, and results persist in a two-tier LRU cache — finished
+//! response documents keyed `(content hash, Nthd, Nreg, strategy)`,
+//! and per-module *whole-sweep descent trajectories* keyed
+//! `(content hash, Nthd)` so one cached descent answers every swept
+//! register budget and seeds the degradation ladder.
+//!
+//! Responses are byte-identical to `regbal alloc --json` and to each
+//! other at any worker count: all cache mutation happens serially in
+//! admission order on the dispatcher, and workers only race on
+//! once-initialised descent cells.
+//!
+//! Module map:
+//!
+//! * [`proto`] — the wire protocol: request parsing, content hashing,
+//!   structured errors.
+//! * [`oneshot`] — the CLI-identical allocation entry points and
+//!   `regbal-alloc/1` document builders (shared with `regbal-cli`).
+//! * [`cache`] — the persistent response and trajectory tiers.
+//! * [`server`] — admission, wave dispatch, stdio/TCP loops.
+//! * [`trace`] — materialising generated traces into request lines and
+//!   the `regbal-trace/1` file format.
+//! * [`replay`] — the windowed closed-loop replay client, latency
+//!   reports, and the sanitizer pass.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod oneshot;
+pub mod proto;
+pub mod replay;
+pub mod server;
+pub mod trace;
+
+pub use cache::{Outcome, ResponseKey, ServeCache, Trajectory};
+pub use oneshot::{alloc_doc, allocate, load_module, replicate, verdict_doc, ServeStrategy, Verdict};
+pub use proto::{content_hash, hash_hex, parse_request, Request, SCHEMA};
+pub use replay::{pass_json, replay, sanitize_check, PassReport, ReplayConfig};
+pub use server::{serve_lines, serve_tcp, ServeConfig, ServeEnd};
+pub use trace::{kernel_text, materialize, request_line, MaterializedRequest, TraceFile};

@@ -1,0 +1,361 @@
+//! The `regbal-serve/1` wire protocol: request parsing and response
+//! framing.
+//!
+//! The transport is line-delimited JSON — one request document per
+//! input line, one response document per output line. Four request
+//! kinds exist:
+//!
+//! * `alloc` — allocate a module (`func`: textual `regbal-ir` source,
+//!   or `hash`: the content hash of a module this server has already
+//!   seen) for `nthd` replicas under `nreg` registers with `strategy`
+//!   (`balanced` | `balanced-spill` | `ladder`);
+//! * `batch` — an array of `alloc` requests answered as one response;
+//! * `stats` — a snapshot of the server's cache counters;
+//! * `shutdown` — acknowledge and stop serving.
+//!
+//! A malformed line never kills the server: it produces an error
+//! *response* with a stable machine-readable `code` (`bad-json`,
+//! `bad-request`, `parse-error` with the `regbal-ir` line/column,
+//! `unknown-hash`, or the [`regbal_core::AllocError`] code taxonomy)
+//! and the server keeps reading. Only a transport failure (bind or
+//! I/O error) is fatal.
+
+use crate::oneshot::ServeStrategy;
+use regbal_eval::Json;
+
+/// The schema tag stamped on every top-level response line.
+pub const SCHEMA: &str = "regbal-serve/1";
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The content hash of a module's source text: 64-bit FNV-1a over the
+/// exact request bytes. Computed once at admission and threaded through
+/// the cache key, the response echo and the stats counters.
+pub fn content_hash(text: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The wire form of a content hash (16 lowercase hex digits).
+pub fn hash_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// Parses a wire-form content hash back to its value.
+pub fn parse_hash(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Where an `alloc` request's module comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// Inline module source text.
+    Text(String),
+    /// Content-addressed: only meaningful if the server still holds a
+    /// trajectory or response for this hash.
+    HashOnly,
+}
+
+/// One admitted `alloc` request (possibly a `batch` element).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocRequest {
+    /// The client's `id` member, echoed verbatim ([`Json::Null`] when
+    /// absent).
+    pub id: Json,
+    /// The module source.
+    pub source: Source,
+    /// Content hash of the module text, computed at admission (or
+    /// taken from the `hash` member for content-addressed requests).
+    pub hash: u64,
+    /// Module replicas sharing the register file (like passing the
+    /// same file `nthd` times to `regbal alloc`). Default 1.
+    pub nthd: usize,
+    /// Register-file size. Default 128 (the `regbal alloc` default).
+    pub nreg: usize,
+    /// Allocation strategy. Default `balanced`.
+    pub strategy: ServeStrategy,
+}
+
+impl AllocRequest {
+    /// The persistent-cache key of this request.
+    pub fn key(&self) -> (u64, usize, usize, ServeStrategy) {
+        (self.hash, self.nthd, self.nreg, self.strategy)
+    }
+}
+
+/// A request-level failure: the line (or batch element) could not be
+/// admitted. Becomes an error *response*, never a server exit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError {
+    /// The offending request's `id`, when one could be read.
+    pub id: Json,
+    /// Stable machine-readable code.
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Line/column into the request's `func` text, for `parse-error`.
+    pub at: Option<(usize, usize)>,
+}
+
+impl ProtoError {
+    /// A `bad-request` error (missing or ill-typed members).
+    pub fn bad_request(id: Json, message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            id,
+            code: "bad-request".into(),
+            message: message.into(),
+            at: None,
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A single allocation (a malformed one still carries its error so
+    /// the response stream stays aligned with the request stream).
+    Alloc(Result<AllocRequest, ProtoError>),
+    /// A batch of allocations answered as one response line.
+    Batch {
+        /// The batch envelope's `id`.
+        id: Json,
+        /// The elements, each admitted or failed independently.
+        requests: Vec<Result<AllocRequest, ProtoError>>,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// The request's `id`.
+        id: Json,
+    },
+    /// Stop serving after acknowledging.
+    Shutdown {
+        /// The request's `id`.
+        id: Json,
+    },
+}
+
+fn member_id(doc: &Json) -> Json {
+    doc.get("id").cloned().unwrap_or(Json::Null)
+}
+
+fn usize_member(doc: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_u64() {
+            Some(n) if (1..=1 << 20).contains(&n) => Ok(n as usize),
+            _ => Err(format!("`{key}` must be an integer in 1..=2^20")),
+        },
+    }
+}
+
+fn parse_alloc(doc: &Json) -> Result<AllocRequest, ProtoError> {
+    let id = member_id(doc);
+    let err = |m: String| ProtoError::bad_request(id.clone(), m);
+    let nthd = usize_member(doc, "nthd", 1).map_err(err)?;
+    let nreg = usize_member(doc, "nreg", 128).map_err(err)?;
+    let strategy = match doc.get("strategy") {
+        None => ServeStrategy::Balanced,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| err("`strategy` must be a string".into()))
+            .and_then(|s| ServeStrategy::parse(s).map_err(err))?,
+    };
+    let (source, hash) = match (doc.get("func"), doc.get("hash")) {
+        (Some(_), Some(_)) => {
+            return Err(err("give `func` or `hash`, not both".into()));
+        }
+        (Some(f), None) => {
+            let text = f
+                .as_str()
+                .ok_or_else(|| err("`func` must be a string".into()))?;
+            (Source::Text(text.to_string()), content_hash(text))
+        }
+        (None, Some(h)) => {
+            let hex = h
+                .as_str()
+                .and_then(parse_hash)
+                .ok_or_else(|| err("`hash` must be 16 hex digits".into()))?;
+            (Source::HashOnly, hex)
+        }
+        (None, None) => return Err(err("an alloc request needs `func` or `hash`".into())),
+    };
+    Ok(AllocRequest {
+        id,
+        source,
+        hash,
+        nthd,
+        nreg,
+        strategy,
+    })
+}
+
+/// Parses one request line. A line that is not a JSON object with a
+/// known `kind` is reported as a single failed `alloc` (so it gets
+/// exactly one error response).
+pub fn parse_request(line: &str) -> Request {
+    let doc = match regbal_eval::json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return Request::Alloc(Err(ProtoError {
+                id: Json::Null,
+                code: "bad-json".into(),
+                message: format!("request line is not valid JSON: {e}"),
+                at: None,
+            }));
+        }
+    };
+    let id = member_id(&doc);
+    match doc.get("kind").and_then(Json::as_str) {
+        Some("alloc") | None => Request::Alloc(parse_alloc(&doc)),
+        Some("batch") => {
+            let Some(items) = doc.get("requests").and_then(Json::as_arr) else {
+                return Request::Batch {
+                    id: id.clone(),
+                    requests: vec![Err(ProtoError::bad_request(
+                        id,
+                        "a batch needs a `requests` array",
+                    ))],
+                };
+            };
+            Request::Batch {
+                id,
+                requests: items.iter().map(parse_alloc).collect(),
+            }
+        }
+        Some("stats") => Request::Stats { id },
+        Some("shutdown") => Request::Shutdown { id },
+        Some(other) => Request::Alloc(Err(ProtoError::bad_request(
+            id,
+            format!("unknown request kind `{other}`"),
+        ))),
+    }
+}
+
+/// The `error` member of a failed response.
+pub fn error_json(code: &str, message: &str, at: Option<(usize, usize)>) -> Json {
+    let mut members = vec![
+        ("code".into(), Json::str(code)),
+        ("message".into(), Json::str(message)),
+    ];
+    if let Some((line, col)) = at {
+        members.push(("line".into(), Json::uint(line as u64)));
+        members.push(("col".into(), Json::uint(col as u64)));
+    }
+    Json::Obj(members)
+}
+
+/// Frames `body` members as a top-level response line: the schema tag
+/// first, then the body.
+pub fn response(body: Vec<(String, Json)>) -> Json {
+    let mut members = vec![("schema".to_string(), Json::str(SCHEMA))];
+    members.extend(body);
+    Json::Obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        // FNV-1a published vectors.
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(content_hash("func a {}"), content_hash("func b {}"));
+        let h = content_hash("x");
+        assert_eq!(parse_hash(&hash_hex(h)), Some(h));
+        assert_eq!(parse_hash("nope"), None);
+    }
+
+    #[test]
+    fn alloc_requests_parse_with_defaults() {
+        let r = parse_request(r#"{"id": 7, "kind": "alloc", "func": "func t {}"}"#);
+        let Request::Alloc(Ok(req)) = r else {
+            panic!("expected an admitted alloc: {r:?}");
+        };
+        assert_eq!(req.id, Json::uint(7));
+        assert_eq!(req.nthd, 1);
+        assert_eq!(req.nreg, 128);
+        assert_eq!(req.strategy, ServeStrategy::Balanced);
+        assert_eq!(req.hash, content_hash("func t {}"));
+        assert_eq!(req.source, Source::Text("func t {}".into()));
+    }
+
+    #[test]
+    fn hash_only_requests_carry_the_hash() {
+        let h = hash_hex(content_hash("func t {}"));
+        let line = format!(
+            r#"{{"kind": "alloc", "hash": "{h}", "nthd": 4, "nreg": 64, "strategy": "ladder"}}"#
+        );
+        let Request::Alloc(Ok(req)) = parse_request(&line) else {
+            panic!("expected an admitted alloc");
+        };
+        assert_eq!(req.source, Source::HashOnly);
+        assert_eq!(req.hash, content_hash("func t {}"));
+        assert_eq!(req.nthd, 4);
+        assert_eq!(req.nreg, 64);
+        assert_eq!(req.strategy, ServeStrategy::Ladder);
+    }
+
+    #[test]
+    fn malformed_lines_become_stable_error_codes() {
+        let codes = |line: &str| match parse_request(line) {
+            Request::Alloc(Err(e)) => e.code,
+            other => panic!("expected an error for {line:?}: {other:?}"),
+        };
+        assert_eq!(codes("not json at all"), "bad-json");
+        assert_eq!(codes(r#"{"kind": "frobnicate"}"#), "bad-request");
+        assert_eq!(codes(r#"{"kind": "alloc"}"#), "bad-request");
+        assert_eq!(
+            codes(r#"{"kind": "alloc", "func": "f", "hash": "0000000000000000"}"#),
+            "bad-request"
+        );
+        assert_eq!(
+            codes(r#"{"kind": "alloc", "func": "f", "nreg": 0}"#),
+            "bad-request"
+        );
+        assert_eq!(
+            codes(r#"{"kind": "alloc", "func": "f", "strategy": "chaos"}"#),
+            "bad-request"
+        );
+    }
+
+    #[test]
+    fn batches_admit_elements_independently() {
+        let line = r#"{"id": 1, "kind": "batch", "requests": [
+            {"id": 2, "func": "func t {}"},
+            {"id": 3}
+        ]}"#
+        .replace('\n', " ");
+        let Request::Batch { id, requests } = parse_request(&line) else {
+            panic!("expected a batch");
+        };
+        assert_eq!(id, Json::uint(1));
+        assert_eq!(requests.len(), 2);
+        assert!(requests[0].is_ok());
+        assert_eq!(requests[1].as_ref().unwrap_err().code, "bad-request");
+        assert_eq!(requests[1].as_ref().unwrap_err().id, Json::uint(3));
+    }
+
+    #[test]
+    fn control_requests_parse() {
+        assert_eq!(
+            parse_request(r#"{"id": 9, "kind": "stats"}"#),
+            Request::Stats { id: Json::uint(9) }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind": "shutdown"}"#),
+            Request::Shutdown { id: Json::Null }
+        );
+    }
+}

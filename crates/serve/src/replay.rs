@@ -1,0 +1,450 @@
+//! The trace-replay client: a windowed closed-loop driver that feeds a
+//! resident server over in-process pipes and measures per-request
+//! latency, pass by pass.
+//!
+//! Pass 0 is the *cold* pass (every distinct key is a miss); later
+//! passes replay the identical request stream and must be served
+//! entirely from the persistent cache — a miss on a warm pass is a
+//! correctness failure, not a performance blip, and replay reports it
+//! as an error. The optional sanitizer pass re-runs every distinct
+//! allocation's rewritten program on the simulator with the register
+//! sanitizer armed.
+
+use crate::cache::ServeCache;
+use crate::oneshot::{self, ServeStrategy};
+use crate::server::{serve_lines, ServeConfig, ServeEnd};
+use crate::trace::{self, MaterializedRequest, TraceFile};
+use regbal_eval::{json, Json};
+use regbal_sim::{SimConfig, Simulator, StopWhen};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// An in-process byte pipe (the transport between client and server).
+
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct PipeInner {
+    state: Mutex<PipeState>,
+    ready: Condvar,
+}
+
+/// The write end; dropping it signals EOF to the read end.
+pub struct PipeWriter(Arc<PipeInner>);
+
+/// The read end; blocks until bytes arrive or the writer drops.
+pub struct PipeReader(Arc<PipeInner>);
+
+/// An in-process unidirectional byte pipe.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let inner = Arc::new(PipeInner::default());
+    (PipeWriter(inner.clone()), PipeReader(inner))
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        let mut state = self.0.state.lock().unwrap();
+        state.buf.extend(bytes);
+        self.0.ready.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.0.state.lock().unwrap().closed = true;
+        self.0.ready.notify_all();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let mut state = self.0.state.lock().unwrap();
+        while state.buf.is_empty() && !state.closed {
+            state = self.0.ready.wait(state).unwrap();
+        }
+        let n = state.buf.len().min(out.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = state.buf.pop_front().unwrap();
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The replay driver.
+
+/// Replay knobs.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// The server under test.
+    pub serve: ServeConfig,
+    /// Total passes over the trace (pass 0 cold, the rest warm).
+    pub passes: usize,
+    /// Requests in flight at once (1 = strict request/response
+    /// lockstep; larger windows let the dispatcher form waves).
+    pub window: usize,
+    /// Honour the trace's arrival offsets (sleep until each request's
+    /// `at_us`) instead of pushing at full speed.
+    pub paced: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig {
+            serve: ServeConfig::default(),
+            passes: 2,
+            window: 1,
+            paced: false,
+        }
+    }
+}
+
+/// One pass's measurements.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// Wall-clock time of the pass, microseconds.
+    pub wall_us: u64,
+    /// Median request latency, microseconds (nearest rank).
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds (nearest rank).
+    pub p99_us: u64,
+    /// Requests per second over the pass.
+    pub rps: f64,
+    /// Response-cache hits this pass.
+    pub hits: u64,
+    /// Response-cache misses this pass.
+    pub misses: u64,
+    /// The raw response lines, in request order (byte-comparable
+    /// across runs and worker counts).
+    pub responses: Vec<String>,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Replays `trace` against a fresh resident server for
+/// `config.passes` passes over one persistent cache, returning one
+/// report per pass.
+///
+/// # Errors
+///
+/// Transport failures, a server that ends early, or — the warm-pass
+/// contract — any cache miss on a pass after the first.
+pub fn replay(trace: &TraceFile, config: &ReplayConfig) -> Result<Vec<PassReport>, String> {
+    let wire = trace::materialize(&trace.requests, trace.packets);
+    let (request_tx, request_rx) = pipe();
+    let (response_tx, response_rx) = pipe();
+    std::thread::scope(|scope| {
+        let serve_config = config.serve.clone();
+        let server = scope.spawn(move || {
+            let mut cache = ServeCache::new(
+                serve_config.cache_cap,
+                serve_config.trajectory_cap,
+                serve_config.sweep.clone(),
+            );
+            serve_lines(request_rx, response_tx, &serve_config, &mut cache)
+        });
+
+        // drive() owns both pipe ends: any return — success or error —
+        // drops the write end, the server's reader sees EOF, and the
+        // join below cannot hang.
+        let reports = drive(&wire, config, request_tx, response_rx);
+        match server.join().expect("server thread panicked") {
+            Ok(ServeEnd::Shutdown) => reports,
+            Ok(ServeEnd::Eof) => reports.and(Err("server ended before shutdown".to_string())),
+            Err(e) => Err(format!("server transport error: {e}")),
+        }
+    })
+}
+
+/// The client side of one replay session (see [`replay`]).
+fn drive(
+    wire: &[MaterializedRequest],
+    config: &ReplayConfig,
+    mut request_tx: PipeWriter,
+    response_rx: PipeReader,
+) -> Result<Vec<PassReport>, String> {
+    let mut responses = BufReader::new(response_rx);
+    let mut read_line = |what: &str| -> Result<String, String> {
+        let mut line = String::new();
+        match responses.read_line(&mut line) {
+            Ok(0) => Err(format!("server closed while awaiting {what}")),
+            Ok(_) => Ok(line.trim_end().to_string()),
+            Err(e) => Err(format!("reading {what}: {e}")),
+        }
+    };
+    let mut reports = Vec::with_capacity(config.passes);
+    let mut seen = (0u64, 0u64); // cumulative (hits, misses)
+    let mut next_id = 0u64;
+    for pass in 0..config.passes {
+        let start = Instant::now();
+        let window = config.window.max(1);
+        let mut latencies = Vec::with_capacity(wire.len());
+        let mut lines = Vec::with_capacity(wire.len());
+        let mut sent: VecDeque<Instant> = VecDeque::new();
+        let mut next = 0usize;
+        while lines.len() < wire.len() {
+            while sent.len() < window && next < wire.len() {
+                let req = &wire[next];
+                if config.paced {
+                    let due = std::time::Duration::from_micros(req.at_us);
+                    if let Some(wait) = due.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                }
+                writeln!(request_tx, "{}", trace::request_line(next_id, req, false))
+                    .map_err(|e| format!("sending request: {e}"))?;
+                next_id += 1;
+                sent.push_back(Instant::now());
+                next += 1;
+            }
+            let line = read_line("a response")?;
+            let issued = sent.pop_front().expect("a response implies a request");
+            latencies.push(issued.elapsed().as_micros() as u64);
+            lines.push(line);
+        }
+        let wall_us = start.elapsed().as_micros().max(1) as u64;
+
+        writeln!(request_tx, r#"{{"id": "stats", "kind": "stats"}}"#)
+            .map_err(|e| format!("requesting stats: {e}"))?;
+        let stats_line = read_line("stats")?;
+        let stats =
+            json::parse(&stats_line).map_err(|e| format!("stats response was not JSON: {e}"))?;
+        let stats = stats
+            .get("stats")
+            .ok_or("stats response had no `stats` member")?;
+        let counter = |name: &str| {
+            stats
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stats is missing `{name}`"))
+        };
+        let (hits_total, misses_total) = (counter("hits")?, counter("misses")?);
+        let (hits, misses) = (hits_total - seen.0, misses_total - seen.1);
+        seen = (hits_total, misses_total);
+        if pass > 0 && misses != 0 {
+            return Err(format!(
+                "warm pass {pass} missed the cache {misses} times — \
+                 the persistent cache is not serving replayed requests"
+            ));
+        }
+
+        latencies.sort_unstable();
+        reports.push(PassReport {
+            wall_us,
+            p50_us: percentile(&latencies, 50.0),
+            p99_us: percentile(&latencies, 99.0),
+            rps: wire.len() as f64 / (wall_us as f64 / 1e6),
+            hits,
+            misses,
+            responses: lines,
+        });
+    }
+    writeln!(request_tx, r#"{{"id": "bye", "kind": "shutdown"}}"#)
+        .map_err(|e| format!("requesting shutdown: {e}"))?;
+    let ack = read_line("the shutdown ack")?;
+    let ack = json::parse(&ack).map_err(|e| format!("bad shutdown ack: {e}"))?;
+    if ack.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("unexpected shutdown ack: {}", ack.compact()));
+    }
+    Ok(reports)
+}
+
+/// The JSON member summarising one pass (for `BENCH_SERVE.json` and
+/// `--out` reports).
+pub fn pass_json(report: &PassReport) -> Json {
+    Json::Obj(vec![
+        ("wall_us".into(), Json::uint(report.wall_us)),
+        ("p50_us".into(), Json::uint(report.p50_us)),
+        ("p99_us".into(), Json::uint(report.p99_us)),
+        ("rps".into(), Json::float((report.rps * 10.0).round() / 10.0)),
+        ("hits".into(), Json::uint(report.hits)),
+        ("misses".into(), Json::uint(report.misses)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// The sanitizer pass.
+
+/// Re-runs every distinct successful allocation of the trace on the
+/// simulator with the register sanitizer armed: the rewritten programs
+/// execute `packets` iterations per thread over prepared packet
+/// memory, and any cross-partition register touch is a violation.
+///
+/// Returns `(programs checked, infeasible requests skipped)`.
+///
+/// # Errors
+///
+/// The first program with sanitizer violations (or one that fails to
+/// rewrite).
+pub fn sanitize_check(trace: &TraceFile) -> Result<(usize, usize), String> {
+    let wire = trace::materialize(&trace.requests, trace.packets);
+    let mut distinct: Vec<&MaterializedRequest> = Vec::new();
+    let mut keys: std::collections::HashSet<(u64, usize, usize, ServeStrategy)> =
+        std::collections::HashSet::new();
+    for req in &wire {
+        if keys.insert((req.hash, req.nthd, req.nreg, req.strategy)) {
+            distinct.push(req);
+        }
+    }
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    for req in distinct {
+        let name = || {
+            format!(
+                "{} nthd {} nreg {} {}",
+                req.kernel.name(),
+                req.nthd,
+                req.nreg,
+                req.strategy.name()
+            )
+        };
+        let roots = oneshot::load_module(&req.text)
+            .map_err(|e| format!("{}: failed to load: {e:?}", name()))?;
+        let funcs = oneshot::replicate(&roots, req.nthd);
+        let verdict = match oneshot::allocate(&funcs, req.nreg, req.strategy) {
+            Ok(v) => v,
+            Err(_) => {
+                // Infeasible under this budget — the server answers
+                // with a structured error; nothing to simulate.
+                skipped += 1;
+                continue;
+            }
+        };
+        let (rewritten, sanitizer) = verdict
+            .compiled(&funcs)
+            .map_err(|e| format!("{}: rewrite failed: {e}", name()))?;
+        let mut sim = Simulator::new(SimConfig::default());
+        // The trace builds every kernel at slot 0, so all replicas
+        // read the slot-0 packet region; prepare it once.
+        req.kernel
+            .prepare(sim.memory_mut(), 0, trace.packets, trace.seed);
+        for func in rewritten {
+            sim.add_thread(func);
+        }
+        sim.enable_sanitizer(sanitizer);
+        let report = sim.run(StopWhen::Iterations(u64::from(trace.packets)));
+        let violations = report.sanitizer_violations().count();
+        if violations != 0 {
+            return Err(format!(
+                "{}: {} sanitizer violation(s) under replay",
+                name(),
+                violations
+            ));
+        }
+        checked += 1;
+    }
+    Ok((checked, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regbal_workloads::TraceConfig;
+
+    fn small_trace() -> TraceFile {
+        TraceFile::generate(&TraceConfig {
+            requests: 12,
+            nreg_bounds: (32, 64),
+            ..TraceConfig::default()
+        })
+    }
+
+    #[test]
+    fn pipes_carry_lines_and_signal_eof() {
+        let (mut w, r) = pipe();
+        writeln!(w, "hello").unwrap();
+        drop(w);
+        let mut lines = BufReader::new(r).lines();
+        assert_eq!(lines.next().unwrap().unwrap(), "hello");
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn warm_passes_are_all_hits_and_transcripts_repeat() {
+        let trace = small_trace();
+        let config = ReplayConfig {
+            serve: ServeConfig {
+                sweep: vec![48], // mostly off-sweep: dedicated runs, still cached
+                ..ServeConfig::default()
+            },
+            passes: 2,
+            window: 4,
+            ..ReplayConfig::default()
+        };
+        let reports = replay(&trace, &config).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[1].misses, 0, "pass 2 must be all hits");
+        assert_eq!(reports[1].hits as usize, trace.requests.len());
+        assert!(reports[0].misses > 0, "pass 1 must actually work");
+        // Identical request stream, identical documents — only the
+        // ids and cached flags may differ between passes.
+        let strip = |line: &str| {
+            let doc = json::parse(line).unwrap();
+            doc.get("alloc").map(Json::pretty).unwrap_or_else(|| {
+                doc.get("error").expect("alloc or error").pretty()
+            })
+        };
+        let cold: Vec<String> = reports[0].responses.iter().map(|l| strip(l)).collect();
+        let warm: Vec<String> = reports[1].responses.iter().map(|l| strip(l)).collect();
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_response_bytes() {
+        let trace = small_trace();
+        let run = |workers: usize| {
+            let config = ReplayConfig {
+                serve: ServeConfig {
+                    workers,
+                    sweep: vec![48],
+                    ..ServeConfig::default()
+                },
+                passes: 1,
+                window: 6,
+                ..ReplayConfig::default()
+            };
+            replay(&trace, &config).unwrap()[0].responses.clone()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn sanitizer_finds_no_violations_in_served_allocations() {
+        let trace = TraceFile::generate(&TraceConfig {
+            requests: 6,
+            packets: 2,
+            nreg_bounds: (48, 96),
+            ..TraceConfig::default()
+        });
+        let (checked, _skipped) = sanitize_check(&trace).unwrap();
+        assert!(checked > 0, "the sanitizer pass must actually run programs");
+    }
+}

@@ -1,0 +1,635 @@
+//! The resident server loop: bounded admission, wave dispatch over the
+//! work-stealing pool, deterministic in-order responses.
+//!
+//! One reader thread parses and content-hashes each request line at
+//! admission and feeds a **bounded** queue (a [`std::sync::mpsc`]
+//! sync channel — a full queue back-pressures the transport instead of
+//! buffering unboundedly). The dispatcher drains whatever is queued
+//! into a *wave*, resolves cache hits serially in admission order,
+//! shards the misses across the PR-5 work-stealing pool
+//! ([`regbal_eval::pool::shard`]), then writes every response in
+//! admission order. Because all cache mutation is serial and the
+//! workers only race on each trajectory's [`std::sync::OnceLock`],
+//! the response stream is byte-identical at any worker count.
+
+use crate::cache::{Outcome, ServeCache, Trajectory};
+use crate::proto::{self, AllocRequest, ProtoError, Request, Source};
+use regbal_eval::{pool, Json};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::sync::atomic::AtomicU64;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads sharding each wave's misses (1 = serial; any
+    /// count produces byte-identical responses).
+    pub workers: usize,
+    /// Admission-queue bound: requests in flight between the reader
+    /// and the dispatcher before the transport blocks.
+    pub queue_cap: usize,
+    /// Response-cache capacity (finished outcomes).
+    pub cache_cap: usize,
+    /// Trajectory-cache capacity (loaded modules + descent vectors).
+    pub trajectory_cap: usize,
+    /// The register-file sizes the shared descents cover; requests at
+    /// other sizes fall back to dedicated (still cached) runs.
+    pub sweep: Vec<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            queue_cap: 256,
+            cache_cap: 4096,
+            trajectory_cap: 256,
+            sweep: (32..=128).step_by(4).collect(),
+        }
+    }
+}
+
+/// What ended a serving loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEnd {
+    /// The input reached end-of-file.
+    Eof,
+    /// A `shutdown` request was acknowledged.
+    Shutdown,
+}
+
+/// One flattened alloc unit of a wave, remembering which response line
+/// (and which batch element) it belongs to.
+struct Unit {
+    request: Result<AllocRequest, ProtoError>,
+    resolution: Resolution,
+}
+
+enum Resolution {
+    /// Admission failed; the error is ready.
+    Error,
+    /// Served from the response cache.
+    Hit(Outcome),
+    /// Duplicate of an earlier unit in the same wave (by flat index);
+    /// shares its computation and reports `cached: true`.
+    Dup(usize),
+    /// Needs computation on the pool (index into the compute list).
+    Compute(usize),
+    /// Resolved during admission without compute (load failures,
+    /// unknown hashes).
+    Ready(Outcome),
+}
+
+struct ComputeItem {
+    trajectory: Arc<Trajectory>,
+    nreg: usize,
+    strategy: crate::oneshot::ServeStrategy,
+}
+
+fn alloc_response_body(unit: &Unit, outcomes: &[Outcome], units: &[Unit]) -> Vec<(String, Json)> {
+    match &unit.request {
+        Err(e) => vec![
+            ("id".into(), e.id.clone()),
+            ("error".into(), proto::error_json(&e.code, &e.message, e.at)),
+        ],
+        Ok(req) => {
+            let (outcome, cached) = match &unit.resolution {
+                Resolution::Hit(o) => (o.clone(), true),
+                Resolution::Ready(o) => (o.clone(), false),
+                Resolution::Compute(i) => (outcomes[*i].clone(), false),
+                Resolution::Dup(flat) => match &units[*flat].resolution {
+                    Resolution::Compute(i) => (outcomes[*i].clone(), true),
+                    Resolution::Ready(o) => (o.clone(), true),
+                    _ => unreachable!("a dup always points at a computing unit"),
+                },
+                Resolution::Error => unreachable!("errors carry no request"),
+            };
+            let mut body = vec![
+                ("id".into(), req.id.clone()),
+                ("hash".into(), Json::str(proto::hash_hex(req.hash))),
+                ("cached".into(), Json::Bool(cached)),
+            ];
+            match outcome {
+                Outcome::Doc(doc) => body.push(("alloc".into(), doc.as_ref().clone())),
+                Outcome::Fail { code, message } => {
+                    body.push(("error".into(), proto::error_json(&code, &message, None)));
+                }
+                Outcome::Parse { message, at } => {
+                    let at = (at != (0, 0)).then_some(at);
+                    body.push(("error".into(), proto::error_json("parse-error", &message, at)));
+                }
+            }
+            body
+        }
+    }
+}
+
+/// Serves one connection: reads request lines from `input` until EOF
+/// or a `shutdown` request, writing one response line per request (in
+/// request order) to `output`. The cache outlives the call — pass the
+/// same [`ServeCache`] again to keep serving warm.
+///
+/// # Errors
+///
+/// Only transport failures: an unreadable input or unwritable output.
+/// Malformed requests are answered in-band and never end the loop.
+pub fn serve_lines<R: Read + Send, W: Write>(
+    input: R,
+    output: W,
+    config: &ServeConfig,
+    cache: &mut ServeCache,
+) -> std::io::Result<ServeEnd> {
+    let (tx, rx) = sync_channel::<Result<Request, std::io::Error>>(config.queue_cap.max(1));
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let reader = BufReader::new(input);
+            for line in reader.lines() {
+                match line {
+                    Ok(l) if l.trim().is_empty() => continue,
+                    Ok(l) => {
+                        let request = proto::parse_request(&l);
+                        // Stop reading once a shutdown is forwarded:
+                        // the dispatcher will ack and return, and this
+                        // thread must not keep blocking on a transport
+                        // the client may hold open.
+                        let last = matches!(request, Request::Shutdown { .. });
+                        if tx.send(Ok(request)).is_err() || last {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        });
+        let mut out = BufWriter::new(output);
+        let end = dispatch(&rx, &mut out, config, cache);
+        drop(rx); // unblock a reader waiting on a full queue
+        end
+    })
+}
+
+fn dispatch<W: Write>(
+    rx: &Receiver<Result<Request, std::io::Error>>,
+    out: &mut BufWriter<W>,
+    config: &ServeConfig,
+    cache: &mut ServeCache,
+) -> std::io::Result<ServeEnd> {
+    loop {
+        // Block for the first request, then drain the queue into one
+        // wave, stopping at the first control request so stats and
+        // shutdown observe every earlier allocation.
+        let first = match rx.recv() {
+            Ok(job) => job?,
+            Err(_) => return Ok(ServeEnd::Eof),
+        };
+        let mut wave = Vec::new();
+        let mut control = None;
+        match first {
+            Request::Stats { .. } | Request::Shutdown { .. } => control = Some(first),
+            other => {
+                wave.push(other);
+                while let Ok(job) = rx.try_recv() {
+                    match job? {
+                        c @ (Request::Stats { .. } | Request::Shutdown { .. }) => {
+                            control = Some(c);
+                            break;
+                        }
+                        other => wave.push(other),
+                    }
+                }
+            }
+        }
+
+        serve_wave(&wave, out, config, cache)?;
+        match control {
+            Some(Request::Stats { id }) => {
+                cache.count_request();
+                let doc = proto::response(vec![
+                    ("id".into(), id),
+                    ("stats".into(), cache.stats_json()),
+                ]);
+                writeln!(out, "{}", doc.compact())?;
+                out.flush()?;
+            }
+            Some(Request::Shutdown { id }) => {
+                cache.count_request();
+                let doc = proto::response(vec![
+                    ("id".into(), id),
+                    ("ok".into(), Json::Bool(true)),
+                ]);
+                writeln!(out, "{}", doc.compact())?;
+                out.flush()?;
+                return Ok(ServeEnd::Shutdown);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn serve_wave<W: Write>(
+    wave: &[Request],
+    out: &mut BufWriter<W>,
+    config: &ServeConfig,
+    cache: &mut ServeCache,
+) -> std::io::Result<()> {
+    if wave.is_empty() {
+        return Ok(());
+    }
+    // Flatten the wave into alloc units (batch elements inline), and
+    // resolve each serially in admission order: cache hit, in-wave
+    // duplicate, ready error, or a pool job.
+    let mut units: Vec<Unit> = Vec::new();
+    let mut compute: Vec<ComputeItem> = Vec::new();
+    let mut wave_keys: std::collections::HashMap<crate::cache::ResponseKey, usize> =
+        std::collections::HashMap::new();
+    let mut spans: Vec<(Json, usize, bool)> = Vec::new(); // (batch id, #units, is_batch)
+    for request in wave {
+        cache.count_request();
+        let (id, subs, is_batch) = match request {
+            Request::Alloc(r) => (Json::Null, std::slice::from_ref(r), false),
+            Request::Batch { id, requests } => (id.clone(), requests.as_slice(), true),
+            Request::Stats { .. } | Request::Shutdown { .. } => {
+                unreachable!("controls never enter a wave")
+            }
+        };
+        spans.push((id, subs.len(), is_batch));
+        for sub in subs {
+            let resolution = match sub {
+                Err(_) => Resolution::Error,
+                Ok(req) => {
+                    cache.count_alloc(req.hash);
+                    let key = req.key();
+                    if let Some(outcome) = cache.lookup(&key) {
+                        Resolution::Hit(outcome)
+                    } else if let Some(&flat) = wave_keys.get(&key) {
+                        cache.counters.hits += 1;
+                        cache.counters.misses -= 1; // the lookup above counted a miss
+                        Resolution::Dup(flat)
+                    } else {
+                        wave_keys.insert(key, units.len());
+                        let trajectory = match (&req.source, cache.trajectory(req.hash, req.nthd))
+                        {
+                            (_, Some(t)) => Some(t),
+                            (Source::Text(text), None) => {
+                                match cache.admit_trajectory(req.hash, req.nthd, text) {
+                                    Ok(t) => Some(t),
+                                    Err(outcome) => {
+                                        cache.store(key, outcome.clone());
+                                        units.push(Unit {
+                                            request: sub.clone(),
+                                            resolution: Resolution::Ready(outcome),
+                                        });
+                                        continue;
+                                    }
+                                }
+                            }
+                            (Source::HashOnly, None) => None,
+                        };
+                        match trajectory {
+                            Some(trajectory) => {
+                                compute.push(ComputeItem {
+                                    trajectory,
+                                    nreg: req.nreg,
+                                    strategy: req.strategy,
+                                });
+                                Resolution::Compute(compute.len() - 1)
+                            }
+                            None => Resolution::Ready(Outcome::Fail {
+                                code: "unknown-hash".into(),
+                                message: format!(
+                                    "no resident module for hash {} at nthd {} — resend with `func`",
+                                    proto::hash_hex(req.hash),
+                                    req.nthd
+                                ),
+                            }),
+                        }
+                    }
+                }
+            };
+            units.push(Unit {
+                request: sub.clone(),
+                resolution,
+            });
+        }
+    }
+
+    // The parallel phase: shard the misses across the pool. Workers
+    // race only on trajectory OnceLocks, so overlapping descents are
+    // computed once and shared.
+    let descents: &AtomicU64 = &cache.counters.descents.clone();
+    let outcomes = pool::shard(compute.len(), config.workers, |i| {
+        let item = &compute[i];
+        item.trajectory.outcome(item.nreg, item.strategy, descents)
+    });
+
+    // Serial epilogue in admission order: publish fresh outcomes to
+    // the cache, then frame and write each response line.
+    for unit in &units {
+        if let (Ok(req), Resolution::Compute(i)) = (&unit.request, &unit.resolution) {
+            cache.store(req.key(), outcomes[*i].clone());
+        }
+    }
+    let mut flat = 0usize;
+    for (batch_id, count, is_batch) in spans {
+        if is_batch {
+            let subs: Vec<Json> = units[flat..flat + count]
+                .iter()
+                .map(|u| Json::Obj(alloc_response_body(u, &outcomes, &units)))
+                .collect();
+            let doc = proto::response(vec![
+                ("id".into(), batch_id),
+                ("batch".into(), Json::Arr(subs)),
+            ]);
+            writeln!(out, "{}", doc.compact())?;
+        } else {
+            let doc = proto::response(alloc_response_body(&units[flat], &outcomes, &units));
+            writeln!(out, "{}", doc.compact())?;
+        }
+        flat += count;
+    }
+    out.flush()
+}
+
+/// Serves TCP connections on `addr`, one at a time, over one shared
+/// persistent cache, until a connection issues `shutdown`. Announces
+/// readiness with one `listening <addr>` line on `announce`.
+///
+/// # Errors
+///
+/// Bind or transport failures.
+pub fn serve_tcp(
+    addr: &str,
+    config: &ServeConfig,
+    announce: &mut dyn Write,
+) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    writeln!(announce, "listening {}", listener.local_addr()?)?;
+    announce.flush()?;
+    let mut cache = ServeCache::new(
+        config.cache_cap,
+        config.trajectory_cap,
+        config.sweep.clone(),
+    );
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let input = stream.try_clone()?;
+        if serve_lines(input, stream, config, &mut cache)? == ServeEnd::Shutdown {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG: &str = "func t {\nbb0:\n v0 = mov 64\n v1 = load sram[v0+0]\n v1 = add v1, 1\n store sram[v0+0], v1\n iter_end\n halt\n}";
+
+    fn fresh_cache(config: &ServeConfig) -> ServeCache {
+        ServeCache::new(config.cache_cap, config.trajectory_cap, config.sweep.clone())
+    }
+
+    fn serve_script(lines: &[String], config: &ServeConfig, cache: &mut ServeCache) -> Vec<Json> {
+        let input = lines.join("\n").into_bytes();
+        let mut output = Vec::new();
+        serve_lines(&input[..], &mut output, config, cache).unwrap();
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| regbal_eval::json::parse(l).expect("every response line is JSON"))
+            .collect()
+    }
+
+    fn alloc_line(id: u64, nreg: usize, strategy: &str) -> String {
+        let func = Json::str(PROG).compact();
+        format!(
+            r#"{{"id": {id}, "kind": "alloc", "func": {func}, "nthd": 2, "nreg": {nreg}, "strategy": "{strategy}"}}"#
+        )
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache_with_identical_documents() {
+        let config = ServeConfig {
+            sweep: vec![8, 32],
+            ..ServeConfig::default()
+        };
+        let mut cache = fresh_cache(&config);
+        let lines = vec![
+            alloc_line(1, 8, "balanced"),
+            alloc_line(2, 8, "balanced"),
+            r#"{"id": 3, "kind": "stats"}"#.to_string(),
+        ];
+        let responses = serve_script(&lines, &config, &mut cache);
+        assert_eq!(responses.len(), 3);
+        for r in &responses[..2] {
+            assert_eq!(r.get("schema").and_then(Json::as_str), Some("regbal-serve/1"));
+            assert!(r.get("alloc").is_some(), "{r:?}");
+        }
+        assert_eq!(responses[1].get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            responses[0].get("alloc").unwrap().pretty(),
+            responses[1].get("alloc").unwrap().pretty(),
+            "a cache hit replays the identical document"
+        );
+        let stats = responses[2].get("stats").unwrap();
+        assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("distinct_functions").and_then(Json::as_u64), Some(1));
+        // The hash is echoed on both responses, identically.
+        assert_eq!(responses[0].get("hash"), responses[1].get("hash"));
+    }
+
+    #[test]
+    fn hash_only_requests_reuse_the_resident_trajectory() {
+        let config = ServeConfig {
+            sweep: vec![8, 32],
+            ..ServeConfig::default()
+        };
+        let mut cache = fresh_cache(&config);
+        let first = serve_script(&[alloc_line(1, 8, "balanced")], &config, &mut cache);
+        let hash = first[0].get("hash").and_then(Json::as_str).unwrap().to_string();
+        // A new budget for a known module, content-addressed: no func
+        // text on the wire, served from the resident descent.
+        let line = format!(
+            r#"{{"id": 2, "kind": "alloc", "hash": "{hash}", "nthd": 2, "nreg": 32, "strategy": "balanced"}}"#
+        );
+        let responses = serve_script(
+            &[line, r#"{"id": 3, "kind": "stats"}"#.to_string()],
+            &config,
+            &mut cache,
+        );
+        assert!(responses[0].get("alloc").is_some(), "{:?}", responses[0]);
+        assert_eq!(responses[0].get("cached").and_then(Json::as_bool), Some(false));
+        let stats = responses[1].get("stats").unwrap();
+        assert_eq!(stats.get("descent_reuses").and_then(Json::as_u64), Some(1));
+        // An unknown hash is a clean in-band error.
+        let responses = serve_script(
+            &[r#"{"id": 4, "kind": "alloc", "hash": "00000000000000ff"}"#.to_string()],
+            &config,
+            &mut cache,
+        );
+        let error = responses[0].get("error").unwrap();
+        assert_eq!(error.get("code").and_then(Json::as_str), Some("unknown-hash"));
+    }
+
+    #[test]
+    fn malformed_lines_answer_in_band_and_serving_continues() {
+        let config = ServeConfig::default();
+        let mut cache = fresh_cache(&config);
+        let bad_func = Json::str("func t {\nbb0:\n v0 = frob 1\n}").compact();
+        let lines = vec![
+            "this is not json".to_string(),
+            format!(r#"{{"id": 2, "kind": "alloc", "func": {bad_func}}}"#),
+            alloc_line(3, 32, "balanced"),
+        ];
+        let responses = serve_script(&lines, &config, &mut cache);
+        assert_eq!(responses.len(), 3);
+        let e0 = responses[0].get("error").unwrap();
+        assert_eq!(e0.get("code").and_then(Json::as_str), Some("bad-json"));
+        let e1 = responses[1].get("error").unwrap();
+        assert_eq!(e1.get("code").and_then(Json::as_str), Some("parse-error"));
+        assert_eq!(e1.get("line").and_then(Json::as_u64), Some(3));
+        assert!(e1.get("col").and_then(Json::as_u64).is_some());
+        assert!(responses[2].get("alloc").is_some(), "the server kept serving");
+    }
+
+    #[test]
+    fn infeasible_allocations_return_stable_codes_and_cache() {
+        let config = ServeConfig {
+            sweep: vec![4],
+            ..ServeConfig::default()
+        };
+        let mut cache = fresh_cache(&config);
+        let hungry = "func h {\nbb0:\n v0 = mov 1\n v1 = mov 2\n v2 = mov 3\n ctx\n v3 = add v0, v1\n v3 = add v3, v2\n store scratch[v3+0], v3\n halt\n}";
+        let func = Json::str(hungry).compact();
+        let line = |id: u64, strategy: &str| {
+            format!(
+                r#"{{"id": {id}, "kind": "alloc", "func": {func}, "nthd": 2, "nreg": 4, "strategy": "{strategy}"}}"#
+            )
+        };
+        let responses = serve_script(
+            &[line(1, "balanced"), line(2, "balanced"), line(3, "ladder")],
+            &config,
+            &mut cache,
+        );
+        let error = responses[0].get("error").unwrap();
+        assert_eq!(error.get("code").and_then(Json::as_str), Some("infeasible"));
+        assert!(error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("cannot fit"));
+        // Failures are cached too.
+        assert_eq!(responses[1].get("cached").and_then(Json::as_bool), Some(true));
+        // The ladder rescues the same module in the same session.
+        assert!(responses[2].get("alloc").is_some());
+    }
+
+    #[test]
+    fn batches_answer_as_one_line_and_share_the_wave() {
+        let config = ServeConfig {
+            workers: 4,
+            sweep: vec![8, 32],
+            ..ServeConfig::default()
+        };
+        let mut cache = fresh_cache(&config);
+        let func = Json::str(PROG).compact();
+        let batch = format!(
+            r#"{{"id": 1, "kind": "batch", "requests": [{{"id": 2, "func": {func}, "nthd": 2, "nreg": 8}}, {{"id": 3, "func": {func}, "nthd": 2, "nreg": 32}}, {{"id": 4, "func": {func}, "nthd": 2, "nreg": 8}}, {{"id": 5}}]}}"#
+        );
+        let responses = serve_script(&[batch], &config, &mut cache);
+        assert_eq!(responses.len(), 1);
+        let subs = responses[0].get("batch").and_then(Json::as_arr).unwrap();
+        assert_eq!(subs.len(), 4);
+        assert!(subs[0].get("alloc").is_some());
+        assert!(subs[1].get("alloc").is_some());
+        // The duplicate element shares the first element's computation.
+        assert_eq!(subs[2].get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            subs[0].get("alloc").unwrap().pretty(),
+            subs[2].get("alloc").unwrap().pretty()
+        );
+        assert_eq!(
+            subs[3].get("error").unwrap().get("code").and_then(Json::as_str),
+            Some("bad-request")
+        );
+    }
+
+    #[test]
+    fn responses_are_byte_identical_at_any_worker_count() {
+        let lines: Vec<String> = (0..6)
+            .map(|i| alloc_line(i, [8, 32, 8][i as usize % 3], ["balanced", "ladder"][i as usize % 2]))
+            .chain([r#"{"id": 99, "kind": "stats"}"#.to_string()])
+            .collect();
+        let mut transcripts = Vec::new();
+        for workers in [1, 4] {
+            let config = ServeConfig {
+                workers,
+                sweep: vec![8, 32],
+                ..ServeConfig::default()
+            };
+            let mut cache = fresh_cache(&config);
+            let input = lines.join("\n").into_bytes();
+            let mut output = Vec::new();
+            serve_lines(&input[..], &mut output, &config, &mut cache).unwrap();
+            transcripts.push(output);
+        }
+        assert_eq!(
+            transcripts[0], transcripts[1],
+            "worker count leaked into the response bytes"
+        );
+    }
+
+    #[test]
+    fn shutdown_acknowledges_and_ends_the_loop() {
+        let config = ServeConfig::default();
+        let mut cache = fresh_cache(&config);
+        let input = format!(
+            "{}\n{}\n{}\n",
+            alloc_line(1, 32, "balanced"),
+            r#"{"id": 2, "kind": "shutdown"}"#,
+            alloc_line(3, 32, "balanced"), // never served
+        )
+        .into_bytes();
+        let mut output = Vec::new();
+        let end = serve_lines(&input[..], &mut output, &config, &mut cache).unwrap();
+        assert_eq!(end, ServeEnd::Shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        let ack = regbal_eval::json::parse(lines[1]).unwrap();
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn eviction_pressure_is_counted() {
+        let config = ServeConfig {
+            cache_cap: 1,
+            sweep: vec![8, 32],
+            ..ServeConfig::default()
+        };
+        let mut cache = fresh_cache(&config);
+        // A control request after each alloc pins the wave boundaries,
+        // so the eviction sequence is exact: store 8, store 32 (evict
+        // 8), re-miss 8 (evict 32).
+        let stats_line = r#"{"id": 0, "kind": "stats"}"#.to_string();
+        let lines = vec![
+            alloc_line(1, 8, "balanced"),
+            stats_line.clone(),
+            alloc_line(2, 32, "balanced"),
+            stats_line.clone(),
+            alloc_line(3, 8, "balanced"), // evicted above, recomputed
+            stats_line,
+        ];
+        let responses = serve_script(&lines, &config, &mut cache);
+        let stats = responses[5].get("stats").unwrap();
+        assert_eq!(stats.get("evictions").and_then(Json::as_u64), Some(2));
+        assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(3));
+        assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(1));
+        assert_eq!(responses[4].get("cached").and_then(Json::as_bool), Some(false));
+    }
+}

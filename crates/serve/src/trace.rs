@@ -1,0 +1,282 @@
+//! Materialising generated traces into protocol request lines, and the
+//! `regbal-trace/1` on-disk trace format.
+//!
+//! [`regbal_workloads::generate_trace`] produces abstract requests
+//! (kernel + budget + strategy + arrival time); this module turns each
+//! into the concrete wire form the server consumes — the kernel's
+//! program text (dashes in kernel names become underscores, since the
+//! IR grammar only admits identifier function names), its content hash,
+//! and a compact `regbal-serve/1` request line. Traces round-trip
+//! through a small JSON file so a benchmark run is reproducible from
+//! the committed artifact alone, not just from the seed.
+
+use crate::oneshot::ServeStrategy;
+use crate::proto;
+use regbal_eval::{json, Json};
+use regbal_workloads::{Arrival, Kernel, TraceConfig, TraceRequest, TRACE_STRATEGIES};
+
+/// One trace request in wire-ready form.
+#[derive(Debug, Clone)]
+pub struct MaterializedRequest {
+    /// The kernel the program text came from.
+    pub kernel: Kernel,
+    /// The program text (the kernel built at slot 0, name sanitised).
+    pub text: String,
+    /// Threads sharing the register file.
+    pub nthd: usize,
+    /// Register-file size.
+    pub nreg: usize,
+    /// Allocation strategy.
+    pub strategy: ServeStrategy,
+    /// Arrival offset from trace start, microseconds.
+    pub at_us: u64,
+    /// Content hash of `text` (what the server computes at admission).
+    pub hash: u64,
+}
+
+/// The program text of one kernel as the trace sends it: built at slot
+/// 0 with the given packet count, function name sanitised to an
+/// identifier.
+pub fn kernel_text(kernel: Kernel, packets: u32) -> String {
+    let mut func = kernel.build(0, packets);
+    func.name = func.name.replace('-', "_");
+    format!("{func}")
+}
+
+/// Materialises a generated trace: one wire-ready request per trace
+/// entry, with each kernel's program built once and shared.
+pub fn materialize(trace: &[TraceRequest], packets: u32) -> Vec<MaterializedRequest> {
+    let mut texts: std::collections::HashMap<&'static str, (String, u64)> =
+        std::collections::HashMap::new();
+    trace
+        .iter()
+        .map(|r| {
+            let (text, hash) = texts.entry(r.kernel.name()).or_insert_with(|| {
+                let text = kernel_text(r.kernel, packets);
+                let hash = proto::content_hash(&text);
+                (text, hash)
+            });
+            MaterializedRequest {
+                kernel: r.kernel,
+                text: text.clone(),
+                nthd: r.nthd,
+                nreg: r.nreg,
+                strategy: ServeStrategy::parse(r.strategy)
+                    .expect("trace strategies are the serve strategies"),
+                at_us: r.at_us,
+                hash: *hash,
+            }
+        })
+        .collect()
+}
+
+/// The compact `regbal-serve/1` request line for one materialised
+/// request. With `hash_only`, the line is content-addressed — no
+/// program text on the wire (valid once the server has seen the text).
+pub fn request_line(id: u64, req: &MaterializedRequest, hash_only: bool) -> String {
+    let mut members = vec![
+        ("id".to_string(), Json::uint(id)),
+        ("kind".to_string(), Json::str("alloc")),
+    ];
+    if hash_only {
+        members.push(("hash".to_string(), Json::str(proto::hash_hex(req.hash))));
+    } else {
+        members.push(("func".to_string(), Json::str(req.text.clone())));
+    }
+    members.push(("nthd".to_string(), Json::uint(req.nthd as u64)));
+    members.push(("nreg".to_string(), Json::uint(req.nreg as u64)));
+    members.push(("strategy".to_string(), Json::str(req.strategy.name())));
+    Json::Obj(members).compact()
+}
+
+/// A trace as stored on disk: the generating shape plus the concrete
+/// request list, so replays don't depend on generator stability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFile {
+    /// The seed the trace was generated from (provenance only).
+    pub seed: u64,
+    /// The arrival model used.
+    pub arrival: Arrival,
+    /// Packets per thread in the kernel programs.
+    pub packets: u32,
+    /// The requests, in arrival order.
+    pub requests: Vec<TraceRequest>,
+}
+
+impl TraceFile {
+    /// Generates a trace file from a config.
+    pub fn generate(config: &TraceConfig) -> TraceFile {
+        TraceFile {
+            seed: config.seed,
+            arrival: config.arrival,
+            packets: config.packets,
+            requests: regbal_workloads::generate_trace(config),
+        }
+    }
+
+    /// The `regbal-trace/1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let requests = self
+            .requests
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("kernel".to_string(), Json::str(r.kernel.name())),
+                    ("nthd".to_string(), Json::uint(r.nthd as u64)),
+                    ("nreg".to_string(), Json::uint(r.nreg as u64)),
+                    ("strategy".to_string(), Json::str(r.strategy)),
+                    ("at_us".to_string(), Json::uint(r.at_us)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::str("regbal-trace/1")),
+            ("seed".to_string(), Json::uint(self.seed)),
+            ("arrival".to_string(), Json::str(self.arrival.name())),
+            ("packets".to_string(), Json::uint(u64::from(self.packets))),
+            ("requests".to_string(), Json::Arr(requests)),
+        ])
+    }
+
+    /// Parses a `regbal-trace/1` document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending member.
+    pub fn from_text(text: &str) -> Result<TraceFile, String> {
+        let doc = json::parse(text).map_err(|e| format!("trace is not JSON: {e}"))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("regbal-trace/1") => {}
+            other => return Err(format!("not a regbal-trace/1 file (schema {other:?})")),
+        }
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("trace is missing `seed`")?;
+        let arrival = doc
+            .get("arrival")
+            .and_then(Json::as_str)
+            .ok_or("trace is missing `arrival`")
+            .and_then(|s| Arrival::parse(s).map_err(|_| "unknown `arrival`"))?;
+        let packets = doc
+            .get("packets")
+            .and_then(Json::as_u64)
+            .ok_or("trace is missing `packets`")? as u32;
+        let raw = doc
+            .get("requests")
+            .and_then(Json::as_arr)
+            .ok_or("trace is missing `requests`")?;
+        let mut requests = Vec::with_capacity(raw.len());
+        for (i, r) in raw.iter().enumerate() {
+            let kernel_name = r
+                .get("kernel")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("request {i} is missing `kernel`"))?;
+            let kernel = kernel_by_name(kernel_name)
+                .ok_or_else(|| format!("request {i}: unknown kernel `{kernel_name}`"))?;
+            let strategy_name = r
+                .get("strategy")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("request {i} is missing `strategy`"))?;
+            let strategy = TRACE_STRATEGIES
+                .iter()
+                .find(|s| **s == strategy_name)
+                .copied()
+                .ok_or_else(|| format!("request {i}: unknown strategy `{strategy_name}`"))?;
+            let field = |name: &str| {
+                r.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("request {i} is missing `{name}`"))
+            };
+            requests.push(TraceRequest {
+                kernel,
+                nthd: field("nthd")? as usize,
+                nreg: field("nreg")? as usize,
+                strategy,
+                at_us: field("at_us")?,
+            });
+        }
+        Ok(TraceFile {
+            seed,
+            arrival,
+            packets,
+            requests,
+        })
+    }
+}
+
+/// Resolves a kernel by its stable name.
+pub fn kernel_by_name(name: &str) -> Option<Kernel> {
+    Kernel::ALL.iter().copied().find(|k| k.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oneshot;
+
+    #[test]
+    fn every_kernel_materialises_to_parseable_text() {
+        for kernel in Kernel::ALL {
+            let text = kernel_text(kernel, 4);
+            let funcs = oneshot::load_module(&text)
+                .unwrap_or_else(|e| panic!("kernel {} failed to load: {e:?}", kernel.name()));
+            assert_eq!(funcs.len(), 1);
+            assert!(
+                !funcs[0].name.contains('-'),
+                "kernel names must be sanitised to identifiers"
+            );
+        }
+    }
+
+    #[test]
+    fn materialize_shares_program_text_per_kernel() {
+        let trace = regbal_workloads::generate_trace(&TraceConfig::default());
+        let wire = materialize(&trace, 4);
+        assert_eq!(wire.len(), trace.len());
+        let mut by_kernel: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+        for req in &wire {
+            let prior = by_kernel.entry(req.kernel.name()).or_insert(req.hash);
+            assert_eq!(*prior, req.hash, "same kernel, same hash");
+            assert_eq!(req.hash, proto::content_hash(&req.text));
+        }
+        assert!(by_kernel.len() > 1, "the zipf mix covers several kernels");
+    }
+
+    #[test]
+    fn request_lines_parse_as_protocol_requests() {
+        let trace = regbal_workloads::generate_trace(&TraceConfig {
+            requests: 5,
+            ..TraceConfig::default()
+        });
+        let wire = materialize(&trace, 4);
+        for (i, req) in wire.iter().enumerate() {
+            for hash_only in [false, true] {
+                let line = request_line(i as u64, req, hash_only);
+                match proto::parse_request(&line) {
+                    crate::proto::Request::Alloc(Ok(parsed)) => {
+                        assert_eq!(parsed.hash, req.hash);
+                        assert_eq!(parsed.nthd, req.nthd);
+                        assert_eq!(parsed.nreg, req.nreg);
+                        assert_eq!(parsed.strategy, req.strategy);
+                    }
+                    other => panic!("request line did not parse: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_files_round_trip() {
+        let file = TraceFile::generate(&TraceConfig {
+            requests: 20,
+            arrival: Arrival::Bursty,
+            ..TraceConfig::default()
+        });
+        let text = file.to_json().pretty();
+        let back = TraceFile::from_text(&text).unwrap();
+        assert_eq!(file, back);
+        assert!(TraceFile::from_text("{}").is_err());
+        assert!(TraceFile::from_text("not json").is_err());
+    }
+}

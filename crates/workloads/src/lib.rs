@@ -55,12 +55,14 @@ mod kernels;
 mod layout;
 mod packet;
 pub mod stress;
+pub mod trace;
 
 pub use device::{build_worker, expected_total_digest, packet_digest};
 pub use kernels::Kernel;
 pub use layout::Bases;
 pub use packet::fill_packets;
 pub use stress::{stress_bundle, stress_program, StressConfig};
+pub use trace::{generate_trace, Arrival, TraceConfig, TraceRequest, TRACE_STRATEGIES};
 
 use regbal_ir::Func;
 use regbal_sim::Memory;

@@ -1,0 +1,259 @@
+//! Seeded request-trace generator for the allocation server.
+//!
+//! Models a fleet of clients recompiling the kernel suite under
+//! shifting register budgets: kernels are drawn from a zipfian
+//! popularity ranking (a few hot kernels dominate, the tail trickles),
+//! the register-file size follows a clamped random walk (budgets drift
+//! between deploys, they don't jump uniformly), and arrival times come
+//! either as a uniform drip or as exponential on/off bursts — the
+//! latter is what makes a p99 under replay mean something.
+//!
+//! Determinism follows the [`crate::stress`] conventions: one
+//! [`StdRng`] seeded from the trace seed drives every draw, so the same
+//! `(seed, config)` always produces the same trace, and failures
+//! reproduce from the seed alone.
+
+use crate::Kernel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How request arrival times are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// A constant drip: one request every [`TraceConfig::mean_gap_us`].
+    Uniform,
+    /// Exponential on/off phases: inside an *on* phase requests arrive
+    /// with exponential gaps at a quarter of the mean (a burst), and
+    /// when the phase's exponential duration runs out an *off* pause —
+    /// exponential, an order of magnitude longer than the mean gap —
+    /// separates it from the next burst.
+    Bursty,
+}
+
+impl Arrival {
+    /// The stable name used by `--arrival` and the trace file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arrival::Uniform => "uniform",
+            Arrival::Bursty => "bursty",
+        }
+    }
+
+    /// Parses an `--arrival` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name.
+    pub fn parse(s: &str) -> Result<Arrival, String> {
+        match s {
+            "uniform" => Ok(Arrival::Uniform),
+            "bursty" => Ok(Arrival::Bursty),
+            other => Err(format!("unknown arrival model `{other}` (uniform|bursty)")),
+        }
+    }
+}
+
+/// Shape knobs of one generated trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Requests to generate.
+    pub requests: usize,
+    /// Trace seed; the same seed and config reproduce the trace.
+    pub seed: u64,
+    /// Packets per thread in the materialised kernel programs (part of
+    /// the function text, hence of the content hash).
+    pub packets: u32,
+    /// Zipf exponent of the kernel popularity ranking (1.0 = classic
+    /// zipf; larger skews harder toward the hot kernels).
+    pub zipf_s: f64,
+    /// Inclusive register-budget bounds of the drifting walk.
+    pub nreg_bounds: (usize, usize),
+    /// Largest single step of the budget walk.
+    pub nreg_drift: usize,
+    /// Arrival-time model.
+    pub arrival: Arrival,
+    /// Mean inter-arrival gap in microseconds.
+    pub mean_gap_us: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            requests: 100,
+            seed: 0xF1EE7,
+            packets: 4,
+            zipf_s: 1.1,
+            nreg_bounds: (32, 128),
+            nreg_drift: 12,
+            arrival: Arrival::Uniform,
+            mean_gap_us: 500,
+        }
+    }
+}
+
+/// One allocation request of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// The kernel whose program is requested.
+    pub kernel: Kernel,
+    /// Threads sharing the register file (replicas of the kernel).
+    pub nthd: usize,
+    /// Register-file size.
+    pub nreg: usize,
+    /// Allocation strategy (`balanced`, `balanced-spill` or `ladder` —
+    /// the one-shot `regbal alloc` modes).
+    pub strategy: &'static str,
+    /// Arrival offset from the trace start, in microseconds.
+    pub at_us: u64,
+}
+
+/// The strategies a trace draws from, in draw order.
+pub const TRACE_STRATEGIES: [&str; 3] = ["balanced", "balanced-spill", "ladder"];
+
+/// A uniform f64 in `[0, 1)` from the generator's next 53 random bits.
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// An exponential draw with the given mean, in microseconds (capped at
+/// one second so a pathological tail cannot stall a paced replay).
+fn exponential_us(rng: &mut StdRng, mean_us: f64) -> u64 {
+    let gap = -(1.0 - unit(rng)).ln() * mean_us;
+    gap.min(1_000_000.0) as u64
+}
+
+/// Generates the trace. Kernel popularity is sampled by inverse CDF
+/// over zipfian weights `1 / rank^s` (rank = position in
+/// [`Kernel::ALL`]), the register budget walks with steps in
+/// `[-drift, +drift]` clamped to the configured bounds, the thread
+/// count leans 2:1 toward four-thread PUs, and strategies are drawn
+/// uniformly from [`TRACE_STRATEGIES`].
+pub fn generate_trace(config: &TraceConfig) -> Vec<TraceRequest> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (lo, hi) = config.nreg_bounds;
+    let (lo, hi) = (lo.min(hi).max(1), lo.max(hi));
+
+    // Zipfian cumulative weights over the kernel ranking.
+    let mut cum = Vec::with_capacity(Kernel::ALL.len());
+    let mut total = 0.0;
+    for rank in 1..=Kernel::ALL.len() {
+        total += 1.0 / (rank as f64).powf(config.zipf_s);
+        cum.push(total);
+    }
+
+    let mut nreg = (lo + hi) / 2;
+    let mut at_us = 0u64;
+    // Bursty state: the wall-clock end of the current on phase.
+    let on_mean = 6.0 * config.mean_gap_us as f64;
+    let off_mean = 10.0 * config.mean_gap_us as f64;
+    let burst_gap = config.mean_gap_us as f64 / 4.0;
+    let mut phase_end = at_us + exponential_us(&mut rng, on_mean);
+
+    (0..config.requests)
+        .map(|_| {
+            let u = unit(&mut rng) * total;
+            let kernel = Kernel::ALL[cum.iter().position(|&c| u < c).unwrap_or(0)];
+            let drift = config.nreg_drift as i64;
+            let step = rng.random_range(-drift..=drift);
+            nreg = (nreg as i64 + step).clamp(lo as i64, hi as i64) as usize;
+            let nthd = if rng.random_range(0..3u32) < 2 { 4 } else { 2 };
+            let strategy =
+                TRACE_STRATEGIES[rng.random_range(0..TRACE_STRATEGIES.len())];
+            match config.arrival {
+                Arrival::Uniform => at_us += config.mean_gap_us,
+                Arrival::Bursty => {
+                    at_us += exponential_us(&mut rng, burst_gap);
+                    if at_us >= phase_end {
+                        at_us += exponential_us(&mut rng, off_mean);
+                        phase_end = at_us + exponential_us(&mut rng, on_mean);
+                    }
+                }
+            }
+            TraceRequest {
+                kernel,
+                nthd,
+                nreg,
+                strategy,
+                at_us,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let config = TraceConfig::default();
+        assert_eq!(generate_trace(&config), generate_trace(&config));
+        let other = TraceConfig {
+            seed: 7,
+            ..TraceConfig::default()
+        };
+        assert_ne!(generate_trace(&config), generate_trace(&other));
+    }
+
+    #[test]
+    fn kernel_mix_is_zipfian_and_budget_stays_bounded() {
+        let config = TraceConfig {
+            requests: 2000,
+            ..TraceConfig::default()
+        };
+        let trace = generate_trace(&config);
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for r in &trace {
+            *counts.entry(r.kernel.name()).or_default() += 1;
+            assert!((32..=128).contains(&r.nreg), "budget left bounds: {}", r.nreg);
+            assert!(r.nthd == 2 || r.nthd == 4);
+            assert!(TRACE_STRATEGIES.contains(&r.strategy));
+        }
+        // The head of the ranking dominates its tail.
+        let head = counts.get(Kernel::ALL[0].name()).copied().unwrap_or(0);
+        let tail = counts
+            .get(Kernel::ALL[Kernel::ALL.len() - 1].name())
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            head > 3 * tail.max(1),
+            "zipf head {head} should dwarf tail {tail}"
+        );
+        // The walk drifts: more than one budget shows up.
+        let distinct: std::collections::HashSet<usize> =
+            trace.iter().map(|r| r.nreg).collect();
+        assert!(distinct.len() > 5, "budget walk too static: {distinct:?}");
+    }
+
+    #[test]
+    fn uniform_drips_and_bursty_bursts() {
+        let uniform = generate_trace(&TraceConfig {
+            requests: 200,
+            ..TraceConfig::default()
+        });
+        let gaps: Vec<u64> = uniform.windows(2).map(|w| w[1].at_us - w[0].at_us).collect();
+        assert!(gaps.iter().all(|&g| g == 500), "uniform must drip evenly");
+
+        let bursty = generate_trace(&TraceConfig {
+            requests: 200,
+            arrival: Arrival::Bursty,
+            ..TraceConfig::default()
+        });
+        let gaps: Vec<u64> = bursty.windows(2).map(|w| w[1].at_us - w[0].at_us).collect();
+        let short = gaps.iter().filter(|&&g| g < 250).count();
+        let long = gaps.iter().filter(|&&g| g > 1000).count();
+        assert!(short > gaps.len() / 2, "bursts: most gaps are short ({short})");
+        assert!(long > 0, "off phases: some gaps are long ({long})");
+        // Arrival times never go backwards.
+        assert!(bursty.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn arrival_names_round_trip() {
+        for a in [Arrival::Uniform, Arrival::Bursty] {
+            assert_eq!(Arrival::parse(a.name()), Ok(a));
+        }
+        assert!(Arrival::parse("poisson").is_err());
+    }
+}

@@ -7,7 +7,8 @@ set -eux
 # Failures must flow through the `AllocError` taxonomy instead.
 # `.expect("documented invariant")` remains allowed.
 for f in crates/core/src/*.rs crates/igraph/src/*.rs \
-         crates/analysis/src/*.rs crates/ir/src/*.rs; do
+         crates/analysis/src/*.rs crates/ir/src/*.rs \
+         crates/serve/src/*.rs; do
     awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(|panic!\(/{print FILENAME": "FNR": "$0; bad=1} END{exit bad}' "$f" || {
         echo "panic-free gate: forbidden .unwrap()/panic! in library code ($f)" >&2
         exit 1
@@ -76,3 +77,14 @@ cat target/serve_requests.txt target/serve_requests.txt \
 cat target/serve_requests.txt target/serve_requests.txt \
     | ./target/release/regbal serve --stdio --workers 4 > target/serve_stdio_w4.txt
 cmp target/serve_stdio_w1.txt target/serve_stdio_w4.txt
+
+# Concurrent-connection gate: the trace's kernels are partitioned
+# across 3 TCP clients with disjoint content hashes, served at once by
+# one shared server; each client's transcript must be byte-identical to
+# serving its script alone (the command exits non-zero on the first
+# divergent response). The populated --cache-dir then proves the
+# restart-warm contract: a second server over the same directory must
+# answer its first repeated request with `"cached": true`.
+rm -rf target/serve_cache
+./target/release/regbal serve --check-concurrent target/serve_trace.json \
+    --clients 3 --workers 2 --cache-dir target/serve_cache --metrics

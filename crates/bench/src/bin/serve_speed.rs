@@ -3,8 +3,10 @@
 //!
 //! One seeded trace (zipfian kernel mix under drifting register
 //! budgets) is replayed twice against a fresh server at 1, 2, and 4
-//! workers. The cold pass pays every descent; the warm pass must be
-//! answered entirely from the persistent cross-request cache. The
+//! workers, then once more against a *restarted* server over the same
+//! on-disk cache directory. The cold pass pays every descent; the warm
+//! pass must be answered entirely from the persistent cross-request
+//! cache; the restart pass must be answered entirely from disk. The
 //! binary asserts:
 //!
 //! * the warm p50 latency is at least 5x below the cold p50 at every
@@ -13,11 +15,21 @@
 //! * the full response transcript (ids, `cached` flags, and allocation
 //!   documents) is byte-identical across all three worker counts — the
 //!   wave protocol's determinism guarantee, measured rather than
-//!   assumed.
+//!   assumed;
+//! * a brand-new server over the populated `--cache-dir` serves the
+//!   whole trace with zero misses on its very first pass, and its
+//!   documents match the in-memory warm pass byte for byte.
+//!
+//! Alongside each pass the report carries the server's backpressure
+//! metrics (queue-depth high-water, admission wait p50/p99, deferred
+//! admissions, pool activity), measured with a bursty paced arrival
+//! row so the bounded queue actually fills.
 
 use regbal_eval::Json;
-use regbal_serve::{pass_json, replay, ReplayConfig, ServeConfig, TraceFile};
-use regbal_workloads::TraceConfig;
+use regbal_serve::{
+    pass_json, replay, replay_with_metrics, ReplayConfig, ServeConfig, ServeMetrics, TraceFile,
+};
+use regbal_workloads::{Arrival, TraceConfig};
 
 /// Requests per pass — large enough that both percentiles are stable.
 const REQUESTS: usize = 200;
@@ -33,6 +45,20 @@ const WORKERS: [usize; 3] = [1, 2, 4];
 /// Required cold-p50 / warm-p50 ratio.
 const WARM_FACTOR: u64 = 5;
 
+/// Strips each response line to its document (alloc or error),
+/// dropping ids and `cached` flags — what must survive a restart.
+fn documents(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|line| {
+            let doc = regbal_eval::json::parse(line).expect("response is JSON");
+            doc.get("alloc")
+                .map(Json::pretty)
+                .unwrap_or_else(|| doc.get("error").expect("alloc or error").pretty())
+        })
+        .collect()
+}
+
 fn main() {
     let trace_config = TraceConfig::default();
     let trace = TraceFile::generate(&TraceConfig {
@@ -42,6 +68,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut transcript: Option<Vec<String>> = None;
+    let mut warm_documents: Vec<String> = Vec::new();
     let mut worst_ratio = f64::INFINITY;
     for workers in WORKERS {
         let config = ReplayConfig {
@@ -53,7 +80,8 @@ fn main() {
             window: WINDOW,
             paced: false,
         };
-        let reports = replay(&trace, &config).expect("replay");
+        let metrics = ServeMetrics::default();
+        let reports = replay_with_metrics(&trace, &config, &metrics).expect("replay");
         let (cold, warm) = (&reports[0], &reports[1]);
         assert_eq!(warm.misses, 0, "warm pass must be all cache hits");
         let ratio = cold.p50_us as f64 / (warm.p50_us.max(1)) as f64;
@@ -83,17 +111,86 @@ fn main() {
                 "{workers} worker(s): response transcript diverged from the serial run"
             ),
         }
+        warm_documents = documents(&warm.responses);
 
         rows.push(Json::Obj(vec![
             ("workers".into(), Json::uint(workers as u64)),
             ("cold".into(), pass_json(cold)),
             ("warm".into(), pass_json(warm)),
+            ("metrics".into(), metrics.snapshot().to_json()),
         ]));
     }
     println!("transcripts byte-identical at {WORKERS:?} workers");
 
+    // The restart-warm row: populate an on-disk store, then serve the
+    // whole trace again from a brand-new server over the same
+    // directory — its *first* pass must be all hits.
+    let cache_dir = std::env::temp_dir().join(format!("regbal-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let disk_config = ReplayConfig {
+        serve: ServeConfig {
+            cache_dir: Some(cache_dir.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        },
+        passes: 1,
+        window: WINDOW,
+        paced: false,
+    };
+    let populate = replay(&trace, &disk_config).expect("populate the disk cache");
+    assert!(populate[0].misses > 0, "the populate pass must start cold");
+    let restart = replay(&trace, &disk_config).expect("restart over the disk cache");
+    assert_eq!(
+        restart[0].misses, 0,
+        "the restarted server must answer entirely from disk"
+    );
+    assert_eq!(
+        documents(&restart[0].responses),
+        warm_documents,
+        "reloaded documents diverged from the in-memory warm pass"
+    );
+    let restart_ratio = populate[0].p50_us as f64 / (restart[0].p50_us.max(1)) as f64;
+    println!(
+        "restart over --cache-dir: p50 {} us p99 {} us {:.0} req/s \
+         ({restart_ratio:.1}x below cold, 0 misses)",
+        restart[0].p50_us, restart[0].p99_us, restart[0].rps
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // The backpressure row: bursty paced arrivals through a deliberately
+    // tight queue, so deferred admissions and queue depth are exercised.
+    let bursty_trace = TraceFile::generate(&TraceConfig {
+        requests: REQUESTS / 2,
+        arrival: Arrival::Bursty,
+        mean_gap_us: 100,
+        ..trace_config
+    });
+    let bursty_config = ReplayConfig {
+        serve: ServeConfig {
+            workers: 2,
+            queue_cap: 4,
+            ..ServeConfig::default()
+        },
+        passes: 1,
+        window: WINDOW,
+        paced: true,
+    };
+    let bursty_metrics = ServeMetrics::default();
+    let bursty =
+        replay_with_metrics(&bursty_trace, &bursty_config, &bursty_metrics).expect("bursty replay");
+    let pressure = bursty_metrics.snapshot();
+    println!(
+        "bursty paced: p50 {} us p99 {} us | queue high-water {} | \
+         admission wait p50 {} us p99 {} us | {} deferred",
+        bursty[0].p50_us,
+        bursty[0].p99_us,
+        pressure.queue_depth_high_water,
+        pressure.admission_wait_p50_us,
+        pressure.admission_wait_p99_us,
+        pressure.deferred,
+    );
+
     let doc = Json::Obj(vec![
-        ("schema".into(), Json::str("regbal-serve-bench/1")),
+        ("schema".into(), Json::str("regbal-serve-bench/2")),
         ("requests".into(), Json::uint(REQUESTS as u64)),
         ("seed".into(), Json::uint(trace.seed)),
         ("arrival".into(), Json::str(trace.arrival.name())),
@@ -104,6 +201,26 @@ fn main() {
         (
             "warm_speedup_p50".into(),
             Json::Num((worst_ratio * 10.0).round() / 10.0),
+        ),
+        (
+            "restart".into(),
+            Json::Obj(vec![
+                ("cold".into(), pass_json(&populate[0])),
+                ("warm".into(), pass_json(&restart[0])),
+                (
+                    "speedup_p50".into(),
+                    Json::Num((restart_ratio * 10.0).round() / 10.0),
+                ),
+            ]),
+        ),
+        (
+            "bursty".into(),
+            Json::Obj(vec![
+                ("requests".into(), Json::uint((REQUESTS / 2) as u64)),
+                ("queue_cap".into(), Json::uint(4)),
+                ("pass".into(), pass_json(&bursty[0])),
+                ("metrics".into(), pressure.to_json()),
+            ]),
         ),
     ]);
     let path = "BENCH_SERVE.json";

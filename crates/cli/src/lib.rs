@@ -120,24 +120,39 @@ USAGE:
                        (regbal-device/1 JSON)
   regbal serve [MODE] [OPTS]                  resident allocation server
                                               (line-delimited JSON requests,
-                                              regbal-serve/1; responses are
+                                              regbal-serve/2; responses are
                                               byte-identical to
                                               `regbal alloc --json`)
     modes (exactly one):
       --stdio          serve requests on stdin, responses on stdout
-      --listen <ADDR>  serve TCP connections one at a time over one
-                       persistent cache (e.g. 127.0.0.1:7421)
+      --listen <ADDR>  serve concurrent TCP connections over one shared
+                       persistent cache (e.g. 127.0.0.1:7421); shutdown
+                       drains: in-flight requests finish, acks go last
       --gen-trace <F>  write a seeded regbal-trace/1 workload file
       --replay <F>     replay a trace file against a fresh resident
                        server, reporting per-pass latency and cache
                        behaviour; a cache miss on any warm pass is an
                        error
-    server options (--stdio, --listen, --replay):
+      --check-concurrent <F>  split the trace's kernels across N TCP
+                       clients, serve them concurrently, and demand each
+                       client's transcript be byte-identical to serving
+                       it alone; with --cache-dir also proves a
+                       restarted server answers warm
+    server options (--stdio, --listen, --replay, --check-concurrent):
       --workers <N>    worker threads per request wave (default 1; any
                        count produces byte-identical responses)
       --queue-cap <N>  bounded admission queue (default 256)
       --cache-cap <N>  response-cache entries (default 4096)
       --trajectory-cap <N>  resident module trajectories (default 256)
+      --cache-dir <D>  content-addressed on-disk cache: outcomes and
+                       modules persist across restarts; corrupt entries
+                       degrade to cold misses
+      --max-conns <N>  concurrent TCP connections admitted (default
+                       unlimited); extra connections get one in-band
+                       `overloaded` error line
+      --metrics        print the backpressure summary (queue high-water,
+                       admission wait p50/p99, deferred/rejected,
+                       per-connection totals) when the server exits
     trace generation (--gen-trace):
       --requests <N>   requests to generate (default 100)
       --seed <N>       trace seed (default 990951)
@@ -155,7 +170,9 @@ USAGE:
       --sanitize       re-run every distinct allocation on the
                        simulator with the clobber sanitizer armed
       --responses <F>  write every pass's response lines
-      --out <F>        write the regbal-serve-bench/1 report
+      --out <F>        write the regbal-serve-bench/2 report
+    concurrency check (--check-concurrent):
+      --clients <N>    TCP clients to interleave (default 3)
   regbal dot [--ig] <files...>                Graphviz output (CFG, or the
                                               interference graph with --ig)
   regbal help                                 this text
@@ -698,6 +715,7 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
         Listen(String),
         GenTrace(String),
         Replay(String),
+        CheckConcurrent(String),
     }
     let mut mode: Option<Mode> = None;
     let mut server = ServeConfig::default();
@@ -708,11 +726,16 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
     let mut paced = false;
     let mut verify = false;
     let mut sanitize = false;
+    let mut metrics_summary = false;
+    let mut clients = 3usize;
     let mut responses_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let set_mode = |m: Mode, current: &mut Option<Mode>| -> Result<(), String> {
         if current.is_some() {
-            return Err("pick exactly one of --stdio, --listen, --gen-trace, --replay".into());
+            return Err(
+                "pick exactly one of --stdio, --listen, --gen-trace, --replay, --check-concurrent"
+                    .into(),
+            );
         }
         *current = Some(m);
         Ok(())
@@ -740,12 +763,20 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
                 let path = value("--replay")?;
                 set_mode(Mode::Replay(path), &mut mode)?;
             }
+            "--check-concurrent" => {
+                let path = value("--check-concurrent")?;
+                set_mode(Mode::CheckConcurrent(path), &mut mode)?;
+            }
             "--workers" => server.workers = parse("--workers", value("--workers")?)?,
             "--queue-cap" => server.queue_cap = parse("--queue-cap", value("--queue-cap")?)?,
             "--cache-cap" => server.cache_cap = parse("--cache-cap", value("--cache-cap")?)?,
             "--trajectory-cap" => {
                 server.trajectory_cap = parse("--trajectory-cap", value("--trajectory-cap")?)?;
             }
+            "--cache-dir" => server.cache_dir = Some(value("--cache-dir")?),
+            "--max-conns" => server.max_conns = parse("--max-conns", value("--max-conns")?)?,
+            "--metrics" => metrics_summary = true,
+            "--clients" => clients = parse("--clients", value("--clients")?)?,
             "--requests" => trace_config.requests = parse("--requests", value("--requests")?)?,
             "--seed" => trace_config.seed = parse("--seed", value("--seed")?)?,
             "--arrival" => trace_config.arrival = Arrival::parse(&value("--arrival")?)?,
@@ -765,25 +796,33 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
         }
     }
 
-    match mode.ok_or("pick one of --stdio, --listen, --gen-trace, --replay")? {
+    match mode.ok_or("pick one of --stdio, --listen, --gen-trace, --replay, --check-concurrent")? {
         Mode::Stdio => {
             // Responses go straight to the process stdout so the mode
-            // is usable in a pipeline; `out` stays empty.
+            // is usable in a pipeline; `out` stays empty. The metrics
+            // summary goes to stderr for the same reason.
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            let mut cache = regbal_serve::ServeCache::new(
-                server.cache_cap,
-                server.trajectory_cap,
-                server.sweep.clone(),
-            );
-            regbal_serve::serve_lines(stdin, stdout, &server, &mut cache)
+            let mut cache = server
+                .open_cache()
+                .map_err(|e| format!("--cache-dir: {e}"))?;
+            let metrics = regbal_serve::ServeMetrics::default();
+            regbal_serve::serve_lines_metered(stdin, stdout, &server, &mut cache, &metrics)
                 .map_err(|e| format!("stdio transport: {e}"))?;
+            if metrics_summary {
+                eprint!("{}", metrics.snapshot().summary(&metrics.connections()));
+            }
             Ok(())
         }
         Mode::Listen(addr) => {
             let mut announce = std::io::stderr();
-            regbal_serve::serve_tcp(&addr, &server, &mut announce)
-                .map_err(|e| format!("{addr}: {e}"))
+            let metrics = regbal_serve::ServeMetrics::default();
+            regbal_serve::serve_tcp_metered(&addr, &server, &mut announce, &metrics)
+                .map_err(|e| format!("{addr}: {e}"))?;
+            if metrics_summary {
+                eprint!("{}", metrics.snapshot().summary(&metrics.connections()));
+            }
+            Ok(())
         }
         Mode::GenTrace(path) => {
             let file = TraceFile::generate(&trace_config);
@@ -821,7 +860,8 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
                 window,
                 paced,
             };
-            let reports = regbal_serve::replay(&trace, &config)?;
+            let metrics = regbal_serve::ServeMetrics::default();
+            let reports = regbal_serve::replay_with_metrics(&trace, &config, &metrics)?;
             for (i, r) in reports.iter().enumerate() {
                 let _ = writeln!(
                     out,
@@ -850,7 +890,7 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
             }
             if let Some(out_path) = out_path {
                 let doc = Json::Obj(vec![
-                    ("schema".into(), Json::str("regbal-serve-bench/1")),
+                    ("schema".into(), Json::str("regbal-serve-bench/2")),
                     ("trace".into(), Json::str(path.clone())),
                     ("requests".into(), Json::uint(trace.requests.len() as u64)),
                     ("workers".into(), Json::uint(config.serve.workers as u64)),
@@ -859,9 +899,13 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
                         "passes".into(),
                         Json::Arr(reports.iter().map(regbal_serve::pass_json).collect()),
                     ),
+                    ("metrics".into(), metrics.snapshot().to_json()),
                 ]);
                 std::fs::write(&out_path, doc.pretty()).map_err(|e| format!("{out_path}: {e}"))?;
                 let _ = writeln!(out, "wrote {out_path}");
+            }
+            if metrics_summary {
+                let _ = write!(out, "{}", metrics.snapshot().summary(&metrics.connections()));
             }
             if verify {
                 let checked = verify_against_oneshot(&trace, &reports[0].responses)?;
@@ -879,7 +923,214 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
             }
             Ok(())
         }
+        Mode::CheckConcurrent(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let trace = TraceFile::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+            check_concurrent(&trace, &server, clients.max(1), metrics_summary, out)
+        }
     }
+}
+
+/// The `--check-concurrent` gate: partitions the trace's kernels
+/// across `clients` disjoint TCP clients (distinct kernels have
+/// distinct content hashes, so no client's cache keys overlap
+/// another's), serves them all at once against one shared server, and
+/// demands each client's transcript be byte-identical to serving its
+/// script alone over a fresh single-connection server. With a
+/// `--cache-dir` it then restarts the server over the populated store
+/// and demands the first repeated request answer `"cached": true`.
+fn check_concurrent(
+    trace: &TraceFile,
+    server: &ServeConfig,
+    clients: usize,
+    metrics_summary: bool,
+    out: &mut String,
+) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write as IoWrite};
+
+    let wire = regbal_serve::materialize(&trace.requests, trace.packets);
+    // Partition by kernel so each client's content hashes are disjoint
+    // from every other client's.
+    let mut kernels: Vec<&str> = Vec::new();
+    for req in &wire {
+        if !kernels.contains(&req.kernel.name()) {
+            kernels.push(req.kernel.name());
+        }
+    }
+    if kernels.len() < clients {
+        return Err(format!(
+            "check-concurrent: the trace has {} distinct kernel(s) but --clients {} \
+             needs at least that many for disjoint partitions — generate a larger trace",
+            kernels.len(),
+            clients
+        ));
+    }
+    let mut scripts: Vec<Vec<String>> = vec![Vec::new(); clients];
+    for req in &wire {
+        let k = kernels
+            .iter()
+            .position(|n| *n == req.kernel.name())
+            .expect("kernel was just collected");
+        let script = &mut scripts[k % clients];
+        let id = script.len() as u64;
+        script.push(regbal_serve::request_line(id, req, false));
+    }
+
+    // Sequential baselines: each script alone against a fresh
+    // memory-only server (the shared run starts cold too, so the
+    // `cached` flags line up).
+    let solo_config = ServeConfig {
+        cache_dir: None,
+        ..server.clone()
+    };
+    let mut baselines: Vec<Vec<String>> = Vec::with_capacity(clients);
+    for script in &scripts {
+        let mut cache = solo_config
+            .open_cache()
+            .expect("a memory-only cache cannot fail to open");
+        let input = script.join("\n").into_bytes();
+        let mut output = Vec::new();
+        regbal_serve::serve_lines(&input[..], &mut output, &solo_config, &mut cache)
+            .map_err(|e| format!("check-concurrent baseline: {e}"))?;
+        baselines.push(
+            String::from_utf8_lossy(&output)
+                .lines()
+                .map(str::to_string)
+                .collect(),
+        );
+    }
+
+    // The concurrent run: all clients at once over one shared server.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| format!("check-concurrent: bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("check-concurrent: local_addr: {e}"))?;
+    let metrics = regbal_serve::ServeMetrics::default();
+    let transcripts: Vec<Result<Vec<String>, String>> = std::thread::scope(|scope| {
+        let server_thread = {
+            let metrics = &metrics;
+            scope.spawn(move || {
+                let mut log = std::io::sink();
+                regbal_serve::serve_listener(listener, server, &mut log, metrics)
+            })
+        };
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                scope.spawn(move || -> Result<Vec<String>, String> {
+                    let mut stream = std::net::TcpStream::connect(addr)
+                        .map_err(|e| format!("connect: {e}"))?;
+                    for line in script {
+                        writeln!(stream, "{line}").map_err(|e| format!("send: {e}"))?;
+                    }
+                    stream
+                        .shutdown(std::net::Shutdown::Write)
+                        .map_err(|e| format!("half-close: {e}"))?;
+                    let mut reader = BufReader::new(stream);
+                    let mut responses = Vec::with_capacity(script.len());
+                    for i in 0..script.len() {
+                        let mut line = String::new();
+                        match reader.read_line(&mut line) {
+                            Ok(0) => return Err(format!("server closed before response {i}")),
+                            Ok(_) => responses.push(line.trim_end().to_string()),
+                            Err(e) => return Err(format!("response {i}: {e}")),
+                        }
+                    }
+                    Ok(responses)
+                })
+            })
+            .collect();
+        let transcripts: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        // All clients are done — shut the server down from a control
+        // connection and let it drain.
+        let shutdown = (|| -> Result<(), String> {
+            let mut control = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("shutdown connect: {e}"))?;
+            writeln!(control, r#"{{"id": "bye", "kind": "shutdown"}}"#)
+                .map_err(|e| format!("shutdown send: {e}"))?;
+            let mut ack = String::new();
+            BufReader::new(control)
+                .read_line(&mut ack)
+                .map_err(|e| format!("shutdown ack: {e}"))?;
+            let ack = regbal_eval::json::parse(ack.trim_end())
+                .map_err(|e| format!("shutdown ack was not JSON: {e}"))?;
+            if ack.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("unexpected shutdown ack: {}", ack.compact()));
+            }
+            Ok(())
+        })();
+        let served = server_thread
+            .join()
+            .expect("server thread panicked")
+            .map_err(|e| format!("check-concurrent server: {e}"));
+        if let Err(e) = shutdown.and(served) {
+            return vec![Err(e)];
+        }
+        transcripts
+    });
+
+    for (i, (transcript, baseline)) in transcripts.iter().zip(&baselines).enumerate() {
+        let transcript = transcript
+            .as_ref()
+            .map_err(|e| format!("check-concurrent client {i}: {e}"))?;
+        if transcript != baseline {
+            let at = transcript
+                .iter()
+                .zip(baseline)
+                .position(|(a, b)| a != b)
+                .unwrap_or(baseline.len().min(transcript.len()));
+            return Err(format!(
+                "check-concurrent: client {i}'s transcript diverged from sequential \
+                 service at response {at}:\nconcurrent: {:?}\nsequential: {:?}",
+                transcript.get(at),
+                baseline.get(at)
+            ));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "check-concurrent: {} client(s), {} request(s): every transcript byte-identical to sequential service",
+        clients,
+        wire.len()
+    );
+
+    // Restart-warm: a brand-new server over the populated store must
+    // answer the very first repeated request from cache.
+    if server.cache_dir.is_some() {
+        let mut cache = server
+            .open_cache()
+            .map_err(|e| format!("check-concurrent restart: {e}"))?;
+        let first = scripts
+            .iter()
+            .find_map(|s| s.first())
+            .ok_or("check-concurrent: the trace produced no requests")?;
+        let input = format!("{first}\n").into_bytes();
+        let mut output = Vec::new();
+        regbal_serve::serve_lines(&input[..], &mut output, server, &mut cache)
+            .map_err(|e| format!("check-concurrent restart: {e}"))?;
+        let line = String::from_utf8_lossy(&output);
+        let doc = regbal_eval::json::parse(line.trim_end())
+            .map_err(|e| format!("check-concurrent restart: bad response: {e}"))?;
+        if doc.get("cached").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "check-concurrent: the restarted server missed on its first repeated \
+                 request — the on-disk cache did not survive: {}",
+                doc.compact()
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "check-concurrent: restarted server answered warm from the cache dir"
+        );
+    }
+    if metrics_summary {
+        let _ = write!(out, "{}", metrics.snapshot().summary(&metrics.connections()));
+    }
+    Ok(())
 }
 
 /// Replays each distinct cold-pass response through the one-shot
@@ -1600,12 +1851,62 @@ mod serve_tests {
         let bench = regbal_eval::json::parse(&std::fs::read_to_string(&bench_path).unwrap()).unwrap();
         assert_eq!(
             bench.get("schema").and_then(Json::as_str),
-            Some("regbal-serve-bench/1")
+            Some("regbal-serve-bench/2")
         );
         assert_eq!(
             bench.get("passes").and_then(Json::as_arr).map(<[Json]>::len),
             Some(2)
         );
+        let metrics = bench.get("metrics").expect("the /2 report carries metrics");
+        assert!(metrics.get("queue_depth_high_water").and_then(Json::as_u64).is_some());
+        assert!(metrics.get("pool_tasks").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn check_concurrent_passes_and_restarts_warm() {
+        let dir = std::env::temp_dir().join(format!("regbal-cli-chk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace_path = dir.join("trace.json");
+        let cache_dir = dir.join("cache");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut out = String::new();
+        run_cli(
+            &[
+                "serve".into(),
+                "--gen-trace".into(),
+                trace_path.to_string_lossy().into_owned(),
+                "--requests".into(),
+                "18".into(),
+                "--seed".into(),
+                "7".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let mut out = String::new();
+        run_cli(
+            &[
+                "serve".into(),
+                "--check-concurrent".into(),
+                trace_path.to_string_lossy().into_owned(),
+                "--clients".into(),
+                "3".into(),
+                "--workers".into(),
+                "2".into(),
+                "--cache-dir".into(),
+                cache_dir.to_string_lossy().into_owned(),
+                "--metrics".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert!(
+            out.contains("byte-identical to sequential service"),
+            "{out}"
+        );
+        assert!(out.contains("restarted server answered warm"), "{out}");
+        assert!(out.contains("queue high-water"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -27,6 +27,7 @@
 //! each descent and the others share it.
 
 use crate::oneshot::{self, ServeStrategy};
+use crate::store::{DiskRead, DiskStore};
 use regbal_core::{
     allocate_ladder_seeded, allocate_threads_sweep, allocate_threads_with_spill_sweep,
     AllocError, EngineConfig, HybridAllocation, LadderConfig, MultiAllocation, RungProviders,
@@ -206,6 +207,16 @@ pub struct Counters {
     pub descent_reuses: u64,
     /// Distinct content hashes admitted.
     pub distinct: HashSet<u64>,
+    /// Memory misses answered from the on-disk store (responses or
+    /// modules); each is also counted as a `hits` — a warm answer is a
+    /// warm answer, wherever it came from.
+    pub disk_hits: u64,
+    /// Corrupt or truncated disk entries degraded to cold misses.
+    pub disk_corrupt: u64,
+    /// Entries persisted to disk.
+    pub disk_writes: u64,
+    /// Disk writes that failed (logged, never fatal).
+    pub disk_write_errors: u64,
 }
 
 /// The persistent cross-request cache: both LRU tiers plus counters.
@@ -214,6 +225,7 @@ pub struct ServeCache {
     sweep: Vec<usize>,
     responses: Lru<ResponseKey, Outcome>,
     trajectories: Lru<(u64, usize), Arc<Trajectory>>,
+    store: Option<DiskStore>,
     /// The counters (dispatcher-updated, except `descents`).
     pub counters: Counters,
 }
@@ -226,26 +238,62 @@ impl ServeCache {
             sweep,
             responses: Lru::new(cache_cap),
             trajectories: Lru::new(trajectory_cap),
+            store: None,
             counters: Counters::default(),
         }
     }
 
-    /// Response-cache lookup, counting a hit on success.
-    pub fn lookup(&mut self, key: &ResponseKey) -> Option<Outcome> {
-        match self.responses.get(key) {
-            Some(outcome) => {
-                self.counters.hits += 1;
-                Some(outcome.clone())
-            }
-            None => {
-                self.counters.misses += 1;
-                None
-            }
-        }
+    /// Attaches a content-addressed on-disk store: memory misses probe
+    /// the disk before being declared cold, and every admitted module
+    /// text and finished outcome is written through — so a restarted
+    /// server over the same directory answers warm.
+    pub fn with_store(mut self, store: DiskStore) -> ServeCache {
+        self.store = Some(store);
+        self
     }
 
-    /// Stores a computed outcome, counting any eviction.
+    /// Whether a disk store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Response-cache lookup, counting a hit on success. A memory miss
+    /// probes the disk store (when attached); a verified disk entry is
+    /// promoted into the memory tier and counts as a hit, a corrupt or
+    /// truncated one degrades to a cold miss with a counter bump.
+    pub fn lookup(&mut self, key: &ResponseKey) -> Option<Outcome> {
+        if let Some(outcome) = self.responses.get(key) {
+            self.counters.hits += 1;
+            return Some(outcome.clone());
+        }
+        if let Some(store) = &self.store {
+            match store.load_response(key) {
+                DiskRead::Hit(outcome) => {
+                    self.counters.hits += 1;
+                    self.counters.disk_hits += 1;
+                    if self.responses.insert(*key, outcome.clone()).is_some() {
+                        self.counters.evictions += 1;
+                    }
+                    return Some(outcome);
+                }
+                DiskRead::Corrupt => self.counters.disk_corrupt += 1,
+                DiskRead::Miss => {}
+            }
+        }
+        self.counters.misses += 1;
+        None
+    }
+
+    /// Stores a computed outcome, counting any eviction, and writes it
+    /// through to the disk store when one is attached.
     pub fn store(&mut self, key: ResponseKey, outcome: Outcome) {
+        if let Some(store) = &self.store {
+            if store.store_response(&key, &outcome) {
+                self.counters.disk_writes += 1;
+            } else {
+                self.counters.disk_write_errors += 1;
+            }
+        }
         if self.responses.insert(key, outcome).is_some() {
             self.counters.evictions += 1;
         }
@@ -253,12 +301,39 @@ impl ServeCache {
 
     /// The resident trajectory for `(hash, nthd)`, if any (counts a
     /// descent reuse — the caller only asks after a response miss).
+    /// When the memory tier misses but the disk store holds a verified
+    /// module text under `hash`, the trajectory is rebuilt from it (the
+    /// descent itself is deterministic, so a rebuilt trajectory serves
+    /// the same bytes the original did).
     pub fn trajectory(&mut self, hash: u64, nthd: usize) -> Option<Arc<Trajectory>> {
         let t = self.trajectories.get(&(hash, nthd)).cloned();
         if t.is_some() {
             self.counters.descent_reuses += 1;
+            return t;
         }
-        t
+        let text = match &self.store {
+            Some(store) => match store.load_module(hash) {
+                DiskRead::Hit(text) => text,
+                DiskRead::Corrupt => {
+                    self.counters.disk_corrupt += 1;
+                    return None;
+                }
+                DiskRead::Miss => return None,
+            },
+            None => return None,
+        };
+        match self.admit_trajectory(hash, nthd, &text) {
+            Ok(t) => {
+                self.counters.disk_hits += 1;
+                Some(t)
+            }
+            // A verified module that no longer loads (e.g. written by
+            // a newer grammar) degrades to a miss, never an error.
+            Err(_) => {
+                self.counters.disk_corrupt += 1;
+                None
+            }
+        }
     }
 
     /// Loads `text` as a module, replicates it `nthd` times and admits
@@ -287,6 +362,13 @@ impl ServeCache {
         })?;
         let funcs = oneshot::replicate(&roots, nthd);
         let traj = Arc::new(Trajectory::new(funcs, self.sweep.clone()));
+        if let Some(store) = &self.store {
+            if store.store_module(hash, text) {
+                self.counters.disk_writes += 1;
+            } else {
+                self.counters.disk_write_errors += 1;
+            }
+        }
         if self
             .trajectories
             .insert((hash, nthd), traj.clone())
@@ -335,6 +417,13 @@ impl ServeCache {
             (
                 "distinct_functions".into(),
                 Json::uint(c.distinct.len() as u64),
+            ),
+            ("disk_hits".into(), Json::uint(c.disk_hits)),
+            ("disk_corrupt".into(), Json::uint(c.disk_corrupt)),
+            ("disk_writes".into(), Json::uint(c.disk_writes)),
+            (
+                "disk_write_errors".into(),
+                Json::uint(c.disk_write_errors),
             ),
         ])
     }

@@ -6,7 +6,9 @@
 //! end-to-end latency when a fleet of build jobs recompiles the same
 //! kernels under drifting register budgets. This crate keeps the
 //! allocator resident: clients speak a line-delimited JSON protocol
-//! (`regbal-serve/1`) over stdio or TCP, requests are admitted through
+//! (`regbal-serve/2`) over stdio or TCP — concurrently, N connections
+//! sharing one cache, one pool and one on-disk store when
+//! `--cache-dir` is set — requests are admitted through
 //! a bounded queue and sharded across the eval crate's work-stealing
 //! pool, and results persist in a two-tier LRU cache — finished
 //! response documents keyed `(content hash, Nthd, Nreg, strategy)`,
@@ -26,7 +28,12 @@
 //! * [`oneshot`] — the CLI-identical allocation entry points and
 //!   `regbal-alloc/1` document builders (shared with `regbal-cli`).
 //! * [`cache`] — the persistent response and trajectory tiers.
-//! * [`server`] — admission, wave dispatch, stdio/TCP loops.
+//! * [`store`] — the content-addressed on-disk cache behind
+//!   `--cache-dir` (corrupt entries degrade to cold misses).
+//! * [`metrics`] — wall-clock backpressure counters: queue depth,
+//!   admission waits, deferred/rejected, per-connection totals.
+//! * [`server`] — admission, wave dispatch, the stdio loop and the
+//!   concurrent TCP listener with drain-on-shutdown.
 //! * [`trace`] — materialising generated traces into request lines and
 //!   the `regbal-trace/1` file format.
 //! * [`replay`] — the windowed closed-loop replay client, latency
@@ -36,15 +43,22 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod metrics;
 pub mod oneshot;
 pub mod proto;
 pub mod replay;
 pub mod server;
+pub mod store;
 pub mod trace;
 
 pub use cache::{Outcome, ResponseKey, ServeCache, Trajectory};
+pub use metrics::{ConnCounters, MetricsSnapshot, ServeMetrics};
 pub use oneshot::{alloc_doc, allocate, load_module, replicate, verdict_doc, ServeStrategy, Verdict};
 pub use proto::{content_hash, hash_hex, parse_request, Request, SCHEMA};
-pub use replay::{pass_json, replay, sanitize_check, PassReport, ReplayConfig};
-pub use server::{serve_lines, serve_tcp, ServeConfig, ServeEnd};
+pub use replay::{pass_json, replay, replay_with_metrics, sanitize_check, PassReport, ReplayConfig};
+pub use server::{
+    serve_lines, serve_lines_metered, serve_listener, serve_tcp, serve_tcp_metered, ServeConfig,
+    ServeEnd,
+};
+pub use store::{DiskRead, DiskStore};
 pub use trace::{kernel_text, materialize, request_line, MaterializedRequest, TraceFile};

@@ -1,4 +1,4 @@
-//! The `regbal-serve/1` wire protocol: request parsing and response
+//! The `regbal-serve/2` wire protocol: request parsing and response
 //! framing.
 //!
 //! The transport is line-delimited JSON — one request document per
@@ -10,8 +10,17 @@
 //!   seen) for `nthd` replicas under `nreg` registers with `strategy`
 //!   (`balanced` | `balanced-spill` | `ladder`);
 //! * `batch` — an array of `alloc` requests answered as one response;
-//! * `stats` — a snapshot of the server's cache counters;
-//! * `shutdown` — acknowledge and stop serving.
+//! * `stats` — a snapshot of the server's cache counters; with
+//!   `"metrics": true`, the response also carries the (wall-clock,
+//!   hence non-deterministic) backpressure metrics member;
+//! * `shutdown` — drain and stop serving: the server stops accepting,
+//!   finishes every request admitted before the ack, and answers the
+//!   ack last.
+//!
+//! Requests may carry an optional `schema` member; `regbal-serve/1`
+//! and `regbal-serve/2` are both accepted (the `/1` request surface is
+//! a strict subset), anything else is a `bad-request`. Responses are
+//! always stamped `regbal-serve/2`.
 //!
 //! A malformed line never kills the server: it produces an error
 //! *response* with a stable machine-readable `code` (`bad-json`,
@@ -24,7 +33,11 @@ use crate::oneshot::ServeStrategy;
 use regbal_eval::Json;
 
 /// The schema tag stamped on every top-level response line.
-pub const SCHEMA: &str = "regbal-serve/1";
+pub const SCHEMA: &str = "regbal-serve/2";
+
+/// Request schema tags this server accepts (`/1` requests are a
+/// strict subset of `/2`, so both parse identically).
+pub const ACCEPTED_SCHEMAS: [&str; 2] = ["regbal-serve/1", "regbal-serve/2"];
 
 /// FNV-1a offset basis (64-bit).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -136,6 +149,10 @@ pub enum Request {
     Stats {
         /// The request's `id`.
         id: Json,
+        /// Include the wall-clock backpressure metrics member (off by
+        /// default: those numbers are non-deterministic, and leaving
+        /// them out keeps plain `stats` transcripts byte-comparable).
+        metrics: bool,
     },
     /// Stop serving after acknowledging.
     Shutdown {
@@ -215,6 +232,21 @@ pub fn parse_request(line: &str) -> Request {
         }
     };
     let id = member_id(&doc);
+    if let Some(schema) = doc.get("schema") {
+        let known = schema
+            .as_str()
+            .is_some_and(|s| ACCEPTED_SCHEMAS.contains(&s));
+        if !known {
+            return Request::Alloc(Err(ProtoError::bad_request(
+                id,
+                format!(
+                    "unsupported request schema {} (accepted: {})",
+                    schema.compact(),
+                    ACCEPTED_SCHEMAS.join(", ")
+                ),
+            )));
+        }
+    }
     match doc.get("kind").and_then(Json::as_str) {
         Some("alloc") | None => Request::Alloc(parse_alloc(&doc)),
         Some("batch") => {
@@ -232,7 +264,10 @@ pub fn parse_request(line: &str) -> Request {
                 requests: items.iter().map(parse_alloc).collect(),
             }
         }
-        Some("stats") => Request::Stats { id },
+        Some("stats") => Request::Stats {
+            id,
+            metrics: doc.get("metrics").and_then(Json::as_bool) == Some(true),
+        },
         Some("shutdown") => Request::Shutdown { id },
         Some(other) => Request::Alloc(Err(ProtoError::bad_request(
             id,
@@ -351,11 +386,36 @@ mod tests {
     fn control_requests_parse() {
         assert_eq!(
             parse_request(r#"{"id": 9, "kind": "stats"}"#),
-            Request::Stats { id: Json::uint(9) }
+            Request::Stats {
+                id: Json::uint(9),
+                metrics: false
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"id": 9, "kind": "stats", "metrics": true}"#),
+            Request::Stats {
+                id: Json::uint(9),
+                metrics: true
+            }
         );
         assert_eq!(
             parse_request(r#"{"kind": "shutdown"}"#),
             Request::Shutdown { id: Json::Null }
         );
+    }
+
+    #[test]
+    fn request_schema_tags_are_checked_when_present() {
+        for accepted in ACCEPTED_SCHEMAS {
+            let line = format!(r#"{{"schema": "{accepted}", "kind": "stats"}}"#);
+            assert!(matches!(parse_request(&line), Request::Stats { .. }));
+        }
+        match parse_request(r#"{"schema": "regbal-serve/9", "kind": "stats"}"#) {
+            Request::Alloc(Err(e)) => {
+                assert_eq!(e.code, "bad-request");
+                assert!(e.message.contains("unsupported request schema"));
+            }
+            other => panic!("expected a schema rejection: {other:?}"),
+        }
     }
 }

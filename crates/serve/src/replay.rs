@@ -10,9 +10,9 @@
 //! allocation's rewritten program on the simulator with the register
 //! sanitizer armed.
 
-use crate::cache::ServeCache;
+use crate::metrics::ServeMetrics;
 use crate::oneshot::{self, ServeStrategy};
-use crate::server::{serve_lines, ServeConfig, ServeEnd};
+use crate::server::{serve_lines_metered, ServeConfig, ServeEnd};
 use crate::trace::{self, MaterializedRequest, TraceFile};
 use regbal_eval::{json, Json};
 use regbal_sim::{SimConfig, Simulator, StopWhen};
@@ -50,7 +50,7 @@ pub fn pipe() -> (PipeWriter, PipeReader) {
 
 impl Write for PipeWriter {
     fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
-        let mut state = self.0.state.lock().unwrap();
+        let mut state = self.0.state.lock().expect("pipe lock poisoned");
         state.buf.extend(bytes);
         self.0.ready.notify_all();
         Ok(bytes.len())
@@ -63,20 +63,20 @@ impl Write for PipeWriter {
 
 impl Drop for PipeWriter {
     fn drop(&mut self) {
-        self.0.state.lock().unwrap().closed = true;
+        self.0.state.lock().expect("pipe lock poisoned").closed = true;
         self.0.ready.notify_all();
     }
 }
 
 impl Read for PipeReader {
     fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
-        let mut state = self.0.state.lock().unwrap();
+        let mut state = self.0.state.lock().expect("pipe lock poisoned");
         while state.buf.is_empty() && !state.closed {
-            state = self.0.ready.wait(state).unwrap();
+            state = self.0.ready.wait(state).expect("pipe lock poisoned");
         }
         let n = state.buf.len().min(out.len());
         for slot in out.iter_mut().take(n) {
-            *slot = state.buf.pop_front().unwrap();
+            *slot = state.buf.pop_front().expect("n is bounded by the buffer length");
         }
         Ok(n)
     }
@@ -149,18 +149,31 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// Transport failures, a server that ends early, or — the warm-pass
 /// contract — any cache miss on a pass after the first.
 pub fn replay(trace: &TraceFile, config: &ReplayConfig) -> Result<Vec<PassReport>, String> {
+    replay_with_metrics(trace, config, &ServeMetrics::default())
+}
+
+/// [`replay`], recording the server's backpressure metrics (queue
+/// depth, admission waits, pool activity) into `metrics`.
+///
+/// # Errors
+///
+/// Exactly as [`replay`].
+pub fn replay_with_metrics(
+    trace: &TraceFile,
+    config: &ReplayConfig,
+    metrics: &ServeMetrics,
+) -> Result<Vec<PassReport>, String> {
     let wire = trace::materialize(&trace.requests, trace.packets);
     let (request_tx, request_rx) = pipe();
     let (response_tx, response_rx) = pipe();
     std::thread::scope(|scope| {
         let serve_config = config.serve.clone();
         let server = scope.spawn(move || {
-            let mut cache = ServeCache::new(
-                serve_config.cache_cap,
-                serve_config.trajectory_cap,
-                serve_config.sweep.clone(),
-            );
-            serve_lines(request_rx, response_tx, &serve_config, &mut cache)
+            // open_cache attaches the on-disk store when the config
+            // names a cache directory — replayed traffic then warms a
+            // persistent cache that outlives this server.
+            let mut cache = serve_config.open_cache()?;
+            serve_lines_metered(request_rx, response_tx, &serve_config, &mut cache, metrics)
         });
 
         // drive() owns both pipe ends: any return — success or error —
@@ -434,6 +447,48 @@ mod tests {
             replay(&trace, &config).unwrap()[0].responses.clone()
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn a_replay_over_a_cache_dir_restarts_warm() {
+        let dir = std::env::temp_dir().join(format!(
+            "regbal-replay-test-{}-warm",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace = small_trace();
+        let config = ReplayConfig {
+            serve: ServeConfig {
+                sweep: vec![48],
+                cache_dir: Some(dir.to_string_lossy().into_owned()),
+                ..ServeConfig::default()
+            },
+            passes: 1,
+            window: 4,
+            ..ReplayConfig::default()
+        };
+        let cold = replay(&trace, &config).unwrap();
+        assert!(cold[0].misses > 0, "the first replay must populate the store");
+        // A second replay is a fresh server over the same directory:
+        // its *first* pass must already be all hits, byte-identically.
+        let metrics = ServeMetrics::default();
+        let warm = replay_with_metrics(&trace, &config, &metrics).unwrap();
+        assert_eq!(
+            warm[0].misses, 0,
+            "the restarted server should answer entirely from disk"
+        );
+        assert_eq!(cold[0].responses.len(), warm[0].responses.len());
+        let strip = |line: &str| {
+            let doc = json::parse(line).unwrap();
+            doc.get("alloc").map(Json::pretty).unwrap_or_else(|| {
+                doc.get("error").expect("alloc or error").pretty()
+            })
+        };
+        let cold_docs: Vec<String> = cold[0].responses.iter().map(|l| strip(l)).collect();
+        let warm_docs: Vec<String> = warm[0].responses.iter().map(|l| strip(l)).collect();
+        assert_eq!(cold_docs, warm_docs, "reloaded documents diverged");
+        assert!(metrics.snapshot().wait_samples > 0, "admissions were measured");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

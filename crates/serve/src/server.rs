@@ -1,24 +1,45 @@
 //! The resident server loop: bounded admission, wave dispatch over the
-//! work-stealing pool, deterministic in-order responses.
+//! work-stealing pool, deterministic in-order responses — over one
+//! transport ([`serve_lines`]) or many concurrent TCP connections
+//! ([`serve_tcp`]).
 //!
-//! One reader thread parses and content-hashes each request line at
-//! admission and feeds a **bounded** queue (a [`std::sync::mpsc`]
-//! sync channel — a full queue back-pressures the transport instead of
-//! buffering unboundedly). The dispatcher drains whatever is queued
-//! into a *wave*, resolves cache hits serially in admission order,
-//! shards the misses across the PR-5 work-stealing pool
-//! ([`regbal_eval::pool::shard`]), then writes every response in
-//! admission order. Because all cache mutation is serial and the
-//! workers only race on each trajectory's [`std::sync::OnceLock`],
-//! the response stream is byte-identical at any worker count.
+//! Reader threads parse and content-hash each request line at admission
+//! and feed one **bounded** queue (a [`std::sync::mpsc`] sync channel —
+//! a full queue back-pressures the transport instead of buffering
+//! unboundedly; the measured wait is the admission-wait metric). The
+//! dispatcher drains whatever is queued into a *wave*, resolves cache
+//! hits serially in admission order, shards the misses across the PR-5
+//! work-stealing pool ([`regbal_eval::pool::shard_metered`]), then
+//! writes every response in admission order. Because all cache mutation
+//! is serial and the workers only race on each trajectory's
+//! [`std::sync::OnceLock`], the response stream is byte-identical at
+//! any worker count.
+//!
+//! The TCP server admits N connections into the same queue: one accept
+//! thread, one reader thread per connection, one dispatcher owning all
+//! the writers. Serial admission means per-connection response order is
+//! per-connection request order, and for workloads whose cache keys do
+//! not overlap another connection's, each connection's transcript is
+//! byte-identical to serving it alone (overlapping keys still serve
+//! identical *documents* — only the `cached` flags can differ, because
+//! one connection's miss becomes the other's hit). A connection that
+//! fails mid-request is logged and dropped; the listener keeps
+//! accepting. `shutdown` drains: the server stops accepting, finishes
+//! every request admitted before the drain completes, and answers the
+//! shutdown ack(s) last.
 
 use crate::cache::{Outcome, ServeCache, Trajectory};
+use crate::metrics::ServeMetrics;
 use crate::proto::{self, AllocRequest, ProtoError, Request, Source};
+use crate::store::DiskStore;
 use regbal_eval::{pool, Json};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::sync::atomic::AtomicU64;
-use std::sync::mpsc::{sync_channel, Receiver};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Server knobs.
 #[derive(Debug, Clone)]
@@ -26,7 +47,7 @@ pub struct ServeConfig {
     /// Worker threads sharding each wave's misses (1 = serial; any
     /// count produces byte-identical responses).
     pub workers: usize,
-    /// Admission-queue bound: requests in flight between the reader
+    /// Admission-queue bound: requests in flight between the readers
     /// and the dispatcher before the transport blocks.
     pub queue_cap: usize,
     /// Response-cache capacity (finished outcomes).
@@ -36,6 +57,17 @@ pub struct ServeConfig {
     /// The register-file sizes the shared descents cover; requests at
     /// other sizes fall back to dedicated (still cached) runs.
     pub sweep: Vec<usize>,
+    /// Content-addressed on-disk cache directory: admitted modules and
+    /// finished outcomes are written through, and a restarted server
+    /// over the same directory answers warm. `None` = memory only.
+    pub cache_dir: Option<String>,
+    /// Concurrent TCP connections admitted (0 = unlimited). A
+    /// connection beyond the cap is answered with one in-band
+    /// `overloaded` error line and closed.
+    pub max_conns: usize,
+    /// TCP reader poll interval, milliseconds: how often an idle
+    /// connection checks for drain (bounds shutdown latency).
+    pub read_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +78,25 @@ impl Default for ServeConfig {
             cache_cap: 4096,
             trajectory_cap: 256,
             sweep: (32..=128).step_by(4).collect(),
+            cache_dir: None,
+            max_conns: 0,
+            read_timeout_ms: 25,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builds the persistent cache this config describes, attaching
+    /// the on-disk store when `cache_dir` is set.
+    ///
+    /// # Errors
+    ///
+    /// Only a cache directory that cannot be created.
+    pub fn open_cache(&self) -> std::io::Result<ServeCache> {
+        let cache = ServeCache::new(self.cache_cap, self.trajectory_cap, self.sweep.clone());
+        match &self.cache_dir {
+            Some(dir) => Ok(cache.with_store(DiskStore::open(std::path::Path::new(dir))?)),
+            None => Ok(cache),
         }
     }
 }
@@ -125,129 +176,30 @@ fn alloc_response_body(unit: &Unit, outcomes: &[Outcome], units: &[Unit]) -> Vec
     }
 }
 
-/// Serves one connection: reads request lines from `input` until EOF
-/// or a `shutdown` request, writing one response line per request (in
-/// request order) to `output`. The cache outlives the call — pass the
-/// same [`ServeCache`] again to keep serving warm.
-///
-/// # Errors
-///
-/// Only transport failures: an unreadable input or unwritable output.
-/// Malformed requests are answered in-band and never end the loop.
-pub fn serve_lines<R: Read + Send, W: Write>(
-    input: R,
-    output: W,
+/// Resolves one wave of `(connection, request)` pairs in admission
+/// order — hits and ready errors serially, misses sharded across the
+/// pool — and returns one framed response line per request, tagged
+/// with its connection and in admission order. This is the single code
+/// path every transport shares, which is what makes a connection's
+/// transcript independent of how many neighbours it had.
+fn resolve_wave(
+    wave: &[(u64, Request)],
     config: &ServeConfig,
     cache: &mut ServeCache,
-) -> std::io::Result<ServeEnd> {
-    let (tx, rx) = sync_channel::<Result<Request, std::io::Error>>(config.queue_cap.max(1));
-    std::thread::scope(|scope| {
-        scope.spawn(move || {
-            let reader = BufReader::new(input);
-            for line in reader.lines() {
-                match line {
-                    Ok(l) if l.trim().is_empty() => continue,
-                    Ok(l) => {
-                        let request = proto::parse_request(&l);
-                        // Stop reading once a shutdown is forwarded:
-                        // the dispatcher will ack and return, and this
-                        // thread must not keep blocking on a transport
-                        // the client may hold open.
-                        let last = matches!(request, Request::Shutdown { .. });
-                        if tx.send(Ok(request)).is_err() || last {
-                            break;
-                        }
-                    }
-                    Err(e) => {
-                        let _ = tx.send(Err(e));
-                        break;
-                    }
-                }
-            }
-        });
-        let mut out = BufWriter::new(output);
-        let end = dispatch(&rx, &mut out, config, cache);
-        drop(rx); // unblock a reader waiting on a full queue
-        end
-    })
-}
-
-fn dispatch<W: Write>(
-    rx: &Receiver<Result<Request, std::io::Error>>,
-    out: &mut BufWriter<W>,
-    config: &ServeConfig,
-    cache: &mut ServeCache,
-) -> std::io::Result<ServeEnd> {
-    loop {
-        // Block for the first request, then drain the queue into one
-        // wave, stopping at the first control request so stats and
-        // shutdown observe every earlier allocation.
-        let first = match rx.recv() {
-            Ok(job) => job?,
-            Err(_) => return Ok(ServeEnd::Eof),
-        };
-        let mut wave = Vec::new();
-        let mut control = None;
-        match first {
-            Request::Stats { .. } | Request::Shutdown { .. } => control = Some(first),
-            other => {
-                wave.push(other);
-                while let Ok(job) = rx.try_recv() {
-                    match job? {
-                        c @ (Request::Stats { .. } | Request::Shutdown { .. }) => {
-                            control = Some(c);
-                            break;
-                        }
-                        other => wave.push(other),
-                    }
-                }
-            }
-        }
-
-        serve_wave(&wave, out, config, cache)?;
-        match control {
-            Some(Request::Stats { id }) => {
-                cache.count_request();
-                let doc = proto::response(vec![
-                    ("id".into(), id),
-                    ("stats".into(), cache.stats_json()),
-                ]);
-                writeln!(out, "{}", doc.compact())?;
-                out.flush()?;
-            }
-            Some(Request::Shutdown { id }) => {
-                cache.count_request();
-                let doc = proto::response(vec![
-                    ("id".into(), id),
-                    ("ok".into(), Json::Bool(true)),
-                ]);
-                writeln!(out, "{}", doc.compact())?;
-                out.flush()?;
-                return Ok(ServeEnd::Shutdown);
-            }
-            _ => {}
-        }
-    }
-}
-
-fn serve_wave<W: Write>(
-    wave: &[Request],
-    out: &mut BufWriter<W>,
-    config: &ServeConfig,
-    cache: &mut ServeCache,
-) -> std::io::Result<()> {
+    meter: Option<&pool::PoolMeter>,
+) -> Vec<(u64, String)> {
     if wave.is_empty() {
-        return Ok(());
+        return Vec::new();
     }
     // Flatten the wave into alloc units (batch elements inline), and
     // resolve each serially in admission order: cache hit, in-wave
     // duplicate, ready error, or a pool job.
     let mut units: Vec<Unit> = Vec::new();
     let mut compute: Vec<ComputeItem> = Vec::new();
-    let mut wave_keys: std::collections::HashMap<crate::cache::ResponseKey, usize> =
-        std::collections::HashMap::new();
-    let mut spans: Vec<(Json, usize, bool)> = Vec::new(); // (batch id, #units, is_batch)
-    for request in wave {
+    let mut wave_keys: HashMap<crate::cache::ResponseKey, usize> = HashMap::new();
+    // (connection, batch id, #units, is_batch)
+    let mut spans: Vec<(u64, Json, usize, bool)> = Vec::new();
+    for (conn, request) in wave {
         cache.count_request();
         let (id, subs, is_batch) = match request {
             Request::Alloc(r) => (Json::Null, std::slice::from_ref(r), false),
@@ -256,7 +208,7 @@ fn serve_wave<W: Write>(
                 unreachable!("controls never enter a wave")
             }
         };
-        spans.push((id, subs.len(), is_batch));
+        spans.push((*conn, id, subs.len(), is_batch));
         for sub in subs {
             let resolution = match sub {
                 Err(_) => Resolution::Error,
@@ -321,72 +273,669 @@ fn serve_wave<W: Write>(
     // race only on trajectory OnceLocks, so overlapping descents are
     // computed once and shared.
     let descents: &AtomicU64 = &cache.counters.descents.clone();
-    let outcomes = pool::shard(compute.len(), config.workers, |i| {
+    let outcomes = pool::shard_metered(compute.len(), config.workers, meter, |i| {
         let item = &compute[i];
         item.trajectory.outcome(item.nreg, item.strategy, descents)
     });
 
     // Serial epilogue in admission order: publish fresh outcomes to
-    // the cache, then frame and write each response line.
+    // the cache, then frame each response line.
     for unit in &units {
         if let (Ok(req), Resolution::Compute(i)) = (&unit.request, &unit.resolution) {
             cache.store(req.key(), outcomes[*i].clone());
         }
     }
+    let mut lines = Vec::with_capacity(spans.len());
     let mut flat = 0usize;
-    for (batch_id, count, is_batch) in spans {
-        if is_batch {
+    for (conn, batch_id, count, is_batch) in spans {
+        let doc = if is_batch {
             let subs: Vec<Json> = units[flat..flat + count]
                 .iter()
                 .map(|u| Json::Obj(alloc_response_body(u, &outcomes, &units)))
                 .collect();
-            let doc = proto::response(vec![
+            proto::response(vec![
                 ("id".into(), batch_id),
                 ("batch".into(), Json::Arr(subs)),
-            ]);
-            writeln!(out, "{}", doc.compact())?;
+            ])
         } else {
-            let doc = proto::response(alloc_response_body(&units[flat], &outcomes, &units));
-            writeln!(out, "{}", doc.compact())?;
-        }
+            proto::response(alloc_response_body(&units[flat], &outcomes, &units))
+        };
+        lines.push((conn, doc.compact()));
         flat += count;
     }
-    out.flush()
+    lines
 }
 
-/// Serves TCP connections on `addr`, one at a time, over one shared
-/// persistent cache, until a connection issues `shutdown`. Announces
-/// readiness with one `listening <addr>` line on `announce`.
+/// The `stats` response line, with the wall-clock metrics member only
+/// when asked for (those numbers are non-deterministic; plain `stats`
+/// transcripts stay byte-comparable).
+fn stats_line(id: Json, cache: &ServeCache, metrics: Option<&ServeMetrics>) -> String {
+    let mut body = vec![("id".into(), id), ("stats".into(), cache.stats_json())];
+    if let Some(metrics) = metrics {
+        body.push(("metrics".into(), metrics.snapshot().to_json()));
+    }
+    proto::response(body).compact()
+}
+
+/// The `shutdown` ack line.
+fn ack_line(id: Json) -> String {
+    proto::response(vec![("id".into(), id), ("ok".into(), Json::Bool(true))]).compact()
+}
+
+/// Sends one admitted request into the bounded queue, measuring the
+/// admission wait (and whether the first attempt found the queue
+/// full). Returns `false` when the dispatcher is gone.
+fn admit<T>(
+    tx: &SyncSender<T>,
+    value: T,
+    metrics: &ServeMetrics,
+    conn: u64,
+) -> bool {
+    let started = Instant::now();
+    let value = match tx.try_send(value) {
+        Ok(()) => {
+            metrics.note_admitted(conn, started.elapsed().as_micros() as u64, false);
+            return true;
+        }
+        Err(TrySendError::Full(value)) => value,
+        Err(TrySendError::Disconnected(_)) => return false,
+    };
+    match tx.send(value) {
+        Ok(()) => {
+            metrics.note_admitted(conn, started.elapsed().as_micros() as u64, true);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Serves one connection: reads request lines from `input` until EOF
+/// or a `shutdown` request, writing one response line per request (in
+/// request order) to `output`. The cache outlives the call — pass the
+/// same [`ServeCache`] again to keep serving warm.
 ///
 /// # Errors
 ///
-/// Bind or transport failures.
+/// Only transport failures: an unreadable input or unwritable output.
+/// Malformed requests are answered in-band and never end the loop.
+pub fn serve_lines<R: Read + Send, W: Write>(
+    input: R,
+    output: W,
+    config: &ServeConfig,
+    cache: &mut ServeCache,
+) -> std::io::Result<ServeEnd> {
+    serve_lines_metered(input, output, config, cache, &ServeMetrics::default())
+}
+
+/// [`serve_lines`], recording admission waits, queue depth and pool
+/// activity into `metrics`.
+///
+/// # Errors
+///
+/// Only transport failures, exactly as [`serve_lines`].
+pub fn serve_lines_metered<R: Read + Send, W: Write>(
+    input: R,
+    output: W,
+    config: &ServeConfig,
+    cache: &mut ServeCache,
+    metrics: &ServeMetrics,
+) -> std::io::Result<ServeEnd> {
+    let (tx, rx) = sync_channel::<Result<Request, std::io::Error>>(config.queue_cap.max(1));
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let reader = BufReader::new(input);
+            for line in reader.lines() {
+                match line {
+                    Ok(l) if l.trim().is_empty() => continue,
+                    Ok(l) => {
+                        let request = proto::parse_request(&l);
+                        // Stop reading once a shutdown is forwarded:
+                        // the dispatcher will ack and return, and this
+                        // thread must not keep blocking on a transport
+                        // the client may hold open.
+                        let last = matches!(request, Request::Shutdown { .. });
+                        if !admit(&tx, Ok(request), metrics, 0) || last {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        });
+        let mut out = BufWriter::new(output);
+        let end = dispatch(&rx, &mut out, config, cache, metrics);
+        drop(rx); // unblock a reader waiting on a full queue
+        end
+    })
+}
+
+fn dispatch<W: Write>(
+    rx: &Receiver<Result<Request, std::io::Error>>,
+    out: &mut BufWriter<W>,
+    config: &ServeConfig,
+    cache: &mut ServeCache,
+    metrics: &ServeMetrics,
+) -> std::io::Result<ServeEnd> {
+    loop {
+        // Block for the first request, then drain the queue into one
+        // wave, stopping at the first control request so stats and
+        // shutdown observe every earlier allocation.
+        let first = match rx.recv() {
+            Ok(job) => {
+                metrics.note_dequeued();
+                job?
+            }
+            Err(_) => return Ok(ServeEnd::Eof),
+        };
+        let mut wave: Vec<(u64, Request)> = Vec::new();
+        let mut control = None;
+        match first {
+            Request::Stats { .. } | Request::Shutdown { .. } => control = Some(first),
+            other => {
+                wave.push((0, other));
+                while let Ok(job) = rx.try_recv() {
+                    metrics.note_dequeued();
+                    match job? {
+                        c @ (Request::Stats { .. } | Request::Shutdown { .. }) => {
+                            control = Some(c);
+                            break;
+                        }
+                        other => wave.push((0, other)),
+                    }
+                }
+            }
+        }
+
+        for (_, line) in resolve_wave(&wave, config, cache, Some(&metrics.pool)) {
+            writeln!(out, "{line}")?;
+            metrics.note_response(0);
+        }
+        if !wave.is_empty() {
+            out.flush()?;
+        }
+        match control {
+            Some(Request::Stats { id, metrics: want }) => {
+                cache.count_request();
+                writeln!(out, "{}", stats_line(id, cache, want.then_some(metrics)))?;
+                out.flush()?;
+            }
+            Some(Request::Shutdown { id }) => {
+                cache.count_request();
+                writeln!(out, "{}", ack_line(id))?;
+                out.flush()?;
+                return Ok(ServeEnd::Shutdown);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The concurrent TCP server.
+
+/// One admission-queue event from the accept loop or a reader thread.
+enum Event {
+    /// A new connection: the dispatcher takes ownership of the write
+    /// half. Always precedes the connection's first `Request`.
+    Open { conn: u64, stream: TcpStream },
+    /// One parsed request line.
+    Request { conn: u64, request: Request },
+    /// The connection reached EOF (or its reader stopped for drain).
+    Closed { conn: u64 },
+    /// The connection died mid-read; logged, dropped, served around.
+    ReadError { conn: u64, error: String },
+}
+
+/// An incremental line splitter over raw socket reads. Owning the
+/// bytes (instead of `BufReader::read_line`) means a read timeout can
+/// never drop a partially-received line — the next read appends to it.
+struct LineBuf {
+    buf: Vec<u8>,
+    scanned: usize,
+}
+
+impl LineBuf {
+    fn new() -> LineBuf {
+        LineBuf {
+            buf: Vec::new(),
+            scanned: 0,
+        }
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete line (without its newline), if one arrived.
+    fn next_line(&mut self) -> Option<String> {
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let end = self.scanned + pos;
+                let line = String::from_utf8_lossy(&self.buf[..end]).into_owned();
+                self.buf.drain(..=end);
+                self.scanned = 0;
+                Some(line)
+            }
+            None => {
+                self.scanned = self.buf.len();
+                None
+            }
+        }
+    }
+
+    /// Whatever is buffered at EOF — a half-written final line.
+    fn take_partial(&mut self) -> Option<String> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let line = String::from_utf8_lossy(&self.buf).into_owned();
+        self.buf.clear();
+        self.scanned = 0;
+        (!line.trim().is_empty()).then_some(line)
+    }
+}
+
+/// One connection's reader loop: split lines off the socket, parse,
+/// admit. Returns when the connection ends (EOF, error, a forwarded
+/// shutdown) or the server starts draining.
+fn reader_loop(
+    conn: u64,
+    stream: &TcpStream,
+    tx: &SyncSender<Event>,
+    stop: &AtomicBool,
+    metrics: &ServeMetrics,
+) {
+    let mut lines = LineBuf::new();
+    let mut scratch = [0u8; 8192];
+    let mut stream = stream;
+    loop {
+        while let Some(line) = lines.next_line() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = proto::parse_request(&line);
+            let last = matches!(request, Request::Shutdown { .. });
+            if !admit(tx, Event::Request { conn, request }, metrics, conn) || last {
+                // After forwarding a shutdown this reader must not keep
+                // blocking on a transport the client may hold open.
+                let _ = tx.send(Event::Closed { conn });
+                return;
+            }
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => {
+                // EOF. A half-written final line is still answered (in
+                // all likelihood with `bad-json`, to a peer that may be
+                // gone — the dispatcher's write simply fails and the
+                // connection is dropped there).
+                if let Some(partial) = lines.take_partial() {
+                    let request = proto::parse_request(&partial);
+                    let _ = admit(tx, Event::Request { conn, request }, metrics, conn);
+                }
+                let _ = tx.send(Event::Closed { conn });
+                return;
+            }
+            Ok(n) => lines.push(&scratch[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // An idle poll tick: the only place drain is observed,
+                // so buffered bytes are never abandoned mid-line.
+                if stop.load(Ordering::SeqCst) {
+                    let _ = tx.send(Event::Closed { conn });
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(Event::ReadError {
+                    conn,
+                    error: e.to_string(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// The accept loop: admit connections (up to `max_conns`), hand the
+/// write half to the dispatcher, spawn a reader per connection.
+fn accept_loop<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    listener: &'scope TcpListener,
+    tx: SyncSender<Event>,
+    stop: &'scope AtomicBool,
+    config: &'scope ServeConfig,
+    metrics: &'scope ServeMetrics,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut next_conn = 0u64;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut stream = match stream {
+            Ok(s) => s,
+            // Transient accept failures (e.g. a connection reset
+            // between accept and here) must not kill the listener.
+            Err(_) => continue,
+        };
+        if config.max_conns > 0 && active.load(Ordering::SeqCst) >= config.max_conns {
+            metrics.note_rejected();
+            let line = proto::response(vec![(
+                "error".into(),
+                proto::error_json(
+                    "overloaded",
+                    &format!("server is at its connection cap ({})", config.max_conns),
+                    None,
+                ),
+            )]);
+            let _ = writeln!(stream, "{}", line.compact());
+            continue; // dropping `stream` closes it
+        }
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => {
+                metrics.note_dropped();
+                continue;
+            }
+        };
+        if stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(
+                config.read_timeout_ms.max(1),
+            )))
+            .is_err()
+        {
+            metrics.note_dropped();
+            continue;
+        }
+        let conn = next_conn;
+        next_conn += 1;
+        metrics.note_connection();
+        active.fetch_add(1, Ordering::SeqCst);
+        // The Open event is sent *before* the reader exists, so the
+        // dispatcher always owns the writer by the time the first
+        // request of this connection reaches it.
+        if tx.send(Event::Open { conn, stream: writer }).is_err() {
+            break;
+        }
+        let reader_tx = tx.clone();
+        let active = active.clone();
+        scope.spawn(move || {
+            reader_loop(conn, &stream, &reader_tx, stop, metrics);
+            active.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+    // Dropping our `tx` lets the dispatcher observe full drain: the
+    // channel disconnects once every reader is gone too.
+}
+
+/// One connection's write half, as the dispatcher owns it.
+struct Conn {
+    writer: BufWriter<TcpStream>,
+    /// A write already failed; further responses are discarded.
+    dead: bool,
+    /// This wave touched the connection; flush once at the wave end.
+    touched: bool,
+}
+
+/// Writes one response line to `conn`, marking the connection dead on
+/// the first failure (logged, never fatal to the server).
+fn write_line(
+    conns: &mut HashMap<u64, Conn>,
+    conn: u64,
+    line: &str,
+    metrics: &ServeMetrics,
+    log: &mut dyn Write,
+) {
+    let Some(state) = conns.get_mut(&conn) else {
+        return; // already closed and reaped
+    };
+    if state.dead {
+        return;
+    }
+    match writeln!(state.writer, "{line}") {
+        Ok(()) => {
+            state.touched = true;
+            metrics.note_response(conn);
+        }
+        Err(e) => {
+            state.dead = true;
+            metrics.note_dropped();
+            let _ = writeln!(log, "conn {conn}: write failed ({e}); dropping connection");
+        }
+    }
+}
+
+/// Unblocks the accept loop after the stop flag is set, by connecting
+/// to the listener once. The woken loop observes the flag and exits
+/// before treating the wake-up as a real connection.
+fn wake_accept(local: std::net::SocketAddr) {
+    let _ = TcpStream::connect(local);
+}
+
+/// The multi-connection dispatcher: waves in global admission order,
+/// responses routed per connection, drain on shutdown.
+fn tcp_dispatch(
+    rx: &Receiver<Event>,
+    config: &ServeConfig,
+    cache: &mut ServeCache,
+    metrics: &ServeMetrics,
+    log: &mut dyn Write,
+    stop: &AtomicBool,
+    local: std::net::SocketAddr,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut draining = false;
+    // Shutdown acks owed, in admission order; answered after drain.
+    let mut acks: Vec<(u64, Json)> = Vec::new();
+    loop {
+        let mut wave: Vec<(u64, Request)> = Vec::new();
+        let mut control: Option<(u64, Request)> = None;
+        // Connections whose reader ended this iteration. Reaping is
+        // deferred to the end of the iteration: per-connection FIFO
+        // admission means every request of the connection is in (or
+        // before) this wave, so its responses are written first.
+        let mut reap: Vec<u64> = Vec::new();
+        let mut disconnected = false;
+        {
+            // Returns true once a control request ends the wave.
+            let mut handle = |event: Event| -> bool {
+                match event {
+                    Event::Open { conn, stream } => {
+                        conns.insert(
+                            conn,
+                            Conn {
+                                writer: BufWriter::new(stream),
+                                dead: false,
+                                touched: false,
+                            },
+                        );
+                    }
+                    Event::Closed { conn } => reap.push(conn),
+                    Event::ReadError { conn, error } => {
+                        metrics.note_dropped();
+                        let _ = writeln!(
+                            log,
+                            "conn {conn}: read failed ({error}); dropping connection"
+                        );
+                        reap.push(conn);
+                    }
+                    Event::Request { conn, request } => {
+                        metrics.note_dequeued();
+                        match request {
+                            c @ (Request::Stats { .. } | Request::Shutdown { .. }) => {
+                                control = Some((conn, c));
+                                return true;
+                            }
+                            other => wave.push((conn, other)),
+                        }
+                    }
+                }
+                false
+            };
+            // Block for one event, then drain the queue into a wave,
+            // stopping at the first control request so stats and
+            // shutdown observe every earlier allocation.
+            let mut done = match rx.recv() {
+                Ok(event) => handle(event),
+                // Every producer is gone: the accept loop stopped and
+                // all readers exited — the drain is complete.
+                Err(_) => {
+                    disconnected = true;
+                    true
+                }
+            };
+            while !done {
+                match rx.try_recv() {
+                    Ok(event) => done = handle(event),
+                    Err(_) => break,
+                }
+            }
+        }
+
+        for (conn, line) in resolve_wave(&wave, config, cache, Some(&metrics.pool)) {
+            write_line(&mut conns, conn, &line, metrics, log);
+        }
+        for state in conns.values_mut() {
+            if state.touched && !state.dead {
+                if state.writer.flush().is_err() {
+                    state.dead = true;
+                    metrics.note_dropped();
+                }
+                state.touched = false;
+            }
+        }
+
+        match control {
+            Some((conn, Request::Stats { id, metrics: want })) => {
+                cache.count_request();
+                let line = stats_line(id, cache, want.then_some(metrics));
+                write_line(&mut conns, conn, &line, metrics, log);
+                if let Some(state) = conns.get_mut(&conn) {
+                    let _ = state.writer.flush();
+                    state.touched = false;
+                }
+            }
+            Some((conn, Request::Shutdown { id })) => {
+                cache.count_request();
+                acks.push((conn, id));
+                if !draining {
+                    draining = true;
+                    stop.store(true, Ordering::SeqCst);
+                    wake_accept(local);
+                }
+                // Keep serving: every request admitted before the
+                // readers observe the drain still gets its response,
+                // and the ack comes after all of them.
+            }
+            _ => {}
+        }
+
+        // Reap ended connections — except those still owed a shutdown
+        // ack, whose write half must survive until after the drain.
+        for conn in reap {
+            if acks.iter().any(|(c, _)| *c == conn) {
+                continue;
+            }
+            if let Some(mut state) = conns.remove(&conn) {
+                let _ = state.writer.flush();
+            }
+        }
+        if disconnected {
+            break;
+        }
+    }
+    // Drain complete: the acks are the last lines their connections
+    // ever see.
+    for (conn, id) in acks {
+        let line = ack_line(id);
+        write_line(&mut conns, conn, &line, metrics, log);
+    }
+    for (_, mut state) in conns.drain() {
+        let _ = state.writer.flush();
+    }
+}
+
+/// Serves concurrent TCP connections from `listener` over one shared
+/// persistent cache, until some connection issues `shutdown` (which
+/// drains: accepting stops, every admitted request is answered, acks
+/// go last). Per-connection read and write failures are logged to
+/// `log` and drop only that connection.
+///
+/// # Errors
+///
+/// Only a cache directory that cannot be created, or a listener whose
+/// local address cannot be read.
+pub fn serve_listener(
+    listener: TcpListener,
+    config: &ServeConfig,
+    log: &mut dyn Write,
+    metrics: &ServeMetrics,
+) -> std::io::Result<()> {
+    let mut cache = config.open_cache()?;
+    let local = listener.local_addr()?;
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = sync_channel::<Event>(config.queue_cap.max(1));
+    std::thread::scope(|scope| {
+        {
+            let stop = &stop;
+            let listener = &listener;
+            let metrics = &*metrics;
+            scope.spawn(move || accept_loop(scope, listener, tx, stop, config, metrics));
+        }
+        tcp_dispatch(&rx, config, &mut cache, metrics, log, &stop, local);
+        // Belt and braces: tcp_dispatch only returns after a drain (or
+        // a dead accept loop), but make the stop unconditional so the
+        // scope's implicit joins below can never hang.
+        stop.store(true, Ordering::SeqCst);
+        wake_accept(local);
+        drop(rx);
+    });
+    Ok(())
+}
+
+/// Serves TCP connections on `addr` — concurrently, over one shared
+/// persistent cache — until a connection issues `shutdown`. Announces
+/// readiness with one `listening <addr>` line on `announce`; dropped
+/// connections are logged to the same writer.
+///
+/// # Errors
+///
+/// Bind failures, an unwritable announce stream, or an unusable
+/// `cache_dir`.
 pub fn serve_tcp(
     addr: &str,
     config: &ServeConfig,
     announce: &mut dyn Write,
 ) -> std::io::Result<()> {
-    let listener = std::net::TcpListener::bind(addr)?;
+    serve_tcp_metered(addr, config, announce, &ServeMetrics::default())
+}
+
+/// [`serve_tcp`], recording backpressure metrics into `metrics`.
+///
+/// # Errors
+///
+/// Exactly as [`serve_tcp`].
+pub fn serve_tcp_metered(
+    addr: &str,
+    config: &ServeConfig,
+    announce: &mut dyn Write,
+    metrics: &ServeMetrics,
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
     writeln!(announce, "listening {}", listener.local_addr()?)?;
     announce.flush()?;
-    let mut cache = ServeCache::new(
-        config.cache_cap,
-        config.trajectory_cap,
-        config.sweep.clone(),
-    );
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let input = stream.try_clone()?;
-        if serve_lines(input, stream, config, &mut cache)? == ServeEnd::Shutdown {
-            return Ok(());
-        }
-    }
-    Ok(())
+    serve_listener(listener, config, announce, metrics)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::Shutdown;
 
     const PROG: &str = "func t {\nbb0:\n v0 = mov 64\n v1 = load sram[v0+0]\n v1 = add v1, 1\n store sram[v0+0], v1\n iter_end\n halt\n}";
 
@@ -412,6 +961,19 @@ mod tests {
         )
     }
 
+    /// A distinct module per tag: same shape, different function name,
+    /// hence a different content hash (disjoint cache keys).
+    fn tagged_prog(tag: &str) -> String {
+        PROG.replace("func t ", &format!("func t{tag} "))
+    }
+
+    fn tagged_alloc_line(tag: &str, id: u64, nreg: usize) -> String {
+        let func = Json::str(tagged_prog(tag)).compact();
+        format!(
+            r#"{{"id": {id}, "kind": "alloc", "func": {func}, "nthd": 2, "nreg": {nreg}, "strategy": "balanced"}}"#
+        )
+    }
+
     #[test]
     fn repeated_requests_hit_the_cache_with_identical_documents() {
         let config = ServeConfig {
@@ -427,7 +989,7 @@ mod tests {
         let responses = serve_script(&lines, &config, &mut cache);
         assert_eq!(responses.len(), 3);
         for r in &responses[..2] {
-            assert_eq!(r.get("schema").and_then(Json::as_str), Some("regbal-serve/1"));
+            assert_eq!(r.get("schema").and_then(Json::as_str), Some("regbal-serve/2"));
             assert!(r.get("alloc").is_some(), "{r:?}");
         }
         assert_eq!(responses[1].get("cached").and_then(Json::as_bool), Some(true));
@@ -440,8 +1002,30 @@ mod tests {
         assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("distinct_functions").and_then(Json::as_u64), Some(1));
+        // Plain stats responses never carry the wall-clock metrics.
+        assert!(responses[2].get("metrics").is_none());
         // The hash is echoed on both responses, identically.
         assert_eq!(responses[0].get("hash"), responses[1].get("hash"));
+    }
+
+    #[test]
+    fn stats_with_metrics_carries_the_backpressure_member() {
+        let config = ServeConfig {
+            sweep: vec![8],
+            ..ServeConfig::default()
+        };
+        let mut cache = fresh_cache(&config);
+        let lines = vec![
+            alloc_line(1, 8, "balanced"),
+            r#"{"id": 2, "kind": "stats", "metrics": true}"#.to_string(),
+        ];
+        let responses = serve_script(&lines, &config, &mut cache);
+        let metrics = responses[1].get("metrics").expect("metrics member");
+        assert!(metrics.get("queue_depth_high_water").and_then(Json::as_u64).is_some());
+        assert!(metrics.get("admission_wait_p50_us").and_then(Json::as_u64).is_some());
+        assert!(metrics.get("admission_wait_p99_us").and_then(Json::as_u64).is_some());
+        assert_eq!(metrics.get("pool_waves").and_then(Json::as_u64), Some(1));
+        assert_eq!(metrics.get("pool_tasks").and_then(Json::as_u64), Some(1));
     }
 
     #[test]
@@ -631,5 +1215,328 @@ mod tests {
         assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(3));
         assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(1));
         assert_eq!(responses[4].get("cached").and_then(Json::as_bool), Some(false));
+    }
+
+    // -----------------------------------------------------------------
+    // The concurrent TCP server.
+
+    /// Starts a server on an ephemeral port in a background thread.
+    /// Returns the address and the join handle (which yields the
+    /// serve result and the log).
+    fn spawn_server(
+        config: ServeConfig,
+    ) -> (
+        std::net::SocketAddr,
+        std::thread::JoinHandle<(std::io::Result<()>, String)>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let metrics = ServeMetrics::default();
+            let mut log = Vec::new();
+            let result = serve_listener(listener, &config, &mut log, &metrics);
+            (result, String::from_utf8_lossy(&log).into_owned())
+        });
+        (addr, handle)
+    }
+
+    /// Sends `lines` over one TCP connection (half-closing the write
+    /// side after the last line) and reads `expect` response lines.
+    fn tcp_client(addr: std::net::SocketAddr, lines: &[String], expect: usize) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for line in lines {
+            writeln!(stream, "{line}").unwrap();
+        }
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut reader = BufReader::new(stream);
+        (0..expect)
+            .map(|i| {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap_or_else(|e| {
+                    panic!("response {i}: {e}");
+                });
+                assert!(!line.is_empty(), "server closed before response {i}");
+                line.trim_end().to_string()
+            })
+            .collect()
+    }
+
+    fn send_shutdown(addr: std::net::SocketAddr) {
+        let lines = [r#"{"id": "bye", "kind": "shutdown"}"#.to_string()];
+        let responses = tcp_client(addr, &lines, 1);
+        let ack = regbal_eval::json::parse(&responses[0]).unwrap();
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "{responses:?}");
+    }
+
+    #[test]
+    fn concurrent_disjoint_clients_see_their_solo_transcripts() {
+        let config = ServeConfig {
+            workers: 2,
+            sweep: vec![8, 32],
+            ..ServeConfig::default()
+        };
+        let (addr, server) = spawn_server(config.clone());
+        let tags = ["a", "b", "c"];
+        let scripts: Vec<Vec<String>> = tags
+            .iter()
+            .map(|tag| {
+                (0..4)
+                    .map(|i| tagged_alloc_line(tag, i, [8, 32, 8, 32][i as usize]))
+                    .collect()
+            })
+            .collect();
+        // Solo baselines: each client's script against a fresh
+        // single-connection server.
+        let solos: Vec<Vec<String>> = scripts
+            .iter()
+            .map(|script| {
+                let mut cache = fresh_cache(&config);
+                let input = script.join("\n").into_bytes();
+                let mut output = Vec::new();
+                serve_lines(&input[..], &mut output, &config, &mut cache).unwrap();
+                String::from_utf8(output)
+                    .unwrap()
+                    .lines()
+                    .map(str::to_string)
+                    .collect()
+            })
+            .collect();
+        // All three clients at once against one shared server.
+        let transcripts: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = scripts
+                .iter()
+                .map(|script| scope.spawn(move || tcp_client(addr, script, script.len())))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, (concurrent, solo)) in transcripts.iter().zip(&solos).enumerate() {
+            assert_eq!(
+                concurrent, solo,
+                "client {i}: concurrent transcript diverged from solo service"
+            );
+        }
+        send_shutdown(addr);
+        let (result, _log) = server.join().unwrap();
+        result.unwrap();
+    }
+
+    #[test]
+    fn a_client_disconnecting_mid_request_does_not_kill_the_listener() {
+        let (addr, server) = spawn_server(ServeConfig {
+            sweep: vec![32],
+            ..ServeConfig::default()
+        });
+        // A client that sends half a request line and vanishes.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(br#"{"id": 1, "kind": "alloc", "func": "fu"#)
+                .unwrap();
+            // Dropping the stream closes the socket mid-line.
+        }
+        // The listener must still serve a healthy connection.
+        let lines = [alloc_line(2, 32, "balanced")];
+        let responses = tcp_client(addr, &lines, 1);
+        let doc = regbal_eval::json::parse(&responses[0]).unwrap();
+        assert!(doc.get("alloc").is_some(), "{responses:?}");
+        send_shutdown(addr);
+        let (result, _log) = server.join().unwrap();
+        result.unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_other_connections_before_acking() {
+        let (addr, server) = spawn_server(ServeConfig {
+            sweep: vec![8, 32],
+            ..ServeConfig::default()
+        });
+        // Client B: two allocs, write side closed — its lines are all
+        // at its reader before the drain can begin.
+        let mut b = TcpStream::connect(addr).unwrap();
+        writeln!(b, "{}", tagged_alloc_line("b", 1, 8)).unwrap();
+        writeln!(b, "{}", tagged_alloc_line("b", 2, 32)).unwrap();
+        b.shutdown(Shutdown::Write).unwrap();
+        let mut b_reader = BufReader::new(b);
+        // B's first response proves both lines were admitted before we
+        // let client A shut the server down.
+        let mut b1 = String::new();
+        b_reader.read_line(&mut b1).unwrap();
+        assert!(
+            regbal_eval::json::parse(b1.trim_end()).unwrap().get("alloc").is_some(),
+            "{b1:?}"
+        );
+
+        // Client A: one alloc, then shutdown. Drain must answer A's
+        // alloc and B's remaining alloc before the ack.
+        let a_lines = [
+            tagged_alloc_line("a", 1, 8),
+            r#"{"id": "bye", "kind": "shutdown"}"#.to_string(),
+        ];
+        let a_responses = tcp_client(addr, &a_lines, 2);
+        assert!(
+            regbal_eval::json::parse(&a_responses[0]).unwrap().get("alloc").is_some(),
+            "{a_responses:?}"
+        );
+        let ack = regbal_eval::json::parse(&a_responses[1]).unwrap();
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+
+        // B's second response arrived despite the shutdown coming from
+        // another connection.
+        let mut b2 = String::new();
+        b_reader.read_line(&mut b2).unwrap();
+        assert!(
+            regbal_eval::json::parse(b2.trim_end()).unwrap().get("alloc").is_some(),
+            "drain dropped an admitted request: {b2:?}"
+        );
+        let (result, _log) = server.join().unwrap();
+        result.unwrap();
+    }
+
+    #[test]
+    fn the_connection_cap_rejects_in_band_and_recovers() {
+        let (addr, server) = spawn_server(ServeConfig {
+            sweep: vec![32],
+            max_conns: 1,
+            ..ServeConfig::default()
+        });
+        // Occupy the only slot with an idle connection.
+        let held = TcpStream::connect(addr).unwrap();
+        // Give the accept loop a moment to admit it.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let mut second = TcpStream::connect(addr).unwrap();
+        let mut line = String::new();
+        BufReader::new(&mut second).read_line(&mut line).unwrap();
+        let doc = regbal_eval::json::parse(line.trim_end()).unwrap();
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("overloaded")
+        );
+        drop(second);
+        drop(held); // frees the slot (after the reader notices EOF)
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let lines = [alloc_line(1, 32, "balanced")];
+        let responses = tcp_client(addr, &lines, 1);
+        assert!(regbal_eval::json::parse(&responses[0]).unwrap().get("alloc").is_some());
+        send_shutdown(addr);
+        let (result, _log) = server.join().unwrap();
+        result.unwrap();
+    }
+
+    /// A scratch cache directory, wiped at the start of the test.
+    fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "regbal-serve-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn a_restarted_server_over_the_same_cache_dir_answers_warm() {
+        let dir = temp_cache_dir("restart");
+        let config = ServeConfig {
+            sweep: vec![8, 32],
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        };
+        // First server: a cold miss, persisted through to disk.
+        let mut cache = config.open_cache().unwrap();
+        let cold = serve_script(&[alloc_line(1, 8, "balanced")], &config, &mut cache);
+        assert_eq!(cold[0].get("cached").and_then(Json::as_bool), Some(false));
+        drop(cache);
+        // Second server: a brand-new cache over the same directory
+        // answers the repeated request warm, byte-identically.
+        let mut cache = config.open_cache().unwrap();
+        let warm = serve_script(
+            &[
+                alloc_line(1, 8, "balanced"),
+                r#"{"id": 2, "kind": "stats"}"#.to_string(),
+            ],
+            &config,
+            &mut cache,
+        );
+        assert_eq!(
+            warm[0].get("cached").and_then(Json::as_bool),
+            Some(true),
+            "the restarted server missed: {:?}",
+            warm[0]
+        );
+        assert_eq!(
+            cold[0].get("alloc").unwrap().pretty(),
+            warm[0].get("alloc").unwrap().pretty(),
+            "the reloaded document diverged from the computed one"
+        );
+        let stats = warm[1].get("stats").unwrap();
+        assert_eq!(stats.get("disk_hits").and_then(Json::as_u64), Some(1));
+        // A hash-only request at a new budget also works across the
+        // restart: the module text itself was persisted.
+        let hash = cold[0].get("hash").and_then(Json::as_str).unwrap();
+        let mut cache = config.open_cache().unwrap();
+        let line = format!(
+            r#"{{"id": 3, "kind": "alloc", "hash": "{hash}", "nthd": 2, "nreg": 32, "strategy": "balanced"}}"#
+        );
+        let hashed = serve_script(&[line], &config, &mut cache);
+        assert!(
+            hashed[0].get("alloc").is_some(),
+            "the persisted module was not reloaded: {:?}",
+            hashed[0]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_degrade_to_cold_misses_in_service() {
+        let dir = temp_cache_dir("corrupt");
+        let config = ServeConfig {
+            sweep: vec![8],
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        };
+        let mut cache = config.open_cache().unwrap();
+        let cold = serve_script(&[alloc_line(1, 8, "balanced")], &config, &mut cache);
+        drop(cache);
+        // Flip bytes in every persisted response entry.
+        let responses_dir = dir.join("responses");
+        let mut clobbered = 0;
+        for entry in std::fs::read_dir(&responses_dir).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, bytes).unwrap();
+            clobbered += 1;
+        }
+        assert!(clobbered > 0, "nothing was persisted to corrupt");
+        // The restarted server recomputes instead of erroring, counts
+        // the corruption, and heals the entry on the write-through.
+        let mut cache = config.open_cache().unwrap();
+        let recomputed = serve_script(
+            &[
+                alloc_line(1, 8, "balanced"),
+                r#"{"id": 2, "kind": "stats"}"#.to_string(),
+            ],
+            &config,
+            &mut cache,
+        );
+        assert_eq!(
+            recomputed[0].get("cached").and_then(Json::as_bool),
+            Some(false),
+            "a corrupt entry must read as a cold miss"
+        );
+        assert_eq!(
+            cold[0].get("alloc").unwrap().pretty(),
+            recomputed[0].get("alloc").unwrap().pretty()
+        );
+        let stats = recomputed[1].get("stats").unwrap();
+        assert!(
+            stats.get("disk_corrupt").and_then(Json::as_u64).unwrap() >= 1,
+            "corruption went uncounted: {stats:?}"
+        );
+        // Third run: the healed entry serves warm again.
+        let mut cache = config.open_cache().unwrap();
+        let healed = serve_script(&[alloc_line(1, 8, "balanced")], &config, &mut cache);
+        assert_eq!(healed[0].get("cached").and_then(Json::as_bool), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

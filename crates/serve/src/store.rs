@@ -1,0 +1,334 @@
+//! The content-addressed on-disk cache behind `--cache-dir`.
+//!
+//! Two directories persist the in-memory tiers across server restarts:
+//!
+//! * `responses/` — one file per finished [`Outcome`], named by the
+//!   response key `(content hash, Nthd, Nreg, strategy)`;
+//! * `modules/` — one file per admitted module text, named by its
+//!   content hash, so a restarted server can rebuild a trajectory for
+//!   a content-addressed (`hash`-only) request it has never seen the
+//!   text of in this process.
+//!
+//! Every entry is self-verifying: a `regbal-cache/1 <fnv16>` header
+//! line carries the FNV-1a hash of the payload bytes, and module
+//! payloads must additionally hash to their own file name. A corrupt,
+//! truncated, or unreadable entry is **never** an error — it reads as
+//! a cold miss (with a counter bump) and the next store overwrites it.
+//! Writes go through a temp file + rename so a crashed server cannot
+//! leave a torn entry under the final name; write failures are
+//! reported to the caller as counters, not errors, because the disk
+//! tier is an accelerator, not a source of truth (the engine is
+//! deterministic, so everything on disk can be recomputed).
+
+use crate::cache::{Outcome, ResponseKey};
+use crate::proto;
+use regbal_eval::{json, Json};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The header tag of every on-disk entry.
+const ENTRY_SCHEMA: &str = "regbal-cache/1";
+
+/// What a disk probe found.
+#[derive(Debug)]
+pub enum DiskRead<T> {
+    /// A verified entry.
+    Hit(T),
+    /// No entry under that name.
+    Miss,
+    /// An entry existed but failed verification (truncated, corrupt,
+    /// unreadable, or semantically malformed). Treated as a miss.
+    Corrupt,
+}
+
+/// A content-addressed cache directory. All methods are infallible by
+/// design: failures degrade to misses or dropped writes.
+#[derive(Debug)]
+pub struct DiskStore {
+    responses: PathBuf,
+    modules: PathBuf,
+}
+
+/// The file stem of a response key: `<hash16>-<nthd>-<nreg>-<strategy>`.
+fn response_stem(key: &ResponseKey) -> String {
+    let (hash, nthd, nreg, strategy) = key;
+    format!(
+        "{}-{}-{}-{}",
+        proto::hash_hex(*hash),
+        nthd,
+        nreg,
+        strategy.name()
+    )
+}
+
+/// Frames `payload` under the self-verifying header.
+fn frame(payload: &str) -> String {
+    format!(
+        "{ENTRY_SCHEMA} {}\n{payload}",
+        proto::hash_hex(proto::content_hash(payload))
+    )
+}
+
+/// Unframes an entry: header check, then checksum check. `None` means
+/// corrupt/truncated.
+fn unframe(text: &str) -> Option<&str> {
+    let (header, payload) = text.split_once('\n')?;
+    let (tag, checksum) = header.split_once(' ')?;
+    if tag != ENTRY_SCHEMA {
+        return None;
+    }
+    let expected = proto::parse_hash(checksum)?;
+    (proto::content_hash(payload) == expected).then_some(payload)
+}
+
+/// Writes `text` to `path` atomically (temp file + rename). Returns
+/// whether the write landed.
+fn write_atomic(path: &Path, text: &str) -> bool {
+    let Some(dir) = path.parent() else {
+        return false;
+    };
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    ));
+    if std::fs::write(&tmp, text).is_err() {
+        return false;
+    }
+    if std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    true
+}
+
+/// The JSON envelope of one persisted outcome.
+fn outcome_json(outcome: &Outcome) -> Json {
+    match outcome {
+        Outcome::Doc(doc) => Json::Obj(vec![
+            ("kind".into(), Json::str("doc")),
+            ("alloc".into(), doc.as_ref().clone()),
+        ]),
+        Outcome::Fail { code, message } => Json::Obj(vec![
+            ("kind".into(), Json::str("fail")),
+            ("code".into(), Json::str(code.as_str())),
+            ("message".into(), Json::str(message.as_str())),
+        ]),
+        Outcome::Parse { message, at } => Json::Obj(vec![
+            ("kind".into(), Json::str("parse")),
+            ("message".into(), Json::str(message.as_str())),
+            ("line".into(), Json::uint(at.0 as u64)),
+            ("col".into(), Json::uint(at.1 as u64)),
+        ]),
+    }
+}
+
+/// Parses a persisted outcome envelope back. `None` on any shape
+/// mismatch (treated as corruption by the caller).
+fn outcome_from_json(doc: &Json) -> Option<Outcome> {
+    match doc.get("kind").and_then(Json::as_str)? {
+        "doc" => Some(Outcome::Doc(Arc::new(doc.get("alloc")?.clone()))),
+        "fail" => Some(Outcome::Fail {
+            code: doc.get("code").and_then(Json::as_str)?.to_string(),
+            message: doc.get("message").and_then(Json::as_str)?.to_string(),
+        }),
+        "parse" => Some(Outcome::Parse {
+            message: doc.get("message").and_then(Json::as_str)?.to_string(),
+            at: (
+                doc.get("line").and_then(Json::as_u64)? as usize,
+                doc.get("col").and_then(Json::as_u64)? as usize,
+            ),
+        }),
+        _ => None,
+    }
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the cache directory layout under
+    /// `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Only directory-creation failures — the one disk fault that is
+    /// fatal, because it means no entry could ever be written.
+    pub fn open(dir: &Path) -> std::io::Result<DiskStore> {
+        let responses = dir.join("responses");
+        let modules = dir.join("modules");
+        std::fs::create_dir_all(&responses)?;
+        std::fs::create_dir_all(&modules)?;
+        Ok(DiskStore { responses, modules })
+    }
+
+    /// Probes the response tier for `key`.
+    pub fn load_response(&self, key: &ResponseKey) -> DiskRead<Outcome> {
+        let path = self.responses.join(format!("{}.json", response_stem(key)));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskRead::Miss,
+            Err(_) => return DiskRead::Corrupt,
+        };
+        let Some(payload) = unframe(&text) else {
+            return DiskRead::Corrupt;
+        };
+        let Ok(doc) = json::parse(payload) else {
+            return DiskRead::Corrupt;
+        };
+        match outcome_from_json(&doc) {
+            Some(outcome) => DiskRead::Hit(outcome),
+            None => DiskRead::Corrupt,
+        }
+    }
+
+    /// Persists an outcome under `key`. Returns whether the write
+    /// landed (a `false` is a counter bump, never an error).
+    pub fn store_response(&self, key: &ResponseKey, outcome: &Outcome) -> bool {
+        let path = self.responses.join(format!("{}.json", response_stem(key)));
+        write_atomic(&path, &frame(&outcome_json(outcome).compact()))
+    }
+
+    /// Probes the module tier for `hash`. A hit is doubly verified:
+    /// the framed checksum *and* the payload's own content hash must
+    /// both match.
+    pub fn load_module(&self, hash: u64) -> DiskRead<String> {
+        let path = self.modules.join(format!("{}.rba", proto::hash_hex(hash)));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskRead::Miss,
+            Err(_) => return DiskRead::Corrupt,
+        };
+        match unframe(&text) {
+            Some(payload) if proto::content_hash(payload) == hash => {
+                DiskRead::Hit(payload.to_string())
+            }
+            Some(_) => DiskRead::Corrupt,
+            None => DiskRead::Corrupt,
+        }
+    }
+
+    /// Persists a module text under its content hash.
+    pub fn store_module(&self, hash: u64, text: &str) -> bool {
+        let path = self.modules.join(format!("{}.rba", proto::hash_hex(hash)));
+        write_atomic(&path, &frame(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (PathBuf, DiskStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "regbal-store-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn key(n: u64) -> ResponseKey {
+        (n, 2, 32, crate::oneshot::ServeStrategy::Balanced)
+    }
+
+    #[test]
+    fn outcomes_round_trip_through_disk() {
+        let (dir, store) = temp_store("roundtrip");
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str("regbal-alloc/1")),
+            ("nreg".into(), Json::uint(32)),
+        ]);
+        let outcomes = [
+            Outcome::Doc(Arc::new(doc.clone())),
+            Outcome::Fail {
+                code: "infeasible".into(),
+                message: "cannot fit".into(),
+            },
+            Outcome::Parse {
+                message: "bad token".into(),
+                at: (3, 7),
+            },
+        ];
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let k = key(i as u64);
+            assert!(store.store_response(&k, outcome));
+            match store.load_response(&k) {
+                DiskRead::Hit(back) => match (outcome, &back) {
+                    (Outcome::Doc(a), Outcome::Doc(b)) => {
+                        assert_eq!(a.pretty(), b.pretty(), "documents replay byte-identically")
+                    }
+                    (
+                        Outcome::Fail { code, message },
+                        Outcome::Fail {
+                            code: c,
+                            message: m,
+                        },
+                    ) => assert_eq!((code, message), (c, m)),
+                    (Outcome::Parse { message, at }, Outcome::Parse { message: m, at: a }) => {
+                        assert_eq!((message, at), (m, a))
+                    }
+                    (want, got) => panic!("kind changed on disk: {want:?} -> {got:?}"),
+                },
+                other => panic!("expected a hit: {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn modules_round_trip_and_verify_their_own_hash() {
+        let (dir, store) = temp_store("modules");
+        let text = "func t {\nbb0:\n halt\n}";
+        let hash = proto::content_hash(text);
+        assert!(store.store_module(hash, text));
+        match store.load_module(hash) {
+            DiskRead::Hit(back) => assert_eq!(back, text),
+            other => panic!("expected a hit: {other:?}"),
+        }
+        assert!(matches!(store.load_module(hash ^ 1), DiskRead::Miss));
+        // A module filed under the wrong hash is corruption, not a hit.
+        assert!(store.store_module(hash ^ 1, text));
+        assert!(matches!(store.load_module(hash ^ 1), DiskRead::Corrupt));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_read_as_cold_misses() {
+        let (dir, store) = temp_store("corrupt");
+        let k = key(9);
+        let outcome = Outcome::Fail {
+            code: "infeasible".into(),
+            message: "cannot fit".into(),
+        };
+        assert!(store.store_response(&k, &outcome));
+        let path = dir
+            .join("responses")
+            .join(format!("{}.json", response_stem(&k)));
+
+        // Truncation: drop the tail of the payload.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 4]).unwrap();
+        assert!(matches!(store.load_response(&k), DiskRead::Corrupt));
+
+        // Bit-flip: keep the length, damage one payload byte.
+        let mut bytes = full.clone().into_bytes();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.load_response(&k), DiskRead::Corrupt));
+
+        // Garbage header.
+        std::fs::write(&path, "not-a-cache-entry\n{}").unwrap();
+        assert!(matches!(store.load_response(&k), DiskRead::Corrupt));
+
+        // A checksum-valid entry whose payload is not an outcome.
+        std::fs::write(&path, frame("{\"kind\": \"mystery\"}")).unwrap();
+        assert!(matches!(store.load_response(&k), DiskRead::Corrupt));
+
+        // And a rewrite heals it.
+        assert!(store.store_response(&k, &outcome));
+        assert!(matches!(store.load_response(&k), DiskRead::Hit(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

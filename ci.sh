@@ -1,5 +1,7 @@
 #!/bin/sh
 # Local CI: everything must pass before merging.
+# `./ci.sh nightly` additionally runs the time-budgeted stress-fuzz
+# walk (see the end of this file).
 set -eux
 
 # Panic-free policy for the library crates: no `.unwrap(` or `panic!(`
@@ -88,3 +90,41 @@ cmp target/serve_stdio_w1.txt target/serve_stdio_w4.txt
 rm -rf target/serve_cache
 ./target/release/regbal serve --check-concurrent target/serve_trace.json \
     --clients 3 --workers 2 --cache-dir target/serve_cache --metrics
+
+# Chaos gate: the same trace replayed under three distinct seeded fault
+# plans — failed/short/unrenamed disk writes, corrupt frames on read,
+# reader stalls and mid-line client disconnects. Each run must answer
+# every admitted request with the fault-free baseline document, answer
+# every torn half-line with an in-band `bad-json` error, and then pass
+# both a fault-free healing pass over the surviving cache directory and
+# `--verify` against one-shot `regbal alloc --json` (the command exits
+# non-zero on any lost request, divergence, panic or deadlock).
+n=0
+for spec in \
+    "seed=101,write_fail=250,write_short=150,read_corrupt=250,disconnect=200" \
+    "seed=202,rename_fail=300,read_corrupt=300,disconnect=300" \
+    "seed=303,write_fail=400,write_short=200,disconnect=150,reader_stall=100"; do
+    n=$((n + 1))
+    rm -rf "target/serve_chaos_$n"
+    ./target/release/regbal serve --replay target/serve_trace.json \
+        --faults "$spec" --cache-dir "target/serve_chaos_$n" --verify
+done
+
+# GC gate: the trace replayed twice over a byte-capped on-disk cache.
+# The warm pass must still be answered entirely from the resident
+# tiers (replay itself fails on any warm miss), and after the run the
+# CLI re-counts the directory from the filesystem: it must sit at or
+# under the cap, or the command exits non-zero.
+rm -rf target/serve_gc
+./target/release/regbal serve --replay target/serve_trace.json \
+    --passes 2 --cache-dir target/serve_gc --cache-dir-cap 32768
+
+# Nightly: the time-budgeted stress-fuzz walk. Seeded adversarial
+# bundles stream through the full ladder contract (no panics, confined
+# validated rewrites, preserved semantics, sanitizer-clean, no hangs);
+# any failing case is appended to the committed regression corpus,
+# which `cargo test` replays forever after.
+if [ "${1:-}" = "nightly" ]; then
+    ./target/release/regbal fuzz --seconds "${FUZZ_SECONDS:-300}" \
+        --archive tests/fuzz_regressions.txt
+fi

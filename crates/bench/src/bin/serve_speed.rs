@@ -27,7 +27,8 @@
 
 use regbal_eval::Json;
 use regbal_serve::{
-    pass_json, replay, replay_with_metrics, ReplayConfig, ServeConfig, ServeMetrics, TraceFile,
+    chaos_json, chaos_replay, pass_json, replay, replay_with_metrics, FaultPlan, ReplayConfig,
+    ServeConfig, ServeMetrics, TraceFile,
 };
 use regbal_workloads::{Arrival, TraceConfig};
 
@@ -44,6 +45,33 @@ const WORKERS: [usize; 3] = [1, 2, 4];
 
 /// Required cold-p50 / warm-p50 ratio.
 const WARM_FACTOR: u64 = 5;
+
+/// Requests in the chaos row's trace — small enough that the
+/// three-phase harness (baseline, faulted sessions, healing pass)
+/// stays a minor fraction of the bench.
+const CHAOS_REQUESTS: usize = 60;
+
+/// The chaos row's fault spec: per-mille rates across the disk sites
+/// plus injected client disconnects, on a fixed seed.
+const CHAOS_FAULTS: &str = "seed=17,write_fail=150,write_short=100,read_corrupt=150,disconnect=120";
+
+/// Sums the on-disk footprint of a `--cache-dir` (both tiers).
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    for tier in ["responses", "modules"] {
+        let Ok(entries) = std::fs::read_dir(dir.join(tier)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    total += meta.len();
+                }
+            }
+        }
+    }
+    total
+}
 
 /// Strips each response line to its document (alloc or error),
 /// dropping ids and `cached` flags — what must survive a restart.
@@ -154,7 +182,74 @@ fn main() {
          ({restart_ratio:.1}x below cold, 0 misses)",
         restart[0].p50_us, restart[0].p99_us, restart[0].rps
     );
+    let uncapped_bytes = dir_bytes(&cache_dir);
     let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // The GC row: the same trace through a byte-capped store. The cap
+    // is half the uncapped footprint, so the access-ordered GC must
+    // actually evict; the warm pass still answers entirely from the
+    // in-memory tiers, and the directory must end up under the cap.
+    let gc_cap = (uncapped_bytes / 2).max(1);
+    let gc_dir = std::env::temp_dir().join(format!("regbal-bench-serve-{}-gc", std::process::id()));
+    let _ = std::fs::remove_dir_all(&gc_dir);
+    let gc_config = ReplayConfig {
+        serve: ServeConfig {
+            cache_dir: Some(gc_dir.to_string_lossy().into_owned()),
+            cache_dir_cap: gc_cap,
+            ..ServeConfig::default()
+        },
+        passes: 2,
+        window: WINDOW,
+        paced: false,
+    };
+    let gc_passes = replay(&trace, &gc_config).expect("capped replay");
+    assert_eq!(
+        gc_passes[1].misses, 0,
+        "the warm pass must still be all hits under a byte-capped store"
+    );
+    let gc_bytes = dir_bytes(&gc_dir);
+    assert!(
+        gc_bytes <= gc_cap,
+        "GC failed: {gc_bytes} byte(s) on disk, over the {gc_cap}-byte cap"
+    );
+    let gc_warm_hit_rate = gc_passes[1].hits as f64
+        / (gc_passes[1].hits + gc_passes[1].misses).max(1) as f64;
+    println!(
+        "gc over --cache-dir-cap: {gc_bytes} of {gc_cap} byte(s) allowed \
+         ({uncapped_bytes} uncapped) | warm hit rate {:.2}",
+        gc_warm_hit_rate
+    );
+    let _ = std::fs::remove_dir_all(&gc_dir);
+
+    // The chaos row: a seeded fault plan (failed/short writes, corrupt
+    // reads, mid-line client disconnects) over a capped disk cache.
+    // chaos_replay enforces that every admitted request is answered
+    // with the fault-free baseline document and that a healing pass
+    // over the surviving directory still serves the baseline.
+    let chaos_trace = TraceFile::generate(&TraceConfig {
+        requests: CHAOS_REQUESTS,
+        ..trace_config
+    });
+    let chaos_dir =
+        std::env::temp_dir().join(format!("regbal-bench-serve-{}-chaos", std::process::id()));
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+    let plan = FaultPlan::parse_spec(CHAOS_FAULTS).expect("the chaos spec parses");
+    let chaos_config = ServeConfig {
+        cache_dir: Some(chaos_dir.to_string_lossy().into_owned()),
+        faults: Some(std::sync::Arc::new(plan)),
+        ..ServeConfig::default()
+    };
+    let chaos = chaos_replay(&chaos_trace, &chaos_config).expect("chaos replay");
+    assert_eq!(
+        chaos.answered, chaos.requests,
+        "the fault plane lost an admitted request"
+    );
+    println!(
+        "chaos ({CHAOS_FAULTS}): {} request(s) answered across {} session(s), \
+         {} disconnect(s), {} torn line(s); healed",
+        chaos.answered, chaos.sessions, chaos.disconnects, chaos.partials
+    );
+    let _ = std::fs::remove_dir_all(&chaos_dir);
 
     // The backpressure row: bursty paced arrivals through a deliberately
     // tight queue, so deferred admissions and queue depth are exercised.
@@ -220,6 +315,27 @@ fn main() {
                 ("queue_cap".into(), Json::uint(4)),
                 ("pass".into(), pass_json(&bursty[0])),
                 ("metrics".into(), pressure.to_json()),
+            ]),
+        ),
+        (
+            "gc".into(),
+            Json::Obj(vec![
+                ("cap_bytes".into(), Json::uint(gc_cap)),
+                ("uncapped_bytes".into(), Json::uint(uncapped_bytes)),
+                ("bytes_after".into(), Json::uint(gc_bytes)),
+                (
+                    "warm_hit_rate".into(),
+                    Json::Num((gc_warm_hit_rate * 100.0).round() / 100.0),
+                ),
+                ("cold".into(), pass_json(&gc_passes[0])),
+                ("warm".into(), pass_json(&gc_passes[1])),
+            ]),
+        ),
+        (
+            "chaos".into(),
+            Json::Obj(vec![
+                ("spec".into(), Json::str(CHAOS_FAULTS)),
+                ("report".into(), chaos_json(&chaos)),
             ]),
         ),
     ]);

@@ -52,6 +52,7 @@ pub fn run_cli(args: &[String], out: &mut String) -> Result<(), String> {
         Some("eval") => eval(args[1..].to_vec(), out),
         Some("device") => device(args[1..].to_vec(), out),
         Some("serve") => serve(args[1..].to_vec(), out),
+        Some("fuzz") => fuzz(args[1..].to_vec(), out),
         Some("dot") => dot(args[1..].to_vec(), out),
         Some("help") | None => {
             out.push_str(USAGE);
@@ -147,6 +148,26 @@ USAGE:
       --cache-dir <D>  content-addressed on-disk cache: outcomes and
                        modules persist across restarts; corrupt entries
                        degrade to cold misses
+      --cache-dir-cap <BYTES>  byte cap on the on-disk cache (default
+                       0 = unbounded): after each store, least-recently-
+                       accessed entries are deleted until it fits
+      --deadline-ms <N>  per-request deadline (default 0 = none): a
+                       request still queued when it expires answers an
+                       in-band `timeout` error instead of being computed
+      --shutdown-token <T>  require `\"token\": \"<T>\"` on shutdown
+                       requests; others get an in-band `unauthorized`
+                       error and the server keeps serving
+      --faults <SPEC>  arm the deterministic fault-injection plane
+                       (chaos testing): comma-separated key=value with
+                       seed=<N>, stall_ms=<N>, and a per-mille rate per
+                       site (write_fail, write_short, rename_fail,
+                       read_corrupt, disconnect, reader_stall,
+                       write_err); with --replay this runs the chaos
+                       harness instead: multi-session replay under
+                       injected faults, every admitted request must be
+                       answered with the fault-free baseline document,
+                       then a fault-free healing pass over the surviving
+                       cache dir must serve the baseline again
       --max-conns <N>  concurrent TCP connections admitted (default
                        unlimited); extra connections get one in-band
                        `overloaded` error line
@@ -173,6 +194,20 @@ USAGE:
       --out <F>        write the regbal-serve-bench/2 report
     concurrency check (--check-concurrent):
       --clients <N>    TCP clients to interleave (default 3)
+  regbal fuzz [OPTS]                          time-budgeted stress-fuzz walk:
+                                              seeded adversarial bundles
+                                              through the full ladder contract
+                                              (no panics, confined validated
+                                              rewrites, preserved semantics,
+                                              sanitizer-clean, no hangs)
+      --seconds <N>    time budget in seconds (default 5; at least one
+                       case always runs)
+      --start-seed <N> first index of the deterministic case walk
+                       (default 0)
+      --cases <N>      run exactly N cases instead of a time budget
+      --archive <F>    append every failing case line to F for replay
+                       by tests/fuzz_regressions.rs (the committed
+                       corpus is tests/fuzz_regressions.txt)
   regbal dot [--ig] <files...>                Graphviz output (CFG, or the
                                               interference graph with --ig)
   regbal help                                 this text
@@ -774,6 +809,17 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
                 server.trajectory_cap = parse("--trajectory-cap", value("--trajectory-cap")?)?;
             }
             "--cache-dir" => server.cache_dir = Some(value("--cache-dir")?),
+            "--cache-dir-cap" => {
+                server.cache_dir_cap = parse("--cache-dir-cap", value("--cache-dir-cap")?)?;
+            }
+            "--deadline-ms" => {
+                server.deadline_ms = parse("--deadline-ms", value("--deadline-ms")?)?;
+            }
+            "--shutdown-token" => server.shutdown_token = Some(value("--shutdown-token")?),
+            "--faults" => {
+                let plan = regbal_serve::FaultPlan::parse_spec(&value("--faults")?)?;
+                server.faults = Some(std::sync::Arc::new(plan));
+            }
             "--max-conns" => server.max_conns = parse("--max-conns", value("--max-conns")?)?,
             "--metrics" => metrics_summary = true,
             "--clients" => clients = parse("--clients", value("--clients")?)?,
@@ -854,6 +900,61 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
         Mode::Replay(path) => {
             let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
             let trace = TraceFile::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+            if server.faults.is_some() {
+                // An armed fault plane turns replay into the chaos
+                // harness: multi-session replay under injected faults,
+                // baseline document identity, and a healing pass.
+                let report = regbal_serve::chaos_replay(&trace, &server)?;
+                let _ = writeln!(
+                    out,
+                    "chaos: {} request(s) all answered across {} session(s): \
+                     {} injected disconnect(s), {} torn line(s) answered in-band, {} timeout(s)",
+                    report.requests,
+                    report.sessions,
+                    report.disconnects,
+                    report.partials,
+                    report.timeouts
+                );
+                let _ = writeln!(out, "chaos: faults fired: {}", report.fault_summary);
+                let _ = writeln!(
+                    out,
+                    "chaos: healing pass served the baseline documents ({} response(s))",
+                    report.heal_responses.len()
+                );
+                if let Some(responses_path) = responses_path {
+                    let mut text = String::new();
+                    for line in &report.heal_responses {
+                        text.push_str(line);
+                        text.push('\n');
+                    }
+                    std::fs::write(&responses_path, text)
+                        .map_err(|e| format!("{responses_path}: {e}"))?;
+                    let _ = writeln!(out, "wrote {responses_path}");
+                }
+                if let Some(out_path) = out_path {
+                    let doc = regbal_serve::chaos_json(&report);
+                    std::fs::write(&out_path, doc.pretty())
+                        .map_err(|e| format!("{out_path}: {e}"))?;
+                    let _ = writeln!(out, "wrote {out_path}");
+                }
+                if verify {
+                    let checked = verify_against_oneshot(&trace, &report.heal_responses)?;
+                    let _ = writeln!(
+                        out,
+                        "verify: {checked} distinct request(s) byte-identical to one-shot \
+                         `regbal alloc --json` after healing"
+                    );
+                }
+                if sanitize {
+                    let (checked, skipped) = regbal_serve::sanitize_check(&trace)?;
+                    let _ = writeln!(
+                        out,
+                        "sanitize: {checked} allocation(s) replayed on the simulator with 0 violations ({skipped} infeasible skipped)"
+                    );
+                }
+                check_cache_dir_cap(&server, out)?;
+                return Ok(());
+            }
             let config = ReplayConfig {
                 serve: server,
                 passes: passes.max(1),
@@ -921,6 +1022,7 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
                     "sanitize: {checked} allocation(s) replayed on the simulator with 0 violations ({skipped} infeasible skipped)"
                 );
             }
+            check_cache_dir_cap(&config.serve, out)?;
             Ok(())
         }
         Mode::CheckConcurrent(path) => {
@@ -929,6 +1031,132 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
             check_concurrent(&trace, &server, clients.max(1), metrics_summary, out)
         }
     }
+}
+
+/// The `regbal fuzz` subcommand: walks the deterministic stress-fuzz
+/// case sequence ([`regbal::fuzz::FuzzCase::from_index`]) under a time
+/// or case budget, checking every case against the full ladder
+/// contract. Failing cases are reported (and appended to `--archive`
+/// for permanent replay); any failure makes the run exit non-zero.
+fn fuzz(args: Vec<String>, out: &mut String) -> Result<(), String> {
+    let mut seconds = 5u64;
+    let mut start = 0u64;
+    let mut cases: Option<u64> = None;
+    let mut archive: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match a.as_str() {
+            "--seconds" => {
+                seconds = value("--seconds")?
+                    .parse()
+                    .map_err(|e| format!("--seconds: {e}"))?;
+            }
+            "--start-seed" => {
+                start = value("--start-seed")?
+                    .parse()
+                    .map_err(|e| format!("--start-seed: {e}"))?;
+            }
+            "--cases" => {
+                cases = Some(
+                    value("--cases")?
+                        .parse()
+                        .map_err(|e| format!("--cases: {e}"))?,
+                );
+            }
+            "--archive" => archive = Some(value("--archive")?),
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    let started = std::time::Instant::now();
+    let budget = std::time::Duration::from_secs(seconds);
+    let mut checked = 0u64;
+    let mut failures: Vec<(String, String)> = Vec::new();
+    let mut index = start;
+    loop {
+        let done = match cases {
+            Some(n) => checked >= n,
+            None => checked > 0 && started.elapsed() >= budget,
+        };
+        if done {
+            break;
+        }
+        let case = regbal::fuzz::FuzzCase::from_index(index);
+        if let Err(e) = case.check() {
+            let _ = writeln!(out, "FAIL {}: {e}", case.line());
+            failures.push((case.line(), e));
+        }
+        checked += 1;
+        index += 1;
+    }
+    if let Some(path) = &archive {
+        if !failures.is_empty() {
+            let mut text = String::new();
+            for (line, error) in &failures {
+                let _ = writeln!(text, "# {error}");
+                let _ = writeln!(text, "{line}");
+            }
+            use std::io::Write as IoWrite;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            file.write_all(text.as_bytes())
+                .map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(out, "archived {} failing case(s) to {path}", failures.len());
+        }
+    }
+    let _ = writeln!(
+        out,
+        "fuzz: {checked} case(s) from index {start} in {:.1}s, {} failure(s)",
+        started.elapsed().as_secs_f64(),
+        failures.len()
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "fuzz: {} of {checked} case(s) violated the ladder contract",
+            failures.len()
+        ))
+    }
+}
+
+/// When a replay ran with both `--cache-dir` and `--cache-dir-cap`,
+/// audits the directory after the fact: the GC must have held the
+/// store's on-disk footprint at or under the cap. The bytes are
+/// re-counted from the filesystem, not taken from the store's own
+/// accounting.
+fn check_cache_dir_cap(server: &ServeConfig, out: &mut String) -> Result<(), String> {
+    let (Some(dir), cap) = (&server.cache_dir, server.cache_dir_cap) else {
+        return Ok(());
+    };
+    if cap == 0 {
+        return Ok(());
+    }
+    let mut bytes = 0u64;
+    for tier in ["responses", "modules"] {
+        let tier_dir = std::path::Path::new(dir).join(tier);
+        let entries = match std::fs::read_dir(&tier_dir) {
+            Ok(entries) => entries,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    bytes += meta.len();
+                }
+            }
+        }
+    }
+    if bytes > cap {
+        return Err(format!(
+            "--cache-dir-cap: {dir} holds {bytes} byte(s), over the {cap}-byte cap — GC failed"
+        ));
+    }
+    let _ = writeln!(out, "gc: {dir} holds {bytes} of {cap} byte(s) allowed");
+    Ok(())
 }
 
 /// The `--check-concurrent` gate: partitions the trace's kernels
@@ -1726,6 +1954,24 @@ mod tests {
     }
 
     #[test]
+    fn fuzz_runs_a_fixed_case_budget_deterministically() {
+        let mut out = String::new();
+        run_cli(
+            &[
+                "fuzz".into(),
+                "--cases".into(),
+                "3".into(),
+                "--start-seed".into(),
+                "6".into(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("3 case(s) from index 6"), "{out}");
+        assert!(out.contains("0 failure(s)"), "{out}");
+    }
+
+    #[test]
     fn missing_file_errors_cleanly() {
         let mut out = String::new();
         let err = run_cli(
@@ -1860,6 +2106,58 @@ mod serve_tests {
         let metrics = bench.get("metrics").expect("the /2 report carries metrics");
         assert!(metrics.get("queue_depth_high_water").and_then(Json::as_u64).is_some());
         assert!(metrics.get("pool_tasks").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn replay_with_faults_runs_the_chaos_harness_and_audits_the_cap() {
+        let dir = std::env::temp_dir().join(format!("regbal-cli-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let cache_dir = dir.join("cache");
+        let chaos_path = dir.join("chaos.json");
+        run_cli(
+            &[
+                "serve".into(),
+                "--gen-trace".into(),
+                trace_path.to_string_lossy().into_owned(),
+                "--requests".into(),
+                "8".into(),
+            ],
+            &mut String::new(),
+        )
+        .unwrap();
+        let mut out = String::new();
+        run_cli(
+            &[
+                "serve".into(),
+                "--replay".into(),
+                trace_path.to_string_lossy().into_owned(),
+                "--faults".into(),
+                "seed=5,write_fail=250,read_corrupt=250,disconnect=200".into(),
+                "--cache-dir".into(),
+                cache_dir.to_string_lossy().into_owned(),
+                "--cache-dir-cap".into(),
+                "1000000".into(),
+                "--verify".into(),
+                "--out".into(),
+                chaos_path.to_string_lossy().into_owned(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("all answered"), "{out}");
+        assert!(out.contains("healing pass served the baseline"), "{out}");
+        assert!(out.contains("byte-identical to one-shot"), "{out}");
+        assert!(out.contains("gc:"), "the cap audit must report: {out}");
+        let doc =
+            regbal_eval::json::parse(&std::fs::read_to_string(&chaos_path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("regbal-serve-chaos/1")
+        );
+        assert_eq!(doc.get("answered").and_then(Json::as_u64), Some(8));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -215,8 +215,34 @@ pub struct Counters {
     pub disk_corrupt: u64,
     /// Entries persisted to disk.
     pub disk_writes: u64,
-    /// Disk writes that failed (logged, never fatal).
+    /// Disk writes that failed after every retry (logged, never fatal).
     pub disk_write_errors: u64,
+    /// Disk-write retries attempted (a write that lands on retry `k`
+    /// counts `k` here and one `disk_writes`).
+    pub disk_retries: u64,
+}
+
+/// The bounded, deterministic retry schedule for transient disk-write
+/// failures: one attempt plus one retry per entry, sleeping the listed
+/// milliseconds before each retry. Short and fixed — the disk tier is
+/// an accelerator, so after the schedule is exhausted the write is
+/// simply dropped (a future cold miss), never an error.
+pub const WRITE_BACKOFF_MS: [u64; 2] = [1, 4];
+
+/// Runs `write` up to `1 + WRITE_BACKOFF_MS.len()` times, sleeping the
+/// schedule between attempts and counting retries into `retries`.
+fn retry_write(retries: &mut u64, mut write: impl FnMut() -> bool) -> bool {
+    if write() {
+        return true;
+    }
+    for ms in WRITE_BACKOFF_MS {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        *retries += 1;
+        if write() {
+            return true;
+        }
+    }
+    false
 }
 
 /// The persistent cross-request cache: both LRU tiers plus counters.
@@ -285,10 +311,13 @@ impl ServeCache {
     }
 
     /// Stores a computed outcome, counting any eviction, and writes it
-    /// through to the disk store when one is attached.
+    /// through to the disk store when one is attached (retrying
+    /// transient write failures on the [`WRITE_BACKOFF_MS`] schedule).
     pub fn store(&mut self, key: ResponseKey, outcome: Outcome) {
         if let Some(store) = &self.store {
-            if store.store_response(&key, &outcome) {
+            if retry_write(&mut self.counters.disk_retries, || {
+                store.store_response(&key, &outcome)
+            }) {
                 self.counters.disk_writes += 1;
             } else {
                 self.counters.disk_write_errors += 1;
@@ -363,7 +392,9 @@ impl ServeCache {
         let funcs = oneshot::replicate(&roots, nthd);
         let traj = Arc::new(Trajectory::new(funcs, self.sweep.clone()));
         if let Some(store) = &self.store {
-            if store.store_module(hash, text) {
+            if retry_write(&mut self.counters.disk_retries, || {
+                store.store_module(hash, text)
+            }) {
                 self.counters.disk_writes += 1;
             } else {
                 self.counters.disk_write_errors += 1;
@@ -390,9 +421,18 @@ impl ServeCache {
         self.counters.distinct.insert(hash);
     }
 
-    /// The `stats` member of a stats response.
+    /// The `stats` member of a stats response. The `disk_bytes` and
+    /// `gc_*` members come straight from the capped store (all zero
+    /// when uncapped or memory-only); everything else is the
+    /// deterministic [`Counters`] set.
     pub fn stats_json(&self) -> Json {
         let c = &self.counters;
+        let disk_bytes = self.store.as_ref().map(DiskStore::bytes).unwrap_or(0);
+        let (gc_evictions, gc_evicted_bytes) = self
+            .store
+            .as_ref()
+            .map(DiskStore::gc_counters)
+            .unwrap_or((0, 0));
         Json::Obj(vec![
             ("requests".into(), Json::uint(c.requests)),
             ("allocs".into(), Json::uint(c.allocs)),
@@ -424,6 +464,13 @@ impl ServeCache {
             (
                 "disk_write_errors".into(),
                 Json::uint(c.disk_write_errors),
+            ),
+            ("disk_retries".into(), Json::uint(c.disk_retries)),
+            ("disk_bytes".into(), Json::uint(disk_bytes)),
+            ("gc_evictions".into(), Json::uint(gc_evictions)),
+            (
+                "gc_evicted_bytes".into(),
+                Json::uint(gc_evicted_bytes),
             ),
         ])
     }
@@ -524,6 +571,58 @@ mod tests {
         assert_eq!(cache.counters.hits, 1);
         assert_eq!(cache.counters.misses, 2);
         assert_eq!(cache.counters.evictions, 1);
+    }
+
+    #[test]
+    fn retry_write_follows_the_bounded_schedule() {
+        // Succeeds on the final retry: all retries counted, write lands.
+        let mut retries = 0;
+        let mut calls = 0;
+        assert!(retry_write(&mut retries, || {
+            calls += 1;
+            calls == 1 + WRITE_BACKOFF_MS.len()
+        }));
+        assert_eq!(retries, WRITE_BACKOFF_MS.len() as u64);
+        // Never succeeds: bounded attempts, reported failed.
+        let mut retries = 0;
+        let mut calls = 0;
+        assert!(!retry_write(&mut retries, || {
+            calls += 1;
+            false
+        }));
+        assert_eq!(calls, 1 + WRITE_BACKOFF_MS.len());
+        assert_eq!(retries, WRITE_BACKOFF_MS.len() as u64);
+        // First-try success never sleeps or counts.
+        let mut retries = 0;
+        assert!(retry_write(&mut retries, || true));
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn transient_write_faults_are_healed_by_retry() {
+        use crate::faults::{FaultPlan, FaultSite};
+        use crate::store::DiskStore;
+        let dir = std::env::temp_dir().join(format!(
+            "regbal-cache-retry-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // The first write attempt fails; the retry (call index 1) lands.
+        let plan = Arc::new(FaultPlan::seeded(3).with_exact(FaultSite::DiskWriteFail, &[0]));
+        let store = DiskStore::open(&dir).unwrap().with_faults(plan);
+        let mut cache = ServeCache::new(16, 16, vec![32]).with_store(store);
+        let key: ResponseKey = (7, 1, 32, ServeStrategy::Balanced);
+        cache.store(
+            key,
+            Outcome::Fail {
+                code: "infeasible".into(),
+                message: "m".into(),
+            },
+        );
+        assert_eq!(cache.counters.disk_writes, 1);
+        assert_eq!(cache.counters.disk_write_errors, 0);
+        assert_eq!(cache.counters.disk_retries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

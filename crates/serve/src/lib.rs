@@ -29,7 +29,12 @@
 //!   `regbal-alloc/1` document builders (shared with `regbal-cli`).
 //! * [`cache`] — the persistent response and trajectory tiers.
 //! * [`store`] — the content-addressed on-disk cache behind
-//!   `--cache-dir` (corrupt entries degrade to cold misses).
+//!   `--cache-dir` (corrupt entries degrade to cold misses;
+//!   size-capped access-ordered GC under `--cache-dir-cap`).
+//! * [`faults`] — the deterministic seeded fault-injection plane
+//!   (`FaultPlan`): short/failed writes, corrupt reads, client
+//!   disconnects, reader stalls and dispatcher write errors at exact
+//!   seeded points, for the chaos gates.
 //! * [`metrics`] — wall-clock backpressure counters: queue depth,
 //!   admission waits, deferred/rejected, per-connection totals.
 //! * [`server`] — admission, wave dispatch, the stdio loop and the
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
 pub mod metrics;
 pub mod oneshot;
 pub mod proto;
@@ -52,10 +58,14 @@ pub mod store;
 pub mod trace;
 
 pub use cache::{Outcome, ResponseKey, ServeCache, Trajectory};
+pub use faults::{FaultPlan, FaultSite};
 pub use metrics::{ConnCounters, MetricsSnapshot, ServeMetrics};
 pub use oneshot::{alloc_doc, allocate, load_module, replicate, verdict_doc, ServeStrategy, Verdict};
 pub use proto::{content_hash, hash_hex, parse_request, Request, SCHEMA};
-pub use replay::{pass_json, replay, replay_with_metrics, sanitize_check, PassReport, ReplayConfig};
+pub use replay::{
+    chaos_json, chaos_replay, pass_json, replay, replay_with_metrics, sanitize_check, ChaosReport,
+    PassReport, ReplayConfig,
+};
 pub use server::{
     serve_lines, serve_lines_metered, serve_listener, serve_tcp, serve_tcp_metered, ServeConfig,
     ServeEnd,

@@ -16,9 +16,12 @@
 //! light load it is ~0; once the wave pipeline saturates, the queue
 //! fills, `try_send` fails (a *deferred* admission) and the reader
 //! blocks — exactly the paper's shared-pool contention, measured at
-//! the serving layer. Waits are recorded into a bounded sample buffer
-//! (first [`ServeMetrics::MAX_SAMPLES`] waits, plus a count of any
-//! overflow) and summarised as nearest-rank p50/p99.
+//! the serving layer. Waits are recorded into a bounded **reservoir**
+//! of [`ServeMetrics::MAX_SAMPLES`] samples (Algorithm R with a fixed
+//! seed, so the kept set is a deterministic function of the admission
+//! sequence): once the buffer fills, each new wait *replaces* a random
+//! slot with probability `cap/n` instead of being dropped, so the
+//! p50/p99 of a long run reflect the whole run, not its first minutes.
 
 use regbal_eval::pool::PoolMeter;
 use regbal_eval::Json;
@@ -56,11 +59,15 @@ pub struct ServeMetrics {
     /// Connections dropped on a read or write error (logged, served
     /// around — never fatal).
     dropped: AtomicU64,
-    /// Admission-wait samples, microseconds (bounded; see
+    /// Admission-wait reservoir, microseconds (bounded; see
     /// [`ServeMetrics::MAX_SAMPLES`]).
     waits: Mutex<Vec<u64>>,
-    /// Wait samples dropped once the buffer filled.
-    waits_overflow: AtomicU64,
+    /// Total admission waits observed (including those the reservoir
+    /// replaced or declined — the `n` of Algorithm R).
+    waits_total: AtomicU64,
+    /// Requests answered with an in-band `timeout` error because they
+    /// exceeded `--deadline-ms` before dispatch.
+    timeouts: AtomicU64,
     /// Work-stealing pool counters (waves dispatched, tasks computed,
     /// largest wave).
     pub pool: PoolMeter,
@@ -85,7 +92,9 @@ pub struct MetricsSnapshot {
     pub connections: u64,
     /// Connections dropped on IO errors.
     pub dropped: u64,
-    /// Admission waits sampled (excluding overflow).
+    /// Requests answered with an in-band `timeout` error.
+    pub timeouts: u64,
+    /// Admission waits observed (the reservoir summarises all of them).
     pub wait_samples: u64,
     /// Pool waves dispatched.
     pub pool_waves: u64,
@@ -93,6 +102,27 @@ pub struct MetricsSnapshot {
     pub pool_tasks: u64,
     /// Largest single pool wave, in tasks.
     pub pool_max_wave: u64,
+}
+
+/// The fixed seed behind the sampling reservoir: the kept sample set
+/// is a pure function of the observation sequence, so two identical
+/// runs report identical percentiles.
+const RESERVOIR_SEED: u64 = 0x5eed_ba1a_9ce0_11e5;
+
+/// One step of deterministic reservoir sampling (Algorithm R): `value`
+/// is observation number `n` (0-based). While the buffer is below
+/// `cap` it is simply kept; afterwards it replaces a pseudorandom slot
+/// with probability `cap / (n + 1)`, giving every observation of the
+/// stream an equal chance of being in the final sample.
+pub fn reservoir_insert(buf: &mut Vec<u64>, cap: usize, n: u64, value: u64) {
+    if buf.len() < cap {
+        buf.push(value);
+        return;
+    }
+    let j = crate::faults::splitmix64(RESERVOIR_SEED ^ n) % (n + 1);
+    if (j as usize) < cap {
+        buf[j as usize] = value;
+    }
 }
 
 /// Nearest-rank percentile of a **sorted** sample.
@@ -105,8 +135,9 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 impl ServeMetrics {
-    /// Admission-wait samples kept before overflow counting takes
-    /// over; bounds memory under unbounded traffic.
+    /// Admission-wait reservoir capacity; bounds memory under
+    /// unbounded traffic while keeping an unbiased sample of the whole
+    /// run.
     pub const MAX_SAMPLES: usize = 1 << 16;
 
     /// Records one admission: the measured queue wait and whether the
@@ -118,12 +149,9 @@ impl ServeMetrics {
             self.deferred.fetch_add(1, Ordering::Relaxed);
         }
         {
+            let n = self.waits_total.fetch_add(1, Ordering::Relaxed);
             let mut waits = self.waits.lock().expect("metrics lock poisoned");
-            if waits.len() < Self::MAX_SAMPLES {
-                waits.push(wait_us);
-            } else {
-                self.waits_overflow.fetch_add(1, Ordering::Relaxed);
-            }
+            reservoir_insert(&mut waits, Self::MAX_SAMPLES, n, wait_us);
         }
         let mut conns = self.conns.lock().expect("metrics lock poisoned");
         let counters = match conns.iter_mut().find(|(id, _)| *id == conn) {
@@ -171,6 +199,11 @@ impl ServeMetrics {
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request answered with an in-band `timeout` error.
+    pub fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The current summary.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut waits = self
@@ -188,7 +221,8 @@ impl ServeMetrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
-            wait_samples: waits.len() as u64,
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            wait_samples: self.waits_total.load(Ordering::Relaxed),
             pool_waves,
             pool_tasks,
             pool_max_wave,
@@ -228,6 +262,7 @@ impl MetricsSnapshot {
             ("rejected".into(), Json::uint(self.rejected)),
             ("connections".into(), Json::uint(self.connections)),
             ("dropped".into(), Json::uint(self.dropped)),
+            ("timeouts".into(), Json::uint(self.timeouts)),
             ("wait_samples".into(), Json::uint(self.wait_samples)),
             ("pool_waves".into(), Json::uint(self.pool_waves)),
             ("pool_tasks".into(), Json::uint(self.pool_tasks)),
@@ -239,7 +274,8 @@ impl MetricsSnapshot {
     pub fn summary(&self, conns: &[(u64, ConnCounters)]) -> String {
         let mut out = format!(
             "metrics: queue high-water {} | admission wait p50 {} us p99 {} us \
-             ({} sample(s)) | {} deferred, {} rejected | {} connection(s), {} dropped | \
+             ({} sample(s)) | {} deferred, {} rejected, {} timeout(s) | \
+             {} connection(s), {} dropped | \
              pool: {} wave(s), {} task(s), max wave {}\n",
             self.queue_depth_high_water,
             self.admission_wait_p50_us,
@@ -247,6 +283,7 @@ impl MetricsSnapshot {
             self.wait_samples,
             self.deferred,
             self.rejected,
+            self.timeouts,
             self.connections,
             self.dropped,
             self.pool_waves,
@@ -310,6 +347,58 @@ mod tests {
         let text = snap.summary(&m.connections());
         assert!(text.contains("queue high-water 1"));
         assert!(text.contains("conn 7: 1 request(s), 1 response(s)"));
+    }
+
+    #[test]
+    fn the_reservoir_is_deterministic_and_covers_the_whole_stream() {
+        // Two identical streams produce identical reservoirs.
+        let stream: Vec<u64> = (0..1000).collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (n, &v) in stream.iter().enumerate() {
+            reservoir_insert(&mut a, 64, n as u64, v);
+            reservoir_insert(&mut b, 64, n as u64, v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        // The old buffer stopped at the first 64 observations; the
+        // reservoir must have replaced some of them with later ones.
+        assert!(
+            a.iter().any(|&v| v >= 64),
+            "reservoir never sampled past the startup window"
+        );
+        // And it never invents values outside the stream.
+        assert!(a.iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn long_runs_report_honest_tail_latency() {
+        // A stream whose waits *grow* over time: the startup-biased
+        // buffer would report a tiny p99; the reservoir must not.
+        let m = ServeMetrics::default();
+        let total = ServeMetrics::MAX_SAMPLES as u64 * 2;
+        for n in 0..total {
+            m.note_admitted(0, n, false);
+            m.note_dequeued();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.wait_samples, total);
+        assert!(
+            snap.admission_wait_p99_us > ServeMetrics::MAX_SAMPLES as u64,
+            "p99 {} stuck in the startup window",
+            snap.admission_wait_p99_us
+        );
+    }
+
+    #[test]
+    fn timeouts_are_counted_and_rendered() {
+        let m = ServeMetrics::default();
+        m.note_timeout();
+        m.note_timeout();
+        let snap = m.snapshot();
+        assert_eq!(snap.timeouts, 2);
+        assert_eq!(snap.to_json().get("timeouts").and_then(Json::as_u64), Some(2));
+        assert!(snap.summary(&[]).contains("2 timeout(s)"));
     }
 
     #[test]

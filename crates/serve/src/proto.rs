@@ -15,7 +15,10 @@
 //!   hence non-deterministic) backpressure metrics member;
 //! * `shutdown` — drain and stop serving: the server stops accepting,
 //!   finishes every request admitted before the ack, and answers the
-//!   ack last.
+//!   ack last. When the server was started with `--shutdown-token`,
+//!   the request must carry a matching `token` string member; a
+//!   missing or wrong token gets an in-band `unauthorized` error and
+//!   the server keeps serving.
 //!
 //! Requests may carry an optional `schema` member; `regbal-serve/1`
 //! and `regbal-serve/2` are both accepted (the `/1` request surface is
@@ -158,6 +161,9 @@ pub enum Request {
     Shutdown {
         /// The request's `id`.
         id: Json,
+        /// The request's `token` member, checked against the server's
+        /// `--shutdown-token` (when one is configured).
+        token: Option<String>,
     },
 }
 
@@ -268,7 +274,13 @@ pub fn parse_request(line: &str) -> Request {
             id,
             metrics: doc.get("metrics").and_then(Json::as_bool) == Some(true),
         },
-        Some("shutdown") => Request::Shutdown { id },
+        Some("shutdown") => Request::Shutdown {
+            id,
+            token: doc
+                .get("token")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        },
         Some(other) => Request::Alloc(Err(ProtoError::bad_request(
             id,
             format!("unknown request kind `{other}`"),
@@ -400,7 +412,17 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"kind": "shutdown"}"#),
-            Request::Shutdown { id: Json::Null }
+            Request::Shutdown {
+                id: Json::Null,
+                token: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"kind": "shutdown", "token": "s3cret"}"#),
+            Request::Shutdown {
+                id: Json::Null,
+                token: Some("s3cret".into())
+            }
         );
     }
 

@@ -17,23 +17,32 @@
 //!
 //! The TCP server admits N connections into the same queue: one accept
 //! thread, one reader thread per connection, one dispatcher owning all
-//! the writers. Serial admission means per-connection response order is
-//! per-connection request order, and for workloads whose cache keys do
-//! not overlap another connection's, each connection's transcript is
-//! byte-identical to serving it alone (overlapping keys still serve
-//! identical *documents* — only the `cached` flags can differ, because
-//! one connection's miss becomes the other's hit). A connection that
-//! fails mid-request is logged and dropped; the listener keeps
-//! accepting. `shutdown` drains: the server stops accepting, finishes
-//! every request admitted before the drain completes, and answers the
-//! shutdown ack(s) last.
+//! the writers. Each wave is **fair-interleaved** before resolution —
+//! grouped by connection with every connection's own order intact,
+//! then taken one request per connection per round — so a bursty
+//! neighbour cannot occupy an entire wave. Per-connection response
+//! order is still per-connection request order, and for workloads
+//! whose cache keys do not overlap another connection's, each
+//! connection's transcript is byte-identical to serving it alone
+//! (overlapping keys still serve identical *documents* — only the
+//! `cached` flags can differ, because one connection's miss becomes
+//! the other's hit). A connection that fails mid-request is logged and
+//! dropped; the listener keeps accepting. `shutdown` drains: the
+//! server stops accepting, finishes every request admitted before the
+//! drain completes, and answers the shutdown ack(s) last — unless the
+//! server requires a `--shutdown-token` and the request's token does
+//! not match, in which case the reply is an in-band `unauthorized`
+//! error and serving continues. With `--deadline-ms` set, a request
+//! still queued past its deadline is answered with an in-band
+//! `timeout` error instead of being computed.
 
 use crate::cache::{Outcome, ServeCache, Trajectory};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::metrics::ServeMetrics;
 use crate::proto::{self, AllocRequest, ProtoError, Request, Source};
 use crate::store::DiskStore;
 use regbal_eval::{pool, Json};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -68,6 +77,22 @@ pub struct ServeConfig {
     /// TCP reader poll interval, milliseconds: how often an idle
     /// connection checks for drain (bounds shutdown latency).
     pub read_timeout_ms: u64,
+    /// Byte cap on the on-disk cache (0 = unbounded). Once exceeded,
+    /// least-recently-accessed entries are deleted after each store.
+    pub cache_dir_cap: u64,
+    /// Per-request deadline, milliseconds (0 = none): a request still
+    /// queued when its deadline expires is answered with an in-band
+    /// `timeout` error instead of being dispatched. The clock starts
+    /// when the reader parses the line.
+    pub deadline_ms: u64,
+    /// When set, `shutdown` requests must carry a matching `token`
+    /// member; otherwise they get an in-band `unauthorized` error and
+    /// serving continues.
+    pub shutdown_token: Option<String>,
+    /// The seeded fault-injection plane (chaos testing only). `None`
+    /// in production: every fault site then compiles down to a skipped
+    /// `Option` check.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +106,10 @@ impl Default for ServeConfig {
             cache_dir: None,
             max_conns: 0,
             read_timeout_ms: 25,
+            cache_dir_cap: 0,
+            deadline_ms: 0,
+            shutdown_token: None,
+            faults: None,
         }
     }
 }
@@ -95,8 +124,26 @@ impl ServeConfig {
     pub fn open_cache(&self) -> std::io::Result<ServeCache> {
         let cache = ServeCache::new(self.cache_cap, self.trajectory_cap, self.sweep.clone());
         match &self.cache_dir {
-            Some(dir) => Ok(cache.with_store(DiskStore::open(std::path::Path::new(dir))?)),
+            Some(dir) => {
+                let mut store = DiskStore::open(std::path::Path::new(dir))?;
+                if let Some(plan) = &self.faults {
+                    store = store.with_faults(plan.clone());
+                }
+                if self.cache_dir_cap > 0 {
+                    store = store.with_cap(self.cache_dir_cap);
+                }
+                Ok(cache.with_store(store))
+            }
             None => Ok(cache),
+        }
+    }
+
+    /// Whether `token` authorizes a `shutdown` under this config: any
+    /// token when none is required, an exact match otherwise.
+    fn shutdown_authorized(&self, token: &Option<String>) -> bool {
+        match &self.shutdown_token {
+            None => true,
+            Some(want) => token.as_deref() == Some(want.as_str()),
         }
     }
 }
@@ -176,30 +223,37 @@ fn alloc_response_body(unit: &Unit, outcomes: &[Outcome], units: &[Unit]) -> Vec
     }
 }
 
-/// Resolves one wave of `(connection, request)` pairs in admission
-/// order — hits and ready errors serially, misses sharded across the
-/// pool — and returns one framed response line per request, tagged
-/// with its connection and in admission order. This is the single code
-/// path every transport shares, which is what makes a connection's
-/// transcript independent of how many neighbours it had.
+/// Resolves one wave of `(connection, request, admission time)` tuples
+/// in wave order — hits and ready errors serially, misses sharded
+/// across the pool — and returns one framed response line per request,
+/// tagged with its connection and in wave order. This is the single
+/// code path every transport shares, which is what makes a
+/// connection's transcript independent of how many neighbours it had.
+///
+/// With `deadline_ms` set, a request whose admission stamp is already
+/// past the deadline is answered with an in-band `timeout` error for
+/// every alloc unit it carries — never computed, never cached (the
+/// deterministic alloc counters see only dispatched work).
 fn resolve_wave(
-    wave: &[(u64, Request)],
+    wave: &[(u64, Request, Instant)],
     config: &ServeConfig,
     cache: &mut ServeCache,
-    meter: Option<&pool::PoolMeter>,
+    metrics: Option<&ServeMetrics>,
 ) -> Vec<(u64, String)> {
     if wave.is_empty() {
         return Vec::new();
     }
+    let deadline = (config.deadline_ms > 0)
+        .then(|| std::time::Duration::from_millis(config.deadline_ms));
     // Flatten the wave into alloc units (batch elements inline), and
-    // resolve each serially in admission order: cache hit, in-wave
+    // resolve each serially in wave order: cache hit, in-wave
     // duplicate, ready error, or a pool job.
     let mut units: Vec<Unit> = Vec::new();
     let mut compute: Vec<ComputeItem> = Vec::new();
     let mut wave_keys: HashMap<crate::cache::ResponseKey, usize> = HashMap::new();
     // (connection, batch id, #units, is_batch)
     let mut spans: Vec<(u64, Json, usize, bool)> = Vec::new();
-    for (conn, request) in wave {
+    for (conn, request, admitted) in wave {
         cache.count_request();
         let (id, subs, is_batch) = match request {
             Request::Alloc(r) => (Json::Null, std::slice::from_ref(r), false),
@@ -209,6 +263,33 @@ fn resolve_wave(
             }
         };
         spans.push((*conn, id, subs.len(), is_batch));
+        let expired = deadline.is_some_and(|d| admitted.elapsed() >= d);
+        if expired {
+            // The whole request times out as a unit (a batch's elements
+            // all waited the same queue time).
+            for sub in subs {
+                let resolution = match sub {
+                    Err(_) => Resolution::Error,
+                    Ok(_) => {
+                        if let Some(m) = metrics {
+                            m.note_timeout();
+                        }
+                        Resolution::Ready(Outcome::Fail {
+                            code: "timeout".into(),
+                            message: format!(
+                                "request exceeded its {}ms deadline before dispatch",
+                                config.deadline_ms
+                            ),
+                        })
+                    }
+                };
+                units.push(Unit {
+                    request: sub.clone(),
+                    resolution,
+                });
+            }
+            continue;
+        }
         for sub in subs {
             let resolution = match sub {
                 Err(_) => Resolution::Error,
@@ -273,6 +354,7 @@ fn resolve_wave(
     // race only on trajectory OnceLocks, so overlapping descents are
     // computed once and shared.
     let descents: &AtomicU64 = &cache.counters.descents.clone();
+    let meter = metrics.map(|m| &m.pool);
     let outcomes = pool::shard_metered(compute.len(), config.workers, meter, |i| {
         let item = &compute[i];
         item.trajectory.outcome(item.nreg, item.strategy, descents)
@@ -304,6 +386,35 @@ fn resolve_wave(
         flat += count;
     }
     lines
+}
+
+/// Reorders one wave for fair admission: items are grouped by
+/// connection (each connection's own order preserved — that is what
+/// keeps per-connection transcripts byte-identical) and interleaved
+/// one per connection per round, connections in first-appearance
+/// order. Strict FIFO would let one bursty connection occupy an entire
+/// wave; round-robin bounds any connection's queue-jump to one request
+/// per round, the serving-layer analogue of the paper's balanced
+/// register shares.
+fn fair_interleave<T>(items: Vec<T>, conn_of: impl Fn(&T) -> u64) -> Vec<T> {
+    let mut groups: Vec<(u64, VecDeque<T>)> = Vec::new();
+    for item in items {
+        let conn = conn_of(&item);
+        match groups.iter_mut().find(|(c, _)| *c == conn) {
+            Some((_, q)) => q.push_back(item),
+            None => groups.push((conn, VecDeque::from([item]))),
+        }
+    }
+    let mut out: Vec<T> = Vec::new();
+    while !groups.is_empty() {
+        groups.retain_mut(|(_, q)| {
+            if let Some(item) = q.pop_front() {
+                out.push(item);
+            }
+            !q.is_empty()
+        });
+    }
+    out
 }
 
 /// The `stats` response line, with the wall-clock metrics member only
@@ -380,7 +491,8 @@ pub fn serve_lines_metered<R: Read + Send, W: Write>(
     cache: &mut ServeCache,
     metrics: &ServeMetrics,
 ) -> std::io::Result<ServeEnd> {
-    let (tx, rx) = sync_channel::<Result<Request, std::io::Error>>(config.queue_cap.max(1));
+    let (tx, rx) =
+        sync_channel::<Result<(Request, Instant), std::io::Error>>(config.queue_cap.max(1));
     std::thread::scope(|scope| {
         scope.spawn(move || {
             let reader = BufReader::new(input);
@@ -389,12 +501,26 @@ pub fn serve_lines_metered<R: Read + Send, W: Write>(
                     Ok(l) if l.trim().is_empty() => continue,
                     Ok(l) => {
                         let request = proto::parse_request(&l);
-                        // Stop reading once a shutdown is forwarded:
-                        // the dispatcher will ack and return, and this
-                        // thread must not keep blocking on a transport
-                        // the client may hold open.
-                        let last = matches!(request, Request::Shutdown { .. });
-                        if !admit(&tx, Ok(request), metrics, 0) || last {
+                        // The deadline clock starts here — before any
+                        // injected stall and before the admission wait,
+                        // so both count against it.
+                        let at = Instant::now();
+                        if let Some(plan) = &config.faults {
+                            if plan.fire(FaultSite::ReaderStall) {
+                                std::thread::sleep(std::time::Duration::from_millis(
+                                    plan.stall_ms(),
+                                ));
+                            }
+                        }
+                        // Stop reading once an *authorized* shutdown is
+                        // forwarded: the dispatcher will ack and
+                        // return, and this thread must not keep
+                        // blocking on a transport the client may hold
+                        // open. An unauthorized shutdown is answered
+                        // in-band and serving continues.
+                        let last = matches!(&request, Request::Shutdown { token, .. }
+                            if config.shutdown_authorized(token));
+                        if !admit(&tx, Ok((request, at)), metrics, 0) || last {
                             break;
                         }
                     }
@@ -412,8 +538,24 @@ pub fn serve_lines_metered<R: Read + Send, W: Write>(
     })
 }
 
+/// The in-band response to a `shutdown` whose token did not match.
+fn unauthorized_line(id: Json) -> String {
+    proto::response(vec![
+        ("id".into(), id),
+        (
+            "error".into(),
+            proto::error_json(
+                "unauthorized",
+                "shutdown requires a valid `token` on this server",
+                None,
+            ),
+        ),
+    ])
+    .compact()
+}
+
 fn dispatch<W: Write>(
-    rx: &Receiver<Result<Request, std::io::Error>>,
+    rx: &Receiver<Result<(Request, Instant), std::io::Error>>,
     out: &mut BufWriter<W>,
     config: &ServeConfig,
     cache: &mut ServeCache,
@@ -430,26 +572,26 @@ fn dispatch<W: Write>(
             }
             Err(_) => return Ok(ServeEnd::Eof),
         };
-        let mut wave: Vec<(u64, Request)> = Vec::new();
+        let mut wave: Vec<(u64, Request, Instant)> = Vec::new();
         let mut control = None;
         match first {
-            Request::Stats { .. } | Request::Shutdown { .. } => control = Some(first),
-            other => {
-                wave.push((0, other));
+            (c @ (Request::Stats { .. } | Request::Shutdown { .. }), _) => control = Some(c),
+            (other, at) => {
+                wave.push((0, other, at));
                 while let Ok(job) = rx.try_recv() {
                     metrics.note_dequeued();
                     match job? {
-                        c @ (Request::Stats { .. } | Request::Shutdown { .. }) => {
+                        (c @ (Request::Stats { .. } | Request::Shutdown { .. }), _) => {
                             control = Some(c);
                             break;
                         }
-                        other => wave.push((0, other)),
+                        (other, at) => wave.push((0, other, at)),
                     }
                 }
             }
         }
 
-        for (_, line) in resolve_wave(&wave, config, cache, Some(&metrics.pool)) {
+        for (_, line) in resolve_wave(&wave, config, cache, Some(metrics)) {
             writeln!(out, "{line}")?;
             metrics.note_response(0);
         }
@@ -462,11 +604,15 @@ fn dispatch<W: Write>(
                 writeln!(out, "{}", stats_line(id, cache, want.then_some(metrics)))?;
                 out.flush()?;
             }
-            Some(Request::Shutdown { id }) => {
+            Some(Request::Shutdown { id, token }) => {
                 cache.count_request();
-                writeln!(out, "{}", ack_line(id))?;
+                if config.shutdown_authorized(&token) {
+                    writeln!(out, "{}", ack_line(id))?;
+                    out.flush()?;
+                    return Ok(ServeEnd::Shutdown);
+                }
+                writeln!(out, "{}", unauthorized_line(id))?;
                 out.flush()?;
-                return Ok(ServeEnd::Shutdown);
             }
             _ => {}
         }
@@ -481,8 +627,13 @@ enum Event {
     /// A new connection: the dispatcher takes ownership of the write
     /// half. Always precedes the connection's first `Request`.
     Open { conn: u64, stream: TcpStream },
-    /// One parsed request line.
-    Request { conn: u64, request: Request },
+    /// One parsed request line, stamped at parse time (the deadline
+    /// clock).
+    Request {
+        conn: u64,
+        request: Request,
+        at: Instant,
+    },
     /// The connection reached EOF (or its reader stopped for drain).
     Closed { conn: u64 },
     /// The connection died mid-read; logged, dropped, served around.
@@ -546,6 +697,7 @@ fn reader_loop(
     stream: &TcpStream,
     tx: &SyncSender<Event>,
     stop: &AtomicBool,
+    config: &ServeConfig,
     metrics: &ServeMetrics,
 ) {
     let mut lines = LineBuf::new();
@@ -557,8 +709,18 @@ fn reader_loop(
                 continue;
             }
             let request = proto::parse_request(&line);
-            let last = matches!(request, Request::Shutdown { .. });
-            if !admit(tx, Event::Request { conn, request }, metrics, conn) || last {
+            let at = Instant::now();
+            if let Some(plan) = &config.faults {
+                if plan.fire(FaultSite::ReaderStall) {
+                    std::thread::sleep(std::time::Duration::from_millis(plan.stall_ms()));
+                }
+            }
+            // Only an *authorized* shutdown ends this reader; an
+            // unauthorized one is answered in-band by the dispatcher
+            // and the connection keeps being read.
+            let last = matches!(&request, Request::Shutdown { token, .. }
+                if config.shutdown_authorized(token));
+            if !admit(tx, Event::Request { conn, request, at }, metrics, conn) || last {
                 // After forwarding a shutdown this reader must not keep
                 // blocking on a transport the client may hold open.
                 let _ = tx.send(Event::Closed { conn });
@@ -573,7 +735,8 @@ fn reader_loop(
                 // connection is dropped there).
                 if let Some(partial) = lines.take_partial() {
                     let request = proto::parse_request(&partial);
-                    let _ = admit(tx, Event::Request { conn, request }, metrics, conn);
+                    let at = Instant::now();
+                    let _ = admit(tx, Event::Request { conn, request, at }, metrics, conn);
                 }
                 let _ = tx.send(Event::Closed { conn });
                 return;
@@ -665,7 +828,7 @@ fn accept_loop<'scope>(
         let reader_tx = tx.clone();
         let active = active.clone();
         scope.spawn(move || {
-            reader_loop(conn, &stream, &reader_tx, stop, metrics);
+            reader_loop(conn, &stream, &reader_tx, stop, config, metrics);
             active.fetch_sub(1, Ordering::SeqCst);
         });
     }
@@ -683,11 +846,17 @@ struct Conn {
 }
 
 /// Writes one response line to `conn`, marking the connection dead on
-/// the first failure (logged, never fatal to the server).
+/// the first failure (logged, never fatal to the server). The
+/// dispatcher-write fault site fires here: an injected failure behaves
+/// exactly like a peer that vanished mid-write — the connection is
+/// dropped and the server keeps serving everyone else. (The stdio
+/// dispatcher has no equivalent site: its single transport failing is
+/// transport-fatal by design.)
 fn write_line(
     conns: &mut HashMap<u64, Conn>,
     conn: u64,
     line: &str,
+    faults: Option<&FaultPlan>,
     metrics: &ServeMetrics,
     log: &mut dyn Write,
 ) {
@@ -695,6 +864,15 @@ fn write_line(
         return; // already closed and reaped
     };
     if state.dead {
+        return;
+    }
+    if faults.is_some_and(|plan| plan.fire(FaultSite::DispatcherWriteFail)) {
+        state.dead = true;
+        metrics.note_dropped();
+        let _ = writeln!(
+            log,
+            "conn {conn}: write failed (injected fault); dropping connection"
+        );
         return;
     }
     match writeln!(state.writer, "{line}") {
@@ -728,12 +906,13 @@ fn tcp_dispatch(
     stop: &AtomicBool,
     local: std::net::SocketAddr,
 ) {
+    let faults = config.faults.as_deref();
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut draining = false;
     // Shutdown acks owed, in admission order; answered after drain.
     let mut acks: Vec<(u64, Json)> = Vec::new();
     loop {
-        let mut wave: Vec<(u64, Request)> = Vec::new();
+        let mut wave: Vec<(u64, Request, Instant)> = Vec::new();
         let mut control: Option<(u64, Request)> = None;
         // Connections whose reader ended this iteration. Reaping is
         // deferred to the end of the iteration: per-connection FIFO
@@ -764,14 +943,14 @@ fn tcp_dispatch(
                         );
                         reap.push(conn);
                     }
-                    Event::Request { conn, request } => {
+                    Event::Request { conn, request, at } => {
                         metrics.note_dequeued();
                         match request {
                             c @ (Request::Stats { .. } | Request::Shutdown { .. }) => {
                                 control = Some((conn, c));
                                 return true;
                             }
-                            other => wave.push((conn, other)),
+                            other => wave.push((conn, other, at)),
                         }
                     }
                 }
@@ -797,8 +976,12 @@ fn tcp_dispatch(
             }
         }
 
-        for (conn, line) in resolve_wave(&wave, config, cache, Some(&metrics.pool)) {
-            write_line(&mut conns, conn, &line, metrics, log);
+        // Fair admission: interleave the wave one request per
+        // connection per round (per-connection order intact), so a
+        // bursty neighbour cannot occupy an entire wave.
+        let wave = fair_interleave(wave, |(conn, _, _)| *conn);
+        for (conn, line) in resolve_wave(&wave, config, cache, Some(metrics)) {
+            write_line(&mut conns, conn, &line, faults, metrics, log);
         }
         for state in conns.values_mut() {
             if state.touched && !state.dead {
@@ -814,23 +997,32 @@ fn tcp_dispatch(
             Some((conn, Request::Stats { id, metrics: want })) => {
                 cache.count_request();
                 let line = stats_line(id, cache, want.then_some(metrics));
-                write_line(&mut conns, conn, &line, metrics, log);
+                write_line(&mut conns, conn, &line, faults, metrics, log);
                 if let Some(state) = conns.get_mut(&conn) {
                     let _ = state.writer.flush();
                     state.touched = false;
                 }
             }
-            Some((conn, Request::Shutdown { id })) => {
+            Some((conn, Request::Shutdown { id, token })) => {
                 cache.count_request();
-                acks.push((conn, id));
-                if !draining {
-                    draining = true;
-                    stop.store(true, Ordering::SeqCst);
-                    wake_accept(local);
+                if config.shutdown_authorized(&token) {
+                    acks.push((conn, id));
+                    if !draining {
+                        draining = true;
+                        stop.store(true, Ordering::SeqCst);
+                        wake_accept(local);
+                    }
+                    // Keep serving: every request admitted before the
+                    // readers observe the drain still gets its
+                    // response, and the ack comes after all of them.
+                } else {
+                    let line = unauthorized_line(id);
+                    write_line(&mut conns, conn, &line, faults, metrics, log);
+                    if let Some(state) = conns.get_mut(&conn) {
+                        let _ = state.writer.flush();
+                        state.touched = false;
+                    }
                 }
-                // Keep serving: every request admitted before the
-                // readers observe the drain still gets its response,
-                // and the ack comes after all of them.
             }
             _ => {}
         }
@@ -853,7 +1045,7 @@ fn tcp_dispatch(
     // ever see.
     for (conn, id) in acks {
         let line = ack_line(id);
-        write_line(&mut conns, conn, &line, metrics, log);
+        write_line(&mut conns, conn, &line, faults, metrics, log);
     }
     for (_, mut state) in conns.drain() {
         let _ = state.writer.flush();
@@ -1217,6 +1409,110 @@ mod tests {
         assert_eq!(responses[4].get("cached").and_then(Json::as_bool), Some(false));
     }
 
+    #[test]
+    fn fair_interleave_round_robins_and_preserves_per_conn_order() {
+        // Connection 7 bursts four requests; 8 and 9 send one each.
+        let wave = vec![(7u64, "a1"), (7, "a2"), (7, "a3"), (8, "b1"), (7, "a4"), (9, "c1")];
+        let fair = fair_interleave(wave, |(c, _)| *c);
+        assert_eq!(
+            fair,
+            vec![(7, "a1"), (8, "b1"), (9, "c1"), (7, "a2"), (7, "a3"), (7, "a4")]
+        );
+        // Degenerate cases: empty, and a single connection is FIFO.
+        assert!(fair_interleave(Vec::<(u64, u8)>::new(), |(c, _)| *c).is_empty());
+        let solo = vec![(1u64, 1), (1, 2), (1, 3)];
+        assert_eq!(fair_interleave(solo.clone(), |(c, _)| *c), solo);
+    }
+
+    #[test]
+    fn unauthorized_shutdowns_answer_in_band_and_serving_continues() {
+        let config = ServeConfig {
+            sweep: vec![32],
+            shutdown_token: Some("s3cret".into()),
+            ..ServeConfig::default()
+        };
+        let mut cache = fresh_cache(&config);
+        let lines = vec![
+            alloc_line(1, 32, "balanced"),
+            r#"{"id": 2, "kind": "shutdown"}"#.to_string(),
+            r#"{"id": 3, "kind": "shutdown", "token": "wrong"}"#.to_string(),
+            alloc_line(4, 32, "balanced"),
+            r#"{"id": 5, "kind": "shutdown", "token": "s3cret"}"#.to_string(),
+        ];
+        let input = lines.join("\n").into_bytes();
+        let mut output = Vec::new();
+        let end = serve_lines(&input[..], &mut output, &config, &mut cache).unwrap();
+        assert_eq!(end, ServeEnd::Shutdown);
+        let responses: Vec<Json> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| regbal_eval::json::parse(l).unwrap())
+            .collect();
+        assert_eq!(responses.len(), 5, "{responses:?}");
+        assert!(responses[0].get("alloc").is_some());
+        for r in &responses[1..3] {
+            assert_eq!(
+                r.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+                Some("unauthorized"),
+                "{r:?}"
+            );
+        }
+        assert!(
+            responses[3].get("alloc").is_some(),
+            "serving ended on an unauthorized shutdown"
+        );
+        assert_eq!(responses[4].get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn expired_requests_time_out_in_band_and_are_not_cached() {
+        // An injected reader stall makes the first request provably
+        // older than the deadline by the time the dispatcher sees it.
+        let plan = Arc::new(
+            FaultPlan::seeded(7)
+                .with_exact(FaultSite::ReaderStall, &[0])
+                .with_stall_ms(80),
+        );
+        let config = ServeConfig {
+            sweep: vec![32],
+            deadline_ms: 20,
+            faults: Some(plan),
+            ..ServeConfig::default()
+        };
+        let mut cache = fresh_cache(&config);
+        let metrics = ServeMetrics::default();
+        let lines = [
+            alloc_line(1, 32, "balanced"),
+            alloc_line(2, 32, "balanced"),
+            r#"{"id": 3, "kind": "stats"}"#.to_string(),
+        ];
+        let input = lines.join("\n").into_bytes();
+        let mut output = Vec::new();
+        serve_lines_metered(&input[..], &mut output, &config, &mut cache, &metrics).unwrap();
+        let responses: Vec<Json> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| regbal_eval::json::parse(l).unwrap())
+            .collect();
+        assert_eq!(responses.len(), 3);
+        let error = responses[0].get("error").expect("a timeout error");
+        assert_eq!(error.get("code").and_then(Json::as_str), Some("timeout"));
+        assert!(error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("20ms deadline"));
+        // The identical second request (stamped after the stall) is
+        // computed fresh — the timeout was never cached.
+        assert!(responses[1].get("alloc").is_some(), "{:?}", responses[1]);
+        assert_eq!(responses[1].get("cached").and_then(Json::as_bool), Some(false));
+        let stats = responses[2].get("stats").unwrap();
+        // Only the served request touched the alloc counters.
+        assert_eq!(stats.get("allocs").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(metrics.snapshot().timeouts, 1);
+    }
+
     // -----------------------------------------------------------------
     // The concurrent TCP server.
 
@@ -1420,6 +1716,65 @@ mod tests {
         send_shutdown(addr);
         let (result, _log) = server.join().unwrap();
         result.unwrap();
+    }
+
+    #[test]
+    fn a_token_gated_tcp_server_rejects_and_then_obeys_shutdown() {
+        let (addr, server) = spawn_server(ServeConfig {
+            sweep: vec![32],
+            shutdown_token: Some("s3cret".into()),
+            ..ServeConfig::default()
+        });
+        let lines = [
+            r#"{"id": 1, "kind": "shutdown"}"#.to_string(),
+            alloc_line(2, 32, "balanced"),
+            r#"{"id": 3, "kind": "shutdown", "token": "s3cret"}"#.to_string(),
+        ];
+        let responses = tcp_client(addr, &lines, 3);
+        let unauthorized = regbal_eval::json::parse(&responses[0]).unwrap();
+        assert_eq!(
+            unauthorized
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("unauthorized")
+        );
+        assert!(
+            regbal_eval::json::parse(&responses[1]).unwrap().get("alloc").is_some(),
+            "the rejected shutdown must not stop service: {responses:?}"
+        );
+        let ack = regbal_eval::json::parse(&responses[2]).unwrap();
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+        let (result, _log) = server.join().unwrap();
+        result.unwrap();
+    }
+
+    #[test]
+    fn an_injected_dispatcher_write_failure_drops_only_that_connection() {
+        let plan = Arc::new(FaultPlan::seeded(11).with_exact(FaultSite::DispatcherWriteFail, &[0]));
+        let (addr, server) = spawn_server(ServeConfig {
+            sweep: vec![32],
+            faults: Some(plan.clone()),
+            ..ServeConfig::default()
+        });
+        // Victim: its one response hits the injected write failure, so
+        // it sees EOF instead of a line.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            writeln!(stream, "{}", alloc_line(1, 32, "balanced")).unwrap();
+            stream.shutdown(Shutdown::Write).unwrap();
+            let mut line = String::new();
+            BufReader::new(stream).read_line(&mut line).unwrap();
+            assert!(line.is_empty(), "the dropped connection still got: {line:?}");
+        }
+        // The server survives and serves the next connection normally.
+        let responses = tcp_client(addr, &[alloc_line(2, 32, "balanced")], 1);
+        assert!(regbal_eval::json::parse(&responses[0]).unwrap().get("alloc").is_some());
+        assert_eq!(plan.fired_count(FaultSite::DispatcherWriteFail), 1);
+        send_shutdown(addr);
+        let (result, log) = server.join().unwrap();
+        result.unwrap();
+        assert!(log.contains("injected fault"), "{log:?}");
     }
 
     /// A scratch cache directory, wiped at the start of the test.

@@ -19,12 +19,30 @@
 //! reported to the caller as counters, not errors, because the disk
 //! tier is an accelerator, not a source of truth (the engine is
 //! deterministic, so everything on disk can be recomputed).
+//!
+//! With a byte cap attached ([`DiskStore::with_cap`]) the store garbage
+//! collects itself: every entry carries an access stamp (bumped on
+//! every verified load and every store), and after each store the
+//! least-recently-accessed entries are deleted until the total payload
+//! size fits under the cap — the same access-ordered policy as the
+//! in-memory [`regbal_eval::Lru`], applied to files. Responses and
+//! modules share one pool; an evicted entry simply reads as a miss
+//! later (for modules, a subsequent hash-only request degrades to the
+//! `unknown-hash` error, exactly as if the server had never seen the
+//! text).
+//!
+//! A [`FaultPlan`] (see [`crate::faults`]) can be attached to inject
+//! failed writes, torn (short) writes, failed renames, and corrupted
+//! read frames — all at deterministic seeded call indices — which is
+//! how the chaos gates prove the degradation story above actually
+//! holds.
 
 use crate::cache::{Outcome, ResponseKey};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::proto;
 use regbal_eval::{json, Json};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The header tag of every on-disk entry.
 const ENTRY_SCHEMA: &str = "regbal-cache/1";
@@ -41,12 +59,78 @@ pub enum DiskRead<T> {
     Corrupt,
 }
 
+/// Access-ordered GC bookkeeping for a capped store. One entry per
+/// live file; stamps are a monotonic logical clock bumped on every
+/// load hit and store, so eviction order is access order, not write
+/// order.
+#[derive(Debug, Default)]
+struct GcState {
+    cap: u64,
+    total: u64,
+    tick: u64,
+    /// `(path, payload bytes, access stamp)` per live entry.
+    entries: Vec<(PathBuf, u64, u64)>,
+    evictions: u64,
+    evicted_bytes: u64,
+}
+
+impl GcState {
+    fn touch(&mut self, path: &Path) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.iter_mut().find(|(p, _, _)| p == path) {
+            entry.2 = tick;
+        }
+    }
+
+    fn record(&mut self, path: &Path, bytes: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.iter_mut().find(|(p, _, _)| p == path) {
+            Some(entry) => {
+                self.total = self.total - entry.1 + bytes;
+                entry.1 = bytes;
+                entry.2 = tick;
+            }
+            None => {
+                self.total += bytes;
+                self.entries.push((path.to_path_buf(), bytes, tick));
+            }
+        }
+    }
+
+    /// Deletes least-recently-accessed entries until the total fits
+    /// under the cap, never evicting `keep` (the entry just written:
+    /// evicting it would turn every store into a self-defeating miss).
+    fn collect(&mut self, keep: &Path) {
+        while self.total > self.cap {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (p, _, _))| p != keep)
+                .min_by_key(|(_, (p, _, stamp))| (*stamp, p.clone()))
+                .map(|(i, _)| i);
+            let Some(i) = victim else {
+                return; // only the just-written entry remains
+            };
+            let (path, bytes, _) = self.entries.swap_remove(i);
+            let _ = std::fs::remove_file(&path);
+            self.total -= bytes;
+            self.evictions += 1;
+            self.evicted_bytes += bytes;
+        }
+    }
+}
+
 /// A content-addressed cache directory. All methods are infallible by
 /// design: failures degrade to misses or dropped writes.
 #[derive(Debug)]
 pub struct DiskStore {
     responses: PathBuf,
     modules: PathBuf,
+    faults: Option<Arc<FaultPlan>>,
+    gc: Option<Mutex<GcState>>,
 }
 
 /// The file stem of a response key: `<hash16>-<nthd>-<nreg>-<strategy>`.
@@ -82,8 +166,15 @@ fn unframe(text: &str) -> Option<&str> {
 }
 
 /// Writes `text` to `path` atomically (temp file + rename). Returns
-/// whether the write landed.
-fn write_atomic(path: &Path, text: &str) -> bool {
+/// whether the write landed intact. The three disk-write fault sites
+/// are injected here: an outright failure, a torn (short) write that
+/// still reaches the final name, and a failed rename.
+fn write_atomic(path: &Path, text: &str, faults: Option<&FaultPlan>) -> bool {
+    if let Some(plan) = faults {
+        if plan.fire(FaultSite::DiskWriteFail) {
+            return false;
+        }
+    }
     let Some(dir) = path.parent() else {
         return false;
     };
@@ -94,14 +185,40 @@ fn write_atomic(path: &Path, text: &str) -> bool {
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default()
     ));
-    if std::fs::write(&tmp, text).is_err() {
+    let torn = faults.is_some_and(|plan| plan.fire(FaultSite::DiskWriteShort));
+    let bytes = if torn {
+        // A torn write: half the frame reaches the final name. The
+        // read path's checksum must turn this into a cold miss.
+        &text.as_bytes()[..text.len() / 2]
+    } else {
+        text.as_bytes()
+    };
+    if std::fs::write(&tmp, bytes).is_err() {
+        return false;
+    }
+    if faults.is_some_and(|plan| plan.fire(FaultSite::DiskRenameFail)) {
+        let _ = std::fs::remove_file(&tmp);
         return false;
     }
     if std::fs::rename(&tmp, path).is_err() {
         let _ = std::fs::remove_file(&tmp);
         return false;
     }
-    true
+    !torn
+}
+
+/// Flips one byte of a read frame when the read-corruption fault
+/// fires, so the *checksum path* (not the fault plane) catches it.
+fn maybe_corrupt(text: String, faults: Option<&FaultPlan>) -> String {
+    match faults {
+        Some(plan) if !text.is_empty() && plan.fire(FaultSite::DiskReadCorrupt) => {
+            let mut bytes = text.into_bytes();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        _ => text,
+    }
 }
 
 /// The JSON envelope of one persisted outcome.
@@ -158,7 +275,88 @@ impl DiskStore {
         let modules = dir.join("modules");
         std::fs::create_dir_all(&responses)?;
         std::fs::create_dir_all(&modules)?;
-        Ok(DiskStore { responses, modules })
+        Ok(DiskStore {
+            responses,
+            modules,
+            faults: None,
+            gc: None,
+        })
+    }
+
+    /// Attaches the fault plan: every disk write and read consults it.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> DiskStore {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Caps the store at `cap` payload bytes with access-ordered GC.
+    /// Entries already on disk are inventoried (oldest-modified first,
+    /// so pre-existing files are the first eviction candidates) and an
+    /// over-full directory is collected immediately.
+    pub fn with_cap(mut self, cap: u64) -> DiskStore {
+        let mut gc = GcState {
+            cap,
+            ..GcState::default()
+        };
+        // Inventory both tiers, ordered by mtime (ties broken by path,
+        // so the seeding is deterministic given identical timestamps).
+        let mut found: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        for dir in [&self.responses, &self.modules] {
+            let Ok(read) = std::fs::read_dir(dir) else {
+                continue;
+            };
+            for entry in read.flatten() {
+                let Ok(meta) = entry.metadata() else {
+                    continue;
+                };
+                if !meta.is_file() {
+                    continue;
+                }
+                let modified = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                found.push((entry.path(), meta.len(), modified));
+            }
+        }
+        found.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        for (path, bytes, _) in found {
+            gc.record(&path, bytes);
+        }
+        gc.collect(Path::new(""));
+        self.gc = Some(Mutex::new(gc));
+        self
+    }
+
+    /// Total payload bytes the capped store currently tracks (0 when
+    /// uncapped).
+    pub fn bytes(&self) -> u64 {
+        self.gc
+            .as_ref()
+            .map(|gc| gc.lock().expect("gc lock poisoned").total)
+            .unwrap_or(0)
+    }
+
+    /// `(entries evicted, bytes evicted)` by the cap so far.
+    pub fn gc_counters(&self) -> (u64, u64) {
+        self.gc
+            .as_ref()
+            .map(|gc| {
+                let gc = gc.lock().expect("gc lock poisoned");
+                (gc.evictions, gc.evicted_bytes)
+            })
+            .unwrap_or((0, 0))
+    }
+
+    fn note_hit(&self, path: &Path) {
+        if let Some(gc) = &self.gc {
+            gc.lock().expect("gc lock poisoned").touch(path);
+        }
+    }
+
+    fn note_store(&self, path: &Path, bytes: u64) {
+        if let Some(gc) = &self.gc {
+            let mut gc = gc.lock().expect("gc lock poisoned");
+            gc.record(path, bytes);
+            gc.collect(path);
+        }
     }
 
     /// Probes the response tier for `key`.
@@ -169,6 +367,7 @@ impl DiskStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskRead::Miss,
             Err(_) => return DiskRead::Corrupt,
         };
+        let text = maybe_corrupt(text, self.faults.as_deref());
         let Some(payload) = unframe(&text) else {
             return DiskRead::Corrupt;
         };
@@ -176,7 +375,10 @@ impl DiskStore {
             return DiskRead::Corrupt;
         };
         match outcome_from_json(&doc) {
-            Some(outcome) => DiskRead::Hit(outcome),
+            Some(outcome) => {
+                self.note_hit(&path);
+                DiskRead::Hit(outcome)
+            }
             None => DiskRead::Corrupt,
         }
     }
@@ -185,7 +387,12 @@ impl DiskStore {
     /// landed (a `false` is a counter bump, never an error).
     pub fn store_response(&self, key: &ResponseKey, outcome: &Outcome) -> bool {
         let path = self.responses.join(format!("{}.json", response_stem(key)));
-        write_atomic(&path, &frame(&outcome_json(outcome).compact()))
+        let text = frame(&outcome_json(outcome).compact());
+        let landed = write_atomic(&path, &text, self.faults.as_deref());
+        if landed {
+            self.note_store(&path, text.len() as u64);
+        }
+        landed
     }
 
     /// Probes the module tier for `hash`. A hit is doubly verified:
@@ -198,8 +405,10 @@ impl DiskStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskRead::Miss,
             Err(_) => return DiskRead::Corrupt,
         };
+        let text = maybe_corrupt(text, self.faults.as_deref());
         match unframe(&text) {
             Some(payload) if proto::content_hash(payload) == hash => {
+                self.note_hit(&path);
                 DiskRead::Hit(payload.to_string())
             }
             Some(_) => DiskRead::Corrupt,
@@ -210,7 +419,12 @@ impl DiskStore {
     /// Persists a module text under its content hash.
     pub fn store_module(&self, hash: u64, text: &str) -> bool {
         let path = self.modules.join(format!("{}.rba", proto::hash_hex(hash)));
-        write_atomic(&path, &frame(text))
+        let framed = frame(text);
+        let landed = write_atomic(&path, &framed, self.faults.as_deref());
+        if landed {
+            self.note_store(&path, framed.len() as u64);
+        }
+        landed
     }
 }
 
@@ -230,6 +444,13 @@ mod tests {
 
     fn key(n: u64) -> ResponseKey {
         (n, 2, 32, crate::oneshot::ServeStrategy::Balanced)
+    }
+
+    fn fail_outcome() -> Outcome {
+        Outcome::Fail {
+            code: "infeasible".into(),
+            message: "cannot fit".into(),
+        }
     }
 
     #[test]
@@ -297,10 +518,7 @@ mod tests {
     fn corrupt_and_truncated_entries_read_as_cold_misses() {
         let (dir, store) = temp_store("corrupt");
         let k = key(9);
-        let outcome = Outcome::Fail {
-            code: "infeasible".into(),
-            message: "cannot fit".into(),
-        };
+        let outcome = fail_outcome();
         assert!(store.store_response(&k, &outcome));
         let path = dir
             .join("responses")
@@ -330,5 +548,132 @@ mod tests {
         assert!(store.store_response(&k, &outcome));
         assert!(matches!(store.load_response(&k), DiskRead::Hit(_)));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The satellite truncation sweep: every proper prefix of a
+    /// persisted entry must read as `Corrupt` or `Miss` — never a hit,
+    /// never a wrong document, never a panic.
+    #[test]
+    fn every_truncation_prefix_degrades_cleanly() {
+        let (dir, store) = temp_store("prefixes");
+        let k = key(5);
+        assert!(store.store_response(&k, &fail_outcome()));
+        let path = dir
+            .join("responses")
+            .join(format!("{}.json", response_stem(&k)));
+        let full = std::fs::read(&path).unwrap();
+        for len in 0..full.len() {
+            std::fs::write(&path, &full[..len]).unwrap();
+            match store.load_response(&k) {
+                DiskRead::Corrupt | DiskRead::Miss => {}
+                DiskRead::Hit(_) => {
+                    panic!("a {len}-byte prefix of a {}-byte entry verified", full.len())
+                }
+            }
+        }
+        // Same sweep on the module tier, where the payload must also
+        // hash to the file name.
+        let text = "func t {\nbb0:\n halt\n}";
+        let hash = proto::content_hash(text);
+        assert!(store.store_module(hash, text));
+        let mpath = dir.join("modules").join(format!("{}.rba", proto::hash_hex(hash)));
+        let mfull = std::fs::read(&mpath).unwrap();
+        for len in 0..mfull.len() {
+            std::fs::write(&mpath, &mfull[..len]).unwrap();
+            assert!(
+                !matches!(store.load_module(hash), DiskRead::Hit(_)),
+                "a {len}-byte module prefix verified"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_faults_fail_writes_and_reads_stay_clean() {
+        use crate::faults::{FaultPlan, FaultSite};
+        let (dir, store) = temp_store("faults");
+        let plan = Arc::new(
+            FaultPlan::seeded(1)
+                .with_exact(FaultSite::DiskWriteFail, &[0])
+                .with_exact(FaultSite::DiskWriteShort, &[1]) // 2nd write passing the fail gate
+                .with_exact(FaultSite::DiskRenameFail, &[2]),
+        );
+        let store = store.with_faults(plan.clone());
+        // Write 0: outright failure, nothing on disk.
+        assert!(!store.store_response(&key(0), &fail_outcome()));
+        assert!(matches!(store.load_response(&key(0)), DiskRead::Miss));
+        // Write 1: lands intact (no fault fires at its indices).
+        assert!(store.store_response(&key(1), &fail_outcome()));
+        // Write 2: torn — reported failed, and the torn frame on disk
+        // reads as corruption, not as a hit.
+        assert!(!store.store_response(&key(2), &fail_outcome()));
+        assert!(matches!(store.load_response(&key(2)), DiskRead::Corrupt));
+        // Write 3: rename fails; no final entry, temp cleaned up.
+        assert!(!store.store_response(&key(3), &fail_outcome()));
+        assert!(matches!(store.load_response(&key(3)), DiskRead::Miss));
+        let leftovers: Vec<_> = std::fs::read_dir(dir.join("responses"))
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        assert_eq!(plan.fired_total(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_corruption_degrades_to_a_miss_and_heals() {
+        use crate::faults::{FaultPlan, FaultSite};
+        let (dir, store) = temp_store("readfault");
+        let plan = Arc::new(FaultPlan::seeded(1).with_exact(FaultSite::DiskReadCorrupt, &[0]));
+        let store = store.with_faults(plan);
+        assert!(store.store_response(&key(0), &fail_outcome()));
+        // Read 0: the injected flip must fail the checksum.
+        assert!(matches!(store.load_response(&key(0)), DiskRead::Corrupt));
+        // Read 1: the file itself was never touched — it still verifies.
+        assert!(matches!(store.load_response(&key(0)), DiskRead::Hit(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_cap_evicts_in_access_order() {
+        let (dir, store) = temp_store("gc");
+        // Measure one entry, then cap the store at three of them.
+        assert!(store.store_response(&key(0), &fail_outcome()));
+        let entry_bytes = store
+            .load_response(&key(0))
+            .hit_size(&dir, &key(0));
+        let store = DiskStore::open(&dir).unwrap().with_cap(entry_bytes * 3);
+        // Keys 1..=3 fill the cap (key 0 predates the cap and is the
+        // oldest by inventory order — the first victim).
+        for n in 1..=3u64 {
+            assert!(store.store_response(&key(n), &fail_outcome()));
+        }
+        assert!(matches!(store.load_response(&key(0)), DiskRead::Miss));
+        // Touch key 1 so key 2 becomes the least recently accessed.
+        assert!(matches!(store.load_response(&key(1)), DiskRead::Hit(_)));
+        assert!(store.store_response(&key(4), &fail_outcome()));
+        assert!(matches!(store.load_response(&key(2)), DiskRead::Miss));
+        assert!(matches!(store.load_response(&key(1)), DiskRead::Hit(_)));
+        assert!(matches!(store.load_response(&key(3)), DiskRead::Hit(_)));
+        assert!(matches!(store.load_response(&key(4)), DiskRead::Hit(_)));
+        let (evictions, evicted_bytes) = store.gc_counters();
+        assert_eq!(evictions, 2);
+        assert_eq!(evicted_bytes, entry_bytes * 2);
+        assert!(store.bytes() <= entry_bytes * 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    impl DiskRead<Outcome> {
+        /// Test helper: the on-disk size of the hit entry.
+        fn hit_size(&self, dir: &Path, k: &ResponseKey) -> u64 {
+            assert!(matches!(self, DiskRead::Hit(_)));
+            std::fs::metadata(
+                dir.join("responses")
+                    .join(format!("{}.json", response_stem(k))),
+            )
+            .unwrap()
+            .len()
+        }
     }
 }

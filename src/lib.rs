@@ -24,6 +24,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fuzz;
+
 pub use regbal_analysis as analysis;
 pub use regbal_core as core;
 pub use regbal_igraph as igraph;

@@ -1,0 +1,26 @@
+//! Replays the archived fuzz regression corpus.
+//!
+//! `tests/fuzz_regressions.txt` holds one line per case that the
+//! `regbal fuzz` walk (CI's nightly mode, or any manual run with
+//! `--archive`) ever found failing, plus a pinned starter set. Each
+//! line re-runs the full ladder contract via [`regbal::fuzz`]: once a
+//! case is archived, it can never silently regress.
+
+use regbal::fuzz::FuzzCase;
+
+#[test]
+fn every_archived_fuzz_case_still_passes() {
+    let corpus = include_str!("fuzz_regressions.txt");
+    let mut replayed = 0usize;
+    for line in corpus.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let case = FuzzCase::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        case.check()
+            .unwrap_or_else(|e| panic!("archived case regressed: {line}: {e}"));
+        replayed += 1;
+    }
+    assert!(replayed >= 4, "the starter corpus must be present");
+}

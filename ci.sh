@@ -35,12 +35,21 @@ cargo test -q --test degradation
 ./target/release/regbal eval --validate target/BENCH_EVAL_SMOKE.json
 ./target/release/regbal eval --validate BENCH_EVAL.json
 
+# The smoke documents must cover all five strategies — in particular
+# the scratchpad tier (`balanced-scratch`), whose cells `--validate`
+# holds to the scratch-accounting rules (scratch_spills <= spills, and
+# only scratch-capable strategies may use the spad).
+grep -q '"balanced-scratch"' target/BENCH_EVAL_SMOKE.json
+grep -q '"scratch_spills"' target/BENCH_EVAL_SMOKE.json
+
 # The same smoke sweep under the register-clobber sanitizer: every
-# shipped strategy must run with zero sanitizer reports (the command
-# exits non-zero on any violation or warning), and the instrumented
+# shipped strategy — the scratchpad tier included — must run with zero
+# sanitizer reports (the command exits non-zero on any violation or
+# warning; spad slot clobbers are violations), and the instrumented
 # document must still validate.
 ./target/release/regbal eval --smoke --sanitize --out target/BENCH_EVAL_SANITIZE.json
 ./target/release/regbal eval --validate target/BENCH_EVAL_SANITIZE.json
+grep -q '"balanced-scratch"' target/BENCH_EVAL_SANITIZE.json
 
 # Deterministic merge: the sharded, compile-cached sweep must emit the
 # same bytes as the serial one — same config and seed, any worker
@@ -122,9 +131,13 @@ rm -rf target/serve_gc
 # Nightly: the time-budgeted stress-fuzz walk. Seeded adversarial
 # bundles stream through the full ladder contract (no panics, confined
 # validated rewrites, preserved semantics, sanitizer-clean, no hangs);
-# any failing case is appended to the committed regression corpus,
-# which `cargo test` replays forever after.
+# any failing case is minimized (fewer threads, smaller file, simpler
+# class — while the failure still reproduces) and appended to the
+# committed regression corpus, which `cargo test` replays forever
+# after. The closing --minimize pass keeps the whole corpus minimal:
+# on a healthy corpus it is the identity.
 if [ "${1:-}" = "nightly" ]; then
     ./target/release/regbal fuzz --seconds "${FUZZ_SECONDS:-300}" \
         --archive tests/fuzz_regressions.txt
+    ./target/release/regbal fuzz --minimize tests/fuzz_regressions.txt
 fi

@@ -15,7 +15,11 @@
 //! * [`Nsr`] — the *Non-Switch Regions*: maximal connected pieces of the
 //!   CFG containing no context switch (paper §3.1), plus the
 //!   boundary/internal classification of every virtual register
-//!   (paper §3.2).
+//!   (paper §3.2);
+//! * [`SpillCosts`] — per-virtual-register static spill costs
+//!   (loop-depth-weighted occurrence counts with a deterministic
+//!   register-id tie-break), the eviction order of the spill loop and
+//!   the scratchpad packer in `regbal-core`.
 //!
 //! The [`ProgramInfo`] bundle computes all of the above in one call.
 //!
@@ -43,12 +47,14 @@ mod liveness;
 mod nsr;
 mod points;
 mod pressure;
+mod spillcost;
 
 pub use csb::Csbs;
 pub use liveness::Liveness;
 pub use nsr::{Nsr, RegionId};
 pub use points::{Point, PointMap, Slot};
 pub use pressure::Pressure;
+pub use spillcost::SpillCosts;
 
 use regbal_ir::{BitSet, Func};
 

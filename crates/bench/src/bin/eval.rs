@@ -34,7 +34,11 @@ fn main() {
                         Some(c) if c.status == CellStatus::Ok => {
                             let mark = if c.checksum_ok { "" } else { " !" };
                             if c.spills > 0 {
-                                format!("{:.2} ({}sp){mark}", c.throughput_ipkc, c.spills)
+                                let spad = match c.scratch_spills {
+                                    0 => String::new(),
+                                    n => format!(", {n}spad"),
+                                };
+                                format!("{:.2} ({}sp{spad}){mark}", c.throughput_ipkc, c.spills)
                             } else if c.moves > 0 {
                                 format!("{:.2} ({}mv){mark}", c.throughput_ipkc, c.moves)
                             } else {
@@ -51,7 +55,10 @@ fn main() {
         println!("{}", table::render(&header, &rows));
     }
     println!("throughput in iterations per kilocycle, summed over threads");
-    println!("(sp = spilled ranges, mv = split moves, — = infeasible, ! = checksum mismatch)");
+    println!(
+        "(sp = spilled ranges, spad = of those, slots in the shared scratchpad, \
+         mv = split moves, — = infeasible, ! = checksum mismatch)"
+    );
 
     let path = "BENCH_EVAL.json";
     std::fs::write(path, report.to_json_string() + "\n").expect("write BENCH_EVAL.json");

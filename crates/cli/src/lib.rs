@@ -207,7 +207,12 @@ USAGE:
       --cases <N>      run exactly N cases instead of a time budget
       --archive <F>    append every failing case line to F for replay
                        by tests/fuzz_regressions.rs (the committed
-                       corpus is tests/fuzz_regressions.txt)
+                       corpus is tests/fuzz_regressions.txt); each case
+                       is deterministically minimized first (fewer
+                       threads, smaller file, simpler class — while the
+                       failure still reproduces)
+      --minimize <F>   re-minimize every case line of archive F in
+                       place (comments are preserved); no fuzz walk
   regbal dot [--ig] <files...>                Graphviz output (CFG, or the
                                               interference graph with --ig)
   regbal help                                 this text
@@ -1036,13 +1041,16 @@ fn serve(args: Vec<String>, out: &mut String) -> Result<(), String> {
 /// The `regbal fuzz` subcommand: walks the deterministic stress-fuzz
 /// case sequence ([`regbal::fuzz::FuzzCase::from_index`]) under a time
 /// or case budget, checking every case against the full ladder
-/// contract. Failing cases are reported (and appended to `--archive`
-/// for permanent replay); any failure makes the run exit non-zero.
+/// contract. Failing cases are minimized, reported, and appended to
+/// `--archive` for permanent replay; any failure makes the run exit
+/// non-zero. `--minimize <file>` skips the walk and re-minimizes an
+/// existing archive in place instead.
 fn fuzz(args: Vec<String>, out: &mut String) -> Result<(), String> {
     let mut seconds = 5u64;
     let mut start = 0u64;
     let mut cases: Option<u64> = None;
     let mut archive: Option<String> = None;
+    let mut reminimize: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
@@ -1065,13 +1073,17 @@ fn fuzz(args: Vec<String>, out: &mut String) -> Result<(), String> {
                 );
             }
             "--archive" => archive = Some(value("--archive")?),
+            "--minimize" => reminimize = Some(value("--minimize")?),
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
+    }
+    if let Some(path) = reminimize {
+        return minimize_archive(&path, out);
     }
     let started = std::time::Instant::now();
     let budget = std::time::Duration::from_secs(seconds);
     let mut checked = 0u64;
-    let mut failures: Vec<(String, String)> = Vec::new();
+    let mut failures: Vec<(String, String, String)> = Vec::new();
     let mut index = start;
     loop {
         let done = match cases {
@@ -1084,7 +1096,11 @@ fn fuzz(args: Vec<String>, out: &mut String) -> Result<(), String> {
         let case = regbal::fuzz::FuzzCase::from_index(index);
         if let Err(e) = case.check() {
             let _ = writeln!(out, "FAIL {}: {e}", case.line());
-            failures.push((case.line(), e));
+            let min = case.minimize();
+            if min.line() != case.line() {
+                let _ = writeln!(out, "  minimized to {}", min.line());
+            }
+            failures.push((case.line(), min.line(), e));
         }
         checked += 1;
         index += 1;
@@ -1092,8 +1108,11 @@ fn fuzz(args: Vec<String>, out: &mut String) -> Result<(), String> {
     if let Some(path) = &archive {
         if !failures.is_empty() {
             let mut text = String::new();
-            for (line, error) in &failures {
+            for (found, line, error) in &failures {
                 let _ = writeln!(text, "# {error}");
+                if found != line {
+                    let _ = writeln!(text, "# found as {found}");
+                }
                 let _ = writeln!(text, "{line}");
             }
             use std::io::Write as IoWrite;
@@ -1121,6 +1140,38 @@ fn fuzz(args: Vec<String>, out: &mut String) -> Result<(), String> {
             failures.len()
         ))
     }
+}
+
+/// `regbal fuzz --minimize <file>`: re-runs the deterministic minimizer
+/// over every case line of an existing archive and rewrites the file in
+/// place. Comment lines survive untouched; a case that now passes its
+/// contract (or is already minimal) is kept verbatim, so re-minimizing
+/// a healthy corpus is the identity.
+fn minimize_archive(path: &str, out: &mut String) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut rewritten = String::new();
+    let mut seen = 0usize;
+    let mut shrunk = 0usize;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            let _ = writeln!(rewritten, "{raw}");
+            continue;
+        }
+        let case = regbal::fuzz::FuzzCase::parse(line).map_err(|e| format!("{path}: {line}: {e}"))?;
+        let min = case.minimize();
+        seen += 1;
+        if min.line() != line {
+            shrunk += 1;
+            let _ = writeln!(out, "{line}  ->  {}", min.line());
+        }
+        let _ = writeln!(rewritten, "{}", min.line());
+    }
+    if rewritten != text {
+        std::fs::write(path, rewritten).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let _ = writeln!(out, "minimize: {seen} case(s) in {path}, {shrunk} shrunk");
+    Ok(())
 }
 
 /// When a replay ran with both `--cache-dir` and `--cache-dir-cap`,
@@ -1837,7 +1888,10 @@ mod tests {
         };
         let mut out = String::new();
         run_cli(&args(&["--quiet"]), &mut out).unwrap();
-        assert!(out.contains("degraded: balanced -> balanced-spill"), "{out}");
+        assert!(
+            out.contains("degraded: balanced -> balanced-scratch"),
+            "{out}"
+        );
         assert!(out.contains("rung `"), "{out}");
         assert!(!out.contains("rung `balanced`"), "a fallback rung settled: {out}");
 
@@ -1969,6 +2023,31 @@ mod tests {
         .unwrap();
         assert!(out.contains("3 case(s) from index 6"), "{out}");
         assert!(out.contains("0 failure(s)"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_minimize_rewrites_an_archive_and_keeps_comments() {
+        // A healthy corpus (every case passes its contract) re-minimizes
+        // to itself: the minimizer never touches a passing case.
+        let corpus = "# pinned starter case\nseed=16294208416658607535 class=csb-dense threads=2 nreg=8\n";
+        let path = write_temp("fuzz-min.txt", corpus);
+        let mut out = String::new();
+        run_cli(&["fuzz".into(), "--minimize".into(), path.clone()], &mut out).unwrap();
+        assert!(out.contains("1 case(s)"), "{out}");
+        assert!(out.contains("0 shrunk"), "{out}");
+        let after = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(after, corpus, "identity re-minimization must not rewrite");
+    }
+
+    #[test]
+    fn fuzz_minimize_rejects_a_malformed_archive_line() {
+        let path = write_temp("fuzz-min-bad.txt", "seed=1 class=warp threads=2 nreg=8\n");
+        let err = run_cli(
+            &["fuzz".into(), "--minimize".into(), path],
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("class"), "{err}");
     }
 
     #[test]

@@ -134,8 +134,13 @@ pub enum LadderStep {
     /// The paper's inter-thread balancing allocator (Fig. 8), no
     /// spilling.
     Balanced,
+    /// Balancing plus spilling of the cheapest ranges of the most
+    /// demanding thread, with the cheapest spills packed into the
+    /// fast shared scratchpad (the RegDem-style tier) and the
+    /// overflow sent to memory.
+    BalancedScratch,
     /// Balancing plus last-resort spilling of the cheapest ranges of
-    /// the most demanding thread.
+    /// the most demanding thread, all spills to memory.
     BalancedSpill,
     /// The stock-compiler baseline: equal `Nreg / Nthd` private banks,
     /// Chaitin spilling within each.
@@ -150,6 +155,7 @@ impl LadderStep {
     pub fn name(self) -> &'static str {
         match self {
             LadderStep::Balanced => "balanced",
+            LadderStep::BalancedScratch => "balanced-scratch",
             LadderStep::BalancedSpill => "balanced-spill",
             LadderStep::FixedPartition => "fixed-partition",
             LadderStep::SpillAll => "spill-all",
@@ -159,7 +165,8 @@ impl LadderStep {
     /// The next rung down, if any.
     pub fn next(self) -> Option<LadderStep> {
         match self {
-            LadderStep::Balanced => Some(LadderStep::BalancedSpill),
+            LadderStep::Balanced => Some(LadderStep::BalancedScratch),
+            LadderStep::BalancedScratch => Some(LadderStep::BalancedSpill),
             LadderStep::BalancedSpill => Some(LadderStep::FixedPartition),
             LadderStep::FixedPartition => Some(LadderStep::SpillAll),
             LadderStep::SpillAll => None,
@@ -284,7 +291,13 @@ mod tests {
         }
         assert_eq!(
             names,
-            ["balanced", "balanced-spill", "fixed-partition", "spill-all"]
+            [
+                "balanced",
+                "balanced-scratch",
+                "balanced-spill",
+                "fixed-partition",
+                "spill-all"
+            ]
         );
         assert_eq!(LadderStep::SpillAll.next(), None);
     }

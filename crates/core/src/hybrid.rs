@@ -8,13 +8,44 @@
 //! pressure into a handful of memory operations), then retry the
 //! balancing allocator — the opposite priority of the stock compiler,
 //! which spills before it ever considers sharing.
+//!
+//! "Cheapest" is the static [`SpillCosts`] model of `regbal-analysis`:
+//! loop-depth-weighted occurrence counts with a deterministic
+//! register-id tie-break. An optional scratchpad tier
+//! ([`ScratchParams`]) packs the earliest — hence cheapest — evictions
+//! into a small fast shared store before the overflow falls back to
+//! ~20-cycle memory (the RegDem idea applied to a multithreaded NPU).
 
 use crate::chaitin::insert_spill_code;
 use crate::engine::{allocate_threads_sweep, EngineConfig, MultiAllocation};
 use crate::error::AllocError;
-use regbal_analysis::ProgramInfo;
+use regbal_analysis::{ProgramInfo, SpillCosts};
 use regbal_igraph::build_gig;
-use regbal_ir::{Func, MemSpace, Reg, VReg};
+use regbal_ir::{Func, MemSpace, VReg};
+
+/// The scratchpad spill tier: a small fast shared store the cheapest
+/// spills are packed into before the overflow falls back to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchParams {
+    /// Base byte address of this thread group's scratchpad spill area.
+    pub base: i64,
+    /// Capacity in 32-bit words shared by the whole group; slots are
+    /// handed out in eviction order, so the cheapest spills land here.
+    pub capacity: usize,
+}
+
+/// One spill decision of the hybrid loop, in eviction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillPick {
+    /// The thread spilled from.
+    pub thread: usize,
+    /// The virtual register evicted.
+    pub vreg: u32,
+    /// Its static spill cost ([`SpillCosts`]).
+    pub cost: u64,
+    /// Whether the slot landed in the scratchpad tier (`false`: memory).
+    pub to_scratch: bool,
+}
 
 /// Result of [`allocate_threads_with_spill`].
 #[derive(Debug, Clone)]
@@ -26,6 +57,11 @@ pub struct HybridAllocation {
     pub alloc: MultiAllocation,
     /// Number of live ranges spilled per thread.
     pub spills: Vec<usize>,
+    /// How many of each thread's spills live in the scratchpad tier
+    /// (all zero without [`ScratchParams`]).
+    pub scratch_spills: Vec<usize>,
+    /// Every spill decision in eviction order, with its cost.
+    pub picks: Vec<SpillPick>,
 }
 
 impl HybridAllocation {
@@ -125,6 +161,39 @@ pub fn allocate_threads_with_spill_seeded(
         .expect("one verdict per target")
 }
 
+/// Like [`allocate_threads_with_spill_seeded`], with the scratchpad
+/// spill tier: the cheapest evictions are packed into
+/// `scratch.capacity` fast words at `scratch.base` and the overflow
+/// falls back to memory above `spill_base`. `costs`, when given, must
+/// hold one [`SpillCosts`] per thread computed from the unmodified
+/// `funcs`.
+///
+/// # Errors
+///
+/// As [`allocate_threads_with_spill_config`].
+pub fn allocate_threads_with_spill_scratch(
+    funcs: &[Func],
+    nreg: usize,
+    spill_base: i64,
+    config: EngineConfig,
+    first: Option<Result<MultiAllocation, AllocError>>,
+    scratch: &ScratchParams,
+    costs: Option<&[SpillCosts]>,
+) -> Result<HybridAllocation, AllocError> {
+    let seeds = first.map(|verdict| vec![verdict]);
+    allocate_threads_with_spill_sweep_scratch(
+        funcs,
+        &[nreg],
+        spill_base,
+        config,
+        seeds.as_deref(),
+        Some(scratch),
+        costs,
+    )
+    .pop()
+    .expect("one verdict per target")
+}
+
 /// Hybrid allocation of one thread group against *several* register-file
 /// sizes at once. Which range spills in round `r` depends only on the
 /// spill-augmented programs — never on `nreg` — so every target shares
@@ -148,6 +217,33 @@ pub fn allocate_threads_with_spill_sweep(
     config: EngineConfig,
     first: Option<&[Result<MultiAllocation, AllocError>]>,
 ) -> Vec<Result<HybridAllocation, AllocError>> {
+    allocate_threads_with_spill_sweep_scratch(funcs, targets, spill_base, config, first, None, None)
+}
+
+/// Like [`allocate_threads_with_spill_sweep`], with the scratchpad
+/// spill tier and an optional precomputed cost model.
+///
+/// `scratch`, when given, packs the earliest (cheapest) evictions into
+/// `scratch.capacity` scratchpad words starting at `scratch.base`; the
+/// overflow falls back to memory slots with exactly the numbering the
+/// scratch-free loop would use, so a zero-capacity scratchpad is
+/// bit-identical to [`allocate_threads_with_spill_sweep`].
+///
+/// `costs`, when given, must hold one [`SpillCosts`] per thread
+/// computed from the *unmodified* `funcs` (e.g. the eval cache's
+/// per-(function, nthreads) slot); otherwise they are computed here.
+/// The costs of original, not-yet-spilled registers are unaffected by
+/// spill code inserted for other registers, so computing them once up
+/// front is behaviour-preserving.
+pub fn allocate_threads_with_spill_sweep_scratch(
+    funcs: &[Func],
+    targets: &[usize],
+    spill_base: i64,
+    config: EngineConfig,
+    first: Option<&[Result<MultiAllocation, AllocError>]>,
+    scratch: Option<&ScratchParams>,
+    costs: Option<&[SpillCosts]>,
+) -> Vec<Result<HybridAllocation, AllocError>> {
     if let Some(seeds) = first {
         assert_eq!(
             seeds.len(),
@@ -155,8 +251,22 @@ pub fn allocate_threads_with_spill_sweep(
             "one round-0 seed per swept target"
         );
     }
+    if let Some(costs) = costs {
+        assert_eq!(costs.len(), funcs.len(), "one cost model per thread");
+    }
+    let owned_costs: Vec<SpillCosts>;
+    let costs: &[SpillCosts] = match costs {
+        Some(c) => c,
+        None => {
+            owned_costs = funcs.iter().map(SpillCosts::compute).collect();
+            &owned_costs
+        }
+    };
     let mut work: Vec<Func> = funcs.to_vec();
     let mut spills = vec![0usize; funcs.len()];
+    let mut scratch_spills = vec![0usize; funcs.len()];
+    let mut picks: Vec<SpillPick> = Vec::new();
+    let mut spad_used = 0usize;
     let mut next_slot = vec![0i64; funcs.len()];
     let mut already: Vec<Vec<bool>> = funcs
         .iter()
@@ -188,6 +298,8 @@ pub fn allocate_threads_with_spill_sweep(
                         funcs: work.clone(),
                         alloc,
                         spills: spills.clone(),
+                        scratch_spills: scratch_spills.clone(),
+                        picks: picks.clone(),
                     }));
                 }
                 Err(AllocError::Infeasible { .. }) => still.push(i),
@@ -200,7 +312,7 @@ pub fn allocate_threads_with_spill_sweep(
         }
         let p = pressure.get_or_insert_with(|| work.iter().map(thread_pressure).collect());
         let t = most_demanding_thread(p);
-        let Some(v) = spill_candidate(&work[t], &already[t]) else {
+        let Some(v) = spill_candidate(&work[t], &already[t], &costs[t]) else {
             let rounds = spills.iter().sum();
             for &i in &pending {
                 results[i] = Some(Err(AllocError::SpillDiverged { rounds }));
@@ -208,11 +320,28 @@ pub fn allocate_threads_with_spill_sweep(
             pending.clear();
             break;
         };
-        let slot = spill_base + (t as i64) * 0x1000 + next_slot[t];
-        next_slot[t] += 4;
+        let (slot, space, to_scratch) = match scratch {
+            Some(sp) if spad_used < sp.capacity => {
+                let slot = sp.base + (spad_used as i64) * 4;
+                spad_used += 1;
+                (slot, MemSpace::Spad, true)
+            }
+            _ => {
+                let slot = spill_base + (t as i64) * 0x1000 + next_slot[t];
+                next_slot[t] += 4;
+                (slot, SPILL_SPACE, false)
+            }
+        };
         already[t][v.index()] = true;
-        insert_spill_code(&mut work[t], v, slot, SPILL_SPACE);
+        insert_spill_code(&mut work[t], v, slot, space);
         spills[t] += 1;
+        scratch_spills[t] += usize::from(to_scratch);
+        picks.push(SpillPick {
+            thread: t,
+            vreg: v.0,
+            cost: costs[t].cost(v.0),
+            to_scratch,
+        });
         p[t] = thread_pressure(&work[t]);
     }
     let rounds: usize = spills.iter().sum();
@@ -243,36 +372,31 @@ fn most_demanding_thread(pressure: &[usize]) -> usize {
     best
 }
 
-/// Chaitin's spill metric: fewest occurrences per interference degree,
-/// restricted to ranges that actually relieve pressure (degree > 0)
-/// and have not been spilled before (re-spilling a def→store stub
-/// cannot reduce pressure further).
-fn spill_candidate(func: &Func, already: &[bool]) -> Option<VReg> {
+/// The cheapest eviction per unit of pressure relief: Chaitin's spill
+/// metric with the static cost model ([`SpillCosts`]:
+/// loop-depth-weighted occurrence counts) as the numerator and the
+/// range's interference degree in the *current* program as the
+/// denominator. A raw-cost order ignores how much pressure an eviction
+/// actually relieves and can grind through dozens of useless spills on
+/// clique-heavy programs; dividing by degree keeps the loop convergent
+/// while still serving the cheapest ranges first. Ties fall back to
+/// the deterministic `(cost, register id)` key.
+fn spill_candidate(func: &Func, already: &[bool], costs: &SpillCosts) -> Option<VReg> {
     let info = ProgramInfo::compute(func);
     let gig = build_gig(&info);
     let nv = func.num_vregs as usize;
-    let mut occurrences = vec![0usize; nv];
-    let mut count = |r: Reg| {
-        if let Reg::Virt(v) = r {
-            occurrences[v.index()] += 1;
-        }
-    };
-    for (_, _, inst) in func.iter_insts() {
-        inst.defs().for_each(&mut count);
-        inst.uses().for_each(&mut count);
-    }
-    for (_, b) in func.iter_blocks() {
-        b.term.uses().for_each(&mut count);
-    }
-    (0..nv)
-        .filter(|&v| occurrences[v] > 0 && gig.degree(v) > 0)
-        // Only original ranges: spill temporaries (v >= already.len())
-        // and already-spilled ranges cannot relieve pressure further.
-        .filter(|&v| v < already.len() && !already[v])
+    // Only original ranges: spill temporaries (v >= already.len()) and
+    // already-spilled ranges cannot relieve pressure further. A zero
+    // cost means the register has no occurrences — nothing to spill.
+    (0..nv.min(already.len()))
+        .filter(|&v| !already[v] && costs.cost(v as u32) > 0 && gig.degree(v) > 0)
         .min_by(|&a, &b| {
-            let ca = occurrences[a] as f64 / gig.degree(a) as f64;
-            let cb = occurrences[b] as f64 / gig.degree(b) as f64;
-            ca.partial_cmp(&cb).expect("finite costs")
+            // cost(a)/deg(a) < cost(b)/deg(b), cross-multiplied to stay
+            // in exact integer arithmetic.
+            let ra = costs.cost(a as u32) as u128 * gig.degree(b) as u128;
+            let rb = costs.cost(b as u32) as u128 * gig.degree(a) as u128;
+            ra.cmp(&rb)
+                .then_with(|| costs.key(a as u32).cmp(&costs.key(b as u32)))
         })
         .map(|v| VReg(v as u32))
 }
@@ -430,5 +554,156 @@ bb0:
         // One register cannot hold a base address and a value at once.
         let err = allocate_threads_with_spill(&funcs, 1).unwrap_err();
         assert!(matches!(err, AllocError::SpillDiverged { .. }), "{err}");
+    }
+
+    #[test]
+    fn eviction_order_is_ascending_cost_per_thread() {
+        let funcs = vec![hot(), hot()];
+        let hybrid = allocate_threads_with_spill(&funcs, 8).unwrap();
+        assert!(hybrid.picks.len() >= 2, "need several picks to order");
+        for t in 0..funcs.len() {
+            let costs: Vec<u64> = hybrid
+                .picks
+                .iter()
+                .filter(|p| p.thread == t)
+                .map(|p| p.cost)
+                .collect();
+            assert!(
+                costs.windows(2).all(|w| w[0] <= w[1]),
+                "thread {t} evictions not cost-ordered: {costs:?}"
+            );
+        }
+        assert!(hybrid.picks.iter().all(|p| p.cost > 0));
+        assert_eq!(hybrid.scratch_spills, vec![0, 0], "no scratch tier");
+    }
+
+    fn scratch(capacity: usize) -> ScratchParams {
+        ScratchParams {
+            base: 0x100,
+            capacity,
+        }
+    }
+
+    /// Zero-capacity scratchpad must degrade bit-identically to the
+    /// plain spill loop: same code, same slots, same allocation.
+    #[test]
+    fn zero_capacity_scratch_matches_plain_spill_bit_for_bit() {
+        let funcs = vec![hot(), hot()];
+        let plain = allocate_threads_with_spill(&funcs, 8).unwrap();
+        let zero = allocate_threads_with_spill_scratch(
+            &funcs,
+            8,
+            DEFAULT_SPILL_BASE,
+            EngineConfig::default(),
+            None,
+            &scratch(0),
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain.funcs, zero.funcs);
+        assert_eq!(plain.spills, zero.spills);
+        assert_eq!(zero.scratch_spills, vec![0, 0]);
+        assert_eq!(
+            format!("{:?}", plain.alloc.threads),
+            format!("{:?}", zero.alloc.threads)
+        );
+    }
+
+    /// With capacity exactly equal to the spill count, every spill
+    /// packs into the scratchpad and the slots are dense from the base.
+    #[test]
+    fn exactly_full_packing_uses_every_slot_and_no_memory() {
+        let funcs = vec![hot(), hot()];
+        let plain = allocate_threads_with_spill(&funcs, 8).unwrap();
+        let n: usize = plain.spills.iter().sum();
+        assert!(n > 0);
+        let full = allocate_threads_with_spill_scratch(
+            &funcs,
+            8,
+            DEFAULT_SPILL_BASE,
+            EngineConfig::default(),
+            None,
+            &scratch(n),
+            None,
+        )
+        .unwrap();
+        assert_eq!(full.spills, plain.spills, "same spill decisions");
+        assert_eq!(full.scratch_spills.iter().sum::<usize>(), n);
+        assert!(full.picks.iter().all(|p| p.to_scratch));
+        // Every spill slot is a dense Spad word at base + 4k (the slot
+        // address is the immediate moved into the store's base
+        // register); no spill store targets any other space.
+        let mut spad_slots = std::collections::BTreeSet::new();
+        for f in &full.funcs {
+            for (_, block) in f.iter_blocks() {
+                for (k, inst) in block.insts.iter().enumerate() {
+                    let regbal_ir::Inst::Store { space, base, .. } = inst else {
+                        continue;
+                    };
+                    // `hot()`'s own store targets Scratch; spill stores
+                    // may only target the spad here, never SRAM.
+                    assert_ne!(*space, SPILL_SPACE, "no memory-tier spill stores");
+                    if *space != MemSpace::Spad {
+                        continue;
+                    }
+                    let addr_mov = &block.insts[k - 1];
+                    if let regbal_ir::Inst::Un {
+                        dst,
+                        src: regbal_ir::Operand::Imm(slot),
+                        ..
+                    } = addr_mov
+                    {
+                        assert_eq!(dst, base);
+                        spad_slots.insert(*slot);
+                    } else {
+                        panic!("spill store not preceded by its address mov");
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            spad_slots,
+            (0..n as i64).map(|k| 0x100 + 4 * k).collect(),
+            "dense packing from the base"
+        );
+    }
+
+    /// With less capacity than spills, the scratchpad takes the
+    /// cheapest (earliest) evictions and the overflow goes to memory
+    /// in the same cost order the plain loop uses.
+    #[test]
+    fn overflow_respects_the_cost_model() {
+        let funcs = vec![hot(), hot()];
+        let plain = allocate_threads_with_spill(&funcs, 8).unwrap();
+        let n: usize = plain.spills.iter().sum();
+        assert!(n >= 2, "need an overflow to observe");
+        let cap = 1;
+        let part = allocate_threads_with_spill_scratch(
+            &funcs,
+            8,
+            DEFAULT_SPILL_BASE,
+            EngineConfig::default(),
+            None,
+            &scratch(cap),
+            None,
+        )
+        .unwrap();
+        assert_eq!(part.spills, plain.spills, "same spill decisions");
+        assert_eq!(part.scratch_spills.iter().sum::<usize>(), cap);
+        // The scratch-resident picks are exactly the first `cap`
+        // evictions — the cheapest under the per-round cost order.
+        assert!(part.picks[..cap].iter().all(|p| p.to_scratch));
+        assert!(part.picks[cap..].iter().all(|p| !p.to_scratch));
+        let max_scratch = part.picks[..cap].iter().map(|p| p.cost).max().unwrap();
+        let same_thread_overflow: Vec<u64> = part.picks[cap..]
+            .iter()
+            .filter(|p| p.thread == part.picks[0].thread)
+            .map(|p| p.cost)
+            .collect();
+        assert!(
+            same_thread_overflow.iter().all(|&c| c >= max_scratch),
+            "overflow spills must not be cheaper than the packed ones: \
+             {max_scratch} vs {same_thread_overflow:?}"
+        );
     }
 }

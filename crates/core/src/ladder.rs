@@ -1,23 +1,38 @@
-//! Graceful degradation: the allocation fallback ladder.
+//! Graceful degradation: the cost-aware allocation fallback ladder.
 //!
 //! The paper's allocator reports failure when balancing cannot fit
 //! `Σ PRᵢ + max SRᵢ` into the register file; a production compiler must
-//! still emit *something*. This module walks a fixed ladder of
-//! strategies, from the paper's balanced allocator down to spilling
-//! every value, recording each forced transition as a
-//! [`Degradation`] so callers can tell a clean allocation from a
-//! degraded one:
+//! still emit *something*. This module walks a ladder of strategies,
+//! from the paper's balanced allocator down to spilling every value,
+//! recording each forced transition as a [`Degradation`] so callers
+//! can tell a clean allocation from a degraded one:
 //!
 //! 1. **balanced** — the inter-thread greedy engine
 //!    ([`crate::allocate_threads`]), no spills;
-//! 2. **balanced-spill** — balancing plus last-resort spilling
-//!    ([`crate::allocate_threads_with_spill`]);
-//! 3. **fixed-partition** — the stock compiler's model: each thread gets
+//! 2. **balanced-scratch** — balancing plus spilling, with the cheapest
+//!    evictions packed into a small fast shared scratchpad and the
+//!    overflow sent to memory
+//!    ([`crate::allocate_threads_with_spill_scratch`]);
+//! 3. **balanced-spill** — balancing plus last-resort spilling, all
+//!    slots in memory ([`crate::allocate_threads_with_spill`]);
+//! 4. **fixed-partition** — the stock compiler's model: each thread gets
 //!    a private bank of `Nreg / Nthd` registers and a Chaitin allocator
 //!    ([`crate::chaitin`]);
-//! 4. **spill-all** — every original value lives in memory; only
+//! 5. **spill-all** — every original value lives in memory; only
 //!    instruction-local temporaries occupy registers, so Chaitin
 //!    coloring converges immediately.
+//!
+//! The walk is *cost-aware*: before trying anything, the ladder builds
+//! a [`PlannedRung`] plan that prices each rung with a static estimate
+//! of the spill traffic it would add (excess register pressure times
+//! the tier's latency) and sorts the rungs cheapest-first, with ties
+//! keeping the canonical order above. Statically infeasible rungs — a
+//! scratchpad of zero capacity — are dropped from the plan entirely,
+//! so a zero-capacity configuration reproduces the classic four-rung
+//! ladder bit for bit. Within a spilling rung, candidates are evicted
+//! in ascending static-cost order ([`regbal_analysis::SpillCosts`])
+//! and every pick's cost is recorded in the trail
+//! ([`LadderAllocation::spill_picks`]).
 //!
 //! Every rung is bounded: the balanced rungs inherit the caller's
 //! [`EngineConfig::max_iterations`] budget, the Chaitin rungs carry
@@ -34,7 +49,11 @@
 use crate::chaitin::{self, ChaitinConfig};
 use crate::engine::{allocate_threads_with, EngineConfig, IterationBudget, MultiAllocation};
 use crate::error::{AllocError, Degradation, LadderStep, RungRetry};
-use crate::hybrid::{allocate_threads_with_spill_seeded, HybridAllocation};
+use crate::hybrid::{
+    allocate_threads_with_spill_scratch, allocate_threads_with_spill_seeded, HybridAllocation,
+    ScratchParams, SpillPick,
+};
+use regbal_analysis::ProgramInfo;
 use regbal_ir::{Func, MemSpace, Reg, VReg};
 
 /// Default base address of the ladder's spill region (shared with the
@@ -42,11 +61,21 @@ use regbal_ir::{Func, MemSpace, Reg, VReg};
 /// spill area).
 pub const DEFAULT_LADDER_SPILL_BASE: i64 = 0x7_8000;
 
+/// Default scratchpad capacity of the balanced-scratch rung, in 32-bit
+/// words shared by the whole thread group.
+pub const DEFAULT_SCRATCH_CAPACITY: usize = 16;
+
 /// Byte stride between the spill areas of consecutive ladder rungs.
 const RUNG_STRIDE: i64 = 0x1_0000;
 
 /// Byte stride between per-thread spill areas within one rung.
 const THREAD_STRIDE: i64 = 0x1000;
+
+/// Per-access latency (cycles) the rung plan charges a scratchpad slot.
+const SCRATCH_EST_LATENCY: u64 = 4;
+
+/// Per-access latency (cycles) the rung plan charges a memory slot.
+const MEM_EST_LATENCY: u64 = 20;
 
 /// Configuration of the fallback ladder.
 #[derive(Debug, Clone)]
@@ -62,6 +91,13 @@ pub struct LadderConfig {
     /// thread groups over one memory (e.g. per-PU) must give each
     /// group a disjoint base.
     pub spill_base: i64,
+    /// Base byte address of this group's scratchpad spill area
+    /// ([`regbal_ir::MemSpace::Spad`]). Callers allocating several
+    /// groups over one scratchpad must give each a disjoint base.
+    pub scratch_base: i64,
+    /// Scratchpad words available to the balanced-scratch rung. Zero
+    /// drops the rung from the plan, reproducing the four-rung ladder.
+    pub scratch_capacity: usize,
 }
 
 impl Default for LadderConfig {
@@ -70,17 +106,102 @@ impl Default for LadderConfig {
             engine: EngineConfig::default(),
             spill_space: MemSpace::Sram,
             spill_base: DEFAULT_LADDER_SPILL_BASE,
+            scratch_base: 0,
+            scratch_capacity: DEFAULT_SCRATCH_CAPACITY,
         }
     }
 }
 
 impl LadderConfig {
-    /// The spill area base of one rung. The balanced rung never
-    /// spills, so the spilling rungs pack from the base: a full ladder
-    /// occupies exactly `3 * RUNG_STRIDE` bytes above `spill_base`.
+    /// The spill area base of one rung. The balanced rung never spills,
+    /// so the spilling rungs pack from the base: a full ladder occupies
+    /// exactly `3 * RUNG_STRIDE` bytes above `spill_base`. The two
+    /// balanced-spill rungs share one area — only one rung's output
+    /// ever executes, and the scratch rung's memory overflow uses the
+    /// same slot numbering as the plain spill rung (that is what makes
+    /// a zero-capacity scratchpad bit-identical to balanced-spill).
     fn rung_base(&self, step: LadderStep) -> i64 {
-        self.spill_base + ((step as i64) - 1).max(0) * RUNG_STRIDE
+        let rung = match step {
+            LadderStep::Balanced | LadderStep::BalancedScratch | LadderStep::BalancedSpill => 0,
+            LadderStep::FixedPartition => 1,
+            LadderStep::SpillAll => 2,
+        };
+        self.spill_base + rung * RUNG_STRIDE
     }
+
+    /// The scratchpad tier the balanced-scratch rung spills into.
+    fn scratch_params(&self) -> ScratchParams {
+        ScratchParams {
+            base: self.scratch_base,
+            capacity: self.scratch_capacity,
+        }
+    }
+}
+
+/// One rung of the cost-aware plan: the order the ladder will try it
+/// in, plus the static cost estimate that put it there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedRung {
+    /// The rung.
+    pub step: LadderStep,
+    /// Estimated cycles of spill traffic the rung would add: excess
+    /// register pressure times the latency of the tier its slots live
+    /// in (zero for the spill-free balanced rung).
+    pub estimate: u64,
+}
+
+/// Prices every statically feasible rung and orders them cheapest
+/// first; ties keep the canonical top-to-bottom ladder order. The
+/// balanced rung is never skipped (its estimate is zero — it adds no
+/// spill code), and the plan always ends with at least one
+/// guaranteed-to-terminate Chaitin rung, so the walk cannot run dry.
+fn plan_rungs(funcs: &[Func], nreg: usize, config: &LadderConfig) -> Vec<PlannedRung> {
+    let pressures: Vec<u64> = funcs
+        .iter()
+        .map(|f| ProgramInfo::compute(f).pressure.regp_max as u64)
+        .collect();
+    let total: u64 = pressures.iter().sum();
+    let excess = total.saturating_sub(nreg as u64);
+    let nthd = funcs.len().max(1);
+    let k = (nreg / nthd) as u64;
+    let cap = config.scratch_capacity as u64;
+    let scratch_est = excess.min(cap).saturating_mul(SCRATCH_EST_LATENCY)
+        + excess.saturating_sub(cap).saturating_mul(MEM_EST_LATENCY);
+    let spill_est = excess.saturating_mul(MEM_EST_LATENCY);
+    let partition_est = pressures
+        .iter()
+        .map(|&p| p.saturating_sub(k))
+        .sum::<u64>()
+        .saturating_mul(MEM_EST_LATENCY);
+    let spill_all_est = funcs
+        .iter()
+        .map(|f| f.num_vregs as u64)
+        .sum::<u64>()
+        .saturating_mul(MEM_EST_LATENCY);
+    let mut plan = vec![PlannedRung {
+        step: LadderStep::Balanced,
+        estimate: 0,
+    }];
+    if config.scratch_capacity > 0 {
+        plan.push(PlannedRung {
+            step: LadderStep::BalancedScratch,
+            estimate: scratch_est,
+        });
+    }
+    plan.push(PlannedRung {
+        step: LadderStep::BalancedSpill,
+        estimate: spill_est,
+    });
+    plan.push(PlannedRung {
+        step: LadderStep::FixedPartition,
+        estimate: partition_est,
+    });
+    plan.push(PlannedRung {
+        step: LadderStep::SpillAll,
+        estimate: spill_all_est,
+    });
+    plan.sort_by_key(|r| (r.estimate, r.step));
+    plan
 }
 
 /// How the ladder ultimately allocated the threads.
@@ -93,7 +214,11 @@ pub enum LadderOutcome {
         /// The balancing allocation.
         alloc: MultiAllocation,
     },
-    /// Balancing succeeded after spilling some live ranges.
+    /// Balancing succeeded after spilling some live ranges (the
+    /// balanced-scratch and balanced-spill rungs both produce this
+    /// shape; the [`LadderAllocation::step`] distinguishes them, and
+    /// [`HybridAllocation::scratch_spills`] says which slots landed in
+    /// the scratchpad tier).
     BalancedSpill(HybridAllocation),
     /// Per-thread Chaitin allocation over fixed `Nreg / Nthd` banks
     /// (the third and fourth rungs both produce this shape; the
@@ -131,6 +256,9 @@ pub struct LadderAllocation {
     pub nreg: usize,
     /// The rung that finally succeeded.
     pub step: LadderStep,
+    /// The cost-aware plan that ordered the walk: every statically
+    /// feasible rung with its estimate, cheapest first.
+    pub plan: Vec<PlannedRung>,
     /// Forced transitions, in order (empty for a clean balanced run).
     pub degradations: Vec<Degradation>,
     /// Same-rung budget retries attempted along the way, in order.
@@ -153,6 +281,27 @@ impl LadderAllocation {
             LadderOutcome::Balanced { alloc, .. } => Some(alloc),
             LadderOutcome::BalancedSpill(h) => Some(&h.alloc),
             LadderOutcome::Partitioned { .. } => None,
+        }
+    }
+
+    /// Per-thread count of spill slots living in the scratchpad tier
+    /// (all zero unless the balanced-scratch rung won).
+    pub fn scratch_spills(&self) -> Vec<usize> {
+        match &self.outcome {
+            LadderOutcome::Balanced { alloc, .. } => vec![0; alloc.threads.len()],
+            LadderOutcome::BalancedSpill(h) => h.scratch_spills.clone(),
+            LadderOutcome::Partitioned { funcs, .. } => vec![0; funcs.len()],
+        }
+    }
+
+    /// Every spill decision of the winning rung in eviction order,
+    /// each with the static cost that chose it (empty for spill-free
+    /// and partitioned outcomes, whose Chaitin spills are not
+    /// cost-ordered).
+    pub fn spill_picks(&self) -> &[SpillPick] {
+        match &self.outcome {
+            LadderOutcome::BalancedSpill(h) => &h.picks,
+            _ => &[],
         }
     }
 
@@ -294,6 +443,10 @@ pub struct RungProviders<'a> {
     /// Verdict of the balanced rung
     /// ([`crate::allocate_threads_with`] on the unmodified `funcs`).
     pub balanced: Option<Box<dyn FnOnce() -> Result<MultiAllocation, AllocError> + 'a>>,
+    /// Verdict of the balanced-scratch rung
+    /// ([`crate::allocate_threads_with_spill_scratch`] at this ladder's
+    /// rung base and scratch params).
+    pub balanced_scratch: Option<Box<dyn FnOnce() -> Result<HybridAllocation, AllocError> + 'a>>,
     /// Verdict of the balanced-spill rung
     /// ([`crate::allocate_threads_with_spill_config`] at this ladder's
     /// rung base).
@@ -315,16 +468,22 @@ pub fn allocate_ladder_seeded(
     config: &LadderConfig,
     mut providers: RungProviders<'_>,
 ) -> Result<LadderAllocation, LadderError> {
+    let plan = plan_rungs(funcs, nreg, config);
     let mut degradations: Vec<Degradation> = Vec::new();
     let mut retries: Vec<RungRetry> = Vec::new();
-    let mut step = LadderStep::Balanced;
+    let mut idx = 0;
     loop {
+        let step = plan[idx].step;
         let result = match step {
             LadderStep::Balanced => match providers.balanced.take() {
                 Some(provider) => provider().map(|alloc| LadderOutcome::Balanced {
                     funcs: funcs.to_vec(),
                     alloc,
                 }),
+                None => run_rung(funcs, nreg, config, step, config.engine),
+            },
+            LadderStep::BalancedScratch => match providers.balanced_scratch.take() {
+                Some(provider) => provider().map(LadderOutcome::BalancedSpill),
                 None => run_rung(funcs, nreg, config, step, config.engine),
             },
             LadderStep::BalancedSpill => match providers.balanced_spill.take() {
@@ -341,7 +500,12 @@ pub fn allocate_ladder_seeded(
         let result = match result {
             Err(AllocError::IterationCapHit { cap, .. })
                 if cap > 0
-                    && matches!(step, LadderStep::Balanced | LadderStep::BalancedSpill) =>
+                    && matches!(
+                        step,
+                        LadderStep::Balanced
+                            | LadderStep::BalancedScratch
+                            | LadderStep::BalancedSpill
+                    ) =>
             {
                 let retry_cap = cap.saturating_mul(2);
                 let retried = run_rung(
@@ -369,26 +533,31 @@ pub fn allocate_ladder_seeded(
                 return Ok(LadderAllocation {
                     nreg,
                     step,
+                    plan,
                     degradations,
                     retries,
                     outcome,
                 })
             }
-            Err(error) => match step.next() {
-                Some(next) => {
-                    degradations.push(Degradation {
-                        from: step,
-                        to: next,
-                        reason: error,
-                    });
-                    step = next;
+            Err(error) => {
+                idx += 1;
+                match plan.get(idx) {
+                    Some(next) => {
+                        degradations.push(Degradation {
+                            from: step,
+                            to: next.step,
+                            reason: error,
+                        });
+                    }
+                    None => {
+                        return Err(LadderError {
+                            degradations,
+                            retries,
+                            error,
+                        })
+                    }
                 }
-                None => return Err(LadderError {
-                    degradations,
-                    retries,
-                    error,
-                }),
-            },
+            }
         }
     }
 }
@@ -409,6 +578,18 @@ fn run_rung(
                 funcs: funcs.to_vec(),
                 alloc,
             })
+        }
+        LadderStep::BalancedScratch => {
+            let hybrid = allocate_threads_with_spill_scratch(
+                funcs,
+                nreg,
+                config.rung_base(step),
+                engine,
+                None,
+                &config.scratch_params(),
+                None,
+            )?;
+            Ok(LadderOutcome::BalancedSpill(hybrid))
         }
         LadderStep::BalancedSpill => {
             let hybrid = allocate_threads_with_spill_seeded(
@@ -562,22 +743,69 @@ bb0:
     }
 
     #[test]
-    fn infeasible_budget_degrades_to_spilling() {
+    fn infeasible_budget_degrades_to_the_scratch_rung() {
         let funcs = vec![hot(), hot()];
-        // 2 × MinPR = 10 > 8: balancing alone cannot fit.
+        // 2 × MinPR = 10 > 8: balancing alone cannot fit, and the
+        // scratchpad tier is the next-cheapest rung.
         let a = allocate_ladder(&funcs, 8).unwrap();
-        assert_eq!(a.step, LadderStep::BalancedSpill);
+        assert_eq!(a.step, LadderStep::BalancedScratch);
         assert_eq!(a.degraded_count(), 1);
         assert_eq!(a.degradations[0].from, LadderStep::Balanced);
-        assert_eq!(a.degradations[0].to, LadderStep::BalancedSpill);
+        assert_eq!(a.degradations[0].to, LadderStep::BalancedScratch);
         assert!(matches!(
             a.degradations[0].reason,
             AllocError::Infeasible { .. }
         ));
         assert!(a.thread_summaries().iter().any(|s| s.spills > 0));
+        // Few spills, generous default capacity: every slot is fast.
+        assert!(a.scratch_spills().iter().sum::<usize>() > 0);
+        assert!(a.spill_picks().iter().all(|p| p.to_scratch));
         for f in a.rewrite().unwrap() {
             f.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn zero_capacity_config_reproduces_the_four_rung_ladder() {
+        let funcs = vec![hot(), hot()];
+        let config = LadderConfig {
+            scratch_capacity: 0,
+            ..LadderConfig::default()
+        };
+        let a = allocate_ladder_with(&funcs, 8, &config).unwrap();
+        assert_eq!(a.step, LadderStep::BalancedSpill);
+        assert_eq!(a.degradations[0].to, LadderStep::BalancedSpill);
+        assert!(a.plan.iter().all(|r| r.step != LadderStep::BalancedScratch));
+        assert!(a.scratch_spills().iter().all(|&s| s == 0));
+        for f in a.rewrite().unwrap() {
+            f.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn the_plan_prices_rungs_and_orders_cheapest_first() {
+        let funcs = vec![hot(), hot()];
+        let a = allocate_ladder(&funcs, 8).unwrap();
+        // Every rung planned, cheapest first, canonical order on ties.
+        assert_eq!(a.plan.len(), 5);
+        assert_eq!(a.plan[0].step, LadderStep::Balanced);
+        assert_eq!(a.plan[0].estimate, 0);
+        for w in a.plan.windows(2) {
+            assert!((w[0].estimate, w[0].step) <= (w[1].estimate, w[1].step));
+        }
+        // The excess pressure fits the default scratch capacity, so
+        // the scratch tier is priced at 4 cycles a slot against 20
+        // for memory.
+        let excess: u64 = funcs
+            .iter()
+            .map(|f| ProgramInfo::compute(f).pressure.regp_max as u64)
+            .sum::<u64>()
+            - 8;
+        assert!(excess > 0 && excess <= DEFAULT_SCRATCH_CAPACITY as u64);
+        let est = |step: LadderStep| a.plan.iter().find(|r| r.step == step).unwrap().estimate;
+        assert_eq!(est(LadderStep::BalancedScratch), excess * 4);
+        assert_eq!(est(LadderStep::BalancedSpill), excess * 20);
+        assert!(est(LadderStep::BalancedScratch) < est(LadderStep::BalancedSpill));
     }
 
     #[test]
@@ -597,7 +825,7 @@ bb0:
         let nreg = zero_work.registers_used() - 1;
         let a = allocate_ladder_with(&funcs, nreg, &config).unwrap();
         assert_eq!(a.step, LadderStep::FixedPartition);
-        assert_eq!(a.degraded_count(), 2);
+        assert_eq!(a.degraded_count(), 3);
         assert!(a
             .degradations
             .iter()
@@ -672,10 +900,11 @@ bb0:
         let funcs = vec![odd_cycle(), odd_cycle(), odd_cycle(), odd_cycle()];
         let (nreg, iters) = feasible_size_with_work(&funcs, 3);
         assert!(iters > 2);
-        // A budget of one starves both attempts of both balanced rungs
-        // (the doubled retry cap of two is still below the need), so
-        // the ladder descends to partitioning with two failed retries
-        // on record, and the degradation reasons carry the retry cap.
+        // A budget of one starves both attempts of all three balanced
+        // rungs (the doubled retry cap of two is still below the
+        // need), so the ladder descends to partitioning with three
+        // failed retries on record, and the degradation reasons carry
+        // the retry cap.
         let config = LadderConfig {
             engine: EngineConfig {
                 max_iterations: IterationBudget::Fixed(1),
@@ -692,13 +921,14 @@ bb0:
                 .collect::<Vec<_>>(),
             vec![
                 (LadderStep::Balanced, 1, 2, false),
+                (LadderStep::BalancedScratch, 1, 2, false),
                 (LadderStep::BalancedSpill, 1, 2, false),
             ]
         );
         assert!(a
             .degradations
             .iter()
-            .take(2)
+            .take(3)
             .all(|d| matches!(d.reason, AllocError::IterationCapHit { cap: 2, .. })));
     }
 
@@ -706,14 +936,15 @@ bb0:
     fn seeded_providers_reproduce_the_unseeded_walk() {
         let funcs = vec![hot(), hot()];
         // Infeasible for pure balancing at 8 registers: the ladder
-        // lands on balanced-spill either way.
+        // lands on balanced-scratch either way.
         let plain = allocate_ladder(&funcs, 8).unwrap();
-        assert_eq!(plain.step, LadderStep::BalancedSpill);
+        assert_eq!(plain.step, LadderStep::BalancedScratch);
         let config = LadderConfig::default();
         let providers = RungProviders {
             balanced: Some(Box::new(|| {
                 allocate_threads_with(&funcs, 8, config.engine)
             })),
+            balanced_scratch: None,
             balanced_spill: None,
         };
         let seeded = allocate_ladder_seeded(&funcs, 8, &config, providers).unwrap();
@@ -746,12 +977,13 @@ bb0:
         // One register per thread cannot even hold a spill address plus
         // a value: every rung fails.
         let err = allocate_ladder(&funcs, 2).unwrap_err();
-        assert_eq!(err.degradations.len(), 3);
+        assert_eq!(err.degradations.len(), 4);
         let steps: Vec<_> = err.degradations.iter().map(|d| (d.from, d.to)).collect();
         assert_eq!(
             steps,
             vec![
-                (LadderStep::Balanced, LadderStep::BalancedSpill),
+                (LadderStep::Balanced, LadderStep::BalancedScratch),
+                (LadderStep::BalancedScratch, LadderStep::BalancedSpill),
                 (LadderStep::BalancedSpill, LadderStep::FixedPartition),
                 (LadderStep::FixedPartition, LadderStep::SpillAll),
             ]
@@ -775,5 +1007,12 @@ bb0:
             assert_eq!(w[1] - w[0], RUNG_STRIDE);
         }
         assert_eq!(bases[0], c.spill_base, "first spilling rung packs at the base");
+        // The scratch rung's memory overflow shares the plain spill
+        // rung's area (only one rung's output ever executes), keeping
+        // the ladder's footprint at three strides.
+        assert_eq!(
+            c.rung_base(LadderStep::BalancedScratch),
+            c.rung_base(LadderStep::BalancedSpill)
+        );
     }
 }

@@ -69,13 +69,15 @@ pub use error::{AllocError, Degradation, LadderStep, RungRetry};
 pub use half::HalfPoint;
 pub use hybrid::{
     allocate_threads_with_spill, allocate_threads_with_spill_at,
-    allocate_threads_with_spill_config, allocate_threads_with_spill_seeded,
-    allocate_threads_with_spill_sweep, HybridAllocation, DEFAULT_SPILL_BASE,
+    allocate_threads_with_spill_config, allocate_threads_with_spill_scratch,
+    allocate_threads_with_spill_seeded, allocate_threads_with_spill_sweep,
+    allocate_threads_with_spill_sweep_scratch, HybridAllocation, ScratchParams, SpillPick,
+    DEFAULT_SPILL_BASE,
 };
 pub use ladder::{
     allocate_ladder, allocate_ladder_seeded, allocate_ladder_with, LadderAllocation,
-    LadderConfig, LadderError, LadderOutcome, RungProviders, ThreadSummary,
-    DEFAULT_LADDER_SPILL_BASE,
+    LadderConfig, LadderError, LadderOutcome, PlannedRung, RungProviders, ThreadSummary,
+    DEFAULT_LADDER_SPILL_BASE, DEFAULT_SCRATCH_CAPACITY,
 };
 pub use livemap::LiveMap;
 pub use rewrite::{rewrite_thread, try_rewrite_thread, Layout};

@@ -24,15 +24,18 @@
 //! byte-identical reports with the cache on or off, at any worker
 //! count.
 
+use regbal_analysis::SpillCosts;
 use regbal_core::{
-    allocate_threads, allocate_threads_sweep, allocate_threads_with_spill_seeded,
-    allocate_threads_with_spill_sweep, AllocError, EngineConfig, HybridAllocation,
-    MultiAllocation,
+    allocate_threads, allocate_threads_sweep, allocate_threads_with_spill_scratch,
+    allocate_threads_with_spill_seeded, allocate_threads_with_spill_sweep,
+    allocate_threads_with_spill_sweep_scratch, AllocError, EngineConfig, HybridAllocation,
+    MultiAllocation, ScratchParams,
 };
 use regbal_ir::Func;
 use regbal_sim::SanitizerConfig;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// One cache key: (scenario index in the suite, PU, register-file
@@ -43,6 +46,9 @@ pub type CacheKey = (usize, usize, usize);
 type GroupKey = (usize, usize);
 
 type SweepSlot<T> = Arc<OnceLock<Vec<Result<T, AllocError>>>>;
+
+/// One column's shared spill-cost models, filled once on first use.
+type CostSlot = Arc<OnceLock<Arc<Vec<SpillCosts>>>>;
 
 /// Shared allocation verdicts of one evaluation run. Cloning the
 /// stored results is cheap relative to the searches they replace; the
@@ -56,6 +62,14 @@ pub struct AllocCache {
     sweep: Vec<usize>,
     balanced: Mutex<HashMap<GroupKey, SweepSlot<MultiAllocation>>>,
     hybrid: Mutex<HashMap<GroupKey, SweepSlot<HybridAllocation>>>,
+    scratch: Mutex<HashMap<GroupKey, SweepSlot<HybridAllocation>>>,
+    /// The per-thread spill-cost models of one column, computed once
+    /// per (scenario, PU) and shared by every spilling strategy and
+    /// every swept size of that column.
+    costs: Mutex<HashMap<GroupKey, CostSlot>>,
+    /// How many times a cost model was actually computed — the proof
+    /// that the sweep pays per column, not per (strategy, nreg) cell.
+    cost_computes: AtomicUsize,
 }
 
 fn slot<T>(map: &Mutex<HashMap<GroupKey, SweepSlot<T>>>, key: GroupKey) -> SweepSlot<T> {
@@ -73,7 +87,35 @@ impl AllocCache {
             sweep,
             balanced: Mutex::default(),
             hybrid: Mutex::default(),
+            scratch: Mutex::default(),
+            costs: Mutex::default(),
+            cost_computes: AtomicUsize::new(0),
         }
+    }
+
+    /// The per-thread [`SpillCosts`] of one column, computed on first
+    /// demand and replayed for every later lookup of the same
+    /// (scenario, PU) — the costs depend only on the unmodified
+    /// function set, never on the strategy or the register-file size.
+    pub fn spill_costs(&self, key: GroupKey, funcs: &[Func]) -> Arc<Vec<SpillCosts>> {
+        let slot = self
+            .costs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_default()
+            .clone();
+        slot.get_or_init(|| {
+            self.cost_computes.fetch_add(1, Ordering::Relaxed);
+            Arc::new(funcs.iter().map(SpillCosts::compute).collect())
+        })
+        .clone()
+    }
+
+    /// Number of spill-cost models computed so far (one per distinct
+    /// (scenario, PU) column touched, however many cells asked).
+    pub fn cost_computes(&self) -> usize {
+        self.cost_computes.load(Ordering::Relaxed)
     }
 
     /// The balanced-engine verdict for `funcs` at `key.2` registers,
@@ -144,6 +186,55 @@ impl AllocCache {
                 spill_base,
                 EngineConfig::default(),
                 None,
+            ),
+        }
+    }
+
+    /// The scratch-tier hybrid verdict (balancing + spilling with the
+    /// cheapest slots packed into the scratchpad) for `funcs` at
+    /// `key.2` registers, computed via one whole-sweep spill trajectory
+    /// per (scenario, PU) exactly like [`AllocCache::hybrid`], with the
+    /// column's shared [`AllocCache::spill_costs`] model.
+    ///
+    /// # Errors
+    ///
+    /// The hybrid allocator's own verdict.
+    pub fn scratch(
+        &self,
+        key: CacheKey,
+        funcs: &[Func],
+        spill_base: i64,
+        params: ScratchParams,
+    ) -> Result<HybridAllocation, AllocError> {
+        let costs = self.spill_costs((key.0, key.1), funcs);
+        match self.sweep.iter().position(|&n| n == key.2) {
+            Some(pos) => {
+                let scratch_slot = slot(&self.scratch, (key.0, key.1));
+                scratch_slot.get_or_init(|| {
+                    let balanced_slot = slot(&self.balanced, (key.0, key.1));
+                    let seeds = balanced_slot.get_or_init(|| {
+                        allocate_threads_sweep(funcs, &self.sweep, EngineConfig::default())
+                    });
+                    allocate_threads_with_spill_sweep_scratch(
+                        funcs,
+                        &self.sweep,
+                        spill_base,
+                        EngineConfig::default(),
+                        Some(seeds),
+                        Some(&params),
+                        Some(&costs),
+                    )
+                })[pos]
+                    .clone()
+            }
+            None => allocate_threads_with_spill_scratch(
+                funcs,
+                key.2,
+                spill_base,
+                EngineConfig::default(),
+                None,
+                &params,
+                Some(&costs),
             ),
         }
     }
@@ -463,6 +554,76 @@ mod tests {
         let mut none: Lru<u32, u32> = Lru::new(0);
         assert_eq!(none.insert(7, 7), Some((7, 7)));
         assert!(none.is_empty());
+    }
+
+    /// The cost-model satellite: one [`SpillCosts`] computation per
+    /// (scenario, PU) column, however many (strategy, nreg) cells ask.
+    #[test]
+    fn spill_costs_are_computed_once_per_column() {
+        let funcs = vec![hot(), hot()];
+        let cache = AllocCache::new(vec![8, 16, 32]);
+        assert_eq!(cache.cost_computes(), 0);
+        let sp = ScratchParams {
+            base: 0,
+            capacity: 4,
+        };
+        for &n in &[8, 16, 32] {
+            let _ = cache.scratch((0, 0, n), &funcs, 0x8_0000, sp);
+            let _ = cache.scratch((0, 0, n), &funcs, 0x8_0000, sp);
+        }
+        assert_eq!(
+            cache.cost_computes(),
+            1,
+            "one model per column, not one per cell"
+        );
+        // A different column pays exactly once more.
+        let _ = cache.scratch((0, 1, 8), &funcs, 0xB_0000, sp);
+        assert_eq!(cache.cost_computes(), 2);
+        // Direct cost lookups replay the same shared model.
+        let a = cache.spill_costs((0, 0), &funcs);
+        let b = cache.spill_costs((0, 0), &funcs);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.cost_computes(), 2);
+    }
+
+    #[test]
+    fn scratch_verdicts_match_dedicated_runs() {
+        let funcs = vec![hot(), hot()];
+        let cache = AllocCache::new(vec![8]);
+        let sp = ScratchParams {
+            base: 0x40,
+            capacity: 4,
+        };
+        let cached = cache.scratch((0, 0, 8), &funcs, 0x8_0000, sp).unwrap();
+        let direct = allocate_threads_with_spill_scratch(
+            &funcs,
+            8,
+            0x8_0000,
+            EngineConfig::default(),
+            None,
+            &sp,
+            None,
+        )
+        .unwrap();
+        assert_eq!(cached.funcs, direct.funcs);
+        assert_eq!(cached.scratch_spills, direct.scratch_spills);
+        assert!(cached.scratch_spills.iter().sum::<usize>() > 0);
+        // A zero-capacity scratchpad degrades to the plain hybrid,
+        // bit for bit.
+        let zero = cache
+            .scratch(
+                (1, 0, 8),
+                &funcs,
+                0x8_0000,
+                ScratchParams {
+                    base: 0x40,
+                    capacity: 0,
+                },
+            )
+            .unwrap();
+        let hybrid = cache.hybrid((1, 0, 8), &funcs, 0x8_0000).unwrap();
+        assert_eq!(zero.funcs, hybrid.funcs);
+        assert_eq!(zero.spills, hybrid.spills);
     }
 
     #[test]

@@ -383,7 +383,7 @@ pub fn run_device_scenario(
     let reference = reference_program(spec);
     // Host-model digest over the same seeded buffer the runs use.
     let expected_digest = {
-        let mut probe = regbal_sim::Memory::new(0, 0, spec.sim_config().sdram_size);
+        let mut probe = regbal_sim::Memory::new(0, 0, spec.sim_config().sdram_size, 0);
         fill_packets(&mut probe, PKT_BASE, spec.packets, config.seed);
         expected_total_digest(&probe, spec.packets)
     };

@@ -9,8 +9,10 @@
 //! 2. [`strategy`] — the allocation strategies under test behind one
 //!    [`Strategy`] trait: the fixed `Nreg/Nthd` partition with Chaitin
 //!    spilling (the stock-compiler baseline), the balancing allocator,
-//!    balancing with last-resort spilling, and the degradation ladder
-//!    that falls back through those rungs instead of failing;
+//!    balancing with last-resort spilling, balancing that packs the
+//!    cheapest spills into a shared per-PU scratchpad
+//!    ([`BalancedScratch`]), and the degradation ladder that falls
+//!    back through those rungs instead of failing;
 //! 3. [`report`] — the pipeline ([`run_eval`]) drives the compiled
 //!    code on a multi-PU [`regbal_sim::Chip`] under packet traffic,
 //!    sweeping the register-file size 32 → 128, and validates each run
@@ -59,8 +61,9 @@ pub use report::{
 };
 pub use scenario::{scenarios, Scenario, THREADS_PER_PU};
 pub use strategy::{
-    all_strategies, balanced_sanitizer, ladder_sanitizer, Balanced, BalancedSpill, CompileCtx,
-    CompiledPu, FixedPartition, Ladder, PuLadderTrail, Strategy, ThreadCode,
+    all_strategies, balanced_sanitizer, ladder_sanitizer, Balanced, BalancedScratch,
+    BalancedSpill, CompileCtx, CompiledPu, FixedPartition, Ladder, PuLadderTrail, Strategy,
+    ThreadCode,
 };
 
 #[cfg(test)]
@@ -80,7 +83,7 @@ mod tests {
         };
         let report = run_eval(&config);
         assert!(report.scenarios.len() >= 3);
-        assert_eq!(report.strategies.len(), 4);
+        assert_eq!(report.strategies.len(), 5);
 
         let text = report.to_json_string();
         let doc = json::parse(&text).expect("report serialises to valid JSON");

@@ -180,6 +180,11 @@ pub struct CellReport {
     pub moves: usize,
     /// Total spilled ranges.
     pub spills: usize,
+    /// Of [`CellReport::spills`], how many landed in the shared
+    /// scratchpad rather than memory (non-zero only for
+    /// `balanced-scratch` and `ladder` cells that settled on the
+    /// scratch rung).
+    pub scratch_spills: usize,
     /// Ladder rungs descended across all PUs (0 for every strategy
     /// except `ladder`, and for `ladder` runs that stayed balanced).
     pub degraded_count: usize,
@@ -426,6 +431,7 @@ fn blank_cell(strategy: &dyn Strategy, nreg: usize, config: &EvalConfig) -> Cell
         registers_used: 0,
         moves: 0,
         spills: 0,
+        scratch_spills: 0,
         degraded_count: 0,
         ladder: Vec::new(),
         elapsed_ms: None,
@@ -471,6 +477,7 @@ fn run_cell(
     cell.registers_used = compiled.iter().map(|c| c.registers_used).max().unwrap_or(0);
     cell.moves = compiled.iter().map(CompiledPu::moves).sum();
     cell.spills = compiled.iter().map(CompiledPu::spills).sum();
+    cell.scratch_spills = compiled.iter().map(|c| c.scratch_spills).sum();
     cell.degraded_count = compiled.iter().map(|c| c.degraded).sum();
     cell.ladder = compiled
         .iter()
@@ -794,6 +801,10 @@ impl CellReport {
                 ("moves".into(), Json::uint(self.moves as u64)),
                 ("spills".into(), Json::uint(self.spills as u64)),
                 (
+                    "scratch_spills".into(),
+                    Json::uint(self.scratch_spills as u64),
+                ),
+                (
                     "degraded_count".into(),
                     Json::uint(self.degraded_count as u64),
                 ),
@@ -857,6 +868,11 @@ impl ThreadReport {
 /// paper's qualitative result — on a register-hungry scenario,
 /// `balanced` throughput at the largest file must be at least
 /// `fixed-partition`'s.
+///
+/// Scratchpad accounting is checked on every measured cell that
+/// carries it: `scratch_spills` can never exceed `spills`, and only
+/// the `balanced-scratch` strategy and the `ladder` (whose scratch
+/// rung is the same allocator) may route spills to the scratchpad.
 ///
 /// # Errors
 ///
@@ -941,6 +957,34 @@ pub fn validate_json(doc: &Json) -> Result<String, String> {
                             .ok_or_else(|| {
                                 format!("{name}: {strategy}@{nreg} missing degraded_count")
                             })?;
+                        // Scratchpad accounting: a subset of the spill
+                        // total, and zero outside the scratch-capable
+                        // strategies.
+                        if let Some(scratch) =
+                            cell.get("scratch_spills").and_then(|v| v.as_u64())
+                        {
+                            let spills = cell
+                                .get("spills")
+                                .and_then(|v| v.as_u64())
+                                .ok_or_else(|| {
+                                    format!("{name}: {strategy}@{nreg} missing spills")
+                                })?;
+                            if scratch > spills {
+                                return Err(format!(
+                                    "{name}: {strategy}@{nreg} scratch_spills ({scratch}) \
+                                     exceed spills ({spills})"
+                                ));
+                            }
+                            if scratch > 0
+                                && strategy != "balanced-scratch"
+                                && strategy != "ladder"
+                            {
+                                return Err(format!(
+                                    "{name}: {strategy}@{nreg} routed {scratch} spill(s) \
+                                     to the scratchpad without a scratch rung"
+                                ));
+                            }
+                        }
                         // Ladder cells carry the per-PU trail, and its
                         // degradations must add up to the cell total.
                         if strategy == "ladder" {

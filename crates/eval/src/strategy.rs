@@ -16,6 +16,11 @@
 //!   ([`regbal_core::allocate_threads_with_spill_at`]): balancing
 //!   first, spilling the cheapest ranges of the most demanding thread
 //!   only when sharing alone cannot fit.
+//! * [`BalancedScratch`] — the hybrid with the scratchpad spill tier
+//!   ([`regbal_core::allocate_threads_with_spill_scratch`]): the
+//!   cheapest spills are packed into a small per-PU area of the fast
+//!   shared scratchpad ([`regbal_ir::MemSpace::Spad`], ~4 cycles) and
+//!   only the overflow pays full memory latency.
 //! * [`Ladder`] — the graceful-degradation pipeline
 //!   ([`regbal_core::allocate_ladder_with`]): never reports
 //!   infeasibility while any fallback rung can still deliver; each
@@ -25,9 +30,9 @@ use crate::cache::AllocCache;
 use regbal_core::chaitin::{self, ChaitinConfig};
 use regbal_core::{
     allocate_ladder_seeded, allocate_ladder_with, allocate_threads,
-    allocate_threads_with_spill_at, Degradation, EngineConfig, HybridAllocation,
-    LadderAllocation, LadderConfig, LadderOutcome, LadderStep, MultiAllocation, RungProviders,
-    RungRetry,
+    allocate_threads_with_spill_at, allocate_threads_with_spill_scratch, Degradation,
+    EngineConfig, HybridAllocation, LadderAllocation, LadderConfig, LadderOutcome, LadderStep,
+    MultiAllocation, RungProviders, RungRetry, ScratchParams, DEFAULT_SCRATCH_CAPACITY,
 };
 use regbal_ir::{Func, MemSpace};
 use regbal_sim::SanitizerConfig;
@@ -54,6 +59,27 @@ const PU_SPILL_STRIDE: i64 = 0x3_0000;
 /// ladder; see [`PU_SPILL_BASE`]).
 fn pu_spill_base(pu: usize) -> i64 {
     PU_SPILL_BASE + (pu as i64) * PU_SPILL_STRIDE
+}
+
+/// Bytes of scratchpad reserved per PU. The default capacity of
+/// [`DEFAULT_SCRATCH_CAPACITY`] words needs 64 bytes; the stride
+/// leaves headroom and keeps the areas page-aligned within the 16 KiB
+/// default scratchpad.
+const PU_SPAD_STRIDE: i64 = 0x100;
+
+/// The scratchpad spill area of one PU (shared by `balanced-scratch`
+/// and the ladder's balanced-scratch rung, for the same verdict-sharing
+/// reason as [`pu_spill_base`]).
+fn pu_spad_base(pu: usize) -> i64 {
+    (pu as i64) * PU_SPAD_STRIDE
+}
+
+/// The scratchpad tier of one PU's spilling strategies.
+fn pu_scratch_params(pu: usize) -> ScratchParams {
+    ScratchParams {
+        base: pu_spad_base(pu),
+        capacity: DEFAULT_SCRATCH_CAPACITY,
+    }
 }
 
 /// Allocation statistics of one compiled thread.
@@ -115,6 +141,10 @@ pub struct CompiledPu {
     /// The full per-PU ladder trail (settled rung, degradation
     /// reasons, retries) — `None` for the single-rung strategies.
     pub ladder: Option<PuLadderTrail>,
+    /// How many of the PU's spill slots live in the fast scratchpad
+    /// tier (a subset of [`CompiledPu::spills`]; zero for strategies
+    /// without the tier).
+    pub scratch_spills: usize,
 }
 
 impl CompiledPu {
@@ -254,6 +284,7 @@ impl Strategy for FixedPartition {
             ),
             degraded: 0,
             ladder: None,
+            scratch_spills: 0,
         })
     }
 }
@@ -277,6 +308,7 @@ fn balanced_pu(alloc: &MultiAllocation, funcs: &[Func]) -> CompiledPu {
         registers_used: alloc.total_registers(),
         degraded: 0,
         ladder: None,
+        scratch_spills: 0,
     }
 }
 
@@ -301,6 +333,7 @@ fn hybrid_pu(hybrid: &HybridAllocation) -> CompiledPu {
         registers_used: hybrid.alloc.total_registers(),
         degraded: 0,
         ladder: None,
+        scratch_spills: hybrid.scratch_spills.iter().sum(),
     }
 }
 
@@ -355,18 +388,69 @@ impl Strategy for BalancedSpill {
     }
 }
 
-/// The graceful-degradation pipeline: balanced, then balanced-spill,
-/// then fixed-partition, then spill-all.
+/// Balancing with the scratchpad spill tier: the cheapest spills land
+/// in the PU's fast scratchpad area, the overflow in memory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BalancedScratch;
+
+impl Strategy for BalancedScratch {
+    fn name(&self) -> &'static str {
+        "balanced-scratch"
+    }
+
+    fn compile(&self, funcs: &[Func], nreg: usize, pu: usize) -> Result<CompiledPu, String> {
+        let hybrid = allocate_threads_with_spill_scratch(
+            funcs,
+            nreg,
+            pu_spill_base(pu),
+            EngineConfig::default(),
+            None,
+            &pu_scratch_params(pu),
+            None,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(hybrid_pu(&hybrid))
+    }
+
+    fn compile_cached(
+        &self,
+        funcs: &[Func],
+        nreg: usize,
+        pu: usize,
+        ctx: &CompileCtx<'_>,
+    ) -> Result<CompiledPu, String> {
+        let hybrid = ctx
+            .cache
+            .scratch(
+                (ctx.scenario, pu, nreg),
+                funcs,
+                pu_spill_base(pu),
+                pu_scratch_params(pu),
+            )
+            .map_err(|e| e.to_string())?;
+        Ok(hybrid_pu(&hybrid))
+    }
+}
+
+/// The graceful-degradation pipeline: balanced, then the cheapest
+/// feasible spilling rung (cost-aware), down to spill-all.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ladder;
 
 /// The ladder configuration of one PU: default engine, spill region
-/// packed from the PU's shared base (see [`PU_SPILL_BASE`]).
+/// packed from the PU's shared base (see [`PU_SPILL_BASE`]), scratch
+/// tier in the PU's scratchpad area — so the ladder's balanced-scratch
+/// rung produces byte-identical code to the `balanced-scratch`
+/// strategy on the same PU, which is what lets the sweep's allocation
+/// cache share verdicts between the two.
 fn ladder_config(pu: usize) -> LadderConfig {
+    let scratch = pu_scratch_params(pu);
     LadderConfig {
         engine: EngineConfig::default(),
         spill_space: MemSpace::Sram,
         spill_base: pu_spill_base(pu),
+        scratch_base: scratch.base,
+        scratch_capacity: scratch.capacity,
     }
 }
 
@@ -408,6 +492,7 @@ fn ladder_pu(alloc: &LadderAllocation, funcs: &[Func]) -> Result<CompiledPu, Str
         sanitizer,
         degraded: alloc.degraded_count(),
         ladder: Some(PuLadderTrail::from(alloc)),
+        scratch_spills: alloc.scratch_spills().iter().sum(),
     })
 }
 
@@ -432,6 +517,10 @@ impl Strategy for Ladder {
         let key = (ctx.scenario, pu, nreg);
         let providers = RungProviders {
             balanced: Some(Box::new(move || ctx.cache.balanced(key, funcs))),
+            balanced_scratch: Some(Box::new(move || {
+                ctx.cache
+                    .scratch(key, funcs, pu_spill_base(pu), pu_scratch_params(pu))
+            })),
             balanced_spill: Some(Box::new(move || {
                 ctx.cache.hybrid(key, funcs, pu_spill_base(pu))
             })),
@@ -448,6 +537,7 @@ pub fn all_strategies() -> Vec<Box<dyn Strategy>> {
         Box::new(FixedPartition),
         Box::new(Balanced),
         Box::new(BalancedSpill),
+        Box::new(BalancedScratch),
         Box::new(Ladder),
     ]
 }
@@ -556,8 +646,35 @@ mod tests {
         let names: Vec<&str> = all_strategies().iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["fixed-partition", "balanced", "balanced-spill", "ladder"]
+            [
+                "fixed-partition",
+                "balanced",
+                "balanced-spill",
+                "balanced-scratch",
+                "ladder"
+            ]
         );
+    }
+
+    #[test]
+    fn balanced_scratch_packs_the_cheapest_spills_into_the_scratchpad() {
+        let funcs = pu_funcs();
+        // Balancing alone is infeasible at 32: both hybrids spill the
+        // same ranges, but the scratch tier serves the cheapest from
+        // the fast store.
+        let spill = BalancedSpill.compile(&funcs, 32, 0).unwrap();
+        let scratch = BalancedScratch.compile(&funcs, 32, 0).unwrap();
+        assert_eq!(scratch.spills(), spill.spills(), "same eviction decisions");
+        assert!(scratch.scratch_spills > 0, "some slots must go fast");
+        assert!(scratch.scratch_spills <= scratch.spills());
+        assert_eq!(spill.scratch_spills, 0);
+        assert!(scratch.registers_used <= 32);
+        for f in &scratch.funcs {
+            f.validate().unwrap();
+        }
+        // Scratchpad areas differ per PU, like the memory spill areas.
+        let other = BalancedScratch.compile(&funcs, 32, 1).unwrap();
+        assert_ne!(scratch.funcs, other.funcs);
     }
 
     #[test]

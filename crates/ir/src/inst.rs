@@ -174,12 +174,17 @@ impl Cond {
 /// (IXP1200: no cache, ≥ 20 cycles per access, §1.1 feature 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSpace {
-    /// On-chip scratchpad memory (lowest latency).
+    /// On-chip scratchpad memory (lowest latency of the paper's three).
     Scratch,
     /// Off-chip SRAM (control structures, tables).
     Sram,
     /// Off-chip SDRAM (packet data, highest latency).
     Sdram,
+    /// The small per-PU-cluster shared fast store (RegDem-style spill
+    /// scratchpad): a few cycles per access, far below even `Scratch`.
+    /// The allocator's `balanced-scratch` rung packs its cheapest spill
+    /// slots here.
+    Spad,
 }
 
 impl MemSpace {
@@ -189,11 +194,17 @@ impl MemSpace {
             MemSpace::Scratch => "scratch",
             MemSpace::Sram => "sram",
             MemSpace::Sdram => "sdram",
+            MemSpace::Spad => "spad",
         }
     }
 
     /// All memory spaces.
-    pub const ALL: [MemSpace; 3] = [MemSpace::Scratch, MemSpace::Sram, MemSpace::Sdram];
+    pub const ALL: [MemSpace; 4] = [
+        MemSpace::Scratch,
+        MemSpace::Sram,
+        MemSpace::Sdram,
+        MemSpace::Spad,
+    ];
 }
 
 /// A non-terminator instruction.

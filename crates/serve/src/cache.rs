@@ -165,6 +165,10 @@ impl Trajectory {
             ServeStrategy::Ladder => {
                 let providers = RungProviders {
                     balanced: Some(Box::new(|| self.balanced_at(nreg, descents))),
+                    // No seed for the scratch rung: the server's cache
+                    // keys predate the scratch tier, so the ladder
+                    // computes that rung itself when it gets there.
+                    balanced_scratch: None,
                     balanced_spill: Some(Box::new(|| self.hybrid_at(nreg, descents))),
                 };
                 match allocate_ladder_seeded(

@@ -44,7 +44,12 @@ impl Chip {
     /// shared memory).
     pub fn new(config: SimConfig, num_pus: usize) -> Chip {
         assert!(num_pus >= 1, "a chip has at least one PU");
-        let memory = Memory::new(config.scratch_size, config.sram_size, config.sdram_size);
+        let memory = Memory::new(
+            config.scratch_size,
+            config.sram_size,
+            config.sdram_size,
+            config.spad_size,
+        );
         // The PUs run against the shared memory only; give them empty
         // private memories so a device-scale chip (64 PUs over a
         // 16 MiB SRAM) does not allocate one dead copy per PU.
@@ -52,6 +57,7 @@ impl Chip {
             scratch_size: 0,
             sram_size: 0,
             sdram_size: 0,
+            spad_size: 0,
             ..config
         };
         Chip {

@@ -16,6 +16,10 @@ pub struct SimConfig {
     pub sram_latency: u64,
     /// Latency in cycles of an SDRAM access.
     pub sdram_latency: u64,
+    /// Latency in cycles of a spill-scratchpad (spad) access. The spad
+    /// is a small per-PU-cluster register-speed store (RegDem-style):
+    /// far cheaper than any DRAM-class space.
+    pub spad_latency: u64,
     /// Extra cycles consumed when the PU switches to a different thread.
     pub ctx_switch_cost: u64,
     /// Scratchpad size in bytes.
@@ -24,6 +28,8 @@ pub struct SimConfig {
     pub sram_size: usize,
     /// SDRAM size in bytes.
     pub sdram_size: usize,
+    /// Spill-scratchpad size in bytes.
+    pub spad_size: usize,
     /// Serialise accesses per memory space (one port each): concurrent
     /// requests queue behind each other, extending their latency. Off
     /// by default (the IXP's deep memory pipelines overlap thread
@@ -43,11 +49,13 @@ impl Default for SimConfig {
             scratch_latency: 20,
             sram_latency: 60,
             sdram_latency: 150,
+            spad_latency: 4,
             ctx_switch_cost: 1,
             serialize_memory: false,
             scratch_size: 64 << 10,
             sram_size: 1 << 20,
             sdram_size: 4 << 20,
+            spad_size: 16 << 10,
             max_cycles: 50_000_000,
             private_ranges: Vec::new(),
         }
@@ -61,6 +69,7 @@ impl SimConfig {
             MemSpace::Scratch => self.scratch_latency,
             MemSpace::Sram => self.sram_latency,
             MemSpace::Sdram => self.sdram_latency,
+            MemSpace::Spad => self.spad_latency,
         }
     }
 }
@@ -75,9 +84,14 @@ mod tests {
         assert!(c.sram_latency >= 20, "paper: at least 20 cycles");
         assert!(c.sdram_latency > c.sram_latency);
         assert!(c.scratch_latency < c.sram_latency);
+        assert!(
+            c.spad_latency < c.scratch_latency,
+            "the spill spad must beat every memory-class space"
+        );
         assert_eq!(c.ctx_switch_cost, 1, "paper: 1-cycle context switch");
         assert_eq!(c.latency(MemSpace::Sram), c.sram_latency);
         assert_eq!(c.latency(MemSpace::Scratch), c.scratch_latency);
         assert_eq!(c.latency(MemSpace::Sdram), c.sdram_latency);
+        assert_eq!(c.latency(MemSpace::Spad), c.spad_latency);
     }
 }

@@ -239,7 +239,7 @@ pub struct Simulator {
     sanitizer: Option<Sanitizer>,
     error: Option<SimError>,
     /// Per-space earliest next issue time under `serialize_memory`.
-    port_free: [u64; 3],
+    port_free: [u64; 4],
     /// Degradation count stamped by the harness (plain data: the
     /// simulator does not depend on the allocator).
     degraded: u64,
@@ -248,7 +248,12 @@ pub struct Simulator {
 impl Simulator {
     /// Creates an empty micro-engine.
     pub fn new(config: SimConfig) -> Simulator {
-        let memory = Memory::new(config.scratch_size, config.sram_size, config.sdram_size);
+        let memory = Memory::new(
+            config.scratch_size,
+            config.sram_size,
+            config.sdram_size,
+            config.spad_size,
+        );
         Simulator {
             config,
             memory,
@@ -262,7 +267,7 @@ impl Simulator {
             trace: None,
             sanitizer: None,
             error: None,
-            port_free: [0; 3],
+            port_free: [0; 4],
             degraded: 0,
         }
     }
@@ -284,6 +289,7 @@ impl Simulator {
             regbal_ir::MemSpace::Scratch => 0,
             regbal_ir::MemSpace::Sram => 1,
             regbal_ir::MemSpace::Sdram => 2,
+            regbal_ir::MemSpace::Spad => 3,
         };
         let start = self.now.max(self.port_free[port]);
         let done = start + latency;
@@ -396,7 +402,7 @@ impl Simulator {
 
     /// Runs until `stop` (or the configured global cycle budget).
     pub fn run(&mut self, stop: StopWhen) -> RunReport {
-        let mut mem = std::mem::replace(&mut self.memory, Memory::new(0, 0, 0));
+        let mut mem = std::mem::replace(&mut self.memory, Memory::new(0, 0, 0, 0));
         let report = self.run_shared(&mut mem, stop);
         self.memory = mem;
         report
@@ -431,7 +437,7 @@ impl Simulator {
     pub(crate) fn run_to_event(&mut self, stop: StopWhen) -> PuEvent {
         // The batch provably executes no memory instruction (fuel 0
         // stops it poised first), so a placeholder memory suffices.
-        let mut dummy = Memory::new(0, 0, 0);
+        let mut dummy = Memory::new(0, 0, 0, 0);
         self.run_batch(&mut dummy, stop, 0, false)
     }
 
@@ -656,6 +662,20 @@ impl Simulator {
         }
     }
 
+    /// Records a spill-scratchpad word access for the sanitizer's
+    /// cross-thread clobber tracking (spad slots are thread-private
+    /// spill homes, so foreign overwrites are diagnosable like
+    /// register clobbers).
+    fn note_spad(&mut self, i: usize, addr: u32, write: bool, pc: Pc) {
+        if let Some(san) = &mut self.sanitizer {
+            if write {
+                san.note_spad_write(i, addr, pc, self.now);
+            } else {
+                san.note_spad_read(i, addr, pc, self.now);
+            }
+        }
+    }
+
     /// Executes one instruction of thread `i`.
     fn step(&mut self, i: usize, mem: &mut Memory) {
         let block = self.threads[i].block;
@@ -745,6 +765,9 @@ impl Simulator {
                     .read_reg(i, base, pc)
                     .wrapping_add(offset as u32);
                 let value = mem.read_word(space, addr);
+                if space == regbal_ir::MemSpace::Spad {
+                    self.note_spad(i, addr, false, pc);
+                }
                 self.note_csb(i, pc);
                 self.threads[i].pending_load = vec![(dst, value)];
                 self.threads[i].pending_pc = pc;
@@ -767,6 +790,11 @@ impl Simulator {
                 space,
             } => {
                 let addr = self.read_reg(i, base, pc).wrapping_add(offset as u32);
+                if space == regbal_ir::MemSpace::Spad {
+                    for w in 0..dsts.len() {
+                        self.note_spad(i, addr + 4 * w as u32, false, pc);
+                    }
+                }
                 self.note_csb(i, pc);
                 self.threads[i].pending_load = dsts
                     .iter()
@@ -796,6 +824,9 @@ impl Simulator {
                 for (w, &s) in srcs.iter().enumerate() {
                     let value = self.read_reg(i, s, pc);
                     mem.write_word(space, addr + 4 * w as u32, value);
+                    if space == regbal_ir::MemSpace::Spad {
+                        self.note_spad(i, addr + 4 * w as u32, true, pc);
+                    }
                 }
                 self.note_csb(i, pc);
                 self.threads[i].ready_at = self.mem_ready_at(space);
@@ -821,6 +852,9 @@ impl Simulator {
                     .wrapping_add(offset as u32);
                 let value = self.read_reg(i, src, pc);
                 mem.write_word(space, addr, value);
+                if space == regbal_ir::MemSpace::Spad {
+                    self.note_spad(i, addr, true, pc);
+                }
                 self.note_csb(i, pc);
                 self.threads[i].ready_at = self.mem_ready_at(space);
                 self.threads[i].ctx_switches += 1;
@@ -1255,6 +1289,82 @@ mod sanitizer_tests {
             d,
             SanitizerReport::ForeignPrivateWrite { reg: 2, writer: 1, owner: 0, .. }
         )));
+    }
+
+    #[test]
+    fn cross_thread_spad_clobber_is_caught_end_to_end() {
+        // The exact bug the scratch-tier allocator must never produce:
+        // two threads handed the same scratchpad spill slot. Thread 0
+        // parks 5 in spad word 0x100, yields, reloads it; thread 1
+        // overwrites the slot in between. The reload observes 99 (spad
+        // is a plain shared store at machine level) and the sanitizer
+        // pins the clobber on the foreign writer.
+        let t0 = parse_func(
+            "func a {\nbb0:\n r1 = mov 256\n r2 = mov 5\n store spad[r1+0], r2\n ctx\n \
+             r3 = load spad[r1+0]\n r4 = mov 0\n store scratch[r4+0], r3\n halt\n}",
+        )
+        .unwrap();
+        // Disjoint register numbers per thread: the only cross-thread
+        // state is the shared spad slot itself.
+        let t1 = parse_func(
+            "func b {\nbb0:\n r11 = mov 256\n r12 = mov 99\n store spad[r11+0], r12\n halt\n}",
+        )
+        .unwrap();
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_sanitizer(SanitizerConfig::default());
+        s.add_thread(t0);
+        s.add_thread(t1);
+        let r = s.run(StopWhen::Cycles(10_000));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 99, "clobber lands");
+        let clobbers: Vec<_> = r
+            .sanitizer
+            .iter()
+            .filter(|d| matches!(d, SanitizerReport::ScratchpadClobber { .. }))
+            .collect();
+        assert_eq!(clobbers.len(), 1, "{:?}", r.sanitizer);
+        match clobbers[0] {
+            SanitizerReport::ScratchpadClobber {
+                addr,
+                reader,
+                writer,
+                write_cycle,
+                cycle,
+                ..
+            } => {
+                assert_eq!((*addr, *reader, *writer), (256, 0, 1));
+                assert!(write_cycle < cycle);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(r.sanitizer_violations().count(), 1);
+    }
+
+    #[test]
+    fn disjoint_spad_slots_never_false_positive() {
+        // The healthy shape the packer produces: dense slots, one per
+        // spill, no sharing — across yields, zero reports.
+        let make = |r: u32, slot: u32, val: i64, out: u32| {
+            parse_func(&format!(
+                "func t {{\nbb0:\n r{r} = mov {slot}\n r{} = mov {val}\n store spad[r{r}+0], r{} \
+                 \n ctx\n r{} = load spad[r{r}+0]\n r{} = mov {out}\n \
+                 store scratch[r{}+0], r{}\n halt\n}}",
+                r + 1,
+                r + 1,
+                r + 2,
+                r + 3,
+                r + 3,
+                r + 2
+            ))
+            .unwrap()
+        };
+        let mut s = Simulator::new(SimConfig::default());
+        s.enable_sanitizer(SanitizerConfig::default());
+        s.add_thread(make(1, 256, 5, 0));
+        s.add_thread(make(11, 260, 7, 4));
+        let r = s.run(StopWhen::Cycles(10_000));
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 0), 5);
+        assert_eq!(s.memory().read_word(MemSpace::Scratch, 4), 7);
+        assert!(r.sanitizer.is_empty(), "{:?}", r.sanitizer);
     }
 
     #[test]

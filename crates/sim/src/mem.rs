@@ -1,23 +1,30 @@
-//! The three memory spaces of the micro-engine.
+//! The memory spaces of the micro-engine.
 
 use regbal_ir::MemSpace;
 
-/// Byte-addressable scratch/SRAM/SDRAM memories with 32-bit word access
-/// (little endian).
+/// Byte-addressable scratch/SRAM/SDRAM/spad memories with 32-bit word
+/// access (little endian).
 #[derive(Debug, Clone)]
 pub struct Memory {
     scratch: Vec<u8>,
     sram: Vec<u8>,
     sdram: Vec<u8>,
+    spad: Vec<u8>,
 }
 
 impl Memory {
     /// Allocates zero-filled memories of the given byte sizes.
-    pub fn new(scratch_size: usize, sram_size: usize, sdram_size: usize) -> Memory {
+    pub fn new(
+        scratch_size: usize,
+        sram_size: usize,
+        sdram_size: usize,
+        spad_size: usize,
+    ) -> Memory {
         Memory {
             scratch: vec![0; scratch_size],
             sram: vec![0; sram_size],
             sdram: vec![0; sdram_size],
+            spad: vec![0; spad_size],
         }
     }
 
@@ -26,6 +33,7 @@ impl Memory {
             MemSpace::Scratch => &self.scratch,
             MemSpace::Sram => &self.sram,
             MemSpace::Sdram => &self.sdram,
+            MemSpace::Spad => &self.spad,
         }
     }
 
@@ -34,6 +42,7 @@ impl Memory {
             MemSpace::Scratch => &mut self.scratch,
             MemSpace::Sram => &mut self.sram,
             MemSpace::Sdram => &mut self.sdram,
+            MemSpace::Spad => &mut self.spad,
         }
     }
 
@@ -82,7 +91,7 @@ mod tests {
 
     #[test]
     fn word_roundtrip_little_endian() {
-        let mut m = Memory::new(64, 64, 64);
+        let mut m = Memory::new(64, 64, 64, 64);
         m.write_word(MemSpace::Sram, 8, 0xDEADBEEF);
         assert_eq!(m.read_word(MemSpace::Sram, 8), 0xDEADBEEF);
         assert_eq!(m.read_bytes(MemSpace::Sram, 8, 2), vec![0xEF, 0xBE]);
@@ -93,7 +102,7 @@ mod tests {
 
     #[test]
     fn spaces_are_independent() {
-        let mut m = Memory::new(64, 64, 64);
+        let mut m = Memory::new(64, 64, 64, 64);
         m.write_word(MemSpace::Scratch, 0, 1);
         m.write_word(MemSpace::Sram, 0, 2);
         m.write_word(MemSpace::Sdram, 0, 3);
@@ -104,7 +113,7 @@ mod tests {
 
     #[test]
     fn addresses_wrap() {
-        let mut m = Memory::new(16, 16, 16);
+        let mut m = Memory::new(16, 16, 16, 16);
         m.write_word(MemSpace::Scratch, 14, 0x11223344);
         assert_eq!(m.read_word(MemSpace::Scratch, 14), 0x11223344);
         // Bytes 14, 15 wrap to 0, 1.
@@ -113,7 +122,7 @@ mod tests {
 
     #[test]
     fn bulk_bytes() {
-        let mut m = Memory::new(64, 64, 64);
+        let mut m = Memory::new(64, 64, 64, 64);
         m.write_bytes(MemSpace::Sdram, 4, &[1, 2, 3, 4, 5]);
         assert_eq!(m.read_bytes(MemSpace::Sdram, 4, 5), vec![1, 2, 3, 4, 5]);
     }

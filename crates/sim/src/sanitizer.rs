@@ -13,7 +13,7 @@
 //! owners, the CSB and both cycles, turning "checksum mismatch
 //! somewhere" into an actionable diagnosis.
 //!
-//! Three report classes:
+//! Four report classes:
 //!
 //! * [`SanitizerReport::SharedClobber`] — a thread read a register it
 //!   had written before its most recent CSB, but another thread wrote
@@ -21,6 +21,11 @@
 //! * [`SanitizerReport::ForeignPrivateWrite`] — a write landed in
 //!   another thread's private bank (violation; the structured upgrade
 //!   of the legacy watchdog).
+//! * [`SanitizerReport::ScratchpadClobber`] — a thread reloaded a
+//!   spill-scratchpad word it had spilled, but another thread
+//!   overwrote the slot in between (violation; spad slots are
+//!   thread-private spill homes, so foreign overwrites are packing
+//!   bugs).
 //! * [`SanitizerReport::UninitializedRead`] — a read of a register no
 //!   one has written; the simulator returns 0, but nothing in the
 //!   allocation model justifies relying on that (warning).
@@ -154,6 +159,25 @@ pub enum SanitizerReport {
         /// Cycle of the write.
         cycle: u64,
     },
+    /// `reader` spilled a value into the spill-scratchpad word at
+    /// `addr`, but `writer` overwrote the slot before the reload —
+    /// two threads were packed into the same spad slot.
+    ScratchpadClobber {
+        /// Byte address of the clobbered spad word.
+        addr: u32,
+        /// The thread whose spilled value was lost.
+        reader: usize,
+        /// The thread that overwrote the slot.
+        writer: usize,
+        /// Pc of the clobbering store (in the writer's function).
+        write_pc: Pc,
+        /// Pc of the reload that observed the clobber.
+        read_pc: Pc,
+        /// Cycle of the clobbering store.
+        write_cycle: u64,
+        /// Cycle of the reload.
+        cycle: u64,
+    },
     /// A read of a physical register that no thread has written; the
     /// simulator supplies 0.
     UninitializedRead {
@@ -209,6 +233,20 @@ impl fmt::Display for SanitizerReport {
                 "foreign write: thread {writer} ({writer_fragment}) wrote r{reg} at {pc} \
                  cycle {cycle}, inside thread {owner}'s private bank ({owner_fragment})"
             ),
+            SanitizerReport::ScratchpadClobber {
+                addr,
+                reader,
+                writer,
+                write_pc,
+                read_pc,
+                write_cycle,
+                cycle,
+            } => write!(
+                f,
+                "spad clobber: word {addr:#x} reloaded by thread {reader} at {read_pc} \
+                 cycle {cycle} was overwritten by thread {writer} at {write_pc} \
+                 cycle {write_cycle}"
+            ),
             SanitizerReport::UninitializedRead { reg, thread, pc, cycle } => write!(
                 f,
                 "uninitialized read: thread {thread} read never-written r{reg} at {pc} \
@@ -247,6 +285,10 @@ pub(crate) struct Sanitizer {
     csb_count: Vec<u64>,
     /// Per thread: pc of the most recent CSB.
     csb_pc: Vec<Pc>,
+    /// Last write to each spill-scratchpad word (by byte address).
+    spad_last: HashMap<u32, WriteTag>,
+    /// Spad words each thread has spilled to (its spill homes).
+    spad_own: HashSet<(usize, u32)>,
     reports: Vec<SanitizerReport>,
     seen: HashSet<(u8, u32, usize, u64)>,
     dropped: u64,
@@ -261,6 +303,8 @@ impl Sanitizer {
             own_write: Vec::new(),
             csb_count: Vec::new(),
             csb_pc: Vec::new(),
+            spad_last: HashMap::new(),
+            spad_own: HashSet::new(),
             reports: Vec::new(),
             seen: HashSet::new(),
             dropped: 0,
@@ -338,6 +382,36 @@ impl Sanitizer {
         self.own_write[thread][reg as usize] = Some(OwnWrite {
             epoch: self.csb_count[thread],
         });
+    }
+
+    /// Thread `thread` stores to the spill-scratchpad word at `addr`.
+    pub(crate) fn note_spad_write(&mut self, thread: usize, addr: u32, pc: Pc, cycle: u64) {
+        self.grow(thread);
+        self.spad_last.insert(addr, WriteTag { thread, pc, cycle });
+        self.spad_own.insert((thread, addr));
+    }
+
+    /// Thread `thread` loads the spill-scratchpad word at `addr`. A
+    /// reload of a word the thread spilled that another thread has
+    /// since overwritten is a clobber: spad slots are thread-private
+    /// spill homes (no epoch condition — a spill always crosses CSBs
+    /// between store and reload, because memory operations block).
+    pub(crate) fn note_spad_read(&mut self, thread: usize, addr: u32, pc: Pc, cycle: u64) {
+        self.grow(thread);
+        if let Some(&w) = self.spad_last.get(&addr) {
+            if w.thread != thread && self.spad_own.contains(&(thread, addr)) {
+                let report = SanitizerReport::ScratchpadClobber {
+                    addr,
+                    reader: thread,
+                    writer: w.thread,
+                    write_pc: w.pc,
+                    read_pc: pc,
+                    write_cycle: w.cycle,
+                    cycle,
+                };
+                self.push((3, addr, thread, pc_key(pc)), report);
+            }
+        }
     }
 
     /// Thread `thread` reads physical register `reg` at `pc`.
@@ -477,6 +551,57 @@ mod tests {
         }
         assert_eq!(s.reports().len(), 2);
         assert_eq!(s.dropped(), 3);
+    }
+
+    #[test]
+    fn spad_clobber_requires_a_foreign_write_to_an_own_slot() {
+        let mut s = Sanitizer::new(SanitizerConfig::default(), 8);
+        // Thread 0 spills to word 0x40, thread 1 overwrites it, thread
+        // 0 reloads: clobber.
+        s.note_spad_write(0, 0x40, pc(0, 1), 1);
+        s.note_spad_write(1, 0x40, pc(0, 2), 2);
+        s.note_spad_read(0, 0x40, pc(0, 3), 3);
+        assert_eq!(s.reports().len(), 1);
+        match &s.reports()[0] {
+            SanitizerReport::ScratchpadClobber {
+                addr,
+                reader,
+                writer,
+                write_cycle,
+                cycle,
+                ..
+            } => {
+                assert_eq!((*addr, *reader, *writer), (0x40, 0, 1));
+                assert!(write_cycle < cycle);
+            }
+            other => panic!("wrong report: {other:?}"),
+        }
+        assert!(s.reports()[0].is_violation());
+        // Reading a word the thread never spilled to is communication,
+        // not a clobber.
+        s.note_spad_write(1, 0x80, pc(0, 4), 4);
+        s.note_spad_read(0, 0x80, pc(0, 5), 5);
+        // Reading back one's own latest write is fine.
+        s.note_spad_write(0, 0x40, pc(0, 6), 6);
+        s.note_spad_read(0, 0x40, pc(0, 7), 7);
+        assert_eq!(s.reports().len(), 1, "{:?}", s.reports());
+    }
+
+    #[test]
+    fn spad_clobber_display_names_the_word_and_threads() {
+        let r = SanitizerReport::ScratchpadClobber {
+            addr: 0x44,
+            reader: 1,
+            writer: 3,
+            write_pc: pc(2, 0),
+            read_pc: pc(1, 4),
+            write_cycle: 10,
+            cycle: 31,
+        };
+        let text = r.to_string();
+        assert!(text.contains("0x44"), "{text}");
+        assert!(text.contains("thread 1"), "{text}");
+        assert!(text.contains("thread 3"), "{text}");
     }
 
     #[test]

@@ -42,15 +42,15 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let mut a = Memory::new(0, 0, 1 << 16);
-        let mut b = Memory::new(0, 0, 1 << 16);
+        let mut a = Memory::new(0, 0, 1 << 16, 0);
+        let mut b = Memory::new(0, 0, 1 << 16, 0);
         fill_packets(&mut a, 0, 4, 7);
         fill_packets(&mut b, 0, 4, 7);
         assert_eq!(
             a.read_bytes(MemSpace::Sdram, 0, 256),
             b.read_bytes(MemSpace::Sdram, 0, 256)
         );
-        let mut c = Memory::new(0, 0, 1 << 16);
+        let mut c = Memory::new(0, 0, 1 << 16, 0);
         fill_packets(&mut c, 0, 4, 8);
         assert_ne!(
             a.read_bytes(MemSpace::Sdram, 0, 256),
@@ -60,7 +60,7 @@ mod tests {
 
     #[test]
     fn header_fields_present() {
-        let mut m = Memory::new(0, 0, 1 << 16);
+        let mut m = Memory::new(0, 0, 1 << 16, 0);
         fill_packets(&mut m, 0, 2, 1);
         for p in 0..2u32 {
             let b = m.read_bytes(MemSpace::Sdram, p * PKT_STRIDE, 24);

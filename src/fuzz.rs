@@ -68,6 +68,17 @@ impl FuzzClass {
             other => Err(format!("unknown fuzz class `{other}`")),
         }
     }
+
+    /// The next-simpler class the minimizer steps toward (mixed →
+    /// clique → csb-dense → done): each step strips one generator
+    /// feature, so a failure that survives is easier to read.
+    fn simpler(self) -> Option<FuzzClass> {
+        match self {
+            FuzzClass::Mixed => Some(FuzzClass::Clique),
+            FuzzClass::Clique => Some(FuzzClass::CsbDense),
+            FuzzClass::CsbDense => None,
+        }
+    }
 }
 
 /// One reproducible fuzz case: a seeded stress bundle and the register
@@ -171,12 +182,13 @@ impl FuzzCase {
             Ok(alloc) => alloc,
             Err(err) => {
                 // Even total failure must be structured: a full trail
-                // down to spill-all with the terminal error attached.
-                if err.degradations.len() != 3 {
+                // across every planned rung with the terminal error
+                // attached.
+                if err.degradations.len() != 4 {
                     return Err(format!("truncated degradation trail: {err}"));
                 }
                 if err.degradations[0].from != LadderStep::Balanced
-                    || err.degradations[2].to != LadderStep::SpillAll
+                    || err.degradations[3].to != LadderStep::SpillAll
                 {
                     return Err(format!("misordered degradation trail: {err}"));
                 }
@@ -216,6 +228,44 @@ impl FuzzCase {
             return Err(format!("{violations} clobber-class sanitizer violation(s)"));
         }
         Ok(())
+    }
+
+    /// Deterministically shrinks a failing case before it is archived:
+    /// at each step the candidates are, in order, one fewer thread,
+    /// the next-smaller register file of [`NREG_SWEEP`], and the
+    /// next-simpler stress class; the first candidate whose
+    /// [`FuzzCase::check`] still fails is accepted, and the walk
+    /// repeats until no candidate reproduces the failure. A case that
+    /// already passes is returned unchanged (there is nothing to
+    /// shrink). The order is fixed and every probe is a deterministic
+    /// replay, so minimization itself is reproducible.
+    pub fn minimize(&self) -> FuzzCase {
+        let mut cur = *self;
+        if cur.check().is_ok() {
+            return cur;
+        }
+        loop {
+            let mut candidates: Vec<FuzzCase> = Vec::new();
+            if cur.threads > 1 {
+                candidates.push(FuzzCase {
+                    threads: cur.threads - 1,
+                    ..cur
+                });
+            }
+            if let Some(&smaller) = NREG_SWEEP.iter().rev().find(|&&n| n < cur.nreg) {
+                candidates.push(FuzzCase {
+                    nreg: smaller,
+                    ..cur
+                });
+            }
+            if let Some(class) = cur.class.simpler() {
+                candidates.push(FuzzCase { class, ..cur });
+            }
+            match candidates.into_iter().find(|c| c.check().is_err()) {
+                Some(next) => cur = next,
+                None => return cur,
+            }
+        }
     }
 }
 
@@ -307,5 +357,26 @@ mod tests {
     #[test]
     fn a_known_case_passes_its_own_contract() {
         FuzzCase::from_index(0).check().unwrap();
+    }
+
+    #[test]
+    fn minimizing_a_passing_case_is_the_identity() {
+        let case = FuzzCase::from_index(0);
+        assert_eq!(case.minimize(), case, "nothing to shrink");
+    }
+
+    #[test]
+    fn minimization_is_deterministic_and_only_steps_down() {
+        // Whatever check() says about these cases, two minimization
+        // runs must agree, and the result never grows on any axis.
+        for i in [1, 5, 9] {
+            let case = FuzzCase::from_index(i);
+            let a = case.minimize();
+            let b = case.minimize();
+            assert_eq!(a, b);
+            assert!(a.threads <= case.threads);
+            assert!(a.nreg <= case.nreg);
+            assert_eq!(a.seed, case.seed, "the seed is never touched");
+        }
     }
 }

@@ -117,9 +117,9 @@ fn exercise(funcs: &[Func], nreg: usize, stats: &mut CorpusStats) {
             // Even total failure is structured: the trail covers every
             // rung down to spill-all, and the terminal error survives.
             stats.structured_failures += 1;
-            assert_eq!(err.degradations.len(), 3, "full trail: {err}");
+            assert_eq!(err.degradations.len(), 4, "full trail: {err}");
             assert_eq!(err.degradations[0].from, LadderStep::Balanced);
-            assert_eq!(err.degradations[2].to, LadderStep::SpillAll);
+            assert_eq!(err.degradations[3].to, LadderStep::SpillAll);
             return;
         }
     };

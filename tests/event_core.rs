@@ -212,7 +212,7 @@ fn device_reports_identical_across_os_thread_counts() {
     };
     let expected = {
         let mut probe =
-            regbal_sim::Memory::new(0, 0, spec.sim_config().sdram_size);
+            regbal_sim::Memory::new(0, 0, spec.sim_config().sdram_size, 0);
         fill_packets(&mut probe, PKT_BASE, spec.packets, 11);
         expected_total_digest(&probe, spec.packets)
     };
